@@ -1,0 +1,24 @@
+//! Baseline-detector throughput: degree-outlier scan and reciprocity scan
+//! versus the mass-based detector they are compared against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spammass_bench::Fixture;
+use spammass_core::baselines::degree_outlier::{degree_outliers_both, DegreeOutlierConfig};
+use spammass_core::baselines::reciprocity::{high_reciprocity_nodes, ReciprocityConfig};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let fixture = Fixture::new(40_000);
+    let g = fixture.graph();
+
+    c.bench_function("degree_outliers_40k", |b| {
+        b.iter(|| black_box(degree_outliers_both(g, &DegreeOutlierConfig::default())))
+    });
+
+    c.bench_function("reciprocity_scan_40k", |b| {
+        b.iter(|| black_box(high_reciprocity_nodes(g, &ReciprocityConfig::default())))
+    });
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! PageRank-contribution computation (Theorems 1-2): single node, node
+//! set, and the walk-sum reference evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spammass_bench::Fixture;
+use spammass_graph::NodeId;
+use spammass_pagerank::contribution::{
+    contribution_of_node, contribution_of_set, walk_sum_truncated,
+};
+use spammass_pagerank::PageRankConfig;
+use std::hint::black_box;
+
+fn config() -> PageRankConfig {
+    PageRankConfig::default().tolerance(1e-10).max_iterations(200)
+}
+
+fn bench_contributions(c: &mut Criterion) {
+    let fixture = Fixture::new(10_000);
+    let g = fixture.graph();
+    let n = g.node_count();
+    let cfg = config();
+    let v_x = 1.0 / n as f64;
+
+    c.bench_function("contribution_single_node_10k", |b| {
+        b.iter(|| black_box(contribution_of_node(g, NodeId(0), v_x, &cfg)))
+    });
+
+    let set: Vec<NodeId> = fixture.core.as_vec();
+    c.bench_function("contribution_core_set_10k", |b| {
+        b.iter(|| black_box(contribution_of_set(g, &set, &cfg)))
+    });
+
+    c.bench_function("walk_sum_truncated_10k_len100", |b| {
+        b.iter(|| black_box(walk_sum_truncated(g, NodeId(0), v_x, 0.85, 100)))
+    });
+}
+
+criterion_group!(benches, bench_contributions);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Algorithm 2 filtering/labelling throughput (the cheap part the paper
+//! runs once the mass estimates exist), plus threshold sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spammass_bench::Fixture;
+use spammass_core::detector::{candidate_pool, detect, DetectorConfig};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_pagerank::PageRankConfig;
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let fixture = Fixture::new(40_000);
+    let estimate = MassEstimator::new(
+        EstimatorConfig::scaled(0.85)
+            .with_pagerank(PageRankConfig::default().tolerance(1e-10).max_iterations(200)),
+    )
+    .estimate(fixture.graph(), &fixture.core.as_vec());
+
+    c.bench_function("detect_single_threshold_40k", |b| {
+        b.iter(|| black_box(detect(&estimate, &DetectorConfig { rho: 10.0, tau: 0.98 })))
+    });
+
+    c.bench_function("detect_tau_sweep_40k", |b| {
+        b.iter(|| {
+            for tau in [0.99, 0.95, 0.9, 0.8, 0.7, 0.5, 0.3, 0.0] {
+                black_box(detect(&estimate, &DetectorConfig { rho: 10.0, tau }));
+            }
+        })
+    });
+
+    c.bench_function("candidate_pool_40k", |b| {
+        b.iter(|| black_box(candidate_pool(&estimate, 10.0)))
+    });
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regeneration cost of Figure 4: judged sample, group-derived threshold
+//! grid, and the two precision curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spammass_eval::context::{Context, ExperimentOptions};
+use spammass_eval::experiments::fig4;
+use spammass_eval::groups::{split_into_groups, thresholds_from_groups};
+use spammass_eval::precision::precision_curve;
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut opts = ExperimentOptions::test_scale();
+    opts.hosts = 20_000;
+    opts.rho = 10.0;
+    let ctx = Context::build(opts);
+
+    c.bench_function("fig4_full_curve_20k", |b| b.iter(|| black_box(fig4::curve(&ctx))));
+
+    let groups = split_into_groups(&ctx.sample, 20);
+    let taus = thresholds_from_groups(&groups);
+    let pool_masses = ctx.pool_masses();
+    c.bench_function("fig4_precision_only_20k", |b| {
+        b.iter(|| black_box(precision_curve(&ctx.sample, &taus, &pool_masses)))
+    });
+
+    c.bench_function("fig4_grouping_20k", |b| {
+        b.iter(|| black_box(split_into_groups(&ctx.sample, 20)))
+    });
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

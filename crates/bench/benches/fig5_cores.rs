@@ -1,0 +1,37 @@
+//! Regeneration cost of Figure 5: the five core-ablation arms (the
+//! dominant cost is one extra core-based PageRank per arm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_eval::context::{Context, ExperimentOptions};
+use spammass_eval::experiments::fig5;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut opts = ExperimentOptions::test_scale();
+    opts.hosts = 12_000;
+    let ctx = Context::build(opts);
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("all_arms_12k", |b| b.iter(|| black_box(fig5::arms(&ctx))));
+
+    // The marginal cost of one additional core arm.
+    let estimator = MassEstimator::new(
+        EstimatorConfig::scaled(0.85).with_pagerank(Context::pagerank_config()),
+    );
+    let small = ctx.core.sample_fraction(0.1, 9).as_vec();
+    group.bench_function("one_arm_12k", |b| {
+        b.iter(|| {
+            black_box(estimator.estimate_with_pagerank(
+                &ctx.scenario.graph,
+                &small,
+                ctx.estimate.pagerank.clone(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

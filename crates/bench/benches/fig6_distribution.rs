@@ -1,0 +1,27 @@
+//! Regeneration cost of Figure 6: the signed log-binned mass histogram and
+//! the positive-branch power-law fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spammass_eval::context::{Context, ExperimentOptions};
+use spammass_eval::histogram::SignedMassHistogram;
+use spammass_graph::powerlaw::fit_exponent_mle;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut opts = ExperimentOptions::test_scale();
+    opts.hosts = 20_000;
+    let ctx = Context::build(opts);
+    let scale = ctx.estimate.scale();
+    let scaled: Vec<f64> = ctx.estimate.absolute.iter().map(|&m| m * scale).collect();
+
+    c.bench_function("fig6_histogram_20k", |b| {
+        b.iter(|| black_box(SignedMassHistogram::build(scaled.iter().copied(), 1.0, 2.0)))
+    });
+
+    c.bench_function("fig6_powerlaw_fit_20k", |b| {
+        b.iter(|| black_box(fit_exponent_mle(scaled.iter().copied().filter(|&v| v > 0.0), 5.0)))
+    });
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Solver comparison: Jacobi (Algorithm 1), Gauss–Seidel, power iteration
+//! (eigen formulation), and the crossbeam-parallel Jacobi.
+//!
+//! Backs the paper's Section 2.2 remark that linear solvers "are regularly
+//! faster than the algorithms available for solving eigensystems".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spammass_bench::Fixture;
+use spammass_pagerank::{gauss_seidel, jacobi, parallel, power, JumpVector, PageRankConfig};
+use std::hint::black_box;
+
+fn config() -> PageRankConfig {
+    PageRankConfig::default().tolerance(1e-10).max_iterations(200)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagerank_solvers");
+    group.sample_size(10);
+    for hosts in [10_000usize, 40_000] {
+        let fixture = Fixture::new(hosts);
+        let g = fixture.graph();
+        let jump = JumpVector::Uniform;
+        let cfg = config();
+        group.bench_with_input(BenchmarkId::new("jacobi", hosts), &hosts, |b, _| {
+            b.iter(|| black_box(jacobi::solve_jacobi(g, &jump, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_seidel", hosts), &hosts, |b, _| {
+            b.iter(|| black_box(gauss_seidel::solve_gauss_seidel(g, &jump, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("power_iteration", hosts), &hosts, |b, _| {
+            b.iter(|| black_box(power::solve_power(g, &jump, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_jacobi", hosts), &hosts, |b, _| {
+            b.iter(|| black_box(parallel::solve_parallel_jacobi(g, &jump, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_jump(c: &mut Criterion) {
+    // The second PageRank run of the method: γ-scaled core jump vector.
+    let fixture = Fixture::new(20_000);
+    let g = fixture.graph();
+    let jump = JumpVector::scaled_core(fixture.core.as_vec(), 0.85);
+    let cfg = config();
+    c.bench_function("pagerank_core_jump_20k", |b| {
+        b.iter(|| black_box(jacobi::solve_jacobi(g, &jump, &cfg)))
+    });
+}
+
+criterion_group!(benches, bench_solvers, bench_core_jump);
+criterion_main!(benches);

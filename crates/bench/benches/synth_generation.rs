@@ -1,0 +1,19 @@
+//! Synthetic web generation cost by scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spammass_synth::scenario::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_generation");
+    group.sample_size(10);
+    for hosts in [5_000usize, 20_000, 60_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| black_box(Scenario::generate(&ScenarioConfig::sized(hosts), 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Minimal flag parser (`--key value` pairs plus positional subcommand).
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed command line: the subcommand plus its `--flag value` options.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses `args` (without the program name).
+    pub fn parse(args: &[String]) -> Result<ParsedArgs, CliError> {
+        let mut it = args.iter();
+        let command = it
+            .next()
+            .ok_or_else(|| CliError::Usage("no subcommand given".into()))?
+            .clone();
+        if command.starts_with("--") {
+            return Err(CliError::Usage(format!(
+                "expected a subcommand before {command}"
+            )));
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected positional argument {flag:?}")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+            if flags.insert(name.to_string(), value.clone()).is_some() {
+                return Err(CliError::Usage(format!("--{name} given twice")));
+            }
+        }
+        Ok(ParsedArgs { command, flags })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// An optional flag parsed into `T`, with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// Rejects flags outside the allowed set (typo protection).
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(CliError::Usage(format!(
+                    "unknown flag --{k} for `{}` (allowed: {})",
+                    self.command,
+                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ParsedArgs, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        ParsedArgs::parse(&v)
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["detect", "--graph", "g.bin", "--tau", "0.9"]).unwrap();
+        assert_eq!(a.command, "detect");
+        assert_eq!(a.required("graph").unwrap(), "g.bin");
+        assert_eq!(a.parsed_or("tau", 0.5f64).unwrap(), 0.9);
+        assert_eq!(a.parsed_or("rho", 10.0f64).unwrap(), 10.0);
+        assert_eq!(a.optional("labels"), None);
+    }
+
+    #[test]
+    fn rejects_missing_subcommand_and_values() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--graph", "x"]).is_err());
+        assert!(parse(&["stats", "--graph"]).is_err());
+        assert!(parse(&["stats", "stray"]).is_err());
+        assert!(parse(&["stats", "--g", "a", "--g", "b"]).is_err());
+    }
+
+    #[test]
+    fn required_and_parse_errors() {
+        let a = parse(&["estimate", "--gamma", "nope"]).unwrap();
+        assert!(a.required("core").is_err());
+        assert!(a.parsed_or("gamma", 0.85f64).is_err());
+    }
+
+    #[test]
+    fn expect_only_catches_typos() {
+        let a = parse(&["stats", "--grpah", "x"]).unwrap();
+        assert!(a.expect_only(&["graph"]).is_err());
+        let b = parse(&["stats", "--graph", "x"]).unwrap();
+        assert!(b.expect_only(&["graph"]).is_ok());
+    }
+}

@@ -1,0 +1,134 @@
+//! `spammass estimate` — compute spam-mass estimates for every host and
+//! write them as TSV.
+
+use crate::args::ParsedArgs;
+use crate::loading::{display_node, load_core, load_graph, load_labels};
+use crate::CliError;
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_graph::NodeId;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Runs the subcommand.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&["graph", "core", "labels", "gamma", "out", "top"])?;
+    let graph = load_graph(Path::new(args.required("graph")?))?;
+    let labels = match args.optional("labels") {
+        Some(p) => Some(load_labels(Path::new(p))?),
+        None => None,
+    };
+    let core = load_core(Path::new(args.required("core")?), labels.as_ref(), graph.node_count())?;
+    let gamma: f64 = args.parsed_or("gamma", 0.85)?;
+    if !(0.0..=1.0).contains(&gamma) {
+        return Err(CliError::Usage(format!("--gamma {gamma} outside [0, 1]")));
+    }
+    let top: usize = args.parsed_or("top", 20)?;
+
+    let estimate = MassEstimator::new(EstimatorConfig::scaled(gamma)).estimate(&graph, &core);
+
+    if let Some(out_path) = args.optional("out") {
+        let mut tsv = String::from("# node\thost\tscaled_p\tscaled_p_core\tscaled_abs_mass\trel_mass\n");
+        for x in graph.nodes() {
+            let _ = writeln!(
+                tsv,
+                "{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
+                x.0,
+                display_node(labels.as_ref(), x),
+                estimate.scaled_pagerank(x),
+                estimate.scaled_core_pagerank(x),
+                estimate.scaled_absolute(x),
+                estimate.relative_of(x),
+            );
+        }
+        std::fs::write(out_path, tsv)?;
+    }
+
+    // Console summary: the highest relative masses among substantial hosts.
+    let mut ranked: Vec<NodeId> = graph.nodes().collect();
+    ranked.sort_by(|&a, &b| {
+        estimate
+            .relative_of(b)
+            .partial_cmp(&estimate.relative_of(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "core: {} hosts, gamma = {gamma}; coverage ||p'||/||p|| = {:.4}",
+        core.len(),
+        estimate.coverage_ratio()
+    );
+    let _ = writeln!(out, "{:>10} {:>8}  host (top relative mass, scaled p >= 2)", "scaled p", "m~");
+    for &x in ranked.iter().filter(|&&x| estimate.scaled_pagerank(x) >= 2.0).take(top) {
+        let _ = writeln!(
+            out,
+            "{:>10.2} {:>8.4}  {}",
+            estimate.scaled_pagerank(x),
+            estimate.relative_of(x),
+            display_node(labels.as_ref(), x)
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::{io, GraphBuilder};
+    use std::fs;
+
+    fn setup() -> (std::path::PathBuf, std::path::PathBuf) {
+        // Star farm: 1..=5 -> 0; good host 6 -> 7 with 7 in core.
+        let mut edges: Vec<(u32, u32)> = (1..=5).map(|i| (i, 0)).collect();
+        edges.push((6, 7));
+        edges.push((7, 6));
+        let g = GraphBuilder::from_edges(8, &edges);
+        let d = std::env::temp_dir().join("spammass-cli-estimate");
+        fs::create_dir_all(&d).unwrap();
+        let gp = d.join("g.bin");
+        fs::write(&gp, io::graph_to_bytes(&g)).unwrap();
+        let cp = d.join("core.txt");
+        fs::write(&cp, "7\n").unwrap();
+        (gp, cp)
+    }
+
+    #[test]
+    fn estimates_and_writes_tsv() {
+        let (gp, cp) = setup();
+        let out_path = std::env::temp_dir().join("spammass-cli-estimate/mass.tsv");
+        let args = ParsedArgs::parse(
+            &[
+                "estimate",
+                "--graph", gp.to_str().unwrap(),
+                "--core", cp.to_str().unwrap(),
+                "--out", out_path.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("core: 1 hosts"));
+
+        let tsv = fs::read_to_string(&out_path).unwrap();
+        assert_eq!(tsv.lines().count(), 9); // header + 8 nodes
+        // The farm target (node 0) carries relative mass ~1.
+        let target_line = tsv.lines().find(|l| l.starts_with("0\t")).unwrap();
+        let rel: f64 = target_line.rsplit('\t').next().unwrap().parse().unwrap();
+        assert!(rel > 0.99, "target m~ = {rel}");
+    }
+
+    #[test]
+    fn rejects_bad_gamma() {
+        let (gp, cp) = setup();
+        let args = ParsedArgs::parse(
+            &["estimate", "--graph", gp.to_str().unwrap(), "--core", cp.to_str().unwrap(), "--gamma", "2.0"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+}

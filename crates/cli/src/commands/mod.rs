@@ -1,0 +1,34 @@
+//! Subcommand implementations. Each returns the text it would print, so
+//! the commands are unit-testable without spawning processes.
+
+pub mod detect;
+pub mod estimate;
+pub mod generate;
+pub mod pagerank;
+pub mod stats;
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+
+/// Dispatches a parsed command line; returns the report text to print.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => generate::run(args),
+        "stats" => stats::run(args),
+        "pagerank" => pagerank::run(args),
+        "estimate" => estimate::run(args),
+        "detect" => detect::run(args),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_subcommand_is_usage_error() {
+        let args = ParsedArgs::parse(&["frobnicate".to_string()]).unwrap();
+        assert!(matches!(dispatch(&args), Err(CliError::Usage(_))));
+    }
+}

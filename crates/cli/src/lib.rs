@@ -1,0 +1,72 @@
+//! # spammass-cli
+//!
+//! Command-line toolkit around the spam-mass library:
+//!
+//! ```text
+//! spammass generate --hosts 60000 --seed 42 --out web.graph [--labels hosts.txt] [--truth truth.tsv] [--core core.txt]
+//! spammass stats    --graph web.graph
+//! spammass pagerank --graph web.graph [--solver jacobi|gauss-seidel|power|parallel] [--top 20]
+//! spammass estimate --graph web.graph --core core.txt [--gamma 0.85] [--out mass.tsv]
+//! spammass detect   --graph web.graph --core core.txt [--rho 10] [--tau 0.98] [--labels hosts.txt]
+//! ```
+//!
+//! Graph files are auto-detected: the binary image format of
+//! [`spammass_graph::io`] (magic `SPAMGRPH`) or a text edge list. Core
+//! files hold one entry per line — either a numeric node id or a host
+//! name resolved against `--labels`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+pub mod loading;
+
+use std::fmt;
+
+/// CLI-level errors (argument problems, I/O, file-format trouble).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad or missing command-line arguments; the string is user-facing.
+    Usage(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Graph or core file could not be parsed.
+    Format(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<spammass_graph::GraphError> for CliError {
+    fn from(e: spammass_graph::GraphError) -> Self {
+        CliError::Format(e.to_string())
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+spammass — link spam detection based on mass estimation
+
+USAGE:
+  spammass generate --hosts N [--seed S] --out FILE [--labels FILE] [--truth FILE] [--core FILE]
+  spammass stats    --graph FILE
+  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--labels FILE]
+  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE]
+  spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T]
+";

@@ -1,0 +1,149 @@
+//! File loading helpers: auto-detected graph formats, label tables, and
+//! core lists.
+
+use crate::CliError;
+use spammass_graph::{io, Graph, NodeId, NodeLabels};
+use std::fs;
+use std::path::Path;
+
+/// Loads a graph, auto-detecting the binary image (magic `SPAMGRPH`)
+/// versus text edge-list format.
+pub fn load_graph(path: &Path) -> Result<Graph, CliError> {
+    let data = fs::read(path)?;
+    if data.starts_with(b"SPAMGRPH") {
+        Ok(io::graph_from_bytes(&data)?)
+    } else {
+        Ok(io::read_edge_list(&data[..])?)
+    }
+}
+
+/// Loads a label table (one host per line; line number = node id).
+pub fn load_labels(path: &Path) -> Result<NodeLabels, CliError> {
+    let file = fs::File::open(path)?;
+    Ok(io::read_labels(file)?)
+}
+
+/// Loads a core file: one entry per line, `#` comments allowed; entries
+/// are node ids, or host names when `labels` is available.
+pub fn load_core(
+    path: &Path,
+    labels: Option<&NodeLabels>,
+    node_count: usize,
+) -> Result<Vec<NodeId>, CliError> {
+    let text = fs::read_to_string(path)?;
+    let mut core = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let entry = line.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        let node = if let Ok(id) = entry.parse::<u32>() {
+            NodeId(id)
+        } else if let Some(labels) = labels {
+            labels.id(entry).ok_or_else(|| {
+                CliError::Format(format!("line {}: unknown host {entry:?}", lineno + 1))
+            })?
+        } else {
+            return Err(CliError::Format(format!(
+                "line {}: {entry:?} is not a node id and no --labels file was given",
+                lineno + 1
+            )));
+        };
+        if node.index() >= node_count {
+            return Err(CliError::Format(format!(
+                "line {}: node {node} out of range for {node_count}-node graph",
+                lineno + 1
+            )));
+        }
+        core.push(node);
+    }
+    if core.is_empty() {
+        return Err(CliError::Format("core file contains no entries".into()));
+    }
+    core.sort_unstable();
+    core.dedup();
+    Ok(core)
+}
+
+/// Formats a node for output: its host name when labels are present,
+/// otherwise the numeric id.
+pub fn display_node(labels: Option<&NodeLabels>, x: NodeId) -> String {
+    labels
+        .and_then(|l| l.name(x))
+        .map(|h| h.to_string())
+        .unwrap_or_else(|| x.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::GraphBuilder;
+    use std::io::Write;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("spammass-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(name);
+        let mut f = fs::File::create(&p).unwrap();
+        f.write_all(contents).unwrap();
+        p
+    }
+
+    #[test]
+    fn graph_autodetect_binary_and_text() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let bin = tmp("auto.bin", &io::graph_to_bytes(&g));
+        let loaded = load_graph(&bin).unwrap();
+        assert_eq!(loaded.edge_count(), 2);
+
+        let txt = tmp("auto.txt", b"# nodes: 3\n0 1\n1 2\n");
+        let loaded = load_graph(&txt).unwrap();
+        assert_eq!(loaded.node_count(), 3);
+        assert_eq!(loaded.edge_count(), 2);
+    }
+
+    #[test]
+    fn core_by_ids_and_names() {
+        let mut labels = NodeLabels::new();
+        labels.push("a.gov");
+        labels.push("b.edu");
+        labels.push("c.com");
+
+        let by_id = tmp("core_ids.txt", b"# comment\n0\n2\n0\n");
+        let core = load_core(&by_id, None, 3).unwrap();
+        assert_eq!(core, vec![NodeId(0), NodeId(2)]);
+
+        let by_name = tmp("core_names.txt", b"b.edu\nA.GOV\n");
+        let core = load_core(&by_name, Some(&labels), 3).unwrap();
+        assert_eq!(core, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn core_error_paths() {
+        let labels = {
+            let mut l = NodeLabels::new();
+            l.push("a.gov");
+            l
+        };
+        let unknown = tmp("core_unknown.txt", b"nosuch.host\n");
+        assert!(load_core(&unknown, Some(&labels), 1).is_err());
+
+        let no_labels = tmp("core_nolabels.txt", b"a.gov\n");
+        assert!(load_core(&no_labels, None, 1).is_err());
+
+        let out_of_range = tmp("core_oor.txt", b"99\n");
+        assert!(load_core(&out_of_range, None, 3).is_err());
+
+        let empty = tmp("core_empty.txt", b"# nothing\n");
+        assert!(load_core(&empty, None, 3).is_err());
+    }
+
+    #[test]
+    fn display_node_prefers_labels() {
+        let mut labels = NodeLabels::new();
+        labels.push("x.com");
+        assert_eq!(display_node(Some(&labels), NodeId(0)), "x.com");
+        assert_eq!(display_node(Some(&labels), NodeId(5)), "5");
+        assert_eq!(display_node(None, NodeId(2)), "2");
+    }
+}

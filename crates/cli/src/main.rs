@@ -1,0 +1,32 @@
+//! The `spammass` binary.
+
+use spammass_cli::args::ParsedArgs;
+use spammass_cli::{commands, CliError, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        eprint!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match ParsedArgs::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    match commands::dispatch(&parsed) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn fail(e: CliError) -> ExitCode {
+    eprintln!("error: {e}");
+    if matches!(e, CliError::Usage(_)) {
+        eprint!("{USAGE}");
+    }
+    ExitCode::FAILURE
+}

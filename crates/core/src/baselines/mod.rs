@@ -1,0 +1,24 @@
+//! The link-spam detection baselines the paper surveys in Section 5.
+//!
+//! "A number of recent publications propose link spam detection methods"
+//! — the paper contrasts spam mass with two families and predicts their
+//! failure modes; both are implemented here so the comparison can be run:
+//!
+//! * [`degree_outlier`] — Fetterly, Manasse & Najork, *Spam, damn spam,
+//!   and statistics* (WebDB 2004): most degree values occur about as often
+//!   as a power law predicts; degree values shared by "substantially more
+//!   pages than predicted" are overwhelmingly machine-generated spam.
+//!   Catches regular auto-generated farms; misses anything irregular.
+//! * [`reciprocity`] — the collusion-detection family (Wu & Davison,
+//!   WWW 2005; Gibson et al., VLDB 2005; Zhang et al., WAW 2004): heavily
+//!   inter-linked groups — mutual-link density far above the web's
+//!   baseline — are boosting each other. Catches tight farms; flags
+//!   legitimate mutually-linked communities too ("certain reputable pages
+//!   are colluding as well ... the number of false positives ... is
+//!   large").
+//!
+//! The `experiments -- baselines` comparison shows both effects against
+//! mass-based detection.
+
+pub mod degree_outlier;
+pub mod reciprocity;

@@ -1,0 +1,169 @@
+//! Collusion detection via link reciprocity (the Wu & Davison / Gibson /
+//! Zhang family the paper surveys in Section 5).
+//!
+//! Colluding groups boost each other, so their members show an unusually
+//! high share of **reciprocal** links (`x → y` and `y → x`). The web's
+//! baseline reciprocity is low; a node whose out-links are mostly
+//! reciprocated, with enough links to matter, is probably inside a
+//! boosting arrangement.
+//!
+//! The paper's criticism — "certain reputable pages are colluding as
+//! well, so ... the number of false positives ... is large. Therefore,
+//! collusion detection is best used for penalizing ... as opposed to
+//! reliably pinpointing spam" — shows up directly in the comparative
+//! experiment: community hubs and interlinked platforms get flagged.
+
+use spammass_graph::{Graph, NodeId};
+
+/// Configuration of the reciprocity detector.
+#[derive(Debug, Clone, Copy)]
+pub struct ReciprocityConfig {
+    /// Minimum number of out-links before a node is judged.
+    pub min_out_links: usize,
+    /// Reciprocal share of out-links at or above which a node is flagged.
+    pub threshold: f64,
+}
+
+impl Default for ReciprocityConfig {
+    fn default() -> Self {
+        ReciprocityConfig { min_out_links: 3, threshold: 0.75 }
+    }
+}
+
+/// Reciprocity of one node: the fraction of its out-links that are
+/// reciprocated (`0.0` for nodes without out-links).
+///
+/// Both adjacency lists are sorted, so the intersection is a linear merge.
+pub fn reciprocity(graph: &Graph, x: NodeId) -> f64 {
+    let outs = graph.out_neighbors(x);
+    if outs.is_empty() {
+        return 0.0;
+    }
+    let ins = graph.in_neighbors(x);
+    let mut i = 0;
+    let mut j = 0;
+    let mut mutual = 0usize;
+    while i < outs.len() && j < ins.len() {
+        match outs[i].cmp(&ins[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                mutual += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    mutual as f64 / outs.len() as f64
+}
+
+/// Flags all nodes whose reciprocity meets the configuration.
+pub fn high_reciprocity_nodes(graph: &Graph, config: &ReciprocityConfig) -> Vec<NodeId> {
+    graph
+        .nodes()
+        .filter(|&x| {
+            graph.out_degree(x) >= config.min_out_links
+                && reciprocity(graph, x) >= config.threshold
+        })
+        .collect()
+}
+
+/// Mean reciprocity over nodes with at least `min_out_links` out-links —
+/// the web-wide baseline the threshold is calibrated against.
+pub fn mean_reciprocity(graph: &Graph, min_out_links: usize) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for x in graph.nodes() {
+        if graph.out_degree(x) >= min_out_links {
+            total += reciprocity(graph, x);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::GraphBuilder;
+
+    #[test]
+    fn reciprocity_values() {
+        // 0 <-> 1, 0 -> 2 (unreciprocated), 3 isolated.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 0), (0, 2)]);
+        assert!((reciprocity(&g, NodeId(0)) - 0.5).abs() < 1e-12);
+        assert!((reciprocity(&g, NodeId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(reciprocity(&g, NodeId(2)), 0.0);
+        assert_eq!(reciprocity(&g, NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn flags_mutual_clique() {
+        // A 4-clique of mutual links plus a chain.
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.push((4, 5));
+        edges.push((5, 6));
+        let g = GraphBuilder::from_edges(7, &edges);
+        let flagged = high_reciprocity_nodes(&g, &ReciprocityConfig::default());
+        assert_eq!(flagged, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn respects_min_out_links() {
+        // A mutual pair has reciprocity 1.0 but only one out-link each.
+        let g = GraphBuilder::from_edges(2, &[(0, 1), (1, 0)]);
+        let flagged = high_reciprocity_nodes(&g, &ReciprocityConfig::default());
+        assert!(flagged.is_empty());
+        let loose = ReciprocityConfig { min_out_links: 1, ..Default::default() };
+        assert_eq!(high_reciprocity_nodes(&g, &loose).len(), 2);
+    }
+
+    #[test]
+    fn catches_backlinked_star_farm() {
+        // Boosters -> target and target -> every booster: the optimal farm
+        // is ALL reciprocal links — collusion detection's best case.
+        let b_count = 20u32;
+        let mut edges = Vec::new();
+        for i in 1..=b_count {
+            edges.push((i, 0));
+            edges.push((0, i));
+        }
+        let g = GraphBuilder::from_edges(b_count as usize + 1, &edges);
+        let flagged = high_reciprocity_nodes(
+            &g,
+            &ReciprocityConfig { min_out_links: 3, threshold: 0.9 },
+        );
+        assert!(flagged.contains(&NodeId(0)), "target is fully reciprocal");
+    }
+
+    #[test]
+    fn misses_pure_star_farm() {
+        // Without back-links there is nothing reciprocal to see — the
+        // blind spot mass estimation does not share.
+        let b_count = 20u32;
+        let edges: Vec<(u32, u32)> = (1..=b_count).map(|i| (i, 0)).collect();
+        let g = GraphBuilder::from_edges(b_count as usize + 1, &edges);
+        let flagged = high_reciprocity_nodes(&g, &ReciprocityConfig::default());
+        assert!(flagged.is_empty());
+    }
+
+    #[test]
+    fn mean_reciprocity_baseline() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 0), (2, 3)]);
+        let m = mean_reciprocity(&g, 1);
+        // Nodes with out-links: 0 (1.0), 1 (1.0), 2 (0.0) -> 2/3.
+        assert!((m - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(mean_reciprocity(&g, 5), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Algorithm 2: mass-based spam detection (Section 3.6).
+//!
+//! ```text
+//! input : good core Ṽ⁺, relative mass threshold τ, PageRank threshold ρ
+//! output: set of spam candidates S
+//!
+//! S ← ∅
+//! compute PageRank scores p
+//! construct w based on Ṽ⁺ and compute p′
+//! m̃ ← (p − p′)/p
+//! for each node x with p_x ≥ ρ:
+//!     if m̃_x ≥ τ: S ← S ∪ {x}
+//! ```
+//!
+//! ρ is quoted on the paper's scaled axis (`n/(1−c)` scaling; ρ = 10 in
+//! the Yahoo! experiments, 1.5 in the worked Figure 2 example). The
+//! rationale for the PageRank floor (Section 3.6): low-PageRank nodes are
+//! not significant spam beneficiaries, their mass estimates rest on little
+//! evidence, and tiny absolute errors explode into huge relative-mass
+//! errors.
+
+use crate::estimate::MassEstimate;
+use spammass_graph::NodeId;
+
+/// Thresholds of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// PageRank threshold ρ on the **scaled** score (`n/(1−c)` scale).
+    pub rho: f64,
+    /// Relative-mass threshold τ.
+    pub tau: f64,
+}
+
+impl Default for DetectorConfig {
+    /// The Yahoo! experiment setting: ρ = 10, τ = 0.98 (the threshold at
+    /// which Figure 4 reports ~100% precision with anomalies excluded).
+    fn default() -> Self {
+        DetectorConfig { rho: 10.0, tau: 0.98 }
+    }
+}
+
+/// Result of running the detector.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Spam candidates `S`, ascending by node id.
+    pub candidates: Vec<NodeId>,
+    /// Number of nodes that passed the PageRank filter (`|T|`).
+    pub considered: usize,
+    /// The thresholds used.
+    pub config: DetectorConfig,
+}
+
+impl Detection {
+    /// Whether `x` was flagged.
+    pub fn is_candidate(&self, x: NodeId) -> bool {
+        self.candidates.binary_search(&x).is_ok()
+    }
+
+    /// Number of candidates `|S|`.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether no candidate was flagged.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+/// Runs the filtering/labelling steps of Algorithm 2 on a pre-computed
+/// mass estimate.
+///
+/// Splitting estimation from detection mirrors Section 4.4 ("with relative
+/// mass values already available, only the filtering and labeling steps
+/// ... were to be performed") and makes τ/ρ sweeps (Figures 4–5) cheap.
+pub fn detect(estimate: &MassEstimate, config: &DetectorConfig) -> Detection {
+    detect_raw(&estimate.pagerank, &estimate.relative, estimate.scale(), config)
+}
+
+/// Algorithm 2 on raw score vectors: `pagerank` (unscaled), a relative
+/// mass vector, and the `n/(1−c)` scale factor that maps `config.rho`
+/// onto the raw scores.
+///
+/// Use this when the relative-mass vector comes from something other
+/// than a [`MassEstimate`] — a spam-core estimate `m̂ = M̂/p`, a combined
+/// estimator, or an external scoring source.
+pub fn detect_raw(
+    pagerank: &[f64],
+    relative: &[f64],
+    scale: f64,
+    config: &DetectorConfig,
+) -> Detection {
+    assert_eq!(pagerank.len(), relative.len(), "score length mismatch");
+    if pagerank.is_empty() || scale <= 0.0 {
+        return Detection { candidates: Vec::new(), considered: 0, config: *config };
+    }
+    let raw_rho = config.rho / scale;
+    let mut candidates = Vec::new();
+    let mut considered = 0usize;
+    for (i, (&p, &m)) in pagerank.iter().zip(relative).enumerate() {
+        if p >= raw_rho {
+            considered += 1;
+            if m >= config.tau {
+                candidates.push(NodeId::from_index(i));
+            }
+        }
+    }
+    Detection { candidates, considered, config: *config }
+}
+
+/// The candidate pool `T` — nodes whose scaled PageRank is at least ρ —
+/// without applying the mass threshold. This is the population the paper
+/// samples for evaluation (Section 4.4: ρ = 10 gave |T| = 883,328).
+pub fn candidate_pool(estimate: &MassEstimate, rho: f64) -> Vec<NodeId> {
+    let raw_rho = rho / estimate.scale();
+    estimate
+        .pagerank
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p >= raw_rho)
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{EstimatorConfig, MassEstimator};
+    use crate::examples_paper::figure2;
+    use spammass_pagerank::PageRankConfig;
+
+    fn fig2_estimate() -> MassEstimate {
+        let f = figure2();
+        MassEstimator::new(
+            EstimatorConfig::unscaled()
+                .with_pagerank(PageRankConfig::default().tolerance(1e-14).max_iterations(10_000)),
+        )
+        .estimate(&f.graph, &f.good_core())
+    }
+
+    #[test]
+    fn section_3_6_worked_example() {
+        // ρ = 1.5, τ = 0.5 on Figure 2 flags exactly {x, g2, s0}:
+        // x and s0 correctly, g2 as the false positive caused by the
+        // incomplete core.
+        let f = figure2();
+        let est = fig2_estimate();
+        let det = detect(&est, &DetectorConfig { rho: 1.5, tau: 0.5 });
+        assert!(det.is_candidate(f.x));
+        assert!(det.is_candidate(f.s[0]));
+        assert!(det.is_candidate(f.g[2]), "g2 is the documented false positive");
+        assert_eq!(det.len(), 3);
+        // g0 is excluded: m̃ = 0.31 < τ.
+        assert!(!det.is_candidate(f.g[0]));
+        // Nodes with scaled PageRank 1 < ρ are never considered:
+        // T = {x, g0, g2, s0}.
+        assert_eq!(det.considered, 4);
+    }
+
+    #[test]
+    fn raising_tau_never_adds_candidates() {
+        let est = fig2_estimate();
+        let low = detect(&est, &DetectorConfig { rho: 1.5, tau: 0.3 });
+        let high = detect(&est, &DetectorConfig { rho: 1.5, tau: 0.7 });
+        assert!(high.len() <= low.len());
+        for c in &high.candidates {
+            assert!(low.is_candidate(*c));
+        }
+    }
+
+    #[test]
+    fn raising_rho_never_adds_candidates() {
+        let est = fig2_estimate();
+        let low = detect(&est, &DetectorConfig { rho: 1.0, tau: 0.5 });
+        let high = detect(&est, &DetectorConfig { rho: 4.0, tau: 0.5 });
+        assert!(high.len() <= low.len());
+        for c in &high.candidates {
+            assert!(low.is_candidate(*c));
+        }
+    }
+
+    #[test]
+    fn candidate_pool_matches_considered() {
+        let est = fig2_estimate();
+        let pool = candidate_pool(&est, 1.5);
+        let det = detect(&est, &DetectorConfig { rho: 1.5, tau: 0.5 });
+        assert_eq!(pool.len(), det.considered);
+    }
+
+    #[test]
+    fn default_config_is_paper_setting() {
+        let d = DetectorConfig::default();
+        assert_eq!(d.rho, 10.0);
+        assert_eq!(d.tau, 0.98);
+    }
+
+    #[test]
+    fn is_candidate_on_empty_detection() {
+        let est = fig2_estimate();
+        let det = detect(&est, &DetectorConfig { rho: 1000.0, tau: 0.99 });
+        assert!(det.is_empty());
+        assert!(!det.is_candidate(spammass_graph::NodeId(0)));
+    }
+}

@@ -1,0 +1,381 @@
+//! Spam-mass estimation from partial knowledge (Sections 3.4–3.5,
+//! Definition 3).
+//!
+//! Only a **good core** `Ṽ⁺ ⊆ V⁺` is assumed known. Two PageRank runs
+//! produce the estimate:
+//!
+//! 1. `p = PR(v)` — regular PageRank under the uniform jump;
+//! 2. `p′ = PR(w)` — core-based PageRank, where `w` is either
+//!    * the plain restriction `v^{Ṽ⁺}` (entries `1/n` on the core —
+//!      Section 3.4, used in the Table 1 example), or
+//!    * the **γ-scaled** vector with `‖w‖ = γ ≈ |V⁺|/n` (Section 3.5) —
+//!      required on real webs where `|Ṽ⁺| ≪ |V⁺|` would otherwise make
+//!      `p′` negligible and `M̃ ≈ p` for everyone.
+//!
+//! Then `M̃ = p − p′` and `m̃ = 1 − p′_x/p_x`. Under the scaled vector,
+//! core members and their heavy beneficiaries get **negative** mass —
+//! the paper treats negative mass as a strong goodness signal.
+//!
+//! The dual estimator from a known **spam core** (`M̂ = PR(v^{Ṽ⁻})`) and
+//! the combination scheme `(M̃ + M̂)/2` from the end of Section 3.4 are
+//! also provided.
+
+use crate::mass::relative_mass;
+use spammass_graph::{Graph, NodeId};
+use spammass_pagerank::{jacobi, JumpVector, PageRankConfig};
+
+/// How the core-based random jump vector is scaled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoreScaling {
+    /// Plain `v^{Ṽ⁺}`: `1/n` per core node (Section 3.4).
+    Unscaled,
+    /// `w` with total mass `γ` — the estimated good fraction of the web
+    /// (Section 3.5; the paper uses γ = 0.85).
+    Gamma(f64),
+}
+
+/// Configuration of the mass estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorConfig {
+    /// Underlying PageRank solver parameters.
+    pub pagerank: PageRankConfig,
+    /// Core jump scaling.
+    pub scaling: CoreScaling,
+}
+
+impl EstimatorConfig {
+    /// Section 3.4 setting: unscaled core vector.
+    pub fn unscaled() -> Self {
+        EstimatorConfig { pagerank: PageRankConfig::default(), scaling: CoreScaling::Unscaled }
+    }
+
+    /// Section 3.5 / Section 4.3 setting: γ-scaled core vector
+    /// (the paper's production choice, γ = 0.85).
+    pub fn scaled(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        EstimatorConfig { pagerank: PageRankConfig::default(), scaling: CoreScaling::Gamma(gamma) }
+    }
+
+    /// Replaces the PageRank solver configuration, builder-style.
+    pub fn with_pagerank(mut self, pr: PageRankConfig) -> Self {
+        self.pagerank = pr;
+        self
+    }
+}
+
+impl Default for EstimatorConfig {
+    /// The paper's production configuration: γ = 0.85.
+    fn default() -> Self {
+        EstimatorConfig::scaled(0.85)
+    }
+}
+
+/// The estimator: computes [`MassEstimate`]s from a graph and a good core.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MassEstimator {
+    config: EstimatorConfig,
+}
+
+impl MassEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        MassEstimator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// Runs the two PageRank computations and derives mass estimates.
+    ///
+    /// # Panics
+    /// Panics if the core is empty or references nodes outside the graph.
+    pub fn estimate(&self, graph: &Graph, good_core: &[NodeId]) -> MassEstimate {
+        let n = graph.node_count();
+        let v = JumpVector::Uniform.materialize(n).expect("uniform jump");
+        let p = jacobi::solve_jacobi_dense(graph, &v, &self.config.pagerank).scores;
+        self.estimate_with_pagerank(graph, good_core, p)
+    }
+
+    /// Same as [`estimate`](Self::estimate), but reuses an existing regular
+    /// PageRank vector `p` — the Section 4.5 core-size ablation recomputes
+    /// only `p′` per core.
+    pub fn estimate_with_pagerank(
+        &self,
+        graph: &Graph,
+        good_core: &[NodeId],
+        pagerank: Vec<f64>,
+    ) -> MassEstimate {
+        let n = graph.node_count();
+        self.config
+            .pagerank
+            .validate()
+            .expect("invalid PageRank configuration");
+        assert_eq!(pagerank.len(), n, "pagerank vector length mismatch");
+        assert!(!good_core.is_empty(), "good core must be non-empty");
+
+        let jump = match self.config.scaling {
+            CoreScaling::Unscaled => JumpVector::core(good_core.to_vec(), n),
+            CoreScaling::Gamma(gamma) => JumpVector::scaled_core(good_core.to_vec(), gamma),
+        };
+        let w = jump.materialize(n).expect("core jump");
+        let p_core = jacobi::solve_jacobi_dense(graph, &w, &self.config.pagerank).scores;
+
+        let absolute: Vec<f64> = pagerank.iter().zip(&p_core).map(|(&p, &pc)| p - pc).collect();
+        let relative = relative_mass(&pagerank, &absolute);
+
+        MassEstimate {
+            pagerank,
+            core_pagerank: p_core,
+            absolute,
+            relative,
+            damping: self.config.pagerank.damping,
+        }
+    }
+}
+
+/// The output of mass estimation: `p`, `p′`, `M̃`, `m̃`.
+#[derive(Debug, Clone)]
+pub struct MassEstimate {
+    /// Regular PageRank `p`.
+    pub pagerank: Vec<f64>,
+    /// Core-based PageRank `p′` (the estimated good contribution).
+    pub core_pagerank: Vec<f64>,
+    /// Estimated absolute mass `M̃ = p − p′` (may be negative under γ
+    /// scaling).
+    pub absolute: Vec<f64>,
+    /// Estimated relative mass `m̃ = 1 − p′/p`.
+    pub relative: Vec<f64>,
+    damping: f64,
+}
+
+impl MassEstimate {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.pagerank.len()
+    }
+
+    /// Whether the estimate covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.pagerank.is_empty()
+    }
+
+    /// Damping factor the estimate was computed under.
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+
+    /// Scale factor `n/(1−c)`.
+    pub fn scale(&self) -> f64 {
+        self.len() as f64 / (1.0 - self.damping)
+    }
+
+    /// Scaled PageRank of `x`.
+    pub fn scaled_pagerank(&self, x: NodeId) -> f64 {
+        self.pagerank[x.index()] * self.scale()
+    }
+
+    /// Scaled core-based PageRank of `x`.
+    pub fn scaled_core_pagerank(&self, x: NodeId) -> f64 {
+        self.core_pagerank[x.index()] * self.scale()
+    }
+
+    /// Scaled estimated absolute mass of `x`.
+    pub fn scaled_absolute(&self, x: NodeId) -> f64 {
+        self.absolute[x.index()] * self.scale()
+    }
+
+    /// Estimated relative mass of `x`.
+    pub fn relative_of(&self, x: NodeId) -> f64 {
+        self.relative[x.index()]
+    }
+
+    /// Total estimated good contribution `‖p′‖` versus total PageRank
+    /// `‖p‖` — the diagnostic of Section 3.5 (`‖p′‖ ≪ ‖p‖` signals that
+    /// the core vector needs γ scaling).
+    pub fn coverage_ratio(&self) -> f64 {
+        let pc: f64 = self.core_pagerank.iter().sum();
+        let p: f64 = self.pagerank.iter().sum();
+        if p > 0.0 {
+            pc / p
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Absolute-mass estimate `M̂ = PR(v^{Ṽ⁻})` from a known **spam core**
+/// (Section 3.4, "the alternate situation that Ṽ⁻ is provided").
+pub fn estimate_from_spam_core(
+    graph: &Graph,
+    spam_core: &[NodeId],
+    config: &PageRankConfig,
+) -> Vec<f64> {
+    assert!(!spam_core.is_empty(), "spam core must be non-empty");
+    let n = graph.node_count();
+    let v = JumpVector::core(spam_core.to_vec(), n).materialize(n).expect("spam core jump");
+    jacobi::solve_jacobi_dense(graph, &v, config).scores
+}
+
+/// Combines a good-core estimate `M̃` and a spam-core estimate `M̂` by
+/// simple averaging `(M̃ + M̂)/2` (Section 3.4).
+pub fn combine_estimates(m_good: &[f64], m_spam: &[f64]) -> Vec<f64> {
+    assert_eq!(m_good.len(), m_spam.len(), "estimate length mismatch");
+    m_good.iter().zip(m_spam).map(|(&a, &b)| (a + b) / 2.0).collect()
+}
+
+/// Weighted combination: `λ·M̃ + (1−λ)·M̂`, the "more sophisticated
+/// combination scheme" sketched in Section 3.4, with the weight chosen
+/// from the relative trust in the two cores.
+pub fn combine_estimates_weighted(m_good: &[f64], m_spam: &[f64], lambda: f64) -> Vec<f64> {
+    assert_eq!(m_good.len(), m_spam.len(), "estimate length mismatch");
+    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+    m_good
+        .iter()
+        .zip(m_spam)
+        .map(|(&a, &b)| lambda * a + (1.0 - lambda) * b)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples_paper::{figure2, table1_expected};
+    use crate::mass::ExactMass;
+    use spammass_graph::GraphBuilder;
+
+    fn pr_cfg() -> PageRankConfig {
+        PageRankConfig::default().tolerance(1e-14).max_iterations(10_000)
+    }
+
+    #[test]
+    fn table1_estimated_columns() {
+        // The p′, M̃, m̃ columns of Table 1 under the unscaled core
+        // {g0, g1, g3}.
+        let f = figure2();
+        let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core());
+        let expect = table1_expected();
+        let rows: Vec<(&str, NodeId)> = vec![
+            ("x", f.x),
+            ("g0", f.g[0]),
+            ("g1", f.g[1]),
+            ("g2", f.g[2]),
+            ("g3", f.g[3]),
+            ("s0", f.s[0]),
+        ];
+        for (name, node) in rows {
+            let row = expect.iter().find(|(n, _)| *n == name).unwrap().1;
+            assert!(
+                (est.scaled_core_pagerank(node) - row.p_core).abs() < 1e-9,
+                "{name}: p′ {} vs {}",
+                est.scaled_core_pagerank(node),
+                row.p_core
+            );
+            assert!(
+                (est.scaled_absolute(node) - row.m_abs_est).abs() < 1e-9,
+                "{name}: M̃ {} vs {}",
+                est.scaled_absolute(node),
+                row.m_abs_est
+            );
+            assert!(
+                (est.relative_of(node) - row.m_rel_est).abs() < 1e-9,
+                "{name}: m̃ {} vs {}",
+                est.relative_of(node),
+                row.m_rel_est
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_mass_upper_bounds_exact_with_unscaled_core() {
+        // With Ṽ⁺ ⊆ V⁺ and no scaling, p′ ≤ q^{V⁺}, hence M̃ ≥ M ≥ 0.
+        let f = figure2();
+        let exact = ExactMass::compute(&f.graph, &f.partition(), &pr_cfg());
+        let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core());
+        for i in 0..12 {
+            assert!(est.absolute[i] >= exact.absolute[i] - 1e-12, "node {i}");
+            assert!(est.absolute[i] >= -1e-12);
+            assert!(est.relative[i] <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_scaling_produces_negative_mass_for_core_members() {
+        // Section 3.5: core members get boosted jump γ/|Ṽ⁺| > 1/n, so
+        // p′ can exceed p — negative estimated mass.
+        let f = figure2();
+        let est = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core());
+        for &g in &f.good_core() {
+            assert!(
+                est.absolute[g.index()] < 0.0,
+                "core member {g} should have negative estimated mass, got {}",
+                est.absolute[g.index()]
+            );
+        }
+        // Spam nodes with no good in-links keep full positive mass.
+        assert!(est.absolute[f.s[0].index()] > 0.0);
+        assert!((est.relative_of(f.s[0]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_ratio_reflects_scaling() {
+        // Tiny core without scaling -> tiny coverage; with γ -> near γ.
+        let f = figure2();
+        let unscaled = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core());
+        let scaled = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core());
+        assert!(scaled.coverage_ratio() > unscaled.coverage_ratio());
+    }
+
+    #[test]
+    fn spam_core_estimator_lower_bounds_exact_mass() {
+        // M̂ computed from a subset of V⁻ under-counts: M̂ ≤ M.
+        let f = figure2();
+        let exact = ExactMass::compute(&f.graph, &f.partition(), &pr_cfg());
+        let spam_subset = vec![f.s[0], f.s[1], f.s[2]];
+        let m_hat = estimate_from_spam_core(&f.graph, &spam_subset, &pr_cfg());
+        for i in 0..12 {
+            assert!(m_hat[i] <= exact.absolute[i] + 1e-12, "node {i}");
+        }
+    }
+
+    #[test]
+    fn combined_estimators() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 0.0];
+        assert_eq!(combine_estimates(&a, &b), vec![2.0, 1.0]);
+        assert_eq!(combine_estimates_weighted(&a, &b, 1.0), a);
+        assert_eq!(combine_estimates_weighted(&a, &b, 0.0), b);
+        let half = combine_estimates_weighted(&a, &b, 0.5);
+        assert_eq!(half, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn estimate_with_reused_pagerank_matches_fresh() {
+        let f = figure2();
+        let estimator = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()));
+        let fresh = estimator.estimate(&f.graph, &f.good_core());
+        let reused =
+            estimator.estimate_with_pagerank(&f.graph, &f.good_core(), fresh.pagerank.clone());
+        assert_eq!(fresh.absolute, reused.absolute);
+        assert_eq!(fresh.relative, reused.relative);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_core() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let _ = MassEstimator::default().estimate(&g, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        let _ = EstimatorConfig::scaled(1.5);
+    }
+}

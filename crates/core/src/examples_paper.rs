@@ -1,0 +1,316 @@
+//! The worked examples of the paper: the Figure 1 and Figure 2 graphs,
+//! with their known-good/known-spam labelling and the expected values from
+//! Section 3.1 and Table 1.
+//!
+//! These small graphs pin down the entire algebra of the method — the
+//! test-suite checks every number the paper prints for them.
+
+use crate::partition::Partition;
+use spammass_graph::{Graph, GraphBuilder, NodeId};
+
+/// The Figure 1 scenario: a target `x` with two good in-links and one
+/// in-link from a spam node `s0` that is itself boosted by `k` spam nodes.
+///
+/// Edges: `g0→x`, `g1→x`, `s0→x`, and `sᵢ→s0` for `i = 1..=k`.
+/// Closed forms (Section 3.1), on the raw scale:
+///
+/// * `p_x = (1 + 3c + k·c²)(1−c)/n`
+/// * spam part of `p_x` (contribution of `s0..sk`): `(c + k·c²)(1−c)/n`
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// The graph (n = 4 + k nodes).
+    pub graph: Graph,
+    /// The to-be-labelled target.
+    pub x: NodeId,
+    /// Known good in-neighbours of `x`.
+    pub good: [NodeId; 2],
+    /// The spam node linking to `x`.
+    pub s0: NodeId,
+    /// The boosting nodes `s1..=sk`.
+    pub boosters: Vec<NodeId>,
+}
+
+/// Builds the Figure 1 graph with `k` boosting nodes.
+pub fn figure1(k: usize) -> Figure1 {
+    let n = 4 + k;
+    let x = NodeId(0);
+    let g0 = NodeId(1);
+    let g1 = NodeId(2);
+    let s0 = NodeId(3);
+    let mut b = GraphBuilder::new(n);
+    b.add_edge(g0, x);
+    b.add_edge(g1, x);
+    b.add_edge(s0, x);
+    let boosters: Vec<NodeId> = (0..k).map(|i| NodeId(4 + i as u32)).collect();
+    for &s in &boosters {
+        b.add_edge(s, s0);
+    }
+    Figure1 { graph: b.build(), x, good: [g0, g1], s0, boosters }
+}
+
+impl Figure1 {
+    /// Expected raw PageRank of `x`: `(1 + 3c + k·c²)(1−c)/n`.
+    pub fn expected_px(&self, c: f64) -> f64 {
+        let n = self.graph.node_count() as f64;
+        let k = self.boosters.len() as f64;
+        (1.0 + 3.0 * c + k * c * c) * (1.0 - c) / n
+    }
+
+    /// Expected raw spam part of `p_x` — the contribution of `s0..sk`
+    /// (with `x` itself counted good): `(c + k·c²)(1−c)/n`.
+    pub fn expected_spam_part(&self, c: f64) -> f64 {
+        let n = self.graph.node_count() as f64;
+        let k = self.boosters.len() as f64;
+        (c + k * c * c) * (1.0 - c) / n
+    }
+
+    /// The full-knowledge partition with `x` labelled good (the paper asks
+    /// whether the spam part *alone* dominates).
+    pub fn partition_x_good(&self) -> Partition {
+        let mut spam = vec![self.s0];
+        spam.extend(&self.boosters);
+        Partition::from_spam_nodes(self.graph.node_count(), &spam)
+    }
+}
+
+/// The Figure 2 scenario of Sections 3.1–3.6 and Table 1.
+///
+/// 12 nodes: target `x`, good `g0..g3`, spam `s0..s6`. Edges:
+/// `g0→x`, `g2→x`, `s0→x`, `g1→g0`, `s5→g0`, `g3→g2`, `s6→g2`,
+/// `s1..s4→s0`.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// The 12-node graph.
+    pub graph: Graph,
+    /// The spam target `x`.
+    pub x: NodeId,
+    /// Good nodes `g0..g3`.
+    pub g: [NodeId; 4],
+    /// Spam nodes `s0..s6`.
+    pub s: [NodeId; 7],
+}
+
+/// Builds the Figure 2 graph.
+pub fn figure2() -> Figure2 {
+    // Ids: x=0, g0..g3 = 1..4, s0..s6 = 5..11.
+    let x = NodeId(0);
+    let g = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+    let s = [
+        NodeId(5),
+        NodeId(6),
+        NodeId(7),
+        NodeId(8),
+        NodeId(9),
+        NodeId(10),
+        NodeId(11),
+    ];
+    let mut b = GraphBuilder::new(12);
+    b.add_edge(g[0], x); // g0 -> x
+    b.add_edge(g[2], x); // g2 -> x
+    b.add_edge(s[0], x); // s0 -> x
+    b.add_edge(g[1], g[0]); // g1 -> g0
+    b.add_edge(s[5], g[0]); // s5 -> g0
+    b.add_edge(g[3], g[2]); // g3 -> g2
+    b.add_edge(s[6], g[2]); // s6 -> g2
+    for i in 1..=4 {
+        b.add_edge(s[i], s[0]); // s1..s4 -> s0
+    }
+    Figure2 { graph: b.build(), x, g, s }
+}
+
+impl Figure2 {
+    /// The full-knowledge partition of Table 1: `V⁻ = {x, s0..s6}`
+    /// (the spam-farm target belongs to the spam side).
+    pub fn partition(&self) -> Partition {
+        let mut spam = vec![self.x];
+        spam.extend(&self.s);
+        Partition::from_spam_nodes(self.graph.node_count(), &spam)
+    }
+
+    /// The incomplete good core `Ṽ⁺ = {g0, g1, g3}` used in Section 3.4's
+    /// worked example (`g2` is deliberately missing).
+    pub fn good_core(&self) -> Vec<NodeId> {
+        vec![self.g[0], self.g[1], self.g[3]]
+    }
+}
+
+/// Expected Table 1 values (scaled by `n/(1−c)`, c = 0.85, n = 12), in the
+/// row order `x, g0, g1, g2, g3, s0, s1..s6` (the `s1..s6` value applies to
+/// each of those six nodes).
+///
+/// `M` reflects the Table 1 partition with `x ∈ V⁻` (hence
+/// `M_x = 1 + c + 6c² = 6.185`, not the in-text `c + 6c² = 5.185` which
+/// excludes `x`'s self-contribution).
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Row {
+    /// Scaled PageRank `p`.
+    pub p: f64,
+    /// Scaled core-based PageRank `p′`.
+    pub p_core: f64,
+    /// Scaled absolute mass `M`.
+    pub m_abs: f64,
+    /// Scaled estimated absolute mass `M̃`.
+    pub m_abs_est: f64,
+    /// Relative mass `m`.
+    pub m_rel: f64,
+    /// Estimated relative mass `m̃`.
+    pub m_rel_est: f64,
+}
+
+/// Table 1 of the paper, computed symbolically from c = 0.85 (values the
+/// paper prints rounded to 2–4 digits).
+pub fn table1_expected() -> [(&'static str, Table1Row); 7] {
+    let c = 0.85f64;
+    // p(x) = 1 + c·(p(g0) + p(g2) + p(s0)) with p(g0) = p(g2) = 1+2c,
+    // p(s0) = 1+4c.
+    let p_g0 = 1.0 + 2.0 * c;
+    let p_s0 = 1.0 + 4.0 * c;
+    let px = 1.0 + c * (2.0 * p_g0 + p_s0);
+    let p_core_g0 = 1.0 + c; // core {g0,g1,g3}: g0 gets jump 1 + c·(g1)
+    let p_core_g2 = c; // g2 not in core: c·(g3)
+    let p_core_x = c * (p_core_g0 + p_core_g2); // s0 contributes 0
+    let m_g0 = c; // from s5
+    let m_s0 = 1.0 + 4.0 * c;
+    let m_x = 1.0 + c * (2.0 * m_g0 + m_s0); // x ∈ V⁻ ⇒ self-jump counts
+    [
+        (
+            "x",
+            Table1Row {
+                p: px,
+                p_core: p_core_x,
+                m_abs: m_x,
+                m_abs_est: px - p_core_x,
+                m_rel: m_x / px,
+                m_rel_est: (px - p_core_x) / px,
+            },
+        ),
+        (
+            "g0",
+            Table1Row {
+                p: p_g0,
+                p_core: p_core_g0,
+                m_abs: m_g0,
+                m_abs_est: p_g0 - p_core_g0,
+                m_rel: m_g0 / p_g0,
+                m_rel_est: (p_g0 - p_core_g0) / p_g0,
+            },
+        ),
+        (
+            "g1",
+            Table1Row { p: 1.0, p_core: 1.0, m_abs: 0.0, m_abs_est: 0.0, m_rel: 0.0, m_rel_est: 0.0 },
+        ),
+        (
+            "g2",
+            Table1Row {
+                p: p_g0, // same structure as g0
+                p_core: p_core_g2,
+                m_abs: c, // from s6
+                m_abs_est: p_g0 - p_core_g2,
+                m_rel: c / p_g0,
+                m_rel_est: (p_g0 - p_core_g2) / p_g0,
+            },
+        ),
+        (
+            "g3",
+            Table1Row { p: 1.0, p_core: 1.0, m_abs: 0.0, m_abs_est: 0.0, m_rel: 0.0, m_rel_est: 0.0 },
+        ),
+        (
+            "s0",
+            Table1Row {
+                p: p_s0,
+                p_core: 0.0,
+                m_abs: m_s0,
+                m_abs_est: p_s0,
+                m_rel: 1.0,
+                m_rel_est: 1.0,
+            },
+        ),
+        (
+            "s1..s6",
+            Table1Row { p: 1.0, p_core: 0.0, m_abs: 1.0, m_abs_est: 1.0, m_rel: 1.0, m_rel_est: 1.0 },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let f = figure1(3);
+        assert_eq!(f.graph.node_count(), 7);
+        assert_eq!(f.graph.edge_count(), 6);
+        assert_eq!(f.graph.in_degree(f.x), 3);
+        assert_eq!(f.graph.in_degree(f.s0), 3);
+        assert_eq!(f.boosters.len(), 3);
+    }
+
+    #[test]
+    fn figure2_shape_matches_paper() {
+        let f = figure2();
+        assert_eq!(f.graph.node_count(), 12);
+        assert_eq!(f.graph.edge_count(), 11);
+        // x has in-links from g0, g2, s0.
+        assert_eq!(f.graph.in_degree(f.x), 3);
+        assert!(f.graph.has_edge(f.g[0], f.x));
+        assert!(f.graph.has_edge(f.g[2], f.x));
+        assert!(f.graph.has_edge(f.s[0], f.x));
+        // s0 boosted by s1..s4.
+        assert_eq!(f.graph.in_degree(f.s[0]), 4);
+        // g0 fed by g1 and s5; g2 by g3 and s6.
+        assert_eq!(f.graph.in_degree(f.g[0]), 2);
+        assert_eq!(f.graph.in_degree(f.g[2]), 2);
+    }
+
+    #[test]
+    fn figure2_partition_sides() {
+        let f = figure2();
+        let p = f.partition();
+        assert!(p.is_spam(f.x), "the farm target is in V⁻");
+        for g in f.g {
+            assert!(p.is_good(g));
+        }
+        for s in f.s {
+            assert!(p.is_spam(s));
+        }
+        assert_eq!(p.spam_count(), 8);
+    }
+
+    #[test]
+    fn table1_matches_printed_values() {
+        // Spot-check the symbolic table against the numbers printed in the
+        // paper (2-digit rounding).
+        let t = table1_expected();
+        let by_name = |n: &str| t.iter().find(|(name, _)| *name == n).unwrap().1;
+        assert!((by_name("x").p - 9.33).abs() < 0.005);
+        assert!((by_name("x").p_core - 2.295).abs() < 0.005);
+        assert!((by_name("x").m_abs - 6.185).abs() < 0.005);
+        assert!((by_name("x").m_abs_est - 7.035).abs() < 0.005);
+        assert!((by_name("x").m_rel - 0.66).abs() < 0.005);
+        assert!((by_name("x").m_rel_est - 0.75).abs() < 0.005);
+        assert!((by_name("g0").p - 2.7).abs() < 0.005);
+        assert!((by_name("g0").m_rel - 0.31).abs() < 0.005);
+        assert!((by_name("g2").m_abs_est - 1.85).abs() < 0.005);
+        assert!((by_name("g2").m_rel_est - 0.69).abs() < 0.01);
+        assert!((by_name("s0").p - 4.4).abs() < 0.005);
+        assert!((by_name("s0").m_rel - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure1_closed_forms() {
+        let f = figure1(2);
+        let c = 0.85;
+        assert!(f.expected_px(c) > f.expected_spam_part(c));
+        // Section 3.1: for k ≥ ⌈1/c⌉ = 2 "the largest part of x's PageRank
+        // comes from spam nodes" — the spam contribution (c + k·c²)
+        // exceeds the good contribution (2c).
+        let n = f.graph.node_count() as f64;
+        let good_part = 2.0 * c * (1.0 - c) / n;
+        assert!(f.expected_spam_part(c) > good_part);
+        // And for k = 1 (< ⌈1/c⌉) it does not.
+        let f1 = figure1(1);
+        let n1 = f1.graph.node_count() as f64;
+        assert!(f1.expected_spam_part(c) < 2.0 * c * (1.0 - c) / n1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Good/spam partitions of the node set.
+//!
+//! Section 3.1 "conceptually partition[s] the web into a set of reputable
+//! nodes V⁺ and a set of spam nodes V⁻, with V⁺ ∪ V⁻ = V and
+//! V⁺ ∩ V⁻ = ∅". The partition assigns **every** node a side — including
+//! spam-farm targets, which belong to `V⁻` (this is what makes the paper's
+//! Table 1 internally consistent: the target `x` contributes its own
+//! random-jump mass to its spam mass).
+
+use spammass_graph::NodeId;
+
+/// Which side of the partition a node is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeSide {
+    /// Reputable node (`V⁺`).
+    Good,
+    /// Spam node (`V⁻`).
+    Spam,
+}
+
+/// A total good/spam partition `{V⁺, V⁻}` of a graph's nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    spam: Vec<bool>,
+}
+
+impl Partition {
+    /// All-good partition over `n` nodes.
+    pub fn all_good(n: usize) -> Self {
+        Partition { spam: vec![false; n] }
+    }
+
+    /// Builds a partition by marking the listed nodes as spam.
+    pub fn from_spam_nodes(n: usize, spam_nodes: &[NodeId]) -> Self {
+        let mut p = Partition::all_good(n);
+        for &x in spam_nodes {
+            p.set(x, NodeSide::Spam);
+        }
+        p
+    }
+
+    /// Builds a partition from a per-node side function.
+    pub fn from_fn<F: FnMut(NodeId) -> NodeSide>(n: usize, mut side: F) -> Self {
+        Partition {
+            spam: (0..n)
+                .map(|i| side(NodeId::from_index(i)) == NodeSide::Spam)
+                .collect(),
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.spam.len()
+    }
+
+    /// Whether the partition covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.spam.is_empty()
+    }
+
+    /// Side of node `x`.
+    pub fn side(&self, x: NodeId) -> NodeSide {
+        if self.spam[x.index()] {
+            NodeSide::Spam
+        } else {
+            NodeSide::Good
+        }
+    }
+
+    /// Whether `x ∈ V⁻`.
+    pub fn is_spam(&self, x: NodeId) -> bool {
+        self.spam[x.index()]
+    }
+
+    /// Whether `x ∈ V⁺`.
+    pub fn is_good(&self, x: NodeId) -> bool {
+        !self.spam[x.index()]
+    }
+
+    /// Reassigns node `x`.
+    pub fn set(&mut self, x: NodeId, side: NodeSide) {
+        self.spam[x.index()] = side == NodeSide::Spam;
+    }
+
+    /// All spam nodes, ascending.
+    pub fn spam_nodes(&self) -> Vec<NodeId> {
+        self.collect(true)
+    }
+
+    /// All good nodes, ascending.
+    pub fn good_nodes(&self) -> Vec<NodeId> {
+        self.collect(false)
+    }
+
+    /// Number of spam nodes `|V⁻|`.
+    pub fn spam_count(&self) -> usize {
+        self.spam.iter().filter(|&&s| s).count()
+    }
+
+    /// Number of good nodes `|V⁺|`.
+    pub fn good_count(&self) -> usize {
+        self.len() - self.spam_count()
+    }
+
+    /// Fraction of good nodes — the true `γ = |V⁺|/n` that Section 3.5's
+    /// scaled jump vector estimates.
+    pub fn good_fraction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.good_count() as f64 / self.len() as f64
+        }
+    }
+
+    fn collect(&self, want_spam: bool) -> Vec<NodeId> {
+        self.spam
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == want_spam)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_spam_nodes_round_trip() {
+        let p = Partition::from_spam_nodes(5, &[NodeId(1), NodeId(3)]);
+        assert!(p.is_spam(NodeId(1)));
+        assert!(p.is_good(NodeId(0)));
+        assert_eq!(p.side(NodeId(3)), NodeSide::Spam);
+        assert_eq!(p.spam_nodes(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(p.good_nodes(), vec![NodeId(0), NodeId(2), NodeId(4)]);
+        assert_eq!(p.spam_count(), 2);
+        assert_eq!(p.good_count(), 3);
+    }
+
+    #[test]
+    fn from_fn_and_set() {
+        let mut p = Partition::from_fn(4, |x| if x.0 % 2 == 0 { NodeSide::Spam } else { NodeSide::Good });
+        assert_eq!(p.spam_count(), 2);
+        p.set(NodeId(0), NodeSide::Good);
+        assert_eq!(p.spam_count(), 1);
+    }
+
+    #[test]
+    fn good_fraction() {
+        let p = Partition::from_spam_nodes(4, &[NodeId(0)]);
+        assert!((p.good_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(Partition::all_good(0).good_fraction(), 0.0);
+        assert!(Partition::all_good(0).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Core refinement — the anomaly-elimination procedure of Section 4.4.2.
+//!
+//! The paper prescribes a loop for search engines:
+//!
+//! 1. *"identify good nodes with large relative mass by either sampling
+//!    the results ... or based on editorial or user feedback"*;
+//! 2. *"determine the anomalies in the core that cause the large relative
+//!    mass estimates of specific groups"* — the paper's groups were host
+//!    families sharing a domain (`*.alibaba.com`, `*.blogger.com.br`);
+//! 3. *"devise and execute correction measures"* — e.g. *"we identified
+//!    12 key hosts in the alibaba.com domain ... and added them to the
+//!    good core"*.
+//!
+//! [`propose_core_additions`] automates steps 2–3: it clusters the
+//! flagged good hosts by registrable domain and proposes each cluster's
+//! highest-in-degree hosts (the `china.alibaba.com`-style key hosts) as
+//! core additions.
+
+use crate::core_builder::GoodCore;
+use spammass_graph::{Graph, NodeId, NodeLabels};
+use std::collections::BTreeMap;
+
+/// Configuration of the refinement step.
+#[derive(Debug, Clone, Copy)]
+pub struct RefinementConfig {
+    /// Minimum number of flagged hosts sharing a domain before the domain
+    /// counts as an anomalous community (isolated false positives are
+    /// left to other remedies).
+    pub min_group: usize,
+    /// How many key hosts to propose per domain (the paper added 12 for
+    /// alibaba.com).
+    pub hubs_per_group: usize,
+}
+
+impl Default for RefinementConfig {
+    fn default() -> Self {
+        RefinementConfig { min_group: 3, hubs_per_group: 12 }
+    }
+}
+
+/// One detected anomalous community and the proposed core fix.
+#[derive(Debug, Clone)]
+pub struct CoreProposal {
+    /// The registrable domain the flagged hosts share.
+    pub domain: String,
+    /// The flagged hosts that exposed the anomaly.
+    pub flagged: Vec<NodeId>,
+    /// The domain's key hosts (highest in-degree) proposed for the core.
+    pub proposed: Vec<NodeId>,
+}
+
+/// Clusters `flagged_good` (hosts judged good despite high relative mass)
+/// by registrable domain and proposes core additions per cluster.
+pub fn propose_core_additions(
+    graph: &Graph,
+    labels: &NodeLabels,
+    flagged_good: &[NodeId],
+    config: &RefinementConfig,
+) -> Vec<CoreProposal> {
+    // Step 2: group the evidence by registrable domain.
+    let mut groups: BTreeMap<String, Vec<NodeId>> = BTreeMap::new();
+    for &x in flagged_good {
+        let Some(host) = labels.name(x) else { continue };
+        let Some(domain) = host.registrable_domain() else { continue };
+        groups.entry(domain.to_string()).or_default().push(x);
+    }
+    groups.retain(|_, members| members.len() >= config.min_group);
+    if groups.is_empty() {
+        return Vec::new();
+    }
+
+    // Step 3: for each anomalous domain, find ALL its hosts and propose
+    // the best-linked ones as the key hosts.
+    let mut domain_hosts: BTreeMap<String, Vec<NodeId>> =
+        groups.keys().map(|d| (d.clone(), Vec::new())).collect();
+    for (id, host) in labels.iter() {
+        if let Some(domain) = host.registrable_domain() {
+            if let Some(bucket) = domain_hosts.get_mut(domain) {
+                bucket.push(id);
+            }
+        }
+    }
+
+    groups
+        .into_iter()
+        .map(|(domain, flagged)| {
+            let mut hosts = domain_hosts.remove(domain.as_str()).unwrap_or_default();
+            hosts.sort_by_key(|&x| std::cmp::Reverse(graph.in_degree(x)));
+            hosts.truncate(config.hubs_per_group);
+            CoreProposal { domain, flagged, proposed: hosts }
+        })
+        .collect()
+}
+
+/// Applies proposals to a core, returning the expanded core.
+pub fn apply_proposals(core: &GoodCore, proposals: &[CoreProposal]) -> GoodCore {
+    let mut expanded = core.clone();
+    for p in proposals {
+        expanded.extend(p.proposed.iter().copied());
+    }
+    expanded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::GraphBuilder;
+
+    /// A community of one domain: hubs 0-1 receive member links; members
+    /// 2-5; plus an unrelated host 6.
+    fn community() -> (Graph, NodeLabels) {
+        let mut labels = NodeLabels::new();
+        labels.push("www.megamall.com"); // 0 (hub)
+        labels.push("cn.megamall.com"); // 1 (hub)
+        for i in 0..4 {
+            labels.push(&format!("shop{i}.megamall.com")); // 2..=5
+        }
+        labels.push("unrelated.org"); // 6
+        let mut b = GraphBuilder::new(7);
+        for member in 2..=5u32 {
+            b.add_edge(NodeId(member), NodeId(0));
+            b.add_edge(NodeId(member), NodeId(1));
+        }
+        b.add_edge(NodeId(2), NodeId(3));
+        (b.build(), labels)
+    }
+
+    #[test]
+    fn proposes_domain_hubs_from_flagged_members() {
+        let (g, labels) = community();
+        // Judges flagged three rank-and-file shop hosts as good-but-high-mass.
+        let flagged = vec![NodeId(2), NodeId(3), NodeId(4)];
+        let cfg = RefinementConfig { min_group: 3, hubs_per_group: 2 };
+        let proposals = propose_core_additions(&g, &labels, &flagged, &cfg);
+        assert_eq!(proposals.len(), 1);
+        let p = &proposals[0];
+        assert_eq!(p.domain, "megamall.com");
+        // The two hubs have in-degree 4 each; they are the key hosts.
+        assert_eq!(p.proposed, vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn small_groups_are_ignored() {
+        let (g, labels) = community();
+        let flagged = vec![NodeId(2), NodeId(6)];
+        let proposals =
+            propose_core_additions(&g, &labels, &flagged, &RefinementConfig::default());
+        assert!(proposals.is_empty());
+    }
+
+    #[test]
+    fn apply_extends_core_without_duplicates() {
+        let (g, labels) = community();
+        let flagged = vec![NodeId(2), NodeId(3), NodeId(4)];
+        let cfg = RefinementConfig { min_group: 3, hubs_per_group: 2 };
+        let proposals = propose_core_additions(&g, &labels, &flagged, &cfg);
+        let core = GoodCore::from_nodes([NodeId(6), NodeId(0)]);
+        let expanded = apply_proposals(&core, &proposals);
+        assert_eq!(expanded.len(), 3); // 6, 0 (already present), 1
+        assert!(expanded.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn unlabelled_hosts_are_skipped() {
+        let (g, labels) = community();
+        // NodeId(99) has no label; localhost-style names have no domain.
+        let flagged = vec![NodeId(2), NodeId(3), NodeId(4), NodeId(99)];
+        let cfg = RefinementConfig { min_group: 3, hubs_per_group: 1 };
+        let proposals = propose_core_additions(&g, &labels, &flagged, &cfg);
+        assert_eq!(proposals.len(), 1);
+        let _ = g;
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 1 reproduction: the first spam-farm example and its closed-form
+//! PageRank (Section 3.1).
+//!
+//! Verifies `p_x = (1 + 3c + k·c²)(1−c)/n` and the spam part
+//! `(c + k·c²)(1−c)/n` against the solver for a sweep of booster counts
+//! `k`, and reports the `k ≥ ⌈1/c⌉` point where spam becomes the dominant
+//! link contribution — the reason the naive link-counting scheme fails.
+
+use crate::report::{f, Table};
+use spammass_core::examples_paper::figure1;
+use spammass_core::mass::ExactMass;
+use spammass_pagerank::PageRankConfig;
+
+/// Runs the sweep and returns the result table.
+pub fn run() -> Vec<Table> {
+    let c = 0.85f64;
+    let config = PageRankConfig::default().tolerance(1e-14).max_iterations(10_000);
+    let mut t = Table::new(
+        "Figure 1: p_x closed form vs solver (c = 0.85, scaled by n/(1-c))",
+        &["k", "p_x closed", "p_x solver", "spam part closed", "spam part solver", "spam dominates links?"],
+    );
+    for k in [0usize, 1, 2, 3, 5, 10, 20, 50] {
+        let fig = figure1(k);
+        let n = fig.graph.node_count() as f64;
+        let scale = n / (1.0 - c);
+        let exact = ExactMass::compute(&fig.graph, &fig.partition_x_good(), &config);
+        let p_solver = exact.pagerank[fig.x.index()] * scale;
+        let m_solver = exact.absolute[fig.x.index()] * scale;
+        let p_closed = fig.expected_px(c) * scale;
+        let m_closed = fig.expected_spam_part(c) * scale;
+        // Spam link contribution vs the two good links (2c scaled).
+        let dominates = m_closed > 2.0 * c;
+        t.push_row(vec![
+            k.to_string(),
+            f(p_closed, 4),
+            f(p_solver, 4),
+            f(m_closed, 4),
+            f(m_solver, 4),
+            if dominates { "yes".into() } else { "no".into() },
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_solver_on_every_row() {
+        let tables = run();
+        let t = &tables[0];
+        for row in &t.rows {
+            let closed: f64 = row[1].parse().unwrap();
+            let solver: f64 = row[2].parse().unwrap();
+            assert!((closed - solver).abs() < 1e-3, "row {row:?}");
+            let m_closed: f64 = row[3].parse().unwrap();
+            let m_solver: f64 = row[4].parse().unwrap();
+            assert!((m_closed - m_solver).abs() < 1e-3, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn spam_dominates_from_k_equals_2() {
+        let tables = run();
+        let by_k = |k: &str| {
+            tables[0]
+                .rows
+                .iter()
+                .find(|r| r[0] == k)
+                .map(|r| r[5].clone())
+                .unwrap()
+        };
+        assert_eq!(by_k("1"), "no");
+        assert_eq!(by_k("2"), "yes", "⌈1/c⌉ = 2 for c = 0.85");
+        assert_eq!(by_k("50"), "yes");
+    }
+}

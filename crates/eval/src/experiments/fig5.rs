@@ -1,0 +1,158 @@
+//! Figure 5 reproduction: impact of core size and coverage
+//! (Section 4.5).
+//!
+//! Precision curves are recomputed for uniform random 10% / 1% / 0.1%
+//! subsamples of the good core and for a biased single-country core
+//! (the paper's "Italian educational hosts"). The expected shape:
+//! gradual decline with shrinking size, and the biased core **worse than
+//! the 0.1% core despite being larger** — coverage beats size.
+
+use crate::context::Context;
+use crate::groups::{split_into_groups, thresholds_from_groups};
+use crate::precision::{mean_precision, precision_curve, PrecisionPoint};
+use crate::report::{f, pct, Table};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_core::GoodCore;
+
+/// One ablation arm.
+#[derive(Debug, Clone)]
+pub struct CoreArm {
+    /// Display name.
+    pub name: String,
+    /// Core size used.
+    pub core_size: usize,
+    /// Precision at each τ of the shared grid.
+    pub points: Vec<PrecisionPoint>,
+}
+
+/// Runs all five arms and renders the comparison.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let arms = arms(ctx);
+    let taus: Vec<f64> = arms
+        .first()
+        .map(|a| a.points.iter().map(|p| p.tau).collect())
+        .unwrap_or_default();
+
+    let mut headers: Vec<String> = vec!["tau".into()];
+    headers.extend(arms.iter().map(|a| format!("{} (|core|={})", a.name, a.core_size)));
+    let mut t = Table::new(
+        "Figure 5: precision for various cores",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (i, &tau) in taus.iter().enumerate() {
+        let mut row = vec![f(tau, 2)];
+        for arm in &arms {
+            row.push(pct(arm.points[i].without_anomalies));
+        }
+        t.push_row(row);
+    }
+
+    let mut summary = Table::new(
+        "Figure 5 summary: mean precision over the tau grid",
+        &["core", "size", "mean precision (anomalies excl.)"],
+    );
+    for arm in &arms {
+        summary.push_row(vec![
+            arm.name.clone(),
+            arm.core_size.to_string(),
+            pct(mean_precision(&arm.points, true)),
+        ]);
+    }
+    vec![t, summary]
+}
+
+/// Computes the five ablation arms, sharing the regular PageRank vector
+/// and the evaluation pool across all of them (as the paper does).
+pub fn arms(ctx: &Context) -> Vec<CoreArm> {
+    let full = &ctx.core;
+    let labels = &ctx.scenario.labels;
+    let cores: Vec<(String, GoodCore)> = vec![
+        ("100% core".into(), full.clone()),
+        ("10% core".into(), full.sample_fraction(0.10, ctx.opts.seed ^ 0xA)),
+        ("1% core".into(), full.sample_fraction(0.01, ctx.opts.seed ^ 0xB)),
+        ("0.1% core".into(), full.sample_fraction(0.001, ctx.opts.seed ^ 0xC)),
+        (".it core (biased)".into(), full.restrict_to_suffix(labels, "it")),
+    ];
+
+    // Shared τ grid from the full-core sample groups.
+    let groups = split_into_groups(&ctx.sample, super::table2_fig3::GROUPS);
+    let taus = thresholds_from_groups(&groups);
+
+    let estimator = MassEstimator::new(
+        EstimatorConfig::scaled(ctx.opts.gamma).with_pagerank(Context::pagerank_config()),
+    );
+    cores
+        .into_iter()
+        .filter(|(_, core)| !core.is_empty())
+        .map(|(name, core)| {
+            let est = estimator.estimate_with_pagerank(
+                &ctx.scenario.graph,
+                &core.as_vec(),
+                ctx.estimate.pagerank.clone(),
+            );
+            let sample = Context::judge(&ctx.scenario, &est, &ctx.pool, &ctx.opts.sample);
+            let pool_masses: Vec<f64> =
+                ctx.pool.iter().map(|&x| est.relative_of(x)).collect();
+            CoreArm {
+                name,
+                core_size: core.len(),
+                points: precision_curve(&sample, &taus, &pool_masses),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentOptions;
+
+    fn built_arms() -> Vec<CoreArm> {
+        let ctx = Context::build(ExperimentOptions::test_scale());
+        arms(&ctx)
+    }
+
+    #[test]
+    fn five_arms_with_descending_core_sizes() {
+        let arms = built_arms();
+        assert_eq!(arms.len(), 5);
+        assert!(arms[0].core_size > arms[1].core_size);
+        assert!(arms[1].core_size > arms[2].core_size);
+        assert!(arms[2].core_size > arms[3].core_size);
+    }
+
+    #[test]
+    fn full_core_beats_tiny_core_on_mean_precision() {
+        let arms = built_arms();
+        let full = mean_precision(&arms[0].points, true);
+        let tiny = mean_precision(&arms[3].points, true);
+        assert!(
+            full >= tiny - 0.02,
+            "full core {full} should not lose to 0.1% core {tiny}"
+        );
+    }
+
+    #[test]
+    fn biased_core_underperforms_despite_size() {
+        // The paper's key negative result: the single-country core is
+        // worse than uniform subsamples with far fewer hosts.
+        let arms = built_arms();
+        let it = arms.iter().find(|a| a.name.contains(".it")).unwrap();
+        let full = arms.iter().find(|a| a.name.contains("100%")).unwrap();
+        let m_it = mean_precision(&it.points, true);
+        let m_full = mean_precision(&full.points, true);
+        assert!(
+            m_full > m_it,
+            "full core ({m_full}) must beat the biased .it core ({m_it})"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let ctx = Context::build(ExperimentOptions::test_scale());
+        let tables = run(&ctx);
+        assert_eq!(tables.len(), 2);
+        assert!(tables[0].rows.len() > 3);
+        assert_eq!(tables[1].rows.len(), 5);
+    }
+}

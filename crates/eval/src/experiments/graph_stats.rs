@@ -1,0 +1,105 @@
+//! Section 4.1 reproduction: data-set statistics of the (synthetic) host
+//! graph next to the numbers the paper reports for the Yahoo! 2004 crawl.
+
+use crate::context::Context;
+use crate::report::{f, pct, Table};
+use spammass_graph::powerlaw::fit_exponent_mle_discrete;
+use spammass_graph::stats::GraphStats;
+
+/// Paper-reported reference values for the Yahoo! host graph.
+pub struct PaperStats;
+
+impl PaperStats {
+    /// 73.3 million hosts.
+    pub const HOSTS: f64 = 73_300_000.0;
+    /// 979 million edges.
+    pub const EDGES: f64 = 979_000_000.0;
+    /// 35% with no inlinks.
+    pub const NO_INLINKS: f64 = 0.35;
+    /// 66.4% with no outlinks.
+    pub const NO_OUTLINKS: f64 = 0.664;
+    /// 25.8% completely isolated.
+    pub const ISOLATED: f64 = 0.258;
+}
+
+/// Computes the comparison table.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let s = GraphStats::compute(&ctx.scenario.graph);
+    let in_alpha = fit_exponent_mle_discrete(
+        ctx.scenario
+            .graph
+            .nodes()
+            .map(|x| ctx.scenario.graph.in_degree(x) as f64),
+        2.0,
+    );
+    let mut t = Table::new(
+        "Section 4.1: data-set statistics (paper = Yahoo! 2004 host graph)",
+        &["statistic", "paper", "measured (synthetic)"],
+    );
+    t.push_row(vec![
+        "hosts".into(),
+        format!("{:.1}M", PaperStats::HOSTS / 1e6),
+        s.nodes.to_string(),
+    ]);
+    t.push_row(vec![
+        "edges".into(),
+        format!("{:.0}M", PaperStats::EDGES / 1e6),
+        s.edges.to_string(),
+    ]);
+    t.push_row(vec![
+        "edges per host".into(),
+        f(PaperStats::EDGES / PaperStats::HOSTS, 1),
+        f(s.mean_degree, 1),
+    ]);
+    t.push_row(vec![
+        "no inlinks".into(),
+        pct(PaperStats::NO_INLINKS),
+        pct(s.no_inlinks_fraction()),
+    ]);
+    t.push_row(vec![
+        "no outlinks".into(),
+        pct(PaperStats::NO_OUTLINKS),
+        pct(s.no_outlinks_fraction()),
+    ]);
+    t.push_row(vec![
+        "isolated".into(),
+        pct(PaperStats::ISOLATED),
+        pct(s.isolated_fraction()),
+    ]);
+    t.push_row(vec![
+        "in-degree power-law alpha".into(),
+        "~2.1 (typical web)".into(),
+        in_alpha.map(|fit| f(fit.alpha, 2)).unwrap_or_else(|| "n/a".into()),
+    ]);
+    t.push_row(vec![
+        "spam fraction".into(),
+        ">= 15% (assumed)".into(),
+        pct(ctx.scenario.spam_fraction()),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentOptions;
+
+    #[test]
+    fn stats_table_is_complete_and_in_ballpark() {
+        let ctx = Context::build(ExperimentOptions::test_scale());
+        let t = &run(&ctx)[0];
+        assert_eq!(t.rows.len(), 8);
+        // The structural fractions land near the paper's (the generator's
+        // contract), verified end-to-end through the experiment path.
+        let find = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .map(|r| r[2].trim_end_matches('%').parse::<f64>().unwrap() / 100.0)
+                .unwrap()
+        };
+        assert!((find("no outlinks") - 0.664).abs() < 0.15);
+        assert!((find("isolated") - 0.258).abs() < 0.15);
+        assert!((find("spam fraction") - 0.18).abs() < 0.06);
+    }
+}

@@ -1,0 +1,60 @@
+//! One module per reproduced table/figure. Every experiment returns
+//! [`crate::report::Table`]s; the `experiments` binary prints them and
+//! optionally writes CSVs.
+
+pub mod ablations;
+pub mod absolute_mass;
+pub mod anomaly;
+pub mod baselines_cmp;
+pub mod convergence;
+pub mod fig1;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod graph_stats;
+pub mod naive_schemes;
+pub mod table1;
+pub mod table2_fig3;
+pub mod trustrank_cmp;
+
+use spammass_graph::NodeId;
+use spammass_synth::ground_truth::{GoodKind, GroundTruth, NodeClass, SpamKind};
+
+/// Human-readable class of a node, for experiment output.
+pub fn class_name(truth: &GroundTruth, x: NodeId) -> String {
+    match truth.class(x) {
+        NodeClass::Good(GoodKind::Directory) => "good:directory".into(),
+        NodeClass::Good(GoodKind::Government) => "good:gov".into(),
+        NodeClass::Good(GoodKind::Education { country }) => format!("good:edu(c{country})"),
+        NodeClass::Good(GoodKind::Blog { community }) => format!("good:blog(k{community})"),
+        NodeClass::Good(GoodKind::Commerce { community }) => format!("good:commerce(k{community})"),
+        NodeClass::Good(GoodKind::Business) => "good:business".into(),
+        NodeClass::Good(GoodKind::Personal) => "good:personal".into(),
+        NodeClass::Good(GoodKind::Forum) => "good:forum".into(),
+        NodeClass::Spam(SpamKind::Booster { farm }) => format!("spam:booster(f{farm})"),
+        NodeClass::Spam(SpamKind::Target { farm }) => format!("spam:target(f{farm})"),
+        NodeClass::Spam(SpamKind::HoneyPot { farm }) => format!("spam:honeypot(f{farm})"),
+        NodeClass::Spam(SpamKind::ExpiredDomain { farm }) => format!("spam:expired(f{farm})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_cover_all_variants() {
+        let mut gt = GroundTruth::new();
+        let nodes = [
+            NodeClass::Good(GoodKind::Directory),
+            NodeClass::Good(GoodKind::Education { country: 1 }),
+            NodeClass::Spam(SpamKind::Target { farm: 2 }),
+            NodeClass::Spam(SpamKind::ExpiredDomain { farm: 2 }),
+        ];
+        let ids: Vec<NodeId> = nodes.into_iter().map(|c| gt.push(c)).collect();
+        assert_eq!(class_name(&gt, ids[0]), "good:directory");
+        assert_eq!(class_name(&gt, ids[1]), "good:edu(c1)");
+        assert_eq!(class_name(&gt, ids[2]), "spam:target(f2)");
+        assert_eq!(class_name(&gt, ids[3]), "spam:expired(f2)");
+    }
+}

@@ -1,0 +1,87 @@
+//! Section 3.1 reproduction: the naive labelling schemes and their
+//! documented failure cases, side by side with spam-mass labelling.
+
+use crate::report::{f, Table};
+use spammass_core::detector::{detect, DetectorConfig};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_core::examples_paper::{figure1, figure2};
+use spammass_core::naive::{scheme1_label, scheme2_label};
+use spammass_core::NodeSide;
+use spammass_pagerank::PageRankConfig;
+
+fn pr_config() -> PageRankConfig {
+    PageRankConfig::default().tolerance(1e-14).max_iterations(10_000)
+}
+
+fn side(s: NodeSide) -> String {
+    match s {
+        NodeSide::Good => "good".into(),
+        NodeSide::Spam => "SPAM".into(),
+    }
+}
+
+/// Labels the Figure 1 and Figure 2 targets with all three schemes.
+pub fn run() -> Vec<Table> {
+    let cfg = pr_config();
+    let mut t = Table::new(
+        "Section 3.1: labelling the spam targets of Figures 1-2 (truth: SPAM)",
+        &["graph", "scheme 1 (link count)", "scheme 2 (contribution)", "spam mass (m~, tau=0.5)"],
+    );
+
+    // Figure 1, k = 5 boosters.
+    let f1 = figure1(5);
+    let p1 = f1.partition_x_good();
+    let s1 = scheme1_label(&f1.graph, &p1, f1.x);
+    let s2 = scheme2_label(&f1.graph, &p1, f1.x, &cfg, true);
+    // Spam-mass labelling with the good core {g0, g1}.
+    let est1 = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(cfg))
+        .estimate(&f1.graph, &[f1.good[0], f1.good[1]]);
+    let det1 = detect(&est1, &DetectorConfig { rho: 1.5, tau: 0.5 });
+    let m1 = if det1.is_candidate(f1.x) { NodeSide::Spam } else { NodeSide::Good };
+    t.push_row(vec![
+        format!("Figure 1 (k=5), m~_x = {}", f(est1.relative_of(f1.x), 2)),
+        side(s1),
+        side(s2),
+        side(m1),
+    ]);
+
+    // Figure 2.
+    let f2 = figure2();
+    let mut p2 = f2.partition();
+    p2.set(f2.x, NodeSide::Good); // judging x: assume good for the naive votes
+    let s1 = scheme1_label(&f2.graph, &p2, f2.x);
+    let s2 = scheme2_label(&f2.graph, &p2, f2.x, &cfg, true);
+    let est2 = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(cfg))
+        .estimate(&f2.graph, &f2.good_core());
+    let det2 = detect(&est2, &DetectorConfig { rho: 1.5, tau: 0.5 });
+    let m2 = if det2.is_candidate(f2.x) { NodeSide::Spam } else { NodeSide::Good };
+    t.push_row(vec![
+        format!("Figure 2, m~_x = {}", f(est2.relative_of(f2.x), 2)),
+        side(s1),
+        side(s2),
+        side(m2),
+    ]);
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_failure_matrix() {
+        let t = &run()[0];
+        assert_eq!(t.rows.len(), 2);
+        let fig1_row = &t.rows[0];
+        // Scheme 1 fails on Figure 1; scheme 2 and spam mass succeed.
+        assert_eq!(fig1_row[1], "good");
+        assert_eq!(fig1_row[2], "SPAM");
+        assert_eq!(fig1_row[3], "SPAM");
+        let fig2_row = &t.rows[1];
+        // Both naive schemes fail on Figure 2; spam mass succeeds.
+        assert_eq!(fig2_row[1], "good");
+        assert_eq!(fig2_row[2], "good");
+        assert_eq!(fig2_row[3], "SPAM");
+    }
+}

@@ -1,0 +1,95 @@
+//! Table 1 reproduction: every feature of every Figure 2 node — regular
+//! and core-based PageRank, exact and estimated absolute/relative mass —
+//! computed by the library and printed next to the paper's expected
+//! values.
+
+use crate::report::{f, Table};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_core::examples_paper::{figure2, table1_expected};
+use spammass_core::mass::ExactMass;
+use spammass_pagerank::PageRankConfig;
+
+/// Computes Table 1 and returns it (computed columns + expected columns).
+pub fn run() -> Vec<Table> {
+    let fig = figure2();
+    let config = PageRankConfig::default().tolerance(1e-14).max_iterations(10_000);
+    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &config);
+    let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(config))
+        .estimate(&fig.graph, &fig.good_core());
+
+    let mut t = Table::new(
+        "Table 1: Figure 2 node features (scaled by n/(1-c); core = {g0,g1,g3})",
+        &["node", "p", "p'", "M", "M~", "m", "m~"],
+    );
+    let rows: Vec<(&str, spammass_graph::NodeId)> = vec![
+        ("x", fig.x),
+        ("g0", fig.g[0]),
+        ("g1", fig.g[1]),
+        ("g2", fig.g[2]),
+        ("g3", fig.g[3]),
+        ("s0", fig.s[0]),
+        ("s1..s6", fig.s[1]),
+    ];
+    for (name, node) in rows {
+        t.push_row(vec![
+            name.to_string(),
+            f(exact.scaled_pagerank(node), 3),
+            f(est.scaled_core_pagerank(node), 3),
+            f(exact.scaled_absolute(node), 3),
+            f(est.scaled_absolute(node), 3),
+            f(exact.relative_of(node), 2),
+            f(est.relative_of(node), 2),
+        ]);
+    }
+
+    let mut expected = Table::new(
+        "Table 1 (expected, from the paper)",
+        &["node", "p", "p'", "M", "M~", "m", "m~"],
+    );
+    for (name, row) in table1_expected() {
+        expected.push_row(vec![
+            name.to_string(),
+            f(row.p, 3),
+            f(row.p_core, 3),
+            f(row.m_abs, 3),
+            f(row.m_abs_est, 3),
+            f(row.m_rel, 2),
+            f(row.m_rel_est, 2),
+        ]);
+    }
+    vec![t, expected]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computed_and_expected_tables_match() {
+        let tables = run();
+        assert_eq!(tables.len(), 2);
+        let (computed, expected) = (&tables[0], &tables[1]);
+        assert_eq!(computed.rows.len(), expected.rows.len());
+        for (c, e) in computed.rows.iter().zip(&expected.rows) {
+            assert_eq!(c[0], e[0]);
+            for col in 1..7 {
+                let cv: f64 = c[col].parse().unwrap();
+                let ev: f64 = e[col].parse().unwrap();
+                assert!(
+                    (cv - ev).abs() < 0.005,
+                    "node {} column {col}: computed {cv} vs expected {ev}",
+                    c[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn headline_values_present() {
+        let tables = run();
+        let x_row = &tables[0].rows[0];
+        assert_eq!(x_row[0], "x");
+        assert_eq!(x_row[1], "9.330");
+        assert_eq!(x_row[6], "0.75");
+    }
+}

@@ -1,0 +1,112 @@
+//! Table 2 + Figure 3 reproduction: the judged sample sorted by relative
+//! mass is split into 20 groups; Table 2 reports each group's mass range
+//! and size, Figure 3 its good / anomalous / spam composition.
+
+use crate::context::Context;
+use crate::groups::{split_into_groups, Group};
+use crate::report::{f, pct, Table};
+
+/// Number of groups the paper uses.
+pub const GROUPS: usize = 20;
+
+/// Computes both tables.
+pub fn run(ctx: &Context) -> Vec<Table> {
+    let groups = split_into_groups(&ctx.sample, GROUPS);
+    vec![table2(&groups), fig3(&groups)]
+}
+
+fn table2(groups: &[Group]) -> Table {
+    let mut t = Table::new(
+        "Table 2: relative mass thresholds for sample groups",
+        &["group", "smallest m~", "largest m~", "size"],
+    );
+    for g in groups {
+        t.push_row(vec![
+            g.number.to_string(),
+            f(g.smallest, 2),
+            f(g.largest, 2),
+            g.size().to_string(),
+        ]);
+    }
+    t
+}
+
+fn fig3(groups: &[Group]) -> Table {
+    let mut t = Table::new(
+        "Figure 3: sample composition per group (judgeable hosts)",
+        &["group", "good", "anomalous", "spam", "spam %"],
+    );
+    for g in groups {
+        let (good, anom, spam) = g.composition();
+        t.push_row(vec![
+            g.number.to_string(),
+            good.to_string(),
+            anom.to_string(),
+            spam.to_string(),
+            pct(g.spam_fraction()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentOptions;
+
+    fn ctx() -> Context {
+        Context::build(ExperimentOptions::test_scale())
+    }
+
+    #[test]
+    fn twenty_groups_with_monotone_ranges() {
+        let ctx = ctx();
+        let tables = run(&ctx);
+        let t2 = &tables[0];
+        assert!(t2.rows.len() <= GROUPS);
+        assert!(t2.rows.len() >= 2, "need a populated sample");
+        let mut prev = f64::NEG_INFINITY;
+        for row in &t2.rows {
+            let smallest: f64 = row[1].parse().unwrap();
+            assert!(smallest >= prev - 1e-9, "group ranges must ascend");
+            prev = smallest;
+        }
+    }
+
+    #[test]
+    fn spam_concentrates_in_top_groups() {
+        // The paper's headline qualitative result: the top groups are
+        // dominated by spam plus known-anomalous good hosts (the gray
+        // bars of Figure 3), while the low groups are ordinary good
+        // hosts. Count spam against *plain* good hosts, as the
+        // anomalies-excluded reading does.
+        let ctx = ctx();
+        let groups = split_into_groups(&ctx.sample, GROUPS);
+        let n = groups.len();
+        assert!(n >= 10);
+        let spam_vs_plain_good = |gs: &[Group]| {
+            let (good, _anom, spam) =
+                gs.iter().fold((0usize, 0usize, 0usize), |acc, g| {
+                    let (go, an, sp) = g.composition();
+                    (acc.0 + go, acc.1 + an, acc.2 + sp)
+                });
+            spam as f64 / (spam + good).max(1) as f64
+        };
+        let top = spam_vs_plain_good(&groups[n - 4..]);
+        let bottom = spam_vs_plain_good(&groups[..4]);
+        assert!(
+            top > 0.8,
+            "top groups should be nearly all spam among non-anomalous hosts: {top}"
+        );
+        assert!(bottom < 0.1, "bottom groups should be nearly all good: {bottom}");
+    }
+
+    #[test]
+    fn negative_mass_groups_exist() {
+        // Core members and their beneficiaries produce negative estimates
+        // (Section 3.5) — group 1 must start below zero.
+        let ctx = ctx();
+        let groups = split_into_groups(&ctx.sample, GROUPS);
+        assert!(groups[0].smallest < 0.0, "smallest m~ {}", groups[0].smallest);
+    }
+}

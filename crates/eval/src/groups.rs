@@ -1,0 +1,183 @@
+//! Sample grouping (Table 2 / Figure 3).
+//!
+//! Section 4.4.1 sorts the judged sample by estimated relative mass and
+//! splits it into 20 groups of roughly equal size; Table 2 reports each
+//! group's mass range and Figure 3 its good/spam/anomalous composition.
+
+use crate::sample::{JudgedHost, JudgedSample, Judgement};
+
+/// One group of the sorted sample.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// 1-based group number (group 1 = smallest relative mass).
+    pub number: usize,
+    /// Smallest relative mass in the group.
+    pub smallest: f64,
+    /// Largest relative mass in the group.
+    pub largest: f64,
+    /// The member hosts.
+    pub hosts: Vec<JudgedHost>,
+}
+
+impl Group {
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// `(good, anomalous, spam)` counts among judgeable members.
+    pub fn composition(&self) -> (usize, usize, usize) {
+        let mut c = (0usize, 0usize, 0usize);
+        for h in &self.hosts {
+            match h.judgement {
+                Judgement::Good => c.0 += 1,
+                Judgement::GoodAnomalous => c.1 += 1,
+                Judgement::Spam => c.2 += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Fraction of spam among judgeable members (0 when none are
+    /// judgeable).
+    pub fn spam_fraction(&self) -> f64 {
+        let (good, anom, spam) = self.composition();
+        let total = good + anom + spam;
+        if total == 0 {
+            0.0
+        } else {
+            spam as f64 / total as f64
+        }
+    }
+}
+
+/// Splits a judged sample (already ascending in mass) into `k` groups of
+/// near-equal size.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn split_into_groups(sample: &JudgedSample, k: usize) -> Vec<Group> {
+    assert!(k > 0, "need at least one group");
+    let n = sample.hosts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let base = n / k;
+    let extra = n % k; // the first `extra` groups get one more member
+    let mut groups = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for g in 0..k {
+        let len = base + usize::from(g < extra);
+        let hosts: Vec<JudgedHost> = sample.hosts[start..start + len].to_vec();
+        let smallest = hosts.first().map(|h| h.relative_mass).unwrap_or(0.0);
+        let largest = hosts.last().map(|h| h.relative_mass).unwrap_or(0.0);
+        groups.push(Group { number: g + 1, smallest, largest, hosts });
+        start += len;
+    }
+    groups
+}
+
+/// Threshold grid derived from group boundaries, descending — the τ axis
+/// of Figure 4 ("the threshold values that we derived from the sample
+/// group boundaries"). Only non-negative boundaries are kept (negative τ
+/// would label core members spam).
+pub fn thresholds_from_groups(groups: &[Group]) -> Vec<f64> {
+    let mut taus: Vec<f64> = groups
+        .iter()
+        .map(|g| g.smallest)
+        .filter(|&t| t >= 0.0)
+        .collect();
+    taus.push(0.0);
+    taus.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    taus.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    taus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{JudgedHost, Judgement};
+    use spammass_graph::NodeId;
+
+    fn sample_of(masses: &[f64]) -> JudgedSample {
+        let hosts = masses
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| JudgedHost {
+                node: NodeId(i as u32),
+                relative_mass: m,
+                judgement: if m > 0.5 { Judgement::Spam } else { Judgement::Good },
+            })
+            .collect();
+        JudgedSample { hosts }
+    }
+
+    #[test]
+    fn equal_split_sizes() {
+        let s = sample_of(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        let g = split_into_groups(&s, 5);
+        assert_eq!(g.len(), 5);
+        assert!(g.iter().all(|grp| grp.size() == 2));
+        assert_eq!(g[0].number, 1);
+        assert!((g[0].smallest - 0.0).abs() < 1e-12);
+        assert!((g[4].largest - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_split_spreads_remainder() {
+        let s = sample_of(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]);
+        let g = split_into_groups(&s, 3);
+        let sizes: Vec<usize> = g.iter().map(Group::size).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+        assert_eq!(sizes.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn boundaries_are_monotone() {
+        let s = sample_of(&[-0.5, -0.1, 0.0, 0.2, 0.4, 0.6, 0.8, 0.95]);
+        let g = split_into_groups(&s, 4);
+        for w in g.windows(2) {
+            assert!(w[0].largest <= w[1].smallest + 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_groups_than_hosts_clamps() {
+        let s = sample_of(&[0.1, 0.9]);
+        let g = split_into_groups(&s, 20);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn empty_sample_no_groups() {
+        let g = split_into_groups(&JudgedSample::default(), 20);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn composition_counts() {
+        let s = sample_of(&[0.1, 0.2, 0.9, 0.95]);
+        let g = split_into_groups(&s, 2);
+        assert_eq!(g[0].composition(), (2, 0, 0));
+        assert_eq!(g[1].composition(), (0, 0, 2));
+        assert_eq!(g[1].spam_fraction(), 1.0);
+    }
+
+    #[test]
+    fn thresholds_descend_and_include_zero() {
+        let s = sample_of(&[-0.5, 0.0, 0.2, 0.4, 0.6, 0.8]);
+        let g = split_into_groups(&s, 3);
+        let taus = thresholds_from_groups(&g);
+        assert!(taus.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(*taus.last().unwrap(), 0.0);
+        assert!(taus.iter().all(|&t| t >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_rejected() {
+        let _ = split_into_groups(&JudgedSample::default(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # spammass-eval
+//!
+//! Experiment harness reproducing **every table and figure** of the
+//! paper's evaluation (Section 4) on the synthetic web of
+//! `spammass-synth`, plus the worked examples of Section 3.
+//!
+//! | Experiment | Paper artefact | Module |
+//! |---|---|---|
+//! | `fig1` | Figure 1 closed forms | [`experiments::fig1`] |
+//! | `table1` | Table 1 (Figure 2 node features) | [`experiments::table1`] |
+//! | `graph-stats` | Section 4.1 data-set statistics | [`experiments::graph_stats`] |
+//! | `table2` | Table 2 (20 sample groups) | [`experiments::table2_fig3`] |
+//! | `fig3` | Figure 3 (group composition) | [`experiments::table2_fig3`] |
+//! | `fig4` | Figure 4 (precision vs τ) | [`experiments::fig4`] |
+//! | `fig5` | Figure 5 (core size/coverage ablation) | [`experiments::fig5`] |
+//! | `fig6` | Figure 6 (absolute-mass distribution) | [`experiments::fig6`] |
+//! | `anomaly` | Section 4.4.2 core expansion | [`experiments::anomaly`] |
+//! | `absolute-mass` | Section 4.6 failure analysis | [`experiments::absolute_mass`] |
+//! | `naive` | Section 3.1 baseline failures | [`experiments::naive_schemes`] |
+//! | `trustrank` | Section 5 comparison | [`experiments::trustrank_cmp`] |
+//!
+//! Run them all with
+//! `cargo run -p spammass-eval --release --bin experiments -- all`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod context;
+pub mod experiments;
+pub mod groups;
+pub mod histogram;
+pub mod precision;
+pub mod quality;
+pub mod report;
+pub mod sample;

@@ -1,0 +1,168 @@
+//! Precision curves (Figures 4 and 5).
+//!
+//! For a threshold τ, the paper estimates
+//!
+//! ```text
+//! prec(τ) = #{spam sample hosts with m̃ ≥ τ} / #{sample hosts with m̃ ≥ τ}
+//! ```
+//!
+//! computed twice: counting known-anomalous good hosts as false positives
+//! ("anomalous hosts included") and dropping them from both numerator and
+//! denominator ("excluded"). Unknown/non-existent hosts never count.
+
+use crate::sample::{JudgedSample, Judgement};
+
+/// Precision at one threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionPoint {
+    /// The relative-mass threshold τ.
+    pub tau: f64,
+    /// Precision counting anomalous good hosts as false positives.
+    pub with_anomalies: f64,
+    /// Precision with anomalous hosts removed from the sample.
+    pub without_anomalies: f64,
+    /// Judgeable sample hosts at or above τ.
+    pub sample_hosts_above: usize,
+    /// Pool hosts at or above τ (the "total number of hosts above
+    /// threshold" axis of Figure 4), when a pool mass vector is supplied.
+    pub pool_hosts_above: usize,
+}
+
+/// Computes the precision curve over a descending list of thresholds.
+///
+/// `pool_masses` — relative-mass estimates of the *whole* candidate pool
+/// `T`, used to report how many hosts each threshold would flag (pass an
+/// empty slice to skip).
+pub fn precision_curve(
+    sample: &JudgedSample,
+    taus: &[f64],
+    pool_masses: &[f64],
+) -> Vec<PrecisionPoint> {
+    taus.iter().map(|&tau| precision_at(sample, tau, pool_masses)).collect()
+}
+
+/// Precision at a single threshold.
+pub fn precision_at(sample: &JudgedSample, tau: f64, pool_masses: &[f64]) -> PrecisionPoint {
+    let mut spam = 0usize;
+    let mut good = 0usize;
+    let mut anomalous = 0usize;
+    for h in &sample.hosts {
+        if h.relative_mass < tau {
+            continue;
+        }
+        match h.judgement {
+            Judgement::Spam => spam += 1,
+            Judgement::Good => good += 1,
+            Judgement::GoodAnomalous => anomalous += 1,
+            Judgement::Unknown | Judgement::Nonexistent => {}
+        }
+    }
+    let with_total = spam + good + anomalous;
+    let without_total = spam + good;
+    let pool_hosts_above = pool_masses.iter().filter(|&&m| m >= tau).count();
+    PrecisionPoint {
+        tau,
+        with_anomalies: ratio(spam, with_total),
+        without_anomalies: ratio(spam, without_total),
+        sample_hosts_above: with_total,
+        pool_hosts_above,
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        1.0 // vacuous precision: nothing flagged, nothing wrong
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Area-under-curve style summary: mean precision over the given
+/// thresholds (used by the core-size ablation to compare cores with one
+/// number).
+pub fn mean_precision(points: &[PrecisionPoint], without_anomalies: bool) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = points
+        .iter()
+        .map(|p| if without_anomalies { p.without_anomalies } else { p.with_anomalies })
+        .sum();
+    sum / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::JudgedHost;
+    use spammass_graph::NodeId;
+
+    fn sample() -> JudgedSample {
+        let mk = |id: u32, m: f64, j: Judgement| JudgedHost {
+            node: NodeId(id),
+            relative_mass: m,
+            judgement: j,
+        };
+        JudgedSample {
+            hosts: vec![
+                mk(0, 0.1, Judgement::Good),
+                mk(1, 0.3, Judgement::Good),
+                mk(2, 0.6, Judgement::GoodAnomalous),
+                mk(3, 0.7, Judgement::Spam),
+                mk(4, 0.9, Judgement::Spam),
+                mk(5, 0.95, Judgement::Unknown),
+                mk(6, 0.99, Judgement::Nonexistent),
+            ],
+        }
+    }
+
+    #[test]
+    fn precision_counts_and_exclusions() {
+        let p = precision_at(&sample(), 0.5, &[]);
+        // Above 0.5: anomalous(1), spam(2); unknown/nonexistent ignored.
+        assert_eq!(p.sample_hosts_above, 3);
+        assert!((p.with_anomalies - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.without_anomalies - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_at_zero_includes_everything_judgeable() {
+        let p = precision_at(&sample(), 0.0, &[]);
+        assert_eq!(p.sample_hosts_above, 5);
+        assert!((p.with_anomalies - 0.4).abs() < 1e-12);
+        assert!((p.without_anomalies - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuous_precision_is_one() {
+        let p = precision_at(&sample(), 2.0, &[]);
+        assert_eq!(p.sample_hosts_above, 0);
+        assert_eq!(p.with_anomalies, 1.0);
+    }
+
+    #[test]
+    fn pool_counts() {
+        let pool = [0.1, 0.2, 0.8, 0.9, -0.3];
+        let p = precision_at(&sample(), 0.5, &pool);
+        assert_eq!(p.pool_hosts_above, 2);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_hosts_above() {
+        let taus = [0.9, 0.5, 0.0];
+        let c = precision_curve(&sample(), &taus, &[]);
+        assert_eq!(c.len(), 3);
+        assert!(c[0].sample_hosts_above <= c[1].sample_hosts_above);
+        assert!(c[1].sample_hosts_above <= c[2].sample_hosts_above);
+    }
+
+    #[test]
+    fn mean_precision_summary() {
+        let taus = [0.9, 0.5];
+        let c = precision_curve(&sample(), &taus, &[]);
+        let m_with = mean_precision(&c, false);
+        let m_without = mean_precision(&c, true);
+        assert!(m_without >= m_with);
+        assert_eq!(mean_precision(&[], true), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared ground-truth judging of a detector's output.
+//!
+//! Every comparative experiment (TrustRank, the Section 5 baselines, the
+//! ablations) scores a flagged-host list the same way; this module is the
+//! single implementation so the metrics cannot drift apart.
+
+use crate::context::Context;
+use spammass_graph::NodeId;
+use std::collections::BTreeSet;
+
+/// Quality of one detector run against ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionQuality {
+    /// Number of flagged hosts.
+    pub flagged: usize,
+    /// Spam fraction of the flagged hosts (vacuously 1.0 when nothing is
+    /// flagged — an empty answer contains no mistakes).
+    pub precision: f64,
+    /// Recall over boosted farm targets that entered the candidate pool —
+    /// the high-PageRank spam the paper's detector is aimed at.
+    pub target_recall: f64,
+    /// Recall over *all* spam nodes, boosters included (the axis on which
+    /// structure-pattern baselines like degree outliers score).
+    pub spam_recall: f64,
+}
+
+/// Scores `flagged` against the scenario's ground truth.
+pub fn assess(ctx: &Context, flagged: &[NodeId]) -> DetectionQuality {
+    let flagged_set: BTreeSet<NodeId> = flagged.iter().copied().collect();
+    let spam_flagged = flagged_set
+        .iter()
+        .filter(|&&x| ctx.scenario.truth.is_spam(x))
+        .count();
+    let precision = if flagged_set.is_empty() {
+        1.0
+    } else {
+        spam_flagged as f64 / flagged_set.len() as f64
+    };
+
+    let pool: BTreeSet<NodeId> = ctx.pool.iter().copied().collect();
+    let targets_in_pool: Vec<NodeId> = ctx
+        .scenario
+        .farms
+        .iter()
+        .map(|f| f.target)
+        .filter(|t| pool.contains(t))
+        .collect();
+    let caught = targets_in_pool.iter().filter(|t| flagged_set.contains(t)).count();
+    let target_recall = if targets_in_pool.is_empty() {
+        1.0
+    } else {
+        caught as f64 / targets_in_pool.len() as f64
+    };
+
+    let all_spam = ctx.scenario.spam_nodes();
+    let spam_recall = if all_spam.is_empty() {
+        1.0
+    } else {
+        spam_flagged as f64 / all_spam.len() as f64
+    };
+
+    DetectionQuality { flagged: flagged_set.len(), precision, target_recall, spam_recall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentOptions;
+
+    #[test]
+    fn assess_scores_perfect_and_empty_answers() {
+        let ctx = Context::build(ExperimentOptions::test_scale());
+        let targets: Vec<NodeId> = ctx
+            .scenario
+            .farms
+            .iter()
+            .map(|f| f.target)
+            .filter(|t| ctx.pool.contains(t))
+            .collect();
+        let q = assess(&ctx, &targets);
+        assert_eq!(q.flagged, targets.len());
+        assert!((q.precision - 1.0).abs() < 1e-12);
+        assert!((q.target_recall - 1.0).abs() < 1e-12);
+        assert!(q.spam_recall > 0.0 && q.spam_recall < 0.2);
+
+        let empty = assess(&ctx, &[]);
+        assert_eq!(empty.flagged, 0);
+        assert!((empty.precision - 1.0).abs() < 1e-12);
+        assert!((empty.target_recall - 0.0).abs() < 1e-12 || targets.is_empty());
+    }
+
+    #[test]
+    fn assess_counts_good_hosts_as_false_positives() {
+        let ctx = Context::build(ExperimentOptions::test_scale());
+        let some_good: Vec<NodeId> = ctx
+            .pool
+            .iter()
+            .copied()
+            .filter(|&x| ctx.scenario.truth.is_good(x))
+            .take(4)
+            .collect();
+        let q = assess(&ctx, &some_good);
+        assert_eq!(q.flagged, 4);
+        assert!((q.precision - 0.0).abs() < 1e-12);
+    }
+}

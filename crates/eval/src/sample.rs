@@ -1,0 +1,264 @@
+//! Evaluation sampling and simulated judging (Section 4.4.1).
+//!
+//! The paper drew a uniform 892-host sample (~0.1%) of the candidate pool
+//! `T = {x : scaled p_x ≥ ρ}` and judged each host manually: 63.2% good,
+//! 25.7% spam, 6.1% unknown (East Asian hosts the judges could not read),
+//! 5% non-existent. Here the generator's ground truth plays the judge; the
+//! unknown/non-existent outcomes are simulated at configurable rates so
+//! the evaluation pipeline (which must *exclude* them) is exercised.
+//!
+//! Good hosts that belong to an isolated community are additionally
+//! tagged **anomalous** — the gray bars of Figure 3 (Alibaba, Brazilian
+//! blogs, Polish web), whose high relative mass is a core-coverage
+//! artefact rather than spam.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use spammass_graph::NodeId;
+
+/// Outcome of judging one sampled host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Judgement {
+    /// Reputable host.
+    Good,
+    /// Reputable host whose high mass is a known core-coverage anomaly.
+    GoodAnomalous,
+    /// Spam host.
+    Spam,
+    /// Could not be judged (excluded from precision).
+    Unknown,
+    /// No longer reachable (excluded from precision).
+    Nonexistent,
+}
+
+/// One judged host.
+#[derive(Debug, Clone, Copy)]
+pub struct JudgedHost {
+    /// The host.
+    pub node: NodeId,
+    /// Its estimated relative mass `m̃`.
+    pub relative_mass: f64,
+    /// The judgement.
+    pub judgement: Judgement,
+}
+
+impl JudgedHost {
+    /// Whether the host counts toward precision (unknown / non-existent
+    /// hosts are excluded, Section 4.4.1).
+    pub fn is_judgeable(&self) -> bool {
+        !matches!(self.judgement, Judgement::Unknown | Judgement::Nonexistent)
+    }
+}
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleConfig {
+    /// Fraction of the pool to sample (1.0 = evaluate the whole pool;
+    /// the paper used ~0.001).
+    pub fraction: f64,
+    /// Probability a host is judged `Unknown` (paper: 0.061).
+    pub unknown_rate: f64,
+    /// Probability a host is judged `Nonexistent` (paper: 0.05).
+    pub nonexistent_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig { fraction: 1.0, unknown_rate: 0.0, nonexistent_rate: 0.0, seed: 0 }
+    }
+}
+
+impl SampleConfig {
+    /// The paper's judging noise: 6.1% unknown, 5% non-existent.
+    pub fn paper_noise(seed: u64) -> Self {
+        SampleConfig { fraction: 1.0, unknown_rate: 0.061, nonexistent_rate: 0.05, seed }
+    }
+}
+
+/// The judged sample, ordered by ascending relative mass.
+#[derive(Debug, Clone, Default)]
+pub struct JudgedSample {
+    /// Judged hosts, ascending by `relative_mass`.
+    pub hosts: Vec<JudgedHost>,
+}
+
+impl JudgedSample {
+    /// Draws and judges a sample of `pool`.
+    ///
+    /// * `relative_mass(x)` — the estimate `m̃_x`;
+    /// * `is_spam(x)` — ground truth;
+    /// * `is_anomalous(x)` — good-but-known-anomaly classification.
+    pub fn judge<M, S, A>(
+        pool: &[NodeId],
+        config: &SampleConfig,
+        mut relative_mass: M,
+        mut is_spam: S,
+        mut is_anomalous: A,
+    ) -> JudgedSample
+    where
+        M: FnMut(NodeId) -> f64,
+        S: FnMut(NodeId) -> bool,
+        A: FnMut(NodeId) -> bool,
+    {
+        assert!((0.0..=1.0).contains(&config.fraction), "fraction out of range");
+        assert!(
+            (0.0..=1.0).contains(&config.unknown_rate),
+            "unknown_rate out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.nonexistent_rate),
+            "nonexistent_rate out of range"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let picked: Vec<NodeId> = if config.fraction >= 1.0 {
+            pool.to_vec()
+        } else {
+            let k = ((pool.len() as f64) * config.fraction).round().max(1.0) as usize;
+            pool.choose_multiple(&mut rng, k.min(pool.len())).copied().collect()
+        };
+
+        let mut hosts: Vec<JudgedHost> = picked
+            .into_iter()
+            .map(|node| {
+                let judgement = if rng.gen_bool(config.nonexistent_rate) {
+                    Judgement::Nonexistent
+                } else if rng.gen_bool(config.unknown_rate) {
+                    Judgement::Unknown
+                } else if is_spam(node) {
+                    Judgement::Spam
+                } else if is_anomalous(node) {
+                    Judgement::GoodAnomalous
+                } else {
+                    Judgement::Good
+                };
+                JudgedHost { node, relative_mass: relative_mass(node), judgement }
+            })
+            .collect();
+        hosts.sort_by(|a, b| {
+            a.relative_mass
+                .partial_cmp(&b.relative_mass)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.node.cmp(&b.node))
+        });
+        JudgedSample { hosts }
+    }
+
+    /// Number of sampled hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Counts per judgement: (good, anomalous, spam, unknown, nonexistent).
+    pub fn composition(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for h in &self.hosts {
+            match h.judgement {
+                Judgement::Good => c.0 += 1,
+                Judgement::GoodAnomalous => c.1 += 1,
+                Judgement::Spam => c.2 += 1,
+                Judgement::Unknown => c.3 += 1,
+                Judgement::Nonexistent => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// The judgeable subset (sample minus unknown/non-existent), in the
+    /// same ascending-mass order.
+    pub fn judgeable(&self) -> Vec<JudgedHost> {
+        self.hosts.iter().copied().filter(JudgedHost::is_judgeable).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn judge_simple(cfg: &SampleConfig) -> JudgedSample {
+        // Even ids spam with mass 0.9; odd good with mass 0.1.
+        JudgedSample::judge(
+            &pool(100),
+            cfg,
+            |x| if x.0 % 2 == 0 { 0.9 } else { 0.1 },
+            |x| x.0 % 2 == 0,
+            |_| false,
+        )
+    }
+
+    #[test]
+    fn full_pool_sample() {
+        let s = judge_simple(&SampleConfig::default());
+        assert_eq!(s.len(), 100);
+        let (good, anom, spam, unk, non) = s.composition();
+        assert_eq!((good, anom, spam, unk, non), (50, 0, 50, 0, 0));
+    }
+
+    #[test]
+    fn sorted_by_ascending_mass() {
+        let s = judge_simple(&SampleConfig::default());
+        for w in s.hosts.windows(2) {
+            assert!(w[0].relative_mass <= w[1].relative_mass);
+        }
+    }
+
+    #[test]
+    fn fractional_sampling_sizes() {
+        let cfg = SampleConfig { fraction: 0.2, ..Default::default() };
+        let s = judge_simple(&cfg);
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let cfg = SampleConfig { fraction: 0.3, seed: 5, ..Default::default() };
+        let a = judge_simple(&cfg);
+        let b = judge_simple(&cfg);
+        let ids_a: Vec<u32> = a.hosts.iter().map(|h| h.node.0).collect();
+        let ids_b: Vec<u32> = b.hosts.iter().map(|h| h.node.0).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn noise_rates_produce_exclusions() {
+        let cfg = SampleConfig { unknown_rate: 0.3, nonexistent_rate: 0.2, seed: 1, fraction: 1.0 };
+        let s = judge_simple(&cfg);
+        let (_, _, _, unk, non) = s.composition();
+        assert!(unk > 10, "unknown count {unk}");
+        assert!(non > 5, "nonexistent count {non}");
+        assert_eq!(s.judgeable().len(), s.len() - unk - non);
+    }
+
+    #[test]
+    fn anomalous_classification_applies_to_good_only() {
+        let s = JudgedSample::judge(
+            &pool(10),
+            &SampleConfig::default(),
+            |_| 0.5,
+            |x| x.0 < 3,      // 0,1,2 spam
+            |x| x.0 % 2 == 0, // evens anomalous — but spam wins first
+        );
+        let (good, anom, spam, _, _) = s.composition();
+        assert_eq!(spam, 3);
+        assert_eq!(anom, 3); // 4, 6, 8
+        assert_eq!(good, 4); // 3, 5, 7, 9
+    }
+
+    #[test]
+    fn paper_noise_rates() {
+        let cfg = SampleConfig::paper_noise(7);
+        assert!((cfg.unknown_rate - 0.061).abs() < 1e-12);
+        assert!((cfg.nonexistent_rate - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, reading, or writing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id outside the declared node range.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes declared for the graph.
+        node_count: usize,
+    },
+    /// A self-loop was supplied; the paper's model disallows self-links
+    /// (Section 2.1).
+    SelfLoop {
+        /// The node that pointed at itself.
+        node: u32,
+    },
+    /// A parse failure in a text edge-list or label file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A malformed or truncated binary graph image.
+    Corrupt(String),
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node id {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} (self-links are disallowed)")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph image: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange { node: 9, node_count: 5 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::Parse { line: 2, message: "bad".into() };
+        assert!(e.to_string().contains("line 2"));
+        let e = GraphError::Corrupt("short".into());
+        assert!(e.to_string().contains("corrupt"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,295 @@
+//! Immutable CSR graph.
+
+use crate::node::NodeId;
+
+/// An immutable directed graph in compressed-sparse-row form.
+///
+/// Both orientations are materialized:
+///
+/// * the **out** CSR drives the PageRank sweep
+///   `p[i] ← c·Tᵀ·p[i−1] + (1−c)·v` (Algorithm 1 scatters each node's score
+///   along its out-edges), and
+/// * the **in** CSR serves spam analysis, which inspects a node's
+///   in-neighbourhood (the naive schemes of Section 3.1 and the manual
+///   sample inspection of Section 4.4.1 both look at who links *to* a node).
+///
+/// Adjacency lists are sorted by neighbour id, enabling binary-search edge
+/// lookups ([`has_edge`](Graph::has_edge)).
+#[derive(Clone)]
+pub struct Graph {
+    node_count: usize,
+    edge_count: usize,
+    /// CSR offsets for out-edges; length `node_count + 1`.
+    out_offsets: Box<[u32]>,
+    /// Concatenated out-neighbour lists.
+    out_targets: Box<[NodeId]>,
+    /// CSR offsets for in-edges; length `node_count + 1`.
+    in_offsets: Box<[u32]>,
+    /// Concatenated in-neighbour lists.
+    in_sources: Box<[NodeId]>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list that is already sorted by
+    /// `(from, to)` and free of duplicates and self-loops.
+    ///
+    /// This is the single CSR layout routine used by
+    /// [`GraphBuilder::build`](crate::GraphBuilder::build).
+    pub(crate) fn from_sorted_unique_edges(node_count: usize, edges: &[(u32, u32)]) -> Graph {
+        let m = edges.len();
+        assert!(m <= u32::MAX as usize, "graphs are limited to u32::MAX edges");
+
+        let mut out_offsets = vec![0u32; node_count + 1];
+        let mut in_offsets = vec![0u32; node_count + 1];
+        for &(f, t) in edges {
+            out_offsets[f as usize + 1] += 1;
+            in_offsets[t as usize + 1] += 1;
+        }
+        for i in 0..node_count {
+            out_offsets[i + 1] += out_offsets[i];
+            in_offsets[i + 1] += in_offsets[i];
+        }
+
+        // Out-targets can be emitted directly because `edges` is sorted by
+        // `from`; in-sources need a counting-sort scatter pass.
+        let mut out_targets = Vec::with_capacity(m);
+        out_targets.extend(edges.iter().map(|&(_, t)| NodeId(t)));
+
+        let mut in_sources = vec![NodeId(0); m];
+        let mut cursor: Vec<u32> = in_offsets[..node_count].to_vec();
+        for &(f, t) in edges {
+            let c = &mut cursor[t as usize];
+            in_sources[*c as usize] = NodeId(f);
+            *c += 1;
+        }
+        // Because `edges` is sorted by (from, to), sources scatter into each
+        // in-list in increasing order — in-lists come out sorted too.
+
+        Graph {
+            node_count,
+            edge_count: m,
+            out_offsets: out_offsets.into_boxed_slice(),
+            out_targets: out_targets.into_boxed_slice(),
+            in_offsets: in_offsets.into_boxed_slice(),
+            in_sources: in_sources.into_boxed_slice(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count as u32).map(NodeId)
+    }
+
+    /// Out-neighbours of `x`, sorted by id.
+    #[inline]
+    pub fn out_neighbors(&self, x: NodeId) -> &[NodeId] {
+        let lo = self.out_offsets[x.index()] as usize;
+        let hi = self.out_offsets[x.index() + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbours of `x`, sorted by id.
+    #[inline]
+    pub fn in_neighbors(&self, x: NodeId) -> &[NodeId] {
+        let lo = self.in_offsets[x.index()] as usize;
+        let hi = self.in_offsets[x.index() + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree `out(x)`.
+    #[inline]
+    pub fn out_degree(&self, x: NodeId) -> usize {
+        (self.out_offsets[x.index() + 1] - self.out_offsets[x.index()]) as usize
+    }
+
+    /// In-degree of `x`.
+    #[inline]
+    pub fn in_degree(&self, x: NodeId) -> usize {
+        (self.in_offsets[x.index() + 1] - self.in_offsets[x.index()]) as usize
+    }
+
+    /// Whether `x` is a dangling node (`out(x) = 0`); such nodes make the
+    /// transition matrix substochastic (Section 2.2).
+    #[inline]
+    pub fn is_dangling(&self, x: NodeId) -> bool {
+        self.out_degree(x) == 0
+    }
+
+    /// Whether the directed edge `(from, to)` exists (binary search).
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.out_neighbors(from).binary_search(&to).is_ok()
+    }
+
+    /// Iterator over all edges in `(from, to)` order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |f| {
+            self.out_neighbors(f).iter().map(move |&t| (f, t))
+        })
+    }
+
+    /// Iterator over dangling nodes.
+    pub fn dangling_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(move |&x| self.is_dangling(x))
+    }
+
+    /// Returns a new graph with every edge reversed.
+    ///
+    /// For a cheap, non-copying view use [`ReverseView`](crate::ReverseView).
+    pub fn reversed(&self) -> Graph {
+        Graph {
+            node_count: self.node_count,
+            edge_count: self.edge_count,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+        }
+    }
+
+    /// Builds a new graph containing only edges for which `keep` returns
+    /// `true`. Node ids are preserved.
+    pub fn filter_edges<F: FnMut(NodeId, NodeId) -> bool>(&self, mut keep: F) -> Graph {
+        let mut edges = Vec::new();
+        for (f, t) in self.edges() {
+            if keep(f, t) {
+                edges.push((f.0, t.0));
+            }
+        }
+        // `edges()` yields in sorted unique order already.
+        Graph::from_sorted_unique_edges(self.node_count, &edges)
+    }
+
+    /// Builds the subgraph induced by `keep_node`, preserving node ids
+    /// (nodes outside the set become isolated).
+    pub fn induced_subgraph<F: FnMut(NodeId) -> bool>(&self, keep_node: F) -> Graph {
+        let keep: Vec<bool> = self.nodes().map(keep_node).collect();
+        self.filter_edges(|f, t| keep[f.index()] && keep[t.index()])
+    }
+
+    /// Approximate heap footprint in bytes (CSR arrays only).
+    pub fn heap_size_bytes(&self) -> usize {
+        (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<u32>()
+            + (self.out_targets.len() + self.in_sources.len()) * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.node_count)
+            .field("edges", &self.edge_count)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 0);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert_eq!(g.in_degree(NodeId(3)), 2);
+        assert!(g.is_dangling(NodeId(3)));
+        assert!(!g.is_dangling(NodeId(0)));
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = GraphBuilder::from_edges(4, &[(0, 3), (0, 1), (0, 2), (2, 0), (1, 0)]);
+        assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(g.in_neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn has_edge_lookup() {
+        let g = diamond();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(3)),
+                (NodeId(2), NodeId(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn dangling_nodes_iterator() {
+        let g = diamond();
+        let d: Vec<_> = g.dangling_nodes().collect();
+        assert_eq!(d, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn reversed_swaps_orientations() {
+        let g = diamond().reversed();
+        assert_eq!(g.out_degree(NodeId(3)), 2);
+        assert_eq!(g.in_degree(NodeId(3)), 0);
+        assert!(g.has_edge(NodeId(3), NodeId(1)));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn filter_edges_removes_selected() {
+        let g = diamond().filter_edges(|f, _| f != NodeId(0));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(NodeId(0)), 0);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_ids() {
+        let g = diamond().induced_subgraph(|x| x != NodeId(1));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2); // 0->2, 2->3
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn in_lists_sorted_after_scatter() {
+        // Edges arriving at node 5 from many sources, inserted shuffled.
+        let g = GraphBuilder::from_edges(6, &[(4, 5), (0, 5), (2, 5), (1, 5), (3, 5)]);
+        let ins: Vec<u32> = g.in_neighbors(NodeId(5)).iter().map(|n| n.0).collect();
+        assert_eq!(ins, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn heap_size_reasonable() {
+        let g = diamond();
+        // 2*(5 offsets)*4 bytes + 2*(4 edges)*4 bytes
+        assert_eq!(g.heap_size_bytes(), 2 * 5 * 4 + 2 * 4 * 4);
+    }
+}

@@ -1,0 +1,64 @@
+//! # spammass-graph
+//!
+//! Compact directed-graph substrate for host-level web graphs, built for the
+//! spam-mass reproduction of Gyöngyi et al., *Link Spam Detection Based on
+//! Mass Estimation* (VLDB 2006).
+//!
+//! The paper models the web as an unweighted directed graph `G = (V, E)`
+//! without self-links, where nodes are pages, hosts, or sites (Section 2.1).
+//! This crate provides:
+//!
+//! * [`NodeId`] — a 4-byte node identifier newtype.
+//! * [`GraphBuilder`] / [`Graph`] — an edge-list builder producing an
+//!   immutable graph stored in compressed sparse row (CSR) form for **both**
+//!   orientations: PageRank sweeps out-edges, while spam analysis walks
+//!   in-edges.
+//! * [`NodeLabels`] — optional host names with TLD / registrable-domain
+//!   helpers, used to assemble good cores the way Section 4.2 does
+//!   (directory + `.gov` + `.edu` hosts).
+//! * [`stats::GraphStats`] — the structural statistics reported in
+//!   Section 4.1 (no-inlink / no-outlink / isolated fractions, degree
+//!   distributions).
+//! * [`powerlaw`] — discrete power-law fitting (Hill / MLE estimator) and
+//!   log-binned histograms for Figure 6.
+//! * [`traversal`] / [`components`] — BFS/DFS, weakly-connected components,
+//!   and Tarjan SCC, used to analyse isolated cliques (Section 4.4.3,
+//!   observation 1).
+//! * [`io`] — text edge-list and binary round-trip formats.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use spammass_graph::{GraphBuilder, NodeId};
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(NodeId(0), NodeId(1));
+//! b.add_edge(NodeId(1), NodeId(2));
+//! let g = b.build();
+//! assert_eq!(g.node_count(), 3);
+//! assert_eq!(g.out_degree(NodeId(0)), 1);
+//! assert_eq!(g.in_neighbors(NodeId(2)), &[NodeId(1)]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod builder;
+pub mod components;
+mod error;
+mod graph;
+pub mod io;
+mod labels;
+mod node;
+pub mod powerlaw;
+pub mod stats;
+pub mod subgraph;
+pub mod traversal;
+mod view;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use labels::{HostName, NodeLabels};
+pub use node::NodeId;
+pub use view::ReverseView;

@@ -1,0 +1,133 @@
+//! Subgraph extraction with node-id remapping.
+//!
+//! [`Graph::induced_subgraph`](crate::Graph::induced_subgraph) keeps the
+//! original id space (isolating removed nodes), which suits masking; for
+//! *inspection* — pulling a spam farm's neighbourhood out of a 60k-host
+//! web to look at it — a compact remapped extract is the right shape.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::traversal::{bfs_distances, Direction};
+use crate::GraphBuilder;
+
+/// A compact subgraph plus the mapping back to the original graph.
+#[derive(Debug, Clone)]
+pub struct Extract {
+    /// The remapped subgraph (ids `0..n`).
+    pub graph: Graph,
+    /// `original[i]` is the original id of extract node `i`.
+    pub original: Vec<NodeId>,
+}
+
+impl Extract {
+    /// The original id of an extract node.
+    pub fn original_of(&self, x: NodeId) -> NodeId {
+        self.original[x.index()]
+    }
+
+    /// The extract id of an original node, if it was kept.
+    pub fn extract_of(&self, original: NodeId) -> Option<NodeId> {
+        // `original` is sorted ascending (extraction preserves id order).
+        self.original
+            .binary_search(&original)
+            .ok()
+            .map(NodeId::from_index)
+    }
+}
+
+/// Extracts the subgraph induced by `keep` (sorted, deduplicated
+/// internally), remapping ids to `0..keep.len()`.
+pub fn extract(graph: &Graph, keep: &[NodeId]) -> Extract {
+    let mut original: Vec<NodeId> = keep.to_vec();
+    original.sort_unstable();
+    original.dedup();
+
+    // Dense reverse map for O(1) membership + remap.
+    let mut remap: Vec<u32> = vec![u32::MAX; graph.node_count()];
+    for (new_id, &old) in original.iter().enumerate() {
+        remap[old.index()] = new_id as u32;
+    }
+
+    let mut b = GraphBuilder::new(original.len());
+    for &old in &original {
+        let from = remap[old.index()];
+        for &t in graph.out_neighbors(old) {
+            let to = remap[t.index()];
+            if to != u32::MAX {
+                b.add_edge(NodeId(from), NodeId(to));
+            }
+        }
+    }
+    Extract { graph: b.build(), original }
+}
+
+/// Extracts the `radius`-hop neighbourhood of `center` (following edges
+/// in both directions) — the "look at this farm" operation.
+pub fn neighborhood(graph: &Graph, center: NodeId, radius: u32) -> Extract {
+    let dist = bfs_distances(graph, &[center], Direction::Undirected);
+    let keep: Vec<NodeId> = dist
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| matches!(d, Some(h) if *h <= radius))
+        .map(|(i, _)| NodeId::from_index(i))
+        .collect();
+    extract(graph, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web() -> Graph {
+        // 0 -> 1 -> 2 -> 3; 4 -> 1; 5 isolated.
+        GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 1)])
+    }
+
+    #[test]
+    fn extract_remaps_and_keeps_internal_edges() {
+        let g = web();
+        let e = extract(&g, &[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(e.graph.node_count(), 3);
+        // Internal edges: 1->2 and 4->1; 0->1 and 2->3 cross the boundary.
+        assert_eq!(e.graph.edge_count(), 2);
+        let n1 = e.extract_of(NodeId(1)).unwrap();
+        let n2 = e.extract_of(NodeId(2)).unwrap();
+        let n4 = e.extract_of(NodeId(4)).unwrap();
+        assert!(e.graph.has_edge(n1, n2));
+        assert!(e.graph.has_edge(n4, n1));
+        assert_eq!(e.original_of(n1), NodeId(1));
+        assert_eq!(e.extract_of(NodeId(0)), None);
+    }
+
+    #[test]
+    fn extract_dedups_input() {
+        let g = web();
+        let e = extract(&g, &[NodeId(2), NodeId(1), NodeId(2)]);
+        assert_eq!(e.graph.node_count(), 2);
+        assert_eq!(e.original, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn neighborhood_radius_bounds() {
+        let g = web();
+        let e0 = neighborhood(&g, NodeId(1), 0);
+        assert_eq!(e0.graph.node_count(), 1);
+
+        let e1 = neighborhood(&g, NodeId(1), 1);
+        // 1 plus neighbours {0, 2, 4}.
+        assert_eq!(e1.graph.node_count(), 4);
+        assert!(e1.extract_of(NodeId(3)).is_none());
+
+        let e2 = neighborhood(&g, NodeId(1), 2);
+        assert_eq!(e2.graph.node_count(), 5);
+        assert!(e2.extract_of(NodeId(5)).is_none(), "isolated node unreachable");
+    }
+
+    #[test]
+    fn empty_keep_set() {
+        let g = web();
+        let e = extract(&g, &[]);
+        assert_eq!(e.graph.node_count(), 0);
+        assert_eq!(e.graph.edge_count(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Graph traversal: BFS, DFS, reachability.
+//!
+//! Used by the analysis side of the reproduction: Section 4.4.3 observes
+//! that ~10% of positive-mass good hosts sit in *isolated cliques* "only
+//! weakly connected to the good core" — diagnosing that requires
+//! reachability from the core.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use std::collections::VecDeque;
+
+/// Direction in which edges are followed during traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (`x -> y` visits `y` from `x`).
+    Forward,
+    /// Follow in-edges.
+    Backward,
+    /// Treat edges as undirected.
+    Undirected,
+}
+
+fn neighbors<'g>(g: &'g Graph, x: NodeId, dir: Direction) -> Box<dyn Iterator<Item = NodeId> + 'g> {
+    match dir {
+        Direction::Forward => Box::new(g.out_neighbors(x).iter().copied()),
+        Direction::Backward => Box::new(g.in_neighbors(x).iter().copied()),
+        Direction::Undirected => Box::new(
+            g.out_neighbors(x).iter().copied().chain(g.in_neighbors(x).iter().copied()),
+        ),
+    }
+}
+
+/// Breadth-first search from `sources`, returning per-node hop distance
+/// (`None` if unreachable).
+pub fn bfs_distances(g: &Graph, sources: &[NodeId], dir: Direction) -> Vec<Option<u32>> {
+    let mut dist: Vec<Option<u32>> = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(x) = queue.pop_front() {
+        let dx = dist[x.index()].expect("queued node has distance");
+        for y in neighbors(g, x, dir) {
+            if dist[y.index()].is_none() {
+                dist[y.index()] = Some(dx + 1);
+                queue.push_back(y);
+            }
+        }
+    }
+    dist
+}
+
+/// Set of nodes reachable from `sources` (including the sources), as a
+/// boolean membership vector.
+pub fn reachable_from(g: &Graph, sources: &[NodeId], dir: Direction) -> Vec<bool> {
+    bfs_distances(g, sources, dir).iter().map(|d| d.is_some()).collect()
+}
+
+/// Depth-first post-order over the whole graph (iterative, stack-safe for
+/// million-node graphs). Roots are visited in id order.
+pub fn dfs_postorder(g: &Graph, dir: Direction) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Stack entries: (node, neighbour list, cursor). The neighbour list is
+    // collected once per node when its frame is pushed; re-collecting it
+    // on every re-examination would cost O(degree²) per node.
+    let mut stack: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+
+    for root in g.nodes() {
+        if visited[root.index()] {
+            continue;
+        }
+        visited[root.index()] = true;
+        stack.push((root, neighbors(g, root, dir).collect(), 0));
+        while let Some((x, nbrs, cursor)) = stack.last_mut() {
+            if *cursor < nbrs.len() {
+                let y = nbrs[*cursor];
+                *cursor += 1;
+                if !visited[y.index()] {
+                    visited[y.index()] = true;
+                    stack.push((y, neighbors(g, y, dir).collect(), 0));
+                }
+            } else {
+                order.push(*x);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+/// Counts nodes reachable from `sources` within `max_hops`.
+pub fn count_reachable_within(g: &Graph, sources: &[NodeId], dir: Direction, max_hops: u32) -> usize {
+    bfs_distances(g, sources, dir)
+        .iter()
+        .filter(|d| matches!(d, Some(h) if *h <= max_hops))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn chain() -> Graph {
+        GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn bfs_forward_distances() {
+        let g = chain();
+        let d = bfs_distances(&g, &[NodeId(0)], Direction::Forward);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_backward_distances() {
+        let g = chain();
+        let d = bfs_distances(&g, &[NodeId(3)], Direction::Backward);
+        assert_eq!(d, vec![Some(3), Some(2), Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]);
+        let d = bfs_distances(&g, &[NodeId(0)], Direction::Forward);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn undirected_connects_both_ways() {
+        let g = GraphBuilder::from_edges(3, &[(1, 0), (1, 2)]);
+        let r = reachable_from(&g, &[NodeId(0)], Direction::Undirected);
+        assert_eq!(r, vec![true, true, true]);
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let g = GraphBuilder::from_edges(5, &[(0, 2), (1, 3)]);
+        let d = bfs_distances(&g, &[NodeId(0), NodeId(1)], Direction::Forward);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(0));
+        assert_eq!(d[2], Some(1));
+        assert_eq!(d[3], Some(1));
+        assert_eq!(d[4], None);
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let g = chain();
+        let order = dfs_postorder(&g, Direction::Forward);
+        assert_eq!(order, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn postorder_covers_all_nodes_with_cycles() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 0), (2, 0)]);
+        let order = dfs_postorder(&g, Direction::Forward);
+        assert_eq!(order.len(), 3);
+        let mut ids: Vec<u32> = order.iter().map(|n| n.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn count_reachable_bounded() {
+        let g = chain();
+        assert_eq!(count_reachable_within(&g, &[NodeId(0)], Direction::Forward, 1), 2);
+        assert_eq!(count_reachable_within(&g, &[NodeId(0)], Direction::Forward, 10), 4);
+    }
+}

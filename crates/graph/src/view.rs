@@ -1,0 +1,101 @@
+//! Lightweight graph views.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// A zero-copy reversed view of a [`Graph`]: out-edges become in-edges and
+/// vice versa.
+///
+/// TrustRank seed selection ([9], implemented in `spammass-core`) runs
+/// *inverse PageRank* — PageRank on the transposed graph — and this view
+/// avoids materializing a second CSR for that.
+#[derive(Clone, Copy)]
+pub struct ReverseView<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> ReverseView<'g> {
+    /// Wraps `graph` in a reversed view.
+    pub fn new(graph: &'g Graph) -> Self {
+        ReverseView { graph }
+    }
+
+    /// The underlying (forward) graph.
+    pub fn inner(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Out-neighbours in the reversed orientation (= in-neighbours of the
+    /// forward graph).
+    pub fn out_neighbors(&self, x: NodeId) -> &'g [NodeId] {
+        self.graph.in_neighbors(x)
+    }
+
+    /// In-neighbours in the reversed orientation.
+    pub fn in_neighbors(&self, x: NodeId) -> &'g [NodeId] {
+        self.graph.out_neighbors(x)
+    }
+
+    /// Out-degree in the reversed orientation.
+    pub fn out_degree(&self, x: NodeId) -> usize {
+        self.graph.in_degree(x)
+    }
+
+    /// In-degree in the reversed orientation.
+    pub fn in_degree(&self, x: NodeId) -> usize {
+        self.graph.out_degree(x)
+    }
+
+    /// Materializes the reversed view into an owned [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        self.graph.reversed()
+    }
+}
+
+impl std::fmt::Debug for ReverseView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReverseView")
+            .field("nodes", &self.node_count())
+            .field("edges", &self.edge_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn view_matches_materialized_reverse() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let v = ReverseView::new(&g);
+        let r = v.to_graph();
+        for x in g.nodes() {
+            assert_eq!(v.out_neighbors(x), r.out_neighbors(x));
+            assert_eq!(v.in_neighbors(x), r.in_neighbors(x));
+            assert_eq!(v.out_degree(x), r.out_degree(x));
+            assert_eq!(v.in_degree(x), r.in_degree(x));
+        }
+        assert_eq!(v.edge_count(), g.edge_count());
+        assert_eq!(v.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn inner_returns_forward_graph() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let v = ReverseView::new(&g);
+        assert!(v.inner().has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(v.out_degree(NodeId(1)), 1);
+    }
+}

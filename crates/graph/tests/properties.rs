@@ -1,0 +1,143 @@
+//! Property-based invariants of the graph substrate.
+
+use proptest::prelude::*;
+use spammass_graph::{components, io, subgraph, traversal, Graph, GraphBuilder, NodeId};
+
+/// Arbitrary graph: up to 30 nodes, up to 120 raw edges (duplicates and
+/// self-loops included to exercise the builder's cleaning).
+fn arb_graph() -> impl Strategy<Value = (Graph, Vec<(u32, u32)>)> {
+    (1usize..=30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..120).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for &(f, t) in &edges {
+                b.add_edge(NodeId(f), NodeId(t));
+            }
+            (b.build(), edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The built graph holds exactly the deduplicated, self-loop-free
+    /// edge set, in both orientations.
+    #[test]
+    fn builder_cleans_and_preserves_edges((g, raw) in arb_graph()) {
+        let mut expected: Vec<(u32, u32)> =
+            raw.into_iter().filter(|(f, t)| f != t).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<(u32, u32)> = g.edges().map(|(f, t)| (f.0, t.0)).collect();
+        prop_assert_eq!(&got, &expected);
+
+        // In-CSR is the exact transpose.
+        let mut transposed: Vec<(u32, u32)> = Vec::new();
+        for y in g.nodes() {
+            for &x in g.in_neighbors(y) {
+                transposed.push((x.0, y.0));
+            }
+        }
+        transposed.sort_unstable();
+        prop_assert_eq!(&transposed, &expected);
+    }
+
+    /// Degree sums equal the edge count in both orientations.
+    #[test]
+    fn degree_sums_match_edge_count((g, _) in arb_graph()) {
+        let out_sum: usize = g.nodes().map(|x| g.out_degree(x)).sum();
+        let in_sum: usize = g.nodes().map(|x| g.in_degree(x)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    /// Text and binary round trips reproduce the graph exactly.
+    #[test]
+    fn io_round_trips((g, _) in arb_graph()) {
+        let bytes = io::graph_to_bytes(&g);
+        let from_bin = io::graph_from_bytes(&bytes).unwrap();
+        let mut text = Vec::new();
+        io::write_edge_list(&g, &mut text).unwrap();
+        let from_text = io::read_edge_list(&text[..]).unwrap();
+        for other in [&from_bin, &from_text] {
+            prop_assert_eq!(other.node_count(), g.node_count());
+            prop_assert_eq!(other.edge_count(), g.edge_count());
+            for x in g.nodes() {
+                prop_assert_eq!(other.out_neighbors(x), g.out_neighbors(x));
+            }
+        }
+    }
+
+    /// Reversing twice is the identity; reversal swaps degree roles.
+    #[test]
+    fn double_reverse_is_identity((g, _) in arb_graph()) {
+        let rr = g.reversed().reversed();
+        for x in g.nodes() {
+            prop_assert_eq!(rr.out_neighbors(x), g.out_neighbors(x));
+        }
+        let r = g.reversed();
+        for x in g.nodes() {
+            prop_assert_eq!(r.out_degree(x), g.in_degree(x));
+            prop_assert_eq!(r.in_degree(x), g.out_degree(x));
+        }
+    }
+
+    /// Every SCC lies inside one weakly-connected component, and SCC
+    /// count is at least the WCC count.
+    #[test]
+    fn scc_refines_wcc((g, _) in arb_graph()) {
+        let wcc = components::weakly_connected(&g);
+        let scc = components::strongly_connected(&g);
+        prop_assert!(scc.count >= wcc.count);
+        // Nodes in the same SCC share a WCC.
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if scc.component_of(a) == scc.component_of(b) {
+                    prop_assert_eq!(wcc.component_of(a), wcc.component_of(b));
+                }
+            }
+        }
+    }
+
+    /// BFS distances satisfy the edge relaxation property.
+    #[test]
+    fn bfs_distances_are_consistent((g, _) in arb_graph()) {
+        let dist = traversal::bfs_distances(&g, &[NodeId(0)], traversal::Direction::Forward);
+        prop_assert_eq!(dist[0], Some(0));
+        for (f, t) in g.edges() {
+            if let Some(df) = dist[f.index()] {
+                let dt = dist[t.index()].expect("successor of reachable node is reachable");
+                prop_assert!(dt <= df + 1, "edge ({f},{t}): {dt} > {df}+1");
+            }
+        }
+    }
+
+    /// Extracting the full node set reproduces the graph; extracts always
+    /// map ids consistently.
+    #[test]
+    fn extract_full_set_is_identity((g, _) in arb_graph()) {
+        let all: Vec<NodeId> = g.nodes().collect();
+        let e = subgraph::extract(&g, &all);
+        prop_assert_eq!(e.graph.node_count(), g.node_count());
+        prop_assert_eq!(e.graph.edge_count(), g.edge_count());
+        for x in g.nodes() {
+            let ex = e.extract_of(x).unwrap();
+            prop_assert_eq!(e.original_of(ex), x);
+        }
+    }
+
+    /// A random extract contains exactly the induced internal edges.
+    #[test]
+    fn extract_keeps_only_internal_edges((g, _) in arb_graph(), mask in proptest::collection::vec(any::<bool>(), 30)) {
+        let keep: Vec<NodeId> = g
+            .nodes()
+            .filter(|x| mask[x.index()])
+            .collect();
+        let e = subgraph::extract(&g, &keep);
+        let expected = g
+            .edges()
+            .filter(|(f, t)| mask[f.index()] && mask[t.index()])
+            .count();
+        prop_assert_eq!(e.graph.edge_count(), expected);
+    }
+}

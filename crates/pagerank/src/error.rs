@@ -1,0 +1,57 @@
+//! Error types for PageRank computation.
+
+use std::fmt;
+
+/// Errors from PageRank configuration or jump-vector construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PageRankError {
+    /// Damping factor outside `[0, 1)`.
+    InvalidDamping(f64),
+    /// Non-positive or non-finite tolerance.
+    InvalidTolerance(f64),
+    /// Zero iteration cap.
+    InvalidIterationCap,
+    /// A custom jump vector's length did not match the graph.
+    JumpVectorLength {
+        /// Supplied length.
+        got: usize,
+        /// Graph node count.
+        expected: usize,
+    },
+    /// A jump vector had negative entries or norm outside `(0, 1]`.
+    InvalidJumpVector(String),
+}
+
+impl fmt::Display for PageRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageRankError::InvalidDamping(c) => {
+                write!(f, "damping factor {c} outside [0, 1)")
+            }
+            PageRankError::InvalidTolerance(t) => {
+                write!(f, "tolerance {t} must be positive and finite")
+            }
+            PageRankError::InvalidIterationCap => write!(f, "max_iterations must be nonzero"),
+            PageRankError::JumpVectorLength { got, expected } => {
+                write!(f, "jump vector length {got} does not match node count {expected}")
+            }
+            PageRankError::InvalidJumpVector(msg) => write!(f, "invalid jump vector: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PageRankError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PageRankError::InvalidDamping(1.5).to_string().contains("damping"));
+        assert!(PageRankError::JumpVectorLength { got: 3, expected: 5 }
+            .to_string()
+            .contains("length 3"));
+        assert!(PageRankError::InvalidJumpVector("neg".into()).to_string().contains("neg"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Gauss–Seidel solver for linear PageRank.
+//!
+//! Section 2.2 notes that the linear-system view admits solvers "such as
+//! the Jacobi or Gauss-Seidel methods, which are regularly faster than the
+//! algorithms available for solving eigensystems". Gauss–Seidel updates
+//! scores in place, consuming already-updated in-neighbour values within
+//! the same sweep:
+//!
+//! ```text
+//! p[y] ← (1 − c)·v[y] + c · Σ_{(x,y) ∈ E} p[x] / out(x)
+//! ```
+//!
+//! Because the iteration matrix `c·Tᵀ` has spectral radius ≤ c < 1, the
+//! method converges for any sweep order; in practice it needs roughly half
+//! the iterations Jacobi does.
+
+use crate::config::PageRankConfig;
+use crate::jump::JumpVector;
+use crate::PageRankResult;
+use spammass_graph::Graph;
+
+/// Solves `(I − c·Tᵀ)p = (1 − c)v` by Gauss–Seidel sweeps in node-id order.
+pub fn solve_gauss_seidel(
+    graph: &Graph,
+    jump: &JumpVector,
+    config: &PageRankConfig,
+) -> PageRankResult {
+    config.validate().expect("invalid PageRank configuration");
+    let n = graph.node_count();
+    let v = jump.materialize(n).expect("invalid jump vector");
+    solve_gauss_seidel_dense(graph, &v, config)
+}
+
+/// Gauss–Seidel with an already-materialized jump vector.
+pub fn solve_gauss_seidel_dense(
+    graph: &Graph,
+    v: &[f64],
+    config: &PageRankConfig,
+) -> PageRankResult {
+    let n = graph.node_count();
+    assert_eq!(v.len(), n, "jump vector length mismatch");
+    let c = config.damping;
+    let one_minus_c = 1.0 - c;
+
+    // Pre-compute reciprocal out-degrees to keep the inner gather loop
+    // division-free (perf-book: hoist invariant work out of hot loops).
+    let inv_out: Vec<f64> = graph
+        .nodes()
+        .map(|x| {
+            let d = graph.out_degree(x);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+
+    let mut p: Vec<f64> = v.to_vec();
+    let mut iterations = 0usize;
+    let mut residual = f64::INFINITY;
+    let mut residual_history = Vec::new();
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        let mut delta = 0.0f64;
+        for y in graph.nodes() {
+            let mut acc = 0.0f64;
+            for &x in graph.in_neighbors(y) {
+                acc += p[x.index()] * inv_out[x.index()];
+            }
+            let new = one_minus_c * v[y.index()] + c * acc;
+            delta += (new - p[y.index()]).abs();
+            p[y.index()] = new;
+        }
+        residual = delta;
+        residual_history.push(residual);
+        if residual < config.tolerance {
+            break;
+        }
+    }
+
+    PageRankResult {
+        scores: p,
+        iterations,
+        residual,
+        converged: residual < config.tolerance,
+        residual_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::solve_jacobi;
+    use spammass_graph::GraphBuilder;
+
+    fn cfg() -> PageRankConfig {
+        PageRankConfig::default()
+    }
+
+    #[test]
+    fn agrees_with_jacobi_on_cycle() {
+        let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        for i in 0..5 {
+            assert!((a.scores[i] - b.scores[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_jacobi_on_dag_with_dangling() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        for i in 0..6 {
+            assert!((a.scores[i] - b.scores[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_jacobi_under_core_jump() {
+        use spammass_graph::NodeId;
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let jump = JumpVector::scaled_core(vec![NodeId(0), NodeId(1)], 0.85);
+        let a = solve_jacobi(&g, &jump, &cfg());
+        let b = solve_gauss_seidel(&g, &jump, &cfg());
+        for i in 0..4 {
+            assert!((a.scores[i] - b.scores[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn converges_in_fewer_iterations_than_jacobi() {
+        // A long chain maximizes the benefit of in-sweep propagation.
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let g = GraphBuilder::from_edges(100, &edges);
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        assert!(
+            b.iterations < a.iterations,
+            "gauss-seidel {} vs jacobi {}",
+            b.iterations,
+            a.iterations
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let r = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+}

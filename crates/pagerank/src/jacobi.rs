@@ -1,0 +1,210 @@
+//! Jacobi solver — Algorithm 1 of the paper, verbatim.
+//!
+//! ```text
+//! input : transition matrix T, random jump vector v, damping factor c,
+//!         error bound ε
+//! output: PageRank score vector p
+//!
+//! i ← 0
+//! p[0] ← v
+//! repeat
+//!     i ← i + 1
+//!     p[i] ← c·Tᵀ·p[i−1] + (1 − c)·v
+//! until ‖p[i] − p[i−1]‖ < ε
+//! p ← p[i]
+//! ```
+//!
+//! The sweep `c·Tᵀ·p` is implemented as an out-edge scatter: every
+//! non-dangling node distributes `c·p[x]/out(x)` to each out-neighbour.
+//! Dangling nodes contribute nothing — the defining property of *linear*
+//! PageRank (their mass is deliberately lost rather than teleported).
+
+use crate::config::PageRankConfig;
+use crate::jump::JumpVector;
+use crate::PageRankResult;
+use spammass_graph::Graph;
+
+/// Applies one matrix–vector product `out ← c·Tᵀ·p` (out-edge scatter).
+///
+/// `out` must be zeroed (or pre-seeded with `(1−c)·v`) by the caller.
+pub(crate) fn scatter_transition(graph: &Graph, damping: f64, p: &[f64], out: &mut [f64]) {
+    for x in graph.nodes() {
+        let nbrs = graph.out_neighbors(x);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let share = damping * p[x.index()] / nbrs.len() as f64;
+        for &y in nbrs {
+            out[y.index()] += share;
+        }
+    }
+}
+
+/// L1 distance between two equal-length vectors.
+pub(crate) fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Solves `(I − c·Tᵀ)p = (1 − c)v` by Jacobi iteration.
+///
+/// # Panics
+/// Panics if the configuration or jump vector is invalid; use
+/// [`PageRankConfig::validate`] / [`JumpVector::materialize`] to pre-check.
+pub fn solve_jacobi(graph: &Graph, jump: &JumpVector, config: &PageRankConfig) -> PageRankResult {
+    config.validate().expect("invalid PageRank configuration");
+    let n = graph.node_count();
+    let v = jump.materialize(n).expect("invalid jump vector");
+    solve_jacobi_dense(graph, &v, config)
+}
+
+/// Jacobi iteration with an already-materialized jump vector.
+pub fn solve_jacobi_dense(graph: &Graph, v: &[f64], config: &PageRankConfig) -> PageRankResult {
+    let n = graph.node_count();
+    assert_eq!(v.len(), n, "jump vector length mismatch");
+    let c = config.damping;
+    let one_minus_c = 1.0 - c;
+
+    // p[0] ← v
+    let mut p: Vec<f64> = v.to_vec();
+    let mut p_next = vec![0.0f64; n];
+    let mut iterations = 0usize;
+    let mut residual = f64::INFINITY;
+    let mut residual_history = Vec::new();
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // p[i] ← c·Tᵀ·p[i−1] + (1 − c)·v
+        for (slot, &vy) in p_next.iter_mut().zip(v) {
+            *slot = one_minus_c * vy;
+        }
+        scatter_transition(graph, c, &p, &mut p_next);
+        residual = l1_distance(&p, &p_next);
+        residual_history.push(residual);
+        std::mem::swap(&mut p, &mut p_next);
+        if residual < config.tolerance {
+            break;
+        }
+    }
+
+    PageRankResult {
+        scores: p,
+        iterations,
+        residual,
+        converged: residual < config.tolerance,
+        residual_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::GraphBuilder;
+
+    fn cfg() -> PageRankConfig {
+        PageRankConfig::default()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn single_isolated_node() {
+        let g = GraphBuilder::new(1).build();
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        // p = (1-c)·v / (I) since no links: p = (1-c)·1 + c·0... iteration:
+        // p[1] = (1-c)·1 = 0.15, fixed point of (I - cT^T)p = (1-c)v with T = 0.
+        assert!((r.scores[0] - 0.15).abs() < 1e-10);
+    }
+
+    #[test]
+    fn scaled_score_of_no_inlink_node_is_one() {
+        // Paper convention: scaled score of a node without inlinks is 1.
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let scale = cfg().scale_factor(2);
+        assert!((r.scores[0] * scale - 1.0).abs() < 1e-9);
+        // Node 1 receives c * p0 / 1: scaled 1 + c.
+        assert!((r.scores[1] * scale - 1.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure1_closed_form() {
+        // Figure 1: g0 -> x, g1 -> x, s0 -> x, s1..sk -> s0.
+        // Paper: p_x = (1 + 3c + k·c²)(1−c)/n.
+        for k in [1usize, 2, 5, 10] {
+            let n = 4 + k;
+            let mut b = GraphBuilder::new(n);
+            use spammass_graph::NodeId;
+            let (x, g0, g1, s0) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+            b.add_edge(g0, x);
+            b.add_edge(g1, x);
+            b.add_edge(s0, x);
+            for i in 0..k {
+                b.add_edge(NodeId(4 + i as u32), s0);
+            }
+            let g = b.build();
+            let c = 0.85;
+            let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+            let expected = (1.0 + 3.0 * c + k as f64 * c * c) * (1.0 - c) / n as f64;
+            assert!(
+                (r.scores[x.index()] - expected).abs() < 1e-9,
+                "k={k}: got {}, want {expected}",
+                r.scores[x.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_mass_is_lost_not_teleported() {
+        // Linear PageRank: ‖p‖ < ‖v‖ when dangling nodes exist.
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let total: f64 = r.scores.iter().sum();
+        assert!(total < 1.0 - 1e-6, "total {total} should be < 1");
+    }
+
+    #[test]
+    fn norm_preserved_when_no_dangling() {
+        // On a graph with no dangling nodes, ‖p‖ = ‖v‖.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let total: f64 = r.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        // Asymmetric graph: the uniform start vector is not the fixed point,
+        // so the residual stays positive.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let tight = cfg().max_iterations(2).tolerance(1e-300);
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &tight);
+        assert_eq!(r.iterations, 2);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn unnormalized_jump_scales_linearly() {
+        // PR is linear in v: halving v halves p.
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let full = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let half = JumpVector::Custom(vec![0.125; 4]);
+        let r = solve_jacobi(&g, &half, &cfg());
+        for i in 0..4 {
+            assert!((r.scores[i] - full.scores[i] / 2.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PageRank configuration")]
+    fn panics_on_bad_config() {
+        let g = GraphBuilder::new(1).build();
+        let bad = PageRankConfig::with_damping(1.5);
+        let _ = solve_jacobi(&g, &JumpVector::Uniform, &bad);
+    }
+}

@@ -1,0 +1,132 @@
+//! Score views: scaling, ranking, and summary helpers.
+
+use spammass_graph::NodeId;
+
+/// A borrowed view over raw PageRank scores with the paper's scaling
+/// conventions attached.
+///
+/// Throughout the paper, "numeric PageRank scores and absolute mass values
+/// are scaled by `n/(1−c)` for increased readability. Accordingly, the
+/// scaled PageRank score of a node without inlinks is 1." All thresholds
+/// (ρ = 10, the ±scaled-mass axes of Figure 6) are quoted on that scale.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankScores<'a> {
+    raw: &'a [f64],
+    damping: f64,
+}
+
+impl<'a> PageRankScores<'a> {
+    /// Wraps raw scores with the damping factor they were computed under.
+    pub fn new(raw: &'a [f64], damping: f64) -> Self {
+        PageRankScores { raw, damping }
+    }
+
+    /// Raw (solver-native) scores.
+    pub fn raw(&self) -> &'a [f64] {
+        self.raw
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether there are no scores.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The scale factor `n/(1−c)`.
+    pub fn scale(&self) -> f64 {
+        self.raw.len() as f64 / (1.0 - self.damping)
+    }
+
+    /// Raw score of one node.
+    pub fn get(&self, x: NodeId) -> f64 {
+        self.raw[x.index()]
+    }
+
+    /// Scaled score of one node (no-inlink node ⇒ 1.0 under uniform jump).
+    pub fn scaled(&self, x: NodeId) -> f64 {
+        self.raw[x.index()] * self.scale()
+    }
+
+    /// All scores scaled by `n/(1−c)`.
+    pub fn scaled_vec(&self) -> Vec<f64> {
+        let s = self.scale();
+        self.raw.iter().map(|&p| p * s).collect()
+    }
+
+    /// L1 norm `‖p‖` of the raw scores.
+    pub fn norm_l1(&self) -> f64 {
+        self.raw.iter().map(|p| p.abs()).sum()
+    }
+
+    /// The `k` highest-scoring nodes, descending (ties by ascending id).
+    pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
+        let mut idx: Vec<usize> = (0..self.raw.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.raw[b]
+                .partial_cmp(&self.raw[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.into_iter()
+            .take(k)
+            .map(|i| (NodeId::from_index(i), self.raw[i]))
+            .collect()
+    }
+
+    /// Count of nodes whose **scaled** score is at least `threshold` — the
+    /// size of the paper's candidate pool `T` for a given ρ.
+    pub fn count_scaled_at_least(&self, threshold: f64) -> usize {
+        let cutoff = threshold / self.scale();
+        self.raw.iter().filter(|&&p| p >= cutoff).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_round_trip() {
+        let raw = vec![0.15 / 12.0 * 80.0 / 80.0; 12]; // arbitrary
+        let raw: Vec<f64> = (0..12).map(|i| (i as f64 + 1.0) / 1000.0).collect();
+        let s = PageRankScores::new(&raw, 0.85);
+        assert!((s.scale() - 80.0).abs() < 1e-12);
+        assert!((s.scaled(NodeId(0)) - raw[0] * 80.0).abs() < 1e-12);
+        assert_eq!(s.scaled_vec().len(), 12);
+        let _ = raw.len();
+    }
+
+    #[test]
+    fn top_k_sorted_desc() {
+        let raw = vec![0.1, 0.5, 0.3, 0.5];
+        let s = PageRankScores::new(&raw, 0.85);
+        let top = s.top_k(3);
+        assert_eq!(top[0].0, NodeId(1)); // tie broken by id
+        assert_eq!(top[1].0, NodeId(3));
+        assert_eq!(top[2].0, NodeId(2));
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        // n = 4, c = 0.85 -> scale ~26.67; raw 0.5 -> scaled 13.3.
+        let raw = vec![0.5, 0.1, 0.4, 0.01];
+        let s = PageRankScores::new(&raw, 0.85);
+        let n_big = s.count_scaled_at_least(10.0);
+        assert_eq!(n_big, 2); // 0.5 and 0.4 scale above 10
+    }
+
+    #[test]
+    fn norms_and_emptiness() {
+        let raw = vec![0.25, 0.25];
+        let s = PageRankScores::new(&raw, 0.85);
+        assert!((s.norm_l1() - 0.5).abs() < 1e-12);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 2);
+        let empty = PageRankScores::new(&[], 0.85);
+        assert!(empty.is_empty());
+    }
+}

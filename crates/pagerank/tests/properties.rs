@@ -1,0 +1,125 @@
+//! Property-based invariants of linear PageRank.
+
+use proptest::prelude::*;
+use spammass_graph::{Graph, GraphBuilder, NodeId};
+use spammass_pagerank::contribution::{contribution_of_node, contribution_of_set};
+use spammass_pagerank::jacobi::solve_jacobi_dense;
+use spammass_pagerank::{JumpVector, PageRankConfig};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=25).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..80).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (f, t) in edges {
+                if f != t {
+                    b.add_edge(NodeId(f), NodeId(t));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn cfg() -> PageRankConfig {
+    PageRankConfig::default().tolerance(1e-14).max_iterations(20_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Elementwise bounds: `(1−c)·v ≤ p` and `‖p‖ ≤ ‖v‖`.
+    #[test]
+    fn score_bounds(g in arb_graph()) {
+        let n = g.node_count();
+        let v = JumpVector::Uniform.materialize(n).unwrap();
+        let r = solve_jacobi_dense(&g, &v, &cfg());
+        prop_assert!(r.converged);
+        let c = 0.85;
+        for i in 0..n {
+            prop_assert!(r.scores[i] >= (1.0 - c) * v[i] - 1e-12);
+        }
+        let total: f64 = r.scores.iter().sum();
+        prop_assert!(total <= 1.0 + 1e-9, "norm {total}");
+    }
+
+    /// Mass conservation: the jump input equals the retained mass plus
+    /// the mass lost at dangling nodes, iteration by iteration — verified
+    /// at the fixed point: ‖p‖ = ‖v‖ − c·(dangling mass of p)... i.e.
+    /// ‖p‖ = (1−c)‖v‖ + c(‖p‖ − dᵀp) rearranged.
+    #[test]
+    fn mass_balance_at_fixed_point(g in arb_graph()) {
+        let n = g.node_count();
+        let v = JumpVector::Uniform.materialize(n).unwrap();
+        let r = solve_jacobi_dense(&g, &v, &cfg());
+        let norm_p: f64 = r.scores.iter().sum();
+        let dangling: f64 = g.dangling_nodes().map(|x| r.scores[x.index()]).sum();
+        let norm_v: f64 = v.iter().sum();
+        // p = c·Tᵀp + (1−c)v  ⇒  ‖p‖ = c(‖p‖ − dᵀp) + (1−c)‖v‖.
+        let lhs = norm_p;
+        let rhs = 0.85 * (norm_p - dangling) + 0.15 * norm_v;
+        prop_assert!((lhs - rhs).abs() < 1e-10, "{lhs} vs {rhs}");
+    }
+
+    /// A node with no inlinks scores exactly `(1−c)·v_x` (scaled: 1).
+    #[test]
+    fn no_inlink_nodes_score_baseline(g in arb_graph()) {
+        let n = g.node_count();
+        let v = JumpVector::Uniform.materialize(n).unwrap();
+        let r = solve_jacobi_dense(&g, &v, &cfg());
+        for x in g.nodes() {
+            if g.in_degree(x) == 0 {
+                prop_assert!((r.scores[x.index()] - 0.15 * v[x.index()]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Jacobi is a c-contraction: successive residuals shrink at least
+    /// geometrically with factor c.
+    #[test]
+    fn residual_history_contracts(g in arb_graph()) {
+        let n = g.node_count();
+        let v = JumpVector::Uniform.materialize(n).unwrap();
+        let r = solve_jacobi_dense(&g, &v, &cfg());
+        for w in r.residual_history.windows(2) {
+            prop_assert!(
+                w[1] <= 0.85 * w[0] + 1e-15,
+                "residuals must contract: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    /// Set contribution equals the sum of member contributions for random
+    /// subsets (Theorem 2 + linearity).
+    #[test]
+    fn set_contribution_additivity(g in arb_graph(), mask in proptest::collection::vec(any::<bool>(), 25)) {
+        let n = g.node_count();
+        let set: Vec<NodeId> = g.nodes().filter(|x| mask[x.index()]).collect();
+        prop_assume!(!set.is_empty());
+        let config = cfg();
+        let q_set = contribution_of_set(&g, &set, &config);
+        let mut summed = vec![0.0f64; n];
+        for &x in &set {
+            let q = contribution_of_node(&g, x, 1.0 / n as f64, &config);
+            for (s, qy) in summed.iter_mut().zip(&q) {
+                *s += qy;
+            }
+        }
+        for i in 0..n {
+            prop_assert!((q_set[i] - summed[i]).abs() < 1e-10);
+        }
+    }
+
+    /// Damping sweep: as c → 0, scores approach the jump vector.
+    #[test]
+    fn damping_zero_limit(g in arb_graph()) {
+        let n = g.node_count();
+        let v = JumpVector::Uniform.materialize(n).unwrap();
+        let config = PageRankConfig::with_damping(1e-9).tolerance(1e-14).max_iterations(100);
+        let r = solve_jacobi_dense(&g, &v, &config);
+        for i in 0..n {
+            prop_assert!((r.scores[i] - v[i]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Good-web communities, including the isolated ones behind the
+//! Section 4.4.1 anomalies.
+//!
+//! The paper found three kinds of *good* hosts with spuriously high
+//! relative mass, all caused by communities the good core failed to cover:
+//!
+//! 1. `*.alibaba.com` — a huge e-commerce host family with no core
+//!    presence ([`CommunityKind::Commerce`]);
+//! 2. `*.blogger.com.br` — a hosted-blog community "relatively isolated
+//!    from Ṽ⁺" ([`CommunityKind::HostedBlogs`]);
+//! 3. the Polish web — a national web with only 12 educational hosts in
+//!    the core ([`CommunityKind::NationalWeb`], which embeds a *small*
+//!    number of core-eligible `.pl`-style educational hosts).
+//!
+//! Each community has a few **hub** hosts (the `china.alibaba.com` /
+//! `www.alibaba.com` analogues); Section 4.4.2's fix — adding 12 key hub
+//! hosts to the core — is reproduced by the anomaly experiment.
+
+use spammass_graph::NodeId;
+
+/// What kind of community this is (drives host classes and names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommunityKind {
+    /// Hosted blogs sharing one registrable domain (`*.bloghostK.com.br`).
+    HostedBlogs,
+    /// E-commerce host family sharing one domain (`*.megamarketK.com`).
+    Commerce,
+    /// A national web: mostly businesses plus a handful of educational
+    /// hosts of `country` (index into [`crate::names::COUNTRIES`]).
+    NationalWeb {
+        /// Country index.
+        country: u16,
+        /// How many of the members are (core-eligible) educational hosts.
+        edu_hosts: usize,
+    },
+}
+
+/// Specification of one community.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommunitySpec {
+    /// Kind of community.
+    pub kind: CommunityKind,
+    /// Number of member hosts (including hubs).
+    pub size: usize,
+    /// Number of hub hosts members link to heavily (listed first among
+    /// the members).
+    pub hubs: usize,
+    /// Whether the community is isolated from the mainstream web (no
+    /// directory coverage, near-total intra-linking) — the anomaly makers.
+    pub isolated: bool,
+}
+
+impl CommunitySpec {
+    /// The community layout used by the default scenarios: one covered
+    /// blog community, plus the three anomaly communities of
+    /// Section 4.4.1 (isolated commerce ≈ Alibaba, isolated hosted blogs
+    /// ≈ blogger.com.br, an under-covered national web ≈ Poland).
+    pub fn paper_defaults(good_hosts: usize) -> Vec<CommunitySpec> {
+        let unit = (good_hosts / 100).max(8); // 1% of the good web each
+        vec![
+            CommunitySpec {
+                kind: CommunityKind::HostedBlogs,
+                size: unit,
+                hubs: 3,
+                isolated: false,
+            },
+            CommunitySpec {
+                kind: CommunityKind::Commerce,
+                size: unit * 2,
+                hubs: 12,
+                isolated: true,
+            },
+            CommunitySpec {
+                kind: CommunityKind::HostedBlogs,
+                size: unit,
+                hubs: 4,
+                isolated: true,
+            },
+            CommunitySpec {
+                kind: CommunityKind::NationalWeb {
+                    country: crate::names::COUNTRIES
+                        .iter()
+                        .position(|&c| c == "pl")
+                        .expect("pl in country list") as u16,
+                    edu_hosts: 4,
+                },
+                size: unit * 2,
+                hubs: 6,
+                isolated: true,
+            },
+        ]
+    }
+}
+
+/// A realized community: the spec plus the member node ids (hubs first).
+#[derive(Debug, Clone)]
+pub struct Community {
+    /// Community id (index into the scenario's community list).
+    pub id: u16,
+    /// The spec it was built from.
+    pub spec: CommunitySpec,
+    /// Member nodes; the first `spec.hubs` entries are the hubs.
+    pub members: Vec<NodeId>,
+}
+
+impl Community {
+    /// The hub hosts.
+    pub fn hubs(&self) -> &[NodeId] {
+        &self.members[..self.spec.hubs.min(self.members.len())]
+    }
+
+    /// Non-hub members.
+    pub fn rank_and_file(&self) -> &[NodeId] {
+        &self.members[self.spec.hubs.min(self.members.len())..]
+    }
+
+    /// Membership test (linear scan; members are small sets).
+    pub fn contains(&self, x: NodeId) -> bool {
+        self.members.contains(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_include_all_three_anomalies() {
+        let specs = CommunitySpec::paper_defaults(100_000);
+        assert!(specs.iter().any(|s| s.isolated && s.kind == CommunityKind::Commerce));
+        assert!(specs.iter().any(|s| s.isolated && s.kind == CommunityKind::HostedBlogs));
+        assert!(specs
+            .iter()
+            .any(|s| matches!(s.kind, CommunityKind::NationalWeb { .. }) && s.isolated));
+        // And one covered community as control.
+        assert!(specs.iter().any(|s| !s.isolated));
+    }
+
+    #[test]
+    fn paper_defaults_scale_with_web_size() {
+        let small: usize = CommunitySpec::paper_defaults(1_000).iter().map(|s| s.size).sum();
+        let large: usize = CommunitySpec::paper_defaults(100_000).iter().map(|s| s.size).sum();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn hubs_listed_first() {
+        let spec = CommunitySpec { kind: CommunityKind::Commerce, size: 5, hubs: 2, isolated: true };
+        let c = Community {
+            id: 0,
+            spec,
+            members: vec![NodeId(10), NodeId(11), NodeId(12), NodeId(13), NodeId(14)],
+        };
+        assert_eq!(c.hubs(), &[NodeId(10), NodeId(11)]);
+        assert_eq!(c.rank_and_file().len(), 3);
+        assert!(c.contains(NodeId(12)));
+        assert!(!c.contains(NodeId(99)));
+    }
+
+    #[test]
+    fn hubs_clamped_to_member_count() {
+        let spec = CommunitySpec { kind: CommunityKind::Commerce, size: 1, hubs: 5, isolated: true };
+        let c = Community { id: 0, spec, members: vec![NodeId(1)] };
+        assert_eq!(c.hubs().len(), 1);
+        assert!(c.rank_and_file().is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Generator configuration.
+
+use crate::communities::CommunitySpec;
+
+/// Configuration of the good-web generator ([`crate::webmodel`]).
+///
+/// Structural fraction defaults follow Section 4.1 of the paper
+/// (35% of hosts without inlinks, 66.4% without outlinks, 25.8% fully
+/// isolated, ≈13 edges per host). Fractions apply to the good web; the
+/// final graph shifts slightly once spam farms are injected, and the
+/// `graph-stats` experiment reports the measured values.
+#[derive(Debug, Clone)]
+pub struct WebModelConfig {
+    /// Total number of good hosts (mainstream + communities).
+    pub good_hosts: usize,
+    /// Fraction that are trusted-directory hosts (high out-degree hubs).
+    pub directory_fraction: f64,
+    /// Fraction that are governmental hosts.
+    pub gov_fraction: f64,
+    /// Fraction that are educational hosts (split over
+    /// [`crate::names::COUNTRIES`] by a Zipf law, so small countries get
+    /// only a handful — the Polish-core-coverage situation).
+    pub edu_fraction: f64,
+    /// Fraction that are forums / message boards (comment-spam surface).
+    pub forum_fraction: f64,
+    /// Fraction that are personal sites.
+    pub personal_fraction: f64,
+    /// Fraction of hosts with neither inlinks nor outlinks (paper: 0.258).
+    pub isolated_fraction: f64,
+    /// Fraction of hosts with no outlinks, isolated included
+    /// (paper: 0.664).
+    pub no_outlink_fraction: f64,
+    /// Pareto minimum of a linking host's out-degree.
+    pub out_degree_min: f64,
+    /// Pareto tail exponent of the out-degree distribution.
+    pub out_degree_alpha: f64,
+    /// Hard cap on a single host's out-degree.
+    pub out_degree_cap: usize,
+    /// Probability that a mainstream link target is chosen by popularity
+    /// (Zipf over a fixed random popularity ranking — the configuration
+    /// model that yields power-law in-degrees and real hub hosts) rather
+    /// than uniformly.
+    pub preferential_bias: f64,
+    /// Zipf exponent of the host-popularity distribution; `s` yields an
+    /// in-degree power law with exponent ≈ `1 + 1/s` (s = 1 → α ≈ 2,
+    /// matching measured host graphs).
+    pub popularity_exponent: f64,
+    /// Probability that a community member links within its community.
+    pub covered_community_intra: f64,
+    /// Same, for isolated communities (close to 1 — that is what makes
+    /// them anomalies).
+    pub isolated_community_intra: f64,
+    /// Probability that a gov/edu linker targets another gov/edu host —
+    /// the institutional web's self-referential density. Higher values
+    /// make core-based PageRank reach the commercial web only through
+    /// hops, grading the coverage.
+    pub institutional_affinity: f64,
+    /// Number of topical sectors the mainstream web is divided into.
+    /// Institutions concentrate in a few sectors (Zipf), so core coverage
+    /// varies by sector.
+    pub sectors: usize,
+    /// Probability that a mainstream linker targets its own sector.
+    pub sector_affinity: f64,
+    /// Out-degree range of directory hosts (they are broad hubs).
+    pub directory_out_degree: (usize, usize),
+    /// Number of head-of-distribution "mega hosts" (the adobe.com /
+    /// macromedia.com tier): ordinary good hosts that attract a dedicated
+    /// share of every mainstream linker's links.
+    pub mega_host_count: usize,
+    /// Probability that a mainstream link goes to a mega host.
+    pub mega_link_probability: f64,
+    /// Probability that a mega link stays within the linker's sector
+    /// (gives mega hosts sector-dependent core coverage: some become
+    /// deeply negative-mass hosts, some large positive-mass good hosts —
+    /// Section 4.6's false positives).
+    pub mega_sector_bias: f64,
+    /// Cap on a community member's out-degree (hosted blogs carry short
+    /// sidebar link lists; a low cap concentrates their PageRank on the
+    /// community hubs).
+    pub community_out_degree_cap: usize,
+    /// Number of countries receiving educational hosts.
+    pub edu_countries: usize,
+    /// Community layout.
+    pub communities: Vec<CommunitySpec>,
+}
+
+impl WebModelConfig {
+    /// A config with `good_hosts` hosts and paper-shaped defaults.
+    pub fn with_hosts(good_hosts: usize) -> Self {
+        WebModelConfig {
+            good_hosts,
+            directory_fraction: 0.002,
+            gov_fraction: 0.01,
+            edu_fraction: 0.05,
+            forum_fraction: 0.04,
+            personal_fraction: 0.25,
+            isolated_fraction: 0.258,
+            no_outlink_fraction: 0.664,
+            out_degree_min: 10.0,
+            out_degree_alpha: 1.25,
+            out_degree_cap: 2_000,
+            preferential_bias: 0.75,
+            popularity_exponent: 1.0,
+            covered_community_intra: 0.6,
+            isolated_community_intra: 0.97,
+            institutional_affinity: 0.6,
+            sectors: (good_hosts / 2500).clamp(8, 32),
+            sector_affinity: 0.85,
+            directory_out_degree: (50, 200),
+            mega_host_count: (good_hosts / 15_000).max(4),
+            mega_link_probability: 0.2,
+            mega_sector_bias: 0.9,
+            community_out_degree_cap: 12,
+            edu_countries: 12,
+            communities: CommunitySpec::paper_defaults(good_hosts),
+        }
+    }
+
+    /// Total hosts reserved for communities.
+    pub fn community_hosts(&self) -> usize {
+        self.communities.iter().map(|c| c.size).sum()
+    }
+
+    /// Sanity-checks fraction ranges and size budgets.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("directory", self.directory_fraction),
+            ("gov", self.gov_fraction),
+            ("edu", self.edu_fraction),
+            ("forum", self.forum_fraction),
+            ("personal", self.personal_fraction),
+            ("isolated", self.isolated_fraction),
+            ("no_outlink", self.no_outlink_fraction),
+            ("preferential_bias", self.preferential_bias),
+            ("covered_community_intra", self.covered_community_intra),
+            ("institutional_affinity", self.institutional_affinity),
+            ("sector_affinity", self.sector_affinity),
+            ("mega_link_probability", self.mega_link_probability),
+            ("mega_sector_bias", self.mega_sector_bias),
+            ("isolated_community_intra", self.isolated_community_intra),
+        ];
+        for (name, f) in fracs {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("{name} fraction {f} outside [0, 1]"));
+            }
+        }
+        let class_sum = self.directory_fraction
+            + self.gov_fraction
+            + self.edu_fraction
+            + self.forum_fraction
+            + self.personal_fraction;
+        if class_sum > 1.0 {
+            return Err(format!("class fractions sum to {class_sum} > 1"));
+        }
+        if self.isolated_fraction > self.no_outlink_fraction {
+            return Err("isolated hosts are a subset of no-outlink hosts".into());
+        }
+        if self.community_hosts() > self.good_hosts / 2 {
+            return Err("communities must not exceed half of the good web".into());
+        }
+        if self.out_degree_min < 1.0 || self.out_degree_alpha <= 1.0 {
+            return Err("out-degree Pareto needs min ≥ 1 and alpha > 1".into());
+        }
+        if self.edu_countries == 0 || self.edu_countries > crate::names::COUNTRIES.len() {
+            return Err("edu_countries out of range".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(WebModelConfig::with_hosts(10_000).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        let mut c = WebModelConfig::with_hosts(1_000);
+        c.personal_fraction = 1.4;
+        assert!(c.validate().is_err());
+
+        let mut c = WebModelConfig::with_hosts(1_000);
+        c.isolated_fraction = 0.9; // exceeds no_outlink
+        assert!(c.validate().is_err());
+
+        let mut c = WebModelConfig::with_hosts(1_000);
+        c.out_degree_alpha = 0.9;
+        assert!(c.validate().is_err());
+
+        let mut c = WebModelConfig::with_hosts(1_000);
+        c.edu_countries = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn community_budget_enforced() {
+        let mut c = WebModelConfig::with_hosts(100);
+        c.communities = CommunitySpec::paper_defaults(100_000);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn community_hosts_sums_sizes() {
+        let c = WebModelConfig::with_hosts(10_000);
+        assert_eq!(
+            c.community_hosts(),
+            c.communities.iter().map(|s| s.size).sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,414 @@
+//! Spam-farm injection (the link-spamming model of Section 2.3).
+//!
+//! A farm has a single **target** whose ranking the spammer boosts, and a
+//! set of **boosting nodes** wired so their PageRank flows to the target.
+//! Beyond the in-farm links, spammers gather "stray" links from reputable
+//! nodes; the paper lists exactly three mechanisms, all implemented here:
+//!
+//! * **hijacked links** — comments on blogs/boards/guestbooks that slip
+//!   past editors (`hijacked_links` edges from good forum/blog hosts);
+//! * **honey pots** — useful-looking pages that are secretly farm members
+//!   and attract organic links;
+//! * **expired domains** — reputable hosts whose domain the spammer buys,
+//!   keeping the old good in-links (these spam hosts end up with *low*
+//!   spam mass, the documented false-negative class of Section 4.4.3).
+//!
+//! Farm alliances (several farms cross-linking their targets,
+//! \[Gyöngyi & Garcia-Molina, VLDB 2005\]) are supported via
+//! [`inject_alliance`].
+
+use crate::ground_truth::{GoodKind, NodeClass, SpamKind};
+use crate::webmodel::WebBuilder;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use spammass_graph::NodeId;
+
+/// How boosting nodes are wired among themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FarmTopology {
+    /// Boosters link only to the target (the optimal single-target farm).
+    Star,
+    /// Boosters form a full clique in addition to linking to the target.
+    /// (Used for small farms; quadratic edge count.)
+    Clique,
+    /// Boosters form a ring plus links to the target — the cheap way large
+    /// farms keep boosters from dangling.
+    Ring,
+}
+
+/// Configuration of a single spam farm.
+#[derive(Debug, Clone)]
+pub struct FarmConfig {
+    /// Number of boosting nodes.
+    pub boosters: usize,
+    /// Booster interconnection.
+    pub topology: FarmTopology,
+    /// Stray links hijacked from good forum/blog hosts to the target.
+    pub hijacked_links: usize,
+    /// Honey-pot nodes created inside the farm.
+    pub honeypots: usize,
+    /// Organic good in-links each honey pot attracts.
+    pub honeypot_inlinks: usize,
+    /// Existing good hosts converted via expired-domain purchase.
+    pub expired_domains: usize,
+    /// Whether the target links back to boosters (recirculates PageRank,
+    /// keeping the target from dangling).
+    pub target_links_back: bool,
+}
+
+impl FarmConfig {
+    /// A plain star farm with `boosters` boosting nodes and no external
+    /// link gathering.
+    pub fn star(boosters: usize) -> Self {
+        FarmConfig {
+            boosters,
+            topology: FarmTopology::Star,
+            hijacked_links: 0,
+            honeypots: 0,
+            honeypot_inlinks: 0,
+            expired_domains: 0,
+            target_links_back: true,
+        }
+    }
+}
+
+/// A realized farm: the node ids of its parts.
+#[derive(Debug, Clone)]
+pub struct Farm {
+    /// Farm id (matches the ground-truth farm tag).
+    pub id: u32,
+    /// The target node.
+    pub target: NodeId,
+    /// Boosting nodes.
+    pub boosters: Vec<NodeId>,
+    /// Honey pots.
+    pub honeypots: Vec<NodeId>,
+    /// Converted expired-domain hosts.
+    pub expired: Vec<NodeId>,
+}
+
+impl Farm {
+    /// Every farm member (target + boosters + honey pots + expired).
+    pub fn members(&self) -> Vec<NodeId> {
+        let mut m = vec![self.target];
+        m.extend(&self.boosters);
+        m.extend(&self.honeypots);
+        m.extend(&self.expired);
+        m
+    }
+
+    /// Total member count.
+    pub fn size(&self) -> usize {
+        1 + self.boosters.len() + self.honeypots.len() + self.expired.len()
+    }
+}
+
+/// Injects one spam farm into the web under construction.
+///
+/// `hijackable` is the pool of good hosts (forums, blogs, guestbooks)
+/// whose pages the spammer can post stray links on; `convertible` is the
+/// pool of good hosts with in-links whose domains can be bought when they
+/// expire. Both may be empty when the corresponding counts are zero.
+pub fn inject_farm<R: Rng + ?Sized>(
+    builder: &mut WebBuilder,
+    rng: &mut R,
+    farm_id: u32,
+    config: &FarmConfig,
+    hijackable: &[NodeId],
+    convertible: &[NodeId],
+) -> Farm {
+    assert!(config.boosters > 0, "a farm needs at least one booster");
+
+    let target = builder.add_node(rng, NodeClass::Spam(SpamKind::Target { farm: farm_id }));
+    let boosters: Vec<NodeId> = (0..config.boosters)
+        .map(|_| builder.add_node(rng, NodeClass::Spam(SpamKind::Booster { farm: farm_id })))
+        .collect();
+
+    // Boosters -> target, plus topology-internal wiring.
+    for &b in &boosters {
+        builder.add_edge(b, target);
+    }
+    match config.topology {
+        FarmTopology::Star => {}
+        FarmTopology::Clique => {
+            for &a in &boosters {
+                for &b in &boosters {
+                    if a != b {
+                        builder.add_edge(a, b);
+                    }
+                }
+            }
+        }
+        FarmTopology::Ring => {
+            for w in boosters.windows(2) {
+                builder.add_edge(w[0], w[1]);
+            }
+            if boosters.len() > 1 {
+                builder.add_edge(boosters[boosters.len() - 1], boosters[0]);
+            }
+        }
+    }
+    if config.target_links_back && !boosters.is_empty() {
+        // Target links back to ALL boosters — the optimal single-target
+        // farm of the link-spam-alliances literature: the target's
+        // PageRank recirculates instead of leaking, and each booster's
+        // share stays negligible (spammers do not want boosting pages
+        // outranking the target).
+        for &b in &boosters {
+            builder.add_edge(target, b);
+        }
+    }
+
+    // Hijacked stray links from reputable hosts.
+    if config.hijacked_links > 0 && !hijackable.is_empty() {
+        for _ in 0..config.hijacked_links {
+            let &src = hijackable.choose(rng).expect("non-empty hijackable pool");
+            builder.add_edge(src, target);
+        }
+    }
+
+    // Honey pots: in-farm nodes that attract organic good links and pass
+    // their PageRank on to the target.
+    let honeypots: Vec<NodeId> = (0..config.honeypots)
+        .map(|_| builder.add_node(rng, NodeClass::Spam(SpamKind::HoneyPot { farm: farm_id })))
+        .collect();
+    for &h in &honeypots {
+        builder.add_edge(h, target);
+        if config.honeypot_inlinks > 0 && !hijackable.is_empty() {
+            for _ in 0..config.honeypot_inlinks {
+                let &src = hijackable.choose(rng).expect("non-empty hijackable pool");
+                builder.add_edge(src, h);
+            }
+        }
+    }
+
+    // Expired-domain conversions: flip good hosts to spam and point them
+    // at the target. Their old good in-links persist — that is the point.
+    let mut expired = Vec::new();
+    if config.expired_domains > 0 && !convertible.is_empty() {
+        let picks: Vec<NodeId> = convertible
+            .choose_multiple(rng, config.expired_domains)
+            .copied()
+            .collect();
+        for host in picks {
+            if builder.truth.is_spam(host) {
+                continue; // already converted by another farm
+            }
+            builder.truth.set(host, NodeClass::Spam(SpamKind::ExpiredDomain { farm: farm_id }));
+            builder.add_edge(host, target);
+            expired.push(host);
+        }
+    }
+
+    Farm { id: farm_id, target, boosters, honeypots, expired }
+}
+
+/// Injects several farms and cross-links their targets into an alliance
+/// (each target links to every other target).
+pub fn inject_alliance<R: Rng + ?Sized>(
+    builder: &mut WebBuilder,
+    rng: &mut R,
+    first_farm_id: u32,
+    configs: &[FarmConfig],
+    hijackable: &[NodeId],
+    convertible: &[NodeId],
+) -> Vec<Farm> {
+    let farms: Vec<Farm> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            inject_farm(builder, rng, first_farm_id + i as u32, cfg, hijackable, convertible)
+        })
+        .collect();
+    for a in &farms {
+        for b in &farms {
+            if a.id != b.id {
+                builder.add_edge(a.target, b.target);
+            }
+        }
+    }
+    farms
+}
+
+/// Selects the hijackable pool from a builder: good forums and blogs
+/// (the "blog or message board or guestbook" surface of Section 2.3).
+pub fn hijackable_pool(builder: &WebBuilder) -> Vec<NodeId> {
+    builder.truth.filter(|c| {
+        matches!(
+            c,
+            NodeClass::Good(GoodKind::Forum) | NodeClass::Good(GoodKind::Blog { .. })
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn builder_with_good_hosts(n: usize, rng: &mut StdRng) -> (WebBuilder, Vec<NodeId>) {
+        let mut b = WebBuilder::new();
+        let hosts: Vec<NodeId> =
+            (0..n).map(|_| b.add_node(rng, NodeClass::Good(GoodKind::Forum))).collect();
+        (b, hosts)
+    }
+
+    #[test]
+    fn star_farm_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut b, _) = builder_with_good_hosts(2, &mut rng);
+        let farm = inject_farm(&mut b, &mut rng, 0, &FarmConfig::star(5), &[], &[]);
+        let g = b.build_graph();
+        assert_eq!(farm.boosters.len(), 5);
+        assert_eq!(g.in_degree(farm.target), 5);
+        for &booster in &farm.boosters {
+            assert!(g.has_edge(booster, farm.target));
+        }
+        // Target links back to some boosters.
+        assert!(g.out_degree(farm.target) > 0);
+    }
+
+    #[test]
+    fn clique_farm_interconnects_boosters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (mut b, _) = builder_with_good_hosts(1, &mut rng);
+        let cfg = FarmConfig { topology: FarmTopology::Clique, ..FarmConfig::star(4) };
+        let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &[], &[]);
+        let g = b.build_graph();
+        for &a in &farm.boosters {
+            for &c in &farm.boosters {
+                if a != c {
+                    assert!(g.has_edge(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_farm_keeps_boosters_non_dangling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut b, _) = builder_with_good_hosts(1, &mut rng);
+        let cfg = FarmConfig { topology: FarmTopology::Ring, ..FarmConfig::star(6) };
+        let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &[], &[]);
+        let g = b.build_graph();
+        for &booster in &farm.boosters {
+            assert!(g.out_degree(booster) >= 2, "ring + target link");
+        }
+    }
+
+    #[test]
+    fn hijacked_links_come_from_good_pool() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (mut b, hosts) = builder_with_good_hosts(10, &mut rng);
+        let cfg = FarmConfig { hijacked_links: 8, ..FarmConfig::star(3) };
+        let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &hosts, &[]);
+        let g = b.build_graph();
+        let good_inlinks = g
+            .in_neighbors(farm.target)
+            .iter()
+            .filter(|&&src| b.truth.is_good(src))
+            .count();
+        assert!(good_inlinks > 0, "some hijacked links must land (dedup allowed)");
+    }
+
+    #[test]
+    fn honeypots_link_to_target_and_attract_links() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mut b, hosts) = builder_with_good_hosts(10, &mut rng);
+        let cfg = FarmConfig {
+            honeypots: 2,
+            honeypot_inlinks: 3,
+            ..FarmConfig::star(2)
+        };
+        let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &hosts, &[]);
+        let g = b.build_graph();
+        assert_eq!(farm.honeypots.len(), 2);
+        for &h in &farm.honeypots {
+            assert!(g.has_edge(h, farm.target));
+            assert!(g.in_degree(h) > 0, "honey pot attracted no links");
+            assert!(b.truth.is_spam(h));
+        }
+    }
+
+    #[test]
+    fn expired_domains_flip_good_hosts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mut b, hosts) = builder_with_good_hosts(10, &mut rng);
+        let cfg = FarmConfig { expired_domains: 2, ..FarmConfig::star(2) };
+        let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &[], &hosts);
+        assert_eq!(farm.expired.len(), 2);
+        for &e in &farm.expired {
+            assert!(b.truth.is_spam(e));
+            assert_eq!(b.truth.class(e).farm(), Some(0));
+        }
+        let g = b.build_graph();
+        for &e in &farm.expired {
+            assert!(g.has_edge(e, farm.target));
+        }
+    }
+
+    #[test]
+    fn expired_conversion_skips_already_spam_hosts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (mut b, hosts) = builder_with_good_hosts(3, &mut rng);
+        let cfg = FarmConfig { expired_domains: 3, ..FarmConfig::star(1) };
+        let f1 = inject_farm(&mut b, &mut rng, 0, &cfg, &[], &hosts);
+        let f2 = inject_farm(&mut b, &mut rng, 1, &cfg, &[], &hosts);
+        // No host belongs to two farms.
+        for e in &f2.expired {
+            assert!(!f1.expired.contains(e));
+        }
+    }
+
+    #[test]
+    fn alliance_cross_links_targets() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mut b, _) = builder_with_good_hosts(1, &mut rng);
+        let farms = inject_alliance(
+            &mut b,
+            &mut rng,
+            10,
+            &[FarmConfig::star(3), FarmConfig::star(4), FarmConfig::star(2)],
+            &[],
+            &[],
+        );
+        let g = b.build_graph();
+        assert_eq!(farms.len(), 3);
+        for a in &farms {
+            for c in &farms {
+                if a.id != c.id {
+                    assert!(g.has_edge(a.target, c.target));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn farm_members_and_ground_truth_agree() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mut b, hosts) = builder_with_good_hosts(5, &mut rng);
+        let cfg = FarmConfig {
+            honeypots: 1,
+            honeypot_inlinks: 1,
+            expired_domains: 1,
+            hijacked_links: 2,
+            ..FarmConfig::star(3)
+        };
+        let farm = inject_farm(&mut b, &mut rng, 42, &cfg, &hosts, &hosts);
+        let mut from_truth = b.truth.farm_members(42);
+        let mut from_farm = farm.members();
+        from_truth.sort_unstable();
+        from_farm.sort_unstable();
+        assert_eq!(from_truth, from_farm);
+        assert_eq!(farm.size(), from_farm.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one booster")]
+    fn rejects_empty_farm() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut b = WebBuilder::new();
+        let _ = inject_farm(&mut b, &mut rng, 0, &FarmConfig::star(0), &[], &[]);
+    }
+}

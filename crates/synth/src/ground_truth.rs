@@ -1,0 +1,249 @@
+//! Ground-truth node labelling.
+//!
+//! The paper's evaluation rests on a manual judgement of sampled hosts
+//! (Section 4.4.1: good / spam / unknown / non-existent). The generator
+//! knows the truth by construction; this module stores it and exposes the
+//! projections the experiments need.
+
+use spammass_graph::NodeId;
+
+/// Why a good host is good — mirrors the core-construction sources of
+/// Section 4.2 plus the community types behind the Section 4.4.1
+/// anomalies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GoodKind {
+    /// Listed in the trusted web directory.
+    Directory,
+    /// Governmental host (`.gov`).
+    Government,
+    /// Educational host; `country` indexes [`crate::names::COUNTRIES`].
+    Education {
+        /// Country index.
+        country: u16,
+    },
+    /// Blog inside a hosted-blog community.
+    Blog {
+        /// Community id.
+        community: u16,
+    },
+    /// Host of an e-commerce community (the Alibaba analogue).
+    Commerce {
+        /// Community id.
+        community: u16,
+    },
+    /// Ordinary business/organization host.
+    Business,
+    /// Personal home page / fan site.
+    Personal,
+    /// Web forum or message board (hijackable by comment spam).
+    Forum,
+}
+
+/// Why a spam host is spam — the farm roles of Section 2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpamKind {
+    /// Boosting node of a farm.
+    Booster {
+        /// Farm id.
+        farm: u32,
+    },
+    /// The farm's target node.
+    Target {
+        /// Farm id.
+        farm: u32,
+    },
+    /// Honey pot: valuable-looking page secretly in the farm.
+    HoneyPot {
+        /// Farm id.
+        farm: u32,
+    },
+    /// Expired domain bought by the spammer; retains old good in-links.
+    ExpiredDomain {
+        /// Farm id.
+        farm: u32,
+    },
+}
+
+/// Full ground-truth class of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// A reputable host.
+    Good(GoodKind),
+    /// A spam host.
+    Spam(SpamKind),
+}
+
+impl NodeClass {
+    /// Whether this class is on the spam side `V⁻`.
+    pub fn is_spam(&self) -> bool {
+        matches!(self, NodeClass::Spam(_))
+    }
+
+    /// Farm id if the node belongs to one.
+    pub fn farm(&self) -> Option<u32> {
+        match self {
+            NodeClass::Spam(SpamKind::Booster { farm })
+            | NodeClass::Spam(SpamKind::Target { farm })
+            | NodeClass::Spam(SpamKind::HoneyPot { farm })
+            | NodeClass::Spam(SpamKind::ExpiredDomain { farm }) => Some(*farm),
+            NodeClass::Good(_) => None,
+        }
+    }
+}
+
+/// Ground truth for every node of a generated graph.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    classes: Vec<NodeClass>,
+}
+
+impl GroundTruth {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a node's class, returning its id (classes are pushed in
+    /// node-id order during generation).
+    pub fn push(&mut self, class: NodeClass) -> NodeId {
+        let id = NodeId::from_index(self.classes.len());
+        self.classes.push(class);
+        id
+    }
+
+    /// Number of labelled nodes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether no node is labelled.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Class of `x`.
+    pub fn class(&self, x: NodeId) -> NodeClass {
+        self.classes[x.index()]
+    }
+
+    /// Reassigns a node's class (expired-domain conversion flips a good
+    /// host to spam).
+    pub fn set(&mut self, x: NodeId, class: NodeClass) {
+        self.classes[x.index()] = class;
+    }
+
+    /// Whether `x` is spam.
+    pub fn is_spam(&self, x: NodeId) -> bool {
+        self.classes[x.index()].is_spam()
+    }
+
+    /// Whether `x` is good.
+    pub fn is_good(&self, x: NodeId) -> bool {
+        !self.is_spam(x)
+    }
+
+    /// All spam nodes, ascending — feeds
+    /// `spammass_core::Partition::from_spam_nodes`.
+    pub fn spam_nodes(&self) -> Vec<NodeId> {
+        self.filter(|c| c.is_spam())
+    }
+
+    /// All good nodes, ascending.
+    pub fn good_nodes(&self) -> Vec<NodeId> {
+        self.filter(|c| !c.is_spam())
+    }
+
+    /// Spam fraction of the whole graph (the paper estimates ≥ 15%; its
+    /// TrustRank study measured > 18%).
+    pub fn spam_fraction(&self) -> f64 {
+        if self.classes.is_empty() {
+            0.0
+        } else {
+            self.classes.iter().filter(|c| c.is_spam()).count() as f64 / self.classes.len() as f64
+        }
+    }
+
+    /// Nodes matching a class predicate, ascending.
+    pub fn filter<F: Fn(&NodeClass) -> bool>(&self, pred: F) -> Vec<NodeId> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| pred(c))
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Members of farm `farm_id`, ascending.
+    pub fn farm_members(&self, farm_id: u32) -> Vec<NodeId> {
+        self.filter(|c| c.farm() == Some(farm_id))
+    }
+
+    /// Iterator over `(node, class)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeClass)> + '_ {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (NodeId::from_index(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut gt = GroundTruth::new();
+        let a = gt.push(NodeClass::Good(GoodKind::Directory));
+        let b = gt.push(NodeClass::Spam(SpamKind::Target { farm: 0 }));
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert_eq!(gt.len(), 2);
+        assert!(gt.is_good(a));
+        assert!(gt.is_spam(b));
+    }
+
+    #[test]
+    fn farm_projection() {
+        let mut gt = GroundTruth::new();
+        gt.push(NodeClass::Spam(SpamKind::Target { farm: 7 }));
+        gt.push(NodeClass::Spam(SpamKind::Booster { farm: 7 }));
+        gt.push(NodeClass::Spam(SpamKind::Booster { farm: 8 }));
+        gt.push(NodeClass::Good(GoodKind::Business));
+        assert_eq!(gt.farm_members(7), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(gt.farm_members(8), vec![NodeId(2)]);
+        assert!(gt.class(NodeId(3)).farm().is_none());
+    }
+
+    #[test]
+    fn spam_fraction_and_projections() {
+        let mut gt = GroundTruth::new();
+        gt.push(NodeClass::Good(GoodKind::Personal));
+        gt.push(NodeClass::Good(GoodKind::Forum));
+        gt.push(NodeClass::Spam(SpamKind::HoneyPot { farm: 1 }));
+        gt.push(NodeClass::Spam(SpamKind::ExpiredDomain { farm: 1 }));
+        assert!((gt.spam_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(gt.spam_nodes(), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(gt.good_nodes(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(GroundTruth::new().spam_fraction(), 0.0);
+    }
+
+    #[test]
+    fn expired_domain_conversion() {
+        let mut gt = GroundTruth::new();
+        let x = gt.push(NodeClass::Good(GoodKind::Business));
+        assert!(gt.is_good(x));
+        gt.set(x, NodeClass::Spam(SpamKind::ExpiredDomain { farm: 3 }));
+        assert!(gt.is_spam(x));
+        assert_eq!(gt.class(x).farm(), Some(3));
+    }
+
+    #[test]
+    fn class_equality_and_kinds() {
+        let e1 = NodeClass::Good(GoodKind::Education { country: 3 });
+        let e2 = NodeClass::Good(GoodKind::Education { country: 4 });
+        assert_ne!(e1, e2);
+        assert!(!e1.is_spam());
+        assert!(NodeClass::Spam(SpamKind::Booster { farm: 0 }).is_spam());
+    }
+}

@@ -1,0 +1,47 @@
+//! # spammass-synth
+//!
+//! Synthetic host-level web graphs with injected link-spam structures —
+//! the stand-in for the proprietary Yahoo! 2004 host graph used in the
+//! paper's evaluation (Section 4.1: 73.3M hosts, 979M edges, 35% without
+//! inlinks, 66.4% without outlinks, 25.8% isolated).
+//!
+//! The generator reproduces, at laptop scale, every structural ingredient
+//! the spam-mass experiments depend on:
+//!
+//! * a **good web** with power-law in-degrees, host classes (directory,
+//!   `.gov`, `.edu`, blogs, commerce, businesses) and the paper's
+//!   no-inlink / no-outlink / isolated fractions ([`webmodel`]);
+//! * **isolated good communities** that the good core fails to cover —
+//!   recreating the Alibaba / Polish-web / Brazilian-blog anomalies of
+//!   Section 4.4.1 ([`communities`]);
+//! * **spam farms** in the Section 2.3 model: a target boosted by many
+//!   boosting nodes, optional farm alliances, honey pots, hijacked
+//!   blog/guestbook links, and expired-domain takeovers ([`farms`]);
+//! * **ground-truth labels** for every host ([`ground_truth`]), playing
+//!   the role of the paper's human judges;
+//! * **scenario presets** assembling all of the above deterministically
+//!   from a seed ([`scenario`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use spammass_synth::scenario::{Scenario, ScenarioConfig};
+//!
+//! let sc = Scenario::generate(&ScenarioConfig::small(), 42);
+//! assert!(sc.graph.node_count() > 1_000);
+//! // Every node is labelled.
+//! assert_eq!(sc.truth.len(), sc.graph.node_count());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod communities;
+pub mod config;
+pub mod farm_theory;
+pub mod farms;
+pub mod ground_truth;
+pub mod names;
+pub mod scenario;
+pub mod webmodel;
+pub mod zipf;

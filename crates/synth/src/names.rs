@@ -1,0 +1,156 @@
+//! Host-name generation.
+//!
+//! The Section 4.2 core-construction recipe selects hosts by name evidence
+//! (`.gov` suffix, educational domains, directory membership), and the
+//! Section 4.5 biased core is "all Italian (`.it`) educational hosts".
+//! Generated hosts therefore need plausible names whose suffix structure
+//! matches their ground-truth class.
+
+use crate::ground_truth::{GoodKind, NodeClass, SpamKind};
+use rand::Rng;
+
+/// Country TLDs used for educational hosts. Index 0 (`us`) maps to `.edu`;
+/// the rest to `univ<k>.ac.<tld>`-style names. The list deliberately
+/// includes `it` (the biased core of Section 4.5) and `pl` (the
+/// under-covered country of Section 4.4.1).
+pub const COUNTRIES: &[&str] = &[
+    "us", "it", "pl", "cz", "de", "fr", "uk", "jp", "br", "cn", "au", "ca", "es", "nl", "se",
+    "kr", "in", "mx", "ar", "fi",
+];
+
+const WORDS: &[&str] = &[
+    "alpha", "nova", "terra", "lumen", "delta", "orion", "vega", "atlas", "zephyr", "quartz",
+    "ember", "cobalt", "violet", "cedar", "harbor", "summit", "meadow", "canyon", "prairie",
+    "tundra", "bay", "grove", "ridge", "valley", "brook",
+];
+
+fn word<R: Rng + ?Sized>(rng: &mut R) -> &'static str {
+    WORDS[rng.gen_range(0..WORDS.len())]
+}
+
+/// Generates a host name consistent with `class`.
+///
+/// `serial` keeps names unique; callers pass the node id.
+pub fn host_name<R: Rng + ?Sized>(rng: &mut R, class: NodeClass, serial: u32) -> String {
+    match class {
+        NodeClass::Good(kind) => good_name(rng, kind, serial),
+        NodeClass::Spam(kind) => spam_name(rng, kind, serial),
+    }
+}
+
+fn good_name<R: Rng + ?Sized>(rng: &mut R, kind: GoodKind, serial: u32) -> String {
+    match kind {
+        GoodKind::Directory => format!("dir{serial}.{}-directory.org", word(rng)),
+        GoodKind::Government => format!("{}{serial}.{}.gov", word(rng), word(rng)),
+        GoodKind::Education { country } => {
+            let c = COUNTRIES[country as usize % COUNTRIES.len()];
+            if c == "us" {
+                format!("www{serial}.{}-university.edu", word(rng))
+            } else {
+                format!("www{serial}.univ-{}.edu.{c}", word(rng))
+            }
+        }
+        GoodKind::Blog { community } => {
+            // Hosted blogs share a registrable domain — the
+            // *.blogger.com.br pattern of Section 4.4.1.
+            format!("{}{serial}.bloghost{community}.com.br", word(rng))
+        }
+        GoodKind::Commerce { community } => {
+            // Commerce hosts share a domain — the *.alibaba.com pattern.
+            format!("shop{serial}.megamarket{community}.com")
+        }
+        GoodKind::Business => format!("www{serial}.{}-{}.com", word(rng), word(rng)),
+        GoodKind::Personal => format!("home{serial}.{}.net", word(rng)),
+        GoodKind::Forum => format!("forum{serial}.{}-board.org", word(rng)),
+    }
+}
+
+fn spam_name<R: Rng + ?Sized>(rng: &mut R, kind: SpamKind, serial: u32) -> String {
+    match kind {
+        SpamKind::Booster { farm } => format!("cheap-{}{serial}.farm{farm}.biz", word(rng)),
+        SpamKind::Target { farm } => format!("www.best-{}-deals{farm}.com", word(rng)),
+        SpamKind::HoneyPot { farm } => format!("free-{}-guides{serial}-{farm}.info", word(rng)),
+        SpamKind::ExpiredDomain { farm } => format!("old-{}{serial}.expired{farm}.com", word(rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::{GoodKind, NodeClass, SpamKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spammass_graph::HostName;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn gov_hosts_have_gov_suffix() {
+        let name = host_name(&mut rng(), NodeClass::Good(GoodKind::Government), 5);
+        assert!(HostName::new(&name).has_suffix("gov"), "{name}");
+    }
+
+    #[test]
+    fn us_edu_hosts_have_edu_suffix() {
+        let name = host_name(&mut rng(), NodeClass::Good(GoodKind::Education { country: 0 }), 1);
+        assert!(HostName::new(&name).has_suffix("edu"), "{name}");
+    }
+
+    #[test]
+    fn italian_edu_hosts_have_it_suffix() {
+        let idx = COUNTRIES.iter().position(|&c| c == "it").unwrap() as u16;
+        let name =
+            host_name(&mut rng(), NodeClass::Good(GoodKind::Education { country: idx }), 2);
+        assert!(HostName::new(&name).has_suffix("it"), "{name}");
+        assert!(name.contains(".edu."), "{name}");
+    }
+
+    #[test]
+    fn commerce_community_shares_registrable_domain() {
+        let mut r = rng();
+        let a = host_name(&mut r, NodeClass::Good(GoodKind::Commerce { community: 3 }), 10);
+        let b = host_name(&mut r, NodeClass::Good(GoodKind::Commerce { community: 3 }), 11);
+        let da = HostName::new(&a).registrable_domain().unwrap().to_string();
+        let db = HostName::new(&b).registrable_domain().unwrap().to_string();
+        assert_eq!(da, db);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn blog_community_uses_com_br() {
+        let name = host_name(&mut rng(), NodeClass::Good(GoodKind::Blog { community: 1 }), 7);
+        let h = HostName::new(&name);
+        assert!(h.has_suffix("com.br"), "{name}");
+        assert_eq!(h.registrable_domain(), Some("bloghost1.com.br"));
+    }
+
+    #[test]
+    fn serials_keep_names_distinct() {
+        let mut r = rng();
+        let a = host_name(&mut r, NodeClass::Spam(SpamKind::Booster { farm: 2 }), 0);
+        let b = host_name(&mut r, NodeClass::Spam(SpamKind::Booster { farm: 2 }), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_classes_produce_parseable_hosts() {
+        let mut r = rng();
+        let classes = [
+            NodeClass::Good(GoodKind::Directory),
+            NodeClass::Good(GoodKind::Business),
+            NodeClass::Good(GoodKind::Personal),
+            NodeClass::Good(GoodKind::Forum),
+            NodeClass::Spam(SpamKind::Target { farm: 1 }),
+            NodeClass::Spam(SpamKind::HoneyPot { farm: 1 }),
+            NodeClass::Spam(SpamKind::ExpiredDomain { farm: 1 }),
+        ];
+        for (i, c) in classes.into_iter().enumerate() {
+            let name = host_name(&mut r, c, i as u32);
+            let h = HostName::new(&name);
+            assert!(h.tld().is_some(), "{name}");
+            assert!(h.registrable_domain().is_some(), "{name}");
+        }
+    }
+}

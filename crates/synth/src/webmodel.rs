@@ -1,0 +1,780 @@
+//! The good-web generator.
+//!
+//! Produces the reputable part of the synthetic host graph: mainstream
+//! hosts (directories, `.gov`, `.edu`, forums, personal and business
+//! sites), plus the configured communities. Spam farms are injected
+//! afterwards by [`crate::farms`] on top of the same [`WebBuilder`].
+//!
+//! Link formation follows a preferential-attachment mixture: a linking
+//! host draws a Pareto out-degree budget and connects each link either to
+//! a uniformly random eligible host or — with probability
+//! `preferential_bias` — proportionally to current in-degree, which yields
+//! the power-law in-degree distribution reported for real host graphs.
+//! Community members keep most links inside their community; *isolated*
+//! communities keep nearly all of them inside and receive no directory
+//! coverage, which is precisely what starves them of core-based PageRank
+//! later.
+
+use crate::communities::{Community, CommunityKind, CommunitySpec};
+use crate::config::WebModelConfig;
+use crate::ground_truth::{GoodKind, GroundTruth, NodeClass};
+use crate::names::host_name;
+use crate::zipf::{ParetoSampler, ZipfSampler};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use spammass_graph::{Graph, GraphBuilder, NodeId, NodeLabels};
+
+/// Shared mutable state while a synthetic web is being assembled; both the
+/// good-web generator and the farm injector operate on it.
+#[derive(Debug, Default)]
+pub struct WebBuilder {
+    /// Ground-truth class per node.
+    pub truth: GroundTruth,
+    /// Host name per node.
+    pub labels: NodeLabels,
+    /// Directed edges collected so far.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl WebBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes created so far.
+    pub fn node_count(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Creates a node of the given class with a generated host name.
+    pub fn add_node<R: Rng + ?Sized>(&mut self, rng: &mut R, class: NodeClass) -> NodeId {
+        let id = self.truth.push(class);
+        let name = host_name(rng, class, id.0);
+        let label_id = self.labels.push(&name);
+        // A duplicate host name would silently desynchronize labels and
+        // ground truth; every name template embeds the node serial.
+        assert_eq!(label_id, id, "duplicate generated host name {name:?}");
+        id
+    }
+
+    /// Records a directed edge (self-loops and duplicates are dropped
+    /// later by the graph builder).
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if from != to {
+            self.edges.push((from, to));
+        }
+    }
+
+    /// Finalizes into an immutable graph.
+    pub fn build_graph(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.node_count(), self.edges.len());
+        for &(f, t) in &self.edges {
+            b.add_edge(f, t);
+        }
+        b.build()
+    }
+}
+
+/// Preferential-attachment ball list: drawing is uniform over the list,
+/// and every received link appends the target once more. Used within
+/// communities, where hub pre-seeding shapes the structure.
+#[derive(Debug, Default)]
+struct BallList {
+    balls: Vec<NodeId>,
+}
+
+impl BallList {
+    fn seed(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        BallList { balls: nodes.into_iter().collect() }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.balls.is_empty()
+    }
+
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.balls.is_empty() {
+            None
+        } else {
+            Some(self.balls[rng.gen_range(0..self.balls.len())])
+        }
+    }
+
+    fn reinforce(&mut self, x: NodeId) {
+        self.balls.push(x);
+    }
+}
+
+/// Static-popularity pool: each eligible target holds a fixed random rank
+/// and is drawn with probability ∝ rank^{−s} (a configuration-model
+/// approach). This produces genuine hub hosts — a Zipf share of **all**
+/// mainstream links — so the good web grows high-PageRank hosts the way
+/// the real web does, which the ball-list PA (uniform base seeding) fails
+/// to do at small scale.
+struct PopularityPool {
+    targets: Vec<NodeId>,
+    zipf: Option<ZipfSampler>,
+}
+
+impl PopularityPool {
+    fn new<R: Rng + ?Sized>(mut targets: Vec<NodeId>, s: f64, rng: &mut R) -> Self {
+        targets.shuffle(rng);
+        let zipf = (!targets.is_empty()).then(|| ZipfSampler::new(targets.len(), s));
+        PopularityPool { targets, zipf }
+    }
+
+    fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        let zipf = self.zipf.as_ref()?;
+        Some(self.targets[zipf.sample(rng) - 1])
+    }
+}
+
+/// Output of the good-web generation phase.
+#[derive(Debug)]
+pub struct GoodWeb {
+    /// Realized communities (ids match indices).
+    pub communities: Vec<Community>,
+    /// Directory hosts (always part of the Section 4.2 core).
+    pub directories: Vec<NodeId>,
+    /// Governmental hosts.
+    pub gov: Vec<NodeId>,
+    /// Educational hosts (all countries).
+    pub edu: Vec<NodeId>,
+    /// Forum hosts — the comment-spam surface farms hijack.
+    pub forums: Vec<NodeId>,
+    /// Hosts generated with zero links by design.
+    pub isolated: Vec<NodeId>,
+    /// The mega hosts (adobe/macromedia tier), ordered alternately
+    /// least-covered-sector first.
+    pub mega_hosts: Vec<NodeId>,
+}
+
+/// Generates the good web into `builder`.
+///
+/// # Panics
+/// Panics if `config` fails validation.
+pub fn generate_good_web<R: Rng + ?Sized>(
+    builder: &mut WebBuilder,
+    config: &WebModelConfig,
+    rng: &mut R,
+) -> GoodWeb {
+    config.validate().expect("invalid web model config");
+    let n = config.good_hosts;
+    let community_total = config.community_hosts();
+    let mainstream = n - community_total;
+
+    let n_dir = ((n as f64 * config.directory_fraction) as usize).max(1);
+    let n_gov = ((n as f64 * config.gov_fraction) as usize).max(1);
+    let n_edu = ((n as f64 * config.edu_fraction) as usize).max(config.edu_countries);
+    let n_forum = ((n as f64 * config.forum_fraction) as usize).max(1);
+    let n_personal = (n as f64 * config.personal_fraction) as usize;
+    let fixed = n_dir + n_gov + n_edu + n_forum + n_personal;
+    assert!(fixed < mainstream, "class fractions leave no room for business hosts");
+    let n_business = mainstream - fixed;
+
+    // --- create mainstream nodes -----------------------------------------
+    let directories: Vec<NodeId> =
+        (0..n_dir).map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Directory))).collect();
+    let gov: Vec<NodeId> =
+        (0..n_gov).map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Government))).collect();
+
+    // Educational hosts are spread over countries by a Zipf law: big
+    // countries get hundreds, the tail gets a handful (the paper's
+    // 4020-Czech vs 12-Polish contrast).
+    let country_zipf = ZipfSampler::new(config.edu_countries, 1.3);
+    let edu: Vec<NodeId> = (0..n_edu)
+        .map(|_| {
+            let country = (country_zipf.sample(rng) - 1) as u16;
+            builder.add_node(rng, NodeClass::Good(GoodKind::Education { country }))
+        })
+        .collect();
+
+    let forums: Vec<NodeId> =
+        (0..n_forum).map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Forum))).collect();
+    let personal: Vec<NodeId> = (0..n_personal)
+        .map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Personal)))
+        .collect();
+    let business: Vec<NodeId> =
+        (0..n_business).map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Business))).collect();
+
+    // --- create communities ----------------------------------------------
+    let communities: Vec<Community> = config
+        .communities
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| realize_community(builder, rng, i as u16, spec))
+        .collect();
+
+    // --- choose isolated hosts -------------------------------------------
+    // Isolated hosts come from the personal/business pool; they get no
+    // links in either direction.
+    let isolated_count = ((n as f64 * config.isolated_fraction) as usize)
+        .min(personal.len() + business.len());
+    let mut leaf_pool: Vec<NodeId> =
+        personal.iter().chain(business.iter()).copied().collect();
+    leaf_pool.shuffle(rng);
+    let isolated: Vec<NodeId> = leaf_pool[..isolated_count].to_vec();
+    let connectable: Vec<NodeId> = leaf_pool[isolated_count..].to_vec();
+    let is_isolated = {
+        let mut flags = vec![false; builder.node_count()];
+        for &x in &isolated {
+            flags[x.index()] = true;
+        }
+        flags
+    };
+
+    // --- linker selection --------------------------------------------------
+    // Hubs always link; enough leaf hosts link to reach the configured
+    // outlink fraction.
+    let target_linkers = ((n as f64) * (1.0 - config.no_outlink_fraction)) as usize;
+    let community_linkers =
+        ((community_total as f64) * (1.0 - config.no_outlink_fraction)) as usize;
+    let hub_linkers = n_dir + n_gov + n_edu + n_forum + community_linkers;
+    let leaf_linkers = target_linkers.saturating_sub(hub_linkers).min(connectable.len());
+    let linking_leaves: Vec<NodeId> = connectable[..leaf_linkers].to_vec();
+
+    // --- target pools -------------------------------------------------------
+    // The mainstream pool excludes isolated hosts and isolated-community
+    // members; covered communities expose only their hubs to it.
+    let mut mainstream_targets: Vec<NodeId> = Vec::with_capacity(builder.node_count());
+    for x in (0..builder.node_count()).map(NodeId::from_index) {
+        if is_isolated[x.index()] {
+            continue;
+        }
+        if let Some(c) = communities.iter().find(|c| c.contains(x)) {
+            if c.spec.isolated || !c.hubs().contains(&x) {
+                continue;
+            }
+        }
+        mainstream_targets.push(x);
+    }
+    let main_pool =
+        PopularityPool::new(mainstream_targets.clone(), config.popularity_exponent, rng);
+    let uniform_targets = mainstream_targets;
+
+    // Per-community pools: hubs seeded heavily so members cluster around
+    // them (the china.alibaba.com pattern) and the hubs accumulate enough
+    // PageRank to show up among the high-PageRank hosts — that is what
+    // makes them *visible* anomalies.
+    let mut community_pools: Vec<BallList> = communities
+        .iter()
+        .map(|c| {
+            let mut seedlist: Vec<NodeId> = c.members.clone();
+            let hub_seed = (c.members.len() / c.spec.hubs.max(1)).max(10);
+            for &h in c.hubs() {
+                for _ in 0..hub_seed {
+                    seedlist.push(h);
+                }
+            }
+            BallList::seed(seedlist)
+        })
+        .collect();
+
+    // Institutional popularity pool: the gov/edu web is densely
+    // self-referential, so core-class linkers keep most links inside it.
+    // Core PageRank then reaches the commercial mainstream only through
+    // hops, producing the graded coverage (and the mid-range relative
+    // masses of ordinary good hosts) seen in the paper's sample.
+    let mut institutional: Vec<NodeId> = Vec::with_capacity(gov.len() + edu.len());
+    institutional.extend(&gov);
+    institutional.extend(&edu);
+    let institutional_pool =
+        PopularityPool::new(institutional, config.popularity_exponent, rng);
+    let is_institutional = {
+        let mut flags = vec![false; builder.node_count()];
+        for &x in gov.iter().chain(edu.iter()) {
+            flags[x.index()] = true;
+        }
+        flags
+    };
+
+    // Topical sectors: mainstream hosts cluster by topic, and the
+    // institutional web concentrates in a few of them (Zipf). Sectors far
+    // from the institutions receive little core-based PageRank, so good
+    // hosts end up spread across the whole relative-mass range instead of
+    // uniformly over-covered — the wide good band the paper's sample
+    // shows (its groups span m̃ from −67.9 to +1).
+    let sector_count = config.sectors.max(1);
+    let sector_zipf = ZipfSampler::new(sector_count, 1.2);
+    let mut sector_of: Vec<Option<u16>> = vec![None; builder.node_count()];
+    for &x in &uniform_targets {
+        if community_of_node(&communities, x).is_none() {
+            let s = if is_institutional[x.index()] {
+                match builder.truth.class(x) {
+                    // A country's educational hosts share that country's
+                    // sector: national webs are link neighbourhoods. This
+                    // is what makes a single-country core *biased* — it
+                    // covers one corner of the web (Section 4.5's `.it`
+                    // core experiment).
+                    NodeClass::Good(GoodKind::Education { country }) => {
+                        ((country as usize * 5 + 1) % sector_count) as u16
+                    }
+                    _ => (sector_zipf.sample(rng) - 1) as u16,
+                }
+            } else {
+                rng.gen_range(0..sector_count) as u16
+            };
+            sector_of[x.index()] = Some(s);
+        }
+    }
+    // Linking leaves that are not targets still belong to a sector.
+    for &x in &linking_leaves {
+        if sector_of[x.index()].is_none() {
+            sector_of[x.index()] = Some(rng.gen_range(0..sector_count) as u16);
+        }
+    }
+    // Mega hosts: head-of-distribution good hosts (the adobe.com /
+    // macromedia.com tier) drawn from the connectable business pool. They
+    // receive a dedicated share of every mainstream link, partially biased
+    // to the linker's sector. Half are placed in the most institutional
+    // sectors (they become the deeply negative-mass adobe.com cases) and
+    // half in the least institutional ones (large *positive* estimated
+    // mass — the macromedia.com false positives of Section 4.6).
+    let mega_hosts: Vec<NodeId> = connectable
+        .iter()
+        .copied()
+        .filter(|&x| sector_of[x.index()].is_some())
+        .take(config.mega_host_count)
+        .collect();
+    {
+        let mut inst_per_sector = vec![0usize; sector_count];
+        for &x in gov.iter().chain(edu.iter()) {
+            if let Some(s) = sector_of[x.index()] {
+                inst_per_sector[s as usize] += 1;
+            }
+        }
+        let mut by_coverage: Vec<usize> = (0..sector_count).collect();
+        by_coverage.sort_by_key(|&s| inst_per_sector[s]);
+        for (i, &m) in mega_hosts.iter().enumerate() {
+            let sector = if i % 2 == 0 {
+                by_coverage[(i / 2) % sector_count] // least covered
+            } else {
+                by_coverage[sector_count - 1 - (i / 2) % sector_count] // most covered
+            };
+            sector_of[m.index()] = Some(sector as u16);
+        }
+    }
+    let mut megas_by_sector: Vec<Vec<NodeId>> = vec![Vec::new(); sector_count];
+    for &m in &mega_hosts {
+        if let Some(s) = sector_of[m.index()] {
+            megas_by_sector[s as usize].push(m);
+        }
+    }
+
+
+    let sector_pools: Vec<PopularityPool> = (0..sector_count)
+        .map(|s| {
+            let members: Vec<NodeId> = uniform_targets
+                .iter()
+                .copied()
+                .filter(|&x| sector_of[x.index()] == Some(s as u16))
+                .collect();
+            PopularityPool::new(members, config.popularity_exponent, rng)
+        })
+        .collect();
+
+    // Institutional links are themselves mostly national: a university
+    // cites its country's universities and ministries first. Without
+    // this, a single-country core leaks its trust into every other
+    // country's institutions and the Section 4.5 biased-core effect
+    // disappears.
+    let inst_sector_pools: Vec<PopularityPool> = (0..sector_count)
+        .map(|s| {
+            let members: Vec<NodeId> = gov
+                .iter()
+                .chain(edu.iter())
+                .copied()
+                .filter(|&x| sector_of[x.index()] == Some(s as u16))
+                .collect();
+            PopularityPool::new(members, config.popularity_exponent, rng)
+        })
+        .collect();
+
+    let out_deg = ParetoSampler::new(config.out_degree_min, config.out_degree_alpha);
+    let community_of: Vec<Option<u16>> = {
+        let mut map = vec![None; builder.node_count()];
+        for c in &communities {
+            for &m in &c.members {
+                map[m.index()] = Some(c.id);
+            }
+        }
+        map
+    };
+
+    // --- emit links -----------------------------------------------------------
+    // Directories list *prominent* sites: their links follow the global
+    // popularity law rather than blanketing the web uniformly. (Uniform
+    // directory links would hand every host a direct share of the core's
+    // boosted jump mass - a small-graph artifact the real 73M-host web
+    // does not have: Yahoo!'s directory reached a vanishing fraction of
+    // hosts directly.)
+    for &d in &directories {
+        let degree = rng.gen_range(config.directory_out_degree.0..=config.directory_out_degree.1);
+        for _ in 0..degree {
+            if let Some(t) = main_pool.draw(rng) {
+                if t != d {
+                    builder.add_edge(d, t);
+                }
+            }
+        }
+    }
+
+    // Everyone else: Pareto budget, preferential/uniform mixture,
+    // community bias where applicable.
+    let mut linkers: Vec<NodeId> = Vec::new();
+    linkers.extend(&gov);
+    linkers.extend(&edu);
+    linkers.extend(&forums);
+    linkers.extend(&linking_leaves);
+    for c in &communities {
+        // Communities have the same leaf share as the rest of the web —
+        // hubs always link, rank-and-file mostly do not. Without this,
+        // a 97%-intra community with no dangling nodes amplifies its own
+        // PageRank ~1/(1−c) fold and floods the high-PageRank pool.
+        linkers.extend(c.hubs());
+        // Hubs interlink (platform navigation bars).
+        for &h in c.hubs() {
+            for &h2 in c.hubs() {
+                if h != h2 {
+                    builder.add_edge(h, h2);
+                }
+            }
+        }
+        for &m in c.rank_and_file() {
+            if rng.gen_bool(1.0 - config.no_outlink_fraction) {
+                linkers.push(m);
+                // Every hosted page links to its platform hubs — that is
+                // what concentrates community PageRank on the hubs and
+                // makes them visible among high-PageRank hosts.
+                for &h in c.hubs() {
+                    builder.add_edge(m, h);
+                }
+            }
+        }
+    }
+
+    for &src in &linkers {
+        let community = community_of[src.index()].map(|id| &communities[id as usize]);
+        let cap = if community.is_some() {
+            config.community_out_degree_cap.min(config.out_degree_cap)
+        } else {
+            config.out_degree_cap
+        };
+        let degree = out_deg.sample_clamped(rng, cap);
+        for _ in 0..degree {
+            if is_institutional[src.index()] && rng.gen_bool(config.institutional_affinity) {
+                // 70% national (own-sector) institutions, 30% worldwide.
+                let own = sector_of[src.index()]
+                    .map(|s| &inst_sector_pools[s as usize])
+                    .filter(|p| !p.targets.is_empty());
+                let drawn = match own {
+                    Some(pool) if rng.gen_bool(0.7) => pool.draw(rng),
+                    _ => institutional_pool.draw(rng),
+                };
+                if let Some(t) = drawn {
+                    if t != src {
+                        builder.add_edge(src, t);
+                    }
+                }
+                continue;
+            }
+            // Mega-host links (sector-biased).
+            if community.is_none() && rng.gen_bool(config.mega_link_probability) {
+                let own_sector = sector_of[src.index()]
+                    .map(|s| &megas_by_sector[s as usize])
+                    .filter(|m| !m.is_empty());
+                let pool: &[NodeId] = match own_sector {
+                    Some(m) if rng.gen_bool(config.mega_sector_bias) => m,
+                    _ => &mega_hosts,
+                };
+                if let Some(&t) = pick_uniform(pool, rng) {
+                    if t != src {
+                        builder.add_edge(src, t);
+                    }
+                }
+                continue;
+            }
+            // Sector-local links for mainstream hosts.
+            if community.is_none() && rng.gen_bool(config.sector_affinity) {
+                if let Some(s) = sector_of[src.index()] {
+                    if let Some(t) = sector_pools[s as usize].draw(rng) {
+                        if t != src {
+                            builder.add_edge(src, t);
+                        }
+                        continue;
+                    }
+                }
+            }
+            let target = choose_target(
+                src,
+                community,
+                config,
+                &mut community_pools,
+                &main_pool,
+                &uniform_targets,
+                rng,
+            );
+            if let Some(t) = target {
+                builder.add_edge(src, t);
+                if let Some(cid) = community_of[t.index()] {
+                    community_pools[cid as usize].reinforce(t);
+                }
+            }
+        }
+    }
+
+    // Isolated communities are isolated from the *core*, not hermetically
+    // sealed off the web: a few stray mainstream links reach their hubs.
+    // This keeps their relative mass just under 1 (the paper's Alibaba
+    // hosts measured 0.9989/0.9923, not 1.0) so anomalous good hosts
+    // interleave with spam at the top of the mass range.
+    for c in communities.iter().filter(|c| c.spec.isolated) {
+        let inbound = (c.members.len() / 40).max(2);
+        for _ in 0..inbound {
+            if let (Some(&src), Some(&hub)) = (linkers.choose(rng), c.hubs().choose(rng)) {
+                if !c.contains(src) {
+                    builder.add_edge(src, hub);
+                }
+            }
+        }
+    }
+
+    GoodWeb { communities, directories, gov, edu, forums, isolated, mega_hosts }
+}
+
+fn community_of_node(communities: &[Community], x: NodeId) -> Option<u16> {
+    communities.iter().find(|c| c.contains(x)).map(|c| c.id)
+}
+
+fn pick_uniform<'a, R: Rng + ?Sized>(pool: &'a [NodeId], rng: &mut R) -> Option<&'a NodeId> {
+    if pool.is_empty() {
+        None
+    } else {
+        Some(&pool[rng.gen_range(0..pool.len())])
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn choose_target<R: Rng + ?Sized>(
+    src: NodeId,
+    community: Option<&Community>,
+    config: &WebModelConfig,
+    community_pools: &mut [BallList],
+    main_pool: &PopularityPool,
+    uniform_targets: &[NodeId],
+    rng: &mut R,
+) -> Option<NodeId> {
+    if let Some(c) = community {
+        let intra_prob = if c.spec.isolated {
+            config.isolated_community_intra
+        } else {
+            config.covered_community_intra
+        };
+        if rng.gen_bool(intra_prob) {
+            let pool = &community_pools[c.id as usize];
+            if !pool.is_empty() {
+                let t = pool.draw(rng)?;
+                if t != src {
+                    return Some(t);
+                }
+                return None; // dropped; builder would reject anyway
+            }
+        }
+        // Isolated communities almost never get here; covered ones link
+        // out into the mainstream.
+    }
+    if rng.gen_bool(config.preferential_bias) {
+        main_pool.draw(rng)
+    } else {
+        pick_uniform(uniform_targets, rng).copied()
+    }
+}
+
+fn realize_community<R: Rng + ?Sized>(
+    builder: &mut WebBuilder,
+    rng: &mut R,
+    id: u16,
+    spec: &CommunitySpec,
+) -> Community {
+    let members: Vec<NodeId> = (0..spec.size)
+        .map(|i| {
+            let class = match spec.kind {
+                CommunityKind::HostedBlogs => NodeClass::Good(GoodKind::Blog { community: id }),
+                CommunityKind::Commerce => NodeClass::Good(GoodKind::Commerce { community: id }),
+                CommunityKind::NationalWeb { country, edu_hosts } => {
+                    // The first few non-hub members are the country's only
+                    // educational (core-eligible) hosts.
+                    if i >= spec.hubs && i < spec.hubs + edu_hosts {
+                        NodeClass::Good(GoodKind::Education { country })
+                    } else {
+                        NodeClass::Good(GoodKind::Business)
+                    }
+                }
+            };
+            builder.add_node(rng, class)
+        })
+        .collect();
+    Community { id, spec: spec.clone(), members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spammass_graph::stats::GraphStats;
+
+    fn small_web(seed: u64) -> (WebBuilder, GoodWeb) {
+        let mut b = WebBuilder::new();
+        let cfg = WebModelConfig::with_hosts(4_000);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let web = generate_good_web(&mut b, &cfg, &mut rng);
+        (b, web)
+    }
+
+    #[test]
+    fn node_count_matches_config() {
+        let (b, _) = small_web(1);
+        assert_eq!(b.node_count(), 4_000);
+        assert_eq!(b.labels.len(), 4_000);
+        assert_eq!(b.truth.len(), 4_000);
+    }
+
+    #[test]
+    fn all_nodes_good() {
+        let (b, _) = small_web(2);
+        assert_eq!(b.truth.spam_fraction(), 0.0);
+    }
+
+    #[test]
+    fn structural_fractions_near_targets() {
+        let (b, _) = small_web(3);
+        let g = b.build_graph();
+        let s = GraphStats::compute(&g);
+        assert!(
+            (s.no_outlinks_fraction() - 0.664).abs() < 0.08,
+            "no-outlink fraction {}",
+            s.no_outlinks_fraction()
+        );
+        assert!(
+            (s.isolated_fraction() - 0.258).abs() < 0.08,
+            "isolated fraction {}",
+            s.isolated_fraction()
+        );
+        // No-inlink fraction lands between isolated and ~0.45 (paper: 0.35).
+        assert!(s.no_inlinks_fraction() > s.isolated_fraction());
+        assert!(s.no_inlinks_fraction() < 0.55, "{}", s.no_inlinks_fraction());
+    }
+
+    #[test]
+    fn isolated_hosts_have_no_links() {
+        let (b, web) = small_web(4);
+        let g = b.build_graph();
+        for &x in &web.isolated {
+            assert_eq!(g.in_degree(x), 0, "{x}");
+            assert_eq!(g.out_degree(x), 0, "{x}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (b1, _) = small_web(7);
+        let (b2, _) = small_web(7);
+        assert_eq!(b1.edges, b2.edges);
+        let (b3, _) = small_web(8);
+        assert_ne!(b1.edges, b3.edges);
+    }
+
+    #[test]
+    fn isolated_communities_receive_no_directory_links() {
+        let (b, web) = small_web(5);
+        let g = b.build_graph();
+        for c in web.communities.iter().filter(|c| c.spec.isolated) {
+            for &m in &c.members {
+                for &src in g.in_neighbors(m) {
+                    assert!(
+                        !web.directories.contains(&src),
+                        "directory {src} links into isolated community {}",
+                        c.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_community_links_stay_mostly_internal() {
+        let (b, web) = small_web(6);
+        let g = b.build_graph();
+        for c in web.communities.iter().filter(|c| c.spec.isolated) {
+            let mut internal = 0usize;
+            let mut external = 0usize;
+            for &m in &c.members {
+                for &t in g.out_neighbors(m) {
+                    if c.contains(t) {
+                        internal += 1;
+                    } else {
+                        external += 1;
+                    }
+                }
+            }
+            let total = internal + external;
+            assert!(total > 0, "community {} emitted no links", c.id);
+            let frac = internal as f64 / total as f64;
+            assert!(frac > 0.9, "community {}: internal fraction {frac}", c.id);
+        }
+    }
+
+    #[test]
+    fn national_web_contains_edu_members() {
+        let (b, web) = small_web(9);
+        let national = web
+            .communities
+            .iter()
+            .find(|c| matches!(c.spec.kind, CommunityKind::NationalWeb { .. }))
+            .expect("national community configured");
+        let edu_members: Vec<NodeId> = national
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| {
+                matches!(b.truth.class(m), NodeClass::Good(GoodKind::Education { .. }))
+            })
+            .collect();
+        match national.spec.kind {
+            CommunityKind::NationalWeb { edu_hosts, .. } => {
+                assert_eq!(edu_members.len(), edu_hosts)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn in_degree_tail_is_heavy() {
+        let (b, _) = small_web(10);
+        let g = b.build_graph();
+        let max_in = g.nodes().map(|x| g.in_degree(x)).max().unwrap();
+        let mean = g.edge_count() as f64 / g.node_count() as f64;
+        // Hubs should vastly exceed the mean — a heavy tail signature.
+        assert!(max_in as f64 > mean * 10.0, "max in-degree {max_in}, mean {mean}");
+    }
+
+    #[test]
+    fn community_hubs_attract_more_than_rank_and_file() {
+        let (b, web) = small_web(11);
+        let g = b.build_graph();
+        for c in &web.communities {
+            let hub_avg = c.hubs().iter().map(|&h| g.in_degree(h)).sum::<usize>() as f64
+                / c.hubs().len() as f64;
+            let rf = c.rank_and_file();
+            let rf_avg =
+                rf.iter().map(|&m| g.in_degree(m)).sum::<usize>() as f64 / rf.len() as f64;
+            assert!(
+                hub_avg > rf_avg * 2.0,
+                "community {}: hub avg {hub_avg} vs member avg {rf_avg}",
+                c.id
+            );
+        }
+    }
+}

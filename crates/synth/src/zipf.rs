@@ -1,0 +1,178 @@
+//! Heavy-tailed samplers.
+//!
+//! Web host properties are power-law distributed (Section 4.3 confirms
+//! this for PageRank; Figure 6 measures exponent −2.31 for positive spam
+//! mass). The generator needs two heavy-tailed primitives:
+//!
+//! * [`ZipfSampler`] — ranks `1..=n` with probability `∝ 1/rank^s`, used
+//!   for preferential-attachment-like choices and farm-size distribution;
+//! * [`ParetoSampler`] — continuous Pareto tail, used for out-degree
+//!   budgets.
+
+use rand::Rng;
+
+/// Discrete Zipf distribution over `1..=n` with exponent `s`:
+/// `P(k) ∝ k^{−s}`.
+///
+/// Sampling is by binary search over the precomputed CDF — O(log n) per
+/// draw, exact, and cheap to build once per generator.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, i.e. the index
+        // of the first cdf entry >= u; rank is index + 1.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.cdf.len()).contains(&k));
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+}
+
+/// Continuous Pareto distribution on `[x_min, ∞)` with tail exponent
+/// `alpha` (`P(X > x) = (x_min/x)^alpha`).
+#[derive(Debug, Clone, Copy)]
+pub struct ParetoSampler {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl ParetoSampler {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics unless `x_min > 0` and `alpha > 0`.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+        ParetoSampler { x_min, alpha }
+    }
+
+    /// Draws a sample by inverse-CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.x_min / (1.0 - u).powf(1.0 / self.alpha)
+    }
+
+    /// Draws an integer sample clamped to `[x_min.ceil(), cap]` — handy
+    /// for degree budgets.
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, cap: usize) -> usize {
+        (self.sample(rng) as usize).clamp(self.x_min.ceil() as usize, cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.5);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.n(), 100);
+    }
+
+    #[test]
+    fn zipf_rank1_most_likely() {
+        let z = ZipfSampler::new(50, 2.0);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(10));
+    }
+
+    #[test]
+    fn zipf_samples_match_pmf() {
+        let z = ZipfSampler::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 10];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let emp = counts[k - 1] as f64 / draws as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_degenerate_support() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_x_min() {
+        let p = ParetoSampler::new(3.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(p.sample(&mut rng) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn pareto_tail_exponent_recoverable() {
+        let p = ParetoSampler::new(1.0, 2.31);
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..100_000).map(|_| p.sample(&mut rng)).collect();
+        let fit = spammass_graph::powerlaw::fit_exponent_mle(samples.into_iter(), 1.0).unwrap();
+        // Density exponent is alpha + 1.
+        assert!((fit.alpha - 3.31).abs() < 0.1, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn pareto_clamped_range() {
+        let p = ParetoSampler::new(2.0, 1.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let d = p.sample_clamped(&mut rng, 50);
+            assert!((2..=50).contains(&d));
+        }
+    }
+}

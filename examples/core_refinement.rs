@@ -1,0 +1,96 @@
+//! The operational loop of Section 4.4.2: judge → cluster → expand the
+//! core → re-estimate, using the `refinement` API.
+//!
+//! A search engine running mass-based detection will see good host
+//! families with spuriously high mass wherever the core fails to cover a
+//! community (the paper's `*.alibaba.com` case). This example generates
+//! such a web, lets ground truth play the judges, derives the core fix
+//! automatically, and shows the anomaly collapse.
+//!
+//! ```text
+//! cargo run --release --example core_refinement
+//! ```
+
+use spammass::core::detector::candidate_pool;
+use spammass::core::estimate::{EstimatorConfig, MassEstimator};
+use spammass::core::refinement::{apply_proposals, propose_core_additions, RefinementConfig};
+use spammass::core::GoodCore;
+use spammass::graph::NodeId;
+use spammass::pagerank::PageRankConfig;
+use spammass::synth::scenario::{Scenario, ScenarioConfig};
+
+fn main() {
+    let scenario = Scenario::generate(&ScenarioConfig::sized(30_000), 2006);
+    let core = GoodCore::from_nodes(scenario.section_4_2_core());
+    let pr = PageRankConfig::default().tolerance(1e-12).max_iterations(200);
+    let estimator = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr));
+    let estimate = estimator.estimate(&scenario.graph, &core.as_vec());
+    let pool = candidate_pool(&estimate, 10.0);
+
+    // Step 1 — judges flag pool hosts that are good yet carry high mass.
+    let flagged_good: Vec<NodeId> = pool
+        .iter()
+        .copied()
+        .filter(|&x| scenario.truth.is_good(x) && estimate.relative_of(x) >= 0.9)
+        .collect();
+    println!(
+        "judges found {} good hosts with m~ >= 0.9 among {} pool hosts",
+        flagged_good.len(),
+        pool.len()
+    );
+
+    // Steps 2-3 — cluster by registrable domain, propose key hosts.
+    let proposals = propose_core_additions(
+        &scenario.graph,
+        &scenario.labels,
+        &flagged_good,
+        &RefinementConfig::default(),
+    );
+    for p in &proposals {
+        println!(
+            "anomalous domain {:<24} ({} flagged hosts) -> propose {} key hosts, e.g. {}",
+            p.domain,
+            p.flagged.len(),
+            p.proposed.len(),
+            p.proposed
+                .first()
+                .and_then(|&h| scenario.labels.name(h))
+                .map(|h| h.to_string())
+                .unwrap_or_default()
+        );
+    }
+
+    // Re-estimate with the expanded core.
+    let expanded = apply_proposals(&core, &proposals);
+    let after = estimator.estimate_with_pagerank(
+        &scenario.graph,
+        &expanded.as_vec(),
+        estimate.pagerank.clone(),
+    );
+
+    println!("\nrelative mass of the flagged hosts, before -> after the fix:");
+    for &x in flagged_good.iter().take(12) {
+        println!(
+            "  {:<40} {:>7.4} -> {:>7.4}",
+            scenario
+                .labels
+                .name(x)
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
+            estimate.relative_of(x),
+            after.relative_of(x)
+        );
+    }
+    let spam_before: usize = pool
+        .iter()
+        .filter(|&&x| scenario.truth.is_spam(x) && estimate.relative_of(x) >= 0.98)
+        .count();
+    let spam_after: usize = pool
+        .iter()
+        .filter(|&&x| scenario.truth.is_spam(x) && after.relative_of(x) >= 0.98)
+        .count();
+    println!(
+        "\nspam hosts above tau = 0.98: {spam_before} before, {spam_after} after — the fix\n\
+         removes the good-community false positives without releasing the spam."
+    );
+}

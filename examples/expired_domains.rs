@@ -1,0 +1,70 @@
+//! The expired-domain blind spot (Sections 2.3 and 4.4.3, observation 2).
+//!
+//! Spammers buy reputable domains whose registration lapsed: the old good
+//! in-links keep pointing at them, so most of their PageRank is
+//! *good-contributed* and their spam mass is small — by design, the
+//! mass estimator does **not** flag them ("our algorithm is not expected
+//! to detect them"). This example constructs the situation and shows the
+//! negative/low mass the paper describes.
+//!
+//! ```text
+//! cargo run --release --example expired_domains
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spammass::core::detector::{detect, DetectorConfig};
+use spammass::core::estimate::{EstimatorConfig, MassEstimator};
+use spammass::synth::config::WebModelConfig;
+use spammass::synth::farms::{inject_farm, FarmConfig};
+use spammass::synth::webmodel::{generate_good_web, WebBuilder};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut builder = WebBuilder::new();
+    let web = generate_good_web(&mut builder, &WebModelConfig::with_hosts(8_000), &mut rng);
+
+    // The farm will convert popular good hosts. Offer it the community
+    // hubs and some connected business hosts as "expiring domains".
+    let mut convertible = Vec::new();
+    for c in &web.communities {
+        convertible.extend(c.hubs());
+    }
+
+    let cfg = FarmConfig { expired_domains: 4, ..FarmConfig::star(60) };
+    let farm = inject_farm(&mut builder, &mut rng, 0, &cfg, &[], &convertible);
+    let graph = builder.build_graph();
+
+    let mut core = web.directories.clone();
+    core.extend(&web.gov);
+    core.extend(&web.edu);
+    let estimate = MassEstimator::new(EstimatorConfig::scaled(0.85)).estimate(&graph, &core);
+    let detection = detect(&estimate, &DetectorConfig { rho: 10.0, tau: 0.98 });
+
+    println!("farm target:");
+    println!(
+        "  scaled p = {:>8.1}   m~ = {:>6.3}   flagged: {}",
+        estimate.scaled_pagerank(farm.target),
+        estimate.relative_of(farm.target),
+        if detection.is_candidate(farm.target) { "YES" } else { "no" }
+    );
+
+    println!("\nexpired-domain hosts feeding it (now spam, per ground truth):");
+    for &e in &farm.expired {
+        println!(
+            "  {:<40} scaled p = {:>7.1}   m~ = {:>7.3}   flagged: {}",
+            builder.labels.name(e).map(|h| h.to_string()).unwrap_or_default(),
+            estimate.scaled_pagerank(e),
+            estimate.relative_of(e),
+            if detection.is_candidate(e) { "YES" } else { "no" }
+        );
+    }
+
+    println!(
+        "\nThe expired hosts keep their old good in-links, so their relative\n\
+         mass stays low or negative and the detector passes over them — the\n\
+         exact false-negative class the paper reports in Section 4.4.3. The\n\
+         *target* they all link to is still caught: its PageRank now comes\n\
+         from nodes the partition calls spam."
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: spam mass on the paper's own worked example.
+//!
+//! Builds the Figure 2 graph (12 hosts: a spam target `x`, good hosts
+//! `g0..g3`, spam hosts `s0..s6`), estimates spam mass from the incomplete
+//! good core `{g0, g1, g3}`, and runs Algorithm 2 with the thresholds the
+//! paper uses in Section 3.6 (ρ = 1.5, τ = 0.5).
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use spammass::core::detector::{detect, DetectorConfig};
+use spammass::core::estimate::{EstimatorConfig, MassEstimator};
+use spammass::core::examples_paper::figure2;
+use spammass::core::mass::ExactMass;
+use spammass::pagerank::PageRankConfig;
+
+fn main() {
+    let fig = figure2();
+    let names = ["x", "g0", "g1", "g2", "g3", "s0", "s1", "s2", "s3", "s4", "s5", "s6"];
+
+    // Regular PageRank + exact mass (requires full knowledge — the
+    // yardstick), and the practical estimate from the good core alone.
+    let pr_config = PageRankConfig::default().tolerance(1e-14).max_iterations(10_000);
+    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &pr_config);
+    let estimator = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_config));
+    let estimate = estimator.estimate(&fig.graph, &fig.good_core());
+
+    println!("Table 1 of the paper, recomputed (scaled by n/(1-c)):\n");
+    println!("{:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}", "node", "p", "p'", "M", "M~", "m", "m~");
+    for (i, name) in names.iter().enumerate() {
+        let node = spammass::graph::NodeId(i as u32);
+        println!(
+            "{:>5} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>6.2} {:>6.2}",
+            name,
+            exact.scaled_pagerank(node),
+            estimate.scaled_core_pagerank(node),
+            exact.scaled_absolute(node),
+            estimate.scaled_absolute(node),
+            exact.relative_of(node),
+            estimate.relative_of(node),
+        );
+    }
+
+    // Algorithm 2 with the Section 3.6 thresholds.
+    let detection = detect(&estimate, &DetectorConfig { rho: 1.5, tau: 0.5 });
+    println!("\nAlgorithm 2 (rho = 1.5, tau = 0.5) flags:");
+    for c in &detection.candidates {
+        let truth = if fig.partition().is_spam(*c) { "spam" } else { "good (false positive)" };
+        println!("  {} — truly {}", names[c.index()], truth);
+    }
+    println!(
+        "\n{} of {} considered hosts flagged; the g2 false positive is the one\n\
+         the paper documents (it is good but missing from the core).",
+        detection.len(),
+        detection.considered
+    );
+}

@@ -1,0 +1,83 @@
+//! Anatomy of a spam farm: how boosting, honey pots, and hijacked links
+//! move a target's PageRank and spam mass.
+//!
+//! Injects farms of increasing size into the same small good web and
+//! reports, for each target: scaled PageRank (the spammer's payoff),
+//! estimated relative mass (the detector's signal), and whether
+//! Algorithm 2 flags it at the paper's τ = 0.98.
+//!
+//! ```text
+//! cargo run --release --example spam_farm_anatomy
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spammass::core::detector::{detect, DetectorConfig};
+use spammass::core::estimate::{EstimatorConfig, MassEstimator};
+use spammass::synth::config::WebModelConfig;
+use spammass::synth::farms::{inject_farm, hijackable_pool, FarmConfig, FarmTopology};
+use spammass::synth::webmodel::{generate_good_web, WebBuilder};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut builder = WebBuilder::new();
+    let web = generate_good_web(&mut builder, &WebModelConfig::with_hosts(8_000), &mut rng);
+    let hijackable = hijackable_pool(&builder);
+
+    // A ladder of farms: pure stars of growing size, then a star that also
+    // gathers stray links from reputable hosts.
+    let mut farms = Vec::new();
+    for (i, boosters) in [5usize, 20, 80, 320].into_iter().enumerate() {
+        farms.push((
+            format!("star, {boosters} boosters"),
+            inject_farm(&mut builder, &mut rng, i as u32, &FarmConfig::star(boosters), &[], &[]),
+        ));
+    }
+    let hijack_cfg = FarmConfig {
+        hijacked_links: 15,
+        honeypots: 2,
+        honeypot_inlinks: 6,
+        topology: FarmTopology::Ring,
+        ..FarmConfig::star(80)
+    };
+    farms.push((
+        "ring, 80 boosters + 15 hijacked links + 2 honey pots".into(),
+        inject_farm(&mut builder, &mut rng, 99, &hijack_cfg, &hijackable, &[]),
+    ));
+
+    let graph = builder.build_graph();
+    println!(
+        "web: {} hosts, {} edges ({} good-core hosts)\n",
+        graph.node_count(),
+        graph.edge_count(),
+        web.directories.len() + web.gov.len() + web.edu.len()
+    );
+
+    // Estimate mass from the Section 4.2-style core.
+    let mut core = web.directories.clone();
+    core.extend(&web.gov);
+    core.extend(&web.edu);
+    let estimate = MassEstimator::new(EstimatorConfig::scaled(0.85)).estimate(&graph, &core);
+    let detection = detect(&estimate, &DetectorConfig { rho: 10.0, tau: 0.98 });
+
+    println!(
+        "{:<55} {:>10} {:>8} {:>9}",
+        "farm", "scaled p", "m~", "flagged?"
+    );
+    for (label, farm) in &farms {
+        println!(
+            "{:<55} {:>10.1} {:>8.3} {:>9}",
+            label,
+            estimate.scaled_pagerank(farm.target),
+            estimate.relative_of(farm.target),
+            if detection.is_candidate(farm.target) { "YES" } else { "no" }
+        );
+    }
+
+    println!(
+        "\nNote how PageRank rises ~linearly with boosters while relative mass\n\
+         stays pinned near 1 — boosting cannot evade the estimator. Hijacked\n\
+         links dilute m~ slightly (they route a little core PageRank to the\n\
+         target), the paper's reason for combining tau with the rho filter."
+    );
+}

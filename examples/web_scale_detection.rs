@@ -1,0 +1,83 @@
+//! Web-scale detection run: the full pipeline of the paper on a generated
+//! host graph — regular + core-based PageRank, relative mass, Algorithm 2,
+//! and a precision report against ground truth.
+//!
+//! ```text
+//! cargo run --release --example web_scale_detection [hosts] [seed]
+//! ```
+
+use spammass::core::detector::{candidate_pool, detect, DetectorConfig};
+use spammass::core::estimate::{EstimatorConfig, MassEstimator};
+use spammass::core::GoodCore;
+use spammass::pagerank::PageRankConfig;
+use spammass::synth::scenario::{Scenario, ScenarioConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let hosts: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60_000);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    let t0 = Instant::now();
+    let scenario = Scenario::generate(&ScenarioConfig::sized(hosts), seed);
+    println!(
+        "generated {} hosts / {} edges in {:.2?} (spam fraction {:.1}%)",
+        scenario.graph.node_count(),
+        scenario.graph.edge_count(),
+        t0.elapsed(),
+        scenario.spam_fraction() * 100.0
+    );
+
+    let core = GoodCore::from_nodes(scenario.section_4_2_core());
+    println!("good core (directories + .gov + .edu): {} hosts", core.len());
+
+    let t1 = Instant::now();
+    let estimator = MassEstimator::new(
+        EstimatorConfig::scaled(0.85)
+            .with_pagerank(PageRankConfig::default().tolerance(1e-12).max_iterations(200)),
+    );
+    let estimate = estimator.estimate(&scenario.graph, &core.as_vec());
+    println!("two PageRank runs + mass estimates in {:.2?}", t1.elapsed());
+
+    let pool = candidate_pool(&estimate, 10.0);
+    println!("candidate pool |T| (scaled p >= 10): {}", pool.len());
+
+    println!("\n{:>6} {:>9} {:>11} {:>11} {:>8}", "tau", "flagged", "precision", "recall", "F1");
+    let spam_targets: Vec<_> = scenario
+        .farms
+        .iter()
+        .map(|f| f.target)
+        .filter(|t| pool.contains(t))
+        .collect();
+    for tau in [0.999, 0.99, 0.98, 0.95, 0.90, 0.70, 0.50] {
+        let d = detect(&estimate, &DetectorConfig { rho: 10.0, tau });
+        let spam_flagged =
+            d.candidates.iter().filter(|&&x| scenario.truth.is_spam(x)).count();
+        let precision =
+            if d.is_empty() { 1.0 } else { spam_flagged as f64 / d.len() as f64 };
+        let caught = spam_targets.iter().filter(|t| d.is_candidate(**t)).count();
+        let recall = if spam_targets.is_empty() {
+            1.0
+        } else {
+            caught as f64 / spam_targets.len() as f64
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6.3} {:>9} {:>10.1}% {:>10.1}% {:>8.3}",
+            tau,
+            d.len(),
+            precision * 100.0,
+            recall * 100.0,
+            f1
+        );
+    }
+    println!(
+        "\n(recall is over boosted farm targets that entered the candidate pool;\n\
+         precision counts known-anomalous community hosts as false positives,\n\
+         exactly like the lower curve of the paper's Figure 4)"
+    );
+}

@@ -1,0 +1,17 @@
+//! # spammass — link spam detection based on mass estimation
+//!
+//! Facade crate re-exporting the full reproduction of Gyöngyi, Berkhin,
+//! Garcia-Molina & Pedersen, *Link Spam Detection Based on Mass
+//! Estimation* (VLDB 2006). See the individual crates for detail:
+//!
+//! * [`graph`] — web-graph substrate (CSR adjacency, labels, stats, I/O).
+//! * [`pagerank`] — linear PageRank solvers and PageRank contributions.
+//! * [`core`] — spam mass, mass estimation, and the detection algorithm.
+//! * [`synth`] — synthetic host-graph and spam-farm workload generator.
+//! * [`eval`] — experiment harness reproducing every table and figure.
+
+pub use spammass_core as core;
+pub use spammass_eval as eval;
+pub use spammass_graph as graph;
+pub use spammass_pagerank as pagerank;
+pub use spammass_synth as synth;

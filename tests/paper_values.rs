@@ -1,0 +1,114 @@
+//! Integration test: every number the paper prints for its worked
+//! examples, verified through the public facade API.
+
+use spammass::core::detector::{detect, DetectorConfig};
+use spammass::core::estimate::{EstimatorConfig, MassEstimator};
+use spammass::core::examples_paper::{figure1, figure2, table1_expected};
+use spammass::core::mass::ExactMass;
+use spammass::core::naive::{scheme1_label, scheme2_label};
+use spammass::core::NodeSide;
+use spammass::pagerank::PageRankConfig;
+
+fn pr() -> PageRankConfig {
+    PageRankConfig::default().tolerance(1e-14).max_iterations(10_000)
+}
+
+#[test]
+fn figure1_closed_forms_for_k_sweep() {
+    let c = 0.85f64;
+    for k in 0..=25 {
+        let fig = figure1(k);
+        let exact = ExactMass::compute(&fig.graph, &fig.partition_x_good(), &pr());
+        assert!(
+            (exact.pagerank[fig.x.index()] - fig.expected_px(c)).abs() < 1e-12,
+            "p_x closed form, k={k}"
+        );
+        assert!(
+            (exact.absolute[fig.x.index()] - fig.expected_spam_part(c)).abs() < 1e-12,
+            "spam part closed form, k={k}"
+        );
+    }
+}
+
+#[test]
+fn table1_all_42_values() {
+    let fig = figure2();
+    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &pr());
+    let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr()))
+        .estimate(&fig.graph, &fig.good_core());
+    let nodes = [
+        ("x", fig.x),
+        ("g0", fig.g[0]),
+        ("g1", fig.g[1]),
+        ("g2", fig.g[2]),
+        ("g3", fig.g[3]),
+        ("s0", fig.s[0]),
+        ("s1..s6", fig.s[3]),
+    ];
+    for (name, node) in nodes {
+        let row = table1_expected().iter().find(|(n, _)| *n == name).unwrap().1;
+        let got = [
+            exact.scaled_pagerank(node),
+            est.scaled_core_pagerank(node),
+            exact.scaled_absolute(node),
+            est.scaled_absolute(node),
+            exact.relative_of(node),
+            est.relative_of(node),
+        ];
+        let want = [row.p, row.p_core, row.m_abs, row.m_abs_est, row.m_rel, row.m_rel_est];
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9, "{name}: got {g}, want {w}");
+        }
+    }
+}
+
+#[test]
+fn section_3_6_detection_example() {
+    // ρ = 1.5, τ = 0.5 on Figure 2: flags x, s0 and the documented false
+    // positive g2; considers exactly 4 hosts.
+    let fig = figure2();
+    let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr()))
+        .estimate(&fig.graph, &fig.good_core());
+    let det = detect(&est, &DetectorConfig { rho: 1.5, tau: 0.5 });
+    assert_eq!(det.considered, 4);
+    assert_eq!(det.candidates, {
+        let mut v = vec![fig.x, fig.g[2], fig.s[0]];
+        v.sort();
+        v
+    });
+}
+
+#[test]
+fn section_3_1_naive_scheme_failures() {
+    // Scheme 1 fails on Figure 1; scheme 2 fixes it but fails on Figure 2.
+    let f1 = figure1(5);
+    assert_eq!(scheme1_label(&f1.graph, &f1.partition_x_good(), f1.x), NodeSide::Good);
+    assert_eq!(
+        scheme2_label(&f1.graph, &f1.partition_x_good(), f1.x, &pr(), true),
+        NodeSide::Spam
+    );
+
+    let f2 = figure2();
+    let mut p2 = f2.partition();
+    p2.set(f2.x, NodeSide::Good);
+    assert_eq!(scheme1_label(&f2.graph, &p2, f2.x), NodeSide::Good);
+    assert_eq!(scheme2_label(&f2.graph, &p2, f2.x, &pr(), true), NodeSide::Good);
+}
+
+#[test]
+fn in_text_ratio_for_figure2() {
+    // Section 3.3: q_x^{s0..s6} = 1.65 · q_x^{g0..g3} for c = 0.85
+    // (contributions excluding x's own).
+    let fig = figure2();
+    let c = 0.85f64;
+    let spam_part = (c + 6.0 * c * c) * (1.0 - c) / 12.0;
+    let good_part = (2.0 * c + 2.0 * c * c) * (1.0 - c) / 12.0;
+    assert!((spam_part / good_part - 1.65).abs() < 0.005);
+
+    // Verify against the solver: contribution of {s0..s6} to x.
+    use spammass::pagerank::contribution::contribution_of_set;
+    let q_spam = contribution_of_set(&fig.graph, &fig.s, &pr());
+    assert!((q_spam[fig.x.index()] - spam_part).abs() < 1e-12);
+    let q_good = contribution_of_set(&fig.graph, &fig.g, &pr());
+    assert!((q_good[fig.x.index()] - good_part).abs() < 1e-12);
+}
