@@ -14,7 +14,9 @@ fn bench_detection(c: &mut Criterion) {
         EstimatorConfig::scaled(0.85)
             .with_pagerank(PageRankConfig::default().tolerance(1e-10).max_iterations(200)),
     )
-    .estimate(fixture.graph(), &fixture.core.as_vec());
+    .estimate(fixture.graph(), &fixture.core.as_vec())
+    .unwrap()
+    .into_mass();
 
     c.bench_function("detect_single_threshold_40k", |b| {
         b.iter(|| black_box(detect(&estimate, &DetectorConfig { rho: 10.0, tau: 0.98 })))

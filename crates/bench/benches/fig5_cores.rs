@@ -17,9 +17,8 @@ fn bench_fig5(c: &mut Criterion) {
     group.bench_function("all_arms_12k", |b| b.iter(|| black_box(fig5::arms(&ctx))));
 
     // The marginal cost of one additional core arm.
-    let estimator = MassEstimator::new(
-        EstimatorConfig::scaled(0.85).with_pagerank(Context::pagerank_config()),
-    );
+    let estimator =
+        MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(Context::pagerank_config()));
     let small = ctx.core.sample_fraction(0.1, 9).as_vec();
     group.bench_function("one_arm_12k", |b| {
         b.iter(|| {

@@ -43,7 +43,7 @@ fn bench_reused_pagerank(c: &mut Criterion) {
     // The Section 4.5 pattern: recompute only p' for a new core.
     let fixture = Fixture::new(10_000);
     let core = fixture.core.as_vec();
-    let est = estimator().estimate(fixture.graph(), &core);
+    let est = estimator().estimate(fixture.graph(), &core).unwrap().into_mass();
     let small_core = fixture.core.sample_fraction(0.1, 1).as_vec();
     c.bench_function("estimate_with_reused_pagerank_10k", |b| {
         b.iter(|| {

@@ -15,23 +15,18 @@ impl ParsedArgs {
     /// Parses `args` (without the program name).
     pub fn parse(args: &[String]) -> Result<ParsedArgs, CliError> {
         let mut it = args.iter();
-        let command = it
-            .next()
-            .ok_or_else(|| CliError::Usage("no subcommand given".into()))?
-            .clone();
+        let command =
+            it.next().ok_or_else(|| CliError::Usage("no subcommand given".into()))?.clone();
         if command.starts_with("--") {
-            return Err(CliError::Usage(format!(
-                "expected a subcommand before {command}"
-            )));
+            return Err(CliError::Usage(format!("expected a subcommand before {command}")));
         }
         let mut flags = BTreeMap::new();
         while let Some(flag) = it.next() {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(CliError::Usage(format!("unexpected positional argument {flag:?}")));
             };
-            let value = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+            let value =
+                it.next().ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
             if flags.insert(name.to_string(), value.clone()).is_some() {
                 return Err(CliError::Usage(format!("--{name} given twice")));
             }
@@ -56,9 +51,9 @@ impl ParsedArgs {
     pub fn parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse {v:?}"))),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::Usage(format!("--{name}: cannot parse {v:?}")))
+            }
         }
     }
 

@@ -1,7 +1,10 @@
 //! `spammass detect` — run Algorithm 2 and list the spam candidates.
 
 use crate::args::ParsedArgs;
-use crate::loading::{display_node, load_core, load_graph, load_labels};
+use crate::commands::estimate::health_lines;
+use crate::loading::{
+    display_node, ingest_warning, load_core, load_graph_with, load_labels, read_options,
+};
 use crate::CliError;
 use spammass_core::detector::{detect, DetectorConfig};
 use spammass_core::estimate::{EstimatorConfig, MassEstimator};
@@ -10,13 +13,15 @@ use std::path::Path;
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["graph", "core", "labels", "gamma", "rho", "tau"])?;
-    let graph = load_graph(Path::new(args.required("graph")?))?;
+    args.expect_only(&["graph", "core", "labels", "gamma", "rho", "tau", "lenient"])?;
+    let opts = read_options(args)?;
+    let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
     let labels = match args.optional("labels") {
         Some(p) => Some(load_labels(Path::new(p))?),
         None => None,
     };
-    let core = load_core(Path::new(args.required("core")?), labels.as_ref(), graph.node_count())?;
+    let core_load =
+        load_core(Path::new(args.required("core")?), labels.as_ref(), graph.node_count())?;
     let gamma: f64 = args.parsed_or("gamma", 0.85)?;
     let rho: f64 = args.parsed_or("rho", 10.0)?;
     let tau: f64 = args.parsed_or("tau", 0.98)?;
@@ -24,10 +29,19 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         return Err(CliError::Usage(format!("--gamma {gamma} outside [0, 1]")));
     }
 
-    let estimate = MassEstimator::new(EstimatorConfig::scaled(gamma)).estimate(&graph, &core);
+    let mut out = String::new();
+    if let Some(w) = ingest_warning(load_report.as_ref()) {
+        let _ = writeln!(out, "{w}");
+    }
+    if let Some(w) = core_load.warning() {
+        let _ = writeln!(out, "{w}");
+    }
+
+    let estimate =
+        MassEstimator::new(EstimatorConfig::scaled(gamma)).estimate(&graph, &core_load.nodes)?;
+    out.push_str(&health_lines(&estimate, labels.as_ref()));
     let detection = detect(&estimate, &DetectorConfig { rho, tau });
 
-    let mut out = String::new();
     let _ = writeln!(
         out,
         "Algorithm 2 (rho = {rho}, tau = {tau}): {} candidates among {} hosts with scaled p >= {rho}",
@@ -36,11 +50,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "{:>10} {:>8}  candidate", "scaled p", "m~");
     let mut candidates = detection.candidates.clone();
+    // total_cmp: a NaN score cannot scramble the candidate ordering.
     candidates.sort_by(|&a, &b| {
-        estimate
-            .scaled_pagerank(b)
-            .partial_cmp(&estimate.scaled_pagerank(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        estimate.scaled_pagerank(b).total_cmp(&estimate.scaled_pagerank(a)).then(a.cmp(&b))
     });
     for x in candidates {
         let _ = writeln!(
@@ -78,10 +90,14 @@ mod tests {
         let args = ParsedArgs::parse(
             &[
                 "detect",
-                "--graph", gp.to_str().unwrap(),
-                "--core", cp.to_str().unwrap(),
-                "--rho", "5",
-                "--tau", "0.9",
+                "--graph",
+                gp.to_str().unwrap(),
+                "--core",
+                cp.to_str().unwrap(),
+                "--rho",
+                "5",
+                "--tau",
+                "0.9",
             ]
             .iter()
             .map(|s| s.to_string())

@@ -2,32 +2,88 @@
 //! write them as TSV.
 
 use crate::args::ParsedArgs;
-use crate::loading::{display_node, load_core, load_graph, load_labels};
+use crate::loading::{
+    display_node, ingest_warning, load_core, load_graph_with, load_labels, read_options,
+};
 use crate::CliError;
-use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_core::estimate::{EstimateReport, EstimatorConfig, MassEstimator};
 use spammass_graph::NodeId;
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// Renders the health diagnostics of an [`EstimateReport`] — solver
+/// fallback usage, anomalous nodes, dead core entries — as warning lines.
+pub(crate) fn health_lines(
+    report: &EstimateReport,
+    labels: Option<&spammass_graph::NodeLabels>,
+) -> String {
+    let mut out = String::new();
+    if let Some(diag) = &report.pagerank_diag {
+        if diag.used_fallback() {
+            let _ = writeln!(out, "warning: pagerank run degraded — {diag}");
+        }
+    }
+    if report.core_diag.used_fallback() {
+        let _ = writeln!(out, "warning: core run degraded — {diag}", diag = report.core_diag);
+    }
+    if !report.dead_core.is_empty() {
+        let sample: Vec<String> =
+            report.dead_core.iter().take(8).map(|&x| display_node(labels, x)).collect();
+        let _ = writeln!(
+            out,
+            "warning: {} core entr{} carr{} no PageRank (stale core?): {}",
+            report.dead_core.len(),
+            if report.dead_core.len() == 1 { "y" } else { "ies" },
+            if report.dead_core.len() == 1 { "ies" } else { "y" },
+            sample.join(", ")
+        );
+    }
+    if !report.anomalies.is_empty() {
+        let sample: Vec<String> =
+            report.anomalies.iter().take(8).map(|&x| display_node(labels, x)).collect();
+        let _ = writeln!(
+            out,
+            "warning: {} node(s) with estimated good contribution above PageRank \
+             (p' > p; gamma may overshoot): {}",
+            report.anomalies.len(),
+            sample.join(", ")
+        );
+    }
+    out
+}
+
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["graph", "core", "labels", "gamma", "out", "top"])?;
-    let graph = load_graph(Path::new(args.required("graph")?))?;
+    args.expect_only(&["graph", "core", "labels", "gamma", "out", "top", "lenient"])?;
+    let opts = read_options(args)?;
+    let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
     let labels = match args.optional("labels") {
         Some(p) => Some(load_labels(Path::new(p))?),
         None => None,
     };
-    let core = load_core(Path::new(args.required("core")?), labels.as_ref(), graph.node_count())?;
+    let core_load =
+        load_core(Path::new(args.required("core")?), labels.as_ref(), graph.node_count())?;
+    let core = core_load.nodes.clone();
     let gamma: f64 = args.parsed_or("gamma", 0.85)?;
     if !(0.0..=1.0).contains(&gamma) {
         return Err(CliError::Usage(format!("--gamma {gamma} outside [0, 1]")));
     }
     let top: usize = args.parsed_or("top", 20)?;
 
-    let estimate = MassEstimator::new(EstimatorConfig::scaled(gamma)).estimate(&graph, &core);
+    let mut warnings = String::new();
+    if let Some(w) = ingest_warning(load_report.as_ref()) {
+        let _ = writeln!(warnings, "{w}");
+    }
+    if let Some(w) = core_load.warning() {
+        let _ = writeln!(warnings, "{w}");
+    }
+
+    let estimate = MassEstimator::new(EstimatorConfig::scaled(gamma)).estimate(&graph, &core)?;
+    warnings.push_str(&health_lines(&estimate, labels.as_ref()));
 
     if let Some(out_path) = args.optional("out") {
-        let mut tsv = String::from("# node\thost\tscaled_p\tscaled_p_core\tscaled_abs_mass\trel_mass\n");
+        let mut tsv =
+            String::from("# node\thost\tscaled_p\tscaled_p_core\tscaled_abs_mass\trel_mass\n");
         for x in graph.nodes() {
             let _ = writeln!(
                 tsv,
@@ -45,20 +101,24 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
 
     // Console summary: the highest relative masses among substantial hosts.
     let mut ranked: Vec<NodeId> = graph.nodes().collect();
+    // total_cmp keeps the ranking total even if a NaN slips into the
+    // scores (it sorts first, where it is visible).
     ranked.sort_by(|&a, &b| {
-        estimate
-            .relative_of(b)
-            .partial_cmp(&estimate.relative_of(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        estimate.relative_of(b).total_cmp(&estimate.relative_of(a)).then(a.cmp(&b))
     });
-    let mut out = String::new();
+    let mut out = warnings;
     let _ = writeln!(
         out,
         "core: {} hosts, gamma = {gamma}; coverage ||p'||/||p|| = {:.4}",
         core.len(),
         estimate.coverage_ratio()
     );
-    let _ = writeln!(out, "{:>10} {:>8}  host (top relative mass, scaled p >= 2)", "scaled p", "m~");
+    if let Some(diag) = &estimate.pagerank_diag {
+        let _ = writeln!(out, "pagerank solve: {diag}");
+    }
+    let _ = writeln!(out, "core solve: {diag}", diag = estimate.core_diag);
+    let _ =
+        writeln!(out, "{:>10} {:>8}  host (top relative mass, scaled p >= 2)", "scaled p", "m~");
     for &x in ranked.iter().filter(|&&x| estimate.scaled_pagerank(x) >= 2.0).take(top) {
         let _ = writeln!(
             out,
@@ -99,9 +159,12 @@ mod tests {
         let args = ParsedArgs::parse(
             &[
                 "estimate",
-                "--graph", gp.to_str().unwrap(),
-                "--core", cp.to_str().unwrap(),
-                "--out", out_path.to_str().unwrap(),
+                "--graph",
+                gp.to_str().unwrap(),
+                "--core",
+                cp.to_str().unwrap(),
+                "--out",
+                out_path.to_str().unwrap(),
             ]
             .iter()
             .map(|s| s.to_string())
@@ -110,23 +173,51 @@ mod tests {
         .unwrap();
         let report = run(&args).unwrap();
         assert!(report.contains("core: 1 hosts"));
+        assert!(report.contains("pagerank solve: jacobi"), "{report}");
+        assert!(report.contains("core solve: jacobi"), "{report}");
 
         let tsv = fs::read_to_string(&out_path).unwrap();
         assert_eq!(tsv.lines().count(), 9); // header + 8 nodes
-        // The farm target (node 0) carries relative mass ~1.
+                                            // The farm target (node 0) carries relative mass ~1.
         let target_line = tsv.lines().find(|l| l.starts_with("0\t")).unwrap();
         let rel: f64 = target_line.rsplit('\t').next().unwrap().parse().unwrap();
         assert!(rel > 0.99, "target m~ = {rel}");
     }
 
     #[test]
-    fn rejects_bad_gamma() {
-        let (gp, cp) = setup();
+    fn duplicate_core_entries_are_reported() {
+        let (gp, _) = setup();
+        let d = std::env::temp_dir().join("spammass-cli-estimate");
+        let cp = d.join("core_dup.txt");
+        fs::write(&cp, "7\n7\n6\n").unwrap();
         let args = ParsedArgs::parse(
-            &["estimate", "--graph", gp.to_str().unwrap(), "--core", cp.to_str().unwrap(), "--gamma", "2.0"]
+            &["estimate", "--graph", gp.to_str().unwrap(), "--core", cp.to_str().unwrap()]
                 .iter()
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("more than once"), "{report}");
+        assert!(report.contains("core: 2 hosts"), "{report}");
+    }
+
+    #[test]
+    fn rejects_bad_gamma() {
+        let (gp, cp) = setup();
+        let args = ParsedArgs::parse(
+            &[
+                "estimate",
+                "--graph",
+                gp.to_str().unwrap(),
+                "--core",
+                cp.to_str().unwrap(),
+                "--gamma",
+                "2.0",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         )
         .unwrap();
         assert!(matches!(run(&args), Err(CliError::Usage(_))));

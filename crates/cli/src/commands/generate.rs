@@ -73,11 +73,19 @@ mod tests {
         let core = d.join("core.txt");
         let args = ParsedArgs::parse(
             &[
-                "generate", "--hosts", "2000", "--seed", "7",
-                "--out", graph.to_str().unwrap(),
-                "--labels", labels.to_str().unwrap(),
-                "--truth", truth.to_str().unwrap(),
-                "--core", core.to_str().unwrap(),
+                "generate",
+                "--hosts",
+                "2000",
+                "--seed",
+                "7",
+                "--out",
+                graph.to_str().unwrap(),
+                "--labels",
+                labels.to_str().unwrap(),
+                "--truth",
+                truth.to_str().unwrap(),
+                "--core",
+                core.to_str().unwrap(),
             ]
             .iter()
             .map(|s| s.to_string())
@@ -92,7 +100,8 @@ mod tests {
         let l = load_labels(&labels).unwrap();
         assert_eq!(l.len(), g.node_count());
         let c = load_core(&core, Some(&l), g.node_count()).unwrap();
-        assert!(!c.is_empty());
+        assert!(!c.nodes.is_empty());
+        assert!(c.duplicates.is_empty());
 
         let truth_text = fs::read_to_string(&truth).unwrap();
         // header + one line per node

@@ -1,16 +1,38 @@
 //! `spammass pagerank` — solve PageRank and print the top hosts.
 
 use crate::args::ParsedArgs;
-use crate::loading::{display_node, load_graph, load_labels};
+use crate::loading::{display_node, ingest_warning, load_graph_with, load_labels, read_options};
 use crate::CliError;
-use spammass_pagerank::{gauss_seidel, jacobi, parallel, power, JumpVector, PageRankConfig};
+use spammass_pagerank::{JumpVector, PageRankConfig, SolverChain, SolverKind};
 use std::fmt::Write as _;
 use std::path::Path;
 
+fn solver_kind(name: &str) -> Result<SolverKind, CliError> {
+    match name {
+        "jacobi" => Ok(SolverKind::Jacobi),
+        "gauss-seidel" => Ok(SolverKind::GaussSeidel),
+        "power" => Ok(SolverKind::Power),
+        "parallel" => Ok(SolverKind::ParallelJacobi),
+        other => Err(CliError::Usage(format!(
+            "unknown solver {other:?} (jacobi, gauss-seidel, power, parallel)"
+        ))),
+    }
+}
+
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["graph", "solver", "damping", "tolerance", "top", "labels"])?;
-    let graph = load_graph(Path::new(args.required("graph")?))?;
+    args.expect_only(&[
+        "graph",
+        "solver",
+        "damping",
+        "tolerance",
+        "top",
+        "labels",
+        "lenient",
+        "fallback",
+    ])?;
+    let opts = read_options(args)?;
+    let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
     let labels = match args.optional("labels") {
         Some(p) => Some(load_labels(Path::new(p))?),
         None => None,
@@ -18,24 +40,38 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let damping: f64 = args.parsed_or("damping", 0.85)?;
     let tolerance: f64 = args.parsed_or("tolerance", 1e-12)?;
     let top: usize = args.parsed_or("top", 20)?;
+    let fallback: bool = args.parsed_or("fallback", false)?;
     let solver = args.optional("solver").unwrap_or("jacobi");
+    let kind = solver_kind(solver)?;
 
     let cfg = PageRankConfig::with_damping(damping).tolerance(tolerance).max_iterations(500);
     cfg.validate().map_err(|e| CliError::Usage(e.to_string()))?;
     let jump = JumpVector::Uniform;
-    let result = match solver {
-        "jacobi" => jacobi::solve_jacobi(&graph, &jump, &cfg),
-        "gauss-seidel" => gauss_seidel::solve_gauss_seidel(&graph, &jump, &cfg),
-        "power" => power::solve_power(&graph, &jump, &cfg),
-        "parallel" => parallel::solve_parallel_jacobi(&graph, &jump, &cfg),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown solver {other:?} (jacobi, gauss-seidel, power, parallel)"
-            )))
-        }
-    };
 
     let mut out = String::new();
+    if let Some(warn) = ingest_warning(load_report.as_ref()) {
+        let _ = writeln!(out, "{warn}");
+    }
+
+    let result = if fallback {
+        // Chosen solver first, then the hardened fallback attempts.
+        let mut chain = SolverChain::new(kind, cfg);
+        for (s, c) in SolverChain::recommended(cfg).attempts().iter().skip(1) {
+            chain = chain.then(*s, *c);
+        }
+        let solve = chain.solve(&graph, &jump)?;
+        if solve.degraded() {
+            for attempt in &solve.attempts {
+                let _ = writeln!(out, "attempt: {attempt}");
+            }
+        }
+        solve.result
+    } else {
+        kind.solve(&graph, &jump, &cfg).map_err(|e| {
+            CliError::Compute(format!("{e}; rerun with --fallback true to retry harder"))
+        })?
+    };
+
     let _ = writeln!(
         out,
         "{solver}: {} iterations, residual {:.2e}, converged: {}",
@@ -79,7 +115,8 @@ mod tests {
 
     fn run_with(extra: &[&str]) -> Result<String, CliError> {
         let p = graph_file();
-        let mut v = vec!["pagerank".to_string(), "--graph".to_string(), p.to_str().unwrap().to_string()];
+        let mut v =
+            vec!["pagerank".to_string(), "--graph".to_string(), p.to_str().unwrap().to_string()];
         v.extend(extra.iter().map(|s| s.to_string()));
         run(&ParsedArgs::parse(&v).unwrap())
     }
@@ -100,5 +137,70 @@ mod tests {
     fn rejects_bad_solver_and_damping() {
         assert!(matches!(run_with(&["--solver", "magic"]), Err(CliError::Usage(_))));
         assert!(matches!(run_with(&["--damping", "1.5"]), Err(CliError::Usage(_))));
+    }
+
+    fn cycle_file() -> std::path::PathBuf {
+        // Bipartite star with unequal sides ({0} vs {1, 2}): the
+        // transition matrix has eigenvalue -1 and the uniform jump vector
+        // is unbalanced across the bipartition, so the Jacobi residual
+        // decays at exactly rate c per iteration. Damping close to 1
+        // therefore cannot converge within the command's 500-iteration
+        // cap, while the fallback chain's relaxed-damping attempt can.
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (0, 2), (1, 0), (2, 0)]);
+        let d = std::env::temp_dir().join("spammass-cli-pagerank");
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join("cycle.bin");
+        std::fs::write(&p, io::graph_to_bytes(&g)).unwrap();
+        p
+    }
+
+    fn run_on(path: &std::path::Path, extra: &[&str]) -> Result<String, CliError> {
+        let mut v =
+            vec!["pagerank".to_string(), "--graph".to_string(), path.to_str().unwrap().to_string()];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        run(&ParsedArgs::parse(&v).unwrap())
+    }
+
+    #[test]
+    fn non_convergence_is_a_typed_failure_with_hint() {
+        let err = run_on(&cycle_file(), &["--damping", "0.999999999"]).unwrap_err();
+        match err {
+            CliError::Compute(m) => {
+                assert!(m.contains("did not converge"), "{m}");
+                assert!(m.contains("--fallback"), "{m}");
+            }
+            other => panic!("expected Compute error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_chain_recovers_and_reports_attempts() {
+        // The primary and Gauss–Seidel attempts drown at c ≈ 1; the
+        // relaxed-damping attempt converges and every attempt is reported.
+        let out =
+            run_on(&cycle_file(), &["--damping", "0.999999999", "--fallback", "true"]).unwrap();
+        assert!(out.contains("attempt:"), "{out}");
+        assert!(out.contains("did not converge"), "{out}");
+        assert!(out.contains("converged in"), "{out}");
+        assert!(out.contains("converged: true"), "{out}");
+        // Healthy run with fallback enabled: no attempt chatter.
+        let quiet = run_with(&["--fallback", "true"]).unwrap();
+        assert!(!quiet.contains("attempt:"), "{quiet}");
+        assert!(quiet.contains("converged: true"), "{quiet}");
+    }
+
+    #[test]
+    fn lenient_flag_surfaces_skipped_lines() {
+        let d = std::env::temp_dir().join("spammass-cli-pagerank");
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join("messy.txt");
+        std::fs::write(&p, "0 1\nnot an edge\n1 0\n").unwrap();
+        let argv: Vec<String> = ["pagerank", "--graph", p.to_str().unwrap(), "--lenient", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out = run(&ParsedArgs::parse(&argv).unwrap()).unwrap();
+        assert!(out.contains("warning:"), "{out}");
+        assert!(out.contains("1 skipped"), "{out}");
     }
 }

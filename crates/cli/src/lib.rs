@@ -33,6 +33,9 @@ pub enum CliError {
     Io(std::io::Error),
     /// Graph or core file could not be parsed.
     Format(String),
+    /// A solve or estimation failed on valid inputs; the string carries the
+    /// per-attempt diagnostics (iteration counts, residuals, fallbacks).
+    Compute(String),
 }
 
 impl fmt::Display for CliError {
@@ -41,6 +44,7 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Format(m) => write!(f, "format error: {m}"),
+            CliError::Compute(m) => write!(f, "computation failed: {m}"),
         }
     }
 }
@@ -59,14 +63,44 @@ impl From<spammass_graph::GraphError> for CliError {
     }
 }
 
+impl From<spammass_pagerank::PageRankError> for CliError {
+    fn from(e: spammass_pagerank::PageRankError) -> Self {
+        CliError::Compute(e.to_string())
+    }
+}
+
+impl From<spammass_pagerank::ChainError> for CliError {
+    fn from(e: spammass_pagerank::ChainError) -> Self {
+        CliError::Compute(e.to_string())
+    }
+}
+
+impl From<spammass_core::estimate::EstimateError> for CliError {
+    fn from(e: spammass_core::estimate::EstimateError) -> Self {
+        use spammass_core::estimate::EstimateError;
+        match &e {
+            // Bad γ or solver parameters are argument problems.
+            EstimateError::InvalidGamma(_) | EstimateError::Config(_) => {
+                CliError::Usage(e.to_string())
+            }
+            _ => CliError::Compute(e.to_string()),
+        }
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 spammass — link spam detection based on mass estimation
 
 USAGE:
   spammass generate --hosts N [--seed S] --out FILE [--labels FILE] [--truth FILE] [--core FILE]
-  spammass stats    --graph FILE
-  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--labels FILE]
-  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE]
-  spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T]
+  spammass stats    --graph FILE [--lenient N]
+  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--labels FILE] [--fallback true] [--lenient N]
+  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--lenient N]
+  spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--lenient N]
+
+  --lenient N       tolerate up to N malformed edge-list lines (skipped and
+                    reported) instead of failing on the first bad line
+  --fallback true   on solver failure, retry with the hardened fallback chain
+                    (each attempt is reported)
 ";

@@ -1,20 +1,54 @@
 //! File loading helpers: auto-detected graph formats, label tables, and
 //! core lists.
 
+use crate::args::ParsedArgs;
 use crate::CliError;
-use spammass_graph::{io, Graph, NodeId, NodeLabels};
+use spammass_graph::io::{self, LoadReport, ReadOptions};
+use spammass_graph::{Graph, NodeId, NodeLabels};
 use std::fs;
 use std::path::Path;
 
+/// Builds [`ReadOptions`] from the shared `--lenient N` flag: strict by
+/// default, or skipping up to `N` malformed lines when given.
+pub fn read_options(args: &ParsedArgs) -> Result<ReadOptions, CliError> {
+    Ok(match args.optional("lenient") {
+        None => ReadOptions::default(),
+        Some(v) => {
+            let budget: usize =
+                v.parse().map_err(|_| CliError::Usage(format!("--lenient: cannot parse {v:?}")))?;
+            ReadOptions::lenient(budget)
+        }
+    })
+}
+
 /// Loads a graph, auto-detecting the binary image (magic `SPAMGRPH`)
 /// versus text edge-list format.
-pub fn load_graph(path: &Path) -> Result<Graph, CliError> {
+///
+/// The returned [`LoadReport`] is `Some` for text edge lists (where lines
+/// may have been skipped under a lenient [`ReadOptions`]) and `None` for
+/// binary images, which are checksummed all-or-nothing.
+pub fn load_graph_with(
+    path: &Path,
+    opts: &ReadOptions,
+) -> Result<(Graph, Option<LoadReport>), CliError> {
     let data = fs::read(path)?;
     if data.starts_with(b"SPAMGRPH") {
-        Ok(io::graph_from_bytes(&data)?)
+        Ok((io::graph_from_bytes(&data)?, None))
     } else {
-        Ok(io::read_edge_list(&data[..])?)
+        let (graph, report) = io::read_edge_list_with(&data[..], opts)?;
+        Ok((graph, Some(report)))
     }
+}
+
+/// Strict [`load_graph_with`], discarding the (necessarily clean) report.
+pub fn load_graph(path: &Path) -> Result<Graph, CliError> {
+    Ok(load_graph_with(path, &ReadOptions::default())?.0)
+}
+
+/// Renders an ingest warning for a lenient load that skipped lines, or
+/// `None` when the load was clean (or the graph was binary).
+pub fn ingest_warning(report: Option<&LoadReport>) -> Option<String> {
+    report.filter(|r| !r.is_clean()).map(|r| format!("warning: {r}"))
 }
 
 /// Loads a label table (one host per line; line number = node id).
@@ -23,13 +57,43 @@ pub fn load_labels(path: &Path) -> Result<NodeLabels, CliError> {
     Ok(io::read_labels(file)?)
 }
 
+/// A loaded core list plus ingest diagnostics.
+#[derive(Debug, Clone)]
+pub struct CoreLoad {
+    /// The deduplicated members, ascending.
+    pub nodes: Vec<NodeId>,
+    /// Entries that appeared more than once in the file (each listed once).
+    /// Duplicates are harmless to the estimator but usually indicate a
+    /// carelessly concatenated core file, so commands surface them.
+    pub duplicates: Vec<NodeId>,
+}
+
+impl CoreLoad {
+    /// A warning line when duplicates were present.
+    pub fn warning(&self) -> Option<String> {
+        if self.duplicates.is_empty() {
+            return None;
+        }
+        let sample: Vec<String> = self.duplicates.iter().take(8).map(|x| x.to_string()).collect();
+        let suffix = if self.duplicates.len() > sample.len() { ", …" } else { "" };
+        Some(format!(
+            "warning: core file lists {} entr{} more than once ({}{suffix})",
+            self.duplicates.len(),
+            if self.duplicates.len() == 1 { "y" } else { "ies" },
+            sample.join(", ")
+        ))
+    }
+}
+
 /// Loads a core file: one entry per line, `#` comments allowed; entries
-/// are node ids, or host names when `labels` is available.
+/// are node ids, or host names when `labels` is available. CRLF line
+/// endings are accepted; duplicate entries are deduplicated and reported
+/// via [`CoreLoad::duplicates`].
 pub fn load_core(
     path: &Path,
     labels: Option<&NodeLabels>,
     node_count: usize,
-) -> Result<Vec<NodeId>, CliError> {
+) -> Result<CoreLoad, CliError> {
     let text = fs::read_to_string(path)?;
     let mut core = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -61,17 +125,24 @@ pub fn load_core(
         return Err(CliError::Format("core file contains no entries".into()));
     }
     core.sort_unstable();
-    core.dedup();
-    Ok(core)
+    let mut nodes = Vec::with_capacity(core.len());
+    let mut duplicates = Vec::new();
+    for x in core {
+        if nodes.last() == Some(&x) {
+            if duplicates.last() != Some(&x) {
+                duplicates.push(x);
+            }
+        } else {
+            nodes.push(x);
+        }
+    }
+    Ok(CoreLoad { nodes, duplicates })
 }
 
 /// Formats a node for output: its host name when labels are present,
 /// otherwise the numeric id.
 pub fn display_node(labels: Option<&NodeLabels>, x: NodeId) -> String {
-    labels
-        .and_then(|l| l.name(x))
-        .map(|h| h.to_string())
-        .unwrap_or_else(|| x.to_string())
+    labels.and_then(|l| l.name(x)).map(|h| h.to_string()).unwrap_or_else(|| x.to_string())
 }
 
 #[cfg(test)]
@@ -103,6 +174,42 @@ mod tests {
     }
 
     #[test]
+    fn lenient_load_reports_skipped_lines() {
+        let txt = tmp("lenient.txt", b"0 1\nbroken line here\n1 2\n");
+        // Strict: hard error.
+        assert!(load_graph(&txt).is_err());
+        // Lenient: loads the valid edges and reports the bad line.
+        let (g, report) = load_graph_with(&txt, &ReadOptions::lenient(5)).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        let report = report.expect("text loads carry a report");
+        assert_eq!(report.skipped, 1);
+        let warn = ingest_warning(Some(&report)).unwrap();
+        assert!(warn.contains("1 skipped"), "{warn}");
+        // Binary images never produce a report.
+        let g2 = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let bin = tmp("lenient.bin", &io::graph_to_bytes(&g2));
+        let (_, report) = load_graph_with(&bin, &ReadOptions::lenient(5)).unwrap();
+        assert!(report.is_none());
+        assert!(ingest_warning(report.as_ref()).is_none());
+    }
+
+    #[test]
+    fn read_options_from_flag() {
+        let strict = ParsedArgs::parse(&["stats".to_string()]).unwrap();
+        assert!(read_options(&strict).unwrap().strict);
+        let lenient =
+            ParsedArgs::parse(&["stats".to_string(), "--lenient".to_string(), "7".to_string()])
+                .unwrap();
+        let opts = read_options(&lenient).unwrap();
+        assert!(!opts.strict);
+        assert_eq!(opts.max_bad_lines, 7);
+        let bad =
+            ParsedArgs::parse(&["stats".to_string(), "--lenient".to_string(), "many".to_string()])
+                .unwrap();
+        assert!(matches!(read_options(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
     fn core_by_ids_and_names() {
         let mut labels = NodeLabels::new();
         labels.push("a.gov");
@@ -111,11 +218,22 @@ mod tests {
 
         let by_id = tmp("core_ids.txt", b"# comment\n0\n2\n0\n");
         let core = load_core(&by_id, None, 3).unwrap();
-        assert_eq!(core, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(core.nodes, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(core.duplicates, vec![NodeId(0)]);
+        assert!(core.warning().unwrap().contains("more than once"));
 
         let by_name = tmp("core_names.txt", b"b.edu\nA.GOV\n");
         let core = load_core(&by_name, Some(&labels), 3).unwrap();
-        assert_eq!(core, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(core.nodes, vec![NodeId(0), NodeId(1)]);
+        assert!(core.duplicates.is_empty());
+        assert!(core.warning().is_none());
+    }
+
+    #[test]
+    fn core_accepts_crlf_line_endings() {
+        let crlf = tmp("core_crlf.txt", b"# windows file\r\n0\r\n2\r\n");
+        let core = load_core(&crlf, None, 3).unwrap();
+        assert_eq!(core.nodes, vec![NodeId(0), NodeId(2)]);
     }
 
     #[test]

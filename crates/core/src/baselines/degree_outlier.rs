@@ -50,7 +50,11 @@ pub struct DegreeSpike {
 }
 
 /// Finds spiking degree values in the chosen degree sequence.
-pub fn degree_spikes(graph: &Graph, kind: DegreeKind, config: &DegreeOutlierConfig) -> Vec<DegreeSpike> {
+pub fn degree_spikes(
+    graph: &Graph,
+    kind: DegreeKind,
+    config: &DegreeOutlierConfig,
+) -> Vec<DegreeSpike> {
     let degrees: Vec<usize> = graph
         .nodes()
         .map(|x| match kind {
@@ -91,7 +95,11 @@ pub fn degree_spikes(graph: &Graph, kind: DegreeKind, config: &DegreeOutlierConf
 }
 
 /// Flags every node sitting at a spiking degree value.
-pub fn degree_outliers(graph: &Graph, kind: DegreeKind, config: &DegreeOutlierConfig) -> Vec<NodeId> {
+pub fn degree_outliers(
+    graph: &Graph,
+    kind: DegreeKind,
+    config: &DegreeOutlierConfig,
+) -> Vec<NodeId> {
     let spikes = degree_spikes(graph, kind, config);
     if spikes.is_empty() {
         return Vec::new();
@@ -146,8 +154,7 @@ mod tests {
         // Farm: `farm_size` boosters each receiving exactly `farm_degree`
         // in-links from dedicated feeder nodes (machine-stamped pattern).
         let mut farm = Vec::new();
-        let feeders: Vec<u32> =
-            (n_bg + farm_size as u32..total as u32).collect();
+        let feeders: Vec<u32> = (n_bg + farm_size as u32..total as u32).collect();
         for i in 0..farm_size {
             let node = NodeId(n_bg + i as u32);
             farm.push(node);

@@ -62,8 +62,7 @@ pub fn high_reciprocity_nodes(graph: &Graph, config: &ReciprocityConfig) -> Vec<
     graph
         .nodes()
         .filter(|&x| {
-            graph.out_degree(x) >= config.min_out_links
-                && reciprocity(graph, x) >= config.threshold
+            graph.out_degree(x) >= config.min_out_links && reciprocity(graph, x) >= config.threshold
         })
         .collect()
 }
@@ -140,10 +139,8 @@ mod tests {
             edges.push((0, i));
         }
         let g = GraphBuilder::from_edges(b_count as usize + 1, &edges);
-        let flagged = high_reciprocity_nodes(
-            &g,
-            &ReciprocityConfig { min_out_links: 3, threshold: 0.9 },
-        );
+        let flagged =
+            high_reciprocity_nodes(&g, &ReciprocityConfig { min_out_links: 3, threshold: 0.9 });
         assert!(flagged.contains(&NodeId(0)), "target is fully reciprocal");
     }
 

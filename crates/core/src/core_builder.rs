@@ -84,6 +84,9 @@ impl GoodCore {
     /// At least one member is kept when the core is non-empty (an empty
     /// sample would be unusable); sampling an empty core yields an empty
     /// core.
+    ///
+    /// # Panics
+    /// Panics when `fraction` is outside `[0, 1]`.
     pub fn sample_fraction(&self, fraction: f64, seed: u64) -> GoodCore {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
         let mut rng = SplitMix64::new(seed);
@@ -106,9 +109,7 @@ impl GoodCore {
                 .nodes
                 .iter()
                 .copied()
-                .filter(|&x| {
-                    labels.name(x).map(|h| h.has_suffix(suffix)).unwrap_or(false)
-                })
+                .filter(|&x| labels.name(x).map(|h| h.has_suffix(suffix)).unwrap_or(false))
                 .collect(),
         }
     }

@@ -84,6 +84,10 @@ pub fn detect(estimate: &MassEstimate, config: &DetectorConfig) -> Detection {
 /// Use this when the relative-mass vector comes from something other
 /// than a [`MassEstimate`] — a spam-core estimate `m̂ = M̂/p`, a combined
 /// estimator, or an external scoring source.
+///
+/// # Panics
+/// Panics when `pagerank` and `relative` differ in length — an API-contract
+/// violation (both always come from the same run), not a data condition.
 pub fn detect_raw(
     pagerank: &[f64],
     relative: &[f64],
@@ -136,6 +140,8 @@ mod tests {
                 .with_pagerank(PageRankConfig::default().tolerance(1e-14).max_iterations(10_000)),
         )
         .estimate(&f.graph, &f.good_core())
+        .expect("figure 2 estimation converges")
+        .into_mass()
     }
 
     #[test]

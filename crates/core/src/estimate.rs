@@ -16,13 +16,28 @@
 //! core members and their heavy beneficiaries get **negative** mass —
 //! the paper treats negative mass as a strong goodness signal.
 //!
+//! ## Hardening
+//!
+//! Estimation is fallible end-to-end: solver failures surface as typed
+//! [`EstimateError`]s instead of panics, each PageRank run goes through a
+//! [`SolverChain`] whose fallback usage is recorded in the returned
+//! [`EstimateReport`], and the report flags two anomaly classes —
+//! non-core nodes whose estimated good contribution exceeds their PageRank
+//! (`p′_x > p_x`, impossible with an unscaled core and suspicious
+//! otherwise) and *dead* core entries (core nodes carrying no PageRank,
+//! which silently weaken the estimate).
+//!
 //! The dual estimator from a known **spam core** (`M̂ = PR(v^{Ṽ⁻})`) and
 //! the combination scheme `(M̃ + M̂)/2` from the end of Section 3.4 are
 //! also provided.
 
 use crate::mass::relative_mass;
 use spammass_graph::{Graph, NodeId};
-use spammass_pagerank::{jacobi, JumpVector, PageRankConfig};
+use spammass_pagerank::{
+    AttemptOutcome, ChainError, ChainSolve, JumpVector, PageRankConfig, SolverChain,
+};
+use std::fmt;
+use std::ops::Deref;
 
 /// How the core-based random jump vector is scaled.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,8 +66,11 @@ impl EstimatorConfig {
 
     /// Section 3.5 / Section 4.3 setting: γ-scaled core vector
     /// (the paper's production choice, γ = 0.85).
+    ///
+    /// `gamma` is validated when the estimator runs —
+    /// [`EstimateError::InvalidGamma`] — so a bad value cannot panic deep
+    /// inside a pipeline.
     pub fn scaled(gamma: f64) -> Self {
-        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
         EstimatorConfig { pagerank: PageRankConfig::default(), scaling: CoreScaling::Gamma(gamma) }
     }
 
@@ -60,6 +78,20 @@ impl EstimatorConfig {
     pub fn with_pagerank(mut self, pr: PageRankConfig) -> Self {
         self.pagerank = pr;
         self
+    }
+
+    /// Checks the configuration without running anything.
+    ///
+    /// # Errors
+    /// [`EstimateError::InvalidGamma`] or a wrapped PageRank config error.
+    pub fn validate(&self) -> Result<(), EstimateError> {
+        self.pagerank.validate().map_err(EstimateError::Config)?;
+        if let CoreScaling::Gamma(gamma) = self.scaling {
+            if !(0.0..=1.0).contains(&gamma) || gamma == 0.0 {
+                return Err(EstimateError::InvalidGamma(gamma));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -70,7 +102,109 @@ impl Default for EstimatorConfig {
     }
 }
 
-/// The estimator: computes [`MassEstimate`]s from a graph and a good core.
+/// Errors from mass estimation.
+#[derive(Debug)]
+pub enum EstimateError {
+    /// The good (or spam) core was empty.
+    EmptyCore,
+    /// γ outside `(0, 1]`.
+    InvalidGamma(f64),
+    /// The underlying PageRank configuration was invalid.
+    Config(spammass_pagerank::PageRankError),
+    /// A supplied vector's length did not match the graph.
+    LengthMismatch {
+        /// Supplied length.
+        got: usize,
+        /// Graph node count.
+        expected: usize,
+    },
+    /// λ outside `[0, 1]` in a weighted combination.
+    InvalidLambda(f64),
+    /// Every solver attempt for one of the PageRank runs failed.
+    Solver {
+        /// Which run failed: `"pagerank"` (uniform `p`) or `"core"` (`p′`).
+        stage: &'static str,
+        /// Per-attempt diagnostics from the exhausted chain.
+        source: ChainError,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::EmptyCore => write!(f, "core must be non-empty"),
+            EstimateError::InvalidGamma(g) => write!(f, "gamma {g} must be in (0, 1]"),
+            EstimateError::Config(e) => write!(f, "invalid estimator configuration: {e}"),
+            EstimateError::LengthMismatch { got, expected } => {
+                write!(f, "vector length {got} does not match node count {expected}")
+            }
+            EstimateError::InvalidLambda(l) => write!(f, "lambda {l} must be in [0, 1]"),
+            EstimateError::Solver { stage, source } => {
+                write!(f, "{stage} solve failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimateError::Config(e) => Some(e),
+            EstimateError::Solver { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Condensed diagnostics of one chained PageRank solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Name of the solver that produced the accepted result.
+    pub solver: &'static str,
+    /// Iterations of the accepted solve.
+    pub iterations: usize,
+    /// Final residual of the accepted solve.
+    pub residual: f64,
+    /// Total attempts made (1 = the primary solver succeeded directly).
+    pub attempts: usize,
+}
+
+impl SolveDiagnostics {
+    /// Whether a fallback solver (not the primary) produced the result.
+    pub fn used_fallback(&self) -> bool {
+        self.attempts > 1
+    }
+
+    fn from_chain(solve: &ChainSolve) -> Self {
+        let winner = solve.winner();
+        let (iterations, residual) = match winner.outcome {
+            AttemptOutcome::Succeeded { iterations, residual } => (iterations, residual),
+            // A ChainSolve's last attempt succeeded by construction.
+            AttemptOutcome::Failed(_) => (solve.result.iterations, solve.result.residual),
+        };
+        SolveDiagnostics {
+            solver: winner.solver.name(),
+            iterations,
+            residual,
+            attempts: solve.attempts.len(),
+        }
+    }
+}
+
+impl fmt::Display for SolveDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} iterations, residual {:.3e}{}",
+            self.solver,
+            self.iterations,
+            self.residual,
+            if self.used_fallback() { " (fallback engaged)" } else { "" }
+        )
+    }
+}
+
+/// The estimator: computes [`EstimateReport`]s from a graph and a good core.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MassEstimator {
     config: EstimatorConfig,
@@ -87,51 +221,150 @@ impl MassEstimator {
         &self.config
     }
 
+    fn chain(&self) -> SolverChain {
+        SolverChain::recommended(self.config.pagerank)
+    }
+
     /// Runs the two PageRank computations and derives mass estimates.
     ///
-    /// # Panics
-    /// Panics if the core is empty or references nodes outside the graph.
-    pub fn estimate(&self, graph: &Graph, good_core: &[NodeId]) -> MassEstimate {
-        let n = graph.node_count();
-        let v = JumpVector::Uniform.materialize(n).expect("uniform jump");
-        let p = jacobi::solve_jacobi_dense(graph, &v, &self.config.pagerank).scores;
-        self.estimate_with_pagerank(graph, good_core, p)
+    /// # Errors
+    /// [`EstimateError`] on an empty/out-of-range core, invalid
+    /// configuration, or when every solver attempt fails for either run.
+    pub fn estimate(
+        &self,
+        graph: &Graph,
+        good_core: &[NodeId],
+    ) -> Result<EstimateReport, EstimateError> {
+        self.config.validate()?;
+        let solve = self
+            .chain()
+            .solve(graph, &JumpVector::Uniform)
+            .map_err(|source| EstimateError::Solver { stage: "pagerank", source })?;
+        let diag = SolveDiagnostics::from_chain(&solve);
+        let mut report = self.estimate_with_pagerank(graph, good_core, solve.result.scores)?;
+        report.pagerank_diag = Some(diag);
+        Ok(report)
     }
 
     /// Same as [`estimate`](Self::estimate), but reuses an existing regular
     /// PageRank vector `p` — the Section 4.5 core-size ablation recomputes
-    /// only `p′` per core.
+    /// only `p′` per core. `pagerank_diag` is `None` on the returned report
+    /// since the uniform run happened elsewhere.
+    ///
+    /// # Errors
+    /// Same contract as [`estimate`](Self::estimate), plus
+    /// [`EstimateError::LengthMismatch`] when `pagerank` does not match the
+    /// graph.
     pub fn estimate_with_pagerank(
         &self,
         graph: &Graph,
         good_core: &[NodeId],
         pagerank: Vec<f64>,
-    ) -> MassEstimate {
+    ) -> Result<EstimateReport, EstimateError> {
         let n = graph.node_count();
-        self.config
-            .pagerank
-            .validate()
-            .expect("invalid PageRank configuration");
-        assert_eq!(pagerank.len(), n, "pagerank vector length mismatch");
-        assert!(!good_core.is_empty(), "good core must be non-empty");
+        self.config.validate()?;
+        if pagerank.len() != n {
+            return Err(EstimateError::LengthMismatch { got: pagerank.len(), expected: n });
+        }
+        if good_core.is_empty() {
+            return Err(EstimateError::EmptyCore);
+        }
 
         let jump = match self.config.scaling {
             CoreScaling::Unscaled => JumpVector::core(good_core.to_vec(), n),
             CoreScaling::Gamma(gamma) => JumpVector::scaled_core(good_core.to_vec(), gamma),
         };
-        let w = jump.materialize(n).expect("core jump");
-        let p_core = jacobi::solve_jacobi_dense(graph, &w, &self.config.pagerank).scores;
+        let solve = self
+            .chain()
+            .solve(graph, &jump)
+            .map_err(|source| EstimateError::Solver { stage: "core", source })?;
+        let core_diag = SolveDiagnostics::from_chain(&solve);
+        let p_core = solve.result.scores;
 
         let absolute: Vec<f64> = pagerank.iter().zip(&p_core).map(|(&p, &pc)| p - pc).collect();
         let relative = relative_mass(&pagerank, &absolute);
 
-        MassEstimate {
+        // Anomaly scan. Core membership is looked up via a sorted copy so
+        // the scan stays O((n + |core|) log |core|).
+        let mut core_sorted = good_core.to_vec();
+        core_sorted.sort_unstable();
+        core_sorted.dedup();
+        let in_core = |x: usize| core_sorted.binary_search(&NodeId(x as u32)).is_ok();
+
+        let mut anomalies = Vec::new();
+        for (x, (&p, &pc)) in pagerank.iter().zip(&p_core).enumerate() {
+            // Core members (and, under γ scaling, their direct
+            // beneficiaries) legitimately exceed p; only flag non-core
+            // nodes, where p′ > p means the estimate is untrustworthy.
+            if pc > p + 1e-12 && !in_core(x) {
+                anomalies.push(NodeId(x as u32));
+            }
+        }
+        let dead_core: Vec<NodeId> = core_sorted
+            .iter()
+            .copied()
+            .filter(|x| {
+                let p = pagerank[x.index()];
+                !(p.is_finite() && p > 0.0)
+            })
+            .collect();
+
+        let mass = MassEstimate {
             pagerank,
             core_pagerank: p_core,
             absolute,
             relative,
             damping: self.config.pagerank.damping,
-        }
+        };
+        Ok(EstimateReport { mass, anomalies, dead_core, pagerank_diag: None, core_diag })
+    }
+}
+
+/// A [`MassEstimate`] plus the health diagnostics gathered while computing
+/// it. Derefs to the estimate, so all scaled accessors work directly on the
+/// report.
+#[derive(Debug, Clone)]
+pub struct EstimateReport {
+    /// The mass estimate itself.
+    pub mass: MassEstimate,
+    /// Non-core nodes whose estimated good contribution exceeds their
+    /// PageRank (`p′_x > p_x`). Impossible with an unscaled core (up to
+    /// solver tolerance); under γ scaling a sign that γ overshoots the
+    /// true good fraction around these nodes.
+    pub anomalies: Vec<NodeId>,
+    /// Core entries with zero (or non-finite) PageRank — they contribute
+    /// nothing to `p′` and usually indicate a stale or mismatched core
+    /// file.
+    pub dead_core: Vec<NodeId>,
+    /// Diagnostics of the uniform PageRank run; `None` when a pre-computed
+    /// vector was supplied via
+    /// [`MassEstimator::estimate_with_pagerank`].
+    pub pagerank_diag: Option<SolveDiagnostics>,
+    /// Diagnostics of the core-based PageRank run.
+    pub core_diag: SolveDiagnostics,
+}
+
+impl EstimateReport {
+    /// Whether estimation ran with no anomalies, no dead core entries, and
+    /// no solver fallback.
+    pub fn is_healthy(&self) -> bool {
+        self.anomalies.is_empty()
+            && self.dead_core.is_empty()
+            && !self.core_diag.used_fallback()
+            && self.pagerank_diag.as_ref().is_none_or(|d| !d.used_fallback())
+    }
+
+    /// Consumes the report, keeping only the estimate.
+    pub fn into_mass(self) -> MassEstimate {
+        self.mass
+    }
+}
+
+impl Deref for EstimateReport {
+    type Target = MassEstimate;
+
+    fn deref(&self) -> &MassEstimate {
+        &self.mass
     }
 }
 
@@ -207,35 +440,53 @@ impl MassEstimate {
 
 /// Absolute-mass estimate `M̂ = PR(v^{Ṽ⁻})` from a known **spam core**
 /// (Section 3.4, "the alternate situation that Ṽ⁻ is provided").
+///
+/// # Errors
+/// [`EstimateError::EmptyCore`] on an empty spam core; solver and
+/// configuration failures as in [`MassEstimator::estimate`].
 pub fn estimate_from_spam_core(
     graph: &Graph,
     spam_core: &[NodeId],
     config: &PageRankConfig,
-) -> Vec<f64> {
-    assert!(!spam_core.is_empty(), "spam core must be non-empty");
-    let n = graph.node_count();
-    let v = JumpVector::core(spam_core.to_vec(), n).materialize(n).expect("spam core jump");
-    jacobi::solve_jacobi_dense(graph, &v, config).scores
+) -> Result<Vec<f64>, EstimateError> {
+    if spam_core.is_empty() {
+        return Err(EstimateError::EmptyCore);
+    }
+    let jump = JumpVector::core(spam_core.to_vec(), graph.node_count());
+    let solve = SolverChain::recommended(*config)
+        .solve(graph, &jump)
+        .map_err(|source| EstimateError::Solver { stage: "core", source })?;
+    Ok(solve.result.scores)
 }
 
 /// Combines a good-core estimate `M̃` and a spam-core estimate `M̂` by
 /// simple averaging `(M̃ + M̂)/2` (Section 3.4).
-pub fn combine_estimates(m_good: &[f64], m_spam: &[f64]) -> Vec<f64> {
-    assert_eq!(m_good.len(), m_spam.len(), "estimate length mismatch");
-    m_good.iter().zip(m_spam).map(|(&a, &b)| (a + b) / 2.0).collect()
+///
+/// # Errors
+/// [`EstimateError::LengthMismatch`] when the inputs disagree in length.
+pub fn combine_estimates(m_good: &[f64], m_spam: &[f64]) -> Result<Vec<f64>, EstimateError> {
+    combine_estimates_weighted(m_good, m_spam, 0.5)
 }
 
 /// Weighted combination: `λ·M̃ + (1−λ)·M̂`, the "more sophisticated
 /// combination scheme" sketched in Section 3.4, with the weight chosen
 /// from the relative trust in the two cores.
-pub fn combine_estimates_weighted(m_good: &[f64], m_spam: &[f64], lambda: f64) -> Vec<f64> {
-    assert_eq!(m_good.len(), m_spam.len(), "estimate length mismatch");
-    assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
-    m_good
-        .iter()
-        .zip(m_spam)
-        .map(|(&a, &b)| lambda * a + (1.0 - lambda) * b)
-        .collect()
+///
+/// # Errors
+/// [`EstimateError::LengthMismatch`] on length disagreement,
+/// [`EstimateError::InvalidLambda`] when `λ ∉ [0, 1]`.
+pub fn combine_estimates_weighted(
+    m_good: &[f64],
+    m_spam: &[f64],
+    lambda: f64,
+) -> Result<Vec<f64>, EstimateError> {
+    if m_good.len() != m_spam.len() {
+        return Err(EstimateError::LengthMismatch { got: m_spam.len(), expected: m_good.len() });
+    }
+    if !(0.0..=1.0).contains(&lambda) {
+        return Err(EstimateError::InvalidLambda(lambda));
+    }
+    Ok(m_good.iter().zip(m_spam).map(|(&a, &b)| lambda * a + (1.0 - lambda) * b).collect())
 }
 
 #[cfg(test)]
@@ -255,7 +506,8 @@ mod tests {
         // {g0, g1, g3}.
         let f = figure2();
         let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()))
-            .estimate(&f.graph, &f.good_core());
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
         let expect = table1_expected();
         let rows: Vec<(&str, NodeId)> = vec![
             ("x", f.x),
@@ -292,14 +544,19 @@ mod tests {
     fn estimated_mass_upper_bounds_exact_with_unscaled_core() {
         // With Ṽ⁺ ⊆ V⁺ and no scaling, p′ ≤ q^{V⁺}, hence M̃ ≥ M ≥ 0.
         let f = figure2();
-        let exact = ExactMass::compute(&f.graph, &f.partition(), &pr_cfg());
+        let exact = ExactMass::compute(&f.graph, &f.partition(), &pr_cfg()).unwrap();
         let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()))
-            .estimate(&f.graph, &f.good_core());
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
         for i in 0..12 {
             assert!(est.absolute[i] >= exact.absolute[i] - 1e-12, "node {i}");
             assert!(est.absolute[i] >= -1e-12);
             assert!(est.relative[i] <= 1.0 + 1e-12);
         }
+        // An unscaled run on a healthy graph raises no flags.
+        assert!(est.anomalies.is_empty(), "{:?}", est.anomalies);
+        assert!(est.dead_core.is_empty());
+        assert!(est.is_healthy());
     }
 
     #[test]
@@ -308,7 +565,8 @@ mod tests {
         // p′ can exceed p — negative estimated mass.
         let f = figure2();
         let est = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()))
-            .estimate(&f.graph, &f.good_core());
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
         for &g in &f.good_core() {
             assert!(
                 est.absolute[g.index()] < 0.0,
@@ -322,13 +580,82 @@ mod tests {
     }
 
     #[test]
+    fn anomaly_flags_non_core_beneficiaries_under_aggressive_gamma() {
+        // Boosted core pointing straight at x pushes p′_x above p_x; x is
+        // not in the core, so it must be flagged.
+        let f = figure2();
+        let est = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
+        // Core members themselves are never anomalies, however negative
+        // their mass.
+        for a in &est.anomalies {
+            assert!(!f.good_core().contains(a), "core member {a} flagged");
+        }
+        // Anomalies are exactly the non-core nodes with p′ > p.
+        for x in 0..est.len() {
+            let node = NodeId(x as u32);
+            let expected =
+                est.core_pagerank[x] > est.pagerank[x] + 1e-12 && !f.good_core().contains(&node);
+            assert_eq!(est.anomalies.contains(&node), expected, "node {x}");
+        }
+    }
+
+    #[test]
+    fn solver_diagnostics_propagate() {
+        let f = figure2();
+        let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
+        let pr = est.pagerank_diag.as_ref().expect("fresh estimate records the uniform run");
+        assert_eq!(pr.solver, "jacobi");
+        assert!(!pr.used_fallback());
+        assert!(pr.iterations > 0 && pr.residual < 1e-14);
+        assert!(est.core_diag.iterations > 0);
+        assert!(est.core_diag.to_string().contains("jacobi"));
+    }
+
+    #[test]
+    fn estimate_surfaces_solver_failure() {
+        // An impossible tolerance defeats every attempt in the chain.
+        let f = figure2();
+        let hopeless = PageRankConfig::default().max_iterations(1).tolerance(1e-300);
+        let err = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(hopeless))
+            .estimate(&f.graph, &f.good_core())
+            .unwrap_err();
+        match err {
+            EstimateError::Solver { stage: "pagerank", source } => {
+                assert_eq!(source.attempts.len(), 3, "all chain attempts reported");
+            }
+            other => panic!("expected Solver error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_core_entries_are_flagged() {
+        // Reuse a pagerank vector with a zeroed core entry.
+        let f = figure2();
+        let estimator = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()));
+        let fresh = estimator.estimate(&f.graph, &f.good_core()).unwrap();
+        let mut p = fresh.pagerank.clone();
+        let dead = f.good_core()[0];
+        p[dead.index()] = 0.0;
+        let report = estimator.estimate_with_pagerank(&f.graph, &f.good_core(), p).unwrap();
+        assert_eq!(report.dead_core, vec![dead]);
+        assert!(!report.is_healthy());
+        assert!(report.pagerank_diag.is_none());
+    }
+
+    #[test]
     fn coverage_ratio_reflects_scaling() {
         // Tiny core without scaling -> tiny coverage; with γ -> near γ.
         let f = figure2();
         let unscaled = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_cfg()))
-            .estimate(&f.graph, &f.good_core());
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
         let scaled = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()))
-            .estimate(&f.graph, &f.good_core());
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
         assert!(scaled.coverage_ratio() > unscaled.coverage_ratio());
     }
 
@@ -336,11 +663,11 @@ mod tests {
     fn spam_core_estimator_lower_bounds_exact_mass() {
         // M̂ computed from a subset of V⁻ under-counts: M̂ ≤ M.
         let f = figure2();
-        let exact = ExactMass::compute(&f.graph, &f.partition(), &pr_cfg());
+        let exact = ExactMass::compute(&f.graph, &f.partition(), &pr_cfg()).unwrap();
         let spam_subset = vec![f.s[0], f.s[1], f.s[2]];
-        let m_hat = estimate_from_spam_core(&f.graph, &spam_subset, &pr_cfg());
-        for i in 0..12 {
-            assert!(m_hat[i] <= exact.absolute[i] + 1e-12, "node {i}");
+        let m_hat = estimate_from_spam_core(&f.graph, &spam_subset, &pr_cfg()).unwrap();
+        for (i, (hat, abs)) in m_hat.iter().zip(&exact.absolute).enumerate() {
+            assert!(*hat <= abs + 1e-12, "node {i}");
         }
     }
 
@@ -348,34 +675,62 @@ mod tests {
     fn combined_estimators() {
         let a = vec![1.0, 2.0];
         let b = vec![3.0, 0.0];
-        assert_eq!(combine_estimates(&a, &b), vec![2.0, 1.0]);
-        assert_eq!(combine_estimates_weighted(&a, &b, 1.0), a);
-        assert_eq!(combine_estimates_weighted(&a, &b, 0.0), b);
-        let half = combine_estimates_weighted(&a, &b, 0.5);
+        assert_eq!(combine_estimates(&a, &b).unwrap(), vec![2.0, 1.0]);
+        assert_eq!(combine_estimates_weighted(&a, &b, 1.0).unwrap(), a);
+        assert_eq!(combine_estimates_weighted(&a, &b, 0.0).unwrap(), b);
+        let half = combine_estimates_weighted(&a, &b, 0.5).unwrap();
         assert_eq!(half, vec![2.0, 1.0]);
+        assert!(matches!(
+            combine_estimates(&a, &[1.0]),
+            Err(EstimateError::LengthMismatch { got: 1, expected: 2 })
+        ));
+        assert!(matches!(
+            combine_estimates_weighted(&a, &b, 1.5),
+            Err(EstimateError::InvalidLambda(_))
+        ));
     }
 
     #[test]
     fn estimate_with_reused_pagerank_matches_fresh() {
         let f = figure2();
         let estimator = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()));
-        let fresh = estimator.estimate(&f.graph, &f.good_core());
-        let reused =
-            estimator.estimate_with_pagerank(&f.graph, &f.good_core(), fresh.pagerank.clone());
+        let fresh = estimator.estimate(&f.graph, &f.good_core()).unwrap();
+        let reused = estimator
+            .estimate_with_pagerank(&f.graph, &f.good_core(), fresh.pagerank.clone())
+            .unwrap();
         assert_eq!(fresh.absolute, reused.absolute);
         assert_eq!(fresh.relative, reused.relative);
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
     fn rejects_empty_core() {
         let g = GraphBuilder::from_edges(2, &[(0, 1)]);
-        let _ = MassEstimator::default().estimate(&g, &[]);
+        assert!(matches!(
+            MassEstimator::default().estimate(&g, &[]),
+            Err(EstimateError::EmptyCore)
+        ));
+        assert!(matches!(
+            estimate_from_spam_core(&g, &[], &PageRankConfig::default()),
+            Err(EstimateError::EmptyCore)
+        ));
     }
 
     #[test]
-    #[should_panic(expected = "gamma")]
     fn rejects_bad_gamma() {
-        let _ = EstimatorConfig::scaled(1.5);
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        let err = MassEstimator::new(EstimatorConfig::scaled(1.5))
+            .estimate(&g, &[NodeId(0)])
+            .unwrap_err();
+        assert!(matches!(err, EstimateError::InvalidGamma(_)), "{err:?}");
+        assert!(err.to_string().contains("gamma"));
+    }
+
+    #[test]
+    fn rejects_mismatched_pagerank_vector() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]);
+        let err = MassEstimator::new(EstimatorConfig::unscaled())
+            .estimate_with_pagerank(&g, &[NodeId(0)], vec![0.1; 2])
+            .unwrap_err();
+        assert!(matches!(err, EstimateError::LengthMismatch { got: 2, expected: 3 }));
     }
 }

@@ -95,15 +95,7 @@ pub fn figure2() -> Figure2 {
     // Ids: x=0, g0..g3 = 1..4, s0..s6 = 5..11.
     let x = NodeId(0);
     let g = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
-    let s = [
-        NodeId(5),
-        NodeId(6),
-        NodeId(7),
-        NodeId(8),
-        NodeId(9),
-        NodeId(10),
-        NodeId(11),
-    ];
+    let s = [NodeId(5), NodeId(6), NodeId(7), NodeId(8), NodeId(9), NodeId(10), NodeId(11)];
     let mut b = GraphBuilder::new(12);
     b.add_edge(g[0], x); // g0 -> x
     b.add_edge(g[2], x); // g2 -> x
@@ -197,7 +189,14 @@ pub fn table1_expected() -> [(&'static str, Table1Row); 7] {
         ),
         (
             "g1",
-            Table1Row { p: 1.0, p_core: 1.0, m_abs: 0.0, m_abs_est: 0.0, m_rel: 0.0, m_rel_est: 0.0 },
+            Table1Row {
+                p: 1.0,
+                p_core: 1.0,
+                m_abs: 0.0,
+                m_abs_est: 0.0,
+                m_rel: 0.0,
+                m_rel_est: 0.0,
+            },
         ),
         (
             "g2",
@@ -212,7 +211,14 @@ pub fn table1_expected() -> [(&'static str, Table1Row); 7] {
         ),
         (
             "g3",
-            Table1Row { p: 1.0, p_core: 1.0, m_abs: 0.0, m_abs_est: 0.0, m_rel: 0.0, m_rel_est: 0.0 },
+            Table1Row {
+                p: 1.0,
+                p_core: 1.0,
+                m_abs: 0.0,
+                m_abs_est: 0.0,
+                m_rel: 0.0,
+                m_rel_est: 0.0,
+            },
         ),
         (
             "s0",
@@ -227,7 +233,14 @@ pub fn table1_expected() -> [(&'static str, Table1Row); 7] {
         ),
         (
             "s1..s6",
-            Table1Row { p: 1.0, p_core: 0.0, m_abs: 1.0, m_abs_est: 1.0, m_rel: 1.0, m_rel_est: 1.0 },
+            Table1Row {
+                p: 1.0,
+                p_core: 0.0,
+                m_abs: 1.0,
+                m_abs_est: 1.0,
+                m_rel: 1.0,
+                m_rel_est: 1.0,
+            },
         ),
     ]
 }

@@ -29,6 +29,11 @@
 //!
 //! ## Example
 //!
+//! Estimation is fallible: it returns an [`estimate::EstimateReport`]
+//! carrying the mass estimate plus health diagnostics (solver fallback
+//! usage, anomalous nodes, dead core entries), or a typed
+//! [`estimate::EstimateError`].
+//!
 //! ```
 //! use spammass_core::examples_paper::figure2;
 //! use spammass_core::estimate::{MassEstimator, EstimatorConfig};
@@ -36,7 +41,9 @@
 //!
 //! let fig2 = figure2();
 //! let est = MassEstimator::new(EstimatorConfig::unscaled())
-//!     .estimate(&fig2.graph, &fig2.good_core());
+//!     .estimate(&fig2.graph, &fig2.good_core())
+//!     .expect("the 12-node example converges");
+//! assert!(est.is_healthy());
 //! let found = detect(&est, &DetectorConfig { rho: 1.5, tau: 0.5 });
 //! // The paper's run flags x, s0 and (false positive) g2.
 //! assert_eq!(found.candidates.len(), 3);

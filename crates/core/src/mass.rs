@@ -12,9 +12,10 @@
 //! web — it serves as the ground-truth yardstick the estimators of
 //! [`crate::estimate`] are measured against.
 
+use crate::estimate::EstimateError;
 use crate::partition::Partition;
 use spammass_graph::{Graph, NodeId};
-use spammass_pagerank::{jacobi, JumpVector, PageRankConfig};
+use spammass_pagerank::{JumpVector, PageRankConfig, SolverChain};
 
 /// Exact spam-mass analysis of a graph under a full partition.
 #[derive(Debug, Clone)]
@@ -36,26 +37,50 @@ impl ExactMass {
     /// Runs linear PageRank twice (`PR(v)` and `PR(v^{V⁻})`); the good
     /// contribution falls out of linearity as `p − M` (verified to match
     /// `PR(v^{V⁺})` by the property-test suite).
-    pub fn compute(graph: &Graph, partition: &Partition, config: &PageRankConfig) -> ExactMass {
-        assert_eq!(partition.len(), graph.node_count(), "partition/graph size mismatch");
+    ///
+    /// # Errors
+    /// [`EstimateError::LengthMismatch`] when the partition does not cover
+    /// the graph; [`EstimateError::Solver`] when every solver attempt fails
+    /// for either run.
+    pub fn compute(
+        graph: &Graph,
+        partition: &Partition,
+        config: &PageRankConfig,
+    ) -> Result<ExactMass, EstimateError> {
         let n = graph.node_count();
+        if partition.len() != n {
+            return Err(EstimateError::LengthMismatch { got: partition.len(), expected: n });
+        }
 
-        let v = JumpVector::Uniform.materialize(n).expect("uniform jump");
-        let p = jacobi::solve_jacobi_dense(graph, &v, config).scores;
+        let chain = SolverChain::recommended(*config);
+        let p = chain
+            .solve(graph, &JumpVector::Uniform)
+            .map_err(|source| EstimateError::Solver { stage: "pagerank", source })?
+            .result
+            .scores;
 
         let spam_nodes = partition.spam_nodes();
         let absolute = if spam_nodes.is_empty() {
             vec![0.0; n]
         } else {
-            let v_spam = JumpVector::core(spam_nodes, n).materialize(n).expect("spam jump");
-            jacobi::solve_jacobi_dense(graph, &v_spam, config).scores
+            chain
+                .solve(graph, &JumpVector::core(spam_nodes, n))
+                .map_err(|source| EstimateError::Solver { stage: "core", source })?
+                .result
+                .scores
         };
 
         let good_contribution: Vec<f64> =
             p.iter().zip(&absolute).map(|(&py, &my)| py - my).collect();
         let relative = relative_mass(&p, &absolute);
 
-        ExactMass { pagerank: p, good_contribution, absolute, relative, damping: config.damping }
+        Ok(ExactMass {
+            pagerank: p,
+            good_contribution,
+            absolute,
+            relative,
+            damping: config.damping,
+        })
     }
 
     /// Scale factor `n/(1−c)` for paper-style readable values.
@@ -83,10 +108,7 @@ impl ExactMass {
 /// (they receive no PageRank at all, so no mass either — only possible
 /// under non-uniform reference jumps).
 pub(crate) fn relative_mass(p: &[f64], m: &[f64]) -> Vec<f64> {
-    p.iter()
-        .zip(m)
-        .map(|(&py, &my)| if py > 0.0 { my / py } else { 0.0 })
-        .collect()
+    p.iter().zip(m).map(|(&py, &my)| if py > 0.0 { my / py } else { 0.0 }).collect()
 }
 
 #[cfg(test)]
@@ -103,7 +125,7 @@ mod tests {
     fn table1_exact_columns() {
         // Every p, M, m value of Table 1 (scaled, 12-node Figure 2 graph).
         let f = figure2();
-        let exact = ExactMass::compute(&f.graph, &f.partition(), &cfg());
+        let exact = ExactMass::compute(&f.graph, &f.partition(), &cfg()).unwrap();
         let expect = table1_expected();
         let nodes: Vec<(&str, NodeId)> = vec![
             ("x", f.x),
@@ -147,7 +169,7 @@ mod tests {
         // With x labelled good, M_x = (c + k·c²)(1−c)/n exactly.
         for k in [1usize, 2, 5] {
             let f = figure1(k);
-            let exact = ExactMass::compute(&f.graph, &f.partition_x_good(), &cfg());
+            let exact = ExactMass::compute(&f.graph, &f.partition_x_good(), &cfg()).unwrap();
             let expected = f.expected_spam_part(0.85);
             assert!(
                 (exact.absolute[f.x.index()] - expected).abs() < 1e-12,
@@ -160,7 +182,7 @@ mod tests {
     #[test]
     fn decomposition_p_equals_good_plus_spam() {
         let f = figure2();
-        let exact = ExactMass::compute(&f.graph, &f.partition(), &cfg());
+        let exact = ExactMass::compute(&f.graph, &f.partition(), &cfg()).unwrap();
         for i in 0..12 {
             assert!(
                 (exact.pagerank[i] - exact.good_contribution[i] - exact.absolute[i]).abs() < 1e-12
@@ -171,7 +193,7 @@ mod tests {
     #[test]
     fn all_good_partition_gives_zero_mass() {
         let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
-        let exact = ExactMass::compute(&g, &Partition::all_good(3), &cfg());
+        let exact = ExactMass::compute(&g, &Partition::all_good(3), &cfg()).unwrap();
         assert!(exact.absolute.iter().all(|&m| m == 0.0));
         assert!(exact.relative.iter().all(|&m| m == 0.0));
     }
@@ -180,7 +202,7 @@ mod tests {
     fn all_spam_partition_gives_relative_one() {
         let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
         let spam: Vec<NodeId> = (0..3).map(NodeId).collect();
-        let exact = ExactMass::compute(&g, &Partition::from_spam_nodes(3, &spam), &cfg());
+        let exact = ExactMass::compute(&g, &Partition::from_spam_nodes(3, &spam), &cfg()).unwrap();
         for i in 0..3 {
             assert!((exact.relative[i] - 1.0).abs() < 1e-12);
             assert!((exact.absolute[i] - exact.pagerank[i]).abs() < 1e-12);
@@ -190,16 +212,16 @@ mod tests {
     #[test]
     fn relative_mass_bounded_zero_one() {
         let f = figure2();
-        let exact = ExactMass::compute(&f.graph, &f.partition(), &cfg());
+        let exact = ExactMass::compute(&f.graph, &f.partition(), &cfg()).unwrap();
         for &m in &exact.relative {
             assert!((0.0..=1.0 + 1e-12).contains(&m));
         }
     }
 
     #[test]
-    #[should_panic(expected = "size mismatch")]
     fn rejects_mismatched_partition() {
         let g = GraphBuilder::from_edges(3, &[(0, 1)]);
-        let _ = ExactMass::compute(&g, &Partition::all_good(5), &cfg());
+        let err = ExactMass::compute(&g, &Partition::all_good(5), &cfg()).unwrap_err();
+        assert!(matches!(err, EstimateError::LengthMismatch { got: 5, expected: 3 }), "{err:?}");
     }
 }

@@ -14,9 +14,19 @@
 //! Spam mass (Section 3.3) is the scheme that finally accounts for all
 //! direct and indirect contributions.
 
+use crate::estimate::EstimateError;
 use crate::partition::{NodeSide, Partition};
 use spammass_graph::{Graph, NodeId};
-use spammass_pagerank::{jacobi, JumpVector, PageRankConfig};
+use spammass_pagerank::{JumpVector, PageRankConfig, SolverChain, SolverKind};
+
+/// One plain Jacobi solve under the uniform jump, with failures wrapped
+/// into the crate's estimation error.
+fn solve_uniform(graph: &Graph, config: &PageRankConfig) -> Result<Vec<f64>, EstimateError> {
+    SolverChain::new(SolverKind::Jacobi, *config)
+        .solve(graph, &JumpVector::Uniform)
+        .map(|s| s.result.scores)
+        .map_err(|source| EstimateError::Solver { stage: "pagerank", source })
+}
 
 /// Scheme 1: majority vote over in-link sources.
 ///
@@ -42,19 +52,24 @@ pub fn scheme1_label(graph: &Graph, partition: &Partition, x: NodeId) -> NodeSid
 /// the edge. Quadratic in practice — use only on modest graphs (the
 /// evaluation harness uses it on the paper's toy graphs; at web scale,
 /// scheme 2 is hopeless anyway, which is the paper's point).
+///
+/// # Errors
+/// [`EstimateError::Solver`] when either PageRank run fails.
+///
+/// # Panics
+/// Panics when the link `(y, x)` is not present — a caller-contract
+/// violation, not a data condition.
 pub fn link_contribution_exact(
     graph: &Graph,
     y: NodeId,
     x: NodeId,
     config: &PageRankConfig,
-) -> f64 {
+) -> Result<f64, EstimateError> {
     assert!(graph.has_edge(y, x), "link ({y}, {x}) not present");
-    let n = graph.node_count();
-    let v = JumpVector::Uniform.materialize(n).expect("uniform jump");
-    let with_edge = jacobi::solve_jacobi_dense(graph, &v, config).scores[x.index()];
+    let with_edge = solve_uniform(graph, config)?[x.index()];
     let without = graph.filter_edges(|f, t| !(f == y && t == x));
-    let without_edge = jacobi::solve_jacobi_dense(&without, &v, config).scores[x.index()];
-    with_edge - without_edge
+    let without_edge = solve_uniform(&without, config)?[x.index()];
+    Ok(with_edge - without_edge)
 }
 
 /// First-order approximation of a link's contribution: `c·p_y/out(y)` —
@@ -78,28 +93,26 @@ pub fn link_contribution_fast(
 /// exceed those of good in-neighbours. `exact` selects the
 /// removal-definition ([`link_contribution_exact`]) versus the fast
 /// approximation.
+///
+/// # Errors
+/// [`EstimateError::Solver`] when an underlying PageRank run fails.
 pub fn scheme2_label(
     graph: &Graph,
     partition: &Partition,
     x: NodeId,
     config: &PageRankConfig,
     exact: bool,
-) -> NodeSide {
+) -> Result<NodeSide, EstimateError> {
     let inlinks = graph.in_neighbors(x);
     if inlinks.is_empty() {
-        return NodeSide::Good;
+        return Ok(NodeSide::Good);
     }
-    let pagerank = if exact {
-        Vec::new()
-    } else {
-        let v = JumpVector::Uniform.materialize(graph.node_count()).expect("uniform jump");
-        jacobi::solve_jacobi_dense(graph, &v, config).scores
-    };
+    let pagerank = if exact { Vec::new() } else { solve_uniform(graph, config)? };
     let mut spam_contrib = 0.0f64;
     let mut good_contrib = 0.0f64;
     for &y in inlinks {
         let c = if exact {
-            link_contribution_exact(graph, y, x, config)
+            link_contribution_exact(graph, y, x, config)?
         } else {
             link_contribution_fast(graph, &pagerank, config.damping, y, x)
         };
@@ -109,11 +122,7 @@ pub fn scheme2_label(
             good_contrib += c;
         }
     }
-    if spam_contrib > good_contrib {
-        NodeSide::Spam
-    } else {
-        NodeSide::Good
-    }
+    Ok(if spam_contrib > good_contrib { NodeSide::Spam } else { NodeSide::Good })
 }
 
 #[cfg(test)]
@@ -137,15 +146,15 @@ mod tests {
     #[test]
     fn scheme2_succeeds_on_figure1() {
         let f = figure1(5);
-        let label = scheme2_label(&f.graph, &f.partition_x_good(), f.x, &cfg(), true);
+        let label = scheme2_label(&f.graph, &f.partition_x_good(), f.x, &cfg(), true).unwrap();
         assert_eq!(label, NodeSide::Spam, "scheme 2 catches the Figure 1 target");
     }
 
     #[test]
     fn scheme2_fast_matches_exact_on_figure1() {
         let f = figure1(5);
-        let exact = scheme2_label(&f.graph, &f.partition_x_good(), f.x, &cfg(), true);
-        let fast = scheme2_label(&f.graph, &f.partition_x_good(), f.x, &cfg(), false);
+        let exact = scheme2_label(&f.graph, &f.partition_x_good(), f.x, &cfg(), true).unwrap();
+        let fast = scheme2_label(&f.graph, &f.partition_x_good(), f.x, &cfg(), false).unwrap();
         assert_eq!(exact, fast);
     }
 
@@ -156,7 +165,7 @@ mod tests {
         let f = figure2();
         let mut partition = f.partition();
         partition.set(f.x, NodeSide::Good); // judging x, assume good
-        let label = scheme2_label(&f.graph, &partition, f.x, &cfg(), true);
+        let label = scheme2_label(&f.graph, &partition, f.x, &cfg(), true).unwrap();
         assert_eq!(label, NodeSide::Good, "scheme 2 mislabels the Figure 2 target");
     }
 
@@ -168,9 +177,9 @@ mod tests {
         let c = 0.85f64;
         let n = f.graph.node_count() as f64;
         let config = cfg();
-        let g_contrib = link_contribution_exact(&f.graph, f.good[0], f.x, &config);
+        let g_contrib = link_contribution_exact(&f.graph, f.good[0], f.x, &config).unwrap();
         assert!((g_contrib - c * (1.0 - c) / n).abs() < 1e-12);
-        let s_contrib = link_contribution_exact(&f.graph, f.s0, f.x, &config);
+        let s_contrib = link_contribution_exact(&f.graph, f.s0, f.x, &config).unwrap();
         let expected = (c + k as f64 * c * c) * (1.0 - c) / n;
         assert!((s_contrib - expected).abs() < 1e-12);
     }
@@ -183,10 +192,10 @@ mod tests {
         let c = 0.85f64;
         let n = 12.0;
         let config = cfg();
-        let g_total = link_contribution_exact(&f.graph, f.g[0], f.x, &config)
-            + link_contribution_exact(&f.graph, f.g[2], f.x, &config);
+        let g_total = link_contribution_exact(&f.graph, f.g[0], f.x, &config).unwrap()
+            + link_contribution_exact(&f.graph, f.g[2], f.x, &config).unwrap();
         assert!((g_total - (2.0 * c + 4.0 * c * c) * (1.0 - c) / n).abs() < 1e-12);
-        let s_contrib = link_contribution_exact(&f.graph, f.s[0], f.x, &config);
+        let s_contrib = link_contribution_exact(&f.graph, f.s[0], f.x, &config).unwrap();
         assert!((s_contrib - (c + 4.0 * c * c) * (1.0 - c) / n).abs() < 1e-12);
     }
 
@@ -195,7 +204,7 @@ mod tests {
         let f = figure2();
         let p = f.partition();
         assert_eq!(scheme1_label(&f.graph, &p, f.g[1]), NodeSide::Good);
-        assert_eq!(scheme2_label(&f.graph, &p, f.g[1], &cfg(), false), NodeSide::Good);
+        assert_eq!(scheme2_label(&f.graph, &p, f.g[1], &cfg(), false).unwrap(), NodeSide::Good);
     }
 
     #[test]

@@ -41,11 +41,7 @@ impl Partition {
 
     /// Builds a partition from a per-node side function.
     pub fn from_fn<F: FnMut(NodeId) -> NodeSide>(n: usize, mut side: F) -> Self {
-        Partition {
-            spam: (0..n)
-                .map(|i| side(NodeId::from_index(i)) == NodeSide::Spam)
-                .collect(),
-        }
+        Partition { spam: (0..n).map(|i| side(NodeId::from_index(i)) == NodeSide::Spam).collect() }
     }
 
     /// Number of nodes covered.
@@ -140,7 +136,8 @@ mod tests {
 
     #[test]
     fn from_fn_and_set() {
-        let mut p = Partition::from_fn(4, |x| if x.0 % 2 == 0 { NodeSide::Spam } else { NodeSide::Good });
+        let mut p =
+            Partition::from_fn(4, |x| if x.0 % 2 == 0 { NodeSide::Spam } else { NodeSide::Good });
         assert_eq!(p.spam_count(), 2);
         p.set(NodeId(0), NodeSide::Good);
         assert_eq!(p.spam_count(), 1);

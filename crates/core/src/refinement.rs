@@ -143,8 +143,7 @@ mod tests {
     fn small_groups_are_ignored() {
         let (g, labels) = community();
         let flagged = vec![NodeId(2), NodeId(6)];
-        let proposals =
-            propose_core_additions(&g, &labels, &flagged, &RefinementConfig::default());
+        let proposals = propose_core_additions(&g, &labels, &flagged, &RefinementConfig::default());
         assert!(proposals.is_empty());
     }
 

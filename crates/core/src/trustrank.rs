@@ -21,8 +21,9 @@
 //! also expose the natural detection heuristic "high PageRank but low
 //! trust".
 
+use crate::estimate::EstimateError;
 use spammass_graph::{Graph, NodeId};
-use spammass_pagerank::{jacobi, JumpVector, PageRankConfig};
+use spammass_pagerank::{JumpVector, PageRankConfig, SolverChain};
 
 /// TrustRank configuration.
 #[derive(Debug, Clone, Copy)]
@@ -79,24 +80,30 @@ impl TrustRank {
 /// Ranks nodes by inverse PageRank: PageRank computed on the reversed
 /// graph with a uniform jump. High scorers reach (in the forward graph)
 /// many nodes quickly — good seed candidates.
-pub fn inverse_pagerank(graph: &Graph, config: &PageRankConfig) -> Vec<f64> {
+///
+/// # Errors
+/// [`EstimateError::Solver`] when every solver attempt fails.
+pub fn inverse_pagerank(graph: &Graph, config: &PageRankConfig) -> Result<Vec<f64>, EstimateError> {
     let reversed = graph.reversed();
-    let v = JumpVector::Uniform
-        .materialize(reversed.node_count())
-        .expect("uniform jump");
-    jacobi::solve_jacobi_dense(&reversed, &v, config).scores
+    let solve = SolverChain::recommended(*config)
+        .solve(&reversed, &JumpVector::Uniform)
+        .map_err(|source| EstimateError::Solver { stage: "inverse-pagerank", source })?;
+    Ok(solve.result.scores)
 }
 
 /// Selects up to `budget` good seeds: the top inverse-PageRank nodes that
 /// the oracle confirms as good.
+///
+/// # Errors
+/// Propagates [`inverse_pagerank`] failures.
 pub fn select_seeds<F: FnMut(NodeId) -> bool>(
     graph: &Graph,
     config: &TrustRankConfig,
     mut oracle_is_good: F,
-) -> Vec<NodeId> {
-    let inv = inverse_pagerank(graph, &config.pagerank);
-    let ranked = spammass_pagerank::PageRankScores::new(&inv, config.pagerank.damping)
-        .top_k(inv.len());
+) -> Result<Vec<NodeId>, EstimateError> {
+    let inv = inverse_pagerank(graph, &config.pagerank)?;
+    let ranked =
+        spammass_pagerank::PageRankScores::new(&inv, config.pagerank.damping).top_k(inv.len());
     let mut seeds = Vec::new();
     for (x, _) in ranked {
         if seeds.len() >= config.seed_budget {
@@ -107,35 +114,43 @@ pub fn select_seeds<F: FnMut(NodeId) -> bool>(
         }
     }
     seeds.sort_unstable();
-    seeds
+    Ok(seeds)
 }
 
 /// Runs the full TrustRank pipeline.
 ///
-/// # Panics
-/// Panics if no seed passes the oracle (trust would be identically zero).
+/// # Errors
+/// [`EstimateError::EmptyCore`] when no seed passes the oracle (trust
+/// would be identically zero); solver failures as in
+/// [`trustrank_with_seeds`].
 pub fn trustrank<F: FnMut(NodeId) -> bool>(
     graph: &Graph,
     config: &TrustRankConfig,
     oracle_is_good: F,
-) -> TrustRank {
-    let seeds = select_seeds(graph, config, oracle_is_good);
+) -> Result<TrustRank, EstimateError> {
+    let seeds = select_seeds(graph, config, oracle_is_good)?;
     trustrank_with_seeds(graph, &config.pagerank, seeds)
 }
 
 /// Trust propagation from an explicit seed set: `t = PR(v_seed)` with the
 /// jump normalized over the seeds (`‖v‖ = 1`, TrustRank's convention).
+///
+/// # Errors
+/// [`EstimateError::EmptyCore`] on an empty seed set;
+/// [`EstimateError::Solver`] when every solver attempt fails.
 pub fn trustrank_with_seeds(
     graph: &Graph,
     config: &PageRankConfig,
     seeds: Vec<NodeId>,
-) -> TrustRank {
-    assert!(!seeds.is_empty(), "TrustRank needs at least one good seed");
-    let n = graph.node_count();
+) -> Result<TrustRank, EstimateError> {
+    if seeds.is_empty() {
+        return Err(EstimateError::EmptyCore);
+    }
     let jump = JumpVector::scaled_core(seeds.clone(), 1.0);
-    let v = jump.materialize(n).expect("seed jump");
-    let scores = jacobi::solve_jacobi_dense(graph, &v, config).scores;
-    TrustRank { seeds, scores, damping: config.damping }
+    let solve = SolverChain::recommended(*config)
+        .solve(graph, &jump)
+        .map_err(|source| EstimateError::Solver { stage: "trust", source })?;
+    Ok(TrustRank { seeds, scores: solve.result.scores, damping: config.damping })
 }
 
 /// Detection heuristic on top of TrustRank: flag nodes whose scaled
@@ -145,6 +160,11 @@ pub fn trustrank_with_seeds(
 /// This is the natural way to press a demotion signal into detection
 /// service, and the comparative experiment shows where it falls short of
 /// mass estimation (it cannot distinguish "unknown" from "spam-supported").
+///
+/// # Panics
+/// Panics when `trust` and `pagerank` differ in length — an API-contract
+/// violation (both come from runs over the same graph), not a data
+/// condition.
 pub fn detect_low_trust(
     trust: &TrustRank,
     pagerank: &[f64],
@@ -186,7 +206,7 @@ mod tests {
         // everything. Wait: reversed edges are 1->0, 2->1, so node 0
         // *receives* most in the reversed graph.
         let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
-        let inv = inverse_pagerank(&g, &cfg().pagerank);
+        let inv = inverse_pagerank(&g, &cfg().pagerank).unwrap();
         assert!(inv[0] > inv[1]);
         assert!(inv[1] > inv[2]);
     }
@@ -195,7 +215,7 @@ mod tests {
     fn seed_selection_respects_oracle_and_budget() {
         let f = figure2();
         let partition = f.partition();
-        let seeds = select_seeds(&f.graph, &cfg(), |x| partition.is_good(x));
+        let seeds = select_seeds(&f.graph, &cfg(), |x| partition.is_good(x)).unwrap();
         assert!(!seeds.is_empty());
         assert!(seeds.len() <= 3);
         for s in &seeds {
@@ -206,7 +226,7 @@ mod tests {
     #[test]
     fn trust_zero_for_nodes_unreachable_from_seeds() {
         let f = figure2();
-        let tr = trustrank_with_seeds(&f.graph, &cfg().pagerank, vec![f.g[1]]);
+        let tr = trustrank_with_seeds(&f.graph, &cfg().pagerank, vec![f.g[1]]).unwrap();
         // g1 -> g0 -> x is the only trust path; s-nodes get nothing.
         assert!(tr.trust(f.s[0]) == 0.0);
         assert!(tr.trust(f.g[0]) > 0.0);
@@ -218,7 +238,7 @@ mod tests {
     fn ranking_demotes_spam_on_figure2() {
         let f = figure2();
         let partition = f.partition();
-        let tr = trustrank(&f.graph, &cfg(), |x| partition.is_good(x));
+        let tr = trustrank(&f.graph, &cfg(), |x| partition.is_good(x)).unwrap();
         let ranking = tr.ranking();
         // Under regular PageRank s0 outranks g0; under TrustRank it must not.
         let pos = |node: NodeId| ranking.iter().position(|&r| r == node).unwrap();
@@ -230,17 +250,16 @@ mod tests {
         let f = figure2();
         let partition = f.partition();
         let pr_cfg = cfg().pagerank;
-        let v = JumpVector::Uniform.materialize(12).unwrap();
-        let p = jacobi::solve_jacobi_dense(&f.graph, &v, &pr_cfg).scores;
-        let tr = trustrank(&f.graph, &cfg(), |x| partition.is_good(x));
+        let p = spammass_pagerank::solve(&f.graph, &JumpVector::Uniform, &pr_cfg).unwrap().scores;
+        let tr = trustrank(&f.graph, &cfg(), |x| partition.is_good(x)).unwrap();
         let flagged = detect_low_trust(&tr, &p, 1.5, 0.5);
         assert!(flagged.contains(&f.s[0]), "s0 has high PR and no trust");
     }
 
     #[test]
-    #[should_panic(expected = "at least one good seed")]
     fn rejects_empty_seed_set() {
         let g = GraphBuilder::from_edges(2, &[(0, 1)]);
-        let _ = trustrank_with_seeds(&g, &PageRankConfig::default(), vec![]);
+        let err = trustrank_with_seeds(&g, &PageRankConfig::default(), vec![]).unwrap_err();
+        assert!(matches!(err, EstimateError::EmptyCore), "{err:?}");
     }
 }

@@ -107,10 +107,14 @@ fn parse(args: &[String]) -> Result<(ExperimentOptions, Vec<String>), String> {
             it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--hosts" => opts.hosts = take("--hosts")?.parse().map_err(|e| format!("--hosts: {e}"))?,
+            "--hosts" => {
+                opts.hosts = take("--hosts")?.parse().map_err(|e| format!("--hosts: {e}"))?
+            }
             "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--rho" => opts.rho = take("--rho")?.parse().map_err(|e| format!("--rho: {e}"))?,
-            "--gamma" => opts.gamma = take("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?,
+            "--gamma" => {
+                opts.gamma = take("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
+            }
             "--csv" => opts.csv_dir = Some(PathBuf::from(take("--csv")?)),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             name => names.push(name.to_string()),
@@ -124,8 +128,23 @@ fn parse(args: &[String]) -> Result<(ExperimentOptions, Vec<String>), String> {
 
 const CONTEXT_FREE: &[&str] = &["fig1", "table1", "naive"];
 const ALL: &[&str] = &[
-    "fig1", "table1", "naive", "graph-stats", "table2", "fig3", "fig4", "fig5", "fig6",
-    "anomaly", "absolute-mass", "trustrank", "scaling", "gamma", "combined", "baselines", "convergence",
+    "fig1",
+    "table1",
+    "naive",
+    "graph-stats",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "anomaly",
+    "absolute-mass",
+    "trustrank",
+    "scaling",
+    "gamma",
+    "combined",
+    "baselines",
+    "convergence",
 ];
 
 fn run_all(opts: ExperimentOptions, names: &[String]) {

@@ -81,7 +81,10 @@ impl Context {
         let estimator = MassEstimator::new(
             EstimatorConfig::scaled(opts.gamma).with_pagerank(Self::pagerank_config()),
         );
-        let estimate = estimator.estimate(&scenario.graph, &core.as_vec());
+        let estimate = estimator
+            .estimate(&scenario.graph, &core.as_vec())
+            .expect("experiment-scale synthetic webs converge under the fallback chain")
+            .into_mass();
         let pool = candidate_pool(&estimate, opts.rho);
         let sample = Self::judge(&scenario, &estimate, &pool, &opts.sample);
         Context { opts, scenario, core, estimate, pool, sample }
@@ -96,11 +99,7 @@ impl Context {
     /// "anomalous" gray class of Figure 3.
     pub fn is_anomalous(scenario: &Scenario, x: NodeId) -> bool {
         scenario.truth.is_good(x)
-            && scenario
-                .good_web
-                .communities
-                .iter()
-                .any(|c| c.spec.isolated && c.contains(x))
+            && scenario.good_web.communities.iter().any(|c| c.spec.isolated && c.contains(x))
     }
 
     /// Judges a pool against ground truth with the given noise settings.

@@ -173,19 +173,12 @@ mod tests {
             .filter(|&x| !Context::is_anomalous(&ctx.scenario, x))
             .collect();
         pool_by_rel.sort_by(|&a, &b| {
-            ctx.estimate
-                .relative_of(b)
-                .partial_cmp(&ctx.estimate.relative_of(a))
-                .unwrap()
+            ctx.estimate.relative_of(b).partial_cmp(&ctx.estimate.relative_of(a)).unwrap()
         });
         // k must not exceed the number of spam targets the pool holds —
         // precision@k is capped at targets/k regardless of ranking.
-        let targets_in_pool = ctx
-            .scenario
-            .farms
-            .iter()
-            .filter(|f| ctx.pool.contains(&f.target))
-            .count();
+        let targets_in_pool =
+            ctx.scenario.farms.iter().filter(|f| ctx.pool.contains(&f.target)).count();
         let k = 15.min(targets_in_pool);
         assert!(k >= 5, "too few pool targets to rank: {targets_in_pool}");
         let top: Vec<_> = pool_by_rel.into_iter().take(k).collect();
@@ -199,9 +192,7 @@ mod tests {
             .scenario
             .graph
             .nodes()
-            .filter(|&x| {
-                ctx.scenario.truth.is_good(x) && ctx.estimate.absolute[x.index()] > 0.0
-            })
+            .filter(|&x| ctx.scenario.truth.is_good(x) && ctx.estimate.absolute[x.index()] > 0.0)
             .count();
         assert!(positive_good > 100, "positive-mass good hosts: {positive_good}");
     }

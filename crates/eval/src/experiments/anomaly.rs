@@ -77,11 +77,14 @@ pub fn compute(ctx: &Context) -> Option<AnomalyOutcome> {
     let estimator = MassEstimator::new(
         EstimatorConfig::scaled(ctx.opts.gamma).with_pagerank(Context::pagerank_config()),
     );
-    let after = estimator.estimate_with_pagerank(
-        &ctx.scenario.graph,
-        &expanded.as_vec(),
-        ctx.estimate.pagerank.clone(),
-    );
+    let after = estimator
+        .estimate_with_pagerank(
+            &ctx.scenario.graph,
+            &expanded.as_vec(),
+            ctx.estimate.pagerank.clone(),
+        )
+        .ok()?
+        .into_mass();
 
     // Community members in the candidate pool, by descending before-mass.
     let mut member_changes: Vec<(NodeId, f64, f64)> = community
@@ -153,11 +156,8 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         "0.0298".into(),
         f(outcome.mean_outside_change, 4),
     ]);
-    let biggest_drop = outcome
-        .member_changes
-        .iter()
-        .map(|&(_, b, a)| b - a)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let biggest_drop =
+        outcome.member_changes.iter().map(|&(_, b, a)| b - a).fold(f64::NEG_INFINITY, f64::max);
     s.push_row(vec![
         "largest member m~ drop".into(),
         "0.9989 -> 0.5298".into(),

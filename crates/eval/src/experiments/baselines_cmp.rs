@@ -54,11 +54,11 @@ pub fn compute(ctx: &Context) -> Vec<DetectorResult> {
 
     let degree = degree_outliers_both(&ctx.scenario.graph, &DegreeOutlierConfig::default());
 
-    let recip =
-        high_reciprocity_nodes(&ctx.scenario.graph, &ReciprocityConfig::default());
+    let recip = high_reciprocity_nodes(&ctx.scenario.graph, &ReciprocityConfig::default());
 
     let seeds = ctx.core.sample_fraction(0.01, ctx.opts.seed ^ 0x7E).as_vec();
-    let trust = trustrank_with_seeds(&ctx.scenario.graph, &Context::pagerank_config(), seeds);
+    let trust = trustrank_with_seeds(&ctx.scenario.graph, &Context::pagerank_config(), seeds)
+        .expect("trust propagation converges on experiment webs");
     let low_trust = detect_low_trust(&trust, &ctx.estimate.pagerank, ctx.opts.rho, 0.1);
 
     vec![
@@ -148,11 +148,7 @@ mod tests {
             "farms are mutual structures, some must be caught: {}",
             recip.spam_recall
         );
-        let good_flagged = recip
-            .flagged
-            .iter()
-            .filter(|&&x| ctx.scenario.truth.is_good(x))
-            .count();
+        let good_flagged = recip.flagged.iter().filter(|&&x| ctx.scenario.truth.is_good(x)).count();
         assert!(good_flagged > 0, "paper predicts good colluders get flagged too");
     }
 

@@ -30,12 +30,18 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         &["solver", "iterations", "converged", "geometric rate"],
     );
     for (name, r) in &results {
-        t.push_row(vec![
-            name.to_string(),
-            r.iterations.to_string(),
-            r.converged.to_string(),
-            r.convergence_rate().map(|x| f(x, 4)).unwrap_or_else(|| "n/a".into()),
-        ]);
+        match r {
+            Ok(r) => t.push_row(vec![
+                name.to_string(),
+                r.iterations.to_string(),
+                r.converged.to_string(),
+                r.convergence_rate().map(|x| f(x, 4)).unwrap_or_else(|| "n/a".into()),
+            ]),
+            // A solver failing to converge is itself a data point here.
+            Err(e) => {
+                t.push_row(vec![name.to_string(), "-".into(), format!("false ({e})"), "n/a".into()])
+            }
+        }
     }
     vec![t]
 }

@@ -17,13 +17,21 @@ pub fn run() -> Vec<Table> {
     let config = PageRankConfig::default().tolerance(1e-14).max_iterations(10_000);
     let mut t = Table::new(
         "Figure 1: p_x closed form vs solver (c = 0.85, scaled by n/(1-c))",
-        &["k", "p_x closed", "p_x solver", "spam part closed", "spam part solver", "spam dominates links?"],
+        &[
+            "k",
+            "p_x closed",
+            "p_x solver",
+            "spam part closed",
+            "spam part solver",
+            "spam dominates links?",
+        ],
     );
     for k in [0usize, 1, 2, 3, 5, 10, 20, 50] {
         let fig = figure1(k);
         let n = fig.graph.node_count() as f64;
         let scale = n / (1.0 - c);
-        let exact = ExactMass::compute(&fig.graph, &fig.partition_x_good(), &config);
+        let exact = ExactMass::compute(&fig.graph, &fig.partition_x_good(), &config)
+            .expect("figure 1 graphs converge");
         let p_solver = exact.pagerank[fig.x.index()] * scale;
         let m_solver = exact.absolute[fig.x.index()] * scale;
         let p_closed = fig.expected_px(c) * scale;
@@ -63,14 +71,8 @@ mod tests {
     #[test]
     fn spam_dominates_from_k_equals_2() {
         let tables = run();
-        let by_k = |k: &str| {
-            tables[0]
-                .rows
-                .iter()
-                .find(|r| r[0] == k)
-                .map(|r| r[5].clone())
-                .unwrap()
-        };
+        let by_k =
+            |k: &str| tables[0].rows.iter().find(|r| r[0] == k).map(|r| r[5].clone()).unwrap();
         assert_eq!(by_k("1"), "no");
         assert_eq!(by_k("2"), "yes", "⌈1/c⌉ = 2 for c = 0.85");
         assert_eq!(by_k("50"), "yes");

@@ -68,11 +68,7 @@ mod tests {
         let points = curve(&ctx);
         let at_zero = points.last().expect("tau = 0 present");
         assert!(at_zero.tau.abs() < 1e-9);
-        assert!(
-            at_zero.with_anomalies > 0.3,
-            "precision at 0 is {}",
-            at_zero.with_anomalies
-        );
+        assert!(at_zero.with_anomalies > 0.3, "precision at 0 is {}", at_zero.with_anomalies);
     }
 
     #[test]

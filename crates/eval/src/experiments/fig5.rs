@@ -28,10 +28,8 @@ pub struct CoreArm {
 /// Runs all five arms and renders the comparison.
 pub fn run(ctx: &Context) -> Vec<Table> {
     let arms = arms(ctx);
-    let taus: Vec<f64> = arms
-        .first()
-        .map(|a| a.points.iter().map(|p| p.tau).collect())
-        .unwrap_or_default();
+    let taus: Vec<f64> =
+        arms.first().map(|a| a.points.iter().map(|p| p.tau).collect()).unwrap_or_default();
 
     let mut headers: Vec<String> = vec!["tau".into()];
     headers.extend(arms.iter().map(|a| format!("{} (|core|={})", a.name, a.core_size)));
@@ -85,14 +83,16 @@ pub fn arms(ctx: &Context) -> Vec<CoreArm> {
         .into_iter()
         .filter(|(_, core)| !core.is_empty())
         .map(|(name, core)| {
-            let est = estimator.estimate_with_pagerank(
-                &ctx.scenario.graph,
-                &core.as_vec(),
-                ctx.estimate.pagerank.clone(),
-            );
+            let est = estimator
+                .estimate_with_pagerank(
+                    &ctx.scenario.graph,
+                    &core.as_vec(),
+                    ctx.estimate.pagerank.clone(),
+                )
+                .expect("core solve converges on experiment webs")
+                .into_mass();
             let sample = Context::judge(&ctx.scenario, &est, &ctx.pool, &ctx.opts.sample);
-            let pool_masses: Vec<f64> =
-                ctx.pool.iter().map(|&x| est.relative_of(x)).collect();
+            let pool_masses: Vec<f64> = ctx.pool.iter().map(|&x| est.relative_of(x)).collect();
             CoreArm {
                 name,
                 core_size: core.len(),
@@ -126,10 +126,7 @@ mod tests {
         let arms = built_arms();
         let full = mean_precision(&arms[0].points, true);
         let tiny = mean_precision(&arms[3].points, true);
-        assert!(
-            full >= tiny - 0.02,
-            "full core {full} should not lose to 0.1% core {tiny}"
-        );
+        assert!(full >= tiny - 0.02, "full core {full} should not lose to 0.1% core {tiny}");
     }
 
     #[test]
@@ -141,10 +138,7 @@ mod tests {
         let full = arms.iter().find(|a| a.name.contains("100%")).unwrap();
         let m_it = mean_precision(&it.points, true);
         let m_full = mean_precision(&full.points, true);
-        assert!(
-            m_full > m_it,
-            "full core ({m_full}) must beat the biased .it core ({m_it})"
-        );
+        assert!(m_full > m_it, "full core ({m_full}) must beat the biased .it core ({m_it})");
     }
 
     #[test]

@@ -104,11 +104,8 @@ mod tests {
     #[test]
     fn negative_masses_exist_and_include_core_hosts() {
         let ctx = ctx();
-        let core_negative = ctx
-            .core
-            .iter()
-            .filter(|&x| ctx.estimate.absolute[x.index()] < 0.0)
-            .count();
+        let core_negative =
+            ctx.core.iter().filter(|&x| ctx.estimate.absolute[x.index()] < 0.0).count();
         assert!(
             core_negative * 2 > ctx.core.len(),
             "most core hosts should carry negative mass: {core_negative}/{}",

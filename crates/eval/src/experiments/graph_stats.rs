@@ -26,10 +26,7 @@ impl PaperStats {
 pub fn run(ctx: &Context) -> Vec<Table> {
     let s = GraphStats::compute(&ctx.scenario.graph);
     let in_alpha = fit_exponent_mle_discrete(
-        ctx.scenario
-            .graph
-            .nodes()
-            .map(|x| ctx.scenario.graph.in_degree(x) as f64),
+        ctx.scenario.graph.nodes().map(|x| ctx.scenario.graph.in_degree(x) as f64),
         2.0,
     );
     let mut t = Table::new(
@@ -61,11 +58,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
         pct(PaperStats::NO_OUTLINKS),
         pct(s.no_outlinks_fraction()),
     ]);
-    t.push_row(vec![
-        "isolated".into(),
-        pct(PaperStats::ISOLATED),
-        pct(s.isolated_fraction()),
-    ]);
+    t.push_row(vec!["isolated".into(), pct(PaperStats::ISOLATED), pct(s.isolated_fraction())]);
     t.push_row(vec![
         "in-degree power-law alpha".into(),
         "~2.1 (typical web)".into(),

@@ -32,10 +32,12 @@ pub fn run() -> Vec<Table> {
     let f1 = figure1(5);
     let p1 = f1.partition_x_good();
     let s1 = scheme1_label(&f1.graph, &p1, f1.x);
-    let s2 = scheme2_label(&f1.graph, &p1, f1.x, &cfg, true);
+    let s2 = scheme2_label(&f1.graph, &p1, f1.x, &cfg, true).expect("figure 1 graph converges");
     // Spam-mass labelling with the good core {g0, g1}.
     let est1 = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(cfg))
-        .estimate(&f1.graph, &[f1.good[0], f1.good[1]]);
+        .estimate(&f1.graph, &[f1.good[0], f1.good[1]])
+        .expect("figure 1 graph converges")
+        .into_mass();
     let det1 = detect(&est1, &DetectorConfig { rho: 1.5, tau: 0.5 });
     let m1 = if det1.is_candidate(f1.x) { NodeSide::Spam } else { NodeSide::Good };
     t.push_row(vec![
@@ -50,9 +52,11 @@ pub fn run() -> Vec<Table> {
     let mut p2 = f2.partition();
     p2.set(f2.x, NodeSide::Good); // judging x: assume good for the naive votes
     let s1 = scheme1_label(&f2.graph, &p2, f2.x);
-    let s2 = scheme2_label(&f2.graph, &p2, f2.x, &cfg, true);
+    let s2 = scheme2_label(&f2.graph, &p2, f2.x, &cfg, true).expect("figure 2 graph converges");
     let est2 = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(cfg))
-        .estimate(&f2.graph, &f2.good_core());
+        .estimate(&f2.graph, &f2.good_core())
+        .expect("figure 2 graph converges")
+        .into_mass();
     let det2 = detect(&est2, &DetectorConfig { rho: 1.5, tau: 0.5 });
     let m2 = if det2.is_candidate(f2.x) { NodeSide::Spam } else { NodeSide::Good };
     t.push_row(vec![

@@ -13,9 +13,12 @@ use spammass_pagerank::PageRankConfig;
 pub fn run() -> Vec<Table> {
     let fig = figure2();
     let config = PageRankConfig::default().tolerance(1e-14).max_iterations(10_000);
-    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &config);
+    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &config)
+        .expect("figure 2 graph converges");
     let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(config))
-        .estimate(&fig.graph, &fig.good_core());
+        .estimate(&fig.graph, &fig.good_core())
+        .expect("figure 2 graph converges")
+        .into_mass();
 
     let mut t = Table::new(
         "Table 1: Figure 2 node features (scaled by n/(1-c); core = {g0,g1,g3})",

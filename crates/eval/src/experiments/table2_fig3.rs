@@ -85,19 +85,15 @@ mod tests {
         let n = groups.len();
         assert!(n >= 10);
         let spam_vs_plain_good = |gs: &[Group]| {
-            let (good, _anom, spam) =
-                gs.iter().fold((0usize, 0usize, 0usize), |acc, g| {
-                    let (go, an, sp) = g.composition();
-                    (acc.0 + go, acc.1 + an, acc.2 + sp)
-                });
+            let (good, _anom, spam) = gs.iter().fold((0usize, 0usize, 0usize), |acc, g| {
+                let (go, an, sp) = g.composition();
+                (acc.0 + go, acc.1 + an, acc.2 + sp)
+            });
             spam as f64 / (spam + good).max(1) as f64
         };
         let top = spam_vs_plain_good(&groups[n - 4..]);
         let bottom = spam_vs_plain_good(&groups[..4]);
-        assert!(
-            top > 0.8,
-            "top groups should be nearly all spam among non-anomalous hosts: {top}"
-        );
+        assert!(top > 0.8, "top groups should be nearly all spam among non-anomalous hosts: {top}");
         assert!(bottom < 0.1, "bottom groups should be nearly all good: {bottom}");
     }
 

@@ -30,11 +30,9 @@ fn spam_in_top_k(ctx: &Context, ranking: &[NodeId], k: usize) -> f64 {
 /// Runs the comparison; TrustRank is seeded with a small high-quality
 /// sample of the good core (its philosophy: few, hand-picked seeds).
 pub fn compute(ctx: &Context) -> (TrustRank, DetectionQuality, DetectionQuality) {
-    let seeds: Vec<NodeId> = ctx
-        .core
-        .sample_fraction(0.01, ctx.opts.seed ^ 0x7E)
-        .as_vec();
-    let tr = trustrank_with_seeds(&ctx.scenario.graph, &Context::pagerank_config(), seeds);
+    let seeds: Vec<NodeId> = ctx.core.sample_fraction(0.01, ctx.opts.seed ^ 0x7E).as_vec();
+    let tr = trustrank_with_seeds(&ctx.scenario.graph, &Context::pagerank_config(), seeds)
+        .expect("trust propagation converges on experiment webs");
 
     let mass_detection = detect(&ctx.estimate, &DetectorConfig { rho: ctx.opts.rho, tau: 0.98 });
     let mass_q = assess(ctx, &mass_detection.candidates);
@@ -55,8 +53,7 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     );
     const MAX_K: usize = 500;
     let pr_view = PageRankScores::new(&ctx.estimate.pagerank, ctx.estimate.damping());
-    let pr_ranking: Vec<NodeId> =
-        pr_view.top_k(MAX_K).into_iter().map(|(x, _)| x).collect();
+    let pr_ranking: Vec<NodeId> = pr_view.top_k(MAX_K).into_iter().map(|(x, _)| x).collect();
     let tr_ranking = tr.top(MAX_K);
     for k in [10usize, 50, 100, 500] {
         demote.push_row(vec![
@@ -87,8 +84,10 @@ pub fn run(ctx: &Context) -> Vec<Table> {
     note.push_row(vec!["mass-estimation good core".into(), ctx.core.len().to_string()]);
     note.push_row(vec![
         "paper guidance".into(),
-        format!("core should be orders of magnitude larger ({}x here)",
-            f(ctx.core.len() as f64 / tr.seeds.len().max(1) as f64, 0)),
+        format!(
+            "core should be orders of magnitude larger ({}x here)",
+            f(ctx.core.len() as f64 / tr.seeds.len().max(1) as f64, 0)
+        ),
     ]);
     vec![demote, det, note]
 }

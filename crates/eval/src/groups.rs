@@ -84,11 +84,7 @@ pub fn split_into_groups(sample: &JudgedSample, k: usize) -> Vec<Group> {
 /// group boundaries"). Only non-negative boundaries are kept (negative τ
 /// would label core members spam).
 pub fn thresholds_from_groups(groups: &[Group]) -> Vec<f64> {
-    let mut taus: Vec<f64> = groups
-        .iter()
-        .map(|g| g.smallest)
-        .filter(|&t| t >= 0.0)
-        .collect();
+    let mut taus: Vec<f64> = groups.iter().map(|g| g.smallest).filter(|&t| t >= 0.0).collect();
     taus.push(0.0);
     taus.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
     taus.dedup_by(|a, b| (*a - *b).abs() < 1e-12);

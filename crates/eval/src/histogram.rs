@@ -52,7 +52,11 @@ impl SignedMassHistogram {
 
     /// Power-law fit of the positive branch above `x_min` (the Figure 6
     /// exponent; paper: α ≈ 2.31).
-    pub fn positive_power_law(&self, samples: impl Iterator<Item = f64>, x_min: f64) -> Option<PowerLawFit> {
+    pub fn positive_power_law(
+        &self,
+        samples: impl Iterator<Item = f64>,
+        x_min: f64,
+    ) -> Option<PowerLawFit> {
         fit_exponent_mle(samples.filter(|&v| v > 0.0), x_min)
     }
 
@@ -65,11 +69,7 @@ impl SignedMassHistogram {
     /// `(−bin center, fraction of hosts)` for the negative branch — the
     /// left panel of Figure 6.
     pub fn negative_series(&self) -> Vec<(f64, f64)> {
-        self.negative
-            .fraction_series()
-            .into_iter()
-            .map(|(c, f)| (-c, f))
-            .collect()
+        self.negative.fraction_series().into_iter().map(|(c, f)| (-c, f)).collect()
     }
 }
 

@@ -27,37 +27,20 @@ pub struct DetectionQuality {
 /// Scores `flagged` against the scenario's ground truth.
 pub fn assess(ctx: &Context, flagged: &[NodeId]) -> DetectionQuality {
     let flagged_set: BTreeSet<NodeId> = flagged.iter().copied().collect();
-    let spam_flagged = flagged_set
-        .iter()
-        .filter(|&&x| ctx.scenario.truth.is_spam(x))
-        .count();
-    let precision = if flagged_set.is_empty() {
-        1.0
-    } else {
-        spam_flagged as f64 / flagged_set.len() as f64
-    };
+    let spam_flagged = flagged_set.iter().filter(|&&x| ctx.scenario.truth.is_spam(x)).count();
+    let precision =
+        if flagged_set.is_empty() { 1.0 } else { spam_flagged as f64 / flagged_set.len() as f64 };
 
     let pool: BTreeSet<NodeId> = ctx.pool.iter().copied().collect();
-    let targets_in_pool: Vec<NodeId> = ctx
-        .scenario
-        .farms
-        .iter()
-        .map(|f| f.target)
-        .filter(|t| pool.contains(t))
-        .collect();
+    let targets_in_pool: Vec<NodeId> =
+        ctx.scenario.farms.iter().map(|f| f.target).filter(|t| pool.contains(t)).collect();
     let caught = targets_in_pool.iter().filter(|t| flagged_set.contains(t)).count();
-    let target_recall = if targets_in_pool.is_empty() {
-        1.0
-    } else {
-        caught as f64 / targets_in_pool.len() as f64
-    };
+    let target_recall =
+        if targets_in_pool.is_empty() { 1.0 } else { caught as f64 / targets_in_pool.len() as f64 };
 
     let all_spam = ctx.scenario.spam_nodes();
-    let spam_recall = if all_spam.is_empty() {
-        1.0
-    } else {
-        spam_flagged as f64 / all_spam.len() as f64
-    };
+    let spam_recall =
+        if all_spam.is_empty() { 1.0 } else { spam_flagged as f64 / all_spam.len() as f64 };
 
     DetectionQuality { flagged: flagged_set.len(), precision, target_recall, spam_recall }
 }
@@ -70,13 +53,8 @@ mod tests {
     #[test]
     fn assess_scores_perfect_and_empty_answers() {
         let ctx = Context::build(ExperimentOptions::test_scale());
-        let targets: Vec<NodeId> = ctx
-            .scenario
-            .farms
-            .iter()
-            .map(|f| f.target)
-            .filter(|t| ctx.pool.contains(t))
-            .collect();
+        let targets: Vec<NodeId> =
+            ctx.scenario.farms.iter().map(|f| f.target).filter(|t| ctx.pool.contains(t)).collect();
         let q = assess(&ctx, &targets);
         assert_eq!(q.flagged, targets.len());
         assert!((q.precision - 1.0).abs() < 1e-12);
@@ -92,13 +70,8 @@ mod tests {
     #[test]
     fn assess_counts_good_hosts_as_false_positives() {
         let ctx = Context::build(ExperimentOptions::test_scale());
-        let some_good: Vec<NodeId> = ctx
-            .pool
-            .iter()
-            .copied()
-            .filter(|&x| ctx.scenario.truth.is_good(x))
-            .take(4)
-            .collect();
+        let some_good: Vec<NodeId> =
+            ctx.pool.iter().copied().filter(|&x| ctx.scenario.truth.is_good(x)).take(4).collect();
         let q = assess(&ctx, &some_good);
         assert_eq!(q.flagged, 4);
         assert!((q.precision - 0.0).abs() < 1e-12);

@@ -104,14 +104,8 @@ impl JudgedSample {
         A: FnMut(NodeId) -> bool,
     {
         assert!((0.0..=1.0).contains(&config.fraction), "fraction out of range");
-        assert!(
-            (0.0..=1.0).contains(&config.unknown_rate),
-            "unknown_rate out of range"
-        );
-        assert!(
-            (0.0..=1.0).contains(&config.nonexistent_rate),
-            "nonexistent_rate out of range"
-        );
+        assert!((0.0..=1.0).contains(&config.unknown_rate), "unknown_rate out of range");
+        assert!((0.0..=1.0).contains(&config.nonexistent_rate), "nonexistent_rate out of range");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let picked: Vec<NodeId> = if config.fraction >= 1.0 {
             pool.to_vec()

@@ -28,10 +28,7 @@ impl GraphBuilder {
     /// Creates a builder for a graph with `node_count` nodes
     /// (`NodeId(0) .. NodeId(node_count-1)`).
     pub fn new(node_count: usize) -> Self {
-        assert!(
-            node_count <= u32::MAX as usize,
-            "graphs are limited to u32::MAX nodes"
-        );
+        assert!(node_count <= u32::MAX as usize, "graphs are limited to u32::MAX nodes");
         GraphBuilder { node_count, edges: Vec::new() }
     }
 
@@ -112,11 +109,7 @@ impl GraphBuilder {
     /// Convenience: builds a graph directly from `(from, to)` pairs given as
     /// raw `u32` ids, growing the node range to fit (at least `min_nodes`).
     pub fn from_edges(min_nodes: usize, edges: &[(u32, u32)]) -> Graph {
-        let max_node = edges
-            .iter()
-            .map(|&(f, t)| f.max(t) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let max_node = edges.iter().map(|&(f, t)| f.max(t) as usize + 1).max().unwrap_or(0);
         let mut b = GraphBuilder::with_capacity(min_nodes.max(max_node), edges.len());
         for &(f, t) in edges {
             b.add_edge(NodeId(f), NodeId(t));

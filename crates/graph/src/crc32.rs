@@ -1,0 +1,92 @@
+//! CRC-32 (IEEE 802.3 / zlib polynomial) used to checksum binary graph
+//! images. Implemented locally because the build environment is offline;
+//! table-driven, one 256-entry table computed at compile time.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &byte in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Finishes and returns the checksum.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"spam mass estimation";
+        let mut h = Crc32::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 64];
+        let clean = crc32(&data);
+        data[13] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

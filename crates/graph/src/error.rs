@@ -28,6 +28,27 @@ pub enum GraphError {
     },
     /// A malformed or truncated binary graph image.
     Corrupt(String),
+    /// A binary image failed an integrity check (CRC-32 or length
+    /// sentinel): the stored/derived value disagrees with the observed one.
+    Corrupted {
+        /// Which integrity field failed (`"crc32"`, `"length sentinel"`,
+        /// `"edge payload length"`).
+        field: &'static str,
+        /// The value the image claims.
+        expected: u64,
+        /// The value actually observed.
+        got: u64,
+    },
+    /// Lenient ingest gave up: more malformed lines than the configured
+    /// error budget allows.
+    BudgetExhausted {
+        /// The configured `max_bad_lines` budget.
+        budget: usize,
+        /// 1-based line number of the straw that broke the budget.
+        line: usize,
+        /// Description of that line's defect.
+        message: String,
+    },
     /// An underlying I/O failure.
     Io(io::Error),
 }
@@ -41,8 +62,22 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} (self-links are disallowed)")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Corrupt(msg) => write!(f, "corrupt graph image: {msg}"),
+            GraphError::Corrupted { field, expected, got } => {
+                write!(
+                    f,
+                    "corrupted graph image: {field} mismatch (expected {expected:#x}, got {got:#x})"
+                )
+            }
+            GraphError::BudgetExhausted { budget, line, message } => {
+                write!(
+                    f,
+                    "too many malformed lines (budget {budget} exhausted at line {line}: {message})"
+                )
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -77,6 +112,12 @@ mod tests {
         assert!(e.to_string().contains("line 2"));
         let e = GraphError::Corrupt("short".into());
         assert!(e.to_string().contains("corrupt"));
+        let e = GraphError::Corrupted { field: "crc32", expected: 0xAB, got: 0xCD };
+        let s = e.to_string();
+        assert!(s.contains("crc32") && s.contains("0xab") && s.contains("0xcd"), "{s}");
+        let e = GraphError::BudgetExhausted { budget: 3, line: 9, message: "bad id".into() };
+        let s = e.to_string();
+        assert!(s.contains("budget 3") && s.contains("line 9"), "{s}");
     }
 
     #[test]

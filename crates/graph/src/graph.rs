@@ -134,9 +134,7 @@ impl Graph {
 
     /// Iterator over all edges in `(from, to)` order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(move |f| {
-            self.out_neighbors(f).iter().map(move |&t| (f, t))
-        })
+        self.nodes().flat_map(move |f| self.out_neighbors(f).iter().map(move |&t| (f, t)))
     }
 
     /// Iterator over dangling nodes.

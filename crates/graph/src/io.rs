@@ -3,22 +3,55 @@
 //! * **Text**: one `from<TAB>to` pair per line, `#` comments — the common
 //!   interchange format of public web-graph datasets (WebGraph/LAW dumps,
 //!   the WEBSPAM-UK corpora), so real crawls can be dropped in for the
-//!   synthetic workload.
-//! * **Binary**: a little-endian image with magic/version header for fast
-//!   reload of large generated graphs between experiment runs.
+//!   synthetic workload. Real crawl dumps are messy; [`read_edge_list_with`]
+//!   offers a **lenient** mode that skips malformed lines up to an error
+//!   budget and reports them in a [`LoadReport`].
+//! * **Binary**: a little-endian `SPAMGRPH` image for fast reload of large
+//!   generated graphs between experiment runs. Version 2 (the write-side
+//!   default) appends a CRC-32 of the image and a trailing length sentinel,
+//!   so truncated or bit-flipped images are rejected with a precise
+//!   [`GraphError::Corrupted`] instead of being decoded into garbage.
+//!   Version 1 images (no checksum) remain readable.
+//!
+//! ## Binary layout
+//!
+//! ```text
+//! offset        field
+//! 0             magic  b"SPAMGRPH"
+//! 8             version u32 LE (1 or 2)
+//! 12            node_count u64 LE
+//! 20            edge_count u64 LE
+//! 28            edges: edge_count × (from u32 LE, to u32 LE)
+//! -- v2 only --
+//! 28 + 8·E      crc32 u32 LE  — CRC-32 (IEEE) over bytes [0, 28 + 8·E)
+//! 32 + 8·E      total_len u64 LE — length of the whole image (40 + 8·E)
+//! ```
 
 use crate::builder::GraphBuilder;
+use crate::crc32::crc32;
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::labels::NodeLabels;
 use crate::node::NodeId;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
 /// Magic prefix of the binary graph format.
 const MAGIC: &[u8; 8] = b"SPAMGRPH";
-/// Current binary format version.
-const VERSION: u32 = 1;
+/// Current binary format version (checksummed).
+const VERSION: u32 = 2;
+/// First version carrying no integrity information.
+const VERSION_V1: u32 = 1;
+/// Fixed header size shared by both versions.
+const HEADER_LEN: usize = 28;
+/// v2 trailer: CRC-32 (4 bytes) + length sentinel (8 bytes).
+const TRAILER_LEN: usize = 12;
+/// How many offending lines a [`LoadReport`] retains verbatim.
+const REPORT_SAMPLE_CAP: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Text edge lists
+// ---------------------------------------------------------------------------
 
 /// Writes `g` as a text edge list.
 pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError> {
@@ -32,18 +65,117 @@ pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), GraphError>
     Ok(())
 }
 
+/// How text ingest treats malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOptions {
+    /// `true`: the first malformed line aborts the load (the historical
+    /// behavior). `false`: malformed lines are skipped and recorded, up to
+    /// [`max_bad_lines`](ReadOptions::max_bad_lines).
+    pub strict: bool,
+    /// Error budget for lenient mode: loading fails with
+    /// [`GraphError::BudgetExhausted`] once more than this many lines have
+    /// been skipped. Ignored when `strict` is set.
+    pub max_bad_lines: usize,
+}
+
+impl Default for ReadOptions {
+    /// Strict: any malformed line is an error.
+    fn default() -> Self {
+        ReadOptions { strict: true, max_bad_lines: 0 }
+    }
+}
+
+impl ReadOptions {
+    /// Lenient mode tolerating up to `max_bad_lines` malformed lines.
+    pub fn lenient(max_bad_lines: usize) -> Self {
+        ReadOptions { strict: false, max_bad_lines }
+    }
+}
+
+/// One skipped input line (lenient mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadLine {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// What happened during a (possibly lenient) text ingest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Total lines read, including comments and blanks.
+    pub lines_total: usize,
+    /// Edges accepted into the graph.
+    pub edges_loaded: usize,
+    /// Malformed lines skipped (lenient mode only; strict mode errors out
+    /// on the first one).
+    pub skipped: usize,
+    /// Up to the first [`REPORT_SAMPLE_CAP`] skipped lines, verbatim.
+    pub samples: Vec<BadLine>,
+}
+
+impl LoadReport {
+    /// Whether every line was ingested cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0
+    }
+
+    fn record(&mut self, line: usize, message: String) {
+        self.skipped += 1;
+        if self.samples.len() < REPORT_SAMPLE_CAP {
+            self.samples.push(BadLine { line, message });
+        }
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lines, {} edges loaded, {} skipped",
+            self.lines_total, self.edges_loaded, self.skipped
+        )?;
+        for bad in &self.samples {
+            write!(f, "\n  line {}: {}", bad.line, bad.message)?;
+        }
+        if self.skipped > self.samples.len() {
+            write!(f, "\n  … and {} more", self.skipped - self.samples.len())?;
+        }
+        Ok(())
+    }
+}
+
 /// Reads a text edge list produced by [`write_edge_list`] (or any
-/// whitespace-separated `from to` pair file with `#` comments).
+/// whitespace-separated `from to` pair file with `#` comments), strictly:
+/// the first malformed line aborts with [`GraphError::Parse`].
 ///
 /// The node count is the maximum referenced id + 1, or the value of a
 /// `# nodes: N` header if that is larger (so trailing isolated nodes
 /// survive a round trip).
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    read_edge_list_with(reader, &ReadOptions::default()).map(|(g, _)| g)
+}
+
+/// Reads a text edge list under the given [`ReadOptions`].
+///
+/// In lenient mode, malformed lines — unparsable pairs, trailing garbage,
+/// and (when a `# nodes: N` header precedes them) edges referencing ids
+/// `≥ N` — are skipped and recorded in the returned [`LoadReport`] until
+/// the error budget runs out.
+pub fn read_edge_list_with<R: Read>(
+    reader: R,
+    options: &ReadOptions,
+) -> Result<(Graph, LoadReport), GraphError> {
     let r = BufReader::new(reader);
     let mut declared_nodes = 0usize;
     let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut report = LoadReport::default();
+
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
+        report.lines_total += 1;
+        let lineno = lineno + 1; // 1-based for humans
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -51,91 +183,205 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
         if let Some(rest) = line.strip_prefix('#') {
             let rest = rest.trim();
             if let Some(n) = rest.strip_prefix("nodes:") {
-                declared_nodes = n.trim().parse().map_err(|_| GraphError::Parse {
-                    line: lineno + 1,
-                    message: format!("bad node count {rest:?}"),
-                })?;
+                match n.trim().parse() {
+                    Ok(count) => declared_nodes = count,
+                    Err(_) => {
+                        let message = format!("bad node count {rest:?}");
+                        handle_bad_line(options, &mut report, lineno, message)?;
+                    }
+                }
             }
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let parse = |tok: Option<&str>, lineno: usize| -> Result<u32, GraphError> {
-            tok.ok_or_else(|| GraphError::Parse {
-                line: lineno + 1,
-                message: "expected `from to` pair".into(),
-            })?
-            .parse()
-            .map_err(|_| GraphError::Parse {
-                line: lineno + 1,
-                message: "node id is not a u32".into(),
-            })
-        };
-        let f = parse(parts.next(), lineno)?;
-        let t = parse(parts.next(), lineno)?;
-        if parts.next().is_some() {
-            return Err(GraphError::Parse {
-                line: lineno + 1,
-                message: "trailing tokens after edge pair".into(),
-            });
+        match parse_edge_line(line) {
+            Ok((f, t)) => {
+                // With a declared node count, lenient mode treats ids that
+                // fall outside it as crawl noise; strict mode keeps the
+                // historical grow-to-fit behavior.
+                if !options.strict
+                    && declared_nodes > 0
+                    && (f as usize >= declared_nodes || t as usize >= declared_nodes)
+                {
+                    let bad = if f as usize >= declared_nodes { f } else { t };
+                    let message = format!("node id {bad} out of declared range {declared_nodes}");
+                    handle_bad_line(options, &mut report, lineno, message)?;
+                    continue;
+                }
+                edges.push((f, t));
+            }
+            Err(message) => handle_bad_line(options, &mut report, lineno, message)?,
         }
-        edges.push((f, t));
     }
-    Ok(GraphBuilder::from_edges(declared_nodes, &edges))
+    report.edges_loaded = edges.len();
+    Ok((GraphBuilder::from_edges(declared_nodes, &edges), report))
 }
 
-/// Serializes `g` into the binary image format.
-pub fn graph_to_bytes(g: &Graph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(24 + g.edge_count() * 8);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(g.node_count() as u64);
-    buf.put_u64_le(g.edge_count() as u64);
+/// Parses one `from to` line (already trimmed, non-empty, non-comment).
+fn parse_edge_line(line: &str) -> Result<(u32, u32), String> {
+    let mut parts = line.split_whitespace();
+    let parse = |tok: Option<&str>| -> Result<u32, String> {
+        tok.ok_or_else(|| "expected `from to` pair".to_string())?
+            .parse()
+            .map_err(|_| "node id is not a u32".to_string())
+    };
+    let f = parse(parts.next())?;
+    let t = parse(parts.next())?;
+    if parts.next().is_some() {
+        return Err("trailing tokens after edge pair".into());
+    }
+    Ok((f, t))
+}
+
+fn handle_bad_line(
+    options: &ReadOptions,
+    report: &mut LoadReport,
+    line: usize,
+    message: String,
+) -> Result<(), GraphError> {
+    if options.strict {
+        return Err(GraphError::Parse { line, message });
+    }
+    if report.skipped >= options.max_bad_lines {
+        return Err(GraphError::BudgetExhausted { budget: options.max_bad_lines, line, message });
+    }
+    report.record(line, message);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Binary images
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], offset: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&data[offset..offset + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn get_u64(data: &[u8], offset: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[offset..offset + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Serializes `g` into the current (v2, checksummed) binary image format.
+pub fn graph_to_bytes(g: &Graph) -> Vec<u8> {
+    let total = HEADER_LEN + g.edge_count() * 8 + TRAILER_LEN;
+    let mut buf = Vec::with_capacity(total);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+    put_u64(&mut buf, g.node_count() as u64);
+    put_u64(&mut buf, g.edge_count() as u64);
     for (f, t) in g.edges() {
-        buf.put_u32_le(f.0);
-        buf.put_u32_le(t.0);
+        put_u32(&mut buf, f.0);
+        put_u32(&mut buf, t.0);
     }
-    buf.freeze()
+    let checksum = crc32(&buf);
+    put_u32(&mut buf, checksum);
+    put_u64(&mut buf, total as u64);
+    debug_assert_eq!(buf.len(), total);
+    buf
 }
 
-/// Deserializes a graph from the binary image format.
-pub fn graph_from_bytes(mut data: &[u8]) -> Result<Graph, GraphError> {
-    if data.len() < 28 {
+/// Deserializes a graph from the binary image format (v1 or v2).
+///
+/// v2 images are verified end-to-end — length sentinel first, then
+/// CRC-32 — before any structural decoding, so truncation and bit flips
+/// surface as [`GraphError::Corrupted`] with the expected/observed values.
+pub fn graph_from_bytes(data: &[u8]) -> Result<Graph, GraphError> {
+    if data.len() < HEADER_LEN {
         return Err(GraphError::Corrupt("image shorter than header".into()));
     }
-    let mut magic = [0u8; 8];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &data[..8] != MAGIC {
         return Err(GraphError::Corrupt("bad magic".into()));
     }
-    let version = data.get_u32_le();
-    if version != VERSION {
-        return Err(GraphError::Corrupt(format!("unsupported version {version}")));
-    }
-    let nodes = data.get_u64_le() as usize;
-    let edges = data.get_u64_le() as usize;
+    let version = get_u32(data, 8);
+    let edge_base = match version {
+        VERSION_V1 => data.len(),
+        VERSION => {
+            if data.len() < HEADER_LEN + TRAILER_LEN {
+                return Err(GraphError::Corrupted {
+                    field: "length sentinel",
+                    expected: (HEADER_LEN + TRAILER_LEN) as u64,
+                    got: data.len() as u64,
+                });
+            }
+            let sentinel = get_u64(data, data.len() - 8);
+            if sentinel != data.len() as u64 {
+                return Err(GraphError::Corrupted {
+                    field: "length sentinel",
+                    expected: sentinel,
+                    got: data.len() as u64,
+                });
+            }
+            let stored_crc = get_u32(data, data.len() - TRAILER_LEN);
+            let computed = crc32(&data[..data.len() - TRAILER_LEN]);
+            if stored_crc != computed {
+                return Err(GraphError::Corrupted {
+                    field: "crc32",
+                    expected: stored_crc as u64,
+                    got: computed as u64,
+                });
+            }
+            data.len() - TRAILER_LEN
+        }
+        other => return Err(GraphError::Corrupt(format!("unsupported version {other}"))),
+    };
+
+    let nodes = get_u64(data, 12) as usize;
+    let edges = get_u64(data, 20) as usize;
     if nodes > u32::MAX as usize {
         return Err(GraphError::Corrupt(format!("node count {nodes} exceeds u32 range")));
     }
     if edges > u32::MAX as usize {
         return Err(GraphError::Corrupt(format!("edge count {edges} exceeds u32 range")));
     }
-    if data.remaining() != edges * 8 {
-        return Err(GraphError::Corrupt(format!(
-            "expected {} edge bytes, found {}",
-            edges * 8,
-            data.remaining()
-        )));
+    let expected_payload = edges
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(HEADER_LEN))
+        .ok_or_else(|| GraphError::Corrupt("edge byte count overflows".into()))?;
+    if edge_base != expected_payload {
+        return Err(GraphError::Corrupted {
+            field: "edge payload length",
+            expected: expected_payload as u64,
+            got: edge_base as u64,
+        });
     }
+
     let mut b = GraphBuilder::with_capacity(nodes, edges);
-    for _ in 0..edges {
-        let f = data.get_u32_le();
-        let t = data.get_u32_le();
+    for i in 0..edges {
+        let off = HEADER_LEN + i * 8;
+        let f = get_u32(data, off);
+        let t = get_u32(data, off + 4);
         if f as usize >= nodes || t as usize >= nodes {
             return Err(GraphError::Corrupt(format!("edge ({f},{t}) out of range")));
         }
         b.add_edge(NodeId(f), NodeId(t));
     }
     Ok(b.build())
+}
+
+/// Serializes `g` into the legacy v1 (unchecksummed) image — kept so the
+/// read-side v1 compatibility path stays exercised.
+pub fn graph_to_bytes_v1(g: &Graph) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + g.edge_count() * 8);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION_V1);
+    put_u64(&mut buf, g.node_count() as u64);
+    put_u64(&mut buf, g.edge_count() as u64);
+    for (f, t) in g.edges() {
+        put_u32(&mut buf, f.0);
+        put_u32(&mut buf, t.0);
+    }
+    buf
 }
 
 /// Writes the binary image to `writer`.
@@ -151,6 +397,10 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Graph, GraphError> {
     graph_from_bytes(&data)
 }
 
+// ---------------------------------------------------------------------------
+// Labels
+// ---------------------------------------------------------------------------
+
 /// Writes node labels, one host per line, line number = node id.
 pub fn write_labels<W: Write>(labels: &NodeLabels, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
@@ -161,7 +411,8 @@ pub fn write_labels<W: Write>(labels: &NodeLabels, writer: W) -> Result<(), Grap
     Ok(())
 }
 
-/// Reads node labels written by [`write_labels`].
+/// Reads node labels written by [`write_labels`]. CRLF line endings are
+/// accepted.
 pub fn read_labels<R: Read>(reader: R) -> Result<NodeLabels, GraphError> {
     let r = BufReader::new(reader);
     let mut labels = NodeLabels::new();
@@ -215,22 +466,56 @@ mod tests {
     }
 
     #[test]
+    fn text_parser_accepts_crlf() {
+        let text = "# nodes: 3\r\n0 1\r\n1 2\r\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
     fn text_parser_rejects_garbage() {
-        assert!(matches!(
-            read_edge_list("0 x".as_bytes()),
-            Err(GraphError::Parse { line: 1, .. })
-        ));
-        assert!(matches!(
-            read_edge_list("0".as_bytes()),
-            Err(GraphError::Parse { .. })
-        ));
-        assert!(matches!(
-            read_edge_list("0 1 2".as_bytes()),
-            Err(GraphError::Parse { .. })
-        ));
+        assert!(matches!(read_edge_list("0 x".as_bytes()), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(read_edge_list("0".as_bytes()), Err(GraphError::Parse { .. })));
+        assert!(matches!(read_edge_list("0 1 2".as_bytes()), Err(GraphError::Parse { .. })));
         assert!(matches!(
             read_edge_list("# nodes: banana".as_bytes()),
             Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn lenient_mode_skips_within_budget() {
+        let text = "# nodes: 4\n0 1\nbogus line\n1 2\n2 99\n3 zebra\n2 3\n";
+        let (g, report) = read_edge_list_with(text.as_bytes(), &ReadOptions::lenient(5)).unwrap();
+        assert_eq!(g.edge_count(), 3); // 0->1, 1->2, 2->3
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(report.skipped, 3);
+        assert_eq!(report.edges_loaded, 3);
+        assert!(!report.is_clean());
+        assert_eq!(report.samples.len(), 3);
+        assert_eq!(report.samples[0].line, 3);
+        assert!(report.samples[1].message.contains("out of declared range"));
+        let display = report.to_string();
+        assert!(display.contains("3 skipped"), "{display}");
+    }
+
+    #[test]
+    fn lenient_mode_enforces_budget() {
+        let text = "a b\nc d\ne f\n0 1\n";
+        let err = read_edge_list_with(text.as_bytes(), &ReadOptions::lenient(2)).unwrap_err();
+        match err {
+            GraphError::BudgetExhausted { budget: 2, line: 3, .. } => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_options_match_plain_reader() {
+        let text = "0 1\nbad\n";
+        assert!(matches!(
+            read_edge_list_with(text.as_bytes(), &ReadOptions::default()),
+            Err(GraphError::Parse { line: 2, .. })
         ));
     }
 
@@ -248,30 +533,89 @@ mod tests {
     }
 
     #[test]
+    fn v1_images_remain_readable() {
+        let g = sample();
+        let bytes = graph_to_bytes_v1(&g);
+        let g2 = graph_from_bytes(&bytes).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = GraphBuilder::new(0).build();
+        let bytes = graph_to_bytes(&g);
+        let g2 = graph_from_bytes(&bytes).unwrap();
+        assert_eq!(g2.node_count(), 0);
+        assert_eq!(g2.edge_count(), 0);
+    }
+
+    #[test]
     fn binary_rejects_corruption() {
         let g = sample();
         let bytes = graph_to_bytes(&g);
 
         assert!(matches!(graph_from_bytes(&bytes[..10]), Err(GraphError::Corrupt(_))));
 
-        let mut bad_magic = bytes.to_vec();
+        let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
         assert!(matches!(graph_from_bytes(&bad_magic), Err(GraphError::Corrupt(_))));
 
-        let mut bad_version = bytes.to_vec();
+        let mut bad_version = bytes.clone();
         bad_version[8] = 99;
         assert!(matches!(graph_from_bytes(&bad_version), Err(GraphError::Corrupt(_))));
+    }
 
+    #[test]
+    fn v2_rejects_truncation_with_precise_error() {
+        let g = sample();
+        let bytes = graph_to_bytes(&g);
+        // Drop the last 4 bytes: the sentinel no longer matches the length.
         let truncated = &bytes[..bytes.len() - 4];
-        assert!(matches!(graph_from_bytes(truncated), Err(GraphError::Corrupt(_))));
+        match graph_from_bytes(truncated).unwrap_err() {
+            GraphError::Corrupted { field: "length sentinel", expected, got } => {
+                assert_eq!(got, truncated.len() as u64);
+                assert_ne!(expected, got);
+            }
+            other => panic!("expected sentinel mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_rejects_bit_flips_with_crc_mismatch() {
+        let g = sample();
+        let clean = graph_to_bytes(&g);
+        // Flip one bit in every byte of the checksummed region in turn; the
+        // CRC (or, for count fields, the payload-length check) must catch
+        // every single one.
+        for i in 12..clean.len() - TRAILER_LEN {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x01;
+            let err = graph_from_bytes(&bytes).unwrap_err();
+            assert!(
+                matches!(err, GraphError::Corrupted { .. }),
+                "byte {i}: expected Corrupted, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_truncation_detected_structurally() {
+        let g = sample();
+        let bytes = graph_to_bytes_v1(&g);
+        let truncated = &bytes[..bytes.len() - 4];
+        assert!(matches!(
+            graph_from_bytes(truncated),
+            Err(GraphError::Corrupted { field: "edge payload length", .. })
+        ));
     }
 
     #[test]
     fn binary_rejects_out_of_range_edge() {
         let g = sample();
-        let mut bytes = graph_to_bytes(&g).to_vec();
-        // Overwrite the first edge's target with an out-of-range id.
-        let edge_base = 28;
+        // Build a v1 image (no CRC to fix up) with a poisoned edge target.
+        let mut bytes = graph_to_bytes_v1(&g);
+        let edge_base = HEADER_LEN;
         bytes[edge_base + 4..edge_base + 8].copy_from_slice(&1000u32.to_le_bytes());
         assert!(matches!(graph_from_bytes(&bytes), Err(GraphError::Corrupt(_))));
     }
@@ -296,5 +640,12 @@ mod tests {
         assert_eq!(l2.len(), 2);
         assert_eq!(l2.id("a.example.gov"), Some(NodeId(0)));
         assert_eq!(l2.name(NodeId(1)).unwrap().as_str(), "b.example.edu");
+    }
+
+    #[test]
+    fn labels_accept_crlf() {
+        let l = read_labels("a.gov\r\nb.edu\r\n".as_bytes()).unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.id("b.edu"), Some(NodeId(1)));
     }
 }

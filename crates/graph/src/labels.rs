@@ -22,8 +22,8 @@ pub struct HostName(pub String);
 /// Multi-label country second-level suffixes we recognize so that
 /// `blog.example.com.br` groups under `example.com.br` rather than `com.br`.
 const SECOND_LEVEL_SUFFIXES: &[&str] = &[
-    "com.br", "com.cn", "com.au", "co.uk", "ac.uk", "gov.uk", "co.jp", "ne.jp", "ac.jp",
-    "edu.pl", "com.pl", "edu.cn", "edu.au", "co.kr", "com.tw", "edu.tw", "org.uk",
+    "com.br", "com.cn", "com.au", "co.uk", "ac.uk", "gov.uk", "co.jp", "ne.jp", "ac.jp", "edu.pl",
+    "com.pl", "edu.cn", "edu.au", "co.kr", "com.tw", "edu.tw", "org.uk",
 ];
 
 impl HostName {
@@ -56,18 +56,11 @@ impl HostName {
         let last_two = self.0.rsplitn(3, '.').collect::<Vec<_>>();
         // last_two = [tld, second, rest?] in reverse order
         let suffix2 = format!("{}.{}", last_two[1], last_two[0]);
-        let suffix_len = if SECOND_LEVEL_SUFFIXES.contains(&suffix2.as_str()) {
-            3
-        } else {
-            2
-        };
+        let suffix_len = if SECOND_LEVEL_SUFFIXES.contains(&suffix2.as_str()) { 3 } else { 2 };
         if labels.len() < suffix_len {
             return None;
         }
-        let start = labels[..labels.len() - suffix_len]
-            .iter()
-            .map(|l| l.len() + 1)
-            .sum::<usize>();
+        let start = labels[..labels.len() - suffix_len].iter().map(|l| l.len() + 1).sum::<usize>();
         Some(&self.0[start..])
     }
 
@@ -150,10 +143,7 @@ impl NodeLabels {
 
     /// Iterator over `(id, host)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &HostName)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, h)| (NodeId::from_index(i), h))
+        self.names.iter().enumerate().map(|(i, h)| (NodeId::from_index(i), h))
     }
 }
 
@@ -171,14 +161,8 @@ mod tests {
 
     #[test]
     fn registrable_domain_simple() {
-        assert_eq!(
-            HostName::new("www-cs.stanford.edu").registrable_domain(),
-            Some("stanford.edu")
-        );
-        assert_eq!(
-            HostName::new("china.alibaba.com").registrable_domain(),
-            Some("alibaba.com")
-        );
+        assert_eq!(HostName::new("www-cs.stanford.edu").registrable_domain(), Some("stanford.edu"));
+        assert_eq!(HostName::new("china.alibaba.com").registrable_domain(), Some("alibaba.com"));
         assert_eq!(HostName::new("stanford.edu").registrable_domain(), Some("stanford.edu"));
         assert_eq!(HostName::new("localhost").registrable_domain(), None);
     }
@@ -189,10 +173,7 @@ mod tests {
             HostName::new("blog.example.com.br").registrable_domain(),
             Some("example.com.br")
         );
-        assert_eq!(
-            HostName::new("a.b.univ.edu.pl").registrable_domain(),
-            Some("univ.edu.pl")
-        );
+        assert_eq!(HostName::new("a.b.univ.edu.pl").registrable_domain(), Some("univ.edu.pl"));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 mod builder;
 pub mod components;
+pub mod crc32;
 mod error;
 mod graph;
 pub mod io;

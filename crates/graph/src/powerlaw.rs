@@ -86,13 +86,8 @@ impl LogBinnedHistogram {
     pub fn build(samples: impl Iterator<Item = f64>, min_value: f64, factor: f64) -> Self {
         assert!(min_value > 0.0, "min_value must be positive");
         assert!(factor > 1.0, "factor must exceed 1");
-        let mut h = LogBinnedHistogram {
-            min_value,
-            factor,
-            counts: Vec::new(),
-            underflow: 0,
-            total: 0,
-        };
+        let mut h =
+            LogBinnedHistogram { min_value, factor, counts: Vec::new(), underflow: 0, total: 0 };
         let log_factor = factor.ln();
         for x in samples {
             if !x.is_finite() {
@@ -186,11 +181,7 @@ mod tests {
     fn mle_recovers_exponent() {
         let samples = pareto_samples(2.31, 200_000);
         let fit = fit_exponent_mle(samples.into_iter(), 1.0).unwrap();
-        assert!(
-            (fit.alpha - 2.31).abs() < 0.05,
-            "expected alpha near 2.31, got {}",
-            fit.alpha
-        );
+        assert!((fit.alpha - 2.31).abs() < 0.05, "expected alpha near 2.31, got {}", fit.alpha);
         assert_eq!(fit.tail_samples, 200_000);
     }
 
@@ -198,16 +189,10 @@ mod tests {
     fn discrete_mle_on_integer_data() {
         // Integer samples drawn from a zeta-like tail via rounding a Pareto;
         // the half-integer correction should land near the true exponent.
-        let samples: Vec<f64> = pareto_samples(2.5, 200_000)
-            .into_iter()
-            .map(|x| x.round().max(1.0))
-            .collect();
+        let samples: Vec<f64> =
+            pareto_samples(2.5, 200_000).into_iter().map(|x| x.round().max(1.0)).collect();
         let fit = fit_exponent_mle_discrete(samples.into_iter(), 2.0).unwrap();
-        assert!(
-            (fit.alpha - 2.5).abs() < 0.15,
-            "expected alpha near 2.5, got {}",
-            fit.alpha
-        );
+        assert!((fit.alpha - 2.5).abs() < 0.15, "expected alpha near 2.5, got {}", fit.alpha);
     }
 
     #[test]

@@ -28,10 +28,7 @@ impl Extract {
     /// The extract id of an original node, if it was kept.
     pub fn extract_of(&self, original: NodeId) -> Option<NodeId> {
         // `original` is sorted ascending (extraction preserves id order).
-        self.original
-            .binary_search(&original)
-            .ok()
-            .map(NodeId::from_index)
+        self.original.binary_search(&original).ok().map(NodeId::from_index)
     }
 }
 

@@ -24,9 +24,9 @@ fn neighbors<'g>(g: &'g Graph, x: NodeId, dir: Direction) -> Box<dyn Iterator<It
     match dir {
         Direction::Forward => Box::new(g.out_neighbors(x).iter().copied()),
         Direction::Backward => Box::new(g.in_neighbors(x).iter().copied()),
-        Direction::Undirected => Box::new(
-            g.out_neighbors(x).iter().copied().chain(g.in_neighbors(x).iter().copied()),
-        ),
+        Direction::Undirected => {
+            Box::new(g.out_neighbors(x).iter().copied().chain(g.in_neighbors(x).iter().copied()))
+        }
     }
 }
 
@@ -94,11 +94,13 @@ pub fn dfs_postorder(g: &Graph, dir: Direction) -> Vec<NodeId> {
 }
 
 /// Counts nodes reachable from `sources` within `max_hops`.
-pub fn count_reachable_within(g: &Graph, sources: &[NodeId], dir: Direction, max_hops: u32) -> usize {
-    bfs_distances(g, sources, dir)
-        .iter()
-        .filter(|d| matches!(d, Some(h) if *h <= max_hops))
-        .count()
+pub fn count_reachable_within(
+    g: &Graph,
+    sources: &[NodeId],
+    dir: Direction,
+    max_hops: u32,
+) -> usize {
+    bfs_distances(g, sources, dir).iter().filter(|d| matches!(d, Some(h) if *h <= max_hops)).count()
 }
 
 #[cfg(test)]

@@ -16,12 +16,7 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig {
-            damping: 0.85,
-            tolerance: 1e-12,
-            max_iterations: 1_000,
-            threads: 0,
-        }
+        PageRankConfig { damping: 0.85, tolerance: 1e-12, max_iterations: 1_000, threads: 0 }
     }
 }
 
@@ -83,10 +78,7 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let c = PageRankConfig::with_damping(0.5)
-            .tolerance(1e-6)
-            .max_iterations(10)
-            .threads(2);
+        let c = PageRankConfig::with_damping(0.5).tolerance(1e-6).max_iterations(10).threads(2);
         assert_eq!(c.damping, 0.5);
         assert_eq!(c.tolerance, 1e-6);
         assert_eq!(c.max_iterations, 10);

@@ -20,6 +20,7 @@
 //!   the test-suite to validate the theorems numerically.
 
 use crate::config::PageRankConfig;
+use crate::error::PageRankError;
 use crate::jacobi::solve_jacobi_dense;
 use crate::jump::JumpVector;
 use spammass_graph::{Graph, NodeId};
@@ -27,24 +28,35 @@ use spammass_graph::{Graph, NodeId};
 /// Contribution vector `q^x = PR(v^x)` of node `x` to every node
 /// (Theorem 2). `v_x` is the jump probability of `x` under the reference
 /// jump vector — `1/n` in the uniform setting.
+///
+/// # Errors
+/// Propagates jump-vector validation failures (e.g. `x` out of range, bad
+/// `v_x`) and solver convergence errors.
 pub fn contribution_of_node(
     graph: &Graph,
     x: NodeId,
     v_x: f64,
     config: &PageRankConfig,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, PageRankError> {
     let jump = JumpVector::SingleNode { node: x, mass: v_x };
-    let v = jump.materialize(graph.node_count()).expect("invalid node for contribution");
-    solve_jacobi_dense(graph, &v, config).scores
+    let v = jump.materialize(graph.node_count())?;
+    Ok(solve_jacobi_dense(graph, &v, config)?.scores)
 }
 
 /// Contribution vector `q^U = PR(v^U)` of a node set `U`, where each
 /// member keeps its reference jump probability `v_y` (uniform `1/n` here).
-pub fn contribution_of_set(graph: &Graph, set: &[NodeId], config: &PageRankConfig) -> Vec<f64> {
+///
+/// # Errors
+/// Same contract as [`contribution_of_node`].
+pub fn contribution_of_set(
+    graph: &Graph,
+    set: &[NodeId],
+    config: &PageRankConfig,
+) -> Result<Vec<f64>, PageRankError> {
     let n = graph.node_count();
     let jump = JumpVector::core(set.to_vec(), n);
-    let v = jump.materialize(n).expect("invalid set for contribution");
-    solve_jacobi_dense(graph, &v, config).scores
+    let v = jump.materialize(n)?;
+    Ok(solve_jacobi_dense(graph, &v, config)?.scores)
 }
 
 /// Reference evaluator: computes `q^x` by dynamic programming over walk
@@ -173,15 +185,21 @@ mod tests {
     fn self_contribution_without_circuits() {
         // x not on any circuit: q_x^x = (1−c)·v_x.
         let g = GraphBuilder::from_edges(2, &[(0, 1)]);
-        let q = contribution_of_node(&g, NodeId(0), 0.5, &cfg());
+        let q = contribution_of_node(&g, NodeId(0), 0.5, &cfg()).unwrap();
         assert!((q[0] - 0.15 * 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn unconnected_contribution_is_zero() {
         let g = GraphBuilder::from_edges(3, &[(0, 1)]);
-        let q = contribution_of_node(&g, NodeId(0), 1.0 / 3.0, &cfg());
+        let q = contribution_of_node(&g, NodeId(0), 1.0 / 3.0, &cfg()).unwrap();
         assert_eq!(q[2], 0.0);
+    }
+
+    #[test]
+    fn out_of_range_node_is_an_error() {
+        let g = GraphBuilder::from_edges(2, &[(0, 1)]);
+        assert!(contribution_of_node(&g, NodeId(7), 0.5, &cfg()).is_err());
     }
 
     #[test]
@@ -190,26 +208,18 @@ mod tests {
         let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (1, 4)]);
         let n = g.node_count();
         let config = cfg();
-        let p = solve_jacobi_dense(
-            &g,
-            &JumpVector::Uniform.materialize(n).unwrap(),
-            &config,
-        )
-        .scores;
+        let p = solve_jacobi_dense(&g, &JumpVector::Uniform.materialize(n).unwrap(), &config)
+            .unwrap()
+            .scores;
         let mut sum = vec![0.0f64; n];
         for x in g.nodes() {
-            let q = contribution_of_node(&g, x, 1.0 / n as f64, &config);
+            let q = contribution_of_node(&g, x, 1.0 / n as f64, &config).unwrap();
             for (s, qy) in sum.iter_mut().zip(&q) {
                 *s += qy;
             }
         }
         for y in 0..n {
-            assert!(
-                (p[y] - sum[y]).abs() < 1e-10,
-                "node {y}: p {} vs Σq {}",
-                p[y],
-                sum[y]
-            );
+            assert!((p[y] - sum[y]).abs() < 1e-10, "node {y}: p {} vs Σq {}", p[y], sum[y]);
         }
     }
 
@@ -218,9 +228,9 @@ mod tests {
         let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         let config = cfg();
         let set = [NodeId(0), NodeId(2)];
-        let q_set = contribution_of_set(&g, &set, &config);
-        let q0 = contribution_of_node(&g, NodeId(0), 0.25, &config);
-        let q2 = contribution_of_node(&g, NodeId(2), 0.25, &config);
+        let q_set = contribution_of_set(&g, &set, &config).unwrap();
+        let q0 = contribution_of_node(&g, NodeId(0), 0.25, &config).unwrap();
+        let q2 = contribution_of_node(&g, NodeId(2), 0.25, &config).unwrap();
         for i in 0..4 {
             assert!((q_set[i] - (q0[i] + q2[i])).abs() < 1e-12);
         }
@@ -231,7 +241,7 @@ mod tests {
         // The DP walk-sum and Theorem 2 route agree on a cyclic graph.
         let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 1)]);
         let config = cfg();
-        let q_pr = contribution_of_node(&g, NodeId(0), 0.25, &config);
+        let q_pr = contribution_of_node(&g, NodeId(0), 0.25, &config).unwrap();
         let q_ws = walk_sum_truncated(&g, NodeId(0), 0.25, config.damping, 400);
         for i in 0..4 {
             assert!(

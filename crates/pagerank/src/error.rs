@@ -20,6 +20,30 @@ pub enum PageRankError {
     },
     /// A jump vector had negative entries or norm outside `(0, 1]`.
     InvalidJumpVector(String),
+    /// The iteration cap was reached before the residual dropped below the
+    /// configured tolerance.
+    DidNotConverge {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// L1 residual after the last iteration.
+        residual: f64,
+    },
+    /// The residual grew persistently instead of contracting — the iterate
+    /// is moving away from the fixed point.
+    Diverged {
+        /// Iteration at which divergence was declared.
+        iterations: usize,
+        /// L1 residual at that iteration.
+        residual: f64,
+    },
+    /// A non-finite residual (NaN or ±∞) appeared mid-iteration, meaning the
+    /// score vector itself has been poisoned by overflow or NaN input.
+    NumericalInstability {
+        /// Iteration at which the non-finite value surfaced.
+        iterations: usize,
+        /// The offending residual (NaN or infinite).
+        residual: f64,
+    },
 }
 
 impl fmt::Display for PageRankError {
@@ -36,6 +60,21 @@ impl fmt::Display for PageRankError {
                 write!(f, "jump vector length {got} does not match node count {expected}")
             }
             PageRankError::InvalidJumpVector(msg) => write!(f, "invalid jump vector: {msg}"),
+            PageRankError::DidNotConverge { iterations, residual } => {
+                write!(
+                    f,
+                    "did not converge within {iterations} iterations (last residual {residual:.3e})"
+                )
+            }
+            PageRankError::Diverged { iterations, residual } => {
+                write!(
+                    f,
+                    "residual diverging after {iterations} iterations (residual {residual:.3e})"
+                )
+            }
+            PageRankError::NumericalInstability { iterations, residual } => {
+                write!(f, "numerical instability at iteration {iterations} (residual {residual})")
+            }
         }
     }
 }
@@ -53,5 +92,11 @@ mod tests {
             .to_string()
             .contains("length 3"));
         assert!(PageRankError::InvalidJumpVector("neg".into()).to_string().contains("neg"));
+        let e = PageRankError::DidNotConverge { iterations: 500, residual: 1e-3 };
+        assert!(e.to_string().contains("500 iterations"), "{e}");
+        let e = PageRankError::Diverged { iterations: 7, residual: 42.0 };
+        assert!(e.to_string().contains("diverging"), "{e}");
+        let e = PageRankError::NumericalInstability { iterations: 3, residual: f64::NAN };
+        assert!(e.to_string().contains("instability"), "{e}");
     }
 }

@@ -15,30 +15,41 @@
 //! the iterations Jacobi does.
 
 use crate::config::PageRankConfig;
+use crate::error::PageRankError;
+use crate::guard::ConvergenceGuard;
+use crate::jacobi::check_jump_length;
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
 
 /// Solves `(I − c·Tᵀ)p = (1 − c)v` by Gauss–Seidel sweeps in node-id order.
+///
+/// # Errors
+/// Returns a configuration/jump-vector error before iterating, and
+/// [`PageRankError::DidNotConverge`], [`PageRankError::Diverged`], or
+/// [`PageRankError::NumericalInstability`] if the iteration fails.
 pub fn solve_gauss_seidel(
     graph: &Graph,
     jump: &JumpVector,
     config: &PageRankConfig,
-) -> PageRankResult {
-    config.validate().expect("invalid PageRank configuration");
-    let n = graph.node_count();
-    let v = jump.materialize(n).expect("invalid jump vector");
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
+    let v = jump.materialize(graph.node_count())?;
     solve_gauss_seidel_dense(graph, &v, config)
 }
 
 /// Gauss–Seidel with an already-materialized jump vector.
+///
+/// # Errors
+/// Same contract as [`solve_gauss_seidel`].
 pub fn solve_gauss_seidel_dense(
     graph: &Graph,
     v: &[f64],
     config: &PageRankConfig,
-) -> PageRankResult {
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
     let n = graph.node_count();
-    assert_eq!(v.len(), n, "jump vector length mismatch");
+    check_jump_length(v, n)?;
     let c = config.damping;
     let one_minus_c = 1.0 - c;
 
@@ -60,6 +71,7 @@ pub fn solve_gauss_seidel_dense(
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
     let mut residual_history = Vec::new();
+    let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
         iterations += 1;
@@ -75,18 +87,19 @@ pub fn solve_gauss_seidel_dense(
         }
         residual = delta;
         residual_history.push(residual);
+        guard.observe(iterations, residual)?;
         if residual < config.tolerance {
-            break;
+            return Ok(PageRankResult {
+                scores: p,
+                iterations,
+                residual,
+                converged: true,
+                residual_history,
+            });
         }
     }
 
-    PageRankResult {
-        scores: p,
-        iterations,
-        residual,
-        converged: residual < config.tolerance,
-        residual_history,
-    }
+    Err(PageRankError::DidNotConverge { iterations, residual })
 }
 
 #[cfg(test)]
@@ -102,8 +115,8 @@ mod tests {
     #[test]
     fn agrees_with_jacobi_on_cycle() {
         let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
-        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
-        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg()).unwrap();
         for i in 0..5 {
             assert!((a.scores[i] - b.scores[i]).abs() < 1e-9);
         }
@@ -112,8 +125,8 @@ mod tests {
     #[test]
     fn agrees_with_jacobi_on_dag_with_dangling() {
         let g = GraphBuilder::from_edges(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
-        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
-        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg()).unwrap();
         for i in 0..6 {
             assert!((a.scores[i] - b.scores[i]).abs() < 1e-9);
         }
@@ -124,8 +137,8 @@ mod tests {
         use spammass_graph::NodeId;
         let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
         let jump = JumpVector::scaled_core(vec![NodeId(0), NodeId(1)], 0.85);
-        let a = solve_jacobi(&g, &jump, &cfg());
-        let b = solve_gauss_seidel(&g, &jump, &cfg());
+        let a = solve_jacobi(&g, &jump, &cfg()).unwrap();
+        let b = solve_gauss_seidel(&g, &jump, &cfg()).unwrap();
         for i in 0..4 {
             assert!((a.scores[i] - b.scores[i]).abs() < 1e-9);
         }
@@ -136,8 +149,8 @@ mod tests {
         // A long chain maximizes the benefit of in-sweep propagation.
         let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
         let g = GraphBuilder::from_edges(100, &edges);
-        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
-        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        let b = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg()).unwrap();
         assert!(
             b.iterations < a.iterations,
             "gauss-seidel {} vs jacobi {}",
@@ -149,8 +162,18 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = GraphBuilder::new(0).build();
-        let r = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_gauss_seidel(&g, &JumpVector::Uniform, &cfg()).unwrap();
         assert!(r.scores.is_empty());
         assert!(r.converged);
+    }
+
+    #[test]
+    fn iteration_cap_is_a_typed_error() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]);
+        let tight = cfg().max_iterations(1).tolerance(1e-300);
+        assert!(matches!(
+            solve_gauss_seidel(&g, &JumpVector::Uniform, &tight),
+            Err(PageRankError::DidNotConverge { iterations: 1, .. })
+        ));
     }
 }

@@ -20,6 +20,8 @@
 //! PageRank (their mass is deliberately lost rather than teleported).
 
 use crate::config::PageRankConfig;
+use crate::error::PageRankError;
+use crate::guard::ConvergenceGuard;
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
@@ -45,22 +47,43 @@ pub(crate) fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 
+/// Checks that a materialized jump vector matches the graph.
+pub(crate) fn check_jump_length(v: &[f64], n: usize) -> Result<(), PageRankError> {
+    if v.len() != n {
+        return Err(PageRankError::JumpVectorLength { got: v.len(), expected: n });
+    }
+    Ok(())
+}
+
 /// Solves `(I − c·Tᵀ)p = (1 − c)v` by Jacobi iteration.
 ///
-/// # Panics
-/// Panics if the configuration or jump vector is invalid; use
-/// [`PageRankConfig::validate`] / [`JumpVector::materialize`] to pre-check.
-pub fn solve_jacobi(graph: &Graph, jump: &JumpVector, config: &PageRankConfig) -> PageRankResult {
-    config.validate().expect("invalid PageRank configuration");
-    let n = graph.node_count();
-    let v = jump.materialize(n).expect("invalid jump vector");
+/// # Errors
+/// Returns a configuration/jump-vector error before iterating, and
+/// [`PageRankError::DidNotConverge`], [`PageRankError::Diverged`], or
+/// [`PageRankError::NumericalInstability`] if the iteration fails — see
+/// [`SolverChain`](crate::SolverChain) for graceful fallback.
+pub fn solve_jacobi(
+    graph: &Graph,
+    jump: &JumpVector,
+    config: &PageRankConfig,
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
+    let v = jump.materialize(graph.node_count())?;
     solve_jacobi_dense(graph, &v, config)
 }
 
 /// Jacobi iteration with an already-materialized jump vector.
-pub fn solve_jacobi_dense(graph: &Graph, v: &[f64], config: &PageRankConfig) -> PageRankResult {
+///
+/// # Errors
+/// Same contract as [`solve_jacobi`].
+pub fn solve_jacobi_dense(
+    graph: &Graph,
+    v: &[f64],
+    config: &PageRankConfig,
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
     let n = graph.node_count();
-    assert_eq!(v.len(), n, "jump vector length mismatch");
+    check_jump_length(v, n)?;
     let c = config.damping;
     let one_minus_c = 1.0 - c;
 
@@ -70,6 +93,7 @@ pub fn solve_jacobi_dense(graph: &Graph, v: &[f64], config: &PageRankConfig) -> 
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
     let mut residual_history = Vec::new();
+    let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
         iterations += 1;
@@ -81,18 +105,19 @@ pub fn solve_jacobi_dense(graph: &Graph, v: &[f64], config: &PageRankConfig) -> 
         residual = l1_distance(&p, &p_next);
         residual_history.push(residual);
         std::mem::swap(&mut p, &mut p_next);
+        guard.observe(iterations, residual)?;
         if residual < config.tolerance {
-            break;
+            return Ok(PageRankResult {
+                scores: p,
+                iterations,
+                residual,
+                converged: true,
+                residual_history,
+            });
         }
     }
 
-    PageRankResult {
-        scores: p,
-        iterations,
-        residual,
-        converged: residual < config.tolerance,
-        residual_history,
-    }
+    Err(PageRankError::DidNotConverge { iterations, residual })
 }
 
 #[cfg(test)]
@@ -107,7 +132,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = GraphBuilder::new(0).build();
-        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         assert!(r.scores.is_empty());
         assert!(r.converged);
     }
@@ -115,7 +140,7 @@ mod tests {
     #[test]
     fn single_isolated_node() {
         let g = GraphBuilder::new(1).build();
-        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         // p = (1-c)·v / (I) since no links: p = (1-c)·1 + c·0... iteration:
         // p[1] = (1-c)·1 = 0.15, fixed point of (I - cT^T)p = (1-c)v with T = 0.
         assert!((r.scores[0] - 0.15).abs() < 1e-10);
@@ -125,7 +150,7 @@ mod tests {
     fn scaled_score_of_no_inlink_node_is_one() {
         // Paper convention: scaled score of a node without inlinks is 1.
         let g = GraphBuilder::from_edges(2, &[(0, 1)]);
-        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let scale = cfg().scale_factor(2);
         assert!((r.scores[0] * scale - 1.0).abs() < 1e-9);
         // Node 1 receives c * p0 / 1: scaled 1 + c.
@@ -149,7 +174,7 @@ mod tests {
             }
             let g = b.build();
             let c = 0.85;
-            let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+            let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
             let expected = (1.0 + 3.0 * c + k as f64 * c * c) * (1.0 - c) / n as f64;
             assert!(
                 (r.scores[x.index()] - expected).abs() < 1e-9,
@@ -163,7 +188,7 @@ mod tests {
     fn dangling_mass_is_lost_not_teleported() {
         // Linear PageRank: ‖p‖ < ‖v‖ when dangling nodes exist.
         let g = GraphBuilder::from_edges(2, &[(0, 1)]);
-        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let total: f64 = r.scores.iter().sum();
         assert!(total < 1.0 - 1e-6, "total {total} should be < 1");
     }
@@ -172,39 +197,72 @@ mod tests {
     fn norm_preserved_when_no_dangling() {
         // On a graph with no dangling nodes, ‖p‖ = ‖v‖.
         let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
-        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let total: f64 = r.scores.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 
     #[test]
-    fn respects_iteration_cap() {
+    fn iteration_cap_is_a_typed_error() {
         // Asymmetric graph: the uniform start vector is not the fixed point,
-        // so the residual stays positive.
+        // so the residual stays positive and the cap is hit.
         let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 2)]);
         let tight = cfg().max_iterations(2).tolerance(1e-300);
-        let r = solve_jacobi(&g, &JumpVector::Uniform, &tight);
-        assert_eq!(r.iterations, 2);
-        assert!(!r.converged);
+        match solve_jacobi(&g, &JumpVector::Uniform, &tight) {
+            Err(PageRankError::DidNotConverge { iterations: 2, residual }) => {
+                assert!(residual.is_finite() && residual > 0.0);
+            }
+            other => panic!("expected DidNotConverge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_jump_vector_is_numerical_instability() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let v = vec![f64::NAN, 0.5, 0.25];
+        match solve_jacobi_dense(&g, &v, &cfg()) {
+            Err(PageRankError::NumericalInstability { iterations: 1, .. }) => {}
+            other => panic!("expected NumericalInstability, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_jump_vector_is_numerical_instability() {
+        // Two f64::MAX contributions converging on node 2 overflow to ∞.
+        let g = GraphBuilder::from_edges(3, &[(0, 2), (1, 2)]);
+        let v = vec![f64::MAX, f64::MAX, f64::MAX];
+        let err = solve_jacobi_dense(&g, &v, &cfg()).unwrap_err();
+        assert!(matches!(err, PageRankError::NumericalInstability { .. }), "got {err:?}");
     }
 
     #[test]
     fn unnormalized_jump_scales_linearly() {
         // PR is linear in v: halving v halves p.
         let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-        let full = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let full = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let half = JumpVector::Custom(vec![0.125; 4]);
-        let r = solve_jacobi(&g, &half, &cfg());
+        let r = solve_jacobi(&g, &half, &cfg()).unwrap();
         for i in 0..4 {
             assert!((r.scores[i] - full.scores[i] / 2.0).abs() < 1e-10);
         }
     }
 
     #[test]
-    #[should_panic(expected = "invalid PageRank configuration")]
-    fn panics_on_bad_config() {
+    fn rejects_bad_config() {
         let g = GraphBuilder::new(1).build();
         let bad = PageRankConfig::with_damping(1.5);
-        let _ = solve_jacobi(&g, &JumpVector::Uniform, &bad);
+        assert!(matches!(
+            solve_jacobi(&g, &JumpVector::Uniform, &bad),
+            Err(PageRankError::InvalidDamping(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]);
+        assert!(matches!(
+            solve_jacobi_dense(&g, &[0.5, 0.5], &cfg()),
+            Err(PageRankError::JumpVectorLength { got: 2, expected: 3 })
+        ));
     }
 }

@@ -28,8 +28,16 @@
 //! |---|---|---|
 //! | Jacobi | [`jacobi`] | Algorithm 1 of the paper, verbatim |
 //! | Gauss–Seidel | [`gauss_seidel`] | in-place sweeps, usually ~2× fewer iterations |
-//! | Parallel Jacobi | [`parallel`] | crossbeam-chunked in-edge gather |
+//! | Parallel Jacobi | [`parallel`] | scoped-thread chunked in-edge gather |
 //! | Power iteration | [`power`] | eigenvector formulation on `T″`, for cross-validation |
+//!
+//! All solvers are **fallible**: they return `Err` with a typed
+//! [`PageRankError`] on invalid input, on a hit iteration cap
+//! ([`PageRankError::DidNotConverge`]), on a growing residual
+//! ([`PageRankError::Diverged`]), and on NaN/overflow poisoning
+//! ([`PageRankError::NumericalInstability`]). [`SolverChain`] layers
+//! graceful degradation over the strict solvers, with per-attempt
+//! [`AttemptReport`] diagnostics.
 //!
 //! ## Contributions
 //!
@@ -44,7 +52,8 @@
 //! use spammass_pagerank::{PageRankConfig, JumpVector, solve};
 //!
 //! let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
-//! let pr = solve(&g, &JumpVector::Uniform, &PageRankConfig::default());
+//! let pr = solve(&g, &JumpVector::Uniform, &PageRankConfig::default())
+//!     .expect("symmetric 3-cycle converges");
 //! assert!(pr.converged);
 //! // A symmetric cycle gives equal scores.
 //! assert!((pr.scores[0] - pr.scores[1]).abs() < 1e-9);
@@ -53,16 +62,19 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod chain;
 mod config;
 pub mod contribution;
 mod error;
 pub mod gauss_seidel;
+mod guard;
 pub mod jacobi;
 mod jump;
 pub mod parallel;
 pub mod power;
 mod scores;
 
+pub use chain::{AttemptOutcome, AttemptReport, ChainError, ChainSolve, SolverChain, SolverKind};
 pub use config::PageRankConfig;
 pub use error::PageRankError;
 pub use jump::JumpVector;
@@ -79,7 +91,9 @@ pub struct PageRankResult {
     pub iterations: usize,
     /// Final L1 residual `‖p[i] − p[i−1]‖₁`.
     pub residual: f64,
-    /// Whether the residual dropped below the configured tolerance.
+    /// Whether the residual dropped below the configured tolerance. Always
+    /// `true` for results returned by the strict solvers (a failed solve is
+    /// an `Err` instead); retained so downstream reporting stays uniform.
     pub converged: bool,
     /// L1 residual after each iteration (`residual_history.last()` equals
     /// `residual`). Lets callers compare solver convergence rates — the
@@ -102,11 +116,8 @@ impl PageRankResult {
             return None;
         }
         let tail = &h[h.len().saturating_sub(6)..];
-        let ratios: Vec<f64> = tail
-            .windows(2)
-            .filter(|w| w[0] > 0.0 && w[1] > 0.0)
-            .map(|w| w[1] / w[0])
-            .collect();
+        let ratios: Vec<f64> =
+            tail.windows(2).filter(|w| w[0] > 0.0 && w[1] > 0.0).map(|w| w[1] / w[0]).collect();
         if ratios.is_empty() {
             return None;
         }
@@ -116,6 +127,13 @@ impl PageRankResult {
 
 /// Solves linear PageRank with the default (Jacobi) solver — the exact
 /// Algorithm 1 of the paper.
-pub fn solve(graph: &Graph, jump: &JumpVector, config: &PageRankConfig) -> PageRankResult {
+///
+/// # Errors
+/// See [`jacobi::solve_jacobi`]; use [`SolverChain`] for automatic fallback.
+pub fn solve(
+    graph: &Graph,
+    jump: &JumpVector,
+    config: &PageRankConfig,
+) -> Result<PageRankResult, PageRankError> {
     jacobi::solve_jacobi(graph, jump, config)
 }

@@ -2,7 +2,7 @@
 //!
 //! The Yahoo! experiments ran PageRank twice over a 979M-edge host graph;
 //! at that scale the matrix–vector product dominates. This solver
-//! parallelizes each Jacobi sweep with `crossbeam::scope`:
+//! parallelizes each Jacobi sweep with `std::thread::scope`:
 //!
 //! 1. a parallel pass computes per-node shares `s[x] = c·p[x]/out(x)`;
 //! 2. a parallel **gather** pass computes
@@ -14,6 +14,9 @@
 //! `p′[y]` is accumulated by exactly one thread in a fixed order.
 
 use crate::config::PageRankConfig;
+use crate::error::PageRankError;
+use crate::guard::ConvergenceGuard;
+use crate::jacobi::check_jump_length;
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
@@ -25,25 +28,31 @@ const MIN_CHUNK: usize = 16 * 1024;
 ///
 /// Falls back to the serial Jacobi solver for graphs smaller than one
 /// chunk, so it is safe to call unconditionally.
+///
+/// # Errors
+/// Same contract as [`solve_jacobi`](crate::jacobi::solve_jacobi).
 pub fn solve_parallel_jacobi(
     graph: &Graph,
     jump: &JumpVector,
     config: &PageRankConfig,
-) -> PageRankResult {
-    config.validate().expect("invalid PageRank configuration");
-    let n = graph.node_count();
-    let v = jump.materialize(n).expect("invalid jump vector");
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
+    let v = jump.materialize(graph.node_count())?;
     solve_parallel_jacobi_dense(graph, &v, config)
 }
 
 /// Parallel Jacobi with an already-materialized jump vector.
+///
+/// # Errors
+/// Same contract as [`solve_parallel_jacobi`].
 pub fn solve_parallel_jacobi_dense(
     graph: &Graph,
     v: &[f64],
     config: &PageRankConfig,
-) -> PageRankResult {
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
     let n = graph.node_count();
-    assert_eq!(v.len(), n, "jump vector length mismatch");
+    check_jump_length(v, n)?;
 
     let threads = effective_threads(config.threads, n);
     if threads <= 1 {
@@ -72,26 +81,24 @@ pub fn solve_parallel_jacobi_dense(
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
     let mut residual_history = Vec::new();
+    let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
         iterations += 1;
 
         // Pass 1: shares s[x] = c·p[x]/out(x) (embarrassingly parallel;
         // equal-size chunks keep the three slices aligned).
-        crossbeam::scope(|scope| {
-            for ((ss, xs), ios) in shares
-                .chunks_mut(chunk)
-                .zip(p.chunks(chunk))
-                .zip(inv_out.chunks(chunk))
+        std::thread::scope(|scope| {
+            for ((ss, xs), ios) in
+                shares.chunks_mut(chunk).zip(p.chunks(chunk)).zip(inv_out.chunks(chunk))
             {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (s, (&px, &io)) in ss.iter_mut().zip(xs.iter().zip(ios)) {
                         *s = c * px * io;
                     }
                 });
             }
-        })
-        .expect("share pass panicked");
+        });
 
         // Pass 2: gather into disjoint chunks of destinations. Each chunk
         // writes its residual contribution into its own slot; the slots
@@ -101,14 +108,13 @@ pub fn solve_parallel_jacobi_dense(
         {
             let shares_ref = &shares;
             let p_ref = &p;
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut start = 0usize;
-                for (out_chunk, delta_slot) in
-                    p_next.chunks_mut(chunk).zip(chunk_deltas.iter_mut())
+                for (out_chunk, delta_slot) in p_next.chunks_mut(chunk).zip(chunk_deltas.iter_mut())
                 {
                     let lo = start;
                     start += out_chunk.len();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local_delta = 0.0f64;
                         for (offset, slot) in out_chunk.iter_mut().enumerate() {
                             let y = lo + offset;
@@ -122,25 +128,25 @@ pub fn solve_parallel_jacobi_dense(
                         *delta_slot = local_delta;
                     });
                 }
-            })
-            .expect("gather pass panicked");
+            });
         }
 
         residual = chunk_deltas.iter().sum();
         residual_history.push(residual);
         std::mem::swap(&mut p, &mut p_next);
+        guard.observe(iterations, residual)?;
         if residual < config.tolerance {
-            break;
+            return Ok(PageRankResult {
+                scores: p,
+                iterations,
+                residual,
+                converged: true,
+                residual_history,
+            });
         }
     }
 
-    PageRankResult {
-        scores: p,
-        iterations,
-        residual,
-        converged: residual < config.tolerance,
-        residual_history,
-    }
+    Err(PageRankError::DidNotConverge { iterations, residual })
 }
 
 fn effective_threads(configured: usize, n: usize) -> usize {
@@ -178,8 +184,8 @@ mod tests {
     #[test]
     fn small_graph_falls_back_to_serial() {
         let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
-        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
-        let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg());
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         assert_eq!(a.scores, b.scores);
         assert_eq!(a.iterations, b.iterations);
     }
@@ -188,8 +194,8 @@ mod tests {
     fn matches_serial_on_large_random_graph() {
         // Big enough to engage at least 2 chunks.
         let g = random_graph(40_000, 200_000, 7);
-        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
-        let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(4));
+        let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(4)).unwrap();
         assert_eq!(a.iterations, b.iterations);
         for i in 0..g.node_count() {
             assert!(
@@ -204,9 +210,19 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let g = random_graph(40_000, 120_000, 11);
-        let r1 = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(3));
-        let r2 = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(3));
+        let r1 = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(3)).unwrap();
+        let r2 = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(3)).unwrap();
         assert_eq!(r1.scores, r2.scores);
+    }
+
+    #[test]
+    fn iteration_cap_is_a_typed_error() {
+        let g = random_graph(40_000, 120_000, 13);
+        let tight = cfg().threads(2).max_iterations(2).tolerance(1e-300);
+        assert!(matches!(
+            solve_parallel_jacobi(&g, &JumpVector::Uniform, &tight),
+            Err(PageRankError::DidNotConverge { iterations: 2, .. })
+        ));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! solvers are "regularly faster".
 
 use crate::config::PageRankConfig;
-use crate::jacobi::l1_distance;
+use crate::error::PageRankError;
+use crate::guard::ConvergenceGuard;
+use crate::jacobi::{check_jump_length, l1_distance};
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
@@ -25,34 +27,49 @@ use spammass_graph::Graph;
 /// The jump vector must be a proper distribution (`‖v‖₁ = 1`); pass
 /// [`JumpVector::Uniform`] for the classic setting.
 ///
-/// # Panics
-/// Panics if config or jump vector is invalid, or if `‖v‖₁ ≠ 1`.
-pub fn solve_power(graph: &Graph, jump: &JumpVector, config: &PageRankConfig) -> PageRankResult {
-    config.validate().expect("invalid PageRank configuration");
+/// # Errors
+/// Returns [`PageRankError::InvalidJumpVector`] when `‖v‖₁ ≠ 1`, plus the
+/// shared configuration and convergence errors of the other solvers.
+pub fn solve_power(
+    graph: &Graph,
+    jump: &JumpVector,
+    config: &PageRankConfig,
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
     let n = graph.node_count();
-    let v = jump.materialize(n).expect("invalid jump vector");
+    let v = jump.materialize(n)?;
     if n > 0 {
         let norm: f64 = v.iter().sum();
-        assert!(
-            (norm - 1.0).abs() < 1e-9,
-            "power iteration requires a normalized jump vector (got ‖v‖ = {norm})"
-        );
+        if (norm - 1.0).abs() >= 1e-9 {
+            return Err(PageRankError::InvalidJumpVector(format!(
+                "power iteration requires a normalized jump vector (got ‖v‖ = {norm})"
+            )));
+        }
     }
     solve_power_dense(graph, &v, config)
 }
 
 /// Power iteration with an already-materialized, normalized jump vector.
-pub fn solve_power_dense(graph: &Graph, v: &[f64], config: &PageRankConfig) -> PageRankResult {
+///
+/// # Errors
+/// Same contract as [`solve_power`] minus the normalization pre-check:
+/// callers of the dense entry point are trusted to pass a distribution.
+pub fn solve_power_dense(
+    graph: &Graph,
+    v: &[f64],
+    config: &PageRankConfig,
+) -> Result<PageRankResult, PageRankError> {
+    config.validate()?;
     let n = graph.node_count();
-    assert_eq!(v.len(), n, "jump vector length mismatch");
+    check_jump_length(v, n)?;
     if n == 0 {
-        return PageRankResult {
+        return Ok(PageRankResult {
             scores: Vec::new(),
             iterations: 0,
             residual: 0.0,
             converged: true,
             residual_history: Vec::new(),
-        };
+        });
     }
     let c = config.damping;
 
@@ -61,6 +78,7 @@ pub fn solve_power_dense(graph: &Graph, v: &[f64], config: &PageRankConfig) -> P
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
     let mut residual_history = Vec::new();
+    let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
         iterations += 1;
@@ -78,18 +96,19 @@ pub fn solve_power_dense(graph: &Graph, v: &[f64], config: &PageRankConfig) -> P
         residual = l1_distance(&p, &p_next);
         residual_history.push(residual);
         std::mem::swap(&mut p, &mut p_next);
+        guard.observe(iterations, residual)?;
         if residual < config.tolerance {
-            break;
+            return Ok(PageRankResult {
+                scores: p,
+                iterations,
+                residual,
+                converged: true,
+                residual_history,
+            });
         }
     }
 
-    PageRankResult {
-        scores: p,
-        iterations,
-        residual,
-        converged: residual < config.tolerance,
-        residual_history,
-    }
+    Err(PageRankError::DidNotConverge { iterations, residual })
 }
 
 #[cfg(test)]
@@ -105,7 +124,7 @@ mod tests {
     #[test]
     fn stationary_distribution_sums_to_one() {
         let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let r = solve_power(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_power(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let total: f64 = r.scores.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(r.converged);
@@ -116,8 +135,8 @@ mod tests {
         // With no dangling nodes T′ = T, and the linear solution with
         // k = 1 − c equals the stationary distribution exactly.
         let g = GraphBuilder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0)]);
-        let lin = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
-        let pow = solve_power(&g, &JumpVector::Uniform, &cfg());
+        let lin = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        let pow = solve_power(&g, &JumpVector::Uniform, &cfg()).unwrap();
         for i in 0..5 {
             assert!(
                 (lin.scores[i] - pow.scores[i]).abs() < 1e-8,
@@ -135,12 +154,12 @@ mod tests {
         // proportions as the eigen solution only when dangling mass is
         // reinjected proportionally to v — verify ordering agreement here.
         let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)]);
-        let lin = solve_jacobi(&g, &JumpVector::Uniform, &cfg());
-        let pow = solve_power(&g, &JumpVector::Uniform, &cfg());
+        let lin = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        let pow = solve_power(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let mut lin_order: Vec<usize> = (0..6).collect();
-        lin_order.sort_by(|&a, &b| lin.scores[a].partial_cmp(&lin.scores[b]).unwrap());
+        lin_order.sort_by(|&a, &b| lin.scores[a].total_cmp(&lin.scores[b]));
         let mut pow_order: Vec<usize> = (0..6).collect();
-        pow_order.sort_by(|&a, &b| pow.scores[a].partial_cmp(&pow.scores[b]).unwrap());
+        pow_order.sort_by(|&a, &b| pow.scores[a].total_cmp(&pow.scores[b]));
         assert_eq!(lin_order, pow_order);
     }
 
@@ -148,7 +167,7 @@ mod tests {
     fn dangling_handling_conserves_mass() {
         // Star into a dangling hub: all mass re-enters via teleport.
         let g = GraphBuilder::from_edges(4, &[(0, 3), (1, 3), (2, 3)]);
-        let r = solve_power(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_power(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let total: f64 = r.scores.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         // Hub is the clear winner.
@@ -156,18 +175,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "normalized jump vector")]
     fn rejects_unnormalized_jump() {
         use spammass_graph::NodeId;
         let g = GraphBuilder::from_edges(2, &[(0, 1)]);
         let jump = JumpVector::scaled_core(vec![NodeId(0)], 0.5);
-        let _ = solve_power(&g, &jump, &cfg());
+        match solve_power(&g, &jump, &cfg()) {
+            Err(PageRankError::InvalidJumpVector(msg)) => {
+                assert!(msg.contains("normalized jump vector"), "{msg}");
+            }
+            other => panic!("expected InvalidJumpVector, got {other:?}"),
+        }
     }
 
     #[test]
     fn empty_graph() {
         let g = GraphBuilder::new(0).build();
-        let r = solve_power(&g, &JumpVector::Uniform, &cfg());
+        let r = solve_power(&g, &JumpVector::Uniform, &cfg()).unwrap();
         assert!(r.scores.is_empty());
         assert!(r.converged);
     }

@@ -63,18 +63,15 @@ impl<'a> PageRankScores<'a> {
     }
 
     /// The `k` highest-scoring nodes, descending (ties by ascending id).
+    ///
+    /// Uses [`f64::total_cmp`], so the ordering is total even if NaN scores
+    /// slip in (NaN sorts above every number and therefore surfaces at the
+    /// front of the ranking, where it is visible, instead of silently
+    /// scrambling the comparator).
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
         let mut idx: Vec<usize> = (0..self.raw.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.raw[b]
-                .partial_cmp(&self.raw[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        idx.into_iter()
-            .take(k)
-            .map(|i| (NodeId::from_index(i), self.raw[i]))
-            .collect()
+        idx.sort_by(|&a, &b| self.raw[b].total_cmp(&self.raw[a]).then(a.cmp(&b)));
+        idx.into_iter().take(k).map(|i| (NodeId::from_index(i), self.raw[i])).collect()
     }
 
     /// Count of nodes whose **scaled** score is at least `threshold` — the
@@ -91,13 +88,24 @@ mod tests {
 
     #[test]
     fn scaling_round_trip() {
-        let raw = vec![0.15 / 12.0 * 80.0 / 80.0; 12]; // arbitrary
         let raw: Vec<f64> = (0..12).map(|i| (i as f64 + 1.0) / 1000.0).collect();
         let s = PageRankScores::new(&raw, 0.85);
         assert!((s.scale() - 80.0).abs() < 1e-12);
         assert!((s.scaled(NodeId(0)) - raw[0] * 80.0).abs() < 1e-12);
         assert_eq!(s.scaled_vec().len(), 12);
-        let _ = raw.len();
+    }
+
+    #[test]
+    fn top_k_is_total_under_nan() {
+        // A NaN score must not scramble the ordering of the finite scores;
+        // total_cmp sorts NaN first (most visible), finite scores after.
+        let raw = vec![0.1, f64::NAN, 0.3, 0.2];
+        let s = PageRankScores::new(&raw, 0.85);
+        let top = s.top_k(4);
+        assert!(top[0].1.is_nan());
+        assert_eq!(top[1].0, NodeId(2));
+        assert_eq!(top[2].0, NodeId(3));
+        assert_eq!(top[3].0, NodeId(0));
     }
 
     #[test]

@@ -32,11 +32,11 @@ proptest! {
     fn score_bounds(g in arb_graph()) {
         let n = g.node_count();
         let v = JumpVector::Uniform.materialize(n).unwrap();
-        let r = solve_jacobi_dense(&g, &v, &cfg());
+        let r = solve_jacobi_dense(&g, &v, &cfg()).unwrap();
         prop_assert!(r.converged);
         let c = 0.85;
-        for i in 0..n {
-            prop_assert!(r.scores[i] >= (1.0 - c) * v[i] - 1e-12);
+        for (vi, si) in v.iter().zip(&r.scores) {
+            prop_assert!(*si >= (1.0 - c) * vi - 1e-12);
         }
         let total: f64 = r.scores.iter().sum();
         prop_assert!(total <= 1.0 + 1e-9, "norm {total}");
@@ -50,7 +50,7 @@ proptest! {
     fn mass_balance_at_fixed_point(g in arb_graph()) {
         let n = g.node_count();
         let v = JumpVector::Uniform.materialize(n).unwrap();
-        let r = solve_jacobi_dense(&g, &v, &cfg());
+        let r = solve_jacobi_dense(&g, &v, &cfg()).unwrap();
         let norm_p: f64 = r.scores.iter().sum();
         let dangling: f64 = g.dangling_nodes().map(|x| r.scores[x.index()]).sum();
         let norm_v: f64 = v.iter().sum();
@@ -65,7 +65,7 @@ proptest! {
     fn no_inlink_nodes_score_baseline(g in arb_graph()) {
         let n = g.node_count();
         let v = JumpVector::Uniform.materialize(n).unwrap();
-        let r = solve_jacobi_dense(&g, &v, &cfg());
+        let r = solve_jacobi_dense(&g, &v, &cfg()).unwrap();
         for x in g.nodes() {
             if g.in_degree(x) == 0 {
                 prop_assert!((r.scores[x.index()] - 0.15 * v[x.index()]).abs() < 1e-12);
@@ -79,7 +79,7 @@ proptest! {
     fn residual_history_contracts(g in arb_graph()) {
         let n = g.node_count();
         let v = JumpVector::Uniform.materialize(n).unwrap();
-        let r = solve_jacobi_dense(&g, &v, &cfg());
+        let r = solve_jacobi_dense(&g, &v, &cfg()).unwrap();
         for w in r.residual_history.windows(2) {
             prop_assert!(
                 w[1] <= 0.85 * w[0] + 1e-15,
@@ -98,10 +98,10 @@ proptest! {
         let set: Vec<NodeId> = g.nodes().filter(|x| mask[x.index()]).collect();
         prop_assume!(!set.is_empty());
         let config = cfg();
-        let q_set = contribution_of_set(&g, &set, &config);
+        let q_set = contribution_of_set(&g, &set, &config).unwrap();
         let mut summed = vec![0.0f64; n];
         for &x in &set {
-            let q = contribution_of_node(&g, x, 1.0 / n as f64, &config);
+            let q = contribution_of_node(&g, x, 1.0 / n as f64, &config).unwrap();
             for (s, qy) in summed.iter_mut().zip(&q) {
                 *s += qy;
             }
@@ -117,9 +117,9 @@ proptest! {
         let n = g.node_count();
         let v = JumpVector::Uniform.materialize(n).unwrap();
         let config = PageRankConfig::with_damping(1e-9).tolerance(1e-14).max_iterations(100);
-        let r = solve_jacobi_dense(&g, &v, &config);
-        for i in 0..n {
-            prop_assert!((r.scores[i] - v[i]).abs() < 1e-6);
+        let r = solve_jacobi_dense(&g, &v, &config).unwrap();
+        for (vi, si) in v.iter().zip(&r.scores) {
+            prop_assert!((si - vi).abs() < 1e-6);
         }
     }
 }

@@ -70,12 +70,7 @@ impl CommunitySpec {
                 hubs: 12,
                 isolated: true,
             },
-            CommunitySpec {
-                kind: CommunityKind::HostedBlogs,
-                size: unit,
-                hubs: 4,
-                isolated: true,
-            },
+            CommunitySpec { kind: CommunityKind::HostedBlogs, size: unit, hubs: 4, isolated: true },
             CommunitySpec {
                 kind: CommunityKind::NationalWeb {
                     country: crate::names::COUNTRIES
@@ -145,7 +140,8 @@ mod tests {
 
     #[test]
     fn hubs_listed_first() {
-        let spec = CommunitySpec { kind: CommunityKind::Commerce, size: 5, hubs: 2, isolated: true };
+        let spec =
+            CommunitySpec { kind: CommunityKind::Commerce, size: 5, hubs: 2, isolated: true };
         let c = Community {
             id: 0,
             spec,
@@ -159,7 +155,8 @@ mod tests {
 
     #[test]
     fn hubs_clamped_to_member_count() {
-        let spec = CommunitySpec { kind: CommunityKind::Commerce, size: 1, hubs: 5, isolated: true };
+        let spec =
+            CommunitySpec { kind: CommunityKind::Commerce, size: 1, hubs: 5, isolated: true };
         let c = Community { id: 0, spec, members: vec![NodeId(1)] };
         assert_eq!(c.hubs().len(), 1);
         assert!(c.rank_and_file().is_empty());

@@ -206,9 +206,6 @@ mod tests {
     #[test]
     fn community_hosts_sums_sizes() {
         let c = WebModelConfig::with_hosts(10_000);
-        assert_eq!(
-            c.community_hosts(),
-            c.communities.iter().map(|s| s.size).sum::<usize>()
-        );
+        assert_eq!(c.community_hosts(), c.communities.iter().map(|s| s.size).sum::<usize>());
     }
 }

@@ -80,20 +80,24 @@ mod tests {
     const C: f64 = 0.85;
 
     fn solve_scaled(graph: &Graph) -> Vec<f64> {
-        let cfg = PageRankConfig::default().tolerance(1e-14).max_iterations(50_000);
-        let r = jacobi::solve_jacobi(graph, &JumpVector::Uniform, &cfg);
+        // 1e-13 stays far below the 1e-6/1e-8 assertion tolerances while
+        // leaving headroom above the residual's floating-point floor.
+        let cfg = PageRankConfig::default().tolerance(1e-13).max_iterations(50_000);
+        let r = jacobi::solve_jacobi(graph, &JumpVector::Uniform, &cfg)
+            .expect("farm graphs converge at 1e-13");
         let scale = graph.node_count() as f64 / (1.0 - C);
         r.scores.iter().map(|&p| p * scale).collect()
     }
 
-    fn farm(topology: FarmTopology, boosters: usize, backlink: bool) -> (Graph, crate::farms::Farm) {
+    fn farm(
+        topology: FarmTopology,
+        boosters: usize,
+        backlink: bool,
+    ) -> (Graph, crate::farms::Farm) {
         let mut rng = StdRng::seed_from_u64(1);
         let mut b = WebBuilder::new();
-        let cfg = FarmConfig {
-            topology,
-            target_links_back: backlink,
-            ..FarmConfig::star(boosters)
-        };
+        let cfg =
+            FarmConfig { topology, target_links_back: backlink, ..FarmConfig::star(boosters) };
         let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &[], &[]);
         (b.build_graph(), farm)
     }

@@ -186,10 +186,8 @@ pub fn inject_farm<R: Rng + ?Sized>(
     // at the target. Their old good in-links persist — that is the point.
     let mut expired = Vec::new();
     if config.expired_domains > 0 && !convertible.is_empty() {
-        let picks: Vec<NodeId> = convertible
-            .choose_multiple(rng, config.expired_domains)
-            .copied()
-            .collect();
+        let picks: Vec<NodeId> =
+            convertible.choose_multiple(rng, config.expired_domains).copied().collect();
         for host in picks {
             if builder.truth.is_spam(host) {
                 continue; // already converted by another farm
@@ -234,10 +232,7 @@ pub fn inject_alliance<R: Rng + ?Sized>(
 /// (the "blog or message board or guestbook" surface of Section 2.3).
 pub fn hijackable_pool(builder: &WebBuilder) -> Vec<NodeId> {
     builder.truth.filter(|c| {
-        matches!(
-            c,
-            NodeClass::Good(GoodKind::Forum) | NodeClass::Good(GoodKind::Blog { .. })
-        )
+        matches!(c, NodeClass::Good(GoodKind::Forum) | NodeClass::Good(GoodKind::Blog { .. }))
     })
 }
 
@@ -304,11 +299,8 @@ mod tests {
         let cfg = FarmConfig { hijacked_links: 8, ..FarmConfig::star(3) };
         let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &hosts, &[]);
         let g = b.build_graph();
-        let good_inlinks = g
-            .in_neighbors(farm.target)
-            .iter()
-            .filter(|&&src| b.truth.is_good(src))
-            .count();
+        let good_inlinks =
+            g.in_neighbors(farm.target).iter().filter(|&&src| b.truth.is_good(src)).count();
         assert!(good_inlinks > 0, "some hijacked links must land (dedup allowed)");
     }
 
@@ -316,11 +308,7 @@ mod tests {
     fn honeypots_link_to_target_and_attract_links() {
         let mut rng = StdRng::seed_from_u64(5);
         let (mut b, hosts) = builder_with_good_hosts(10, &mut rng);
-        let cfg = FarmConfig {
-            honeypots: 2,
-            honeypot_inlinks: 3,
-            ..FarmConfig::star(2)
-        };
+        let cfg = FarmConfig { honeypots: 2, honeypot_inlinks: 3, ..FarmConfig::star(2) };
         let farm = inject_farm(&mut b, &mut rng, 0, &cfg, &hosts, &[]);
         let g = b.build_graph();
         assert_eq!(farm.honeypots.len(), 2);

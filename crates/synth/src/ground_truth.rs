@@ -180,10 +180,7 @@ impl GroundTruth {
 
     /// Iterator over `(node, class)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeClass)> + '_ {
-        self.classes
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (NodeId::from_index(i), c))
+        self.classes.iter().enumerate().map(|(i, &c)| (NodeId::from_index(i), c))
     }
 }
 

@@ -14,8 +14,8 @@ use rand::Rng;
 /// includes `it` (the biased core of Section 4.5) and `pl` (the
 /// under-covered country of Section 4.4.1).
 pub const COUNTRIES: &[&str] = &[
-    "us", "it", "pl", "cz", "de", "fr", "uk", "jp", "br", "cn", "au", "ca", "es", "nl", "se",
-    "kr", "in", "mx", "ar", "fi",
+    "us", "it", "pl", "cz", "de", "fr", "uk", "jp", "br", "cn", "au", "ca", "es", "nl", "se", "kr",
+    "in", "mx", "ar", "fi",
 ];
 
 const WORDS: &[&str] = &[
@@ -101,8 +101,7 @@ mod tests {
     #[test]
     fn italian_edu_hosts_have_it_suffix() {
         let idx = COUNTRIES.iter().position(|&c| c == "it").unwrap() as u16;
-        let name =
-            host_name(&mut rng(), NodeClass::Good(GoodKind::Education { country: idx }), 2);
+        let name = host_name(&mut rng(), NodeClass::Good(GoodKind::Education { country: idx }), 2);
         assert!(HostName::new(&name).has_suffix("it"), "{name}");
         assert!(name.contains(".edu."), "{name}");
     }

@@ -196,9 +196,8 @@ fn farm_config<R: Rng + ?Sized>(
     remaining_budget: usize,
     rng: &mut R,
 ) -> FarmConfig {
-    let mut boosters = sizes
-        .sample_clamped(rng, sc.farm_size_cap)
-        .min(remaining_budget.max(sc.farm_size_min));
+    let mut boosters =
+        sizes.sample_clamped(rng, sc.farm_size_cap).min(remaining_budget.max(sc.farm_size_min));
 
     // A slice of the farms are naive "machine-stamped" template cliques —
     // every booster with identical degrees, the regular structure the
@@ -223,7 +222,7 @@ fn farm_config<R: Rng + ?Sized>(
     // themselves; all farm value belongs at the target.
     let topology = if rng.gen_bool(0.4) { FarmTopology::Ring } else { FarmTopology::Star };
     let hijacked_links = if rng.gen_bool(sc.hijack_probability) {
-        (boosters / 20).max(1) + rng.gen_range(0..3)
+        (boosters / 20).max(1) + rng.gen_range(0..3usize)
     } else {
         0
     };

@@ -195,8 +195,9 @@ pub fn generate_good_web<R: Rng + ?Sized>(
     let personal: Vec<NodeId> = (0..n_personal)
         .map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Personal)))
         .collect();
-    let business: Vec<NodeId> =
-        (0..n_business).map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Business))).collect();
+    let business: Vec<NodeId> = (0..n_business)
+        .map(|_| builder.add_node(rng, NodeClass::Good(GoodKind::Business)))
+        .collect();
 
     // --- create communities ----------------------------------------------
     let communities: Vec<Community> = config
@@ -209,10 +210,9 @@ pub fn generate_good_web<R: Rng + ?Sized>(
     // --- choose isolated hosts -------------------------------------------
     // Isolated hosts come from the personal/business pool; they get no
     // links in either direction.
-    let isolated_count = ((n as f64 * config.isolated_fraction) as usize)
-        .min(personal.len() + business.len());
-    let mut leaf_pool: Vec<NodeId> =
-        personal.iter().chain(business.iter()).copied().collect();
+    let isolated_count =
+        ((n as f64 * config.isolated_fraction) as usize).min(personal.len() + business.len());
+    let mut leaf_pool: Vec<NodeId> = personal.iter().chain(business.iter()).copied().collect();
     leaf_pool.shuffle(rng);
     let isolated: Vec<NodeId> = leaf_pool[..isolated_count].to_vec();
     let connectable: Vec<NodeId> = leaf_pool[isolated_count..].to_vec();
@@ -279,8 +279,7 @@ pub fn generate_good_web<R: Rng + ?Sized>(
     let mut institutional: Vec<NodeId> = Vec::with_capacity(gov.len() + edu.len());
     institutional.extend(&gov);
     institutional.extend(&edu);
-    let institutional_pool =
-        PopularityPool::new(institutional, config.popularity_exponent, rng);
+    let institutional_pool = PopularityPool::new(institutional, config.popularity_exponent, rng);
     let is_institutional = {
         let mut flags = vec![false; builder.node_count()];
         for &x in gov.iter().chain(edu.iter()) {
@@ -361,7 +360,6 @@ pub fn generate_good_web<R: Rng + ?Sized>(
             megas_by_sector[s as usize].push(m);
         }
     }
-
 
     let sector_pools: Vec<PopularityPool> = (0..sector_count)
         .map(|s| {
@@ -738,9 +736,7 @@ mod tests {
             .members
             .iter()
             .copied()
-            .filter(|&m| {
-                matches!(b.truth.class(m), NodeClass::Good(GoodKind::Education { .. }))
-            })
+            .filter(|&m| matches!(b.truth.class(m), NodeClass::Good(GoodKind::Education { .. })))
             .collect();
         match national.spec.kind {
             CommunityKind::NationalWeb { edu_hosts, .. } => {
@@ -768,8 +764,7 @@ mod tests {
             let hub_avg = c.hubs().iter().map(|&h| g.in_degree(h)).sum::<usize>() as f64
                 / c.hubs().len() as f64;
             let rf = c.rank_and_file();
-            let rf_avg =
-                rf.iter().map(|&m| g.in_degree(m)).sum::<usize>() as f64 / rf.len() as f64;
+            let rf_avg = rf.iter().map(|&m| g.in_degree(m)).sum::<usize>() as f64 / rf.len() as f64;
             assert!(
                 hub_avg > rf_avg * 2.0,
                 "community {}: hub avg {hub_avg} vs member avg {rf_avg}",

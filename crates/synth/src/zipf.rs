@@ -123,18 +123,14 @@ mod tests {
     fn zipf_samples_match_pmf() {
         let z = ZipfSampler::new(10, 1.2);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         let draws = 200_000;
         for _ in 0..draws {
             counts[z.sample(&mut rng) - 1] += 1;
         }
         for k in 1..=10 {
             let emp = counts[k - 1] as f64 / draws as f64;
-            assert!(
-                (emp - z.pmf(k)).abs() < 0.01,
-                "rank {k}: empirical {emp} vs pmf {}",
-                z.pmf(k)
-            );
+            assert!((emp - z.pmf(k)).abs() < 0.01, "rank {k}: empirical {emp} vs pmf {}", z.pmf(k));
         }
     }
 

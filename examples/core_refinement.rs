@@ -24,7 +24,10 @@ fn main() {
     let core = GoodCore::from_nodes(scenario.section_4_2_core());
     let pr = PageRankConfig::default().tolerance(1e-12).max_iterations(200);
     let estimator = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr));
-    let estimate = estimator.estimate(&scenario.graph, &core.as_vec());
+    let estimate = estimator
+        .estimate(&scenario.graph, &core.as_vec())
+        .expect("synthetic webs converge")
+        .into_mass();
     let pool = candidate_pool(&estimate, 10.0);
 
     // Step 1 — judges flag pool hosts that are good yet carry high mass.
@@ -62,21 +65,16 @@ fn main() {
 
     // Re-estimate with the expanded core.
     let expanded = apply_proposals(&core, &proposals);
-    let after = estimator.estimate_with_pagerank(
-        &scenario.graph,
-        &expanded.as_vec(),
-        estimate.pagerank.clone(),
-    );
+    let after = estimator
+        .estimate_with_pagerank(&scenario.graph, &expanded.as_vec(), estimate.pagerank.clone())
+        .expect("core solve converges")
+        .into_mass();
 
     println!("\nrelative mass of the flagged hosts, before -> after the fix:");
     for &x in flagged_good.iter().take(12) {
         println!(
             "  {:<40} {:>7.4} -> {:>7.4}",
-            scenario
-                .labels
-                .name(x)
-                .map(|h| h.to_string())
-                .unwrap_or_default(),
+            scenario.labels.name(x).map(|h| h.to_string()).unwrap_or_default(),
             estimate.relative_of(x),
             after.relative_of(x)
         );
@@ -85,10 +83,8 @@ fn main() {
         .iter()
         .filter(|&&x| scenario.truth.is_spam(x) && estimate.relative_of(x) >= 0.98)
         .count();
-    let spam_after: usize = pool
-        .iter()
-        .filter(|&&x| scenario.truth.is_spam(x) && after.relative_of(x) >= 0.98)
-        .count();
+    let spam_after: usize =
+        pool.iter().filter(|&&x| scenario.truth.is_spam(x) && after.relative_of(x) >= 0.98).count();
     println!(
         "\nspam hosts above tau = 0.98: {spam_before} before, {spam_after} after — the fix\n\
          removes the good-community false positives without releasing the spam."

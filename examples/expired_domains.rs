@@ -38,7 +38,10 @@ fn main() {
     let mut core = web.directories.clone();
     core.extend(&web.gov);
     core.extend(&web.edu);
-    let estimate = MassEstimator::new(EstimatorConfig::scaled(0.85)).estimate(&graph, &core);
+    let estimate = MassEstimator::new(EstimatorConfig::scaled(0.85))
+        .estimate(&graph, &core)
+        .expect("example graph converges")
+        .into_mass();
     let detection = detect(&estimate, &DetectorConfig { rho: 10.0, tau: 0.98 });
 
     println!("farm target:");

@@ -22,9 +22,13 @@ fn main() {
     // Regular PageRank + exact mass (requires full knowledge — the
     // yardstick), and the practical estimate from the good core alone.
     let pr_config = PageRankConfig::default().tolerance(1e-14).max_iterations(10_000);
-    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &pr_config);
+    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &pr_config)
+        .expect("figure 2 graph converges");
     let estimator = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr_config));
-    let estimate = estimator.estimate(&fig.graph, &fig.good_core());
+    let estimate = estimator
+        .estimate(&fig.graph, &fig.good_core())
+        .expect("figure 2 graph converges")
+        .into_mass();
 
     println!("Table 1 of the paper, recomputed (scaled by n/(1-c)):\n");
     println!("{:>5} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}", "node", "p", "p'", "M", "M~", "m", "m~");

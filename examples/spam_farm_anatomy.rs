@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use spammass::core::detector::{detect, DetectorConfig};
 use spammass::core::estimate::{EstimatorConfig, MassEstimator};
 use spammass::synth::config::WebModelConfig;
-use spammass::synth::farms::{inject_farm, hijackable_pool, FarmConfig, FarmTopology};
+use spammass::synth::farms::{hijackable_pool, inject_farm, FarmConfig, FarmTopology};
 use spammass::synth::webmodel::{generate_good_web, WebBuilder};
 
 fn main() {
@@ -57,13 +57,13 @@ fn main() {
     let mut core = web.directories.clone();
     core.extend(&web.gov);
     core.extend(&web.edu);
-    let estimate = MassEstimator::new(EstimatorConfig::scaled(0.85)).estimate(&graph, &core);
+    let estimate = MassEstimator::new(EstimatorConfig::scaled(0.85))
+        .estimate(&graph, &core)
+        .expect("example graph converges")
+        .into_mass();
     let detection = detect(&estimate, &DetectorConfig { rho: 10.0, tau: 0.98 });
 
-    println!(
-        "{:<55} {:>10} {:>8} {:>9}",
-        "farm", "scaled p", "m~", "flagged?"
-    );
+    println!("{:<55} {:>10} {:>8} {:>9}", "farm", "scaled p", "m~", "flagged?");
     for (label, farm) in &farms {
         println!(
             "{:<55} {:>10.1} {:>8.3} {:>9}",

@@ -22,12 +22,15 @@ fn main() {
 
     // Spam-mass pipeline: the full core, gamma-scaled.
     let estimate = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_config))
-        .estimate(&scenario.graph, &core.as_vec());
+        .estimate(&scenario.graph, &core.as_vec())
+        .expect("synthetic webs converge")
+        .into_mass();
 
     // TrustRank: a small, high-quality seed (1% of the core), as its
     // philosophy dictates.
     let seeds = core.sample_fraction(0.01, 5).as_vec();
-    let trust = trustrank_with_seeds(&scenario.graph, &pr_config, seeds);
+    let trust = trustrank_with_seeds(&scenario.graph, &pr_config, seeds)
+        .expect("trust propagation converges");
     println!(
         "core: {} hosts; TrustRank seed: {} hosts ({}x smaller)\n",
         core.len(),

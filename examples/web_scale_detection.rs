@@ -36,31 +36,25 @@ fn main() {
         EstimatorConfig::scaled(0.85)
             .with_pagerank(PageRankConfig::default().tolerance(1e-12).max_iterations(200)),
     );
-    let estimate = estimator.estimate(&scenario.graph, &core.as_vec());
+    let estimate = estimator
+        .estimate(&scenario.graph, &core.as_vec())
+        .expect("synthetic webs converge")
+        .into_mass();
     println!("two PageRank runs + mass estimates in {:.2?}", t1.elapsed());
 
     let pool = candidate_pool(&estimate, 10.0);
     println!("candidate pool |T| (scaled p >= 10): {}", pool.len());
 
     println!("\n{:>6} {:>9} {:>11} {:>11} {:>8}", "tau", "flagged", "precision", "recall", "F1");
-    let spam_targets: Vec<_> = scenario
-        .farms
-        .iter()
-        .map(|f| f.target)
-        .filter(|t| pool.contains(t))
-        .collect();
+    let spam_targets: Vec<_> =
+        scenario.farms.iter().map(|f| f.target).filter(|t| pool.contains(t)).collect();
     for tau in [0.999, 0.99, 0.98, 0.95, 0.90, 0.70, 0.50] {
         let d = detect(&estimate, &DetectorConfig { rho: 10.0, tau });
-        let spam_flagged =
-            d.candidates.iter().filter(|&&x| scenario.truth.is_spam(x)).count();
-        let precision =
-            if d.is_empty() { 1.0 } else { spam_flagged as f64 / d.len() as f64 };
+        let spam_flagged = d.candidates.iter().filter(|&&x| scenario.truth.is_spam(x)).count();
+        let precision = if d.is_empty() { 1.0 } else { spam_flagged as f64 / d.len() as f64 };
         let caught = spam_targets.iter().filter(|t| d.is_candidate(**t)).count();
-        let recall = if spam_targets.is_empty() {
-            1.0
-        } else {
-            caught as f64 / spam_targets.len() as f64
-        };
+        let recall =
+            if spam_targets.is_empty() { 1.0 } else { caught as f64 / spam_targets.len() as f64 };
         let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {

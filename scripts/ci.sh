@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, formatting, lints.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -18,7 +18,7 @@ fn figure1_closed_forms_for_k_sweep() {
     let c = 0.85f64;
     for k in 0..=25 {
         let fig = figure1(k);
-        let exact = ExactMass::compute(&fig.graph, &fig.partition_x_good(), &pr());
+        let exact = ExactMass::compute(&fig.graph, &fig.partition_x_good(), &pr()).unwrap();
         assert!(
             (exact.pagerank[fig.x.index()] - fig.expected_px(c)).abs() < 1e-12,
             "p_x closed form, k={k}"
@@ -33,9 +33,10 @@ fn figure1_closed_forms_for_k_sweep() {
 #[test]
 fn table1_all_42_values() {
     let fig = figure2();
-    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &pr());
+    let exact = ExactMass::compute(&fig.graph, &fig.partition(), &pr()).unwrap();
     let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr()))
-        .estimate(&fig.graph, &fig.good_core());
+        .estimate(&fig.graph, &fig.good_core())
+        .unwrap();
     let nodes = [
         ("x", fig.x),
         ("g0", fig.g[0]),
@@ -68,7 +69,8 @@ fn section_3_6_detection_example() {
     // positive g2; considers exactly 4 hosts.
     let fig = figure2();
     let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(pr()))
-        .estimate(&fig.graph, &fig.good_core());
+        .estimate(&fig.graph, &fig.good_core())
+        .unwrap();
     let det = detect(&est, &DetectorConfig { rho: 1.5, tau: 0.5 });
     assert_eq!(det.considered, 4);
     assert_eq!(det.candidates, {
@@ -84,7 +86,7 @@ fn section_3_1_naive_scheme_failures() {
     let f1 = figure1(5);
     assert_eq!(scheme1_label(&f1.graph, &f1.partition_x_good(), f1.x), NodeSide::Good);
     assert_eq!(
-        scheme2_label(&f1.graph, &f1.partition_x_good(), f1.x, &pr(), true),
+        scheme2_label(&f1.graph, &f1.partition_x_good(), f1.x, &pr(), true).unwrap(),
         NodeSide::Spam
     );
 
@@ -92,7 +94,7 @@ fn section_3_1_naive_scheme_failures() {
     let mut p2 = f2.partition();
     p2.set(f2.x, NodeSide::Good);
     assert_eq!(scheme1_label(&f2.graph, &p2, f2.x), NodeSide::Good);
-    assert_eq!(scheme2_label(&f2.graph, &p2, f2.x, &pr(), true), NodeSide::Good);
+    assert_eq!(scheme2_label(&f2.graph, &p2, f2.x, &pr(), true).unwrap(), NodeSide::Good);
 }
 
 #[test]
@@ -107,8 +109,8 @@ fn in_text_ratio_for_figure2() {
 
     // Verify against the solver: contribution of {s0..s6} to x.
     use spammass::pagerank::contribution::contribution_of_set;
-    let q_spam = contribution_of_set(&fig.graph, &fig.s, &pr());
+    let q_spam = contribution_of_set(&fig.graph, &fig.s, &pr()).unwrap();
     assert!((q_spam[fig.x.index()] - spam_part).abs() < 1e-12);
-    let q_good = contribution_of_set(&fig.graph, &fig.g, &pr());
+    let q_good = contribution_of_set(&fig.graph, &fig.g, &pr()).unwrap();
     assert!((q_good[fig.x.index()] - good_part).abs() < 1e-12);
 }

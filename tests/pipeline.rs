@@ -15,7 +15,9 @@ fn pipeline(hosts: usize, seed: u64) -> (Scenario, spammass::core::estimate::Mas
         EstimatorConfig::scaled(0.85)
             .with_pagerank(PageRankConfig::default().tolerance(1e-12).max_iterations(200)),
     )
-    .estimate(&scenario.graph, &core.as_vec());
+    .estimate(&scenario.graph, &core.as_vec())
+    .expect("pipeline graphs converge")
+    .into_mass();
     (scenario, estimate)
 }
 
@@ -74,7 +76,9 @@ fn scenario_graph_survives_io_round_trip() {
         EstimatorConfig::scaled(0.85)
             .with_pagerank(PageRankConfig::default().tolerance(1e-12).max_iterations(200)),
     )
-    .estimate(&loaded, &core.as_vec());
+    .estimate(&loaded, &core.as_vec())
+    .expect("pipeline graphs converge")
+    .into_mass();
     assert_eq!(estimate.relative, estimate2.relative);
 
     // Label round trip.

@@ -43,9 +43,9 @@ proptest! {
         let v_full = vec![1.0 / n as f64; n];
         let v1: Vec<f64> = v_full.iter().map(|x| x * split).collect();
         let v2: Vec<f64> = v_full.iter().map(|x| x * (1.0 - split)).collect();
-        let p_full = solve_jacobi_dense(&g, &v_full, &cfg()).scores;
-        let p1 = solve_jacobi_dense(&g, &v1, &cfg()).scores;
-        let p2 = solve_jacobi_dense(&g, &v2, &cfg()).scores;
+        let p_full = solve_jacobi_dense(&g, &v_full, &cfg()).unwrap().scores;
+        let p1 = solve_jacobi_dense(&g, &v1, &cfg()).unwrap().scores;
+        let p2 = solve_jacobi_dense(&g, &v2, &cfg()).unwrap().scores;
         for i in 0..n {
             prop_assert!((p_full[i] - p1[i] - p2[i]).abs() < 1e-10);
         }
@@ -56,10 +56,10 @@ proptest! {
     fn theorem1_contributions_sum_to_pagerank(g in arb_graph()) {
         let n = g.node_count();
         let v = vec![1.0 / n as f64; n];
-        let p = solve_jacobi_dense(&g, &v, &cfg()).scores;
+        let p = solve_jacobi_dense(&g, &v, &cfg()).unwrap().scores;
         let mut sum = vec![0.0f64; n];
         for x in g.nodes() {
-            let q = contribution_of_node(&g, x, 1.0 / n as f64, &cfg());
+            let q = contribution_of_node(&g, x, 1.0 / n as f64, &cfg()).unwrap();
             for (s, qy) in sum.iter_mut().zip(&q) {
                 *s += qy;
             }
@@ -74,7 +74,7 @@ proptest! {
     fn theorem2_matches_walk_definition(g in arb_graph()) {
         let n = g.node_count();
         let x = NodeId(0);
-        let q_pr = contribution_of_node(&g, x, 1.0 / n as f64, &cfg());
+        let q_pr = contribution_of_node(&g, x, 1.0 / n as f64, &cfg()).unwrap();
         let q_ws = walk_sum_truncated(&g, x, 1.0 / n as f64, 0.85, 300);
         for i in 0..n {
             prop_assert!((q_pr[i] - q_ws[i]).abs() < 1e-9);
@@ -86,9 +86,9 @@ proptest! {
     fn solvers_agree(g in arb_graph()) {
         let n = g.node_count();
         let v = vec![1.0 / n as f64; n];
-        let a = solve_jacobi_dense(&g, &v, &cfg()).scores;
-        let b = solve_gauss_seidel_dense(&g, &v, &cfg()).scores;
-        let c = solve_parallel_jacobi_dense(&g, &v, &cfg()).scores;
+        let a = solve_jacobi_dense(&g, &v, &cfg()).unwrap().scores;
+        let b = solve_gauss_seidel_dense(&g, &v, &cfg()).unwrap().scores;
+        let c = solve_parallel_jacobi_dense(&g, &v, &cfg()).unwrap().scores;
         for i in 0..n {
             prop_assert!((a[i] - b[i]).abs() < 1e-10);
             prop_assert!((a[i] - c[i]).abs() < 1e-10);
@@ -104,7 +104,7 @@ proptest! {
             .map(NodeId::from_index)
             .collect();
         let partition = Partition::from_spam_nodes(n, &spam);
-        let exact = ExactMass::compute(&g, &partition, &cfg());
+        let exact = ExactMass::compute(&g, &partition, &cfg()).unwrap();
         for i in 0..n {
             prop_assert!(
                 (exact.pagerank[i] - exact.good_contribution[i] - exact.absolute[i]).abs() < 1e-10
@@ -126,9 +126,9 @@ proptest! {
             .map(NodeId::from_index)
             .collect();
         prop_assume!(!core.is_empty());
-        let exact = ExactMass::compute(&g, &partition, &cfg());
+        let exact = ExactMass::compute(&g, &partition, &cfg()).unwrap();
         let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(cfg()))
-            .estimate(&g, &core);
+            .estimate(&g, &core).unwrap();
         for i in 0..n {
             prop_assert!(est.absolute[i] >= exact.absolute[i] - 1e-10);
             prop_assert!(est.relative[i] <= 1.0 + 1e-12);
@@ -144,7 +144,7 @@ proptest! {
             (0..n).filter(|&i| core_mask[i]).map(NodeId::from_index).collect();
         prop_assume!(!core.is_empty());
         let est = MassEstimator::new(EstimatorConfig::unscaled().with_pagerank(cfg()))
-            .estimate(&g, &core);
+            .estimate(&g, &core).unwrap();
         let (lo_t, hi_t) = if tau1 <= tau2 { (tau1, tau2) } else { (tau2, tau1) };
         let (lo_r, hi_r) = if rho1 <= rho2 { (rho1, rho2) } else { (rho2, rho1) };
         let loose = detect(&est, &DetectorConfig { rho: lo_r, tau: lo_t });
