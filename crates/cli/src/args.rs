@@ -57,6 +57,11 @@ impl ParsedArgs {
         }
     }
 
+    /// Iterates over `(flag, value)` pairs in name order.
+    pub fn flags(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.flags.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
     /// Rejects flags outside the allowed set (typo protection).
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), CliError> {
         for k in self.flags.keys() {

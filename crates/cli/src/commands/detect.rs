@@ -13,7 +13,17 @@ use std::path::Path;
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["graph", "core", "labels", "gamma", "rho", "tau", "lenient"])?;
+    args.expect_only(&[
+        "graph",
+        "core",
+        "labels",
+        "gamma",
+        "rho",
+        "tau",
+        "lenient",
+        "trace",
+        "metrics-out",
+    ])?;
     let opts = read_options(args)?;
     let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
     let labels = match args.optional("labels") {

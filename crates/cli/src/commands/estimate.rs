@@ -54,7 +54,17 @@ pub(crate) fn health_lines(
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["graph", "core", "labels", "gamma", "out", "top", "lenient"])?;
+    args.expect_only(&[
+        "graph",
+        "core",
+        "labels",
+        "gamma",
+        "out",
+        "top",
+        "lenient",
+        "trace",
+        "metrics-out",
+    ])?;
     let opts = read_options(args)?;
     let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
     let labels = match args.optional("labels") {

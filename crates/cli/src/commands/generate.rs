@@ -11,7 +11,7 @@ use std::path::Path;
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["hosts", "seed", "out", "labels", "truth", "core"])?;
+    args.expect_only(&["hosts", "seed", "out", "labels", "truth", "core", "trace", "metrics-out"])?;
     let hosts: usize = args.parsed_or("hosts", 60_000)?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let out = Path::new(args.required("out")?);

@@ -8,10 +8,29 @@ pub mod pagerank;
 pub mod stats;
 
 use crate::args::ParsedArgs;
+use crate::telemetry::RunTelemetry;
 use crate::CliError;
 
 /// Dispatches a parsed command line; returns the report text to print.
+///
+/// When `--trace` or `--metrics-out` is given, the command runs under an
+/// installed telemetry collector and the requested renderings are
+/// attached on success; otherwise the output is byte-identical to a run
+/// without telemetry.
 pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match RunTelemetry::from_args(args)? {
+        None => dispatch_inner(args),
+        Some(tel) => {
+            let text = {
+                let _guard = tel.install();
+                dispatch_inner(args)?
+            };
+            tel.finish(args, text)
+        }
+    }
+}
+
+fn dispatch_inner(args: &ParsedArgs) -> Result<String, CliError> {
     match args.command.as_str() {
         "generate" => generate::run(args),
         "stats" => stats::run(args),

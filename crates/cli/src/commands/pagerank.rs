@@ -30,6 +30,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "labels",
         "lenient",
         "fallback",
+        "trace",
+        "metrics-out",
     ])?;
     let opts = read_options(args)?;
     let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;

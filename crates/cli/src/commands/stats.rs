@@ -10,7 +10,7 @@ use std::path::Path;
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["graph", "lenient"])?;
+    args.expect_only(&["graph", "lenient", "trace", "metrics-out"])?;
     let opts = read_options(args)?;
     let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
     let s = GraphStats::compute(&graph);

@@ -21,6 +21,7 @@
 pub mod args;
 pub mod commands;
 pub mod loading;
+pub mod telemetry;
 
 use std::fmt;
 
@@ -103,4 +104,10 @@ USAGE:
                     reported) instead of failing on the first bad line
   --fallback true   on solver failure, retry with the hardened fallback chain
                     (each attempt is reported)
+
+Every subcommand also accepts:
+  --trace MODE      append run telemetry to the output: `pretty` prints the
+                    span timing tree, `json` prints one JSON object per event
+  --metrics-out F   write the machine-readable run report (JSON, schema
+                    spammass.run_report/v1) to file F
 ";

@@ -21,6 +21,7 @@
 
 use crate::estimate::MassEstimate;
 use spammass_graph::NodeId;
+use spammass_obs as obs;
 
 /// Thresholds of Algorithm 2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +96,7 @@ pub fn detect_raw(
     config: &DetectorConfig,
 ) -> Detection {
     assert_eq!(pagerank.len(), relative.len(), "score length mismatch");
+    let mut span = obs::span("detect");
     if pagerank.is_empty() || scale <= 0.0 {
         return Detection { candidates: Vec::new(), considered: 0, config: *config };
     }
@@ -109,6 +111,10 @@ pub fn detect_raw(
             }
         }
     }
+    span.record("considered", considered as f64);
+    span.record("candidates", candidates.len() as f64);
+    obs::counter("detect.considered", considered as f64);
+    obs::counter("detect.candidates", candidates.len() as f64);
     Detection { candidates, considered, config: *config }
 }
 

@@ -33,6 +33,7 @@
 
 use crate::mass::relative_mass;
 use spammass_graph::{Graph, NodeId};
+use spammass_obs as obs;
 use spammass_pagerank::{
     AttemptOutcome, ChainError, ChainSolve, JumpVector, PageRankConfig, SolverChain,
 };
@@ -235,11 +236,14 @@ impl MassEstimator {
         graph: &Graph,
         good_core: &[NodeId],
     ) -> Result<EstimateReport, EstimateError> {
+        let _span = obs::span("estimate");
         self.config.validate()?;
+        let uniform_span = obs::span("pagerank");
         let solve = self
             .chain()
             .solve(graph, &JumpVector::Uniform)
             .map_err(|source| EstimateError::Solver { stage: "pagerank", source })?;
+        drop(uniform_span);
         let diag = SolveDiagnostics::from_chain(&solve);
         let mut report = self.estimate_with_pagerank(graph, good_core, solve.result.scores)?;
         report.pagerank_diag = Some(diag);
@@ -274,10 +278,12 @@ impl MassEstimator {
             CoreScaling::Unscaled => JumpVector::core(good_core.to_vec(), n),
             CoreScaling::Gamma(gamma) => JumpVector::scaled_core(good_core.to_vec(), gamma),
         };
+        let core_span = obs::span("pagerank_core");
         let solve = self
             .chain()
             .solve(graph, &jump)
             .map_err(|source| EstimateError::Solver { stage: "core", source })?;
+        drop(core_span);
         let core_diag = SolveDiagnostics::from_chain(&solve);
         let p_core = solve.result.scores;
 
@@ -316,6 +322,17 @@ impl MassEstimator {
             relative,
             damping: self.config.pagerank.damping,
         };
+        obs::counter("estimate.anomalies", anomalies.len() as f64);
+        obs::counter("estimate.dead_core", dead_core.len() as f64);
+        obs::gauge("estimate.coverage_ratio", mass.coverage_ratio());
+        if obs::is_enabled() {
+            // Mass-distribution summary: the relative-mass histogram is the
+            // population Algorithm 2 thresholds over (only built when a
+            // collector is listening — this loop is O(n)).
+            for &m in &mass.relative {
+                obs::observe("estimate.relative_mass", m);
+            }
+        }
         Ok(EstimateReport { mass, anomalies, dead_core, pagerank_diag: None, core_diag })
     }
 }
@@ -700,6 +717,41 @@ mod tests {
             .unwrap();
         assert_eq!(fresh.absolute, reused.absolute);
         assert_eq!(fresh.relative, reused.relative);
+    }
+
+    #[test]
+    fn estimate_emits_nested_spans_and_metrics() {
+        use std::sync::Arc;
+        let recorder = Arc::new(obs::Recorder::new());
+        let collector = obs::Collector::builder().sink(recorder.clone()).build();
+        let f = figure2();
+        {
+            let _guard = collector.install();
+            MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()))
+                .estimate(&f.graph, &f.good_core())
+                .unwrap();
+        }
+        // Both PageRank runs are children of the estimate span.
+        let tree = recorder.span_tree();
+        let root = tree.iter().find(|n| n.record.name == "estimate").unwrap();
+        let child_paths: Vec<&str> = root.children.iter().map(|c| c.record.path.as_str()).collect();
+        assert!(child_paths.contains(&"estimate.pagerank"), "{child_paths:?}");
+        assert!(child_paths.contains(&"estimate.pagerank_core"), "{child_paths:?}");
+        let metrics = collector.metrics_snapshot();
+        let get = |name: &str| metrics.iter().find(|(k, _)| k == name).map(|(_, m)| m.clone());
+        assert!(matches!(get("estimate.anomalies"), Some(obs::Metric::Counter(_))));
+        assert!(matches!(get("estimate.dead_core"), Some(obs::Metric::Counter(0.0))));
+        match get("estimate.coverage_ratio") {
+            Some(obs::Metric::Gauge(v)) => assert!(v > 0.0, "{v}"),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        // One relative-mass sample per node.
+        match get("estimate.relative_mass") {
+            Some(obs::Metric::Histogram(h)) => {
+                assert_eq!(h.count() + h.non_finite(), f.graph.node_count() as u64)
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,24 +12,34 @@
 //!   --rho R        scaled PageRank threshold       (default 10)
 //!   --gamma G      good-fraction estimate          (default 0.85)
 //!   --csv DIR      also write each table as CSV into DIR
+//!   --trace        print a span timing tree to stderr when done
 //! ```
 
 use spammass_eval::context::{Context, ExperimentOptions};
 use spammass_eval::experiments as exp;
 use spammass_eval::report::Table;
+use spammass_obs as obs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse(&args) {
-        Ok((opts, names)) => {
-            run_all(opts, &names);
+        Ok((opts, names, trace)) => {
+            if trace {
+                let collector = obs::Collector::builder()
+                    .sink(std::sync::Arc::new(obs::TreeSink::new(std::io::stderr())))
+                    .build();
+                let _guard = collector.install();
+                run_all(opts, &names);
+            } else {
+                run_all(opts, &names);
+            }
             ExitCode::SUCCESS
         }
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: experiments [--hosts N] [--seed S] [--rho R] [--gamma G] [--csv DIR] <experiment>...");
+            eprintln!("usage: experiments [--hosts N] [--seed S] [--rho R] [--gamma G] [--csv DIR] [--trace] <experiment>...");
             eprintln!("experiments: fig1 table1 graph-stats table2 fig3 fig4 fig5 fig6 anomaly absolute-mass naive trustrank scaling gamma combined baselines convergence all");
             ExitCode::FAILURE
         }
@@ -98,9 +108,10 @@ fn pool_debug(ctx: &Context) -> Vec<Table> {
     vec![t, tb, tm, t2]
 }
 
-fn parse(args: &[String]) -> Result<(ExperimentOptions, Vec<String>), String> {
+fn parse(args: &[String]) -> Result<(ExperimentOptions, Vec<String>, bool), String> {
     let mut opts = ExperimentOptions::default();
     let mut names = Vec::new();
+    let mut trace = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut take = |name: &str| -> Result<String, String> {
@@ -116,6 +127,7 @@ fn parse(args: &[String]) -> Result<(ExperimentOptions, Vec<String>), String> {
                 opts.gamma = take("--gamma")?.parse().map_err(|e| format!("--gamma: {e}"))?
             }
             "--csv" => opts.csv_dir = Some(PathBuf::from(take("--csv")?)),
+            "--trace" => trace = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             name => names.push(name.to_string()),
         }
@@ -123,7 +135,7 @@ fn parse(args: &[String]) -> Result<(ExperimentOptions, Vec<String>), String> {
     if names.is_empty() {
         return Err("no experiment named".into());
     }
-    Ok((opts, names))
+    Ok((opts, names, trace))
 }
 
 const CONTEXT_FREE: &[&str] = &["fig1", "table1", "naive"];
@@ -184,6 +196,8 @@ fn run_all(opts: ExperimentOptions, names: &[String]) {
     };
 
     for name in &names {
+        let span_name = format!("eval.experiment.{name}");
+        let mut span = obs::span(&span_name);
         let tables: Vec<Table> = match name.as_str() {
             "fig1" => exp::fig1::run(),
             "table1" => exp::table1::run(),
@@ -207,6 +221,8 @@ fn run_all(opts: ExperimentOptions, names: &[String]) {
                 continue;
             }
         };
+        span.record("tables", tables.len() as f64);
+        drop(span);
         for (i, table) in tables.iter().enumerate() {
             println!("{}", table.render());
             if let Some(dir) = &opts.csv_dir {

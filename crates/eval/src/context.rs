@@ -6,6 +6,7 @@ use spammass_core::detector::candidate_pool;
 use spammass_core::estimate::{EstimatorConfig, MassEstimate, MassEstimator};
 use spammass_core::GoodCore;
 use spammass_graph::NodeId;
+use spammass_obs as obs;
 use spammass_pagerank::PageRankConfig;
 use spammass_synth::scenario::{Scenario, ScenarioConfig};
 use std::path::PathBuf;
@@ -76,7 +77,12 @@ pub struct Context {
 impl Context {
     /// Generates the scenario and runs the estimation pipeline.
     pub fn build(opts: ExperimentOptions) -> Context {
+        let mut scenario_span = obs::span("eval.scenario");
         let scenario = Scenario::generate(&ScenarioConfig::sized(opts.hosts), opts.seed);
+        scenario_span.record("hosts", scenario.graph.node_count() as f64);
+        scenario_span.record("edges", scenario.graph.edge_count() as f64);
+        drop(scenario_span);
+        let estimate_span = obs::span("eval.estimate");
         let core = GoodCore::from_nodes(scenario.section_4_2_core());
         let estimator = MassEstimator::new(
             EstimatorConfig::scaled(opts.gamma).with_pagerank(Self::pagerank_config()),
@@ -85,6 +91,7 @@ impl Context {
             .estimate(&scenario.graph, &core.as_vec())
             .expect("experiment-scale synthetic webs converge under the fallback chain")
             .into_mass();
+        drop(estimate_span);
         let pool = candidate_pool(&estimate, opts.rho);
         let sample = Self::judge(&scenario, &estimate, &pool, &opts.sample);
         Context { opts, scenario, core, estimate, pool, sample }

@@ -33,6 +33,7 @@ use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::labels::NodeLabels;
 use crate::node::NodeId;
+use spammass_obs as obs;
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
@@ -167,13 +168,16 @@ pub fn read_edge_list_with<R: Read>(
     reader: R,
     options: &ReadOptions,
 ) -> Result<(Graph, LoadReport), GraphError> {
+    let mut span = obs::span("graph.ingest.text");
     let r = BufReader::new(reader);
     let mut declared_nodes = 0usize;
     let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut report = LoadReport::default();
+    let mut bytes_read = 0usize;
 
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
+        bytes_read += line.len() + 1; // +1 for the stripped newline
         report.lines_total += 1;
         let lineno = lineno + 1; // 1-based for humans
         let line = line.trim();
@@ -213,6 +217,14 @@ pub fn read_edge_list_with<R: Read>(
         }
     }
     report.edges_loaded = edges.len();
+    span.record("lines", report.lines_total as f64);
+    span.record("edges", report.edges_loaded as f64);
+    span.record("skipped", report.skipped as f64);
+    span.record("bytes", bytes_read as f64);
+    obs::counter("graph.ingest.lines", report.lines_total as f64);
+    obs::counter("graph.ingest.edges", report.edges_loaded as f64);
+    obs::counter("graph.ingest.skipped", report.skipped as f64);
+    obs::counter("graph.ingest.bytes", bytes_read as f64);
     Ok((GraphBuilder::from_edges(declared_nodes, &edges), report))
 }
 
@@ -297,6 +309,9 @@ pub fn graph_to_bytes(g: &Graph) -> Vec<u8> {
 /// CRC-32 — before any structural decoding, so truncation and bit flips
 /// surface as [`GraphError::Corrupted`] with the expected/observed values.
 pub fn graph_from_bytes(data: &[u8]) -> Result<Graph, GraphError> {
+    let mut span = obs::span("graph.ingest.binary");
+    span.record("bytes", data.len() as f64);
+    obs::counter("graph.ingest.bytes", data.len() as f64);
     if data.len() < HEADER_LEN {
         return Err(GraphError::Corrupt("image shorter than header".into()));
     }
@@ -323,7 +338,10 @@ pub fn graph_from_bytes(data: &[u8]) -> Result<Graph, GraphError> {
                 });
             }
             let stored_crc = get_u32(data, data.len() - TRAILER_LEN);
+            // Nested span: path becomes `graph.ingest.binary.crc_verify`.
+            let crc_span = obs::span("crc_verify");
             let computed = crc32(&data[..data.len() - TRAILER_LEN]);
+            drop(crc_span);
             if stored_crc != computed {
                 return Err(GraphError::Corrupted {
                     field: "crc32",
@@ -356,6 +374,9 @@ pub fn graph_from_bytes(data: &[u8]) -> Result<Graph, GraphError> {
         });
     }
 
+    span.record("nodes", nodes as f64);
+    span.record("edges", edges as f64);
+    obs::counter("graph.ingest.edges", edges as f64);
     let mut b = GraphBuilder::with_capacity(nodes, edges);
     for i in 0..edges {
         let off = HEADER_LEN + i * 8;
@@ -627,6 +648,28 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         let g2 = read_binary(&buf[..]).unwrap();
         assert_eq!(g2.edge_count(), 4);
+    }
+
+    #[test]
+    fn ingest_emits_telemetry() {
+        use std::sync::Arc;
+        let recorder = Arc::new(obs::Recorder::new());
+        let collector = obs::Collector::builder().sink(recorder.clone()).build();
+        {
+            let _guard = collector.install();
+            read_edge_list("# nodes: 3\n0 1\n1 2\n".as_bytes()).unwrap();
+            graph_from_bytes(&graph_to_bytes(&sample())).unwrap();
+        }
+        let spans = recorder.spans();
+        let text = spans.iter().find(|s| s.name == "graph.ingest.text").unwrap();
+        assert!(text.counters.contains(&("lines".to_string(), 3.0)));
+        assert!(text.counters.contains(&("edges".to_string(), 2.0)));
+        let crc = spans.iter().find(|s| s.name == "crc_verify").unwrap();
+        assert_eq!(crc.path, "graph.ingest.binary.crc_verify");
+        let metrics = collector.metrics_snapshot();
+        let edges = metrics.iter().find(|(k, _)| k == "graph.ingest.edges").unwrap();
+        // 2 from the text load + 4 from the binary load.
+        assert_eq!(edges.1, obs::Metric::Counter(6.0));
     }
 
     #[test]

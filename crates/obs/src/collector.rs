@@ -1,0 +1,223 @@
+//! The collector: sink fan-out plus the metrics registry, installed
+//! per-thread with RAII scoping.
+//!
+//! Telemetry is **opt-in and thread-scoped**: library code calls the
+//! facade functions ([`crate::counter`], [`crate::span`], …)
+//! unconditionally, and they no-op — a thread-local lookup and a branch —
+//! unless a [`Collector`] is installed on the current thread. This keeps
+//! instrumented hot paths free of configuration plumbing, keeps default
+//! CLI output byte-stable, and keeps parallel test runs isolated (each
+//! test installs its own collector on its own thread).
+//!
+//! Scoping is a stack: nested installs shadow the outer collector and
+//! restore it when the inner [`ScopeGuard`] drops. Worker threads spawned
+//! by an instrumented computation do not inherit the collector; spans and
+//! metrics are emitted from the orchestrating thread, which is where the
+//! pipeline stages of this system run.
+
+use crate::metrics::{Histogram, Metric};
+use crate::sink::{Event, Sink};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A telemetry collector: an epoch for relative timestamps, a set of
+/// sinks receiving every event, and the metrics registry. Cheap to clone
+/// (shared interior).
+#[derive(Clone)]
+pub struct Collector {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    epoch: Instant,
+    sinks: Vec<Arc<dyn Sink>>,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").field("sinks", &self.inner.sinks.len()).finish()
+    }
+}
+
+/// Builder for a [`Collector`].
+#[derive(Default)]
+pub struct CollectorBuilder {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl CollectorBuilder {
+    /// Attaches a sink; every event is delivered to every sink in
+    /// attachment order.
+    #[must_use]
+    pub fn sink(mut self, sink: Arc<dyn Sink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Finishes the collector; its epoch (timestamp zero) is now.
+    pub fn build(self) -> Collector {
+        Collector {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                sinks: self.sinks,
+                metrics: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+}
+
+impl Collector {
+    /// Starts building a collector.
+    pub fn builder() -> CollectorBuilder {
+        CollectorBuilder::default()
+    }
+
+    /// Installs this collector on the current thread until the returned
+    /// guard drops. Nested installs shadow the outer collector.
+    #[must_use = "telemetry is only active while the guard is alive"]
+    pub fn install(&self) -> ScopeGuard {
+        let prev_len = CURRENT.with(|c| {
+            let mut stack = c.borrow_mut();
+            stack.push(self.clone());
+            stack.len() - 1
+        });
+        ScopeGuard { prev_len, _not_send: PhantomData }
+    }
+
+    /// Nanoseconds elapsed since the collector's epoch.
+    pub(crate) fn elapsed_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Fans an event out to every sink.
+    pub(crate) fn emit(&self, event: &Event) {
+        for sink in &self.inner.sinks {
+            sink.on_event(event);
+        }
+    }
+
+    /// Adds to a counter, creating it at zero first; returns the new
+    /// total. Updates against a different metric kind are ignored (the
+    /// first registration wins) and return NaN.
+    pub(crate) fn counter_add(&self, name: &str, delta: f64) -> f64 {
+        let mut metrics = self.inner.metrics.lock().expect("metrics lock");
+        match metrics.entry(name.to_string()).or_insert(Metric::Counter(0.0)) {
+            Metric::Counter(total) => {
+                *total += delta;
+                *total
+            }
+            _ => f64::NAN,
+        }
+    }
+
+    /// Sets a gauge. Kind mismatches are ignored.
+    pub(crate) fn gauge_set(&self, name: &str, value: f64) {
+        let mut metrics = self.inner.metrics.lock().expect("metrics lock");
+        if let Metric::Gauge(slot) = metrics.entry(name.to_string()).or_insert(Metric::Gauge(value))
+        {
+            *slot = value;
+        }
+    }
+
+    /// Records a histogram sample. Kind mismatches are ignored.
+    pub(crate) fn histogram_record(&self, name: &str, value: f64) {
+        let mut metrics = self.inner.metrics.lock().expect("metrics lock");
+        if let Metric::Histogram(h) =
+            metrics.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            h.record(value);
+        }
+    }
+
+    /// A snapshot of every registered metric, sorted by name.
+    pub fn metrics_snapshot(&self) -> Vec<(String, Metric)> {
+        let metrics = self.inner.metrics.lock().expect("metrics lock");
+        metrics.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Collector>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Uninstalls the collector when dropped (restoring any shadowed one).
+/// Deliberately `!Send`: the guard must drop on the thread that installed.
+pub struct ScopeGuard {
+    prev_len: usize,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.borrow_mut().truncate(self.prev_len));
+    }
+}
+
+/// Runs `f` against the innermost installed collector, if any.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Collector) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().last().cloned()).map(|collector| f(&collector))
+}
+
+/// Whether a collector is installed on the current thread. Use to skip
+/// building expensive telemetry payloads (e.g. per-node histogram loops)
+/// when nobody is listening.
+pub fn is_enabled() -> bool {
+    CURRENT.with(|c| !c.borrow().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Recorder;
+
+    #[test]
+    fn disabled_by_default() {
+        assert!(!is_enabled());
+        assert!(with_current(|_| ()).is_none());
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let outer = Collector::builder().build();
+        let inner = Collector::builder().build();
+        {
+            let _g1 = outer.install();
+            assert!(is_enabled());
+            outer.counter_add("outer", 1.0);
+            {
+                let _g2 = inner.install();
+                with_current(|c| c.counter_add("x", 1.0)).unwrap();
+            }
+            // Inner popped; updates land on outer again.
+            with_current(|c| c.counter_add("outer", 1.0)).unwrap();
+        }
+        assert!(!is_enabled());
+        assert_eq!(inner.metrics_snapshot().len(), 1);
+        let outer_metrics = outer.metrics_snapshot();
+        assert_eq!(outer_metrics.len(), 1);
+        assert_eq!(outer_metrics[0].1, Metric::Counter(2.0));
+    }
+
+    #[test]
+    fn kind_mismatch_is_ignored() {
+        let c = Collector::builder().build();
+        c.gauge_set("m", 5.0);
+        assert!(c.counter_add("m", 1.0).is_nan());
+        c.histogram_record("m", 1.0);
+        assert_eq!(c.metrics_snapshot()[0].1, Metric::Gauge(5.0));
+    }
+
+    #[test]
+    fn emit_reaches_all_sinks() {
+        let r1 = Arc::new(Recorder::default());
+        let r2 = Arc::new(Recorder::default());
+        let c = Collector::builder().sink(r1.clone()).sink(r2.clone()).build();
+        c.emit(&Event::Gauge { name: "g".into(), value: 1.0 });
+        assert_eq!(r1.events().len(), 1);
+        assert_eq!(r2.events().len(), 1);
+    }
+}

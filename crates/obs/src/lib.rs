@@ -1,0 +1,143 @@
+//! # spammass-obs
+//!
+//! Zero-dependency telemetry facade for the spam-mass pipeline:
+//! hierarchical timed spans, typed metrics, pluggable sinks, and
+//! machine-readable run reports.
+//!
+//! ## Design
+//!
+//! The crate splits telemetry into three layers:
+//!
+//! 1. **Facade** — free functions ([`span`], [`counter`], [`gauge`],
+//!    [`observe`], [`event`]) that instrumented code calls
+//!    unconditionally. With no collector installed they no-op at the cost
+//!    of one thread-local read, which keeps hot paths clean and default
+//!    CLI output byte-stable.
+//! 2. **Collector** — installed per-thread with an RAII guard
+//!    ([`Collector::install`]); owns the metrics registry and fans every
+//!    [`Event`] out to its sinks. Thread-scoping (rather than a global
+//!    like the `log` crate) gives parallel test runs isolation for free.
+//! 3. **Sinks** — [`TreeSink`] renders a human timing tree,
+//!    [`JsonLinesSink`] streams one JSON object per event, [`Recorder`]
+//!    keeps everything in memory for tests and for assembling a
+//!    [`RunReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use spammass_obs::{Collector, Recorder, RunReport};
+//!
+//! let recorder = Arc::new(Recorder::new());
+//! let collector = Collector::builder().sink(recorder.clone()).build();
+//! {
+//!     let _guard = collector.install();
+//!     let mut stage = spammass_obs::span("ingest");
+//!     stage.record("lines", 128.0);
+//!     spammass_obs::counter("graph.ingest.edges", 640.0);
+//!     spammass_obs::observe("pagerank.residual", 3.2e-11);
+//! }
+//! let report = RunReport::build("demo", &collector, &recorder);
+//! assert_eq!(report.stages[0].record.name, "ingest");
+//! ```
+//!
+//! Naming convention: dotted lowercase paths, `crate.stage.detail` —
+//! e.g. `graph.ingest.lines`, `pagerank.solve.jacobi`,
+//! `estimate.relative_mass`. See DESIGN.md §8 for the full taxonomy.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod collector;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+mod span;
+
+pub use collector::{is_enabled, Collector, CollectorBuilder, ScopeGuard};
+pub use json::Json;
+pub use metrics::{Bucket, Histogram, Metric};
+pub use report::RunReport;
+pub use sink::{
+    build_span_tree, format_ns, render_span_tree, Event, JsonLinesSink, Recorder, SharedBuf, Sink,
+    SpanNode, TreeSink,
+};
+pub use span::{span, Span, SpanRecord};
+
+/// Adds `delta` to the counter `name` on the installed collector (no-op
+/// otherwise) and emits a [`Event::Counter`].
+pub fn counter(name: &str, delta: f64) {
+    collector::with_current(|c| {
+        let total = c.counter_add(name, delta);
+        c.emit(&Event::Counter { name: name.to_string(), delta, total });
+    });
+}
+
+/// Sets the gauge `name` on the installed collector (no-op otherwise)
+/// and emits a [`Event::Gauge`].
+pub fn gauge(name: &str, value: f64) {
+    collector::with_current(|c| {
+        c.gauge_set(name, value);
+        c.emit(&Event::Gauge { name: name.to_string(), value });
+    });
+}
+
+/// Records `value` into the histogram `name` on the installed collector
+/// (no-op otherwise) and emits a [`Event::Observe`].
+pub fn observe(name: &str, value: f64) {
+    collector::with_current(|c| {
+        c.histogram_record(name, value);
+        c.emit(&Event::Observe { name: name.to_string(), value });
+    });
+}
+
+/// Emits a structured one-off [`Event::Message`] (no-op with no
+/// collector installed). Use for rare, rich events like solver-chain
+/// attempts; use metrics for anything aggregate.
+pub fn event(name: &str, fields: Vec<(String, Json)>) {
+    collector::with_current(|c| {
+        c.emit(&Event::Message { name: name.to_string(), fields: fields.clone() });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn facade_is_noop_without_collector() {
+        // Must not panic or allocate state anywhere observable.
+        counter("a", 1.0);
+        gauge("b", 1.0);
+        observe("c", 1.0);
+        event("d", vec![]);
+        assert!(!is_enabled());
+    }
+
+    #[test]
+    fn facade_routes_to_installed_collector() {
+        let recorder = Arc::new(Recorder::new());
+        let collector = Collector::builder().sink(recorder.clone()).build();
+        {
+            let _g = collector.install();
+            counter("hits", 2.0);
+            counter("hits", 3.0);
+            gauge("ratio", 0.5);
+            observe("residual", 1e-8);
+            event("attempt", vec![("n".to_string(), Json::uint(1))]);
+        }
+        let metrics = collector.metrics_snapshot();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[0], ("hits".to_string(), Metric::Counter(5.0)));
+        assert_eq!(metrics[1], ("ratio".to_string(), Metric::Gauge(0.5)));
+        match &metrics[2].1 {
+            Metric::Histogram(h) => assert_eq!(h.count(), 1),
+            other => panic!("expected histogram, got {}", other.kind()),
+        }
+        // 5 events: 2 counters, 1 gauge, 1 observe, 1 message.
+        assert_eq!(recorder.events().len(), 5);
+        assert_eq!(recorder.messages().len(), 1);
+    }
+}

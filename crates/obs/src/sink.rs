@@ -1,0 +1,479 @@
+//! Event stream and pluggable sinks.
+//!
+//! Every telemetry action becomes an [`Event`] fanned out to each sink
+//! attached to the installed collector. Three sinks ship with the crate:
+//!
+//! * [`TreeSink`] — buffers span records and renders an indented timing
+//!   tree for humans on flush.
+//! * [`JsonLinesSink`] — streams one JSON object per event, suitable for
+//!   piping into log processors.
+//! * [`Recorder`] — keeps everything in memory for tests and for
+//!   assembling a [`crate::report::RunReport`].
+
+use crate::json::Json;
+use crate::span::SpanRecord;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened.
+    SpanStart {
+        /// Dotted path of the span.
+        path: String,
+        /// Nesting depth.
+        depth: usize,
+        /// Start offset in nanoseconds since the collector epoch.
+        start_ns: u64,
+    },
+    /// A span closed.
+    SpanEnd(SpanRecord),
+    /// A counter was incremented.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Amount added.
+        delta: f64,
+        /// Running total after the addition.
+        total: f64,
+    },
+    /// A gauge was set.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// New value.
+        value: f64,
+    },
+    /// A histogram sample was recorded.
+    Observe {
+        /// Metric name.
+        name: String,
+        /// Sample value.
+        value: f64,
+    },
+    /// A structured one-off message (e.g. a solver-chain attempt).
+    Message {
+        /// Event name, dotted like metric names.
+        name: String,
+        /// Ordered payload fields.
+        fields: Vec<(String, Json)>,
+    },
+}
+
+impl Event {
+    /// JSON form, tagged with `"event"`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::SpanStart { path, depth, start_ns } => Json::obj([
+                ("event", Json::str("span_start")),
+                ("path", Json::str(path)),
+                ("depth", Json::uint(*depth as u64)),
+                ("start_ns", Json::uint(*start_ns)),
+            ]),
+            Event::SpanEnd(record) => {
+                let mut fields = vec![("event".to_string(), Json::str("span_end"))];
+                if let Json::Obj(rest) = record.to_json() {
+                    fields.extend(rest);
+                }
+                Json::Obj(fields)
+            }
+            Event::Counter { name, delta, total } => Json::obj([
+                ("event", Json::str("counter")),
+                ("name", Json::str(name)),
+                ("delta", Json::num(*delta)),
+                ("total", Json::num(*total)),
+            ]),
+            Event::Gauge { name, value } => Json::obj([
+                ("event", Json::str("gauge")),
+                ("name", Json::str(name)),
+                ("value", Json::num(*value)),
+            ]),
+            Event::Observe { name, value } => Json::obj([
+                ("event", Json::str("observe")),
+                ("name", Json::str(name)),
+                ("value", Json::num(*value)),
+            ]),
+            Event::Message { name, fields } => {
+                let mut all = vec![
+                    ("event".to_string(), Json::str("message")),
+                    ("name".to_string(), Json::str(name)),
+                ];
+                all.extend(fields.iter().map(|(k, v)| (k.clone(), v.clone())));
+                Json::Obj(all)
+            }
+        }
+    }
+}
+
+/// Receives every event emitted through an installed collector. Sinks
+/// must tolerate concurrent calls (collectors are cloneable across
+/// threads even though installation is per-thread).
+pub trait Sink: Send + Sync {
+    /// Handles one event. Must not panic; telemetry failures should never
+    /// take down the computation being observed.
+    fn on_event(&self, event: &Event);
+}
+
+// ---------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------
+
+/// In-memory sink: retains every event for later inspection. The
+/// foundation for tests and for building run reports.
+#[derive(Default)]
+pub struct Recorder {
+    events: Mutex<Vec<Event>>,
+}
+
+impl Sink for Recorder {
+    fn on_event(&self, event: &Event) {
+        self.events.lock().expect("recorder lock").push(event.clone());
+    }
+}
+
+impl Recorder {
+    /// A fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("recorder lock").clone()
+    }
+
+    /// The closed spans, in close (emission) order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::SpanEnd(record) => Some(record),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The structured messages, in emission order.
+    pub fn messages(&self) -> Vec<(String, Vec<(String, Json)>)> {
+        self.events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::Message { name, fields } => Some((name, fields)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The recorded spans assembled into a forest by nesting.
+    pub fn span_tree(&self) -> Vec<SpanNode> {
+        build_span_tree(&self.spans())
+    }
+
+    /// Human-readable indented rendering of [`Recorder::span_tree`].
+    pub fn render_tree(&self) -> String {
+        render_span_tree(&self.span_tree())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span trees
+// ---------------------------------------------------------------------
+
+/// A span with its child spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The span itself.
+    pub record: SpanRecord,
+    /// Spans opened while this one was open, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Sum of the children's wall-clock durations.
+    pub fn children_elapsed_ns(&self) -> u64 {
+        self.children.iter().map(|c| c.record.elapsed_ns).sum()
+    }
+
+    /// JSON form including nested children.
+    pub fn to_json(&self) -> Json {
+        let mut fields = match self.record.to_json() {
+            Json::Obj(fields) => fields,
+            _ => unreachable!("SpanRecord::to_json returns an object"),
+        };
+        fields.push((
+            "children".to_string(),
+            Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+        ));
+        Json::Obj(fields)
+    }
+}
+
+/// Assembles closed-span records into a forest. Spans are emitted on a
+/// single thread, so siblings at a given depth never overlap in time;
+/// sorting by start offset and threading on depth reconstructs the
+/// nesting exactly.
+pub fn build_span_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    let mut sorted: Vec<SpanRecord> = records.to_vec();
+    sorted.sort_by_key(|a| (a.start_ns, a.depth));
+
+    let mut roots: Vec<SpanNode> = Vec::new();
+    // Chain of currently-open ancestors, outermost first.
+    let mut open: Vec<SpanNode> = Vec::new();
+
+    fn close_one(open: &mut Vec<SpanNode>, roots: &mut Vec<SpanNode>) {
+        let done = open.pop().expect("close_one on empty stack");
+        match open.last_mut() {
+            Some(parent) => parent.children.push(done),
+            None => roots.push(done),
+        }
+    }
+
+    for record in sorted {
+        while open.len() > record.depth {
+            close_one(&mut open, &mut roots);
+        }
+        open.push(SpanNode { record, children: Vec::new() });
+    }
+    while !open.is_empty() {
+        close_one(&mut open, &mut roots);
+    }
+    roots
+}
+
+/// Formats a duration in nanoseconds with an adaptive unit.
+pub fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Renders a span forest as an indented timing tree.
+pub fn render_span_tree(nodes: &[SpanNode]) -> String {
+    fn walk(node: &SpanNode, out: &mut String) {
+        out.push_str(&"  ".repeat(node.record.depth));
+        out.push_str(&node.record.name);
+        out.push(' ');
+        out.push_str(&format_ns(node.record.elapsed_ns));
+        for (key, value) in &node.record.counters {
+            // Counters are typically integral (lines, edges, iterations);
+            // print them without a trailing ".0" when they are.
+            if value.fract() == 0.0 && value.abs() < 1e15 {
+                out.push_str(&format!(" {key}={value:.0}"));
+            } else {
+                out.push_str(&format!(" {key}={value}"));
+            }
+        }
+        out.push('\n');
+        for child in &node.children {
+            walk(child, out);
+        }
+    }
+    let mut out = String::new();
+    for node in nodes {
+        walk(node, &mut out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// TreeSink
+// ---------------------------------------------------------------------
+
+/// Buffers span records and writes a human-readable timing tree on
+/// [`TreeSink::flush`] (or drop). Non-span events are ignored; use
+/// [`JsonLinesSink`] for the full stream.
+pub struct TreeSink<W: Write + Send> {
+    spans: Mutex<Vec<SpanRecord>>,
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> TreeSink<W> {
+    /// A tree sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        TreeSink { spans: Mutex::new(Vec::new()), out: Mutex::new(out) }
+    }
+
+    /// Renders and writes the buffered spans, clearing the buffer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let records: Vec<SpanRecord> =
+            std::mem::take(&mut *self.spans.lock().expect("tree sink lock"));
+        if records.is_empty() {
+            return Ok(());
+        }
+        let rendered = render_span_tree(&build_span_tree(&records));
+        let mut out = self.out.lock().expect("tree sink out lock");
+        out.write_all(rendered.as_bytes())?;
+        out.flush()
+    }
+}
+
+impl<W: Write + Send> Sink for TreeSink<W> {
+    fn on_event(&self, event: &Event) {
+        if let Event::SpanEnd(record) = event {
+            self.spans.lock().expect("tree sink lock").push(record.clone());
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for TreeSink<W> {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// JsonLinesSink
+// ---------------------------------------------------------------------
+
+/// Streams every event as one JSON object per line.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// A JSON-lines sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out: Mutex::new(out) }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn on_event(&self, event: &Event) {
+        let mut line = event.to_json().render();
+        line.push('\n');
+        // Telemetry writes must never panic the observed computation.
+        let _ = self.out.lock().expect("json sink lock").write_all(line.as_bytes());
+    }
+}
+
+/// A cloneable in-memory byte buffer implementing [`Write`], for
+/// retrieving sink output after the collector is torn down.
+#[derive(Clone, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffered bytes as a string (lossy on invalid UTF-8, which the
+    /// sinks never produce).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("shared buf lock")).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("shared buf lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, depth: usize, start_ns: u64, elapsed_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            path: name.to_string(),
+            depth,
+            start_ns,
+            elapsed_ns,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn tree_building_nests_by_depth_and_start() {
+        // estimate { pagerank, pagerank_core } then detect, handed over
+        // in drop (close) order.
+        let records = vec![
+            record("pagerank", 1, 10, 50),
+            record("pagerank_core", 1, 70, 40),
+            record("estimate", 0, 0, 120),
+            record("detect", 0, 130, 10),
+        ];
+        let tree = build_span_tree(&records);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree[0].record.name, "estimate");
+        let kids: Vec<&str> = tree[0].children.iter().map(|c| c.record.name.as_str()).collect();
+        assert_eq!(kids, ["pagerank", "pagerank_core"]);
+        assert_eq!(tree[0].children_elapsed_ns(), 90);
+        assert_eq!(tree[1].record.name, "detect");
+        assert!(tree[1].children.is_empty());
+    }
+
+    #[test]
+    fn render_indents_and_formats_counters() {
+        let mut parent = record("outer", 0, 0, 2_500_000);
+        parent.counters.push(("edges".to_string(), 12.0));
+        let child = record("inner", 1, 5, 1_000);
+        let tree = build_span_tree(&[child, parent]);
+        let rendered = render_span_tree(&tree);
+        assert_eq!(rendered, "outer 2.5ms edges=12\n  inner 1.0us\n");
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(999), "999ns");
+        assert_eq!(format_ns(1_500), "1.5us");
+        assert_eq!(format_ns(2_000_000), "2.0ms");
+        assert_eq!(format_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn json_lines_sink_streams_events() {
+        let buf = SharedBuf::new();
+        let sink = JsonLinesSink::new(buf.clone());
+        sink.on_event(&Event::Counter { name: "lines".into(), delta: 1.0, total: 1.0 });
+        sink.on_event(&Event::Gauge { name: "ratio".into(), value: 0.5 });
+        let contents = buf.contents();
+        let lines: Vec<&str> = contents.lines().map(str::trim).collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("event").and_then(Json::as_str), Some("counter"));
+        assert_eq!(first.get("total").and_then(Json::as_f64), Some(1.0));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("event").and_then(Json::as_str), Some("gauge"));
+    }
+
+    #[test]
+    fn tree_sink_flushes_once() {
+        let buf = SharedBuf::new();
+        let sink = TreeSink::new(buf.clone());
+        sink.on_event(&Event::SpanEnd(record("stage", 0, 0, 1_000)));
+        sink.on_event(&Event::Gauge { name: "ignored".into(), value: 1.0 });
+        sink.flush().unwrap();
+        assert_eq!(buf.contents(), "stage 1.0us\n");
+        drop(sink); // drop after explicit flush must not duplicate
+        assert_eq!(buf.contents(), "stage 1.0us\n");
+    }
+
+    #[test]
+    fn event_json_shapes() {
+        let msg = Event::Message {
+            name: "pagerank.chain.attempt".into(),
+            fields: vec![("solver".to_string(), Json::str("jacobi"))],
+        };
+        let j = msg.to_json();
+        assert_eq!(j.get("event").and_then(Json::as_str), Some("message"));
+        assert_eq!(j.get("solver").and_then(Json::as_str), Some("jacobi"));
+        let end = Event::SpanEnd(record("s", 0, 3, 9)).to_json();
+        assert_eq!(end.get("event").and_then(Json::as_str), Some("span_end"));
+        assert_eq!(end.get("elapsed_ns").and_then(Json::as_f64), Some(9.0));
+    }
+}

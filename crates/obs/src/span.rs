@@ -1,0 +1,228 @@
+//! Hierarchical timed spans.
+//!
+//! A span measures one named stage of the pipeline. Spans nest lexically:
+//! the thread keeps a stack of open span names, and a new span's dotted
+//! `path` is the concatenation of everything currently open. Dropping the
+//! guard closes the span and emits a [`SpanRecord`] carrying wall-clock
+//! duration and any counters recorded on the span.
+//!
+//! With no collector installed, [`span`] returns an inert guard and the
+//! whole mechanism costs one thread-local read.
+
+use crate::collector::{with_current, Collector};
+use crate::json::Json;
+use crate::sink::Event;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A closed span: timing plus per-span counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Leaf name, e.g. `"pagerank_core"`.
+    pub name: String,
+    /// Dotted path from the root, e.g. `"estimate.pagerank_core"`.
+    pub path: String,
+    /// Nesting depth (0 for a root span).
+    pub depth: usize,
+    /// Start time in nanoseconds since the collector's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub elapsed_ns: u64,
+    /// Counters recorded on the span, in recording order.
+    pub counters: Vec<(String, f64)>,
+}
+
+impl SpanRecord {
+    /// JSON form (without children; see [`crate::sink::SpanNode`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            ("path", Json::str(&self.path)),
+            ("depth", Json::uint(self.depth as u64)),
+            ("start_ns", Json::uint(self.start_ns)),
+            ("elapsed_ns", Json::uint(self.elapsed_ns)),
+            (
+                "counters",
+                Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), Json::num(*v))).collect()),
+            ),
+        ])
+    }
+}
+
+/// An open span; closing (dropping) it emits the [`SpanRecord`].
+#[must_use = "a span measures until it is dropped; binding it to _ closes it immediately"]
+pub struct Span(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    collector: Collector,
+    name: String,
+    path: String,
+    depth: usize,
+    start: Instant,
+    start_ns: u64,
+    counters: Vec<(String, f64)>,
+}
+
+/// Opens a span named `name` under the innermost open span on this
+/// thread. Inert (and allocation-free) when no collector is installed.
+pub fn span(name: &str) -> Span {
+    let active = with_current(|collector| {
+        let (path, depth) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let depth = stack.len();
+            let path =
+                if depth == 0 { name.to_string() } else { format!("{}.{}", stack.join("."), name) };
+            stack.push(name.to_string());
+            (path, depth)
+        });
+        let start_ns = collector.elapsed_ns();
+        collector.emit(&Event::SpanStart { path: path.clone(), depth, start_ns });
+        ActiveSpan {
+            collector: collector.clone(),
+            name: name.to_string(),
+            path,
+            depth,
+            start: Instant::now(),
+            start_ns,
+            counters: Vec::new(),
+        }
+    });
+    Span(active)
+}
+
+impl Span {
+    /// Whether this span is actually measuring (a collector was installed
+    /// when it opened).
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records (or accumulates into) a counter scoped to this span.
+    pub fn record(&mut self, key: &str, value: f64) {
+        if let Some(active) = &mut self.0 {
+            if let Some(slot) = active.counters.iter_mut().find(|(k, _)| k == key) {
+                slot.1 += value;
+            } else {
+                active.counters.push((key.to_string(), value));
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            // Unwind the name stack to this span's depth. Truncation (not
+            // pop) keeps the stack sane even if an inner span outlived an
+            // outer one.
+            STACK.with(|s| s.borrow_mut().truncate(active.depth));
+            let record = SpanRecord {
+                name: active.name,
+                path: active.path,
+                depth: active.depth,
+                start_ns: active.start_ns,
+                elapsed_ns: active.start.elapsed().as_nanos() as u64,
+                counters: active.counters,
+            };
+            active.collector.emit(&Event::SpanEnd(record));
+        }
+    }
+}
+
+/// `span!("name")` — convenience macro mirroring [`span`].
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Recorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn inert_without_collector() {
+        let mut s = span("nobody-listening");
+        assert!(!s.is_active());
+        s.record("k", 1.0);
+        drop(s);
+        STACK.with(|st| assert!(st.borrow().is_empty()));
+    }
+
+    #[test]
+    fn paths_and_depths_nest() {
+        let recorder = Arc::new(Recorder::default());
+        let collector = Collector::builder().sink(recorder.clone()).build();
+        let _g = collector.install();
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                let _c = span("c");
+            }
+            let _d = span("d");
+        }
+        // Records arrive innermost-first (drop order).
+        let spans = recorder.spans();
+        let paths: Vec<&str> = spans.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["a.b.c", "a.b", "a.d", "a"]);
+        let depths: Vec<usize> = spans.iter().map(|r| r.depth).collect();
+        assert_eq!(depths, [2, 1, 1, 0]);
+        assert_eq!(spans[0].name, "c");
+    }
+
+    #[test]
+    fn timing_is_monotone_and_contains_children() {
+        let recorder = Arc::new(Recorder::default());
+        let collector = Collector::builder().sink(recorder.clone()).build();
+        let _g = collector.install();
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let spans = recorder.spans();
+        let inner = spans.iter().find(|r| r.name == "inner").unwrap();
+        let outer = spans.iter().find(|r| r.name == "outer").unwrap();
+        assert!(inner.elapsed_ns >= 2_000_000, "slept 2ms: {}", inner.elapsed_ns);
+        // Parent starts no later and runs no shorter than the child.
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.elapsed_ns >= inner.elapsed_ns);
+        // Start offsets are monotone with nesting order.
+        assert!(inner.start_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn record_accumulates_per_key() {
+        let recorder = Arc::new(Recorder::default());
+        let collector = Collector::builder().sink(recorder.clone()).build();
+        let _g = collector.install();
+        {
+            let mut s = span("s");
+            s.record("edges", 3.0);
+            s.record("edges", 4.0);
+            s.record("lines", 1.0);
+        }
+        let spans = recorder.spans();
+        assert_eq!(spans[0].counters, vec![("edges".into(), 7.0), ("lines".into(), 1.0)]);
+    }
+
+    #[test]
+    fn macro_form_works() {
+        let recorder = Arc::new(Recorder::default());
+        let collector = Collector::builder().sink(recorder.clone()).build();
+        let _g = collector.install();
+        {
+            let _s = crate::span!("via-macro");
+        }
+        assert_eq!(recorder.spans()[0].name, "via-macro");
+    }
+}

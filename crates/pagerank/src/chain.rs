@@ -19,6 +19,7 @@ use crate::error::PageRankError;
 use crate::jump::JumpVector;
 use crate::{gauss_seidel, jacobi, parallel, power, PageRankResult};
 use spammass_graph::Graph;
+use spammass_obs as obs;
 use std::fmt;
 
 /// Which solver implementation an attempt uses.
@@ -200,29 +201,61 @@ impl SolverChain {
     /// [`ChainError`] carrying every attempt's report if all attempts fail
     /// (or the chain is empty).
     pub fn solve(&self, graph: &Graph, jump: &JumpVector) -> Result<ChainSolve, ChainError> {
+        let mut span = obs::span("pagerank.chain");
         let mut reports = Vec::with_capacity(self.attempts.len());
-        for (solver, config) in &self.attempts {
+        for (attempt, (solver, config)) in self.attempts.iter().enumerate() {
+            span.record("attempts", 1.0);
             match solver.solve(graph, jump, config) {
                 Ok(result) => {
-                    reports.push(AttemptReport {
+                    let report = AttemptReport {
                         solver: *solver,
                         config: *config,
                         outcome: AttemptOutcome::Succeeded {
                             iterations: result.iterations,
                             residual: result.residual,
                         },
-                    });
+                    };
+                    emit_attempt_event(attempt, &report);
+                    reports.push(report);
                     return Ok(ChainSolve { result, attempts: reports });
                 }
-                Err(e) => reports.push(AttemptReport {
-                    solver: *solver,
-                    config: *config,
-                    outcome: AttemptOutcome::Failed(e),
-                }),
+                Err(e) => {
+                    let report = AttemptReport {
+                        solver: *solver,
+                        config: *config,
+                        outcome: AttemptOutcome::Failed(e),
+                    };
+                    emit_attempt_event(attempt, &report);
+                    reports.push(report);
+                }
             }
         }
         Err(ChainError { attempts: reports })
     }
+}
+
+/// Emits one `pagerank.chain.attempt` telemetry event (no-op with no
+/// collector installed).
+fn emit_attempt_event(attempt: usize, report: &AttemptReport) {
+    use obs::Json;
+    let mut fields = vec![
+        ("attempt".to_string(), Json::uint(attempt as u64)),
+        ("solver".to_string(), Json::str(report.solver.name())),
+        ("damping".to_string(), Json::num(report.config.damping)),
+        ("max_iterations".to_string(), Json::uint(report.config.max_iterations as u64)),
+    ];
+    match &report.outcome {
+        AttemptOutcome::Succeeded { iterations, residual } => {
+            fields.push(("outcome".to_string(), Json::str("converged")));
+            fields.push(("iterations".to_string(), Json::uint(*iterations as u64)));
+            fields.push(("residual".to_string(), Json::num(*residual)));
+        }
+        AttemptOutcome::Failed(e) => {
+            fields.push(("outcome".to_string(), Json::str("failed")));
+            fields.push(("error".to_string(), Json::str(e.to_string())));
+        }
+    }
+    obs::event("pagerank.chain.attempt", fields);
 }
 
 #[cfg(test)]
@@ -294,6 +327,39 @@ mod tests {
         assert_eq!(attempts[2].0, SolverKind::Jacobi);
         assert!(attempts[2].1.damping < attempts[0].1.damping);
         assert!(attempts[1].1.max_iterations > attempts[0].1.max_iterations);
+    }
+
+    #[test]
+    fn chain_emits_attempt_events_and_residual_telemetry() {
+        use std::sync::Arc;
+        let recorder = Arc::new(obs::Recorder::new());
+        let collector = obs::Collector::builder().sink(recorder.clone()).build();
+        let g = chain_graph();
+        let base = cfg().max_iterations(60).tolerance(1e-12);
+        let chain = SolverChain::new(SolverKind::Jacobi, base).then(SolverKind::GaussSeidel, base);
+        {
+            let _guard = collector.install();
+            chain.solve(&g, &JumpVector::Uniform).unwrap();
+        }
+        let messages = recorder.messages();
+        assert_eq!(messages.len(), 2);
+        let outcome =
+            |idx: usize| messages[idx].1.iter().find(|(k, _)| k == "outcome").unwrap().1.clone();
+        assert_eq!(messages[0].0, "pagerank.chain.attempt");
+        assert_eq!(outcome(0), obs::Json::str("failed"));
+        assert_eq!(outcome(1), obs::Json::str("converged"));
+        // Solver spans nest under the chain span.
+        let spans = recorder.spans();
+        assert!(spans.iter().any(|s| s.path == "pagerank.chain.pagerank.solve.jacobi"));
+        assert!(spans.iter().any(|s| s.path == "pagerank.chain.pagerank.solve.gauss_seidel"));
+        // The guard fed every iteration's residual into the histogram —
+        // more samples than the (thinned) in-result history can hold.
+        let metrics = collector.metrics_snapshot();
+        let residuals = metrics.iter().find(|(k, _)| k == "pagerank.residual").unwrap();
+        match &residuals.1 {
+            obs::Metric::Histogram(h) => assert!(h.count() >= 60, "{}", h.count()),
+            other => panic!("expected histogram, got {}", other.kind()),
+        }
     }
 
     #[test]

@@ -17,10 +17,12 @@
 use crate::config::PageRankConfig;
 use crate::error::PageRankError;
 use crate::guard::ConvergenceGuard;
+use crate::history::ResidualHistory;
 use crate::jacobi::check_jump_length;
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
+use spammass_obs as obs;
 
 /// Solves `(I − c·Tᵀ)p = (1 − c)v` by Gauss–Seidel sweeps in node-id order.
 ///
@@ -50,6 +52,7 @@ pub fn solve_gauss_seidel_dense(
     config.validate()?;
     let n = graph.node_count();
     check_jump_length(v, n)?;
+    let mut span = obs::span("pagerank.solve.gauss_seidel");
     let c = config.damping;
     let one_minus_c = 1.0 - c;
 
@@ -70,7 +73,7 @@ pub fn solve_gauss_seidel_dense(
     let mut p: Vec<f64> = v.to_vec();
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
-    let mut residual_history = Vec::new();
+    let mut residual_history = ResidualHistory::new();
     let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
@@ -89,6 +92,8 @@ pub fn solve_gauss_seidel_dense(
         residual_history.push(residual);
         guard.observe(iterations, residual)?;
         if residual < config.tolerance {
+            span.record("iterations", iterations as f64);
+            obs::observe("pagerank.iterations", iterations as f64);
             return Ok(PageRankResult {
                 scores: p,
                 iterations,
@@ -99,6 +104,8 @@ pub fn solve_gauss_seidel_dense(
         }
     }
 
+    span.record("iterations", iterations as f64);
+    obs::observe("pagerank.iterations", iterations as f64);
     Err(PageRankError::DidNotConverge { iterations, residual })
 }
 

@@ -14,6 +14,7 @@
 //!   guard, since only the solver knows the cap was the stopping reason).
 
 use crate::error::PageRankError;
+use spammass_obs as obs;
 
 /// Consecutive residual increases tolerated before checking for divergence.
 /// Jacobi/Gauss–Seidel residuals can wiggle for a few iterations on graphs
@@ -44,6 +45,10 @@ impl ConvergenceGuard {
         iterations: usize,
         residual: f64,
     ) -> Result<(), PageRankError> {
+        // The guard sees every residual of every solver, so it is the one
+        // place the *exhaustive* series reaches telemetry (the in-result
+        // history is thinned; see `ResidualHistory`).
+        obs::observe("pagerank.residual", residual);
         if !residual.is_finite() {
             return Err(PageRankError::NumericalInstability { iterations, residual });
         }

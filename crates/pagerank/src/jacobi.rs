@@ -22,9 +22,11 @@
 use crate::config::PageRankConfig;
 use crate::error::PageRankError;
 use crate::guard::ConvergenceGuard;
+use crate::history::ResidualHistory;
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
+use spammass_obs as obs;
 
 /// Applies one matrix–vector product `out ← c·Tᵀ·p` (out-edge scatter).
 ///
@@ -84,6 +86,7 @@ pub fn solve_jacobi_dense(
     config.validate()?;
     let n = graph.node_count();
     check_jump_length(v, n)?;
+    let mut span = obs::span("pagerank.solve.jacobi");
     let c = config.damping;
     let one_minus_c = 1.0 - c;
 
@@ -92,7 +95,7 @@ pub fn solve_jacobi_dense(
     let mut p_next = vec![0.0f64; n];
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
-    let mut residual_history = Vec::new();
+    let mut residual_history = ResidualHistory::new();
     let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
@@ -107,6 +110,8 @@ pub fn solve_jacobi_dense(
         std::mem::swap(&mut p, &mut p_next);
         guard.observe(iterations, residual)?;
         if residual < config.tolerance {
+            span.record("iterations", iterations as f64);
+            obs::observe("pagerank.iterations", iterations as f64);
             return Ok(PageRankResult {
                 scores: p,
                 iterations,
@@ -117,6 +122,8 @@ pub fn solve_jacobi_dense(
         }
     }
 
+    span.record("iterations", iterations as f64);
+    obs::observe("pagerank.iterations", iterations as f64);
     Err(PageRankError::DidNotConverge { iterations, residual })
 }
 

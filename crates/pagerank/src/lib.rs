@@ -68,6 +68,7 @@ pub mod contribution;
 mod error;
 pub mod gauss_seidel;
 mod guard;
+mod history;
 pub mod jacobi;
 mod jump;
 pub mod parallel;
@@ -77,6 +78,7 @@ mod scores;
 pub use chain::{AttemptOutcome, AttemptReport, ChainError, ChainSolve, SolverChain, SolverKind};
 pub use config::PageRankConfig;
 pub use error::PageRankError;
+pub use history::ResidualHistory;
 pub use jump::JumpVector;
 pub use scores::PageRankScores;
 
@@ -95,10 +97,13 @@ pub struct PageRankResult {
     /// `true` for results returned by the strict solvers (a failed solve is
     /// an `Err` instead); retained so downstream reporting stays uniform.
     pub converged: bool,
-    /// L1 residual after each iteration (`residual_history.last()` equals
+    /// Per-iteration L1 residuals (`residual_history.last()` equals
     /// `residual`). Lets callers compare solver convergence rates — the
-    /// paper's Section 2.2 argument for the linear formulation.
-    pub residual_history: Vec<f64>,
+    /// paper's Section 2.2 argument for the linear formulation. Bounded:
+    /// long solves are deterministically thinned (see [`ResidualHistory`]);
+    /// the exhaustive series is available through the `pagerank.residual`
+    /// telemetry histogram.
+    pub residual_history: ResidualHistory,
 }
 
 impl PageRankResult {
@@ -107,21 +112,11 @@ impl PageRankResult {
         PageRankScores::new(&self.scores, config.damping)
     }
 
-    /// Estimated geometric convergence rate: the mean ratio of successive
-    /// residuals over the last few iterations (`≈ c` for Jacobi, smaller
-    /// for Gauss–Seidel). `None` with fewer than three iterations.
+    /// Estimated geometric per-iteration convergence rate over the last
+    /// few recorded residuals (`≈ c` for Jacobi, smaller for
+    /// Gauss–Seidel). `None` with fewer than three iterations.
     pub fn convergence_rate(&self) -> Option<f64> {
-        let h = &self.residual_history;
-        if h.len() < 3 {
-            return None;
-        }
-        let tail = &h[h.len().saturating_sub(6)..];
-        let ratios: Vec<f64> =
-            tail.windows(2).filter(|w| w[0] > 0.0 && w[1] > 0.0).map(|w| w[1] / w[0]).collect();
-        if ratios.is_empty() {
-            return None;
-        }
-        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+        self.residual_history.convergence_rate()
     }
 }
 

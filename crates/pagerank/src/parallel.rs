@@ -16,10 +16,12 @@
 use crate::config::PageRankConfig;
 use crate::error::PageRankError;
 use crate::guard::ConvergenceGuard;
+use crate::history::ResidualHistory;
 use crate::jacobi::check_jump_length;
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
+use spammass_obs as obs;
 
 /// Minimum nodes per chunk; below this the serial path is used.
 const MIN_CHUNK: usize = 16 * 1024;
@@ -59,6 +61,7 @@ pub fn solve_parallel_jacobi_dense(
         return crate::jacobi::solve_jacobi_dense(graph, v, config);
     }
 
+    let mut span = obs::span("pagerank.solve.parallel");
     let c = config.damping;
     let one_minus_c = 1.0 - c;
     let chunk = n.div_ceil(threads);
@@ -80,7 +83,7 @@ pub fn solve_parallel_jacobi_dense(
     let mut shares = vec![0.0f64; n];
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
-    let mut residual_history = Vec::new();
+    let mut residual_history = ResidualHistory::new();
     let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
@@ -136,6 +139,8 @@ pub fn solve_parallel_jacobi_dense(
         std::mem::swap(&mut p, &mut p_next);
         guard.observe(iterations, residual)?;
         if residual < config.tolerance {
+            span.record("iterations", iterations as f64);
+            obs::observe("pagerank.iterations", iterations as f64);
             return Ok(PageRankResult {
                 scores: p,
                 iterations,
@@ -146,6 +151,8 @@ pub fn solve_parallel_jacobi_dense(
         }
     }
 
+    span.record("iterations", iterations as f64);
+    obs::observe("pagerank.iterations", iterations as f64);
     Err(PageRankError::DidNotConverge { iterations, residual })
 }
 

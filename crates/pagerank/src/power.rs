@@ -16,10 +16,12 @@
 use crate::config::PageRankConfig;
 use crate::error::PageRankError;
 use crate::guard::ConvergenceGuard;
+use crate::history::ResidualHistory;
 use crate::jacobi::{check_jump_length, l1_distance};
 use crate::jump::JumpVector;
 use crate::PageRankResult;
 use spammass_graph::Graph;
+use spammass_obs as obs;
 
 /// Solves the eigenvector formulation `p = T″ᵀ p`, returning the stationary
 /// distribution (normalized to `‖p‖₁ = 1`).
@@ -68,16 +70,17 @@ pub fn solve_power_dense(
             iterations: 0,
             residual: 0.0,
             converged: true,
-            residual_history: Vec::new(),
+            residual_history: ResidualHistory::new(),
         });
     }
+    let mut span = obs::span("pagerank.solve.power");
     let c = config.damping;
 
     let mut p: Vec<f64> = v.to_vec();
     let mut p_next = vec![0.0f64; n];
     let mut iterations = 0usize;
     let mut residual = f64::INFINITY;
-    let mut residual_history = Vec::new();
+    let mut residual_history = ResidualHistory::new();
     let mut guard = ConvergenceGuard::new();
 
     while iterations < config.max_iterations {
@@ -98,6 +101,8 @@ pub fn solve_power_dense(
         std::mem::swap(&mut p, &mut p_next);
         guard.observe(iterations, residual)?;
         if residual < config.tolerance {
+            span.record("iterations", iterations as f64);
+            obs::observe("pagerank.iterations", iterations as f64);
             return Ok(PageRankResult {
                 scores: p,
                 iterations,
@@ -108,6 +113,8 @@ pub fn solve_power_dense(
         }
     }
 
+    span.record("iterations", iterations as f64);
+    obs::observe("pagerank.iterations", iterations as f64);
     Err(PageRankError::DidNotConverge { iterations, residual })
 }
 

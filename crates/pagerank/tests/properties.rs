@@ -74,18 +74,24 @@ proptest! {
     }
 
     /// Jacobi is a c-contraction: successive residuals shrink at least
-    /// geometrically with factor c.
+    /// geometrically with factor c. The recorded history may be thinned
+    /// (stride > 1), so compare across the iteration gap: between samples
+    /// k iterations apart the residual must shrink by at least 0.85^k.
     #[test]
     fn residual_history_contracts(g in arb_graph()) {
         let n = g.node_count();
         let v = JumpVector::Uniform.materialize(n).unwrap();
         let r = solve_jacobi_dense(&g, &v, &cfg()).unwrap();
-        for w in r.residual_history.windows(2) {
+        prop_assert_eq!(r.residual_history.observed(), r.iterations);
+        prop_assert_eq!(r.residual_history.last(), Some(r.residual));
+        for w in r.residual_history.series().windows(2) {
+            let (i0, r0) = w[0];
+            let (i1, r1) = w[1];
+            let bound = 0.85f64.powi((i1 - i0) as i32) * r0 + 1e-15;
             prop_assert!(
-                w[1] <= 0.85 * w[0] + 1e-15,
-                "residuals must contract: {} -> {}",
-                w[0],
-                w[1]
+                r1 <= bound,
+                "residuals must contract: iter {} ({}) -> iter {} ({})",
+                i0, r0, i1, r1
             );
         }
     }

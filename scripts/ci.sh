@@ -16,4 +16,26 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== telemetry: obs crate tests =="
+cargo test -q -p spammass-obs
+
+echo "== telemetry: run-report smoke test =="
+# The root facade package has no binary; build the CLI bin explicitly.
+cargo build --release -q -p spammass-cli
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/spammass generate --hosts 2000 --seed 7 \
+  --out "$SMOKE_DIR/web.graph" --core "$SMOKE_DIR/core.txt" > /dev/null
+./target/release/spammass estimate --graph "$SMOKE_DIR/web.graph" \
+  --core "$SMOKE_DIR/core.txt" --trace json \
+  --metrics-out "$SMOKE_DIR/metrics.json" > "$SMOKE_DIR/estimate.out"
+grep -q '"event":"span_end"' "$SMOKE_DIR/estimate.out" \
+  || { echo "no span events in --trace json output"; exit 1; }
+for key in '"schema":"spammass.run_report/v1"' '"command":"estimate"' \
+    '"params"' '"stages"' '"metrics"' '"events"' '"results"' \
+    '"graph.ingest.edges"' '"pagerank.residual"' '"estimate.relative_mass"'; do
+  grep -q "$key" "$SMOKE_DIR/metrics.json" \
+    || { echo "run report missing $key"; exit 1; }
+done
+
 echo "CI green."

@@ -5,6 +5,7 @@
 //! Estimation* (VLDB 2006). See the individual crates for detail:
 //!
 //! * [`graph`] — web-graph substrate (CSR adjacency, labels, stats, I/O).
+//! * [`obs`] — opt-in telemetry: spans, metrics, sinks, run reports.
 //! * [`pagerank`] — linear PageRank solvers and PageRank contributions.
 //! * [`core`] — spam mass, mass estimation, and the detection algorithm.
 //! * [`synth`] — synthetic host-graph and spam-farm workload generator.
@@ -13,5 +14,6 @@
 pub use spammass_core as core;
 pub use spammass_eval as eval;
 pub use spammass_graph as graph;
+pub use spammass_obs as obs;
 pub use spammass_pagerank as pagerank;
 pub use spammass_synth as synth;
