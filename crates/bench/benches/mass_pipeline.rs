@@ -6,7 +6,7 @@ use spammass_bench::Fixture;
 use spammass_core::estimate::{EstimatorConfig, MassEstimator};
 use spammass_core::mass::ExactMass;
 use spammass_core::Partition;
-use spammass_pagerank::PageRankConfig;
+use spammass_pagerank::{parallel, solve_batch, JumpVector, PageRankConfig};
 use std::hint::black_box;
 
 fn estimator() -> MassEstimator {
@@ -25,6 +25,59 @@ fn bench_estimation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("estimate", hosts), &hosts, |b, _| {
             b.iter(|| black_box(estimator().estimate(fixture.graph(), &core)))
         });
+    }
+    group.finish();
+}
+
+/// One batched multi-RHS run (uniform + core jump through a single
+/// traversal per iteration) against two sequential parallel solves — the
+/// batching half of the tentpole. Measured twice: through `MassEstimator`
+/// (batched vs chain-per-run config), and at the solver layer directly
+/// (`solve_batch` vs back-to-back `solve_parallel_jacobi`), which holds
+/// everything but the batching constant.
+fn bench_batched_vs_sequential(c: &mut Criterion) {
+    let hosts = 120_000usize;
+    let fixture = Fixture::new(hosts);
+    let core = fixture.core.as_vec();
+    let mut group = c.benchmark_group("mass_estimation_engine");
+    group.sample_size(10);
+    let jumps = [JumpVector::Uniform, JumpVector::scaled_core(core.clone(), 0.85)];
+    for threads in [1usize, 4] {
+        let pr = PageRankConfig::default().tolerance(1e-10).max_iterations(200).threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new(format!("estimator_batched_{threads}t"), hosts),
+            &hosts,
+            |b, _| {
+                let est = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr));
+                b.iter(|| black_box(est.estimate(fixture.graph(), &core)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("estimator_chained_{threads}t"), hosts),
+            &hosts,
+            |b, _| {
+                let est = MassEstimator::new(
+                    EstimatorConfig::scaled(0.85).with_pagerank(pr).with_batching(false),
+                );
+                b.iter(|| black_box(est.estimate(fixture.graph(), &core)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("solve_batch_{threads}t"), hosts),
+            &hosts,
+            |b, _| b.iter(|| black_box(solve_batch(fixture.graph(), &jumps, &pr))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("two_parallel_solves_{threads}t"), hosts),
+            &hosts,
+            |b, _| {
+                b.iter(|| {
+                    for jump in &jumps {
+                        black_box(parallel::solve_parallel_jacobi(fixture.graph(), jump, &pr)).ok();
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -56,5 +109,11 @@ fn bench_reused_pagerank(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_estimation, bench_exact_mass, bench_reused_pagerank);
+criterion_group!(
+    benches,
+    bench_estimation,
+    bench_batched_vs_sequential,
+    bench_exact_mass,
+    bench_reused_pagerank
+);
 criterion_main!(benches);

@@ -1,8 +1,10 @@
 //! Solver comparison: Jacobi (Algorithm 1), Gauss–Seidel, power iteration
-//! (eigen formulation), and the crossbeam-parallel Jacobi.
+//! (eigen formulation), and the pooled parallel Jacobi.
 //!
 //! Backs the paper's Section 2.2 remark that linear solvers "are regularly
-//! faster than the algorithms available for solving eigensystems".
+//! faster than the algorithms available for solving eigensystems", and
+//! measures the fused pooled engine against the legacy two-pass kernel on
+//! a ≥1M-edge synthetic web at several thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spammass_bench::Fixture;
@@ -37,6 +39,40 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fused pooled kernel vs the legacy two-pass kernel at matched thread
+/// counts on a million-edge graph — the tentpole comparison. Both paths
+/// use the same partitioner and convergence machinery, so the delta is
+/// the kernel itself (one traversal + coefficient table vs shares pass
+/// plus gather pass).
+fn bench_engine(c: &mut Criterion) {
+    let hosts = 120_000usize;
+    let fixture = Fixture::new(hosts);
+    let g = fixture.graph();
+    assert!(
+        g.edge_count() >= 1_000_000,
+        "engine benchmark needs a >=1M-edge graph, got {}",
+        g.edge_count()
+    );
+    println!("pagerank_engine: {} nodes, {} edges", g.node_count(), g.edge_count());
+    let jump = JumpVector::Uniform;
+    let mut group = c.benchmark_group("pagerank_engine");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let cfg = config().threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new(format!("two_pass_{threads}t"), hosts),
+            &hosts,
+            |b, _| b.iter(|| black_box(parallel::solve_parallel_jacobi_two_pass(g, &jump, &cfg))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("fused_{threads}t"), hosts),
+            &hosts,
+            |b, _| b.iter(|| black_box(parallel::solve_parallel_jacobi(g, &jump, &cfg))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_core_jump(c: &mut Criterion) {
     // The second PageRank run of the method: γ-scaled core jump vector.
     let fixture = Fixture::new(20_000);
@@ -48,5 +84,5 @@ fn bench_core_jump(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_solvers, bench_core_jump);
+criterion_group!(benches, bench_solvers, bench_engine, bench_core_jump);
 criterion_main!(benches);

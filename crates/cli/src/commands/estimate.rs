@@ -61,6 +61,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "gamma",
         "out",
         "top",
+        "threads",
+        "batch",
         "lenient",
         "trace",
         "metrics-out",
@@ -79,6 +81,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         return Err(CliError::Usage(format!("--gamma {gamma} outside [0, 1]")));
     }
     let top: usize = args.parsed_or("top", 20)?;
+    let threads: usize = args.parsed_or("threads", 0)?;
+    let batched: bool = args.parsed_or("batch", true)?;
 
     let mut warnings = String::new();
     if let Some(w) = ingest_warning(load_report.as_ref()) {
@@ -88,7 +92,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(warnings, "{w}");
     }
 
-    let estimate = MassEstimator::new(EstimatorConfig::scaled(gamma)).estimate(&graph, &core)?;
+    let config = EstimatorConfig::scaled(gamma)
+        .with_pagerank(spammass_pagerank::PageRankConfig::default().threads(threads))
+        .with_batching(batched);
+    let estimate = MassEstimator::new(config).estimate(&graph, &core)?;
     warnings.push_str(&health_lines(&estimate, labels.as_ref()));
 
     if let Some(out_path) = args.optional("out") {
@@ -183,8 +190,9 @@ mod tests {
         .unwrap();
         let report = run(&args).unwrap();
         assert!(report.contains("core: 1 hosts"));
-        assert!(report.contains("pagerank solve: jacobi"), "{report}");
-        assert!(report.contains("core solve: jacobi"), "{report}");
+        // The default path solves both jump vectors in one batched run.
+        assert!(report.contains("pagerank solve: batch"), "{report}");
+        assert!(report.contains("core solve: batch"), "{report}");
 
         let tsv = fs::read_to_string(&out_path).unwrap();
         assert_eq!(tsv.lines().count(), 9); // header + 8 nodes
@@ -192,6 +200,31 @@ mod tests {
         let target_line = tsv.lines().find(|l| l.starts_with("0\t")).unwrap();
         let rel: f64 = target_line.rsplit('\t').next().unwrap().parse().unwrap();
         assert!(rel > 0.99, "target m~ = {rel}");
+    }
+
+    #[test]
+    fn batch_false_falls_back_to_the_solver_chain() {
+        let (gp, cp) = setup();
+        let args = ParsedArgs::parse(
+            &[
+                "estimate",
+                "--graph",
+                gp.to_str().unwrap(),
+                "--core",
+                cp.to_str().unwrap(),
+                "--batch",
+                "false",
+                "--threads",
+                "1",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("pagerank solve: jacobi"), "{report}");
+        assert!(report.contains("core solve: jacobi"), "{report}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "damping",
         "tolerance",
         "top",
+        "threads",
         "labels",
         "lenient",
         "fallback",
@@ -43,10 +44,14 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let tolerance: f64 = args.parsed_or("tolerance", 1e-12)?;
     let top: usize = args.parsed_or("top", 20)?;
     let fallback: bool = args.parsed_or("fallback", false)?;
+    let threads: usize = args.parsed_or("threads", 0)?;
     let solver = args.optional("solver").unwrap_or("jacobi");
     let kind = solver_kind(solver)?;
 
-    let cfg = PageRankConfig::with_damping(damping).tolerance(tolerance).max_iterations(500);
+    let cfg = PageRankConfig::with_damping(damping)
+        .tolerance(tolerance)
+        .max_iterations(500)
+        .threads(threads);
     cfg.validate().map_err(|e| CliError::Usage(e.to_string()))?;
     let jump = JumpVector::Uniform;
 

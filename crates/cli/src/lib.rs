@@ -96,14 +96,18 @@ spammass — link spam detection based on mass estimation
 USAGE:
   spammass generate --hosts N [--seed S] --out FILE [--labels FILE] [--truth FILE] [--core FILE]
   spammass stats    --graph FILE [--lenient N]
-  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--labels FILE] [--fallback true] [--lenient N]
-  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--lenient N]
+  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--threads T] [--labels FILE] [--fallback true] [--lenient N]
+  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--threads T] [--batch false] [--lenient N]
   spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--lenient N]
 
   --lenient N       tolerate up to N malformed edge-list lines (skipped and
                     reported) instead of failing on the first bad line
   --fallback true   on solver failure, retry with the hardened fallback chain
                     (each attempt is reported)
+  --threads T       worker threads for the parallel and batched solvers
+                    (0 = all cores; small graphs run single-threaded anyway)
+  --batch false     solve the two estimation jump vectors separately through
+                    the fallback chain instead of one batched multi-RHS run
 
 Every subcommand also accepts:
   --trace MODE      append run telemetry to the output: `pretty` prints the

@@ -90,9 +90,7 @@ fn estimate_run_report_round_trips_with_required_sections() {
     for stage in stages {
         collect_paths(stage, &mut paths);
     }
-    for expected in
-        ["graph.ingest.binary", "estimate", "estimate.pagerank", "estimate.pagerank_core"]
-    {
+    for expected in ["graph.ingest.binary", "estimate", "estimate.pagerank_batch"] {
         assert!(paths.iter().any(|p| p == expected), "no stage {expected} in {paths:?}");
     }
 

@@ -16,12 +16,21 @@
 //! core members and their heavy beneficiaries get **negative** mass —
 //! the paper treats negative mass as a strong goodness signal.
 //!
+//! ## Execution
+//!
+//! By default the two runs advance **together** through one batched
+//! multi-RHS solve (`solve_batch`), so each sweep traverses the edge
+//! structure once for both columns — on large graphs the edge arrays are
+//! the dominant memory traffic, making the pair of solves substantially
+//! cheaper than two sequential runs. If the batched solve fails, the
+//! estimator transparently falls back to the chained per-run path.
+//!
 //! ## Hardening
 //!
 //! Estimation is fallible end-to-end: solver failures surface as typed
-//! [`EstimateError`]s instead of panics, each PageRank run goes through a
-//! [`SolverChain`] whose fallback usage is recorded in the returned
-//! [`EstimateReport`], and the report flags two anomaly classes —
+//! [`EstimateError`]s instead of panics, each chained PageRank run goes
+//! through a [`SolverChain`] whose fallback usage is recorded in the
+//! returned [`EstimateReport`], and the report flags two anomaly classes —
 //! non-core nodes whose estimated good contribution exceeds their PageRank
 //! (`p′_x > p_x`, impossible with an unscaled core and suspicious
 //! otherwise) and *dead* core entries (core nodes carrying no PageRank,
@@ -57,12 +66,23 @@ pub struct EstimatorConfig {
     pub pagerank: PageRankConfig,
     /// Core jump scaling.
     pub scaling: CoreScaling,
+    /// Whether [`MassEstimator::estimate`] advances both PageRank runs
+    /// through one batched multi-RHS solve (`solve_batch`), walking the
+    /// edge structure once per sweep instead of twice. On a batched-solve
+    /// failure the estimator transparently falls back to the chained
+    /// per-run path (which adds solver fallbacks), so disabling this is
+    /// only useful to force the legacy path, e.g. for comparisons.
+    pub batched: bool,
 }
 
 impl EstimatorConfig {
     /// Section 3.4 setting: unscaled core vector.
     pub fn unscaled() -> Self {
-        EstimatorConfig { pagerank: PageRankConfig::default(), scaling: CoreScaling::Unscaled }
+        EstimatorConfig {
+            pagerank: PageRankConfig::default(),
+            scaling: CoreScaling::Unscaled,
+            batched: true,
+        }
     }
 
     /// Section 3.5 / Section 4.3 setting: γ-scaled core vector
@@ -72,12 +92,22 @@ impl EstimatorConfig {
     /// [`EstimateError::InvalidGamma`] — so a bad value cannot panic deep
     /// inside a pipeline.
     pub fn scaled(gamma: f64) -> Self {
-        EstimatorConfig { pagerank: PageRankConfig::default(), scaling: CoreScaling::Gamma(gamma) }
+        EstimatorConfig {
+            pagerank: PageRankConfig::default(),
+            scaling: CoreScaling::Gamma(gamma),
+            batched: true,
+        }
     }
 
     /// Replaces the PageRank solver configuration, builder-style.
     pub fn with_pagerank(mut self, pr: PageRankConfig) -> Self {
         self.pagerank = pr;
+        self
+    }
+
+    /// Enables or disables the batched multi-RHS fast path, builder-style.
+    pub fn with_batching(mut self, batched: bool) -> Self {
+        self.batched = batched;
         self
     }
 
@@ -226,7 +256,20 @@ impl MassEstimator {
         SolverChain::recommended(self.config.pagerank)
     }
 
+    /// The core-restricted jump vector under the configured scaling.
+    fn core_jump(&self, good_core: &[NodeId], n: usize) -> JumpVector {
+        match self.config.scaling {
+            CoreScaling::Unscaled => JumpVector::core(good_core.to_vec(), n),
+            CoreScaling::Gamma(gamma) => JumpVector::scaled_core(good_core.to_vec(), gamma),
+        }
+    }
+
     /// Runs the two PageRank computations and derives mass estimates.
+    ///
+    /// By default both runs advance together through one batched
+    /// multi-RHS solve (one traversal of the in-CSR per sweep for both
+    /// columns); if the batched solve fails, the estimator falls back to
+    /// the chained per-run path with its solver fallbacks.
     ///
     /// # Errors
     /// [`EstimateError`] on an empty/out-of-range core, invalid
@@ -238,6 +281,16 @@ impl MassEstimator {
     ) -> Result<EstimateReport, EstimateError> {
         let _span = obs::span("estimate");
         self.config.validate()?;
+        if good_core.is_empty() {
+            return Err(EstimateError::EmptyCore);
+        }
+        if self.config.batched {
+            if let Some(report) = self.estimate_batched(graph, good_core) {
+                return Ok(report);
+            }
+            // The batched solve failed; retry through the chained per-run
+            // path below, which layers fallback solvers per run.
+        }
         let uniform_span = obs::span("pagerank");
         let solve = self
             .chain()
@@ -248,6 +301,41 @@ impl MassEstimator {
         let mut report = self.estimate_with_pagerank(graph, good_core, solve.result.scores)?;
         report.pagerank_diag = Some(diag);
         Ok(report)
+    }
+
+    /// The batched fast path: `[p, p′]` from one `solve_batch` call.
+    /// `None` means the batch failed and the caller should fall back.
+    fn estimate_batched(&self, graph: &Graph, good_core: &[NodeId]) -> Option<EstimateReport> {
+        let jumps = [JumpVector::Uniform, self.core_jump(good_core, graph.node_count())];
+        let batch_span = obs::span("pagerank_batch");
+        let outcome = spammass_pagerank::solve_batch(graph, &jumps, &self.config.pagerank);
+        drop(batch_span);
+        match outcome {
+            Ok(mut results) => {
+                let p_core = results.pop().expect("batch returns two columns");
+                let uniform = results.pop().expect("batch returns two columns");
+                let diag = |r: &spammass_pagerank::PageRankResult| SolveDiagnostics {
+                    solver: "batch",
+                    iterations: r.iterations,
+                    residual: r.residual,
+                    attempts: 1,
+                };
+                let pagerank_diag = diag(&uniform);
+                let core_diag = diag(&p_core);
+                let mut report =
+                    self.build_report(good_core, uniform.scores, p_core.scores, core_diag);
+                report.pagerank_diag = Some(pagerank_diag);
+                Some(report)
+            }
+            Err(e) => {
+                obs::counter("estimate.batch_fallback", 1.0);
+                obs::event(
+                    "estimate.batch_fallback",
+                    vec![("error".to_string(), obs::Json::str(e.to_string()))],
+                );
+                None
+            }
+        }
     }
 
     /// Same as [`estimate`](Self::estimate), but reuses an existing regular
@@ -274,10 +362,7 @@ impl MassEstimator {
             return Err(EstimateError::EmptyCore);
         }
 
-        let jump = match self.config.scaling {
-            CoreScaling::Unscaled => JumpVector::core(good_core.to_vec(), n),
-            CoreScaling::Gamma(gamma) => JumpVector::scaled_core(good_core.to_vec(), gamma),
-        };
+        let jump = self.core_jump(good_core, n);
         let core_span = obs::span("pagerank_core");
         let solve = self
             .chain()
@@ -285,8 +370,18 @@ impl MassEstimator {
             .map_err(|source| EstimateError::Solver { stage: "core", source })?;
         drop(core_span);
         let core_diag = SolveDiagnostics::from_chain(&solve);
-        let p_core = solve.result.scores;
+        Ok(self.build_report(good_core, pagerank, solve.result.scores, core_diag))
+    }
 
+    /// Derives the mass estimate, anomaly scan, and telemetry from the two
+    /// solved score vectors — shared by the batched and chained paths.
+    fn build_report(
+        &self,
+        good_core: &[NodeId],
+        pagerank: Vec<f64>,
+        p_core: Vec<f64>,
+        core_diag: SolveDiagnostics,
+    ) -> EstimateReport {
         let absolute: Vec<f64> = pagerank.iter().zip(&p_core).map(|(&p, &pc)| p - pc).collect();
         let relative = relative_mass(&pagerank, &absolute);
 
@@ -333,7 +428,7 @@ impl MassEstimator {
                 obs::observe("estimate.relative_mass", m);
             }
         }
-        Ok(EstimateReport { mass, anomalies, dead_core, pagerank_diag: None, core_diag })
+        EstimateReport { mass, anomalies, dead_core, pagerank_diag: None, core_diag }
     }
 }
 
@@ -625,11 +720,50 @@ mod tests {
             .estimate(&f.graph, &f.good_core())
             .unwrap();
         let pr = est.pagerank_diag.as_ref().expect("fresh estimate records the uniform run");
-        assert_eq!(pr.solver, "jacobi");
+        assert_eq!(pr.solver, "batch", "default path is the batched solve");
         assert!(!pr.used_fallback());
         assert!(pr.iterations > 0 && pr.residual < 1e-14);
         assert!(est.core_diag.iterations > 0);
+        assert!(est.core_diag.to_string().contains("batch"));
+        assert!(est.is_healthy());
+    }
+
+    #[test]
+    fn chained_diagnostics_when_batching_disabled() {
+        let f = figure2();
+        let est = MassEstimator::new(
+            EstimatorConfig::unscaled().with_pagerank(pr_cfg()).with_batching(false),
+        )
+        .estimate(&f.graph, &f.good_core())
+        .unwrap();
+        let pr = est.pagerank_diag.as_ref().unwrap();
+        assert_eq!(pr.solver, "jacobi");
+        assert!(!pr.used_fallback());
         assert!(est.core_diag.to_string().contains("jacobi"));
+    }
+
+    #[test]
+    fn batched_and_chained_paths_agree() {
+        let f = figure2();
+        let batched = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()))
+            .estimate(&f.graph, &f.good_core())
+            .unwrap();
+        let chained = MassEstimator::new(
+            EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()).with_batching(false),
+        )
+        .estimate(&f.graph, &f.good_core())
+        .unwrap();
+        for i in 0..batched.len() {
+            assert!(
+                (batched.absolute[i] - chained.absolute[i]).abs() < 1e-12,
+                "node {i}: {} vs {}",
+                batched.absolute[i],
+                chained.absolute[i]
+            );
+            assert!((batched.relative[i] - chained.relative[i]).abs() < 1e-9, "node {i}");
+        }
+        assert_eq!(batched.anomalies, chained.anomalies);
+        assert_eq!(batched.dead_core, chained.dead_core);
     }
 
     #[test]
@@ -709,14 +843,28 @@ mod tests {
 
     #[test]
     fn estimate_with_reused_pagerank_matches_fresh() {
+        // The chained path and estimate_with_pagerank use the same core
+        // solver, so reuse is exact there; the batched fresh path solves
+        // with the fused kernel and agrees to solver tolerance.
         let f = figure2();
-        let estimator = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()));
-        let fresh = estimator.estimate(&f.graph, &f.good_core()).unwrap();
-        let reused = estimator
+        let chained = MassEstimator::new(
+            EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()).with_batching(false),
+        );
+        let fresh = chained.estimate(&f.graph, &f.good_core()).unwrap();
+        let reused = chained
             .estimate_with_pagerank(&f.graph, &f.good_core(), fresh.pagerank.clone())
             .unwrap();
         assert_eq!(fresh.absolute, reused.absolute);
         assert_eq!(fresh.relative, reused.relative);
+
+        let batched = MassEstimator::new(EstimatorConfig::scaled(0.85).with_pagerank(pr_cfg()));
+        let fresh_batched = batched.estimate(&f.graph, &f.good_core()).unwrap();
+        let reused_batched = batched
+            .estimate_with_pagerank(&f.graph, &f.good_core(), fresh_batched.pagerank.clone())
+            .unwrap();
+        for i in 0..fresh_batched.len() {
+            assert!((fresh_batched.absolute[i] - reused_batched.absolute[i]).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -731,12 +879,11 @@ mod tests {
                 .estimate(&f.graph, &f.good_core())
                 .unwrap();
         }
-        // Both PageRank runs are children of the estimate span.
+        // The batched PageRank run is a child of the estimate span.
         let tree = recorder.span_tree();
         let root = tree.iter().find(|n| n.record.name == "estimate").unwrap();
         let child_paths: Vec<&str> = root.children.iter().map(|c| c.record.path.as_str()).collect();
-        assert!(child_paths.contains(&"estimate.pagerank"), "{child_paths:?}");
-        assert!(child_paths.contains(&"estimate.pagerank_core"), "{child_paths:?}");
+        assert!(child_paths.contains(&"estimate.pagerank_batch"), "{child_paths:?}");
         let metrics = collector.metrics_snapshot();
         let get = |name: &str| metrics.iter().find(|(k, _)| k == name).map(|(_, m)| m.clone());
         assert!(matches!(get("estimate.anomalies"), Some(obs::Metric::Counter(_))));

@@ -120,6 +120,16 @@ impl Graph {
         (self.in_offsets[x.index() + 1] - self.in_offsets[x.index()]) as usize
     }
 
+    /// Raw in-CSR offsets, length `node_count + 1`: node `y`'s in-edges
+    /// occupy positions `in_offsets[y]..in_offsets[y+1]` of the source
+    /// array. The prefix-sum shape makes `in_offsets[y]` the number of
+    /// in-edges of all nodes before `y`, which is what edge-balanced
+    /// partitioning of gather kernels needs.
+    #[inline]
+    pub fn in_offsets(&self) -> &[u32] {
+        &self.in_offsets
+    }
+
     /// Whether `x` is a dangling node (`out(x) = 0`); such nodes make the
     /// transition matrix substochastic (Section 2.2).
     #[inline]
@@ -159,7 +169,9 @@ impl Graph {
     /// Builds a new graph containing only edges for which `keep` returns
     /// `true`. Node ids are preserved.
     pub fn filter_edges<F: FnMut(NodeId, NodeId) -> bool>(&self, mut keep: F) -> Graph {
-        let mut edges = Vec::new();
+        // Filters usually keep most edges; reserving the upper bound up
+        // front avoids O(m) reallocation churn on large graphs.
+        let mut edges = Vec::with_capacity(self.edge_count);
         for (f, t) in self.edges() {
             if keep(f, t) {
                 edges.push((f.0, t.0));

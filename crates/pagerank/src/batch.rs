@@ -1,0 +1,420 @@
+//! Multi-RHS batched Jacobi: k jump vectors through one CSR traversal.
+//!
+//! Mass estimation (Section 3.5 of the paper) needs **two** PageRank
+//! solves over the same graph — `p = PR(v)` with the uniform jump and
+//! `p′ = PR(w)` with the core-restricted jump. Run sequentially, the
+//! edge structure (by far the largest working set) is streamed from
+//! memory twice per pair of sweeps. [`solve_batch`] instead advances all
+//! k columns together: each sweep walks the in-CSR **once**, and every
+//! gathered neighbour contributes to all k accumulators while its cache
+//! lines are hot.
+//!
+//! Scores are stored **interleaved** (row-major `n × k`: `P[y·k + j]` is
+//! column `j`'s score of node `y`), so the k reads per traversed edge
+//! are contiguous — for k = 2 both columns of a node share one cache
+//! line.
+//!
+//! The kernel is monomorphized over the column count (`K` a const
+//! generic, 1–4): the per-row accumulator is then a stack array the
+//! optimizer keeps in registers and the per-edge inner loop fully
+//! unrolls, instead of a dynamically-sized slice that forces a memory
+//! round-trip per edge. Batches wider than four columns run as chunks
+//! of up to four, each chunk sharing one traversal — still one pass per
+//! four columns rather than one per column.
+//!
+//! Each column keeps its own residual, [`ResidualHistory`] and
+//! [`ConvergenceGuard`]; a column whose residual drops below tolerance
+//! is **frozen** — its values are copied through unchanged (bit-exact)
+//! while the remaining columns iterate on. Because the per-column
+//! arithmetic is identical to the fused kernel in [`crate::parallel`]
+//! (`acc += p[x]·coef[x]` in the same order over the same edge-balanced
+//! partition), a batched column is **bit-for-bit identical** to the
+//! corresponding independent [`solve_parallel_jacobi`] run — the
+//! property-test suite pins this.
+//!
+//! Error semantics match the strict single-RHS solvers: any column
+//! tripping its guard (divergence, NaN poisoning) or the shared
+//! iteration cap fails the whole batch, since the estimate consuming the
+//! results needs every column.
+//!
+//! [`solve_parallel_jacobi`]: crate::parallel::solve_parallel_jacobi
+
+use crate::config::PageRankConfig;
+use crate::error::PageRankError;
+use crate::guard::ConvergenceGuard;
+use crate::history::ResidualHistory;
+use crate::jacobi::check_jump_length;
+use crate::jump::JumpVector;
+use crate::partition::NodePartition;
+use crate::pool::{self, SharedSlice};
+use crate::PageRankResult;
+use spammass_graph::{Graph, NodeId};
+use spammass_obs as obs;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Solves `(I − c·Tᵀ)pⱼ = (1 − c)vⱼ` for every jump vector in `jumps`
+/// through a single shared traversal per sweep.
+///
+/// Returns one [`PageRankResult`] per jump vector, in order. Each
+/// column's scores are bit-for-bit identical to an independent
+/// [`solve_parallel_jacobi`](crate::parallel::solve_parallel_jacobi)
+/// run with the same config on a machine of the same thread count.
+///
+/// # Errors
+/// Per-column input validation mirrors the single-RHS solvers; a guard
+/// trip or the iteration cap on any unconverged column fails the whole
+/// batch.
+pub fn solve_batch(
+    graph: &Graph,
+    jumps: &[JumpVector],
+    config: &PageRankConfig,
+) -> Result<Vec<PageRankResult>, PageRankError> {
+    config.validate()?;
+    let n = graph.node_count();
+    let mut vs = Vec::with_capacity(jumps.len());
+    for jump in jumps {
+        vs.push(jump.materialize(n)?);
+    }
+    solve_batch_dense(graph, &vs, config)
+}
+
+/// [`solve_batch`] with already-materialized jump vectors.
+///
+/// # Errors
+/// Same contract as [`solve_batch`].
+pub fn solve_batch_dense(
+    graph: &Graph,
+    vs: &[Vec<f64>],
+    config: &PageRankConfig,
+) -> Result<Vec<PageRankResult>, PageRankError> {
+    config.validate()?;
+    let n = graph.node_count();
+    let k = vs.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    for v in vs {
+        check_jump_length(v, n)?;
+    }
+    if n == 0 {
+        return Ok(vs
+            .iter()
+            .map(|_| PageRankResult {
+                scores: Vec::new(),
+                iterations: 0,
+                residual: 0.0,
+                converged: true,
+                residual_history: ResidualHistory::new(),
+            })
+            .collect());
+    }
+
+    // Monomorphized dispatch: a compile-time column count turns the
+    // per-row accumulator into a register-resident array and unrolls the
+    // per-edge loop. Wider batches run as independent chunks of up to
+    // MAX_FUSED_COLUMNS columns (each chunk one traversal per sweep).
+    let mut results = Vec::with_capacity(k);
+    for chunk in vs.chunks(MAX_FUSED_COLUMNS) {
+        results.extend(match chunk.len() {
+            1 => solve_batch_fixed::<1>(graph, chunk, config)?,
+            2 => solve_batch_fixed::<2>(graph, chunk, config)?,
+            3 => solve_batch_fixed::<3>(graph, chunk, config)?,
+            _ => solve_batch_fixed::<4>(graph, chunk, config)?,
+        });
+    }
+    Ok(results)
+}
+
+/// Widest batch a single fused traversal carries; see [`solve_batch_dense`].
+const MAX_FUSED_COLUMNS: usize = 4;
+
+/// The batched solve for exactly `K` columns (`1 ≤ K ≤ 4`), monomorphized
+/// so the accumulator is a `[f64; K]` in registers. Inputs are already
+/// validated and `n > 0`.
+fn solve_batch_fixed<const K: usize>(
+    graph: &Graph,
+    vs: &[Vec<f64>],
+    config: &PageRankConfig,
+) -> Result<Vec<PageRankResult>, PageRankError> {
+    debug_assert_eq!(vs.len(), K);
+    let n = graph.node_count();
+    let threads = crate::parallel::effective_threads(config.threads, n);
+    let mut span = obs::span("pagerank.solve.batch");
+    span.record("columns", K as f64);
+    span.record("threads", threads as f64);
+
+    let c = config.damping;
+    let one_minus_c = 1.0 - c;
+    let partition = NodePartition::edge_balanced(graph, threads);
+    let coef: Vec<f64> = graph
+        .nodes()
+        .map(|x| {
+            let d = graph.out_degree(x);
+            if d == 0 {
+                0.0
+            } else {
+                c / d as f64
+            }
+        })
+        .collect();
+
+    // Interleaved row-major n×K matrices; vmat holds the jump vectors in
+    // the same layout so the kernel streams them with the same stride.
+    let mut front = vec![0.0f64; n * K];
+    for (j, v) in vs.iter().enumerate() {
+        for (y, &vy) in v.iter().enumerate() {
+            front[y * K + j] = vy;
+        }
+    }
+    let vmat = front.clone();
+    let mut back = vec![0.0f64; n * K];
+    // Per-(worker, column) residual contributions, flat threads×K.
+    let mut chunk_deltas = vec![0.0f64; threads * K];
+    // Columns still iterating. Written only by control between rounds;
+    // Relaxed suffices because the pool barrier orders rounds.
+    let active: Vec<AtomicBool> = (0..K).map(|_| AtomicBool::new(true)).collect();
+
+    let mut histories: Vec<ResidualHistory> = (0..K).map(|_| ResidualHistory::new()).collect();
+    let mut guards: Vec<ConvergenceGuard> = (0..K).map(|_| ConvergenceGuard::new()).collect();
+    let mut col_iterations = vec![0usize; K];
+    let mut col_residual = vec![f64::INFINITY; K];
+    let mut completed = 0usize;
+
+    let outcome: Result<(), PageRankError> = {
+        let bufs = [SharedSlice::new(&mut front), SharedSlice::new(&mut back)];
+        let deltas = SharedSlice::new(&mut chunk_deltas);
+        let partition = &partition;
+        let coef = &coef[..];
+        let vmat = &vmat[..];
+        let active = &active[..];
+
+        let kernel = |round: usize, worker: usize| {
+            let range = partition.range(worker);
+            // SAFETY: same discipline as the single-RHS kernel — buffers
+            // alternate by round parity, each worker writes only rows
+            // range.start..range.end of the write buffer and its own
+            // threads×K slots of deltas; the pool barriers order rounds.
+            let read = unsafe { bufs[round % 2].as_slice() };
+            let write = unsafe { bufs[(round + 1) % 2].range_mut(range.start * K, range.end * K) };
+            let my_deltas = unsafe { deltas.range_mut(worker * K, (worker + 1) * K) };
+            // Active flags only change between rounds; snapshot them once
+            // per round so the row loop branches on plain bools.
+            let mut act = [false; K];
+            for (a, flag) in act.iter_mut().zip(active) {
+                *a = flag.load(Ordering::Relaxed);
+            }
+            let mut local_deltas = [0.0f64; K];
+            for y in range.clone() {
+                let mut acc: [f64; K] =
+                    vmat[y * K..(y + 1) * K].try_into().expect("vmat row is K wide");
+                for a in &mut acc {
+                    *a *= one_minus_c;
+                }
+                for x in graph.in_neighbors(NodeId(y as u32)) {
+                    let w = coef[x.index()];
+                    let src: &[f64; K] = read[x.index() * K..(x.index() + 1) * K]
+                        .try_into()
+                        .expect("score row is K wide");
+                    for (a, &s) in acc.iter_mut().zip(src) {
+                        *a += s * w;
+                    }
+                }
+                let old: &[f64; K] =
+                    read[y * K..(y + 1) * K].try_into().expect("score row is K wide");
+                let row = &mut write[(y - range.start) * K..(y - range.start + 1) * K];
+                for (j, (&a, &o)) in acc.iter().zip(old).enumerate() {
+                    if act[j] {
+                        local_deltas[j] += (a - o).abs();
+                        row[j] = a;
+                    } else {
+                        // Frozen column: copy through bit-exact.
+                        row[j] = o;
+                    }
+                }
+            }
+            my_deltas.copy_from_slice(&local_deltas);
+        };
+
+        let control = |round: usize| -> ControlFlow<Result<(), PageRankError>> {
+            let iterations = round + 1;
+            completed = iterations;
+            // SAFETY: control runs between rounds; no worker is active.
+            let deltas = unsafe { deltas.as_slice() };
+            let mut all_frozen = true;
+            for j in 0..K {
+                if !active[j].load(Ordering::Relaxed) {
+                    continue;
+                }
+                // Worker-index-order reduction per column keeps the f64
+                // sum — and therefore each column's convergence — exactly
+                // that of the equivalent single-RHS solve.
+                let residual: f64 = (0..threads).map(|w| deltas[w * K + j]).sum();
+                col_residual[j] = residual;
+                histories[j].push(residual);
+                if let Err(e) = guards[j].observe(iterations, residual) {
+                    return ControlFlow::Break(Err(e));
+                }
+                if residual < config.tolerance {
+                    active[j].store(false, Ordering::Relaxed);
+                    col_iterations[j] = iterations;
+                } else {
+                    all_frozen = false;
+                }
+            }
+            if all_frozen {
+                return ControlFlow::Break(Ok(()));
+            }
+            if iterations >= config.max_iterations {
+                let worst = (0..K)
+                    .filter(|&j| active[j].load(Ordering::Relaxed))
+                    .map(|j| col_residual[j])
+                    .fold(0.0f64, f64::max);
+                return ControlFlow::Break(Err(PageRankError::DidNotConverge {
+                    iterations,
+                    residual: worst,
+                }));
+            }
+            ControlFlow::Continue(())
+        };
+
+        pool::run_rounds(threads, kernel, control)
+    };
+
+    // Telemetry on every exit path, including guard errors.
+    span.record("iterations", completed as f64);
+    outcome?;
+
+    // Round r writes bufs[(r+1) % 2]; frozen columns were copied through
+    // every later round, so bufs[completed % 2] holds every column's
+    // final iterate. De-interleave into per-column results.
+    let final_buf = if completed.is_multiple_of(2) { &front } else { &back };
+    let mut results = Vec::with_capacity(K);
+    for (j, (history, &iterations)) in histories.iter().zip(&col_iterations).enumerate() {
+        obs::observe("pagerank.iterations", iterations as f64);
+        let mut scores = vec![0.0f64; n];
+        for (y, s) in scores.iter_mut().enumerate() {
+            *s = final_buf[y * K + j];
+        }
+        results.push(PageRankResult {
+            scores,
+            iterations,
+            residual: col_residual[j],
+            converged: true,
+            residual_history: history.clone(),
+        });
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::solve_parallel_jacobi;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spammass_graph::GraphBuilder;
+
+    fn cfg() -> PageRankConfig {
+        PageRankConfig::default()
+    }
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> spammass_graph::Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::with_capacity(n, m);
+        for _ in 0..m {
+            let f = rng.gen_range(0..n as u32);
+            let t = rng.gen_range(0..n as u32);
+            if f != t {
+                b.add_edge(spammass_graph::NodeId(f), spammass_graph::NodeId(t));
+            }
+        }
+        b.build()
+    }
+
+    fn core_jump(n: usize) -> JumpVector {
+        JumpVector::core((0..(n as u32) / 10).map(spammass_graph::NodeId).collect::<Vec<_>>(), n)
+    }
+
+    #[test]
+    fn batched_columns_are_bit_identical_to_independent_solves() {
+        let g = random_graph(40_000, 160_000, 31);
+        let n = g.node_count();
+        let jumps = [JumpVector::Uniform, core_jump(n)];
+        let config = cfg().threads(2);
+        let batch = solve_batch(&g, &jumps, &config).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (jump, col) in jumps.iter().zip(&batch) {
+            let solo = solve_parallel_jacobi(&g, jump, &config).unwrap();
+            assert_eq!(solo.scores, col.scores, "scores must be bit-identical");
+            assert_eq!(solo.iterations, col.iterations);
+            assert_eq!(solo.residual, col.residual);
+        }
+    }
+
+    #[test]
+    fn columns_converge_independently() {
+        // The core jump has far less mass, so its column freezes earlier
+        // (or later) than the uniform one; both must still be correct.
+        let g = random_graph(40_000, 160_000, 37);
+        let jumps = [JumpVector::Uniform, core_jump(g.node_count())];
+        let batch = solve_batch(&g, &jumps, &cfg().threads(2)).unwrap();
+        assert!(batch.iter().all(|r| r.converged));
+        assert!(
+            batch[0].iterations != batch[1].iterations || batch[0].residual != batch[1].residual,
+            "columns should not be trivially identical"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = random_graph(40_000, 120_000, 41);
+        let jumps = [JumpVector::Uniform, core_jump(g.node_count())];
+        let a = solve_batch(&g, &jumps, &cfg().threads(3)).unwrap();
+        let b = solve_batch(&g, &jumps, &cfg().threads(3)).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.scores, y.scores);
+            assert_eq!(x.iterations, y.iterations);
+        }
+    }
+
+    #[test]
+    fn works_on_tiny_graphs_single_threaded() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let batch = solve_batch(&g, &[JumpVector::Uniform], &cfg()).unwrap();
+        let solo = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
+        // The serial fallback of solve_parallel_jacobi uses the scatter
+        // kernel, so compare numerically rather than bitwise here.
+        for (a, b) in batch[0].scores.iter().zip(&solo.scores) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_graph_are_fine() {
+        let g = random_graph(100, 300, 43);
+        assert!(solve_batch(&g, &[], &cfg()).unwrap().is_empty());
+        let empty = GraphBuilder::from_edges(0, &[]);
+        let r = solve_batch(&empty, &[JumpVector::Custom(Vec::new())], &cfg()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].scores.is_empty());
+        assert!(r[0].converged);
+    }
+
+    #[test]
+    fn iteration_cap_fails_the_whole_batch() {
+        let g = random_graph(40_000, 120_000, 47);
+        let tight = cfg().threads(2).max_iterations(2).tolerance(1e-300);
+        assert!(matches!(
+            solve_batch(&g, &[JumpVector::Uniform, core_jump(g.node_count())], &tight),
+            Err(PageRankError::DidNotConverge { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_jump_is_rejected_before_solving() {
+        let g = random_graph(100, 300, 53);
+        let bad = JumpVector::Custom(vec![0.5; 7]); // wrong length
+        assert!(solve_batch(&g, &[JumpVector::Uniform, bad], &cfg()).is_err());
+    }
+}

@@ -90,7 +90,12 @@ pub fn solve_gauss_seidel_dense(
         }
         residual = delta;
         residual_history.push(residual);
-        guard.observe(iterations, residual)?;
+        // Record the span metric even when the guard aborts the solve.
+        if let Err(e) = guard.observe(iterations, residual) {
+            span.record("iterations", iterations as f64);
+            obs::observe("pagerank.iterations", iterations as f64);
+            return Err(e);
+        }
         if residual < config.tolerance {
             span.record("iterations", iterations as f64);
             obs::observe("pagerank.iterations", iterations as f64);

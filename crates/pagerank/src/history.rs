@@ -50,8 +50,11 @@ impl ResidualHistory {
     /// An empty history retaining at most `budget` samples (minimum 2:
     /// one retained sample plus the separately-tracked last).
     pub fn with_budget(budget: usize) -> Self {
+        // Reserve the full budget up front (≤ ~4 KiB at the default cap):
+        // thinning keeps `samples.len() < cap`, so `push` never
+        // reallocates and the solver iteration loops stay allocation-free.
         ResidualHistory {
-            samples: Vec::new(),
+            samples: Vec::with_capacity(budget.max(2)),
             stride: 1,
             observed: 0,
             last: None,

@@ -108,7 +108,14 @@ pub fn solve_jacobi_dense(
         residual = l1_distance(&p, &p_next);
         residual_history.push(residual);
         std::mem::swap(&mut p, &mut p_next);
-        guard.observe(iterations, residual)?;
+        // Record the span metric even when the guard aborts the solve
+        // (Diverged / NumericalInstability), so failed runs are sized in
+        // telemetry too.
+        if let Err(e) = guard.observe(iterations, residual) {
+            span.record("iterations", iterations as f64);
+            obs::observe("pagerank.iterations", iterations as f64);
+            return Err(e);
+        }
         if residual < config.tolerance {
             span.record("iterations", iterations as f64);
             obs::observe("pagerank.iterations", iterations as f64);

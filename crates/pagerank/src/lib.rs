@@ -28,8 +28,14 @@
 //! |---|---|---|
 //! | Jacobi | [`jacobi`] | Algorithm 1 of the paper, verbatim |
 //! | Gauss–Seidel | [`gauss_seidel`] | in-place sweeps, usually ~2× fewer iterations |
-//! | Parallel Jacobi | [`parallel`] | scoped-thread chunked in-edge gather |
+//! | Parallel Jacobi | [`parallel`] | fused gather on a persistent pool, edge-balanced chunks |
+//! | Batched Jacobi | [`batch`] | k jump vectors through one CSR traversal per sweep |
 //! | Power iteration | [`power`] | eigenvector formulation on `T″`, for cross-validation |
+//!
+//! The parallel execution layer lives in [`pool`] (persistent workers,
+//! barrier handoff) and [`partition`] (edge-balanced destination ranges);
+//! both solvers above share it and stay bit-for-bit deterministic for a
+//! fixed partition.
 //!
 //! All solvers are **fallible**: they return `Err` with a typed
 //! [`PageRankError`] on invalid input, on a hit iteration cap
@@ -62,6 +68,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod chain;
 mod config;
 pub mod contribution;
@@ -72,14 +79,18 @@ mod history;
 pub mod jacobi;
 mod jump;
 pub mod parallel;
+pub mod partition;
+pub mod pool;
 pub mod power;
 mod scores;
 
+pub use batch::solve_batch;
 pub use chain::{AttemptOutcome, AttemptReport, ChainError, ChainSolve, SolverChain, SolverKind};
 pub use config::PageRankConfig;
 pub use error::PageRankError;
 pub use history::ResidualHistory;
 pub use jump::JumpVector;
+pub use partition::NodePartition;
 pub use scores::PageRankScores;
 
 use spammass_graph::Graph;

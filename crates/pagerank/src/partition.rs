@@ -1,0 +1,202 @@
+//! Edge-balanced destination-range partitioning for gather kernels.
+//!
+//! The gather sweep assigns each worker a contiguous range of
+//! destination nodes; the work per node is its in-degree. Web host
+//! graphs are power-law, so equal-*node* chunks can be wildly
+//! edge-imbalanced — one chunk holding a hub does almost all the work
+//! while the others idle at the barrier. This module cuts `0..n` so
+//! every chunk carries (nearly) the same number of in-edges instead,
+//! using the in-CSR offsets the graph already stores: the cumulative
+//! in-edge count of the prefix `0..y` is just `in_offsets[y]`.
+//!
+//! Each node's weight is `in_degree + 1` (the `+1` accounts for the
+//! per-destination constant work and keeps huge edge-free tails from
+//! collapsing into one chunk). Weights are integers and cut points are
+//! found by binary search on the monotone cumulative weight
+//! `in_offsets[y] + y`, so a partition is a pure function of
+//! `(graph, parts)` — the fixed-partition determinism guarantee of the
+//! solvers reduces to reusing one `NodePartition` per solve.
+
+use spammass_graph::Graph;
+use std::ops::Range;
+
+/// A partition of the destination range `0..n` into contiguous,
+/// disjoint, exhaustive chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodePartition {
+    /// Chunk boundaries: chunk `k` is `starts[k]..starts[k + 1]`.
+    /// Always `starts[0] == 0` and `*starts.last() == n`, non-decreasing.
+    starts: Vec<usize>,
+}
+
+impl NodePartition {
+    /// Cuts `0..node_count` into `parts` chunks of (nearly) equal
+    /// **in-edge** weight, using the graph's in-CSR offsets.
+    ///
+    /// Chunk boundaries land on the smallest node whose cumulative
+    /// weight reaches `k/parts` of the total, so every chunk's weight is
+    /// below `total/parts + w_max + 1` where `w_max` is the heaviest
+    /// single node — the best a contiguous cut can do, since one node
+    /// cannot be split.
+    pub fn edge_balanced(graph: &Graph, parts: usize) -> NodePartition {
+        let n = graph.node_count();
+        let parts = parts.max(1);
+        let offsets = graph.in_offsets();
+        // Cumulative weight of the prefix 0..y with node weight
+        // in_degree + 1; monotone strictly increasing in y.
+        let cum = |y: usize| offsets[y] as usize + y;
+        let total = cum(n);
+        let mut starts = Vec::with_capacity(parts + 1);
+        starts.push(0usize);
+        for k in 1..parts {
+            let target = total * k / parts;
+            let prev = *starts.last().expect("starts is non-empty");
+            // First y in [prev, n] with cum(y) >= target.
+            let (mut lo, mut hi) = (prev, n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if cum(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            starts.push(lo);
+        }
+        starts.push(n);
+        NodePartition { starts }
+    }
+
+    /// Cuts `0..node_count` into `parts` chunks of (nearly) equal node
+    /// count, ignoring edge weight. The legacy strategy, kept for
+    /// comparison and for kernels whose per-node work is uniform.
+    pub fn uniform(node_count: usize, parts: usize) -> NodePartition {
+        let parts = parts.max(1);
+        let mut starts = Vec::with_capacity(parts + 1);
+        for k in 0..=parts {
+            starts.push(node_count * k / parts);
+        }
+        NodePartition { starts }
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Whether the partition has no chunks (never true for constructed
+    /// partitions; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The destination range of chunk `k`.
+    #[inline]
+    pub fn range(&self, k: usize) -> Range<usize> {
+        self.starts[k]..self.starts[k + 1]
+    }
+
+    /// Iterator over all chunk ranges in order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.len()).map(move |k| self.range(k))
+    }
+
+    /// In-edge count of each chunk (diagnostic; used by skew tests and
+    /// benchmarks).
+    pub fn chunk_in_edges(&self, graph: &Graph) -> Vec<usize> {
+        let offsets = graph.in_offsets();
+        self.ranges().map(|r| (offsets[r.end] - offsets[r.start]) as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::{Graph, GraphBuilder};
+
+    /// A star graph: every node 1..n points at node 0, so node 0 holds
+    /// all in-edges.
+    fn star(n: u32) -> Graph {
+        let edges: Vec<(u32, u32)> = (1..n).map(|x| (x, 0)).collect();
+        GraphBuilder::from_edges(n as usize, &edges)
+    }
+
+    fn assert_covers(p: &NodePartition, n: usize) {
+        let mut next = 0usize;
+        for r in p.ranges() {
+            assert_eq!(r.start, next, "ranges must be contiguous");
+            assert!(r.end >= r.start);
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover 0..n");
+    }
+
+    #[test]
+    fn covers_disjointly_on_various_shapes() {
+        for (graph, parts) in [
+            (star(50), 4),
+            (star(1), 3),
+            (GraphBuilder::from_edges(0, &[]), 2),
+            (GraphBuilder::from_edges(10, &[(0, 1), (1, 2), (9, 0)]), 16),
+        ] {
+            let p = NodePartition::edge_balanced(&graph, parts);
+            assert_eq!(p.len(), parts);
+            assert_covers(&p, graph.node_count());
+        }
+    }
+
+    #[test]
+    fn star_hub_chunk_stays_isolated() {
+        // Node 0 carries every in-edge (~half the total weight), so the
+        // cut isolates it in its own chunk — it may absorb more than one
+        // quota (an unsplittable node can), but the edge-free tail must
+        // still be spread over the remaining chunks, not lumped into one.
+        let g = star(1000);
+        let p = NodePartition::edge_balanced(&g, 4);
+        assert_covers(&p, 1000);
+        let edges = p.chunk_in_edges(&g);
+        assert_eq!(edges.iter().sum::<usize>(), g.edge_count());
+        assert_eq!(p.range(0), 0..1, "hub sits alone in chunk 0");
+        assert_eq!(edges[0], 999, "hub chunk holds all edges");
+        let tail_sizes: Vec<usize> =
+            p.ranges().skip(1).map(|r| r.len()).filter(|&s| s > 0).collect();
+        assert!(tail_sizes.len() >= 2, "tail must be split: {tail_sizes:?}");
+        let (min, max) = (tail_sizes.iter().min().unwrap(), tail_sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "nonempty tail chunks balanced: {tail_sizes:?}");
+    }
+
+    #[test]
+    fn uniform_splits_by_node_count() {
+        let p = NodePartition::uniform(10, 3);
+        let sizes: Vec<usize> = p.ranges().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        assert_covers(&p, 10);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_inputs() {
+        let g = star(256);
+        let a = NodePartition::edge_balanced(&g, 5);
+        let b = NodePartition::edge_balanced(&g, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weight_bound_holds() {
+        // Chunk weight (in-edges + nodes) must stay below
+        // total/parts + w_max + 1.
+        let edges: Vec<(u32, u32)> =
+            (1..400u32).flat_map(|x| (0..(x % 7)).map(move |k| (x, k))).collect();
+        let g = GraphBuilder::from_edges(400, &edges);
+        let parts = 6;
+        let p = NodePartition::edge_balanced(&g, parts);
+        assert_covers(&p, 400);
+        let total = g.edge_count() + g.node_count();
+        let w_max = g.nodes().map(|y| g.in_degree(y) + 1).max().unwrap_or(1);
+        for (k, r) in p.ranges().enumerate() {
+            let weight = p.chunk_in_edges(&g)[k] + r.len();
+            assert!(weight <= total / parts + w_max + 1, "chunk {k} weight {weight} exceeds bound");
+        }
+    }
+}

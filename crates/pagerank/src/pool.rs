@@ -1,0 +1,249 @@
+//! Persistent worker pool with per-round barrier handoff.
+//!
+//! The original parallel solver spawned fresh scoped threads **twice per
+//! Jacobi sweep** (one scope for the shares pass, one for the gather).
+//! At hundreds of sweeps per solve that is thousands of thread
+//! spawn/join cycles, each costing tens of microseconds plus scheduler
+//! churn. This module replaces that pattern with a pool created **once
+//! per solve**: workers are spawned a single time and then advance in
+//! lock-step rounds through a reusable [`std::sync::Barrier`].
+//!
+//! One round is one invocation of the kernel on every worker:
+//!
+//! ```text
+//! workers:  wait ─ kernel(round, w) ─ wait ─ wait ─ kernel(round+1, w) ─ …
+//! control:  wait ─ kernel(round, 0) ─ wait ─ reduce/decide ─ …
+//! ```
+//!
+//! The calling thread participates as worker 0, so `threads = t` costs
+//! only `t − 1` spawns. Between the end-of-round barrier and the next
+//! start-of-round barrier only the control closure runs, which is where
+//! solvers reduce per-chunk residuals **in fixed index order** (the
+//! bit-for-bit determinism guarantee) and decide whether to continue.
+//!
+//! The pool itself performs no allocation after the workers are spawned;
+//! combined with hoisted kernel scratch buffers this makes the solver
+//! loops allocation-free per iteration (asserted by the counting-
+//! allocator test in `tests/alloc.rs`).
+
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Runs `kernel` in lock-step rounds over `threads` workers until
+/// `control` breaks.
+///
+/// * `kernel(round, worker)` computes worker `worker`'s chunk of round
+///   `round`; it runs concurrently on every worker and must only touch
+///   data disjoint per worker (or read-only shared state).
+/// * `control(round)` runs on the calling thread after every worker has
+///   finished round `round` and before any worker starts round
+///   `round + 1`; it has exclusive access to all shared state and
+///   returns [`ControlFlow::Break`] to stop the pool.
+///
+/// With `threads <= 1` no threads are spawned and the rounds run inline
+/// on the calling thread — the degenerate pool is just a loop, so
+/// callers need no separate serial code path.
+pub fn run_rounds<R, K, C>(threads: usize, kernel: K, mut control: C) -> R
+where
+    K: Fn(usize, usize) + Sync,
+    C: FnMut(usize) -> ControlFlow<R>,
+{
+    if threads <= 1 {
+        let mut round = 0usize;
+        loop {
+            kernel(round, 0);
+            match control(round) {
+                ControlFlow::Continue(()) => round += 1,
+                ControlFlow::Break(result) => return result,
+            }
+        }
+    }
+
+    let barrier = Barrier::new(threads);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for worker in 1..threads {
+            let (barrier, stop, kernel) = (&barrier, &stop, &kernel);
+            scope.spawn(move || {
+                let mut round = 0usize;
+                loop {
+                    // Start-of-round handoff: the control thread has
+                    // finished deciding; `stop` is stable until the next
+                    // end-of-round barrier.
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    kernel(round, worker);
+                    round += 1;
+                    barrier.wait();
+                }
+            });
+        }
+
+        let mut round = 0usize;
+        loop {
+            barrier.wait(); // release everyone into the round
+            kernel(round, 0);
+            barrier.wait(); // all chunks of this round are done
+            match control(round) {
+                ControlFlow::Continue(()) => round += 1,
+                ControlFlow::Break(result) => {
+                    stop.store(true, Ordering::Release);
+                    // One extra start-of-round wait lets the workers
+                    // observe `stop` and exit; every thread has then
+                    // waited the same number of times, so the barrier
+                    // generations stay aligned.
+                    barrier.wait();
+                    break result;
+                }
+            }
+        }
+    })
+}
+
+/// An unchecked shared view of a mutable `f64` buffer, for kernels whose
+/// workers write provably disjoint ranges.
+///
+/// Rust's borrow checker cannot express "each worker mutates its own
+/// range of this buffer this round, and the roles of the read/write
+/// buffers swap every round". `SharedSlice` erases the borrow and moves
+/// the proof obligation to the call sites inside this crate (every use
+/// documents why its access is disjoint); the barriers in [`run_rounds`]
+/// provide the cross-round happens-before edges.
+pub(crate) struct SharedSlice {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: access discipline is enforced by the kernels (disjoint write
+// ranges within a round) and run_rounds' barriers (ordering across
+// rounds); the raw pointer itself is freely sendable.
+unsafe impl Send for SharedSlice {}
+unsafe impl Sync for SharedSlice {}
+
+impl SharedSlice {
+    /// Wraps `data`. The caller must keep the backing storage alive and
+    /// unmoved for the wrapper's whole lifetime (guaranteed by scoping
+    /// the wrapper inside the borrow in the solvers).
+    pub(crate) fn new(data: &mut [f64]) -> SharedSlice {
+        SharedSlice { ptr: data.as_mut_ptr(), len: data.len() }
+    }
+
+    /// The whole buffer, read-only.
+    ///
+    /// # Safety
+    /// No concurrent writer may overlap the returned view during reads;
+    /// the solvers guarantee this by only reading the round's read
+    /// buffer, which no kernel writes that round.
+    pub(crate) unsafe fn as_slice(&self) -> &[f64] {
+        std::slice::from_raw_parts(self.ptr, self.len)
+    }
+
+    /// Mutable view of `lo..hi`.
+    ///
+    /// # Safety
+    /// Ranges handed to concurrent workers must be pairwise disjoint,
+    /// and nothing may read the written range until after the
+    /// end-of-round barrier.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_rounds_until_control_breaks() {
+        // 4 workers × 5 rounds, each worker stamps (round, worker).
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let rounds = run_rounds(
+            4,
+            |_round, worker| {
+                hits[worker].fetch_add(1, Ordering::Relaxed);
+            },
+            |round| {
+                if round + 1 == 5 {
+                    ControlFlow::Break(round + 1)
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        assert_eq!(rounds, 5);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 5);
+        }
+    }
+
+    #[test]
+    fn control_sees_all_chunks_of_the_round() {
+        // Workers add their chunk sums; control checks the total is
+        // complete every round (the end-of-round barrier is real).
+        let total = AtomicUsize::new(0);
+        let ok = run_rounds(
+            3,
+            |_round, _worker| {
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+            |round| {
+                let seen = total.load(Ordering::Relaxed);
+                if seen != (round + 1) * 3 {
+                    return ControlFlow::Break(false);
+                }
+                if round == 9 {
+                    ControlFlow::Break(true)
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        assert!(ok);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let mut log = Vec::new();
+        let out = run_rounds(
+            1,
+            |round, worker| {
+                assert_eq!(worker, 0);
+                let _ = round;
+            },
+            |round| {
+                log.push(round);
+                if round == 2 {
+                    ControlFlow::Break("done")
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        assert_eq!(out, "done");
+        assert_eq!(log, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn break_on_first_round_releases_workers() {
+        let r = run_rounds(8, |_, _| {}, |_| ControlFlow::Break(42));
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn shared_slice_round_trips() {
+        let mut data = vec![1.0, 2.0, 3.0, 4.0];
+        let shared = SharedSlice::new(&mut data);
+        // SAFETY: single-threaded test, no aliasing reads during writes.
+        unsafe {
+            shared.range_mut(1, 3).copy_from_slice(&[9.0, 8.0]);
+            assert_eq!(shared.as_slice(), &[1.0, 9.0, 8.0, 4.0]);
+        }
+        assert_eq!(data, vec![1.0, 9.0, 8.0, 4.0]);
+    }
+}

@@ -2,9 +2,11 @@
 
 use proptest::prelude::*;
 use spammass_graph::{Graph, GraphBuilder, NodeId};
+use spammass_pagerank::batch::solve_batch;
 use spammass_pagerank::contribution::{contribution_of_node, contribution_of_set};
 use spammass_pagerank::jacobi::solve_jacobi_dense;
-use spammass_pagerank::{JumpVector, PageRankConfig};
+use spammass_pagerank::parallel::solve_parallel_jacobi;
+use spammass_pagerank::{JumpVector, NodePartition, PageRankConfig};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..=25).prop_flat_map(|n| {
@@ -128,4 +130,140 @@ proptest! {
             prop_assert!((si - vi).abs() < 1e-6);
         }
     }
+
+    /// `solve_batch` matches k independent `solve_parallel_jacobi` runs
+    /// to ≤ 1e-12 per node on arbitrary graphs with mixed jump shapes.
+    #[test]
+    fn batch_matches_independent_solves(g in arb_graph(), mask in proptest::collection::vec(any::<bool>(), 25)) {
+        let n = g.node_count();
+        let core: Vec<NodeId> = g.nodes().filter(|x| mask[x.index()]).collect();
+        prop_assume!(!core.is_empty());
+        let first = core[0];
+        let jumps = vec![
+            JumpVector::Uniform,
+            JumpVector::core(core, n),
+            JumpVector::SingleNode { node: first, mass: 1.0 / n as f64 },
+        ];
+        let config = cfg();
+        let batch = solve_batch(&g, &jumps, &config).unwrap();
+        prop_assert_eq!(batch.len(), jumps.len());
+        for (jump, col) in jumps.iter().zip(&batch) {
+            prop_assert!(col.converged);
+            let solo = solve_parallel_jacobi(&g, jump, &config).unwrap();
+            for i in 0..n {
+                prop_assert!(
+                    (solo.scores[i] - col.scores[i]).abs() <= 1e-12,
+                    "node {}: {} vs {}", i, solo.scores[i], col.scores[i]
+                );
+            }
+        }
+    }
+
+    /// Edge-balanced partitions cover `0..n` disjointly for arbitrary
+    /// graphs and part counts, and every chunk's in-edge weight respects
+    /// the contiguous-cut optimum `total/parts + w_max (+1 rounding)`.
+    #[test]
+    fn edge_balanced_partition_covers_and_bounds_skew(g in arb_graph(), parts in 1usize..=9) {
+        let n = g.node_count();
+        let p = NodePartition::edge_balanced(&g, parts);
+        prop_assert_eq!(p.len(), parts);
+        let mut next = 0usize;
+        for r in p.ranges() {
+            prop_assert_eq!(r.start, next); // contiguous ⇒ disjoint
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n); // exhaustive
+        let total = g.edge_count() + n;
+        let w_max = g.nodes().map(|y| g.in_degree(y) + 1).max().unwrap_or(1);
+        let edges = p.chunk_in_edges(&g);
+        prop_assert_eq!(edges.iter().sum::<usize>(), g.edge_count());
+        for (k, r) in p.ranges().enumerate() {
+            let weight = edges[k] + r.len();
+            prop_assert!(
+                weight <= total / parts + w_max + 1,
+                "chunk {} weight {} over bound ({} total, {} parts, {} w_max)",
+                k, weight, total, parts, w_max
+            );
+        }
+    }
+
+    /// Pooled solvers are bit-for-bit deterministic across repeated runs.
+    #[test]
+    fn pooled_solves_are_deterministic(g in arb_graph()) {
+        let config = cfg();
+        let a = solve_parallel_jacobi(&g, &JumpVector::Uniform, &config).unwrap();
+        let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &config).unwrap();
+        prop_assert_eq!(&a.scores, &b.scores);
+        prop_assert_eq!(a.iterations, b.iterations);
+        let jumps = [JumpVector::Uniform];
+        let x = solve_batch(&g, &jumps, &config).unwrap();
+        let y = solve_batch(&g, &jumps, &config).unwrap();
+        prop_assert_eq!(&x[0].scores, &y[0].scores);
+        prop_assert_eq!(x[0].iterations, y[0].iterations);
+    }
+}
+
+/// Skew bound on a larger power-law graph (preferential attachment),
+/// where equal-node chunks would be badly imbalanced: the edge-balanced
+/// cut must keep every chunk within the contiguous-cut optimum, and far
+/// below the skew of the uniform cut's worst chunk.
+#[test]
+fn edge_balanced_beats_uniform_on_power_law_graph() {
+    // Preferential attachment via a repeated-endpoints trick: each new
+    // node links to an endpoint sampled from the edge list (degree-
+    // proportional), using a deterministic xorshift stream.
+    let n = 20_000u32;
+    let mut endpoints: Vec<u32> = vec![0, 1];
+    let mut edges: Vec<(u32, u32)> = vec![(1, 0)];
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for x in 2..n {
+        for _ in 0..5 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let t = endpoints[(state as usize) % endpoints.len()];
+            if t != x {
+                edges.push((x, t));
+                endpoints.push(t);
+                endpoints.push(x);
+            }
+        }
+    }
+    let g = GraphBuilder::from_edges(
+        n as usize,
+        &edges.iter().map(|&(f, t)| (f, t)).collect::<Vec<_>>(),
+    );
+    let parts = 8;
+    let total = g.edge_count() + g.node_count();
+    let w_max = g.nodes().map(|y| g.in_degree(y) + 1).max().unwrap();
+
+    let balanced = NodePartition::edge_balanced(&g, parts);
+    let balanced_worst = balanced
+        .chunk_in_edges(&g)
+        .iter()
+        .zip(balanced.ranges())
+        .map(|(e, r)| e + r.len())
+        .max()
+        .unwrap();
+    assert!(
+        balanced_worst <= total / parts + w_max + 1,
+        "edge-balanced worst chunk {balanced_worst} over bound"
+    );
+
+    let uniform = NodePartition::uniform(g.node_count(), parts);
+    let uniform_worst = uniform
+        .chunk_in_edges(&g)
+        .iter()
+        .zip(uniform.ranges())
+        .map(|(e, r)| e + r.len())
+        .max()
+        .unwrap();
+    // Preferential attachment concentrates in-edges on early nodes, so
+    // the uniform cut's first chunk is far heavier than the balanced
+    // bound — the imbalance the new partitioner exists to fix.
+    assert!(
+        uniform_worst > balanced_worst,
+        "uniform worst {uniform_worst} should exceed balanced worst {balanced_worst}"
+    );
 }

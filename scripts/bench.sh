@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Comparative benchmark run for the PageRank engine and the mass
+# estimation pipeline. Runs the `pagerank` and `mass_pipeline` criterion
+# benches in quick mode (CRITERION_SAMPLES, default 5) and assembles the
+# machine-readable BENCH_JSON lines into BENCH_pagerank.json at the
+# repository root:
+#
+#   { "schema": "spammass.bench/v1", "host_threads": N,
+#     "samples_per_bench": S,
+#     "benches": [ {"name": ..., "median_ns": ..., "samples": ...}, ... ] }
+#
+# Bench names encode kernel, thread count, and graph size
+# (e.g. pagerank_engine/fused_4t/120000). Usage:
+#
+#   scripts/bench.sh           # quick mode, 5 samples per benchmark
+#   scripts/bench.sh --full    # criterion defaults (10 samples)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAMPLES="${CRITERION_SAMPLES:-5}"
+if [ "${1:-}" = "--full" ]; then
+  SAMPLES=""
+fi
+
+LOG="$(mktemp)"
+trap 'rm -f "$LOG"' EXIT
+
+run_bench() {
+  echo "== cargo bench -p spammass-bench --bench $1 =="
+  CRITERION_JSON=1 CRITERION_SAMPLES="$SAMPLES" \
+    cargo bench -p spammass-bench --bench "$1" 2>&1 | tee -a "$LOG"
+}
+
+run_bench pagerank
+run_bench mass_pipeline
+
+OUT="BENCH_pagerank.json"
+{
+  printf '{\n'
+  printf '  "schema": "spammass.bench/v1",\n'
+  printf '  "host_threads": %s,\n' "$(nproc)"
+  printf '  "samples_per_bench": %s,\n' "${SAMPLES:-10}"
+  printf '  "benches": [\n'
+  grep '^BENCH_JSON ' "$LOG" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+
+COUNT="$(grep -c '^BENCH_JSON ' "$LOG")"
+[ "$COUNT" -gt 0 ] || { echo "no BENCH_JSON lines captured"; exit 1; }
+echo "wrote $OUT ($COUNT benchmarks)"

@@ -16,6 +16,11 @@ cargo fmt --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== bench smoke: cargo bench -- --test =="
+# One iteration per benchmark; catches bench-target bitrot without the
+# cost of a timed run (scripts/bench.sh does the real measurements).
+cargo bench -p spammass-bench --bench pagerank --bench mass_pipeline -- --test
+
 echo "== telemetry: obs crate tests =="
 cargo test -q -p spammass-obs
 

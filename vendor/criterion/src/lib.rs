@@ -10,6 +10,19 @@
 //! It runs each benchmark a handful of timed iterations and prints a
 //! median per-iteration time — enough to compare variants by hand, with
 //! none of real criterion's statistics.
+//!
+//! Two knobs mirror the real harness's operational modes:
+//!
+//! * `--test` on the bench binary's command line (i.e.
+//!   `cargo bench -- --test`) runs every benchmark exactly once as a
+//!   smoke test, like real criterion's test mode.
+//! * `CRITERION_SAMPLES=N` in the environment forces `N` samples per
+//!   benchmark, overriding per-group `sample_size` calls — used by
+//!   `scripts/bench.sh` for quick comparative runs.
+//!
+//! Setting `CRITERION_JSON=1` additionally prints one machine-readable
+//! line per benchmark, prefixed `BENCH_JSON `, carrying the label,
+//! median nanoseconds per iteration, and sample count.
 
 #![warn(missing_docs)]
 
@@ -69,19 +82,31 @@ fn report(label: &str, samples: &mut [Duration]) {
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
     println!("{label}: median {median:?} over {} samples", samples.len());
+    if std::env::var_os("CRITERION_JSON").is_some() {
+        println!(
+            "BENCH_JSON {{\"name\":\"{label}\",\"median_ns\":{},\"samples\":{}}}",
+            median.as_nanos(),
+            samples.len()
+        );
+    }
 }
 
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     name: String,
     samples: usize,
+    forced: bool,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. Ignored when the
+    /// harness runs in `--test` smoke mode or under `CRITERION_SAMPLES`,
+    /// both of which pin the count globally.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(1);
+        if !self.forced {
+            self.samples = n.max(1);
+        }
         self
     }
 
@@ -109,17 +134,31 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The bench harness entry point.
-#[derive(Default)]
 pub struct Criterion {
     default_samples: usize,
+    /// `Some(n)` pins every benchmark to `n` samples regardless of
+    /// `sample_size` calls: `--test` smoke mode pins 1, the
+    /// `CRITERION_SAMPLES` environment variable pins its value.
+    forced_samples: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let forced_samples = if std::env::args().any(|a| a == "--test") {
+            Some(1)
+        } else {
+            std::env::var("CRITERION_SAMPLES").ok().and_then(|s| s.parse().ok())
+        };
+        Criterion { default_samples: 0, forced_samples }
+    }
 }
 
 impl Criterion {
     fn samples(&self) -> usize {
-        if self.default_samples == 0 {
-            10
-        } else {
-            self.default_samples
+        match self.forced_samples {
+            Some(n) => n.max(1),
+            None if self.default_samples == 0 => 10,
+            None => self.default_samples,
         }
     }
 
@@ -134,7 +173,8 @@ impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let samples = self.samples();
-        BenchmarkGroup { name: name.into(), samples, _criterion: self }
+        let forced = self.forced_samples.is_some();
+        BenchmarkGroup { name: name.into(), samples, forced, _criterion: self }
     }
 }
 
@@ -180,6 +220,19 @@ mod tests {
         group.bench_with_input(BenchmarkId::new("f", 7), &7, |b, &x| b.iter(|| runs += x));
         group.finish();
         assert_eq!(runs, 21);
+    }
+
+    #[test]
+    fn forced_samples_override_group_sample_size() {
+        // Built directly rather than via env vars, which would race with
+        // the other tests in this (parallel) harness.
+        let mut c = Criterion { default_samples: 0, forced_samples: Some(2) };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        let mut runs = 0usize;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 2, "forced sample count must win over sample_size");
     }
 
     #[test]
