@@ -60,6 +60,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "labels",
         "gamma",
         "out",
+        "state",
         "top",
         "threads",
         "batch",
@@ -97,6 +98,14 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         .with_batching(batched);
     let estimate = MassEstimator::new(config).estimate(&graph, &core)?;
     warnings.push_str(&health_lines(&estimate, labels.as_ref()));
+
+    if let Some(state_path) = args.optional("state") {
+        // Persist graph + core + both score vectors so `spammass update`
+        // can warm-start from this run.
+        let state = spammass_delta::StateDir::new(state_path);
+        state.save(&graph, &core, &estimate.pagerank, &estimate.core_pagerank)?;
+        let _ = writeln!(warnings, "state saved to {}", state.path().display());
+    }
 
     if let Some(out_path) = args.optional("out") {
         let mut tsv =

@@ -11,12 +11,28 @@ use std::path::Path;
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
-    args.expect_only(&["hosts", "seed", "out", "labels", "truth", "core", "trace", "metrics-out"])?;
+    args.expect_only(&[
+        "hosts",
+        "seed",
+        "out",
+        "labels",
+        "truth",
+        "core",
+        "evolve",
+        "journal",
+        "trace",
+        "metrics-out",
+    ])?;
     let hosts: usize = args.parsed_or("hosts", 60_000)?;
     let seed: u64 = args.parsed_or("seed", 42)?;
+    let evolve: usize = args.parsed_or("evolve", 0)?;
+    if evolve > 0 && args.optional("journal").is_none() {
+        return Err(CliError::Usage("--evolve requires --journal FILE".into()));
+    }
     let out = Path::new(args.required("out")?);
 
-    let scenario = Scenario::generate(&ScenarioConfig::sized(hosts), seed);
+    let config = ScenarioConfig::sized(hosts).with_evolve_steps(evolve);
+    let scenario = Scenario::generate(&config, seed);
     fs::write(out, io::graph_to_bytes(&scenario.graph))?;
 
     let mut report = String::new();
@@ -49,6 +65,18 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         }
         fs::write(path, text)?;
         let _ = writeln!(report, "good core written to {path}");
+    }
+    if evolve > 0 {
+        let path = args.optional("journal").expect("checked above");
+        let ev = scenario.evolve(&config, seed);
+        fs::write(path, ev.journal_bytes())?;
+        let _ = writeln!(
+            report,
+            "evolution journal written to {path}: {} steps, {} records, {} new spam hosts",
+            ev.steps.len(),
+            ev.all_records().len(),
+            ev.new_spam().len()
+        );
     }
     Ok(report)
 }
@@ -106,6 +134,49 @@ mod tests {
         let truth_text = fs::read_to_string(&truth).unwrap();
         // header + one line per node
         assert_eq!(truth_text.lines().count(), g.node_count() + 1);
+    }
+
+    #[test]
+    fn evolve_writes_a_readable_journal() {
+        let d = tmpdir();
+        let graph = d.join("evolve.graph");
+        let journal = d.join("evolve.journal");
+        let args = ParsedArgs::parse(
+            &[
+                "generate",
+                "--hosts",
+                "2000",
+                "--seed",
+                "9",
+                "--out",
+                graph.to_str().unwrap(),
+                "--evolve",
+                "2",
+                "--journal",
+                journal.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("evolution journal written"), "{report}");
+        let batches = spammass_delta::read_journal(&fs::read(&journal).unwrap()).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn evolve_without_journal_is_a_usage_error() {
+        let args = ParsedArgs::parse(
+            &["generate", "--hosts", "500", "--out", "/tmp/x.graph", "--evolve", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
     }
 
     #[test]

@@ -6,6 +6,7 @@ pub mod estimate;
 pub mod generate;
 pub mod pagerank;
 pub mod stats;
+pub mod update;
 
 use crate::args::ParsedArgs;
 use crate::telemetry::RunTelemetry;
@@ -37,6 +38,7 @@ fn dispatch_inner(args: &ParsedArgs) -> Result<String, CliError> {
         "pagerank" => pagerank::run(args),
         "estimate" => estimate::run(args),
         "detect" => detect::run(args),
+        "update" => update::run(args),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }

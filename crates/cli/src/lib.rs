@@ -3,11 +3,12 @@
 //! Command-line toolkit around the spam-mass library:
 //!
 //! ```text
-//! spammass generate --hosts 60000 --seed 42 --out web.graph [--labels hosts.txt] [--truth truth.tsv] [--core core.txt]
+//! spammass generate --hosts 60000 --seed 42 --out web.graph [--labels hosts.txt] [--truth truth.tsv] [--core core.txt] [--evolve 3 --journal delta.journal]
 //! spammass stats    --graph web.graph
 //! spammass pagerank --graph web.graph [--solver jacobi|gauss-seidel|power|parallel] [--top 20]
-//! spammass estimate --graph web.graph --core core.txt [--gamma 0.85] [--out mass.tsv]
+//! spammass estimate --graph web.graph --core core.txt [--gamma 0.85] [--out mass.tsv] [--state state/]
 //! spammass detect   --graph web.graph --core core.txt [--rho 10] [--tau 0.98] [--labels hosts.txt]
+//! spammass update   --journal delta.journal --state state/ [--rho 10] [--tau 0.98]
 //! ```
 //!
 //! Graph files are auto-detected: the binary image format of
@@ -94,11 +95,18 @@ pub const USAGE: &str = "\
 spammass — link spam detection based on mass estimation
 
 USAGE:
-  spammass generate --hosts N [--seed S] --out FILE [--labels FILE] [--truth FILE] [--core FILE]
+  spammass generate --hosts N [--seed S] --out FILE [--labels FILE] [--truth FILE] [--core FILE] [--evolve K --journal FILE]
   spammass stats    --graph FILE [--lenient N]
   spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--threads T] [--labels FILE] [--fallback true] [--lenient N]
-  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--threads T] [--batch false] [--lenient N]
+  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--state DIR] [--threads T] [--batch false] [--lenient N]
   spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--lenient N]
+  spammass update   --journal FILE --state DIR [--labels FILE] [--gamma G] [--rho R] [--tau T] [--top K] [--threads T] [--lenient N]
+
+  --evolve K        also emit K incremental farm-growth steps as a SPAMDLT
+                    delta journal (requires --journal)
+  --state DIR       estimate: save graph + score vectors for incremental use;
+                    update: load, apply the journal, warm re-solve, and
+                    rewrite the directory
 
   --lenient N       tolerate up to N malformed edge-list lines (skipped and
                     reported) instead of failing on the first bad line

@@ -68,6 +68,68 @@ impl Detection {
     }
 }
 
+/// How the flagged set changed between two detector runs — the heart of
+/// the incremental re-estimation report: after a crawl delta, reviewers
+/// care about *churn* (what became spam, what was cleared), not the full
+/// candidate list again.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectionDiff {
+    /// Flagged now but not before, ascending by node id.
+    pub newly_flagged: Vec<NodeId>,
+    /// Flagged before but not now, ascending by node id.
+    pub newly_cleared: Vec<NodeId>,
+    /// Flagged in both runs, ascending by node id.
+    pub still_flagged: Vec<NodeId>,
+}
+
+impl DetectionDiff {
+    /// Diffs two detections by a single merge of their sorted candidate
+    /// lists. The runs may cover different node counts (the graph grew):
+    /// a node that only exists in the new run can only be newly flagged.
+    pub fn between(previous: &Detection, current: &Detection) -> DetectionDiff {
+        let mut diff = DetectionDiff::default();
+        let mut old = previous.candidates.iter().copied().peekable();
+        let mut new = current.candidates.iter().copied().peekable();
+        loop {
+            match (old.peek().copied(), new.peek().copied()) {
+                (Some(a), Some(b)) if a == b => {
+                    diff.still_flagged.push(a);
+                    old.next();
+                    new.next();
+                }
+                (Some(a), Some(b)) if a < b => {
+                    diff.newly_cleared.push(a);
+                    old.next();
+                }
+                (Some(_), Some(b)) => {
+                    diff.newly_flagged.push(b);
+                    new.next();
+                }
+                (Some(a), None) => {
+                    diff.newly_cleared.push(a);
+                    old.next();
+                }
+                (None, Some(b)) => {
+                    diff.newly_flagged.push(b);
+                    new.next();
+                }
+                (None, None) => break,
+            }
+        }
+        diff
+    }
+
+    /// Whether the flagged set did not change at all.
+    pub fn is_unchanged(&self) -> bool {
+        self.newly_flagged.is_empty() && self.newly_cleared.is_empty()
+    }
+
+    /// Total churn: flips in either direction.
+    pub fn churn(&self) -> usize {
+        self.newly_flagged.len() + self.newly_cleared.len()
+    }
+}
+
 /// Runs the filtering/labelling steps of Algorithm 2 on a pre-computed
 /// mass estimate.
 ///
@@ -204,6 +266,30 @@ mod tests {
         let d = DetectorConfig::default();
         assert_eq!(d.rho, 10.0);
         assert_eq!(d.tau, 0.98);
+    }
+
+    #[test]
+    fn diff_classifies_every_flip() {
+        let cfg = DetectorConfig::default();
+        let det = |ids: &[u32]| Detection {
+            candidates: ids.iter().map(|&i| NodeId(i)).collect(),
+            considered: 10,
+            config: cfg,
+        };
+        let diff = DetectionDiff::between(&det(&[1, 3, 5, 9]), &det(&[2, 3, 9, 11]));
+        assert_eq!(diff.newly_flagged, vec![NodeId(2), NodeId(11)]);
+        assert_eq!(diff.newly_cleared, vec![NodeId(1), NodeId(5)]);
+        assert_eq!(diff.still_flagged, vec![NodeId(3), NodeId(9)]);
+        assert_eq!(diff.churn(), 4);
+        assert!(!diff.is_unchanged());
+
+        let same = DetectionDiff::between(&det(&[2, 7]), &det(&[2, 7]));
+        assert!(same.is_unchanged());
+        assert_eq!(same.still_flagged.len(), 2);
+
+        let empty = DetectionDiff::between(&det(&[]), &det(&[]));
+        assert!(empty.is_unchanged());
+        assert_eq!(empty.churn(), 0);
     }
 
     #[test]

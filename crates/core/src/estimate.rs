@@ -257,7 +257,7 @@ impl MassEstimator {
     }
 
     /// The core-restricted jump vector under the configured scaling.
-    fn core_jump(&self, good_core: &[NodeId], n: usize) -> JumpVector {
+    pub(crate) fn core_jump(&self, good_core: &[NodeId], n: usize) -> JumpVector {
         match self.config.scaling {
             CoreScaling::Unscaled => JumpVector::core(good_core.to_vec(), n),
             CoreScaling::Gamma(gamma) => JumpVector::scaled_core(good_core.to_vec(), gamma),
@@ -374,8 +374,9 @@ impl MassEstimator {
     }
 
     /// Derives the mass estimate, anomaly scan, and telemetry from the two
-    /// solved score vectors — shared by the batched and chained paths.
-    fn build_report(
+    /// solved score vectors — shared by the batched and chained paths (and
+    /// by the warm incremental path in [`crate::update`]).
+    pub(crate) fn build_report(
         &self,
         good_core: &[NodeId],
         pagerank: Vec<f64>,

@@ -62,6 +62,8 @@ pub mod naive;
 mod partition;
 pub mod refinement;
 pub mod trustrank;
+pub mod update;
 
 pub use core_builder::GoodCore;
 pub use partition::{NodeSide, Partition};
+pub use update::{MassShift, UpdateReport};

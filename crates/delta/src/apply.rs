@@ -1,0 +1,502 @@
+//! Applying a delta to a loaded [`Graph`].
+//!
+//! The CSR graph is immutable, so "mutating" it means building a
+//! replacement edge set and reconstructing. Two strategies produce
+//! byte-identical results (pinned by tests):
+//!
+//! * **Patch** — a single merge-join over the old sorted edge stream and
+//!   the (sorted, normalized) add/remove sets, feeding
+//!   [`Graph::from_sorted_unique_edges`] directly. `O(m + d)` with no
+//!   sort; the right call when the delta is small.
+//! * **Rebuild** — collect, retain, extend, re-sort. `O((m + d)·log)`
+//!   but with trivially simple bookkeeping; used when the delta is a
+//!   large fraction of the graph and the merge-join's branchy inner
+//!   loop stops paying for itself.
+//!
+//! The cutover (`PATCH_FACTOR`) picks patch while the op count is below
+//! `edge_count / 4`. Dangling-set maintenance goes through
+//! [`recompute_out_degrees`] — the same helper CSR construction and
+//! `Graph::filter_edges` use — so every path agrees on which nodes are
+//! dangling (the paper's Section 2.2 treatment of leaked mass depends on
+//! this set being exact).
+
+use crate::record::DeltaRecord;
+use spammass_graph::{recompute_out_degrees, Graph, NodeId};
+use spammass_obs as obs;
+use std::collections::BTreeSet;
+
+/// How [`GraphDelta::apply`] rebuilt the CSR image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyStrategy {
+    /// Merge-join patch of the sorted edge stream (small deltas).
+    Patch,
+    /// Full collect-and-re-sort rebuild (large deltas).
+    Rebuild,
+}
+
+impl ApplyStrategy {
+    /// Short name used in telemetry and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApplyStrategy::Patch => "patch",
+            ApplyStrategy::Rebuild => "rebuild",
+        }
+    }
+}
+
+/// Patch while `op_count * PATCH_FACTOR <= edge_count`.
+const PATCH_FACTOR: usize = 4;
+
+/// A normalized, order-resolved set of graph and core mutations.
+///
+/// Built from an ordered record stream ([`GraphDelta::from_records`]):
+/// later records win, so `AddEdge(e)` followed by `RemoveEdge(e)` nets
+/// out to a removal of `e` (if present) and the add/remove sets are
+/// disjoint by construction. Self-loop adds are dropped — the paper's
+/// model disallows self-links — and removes of absent edges are no-ops.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Sorted, deduplicated, self-loop-free edges to insert.
+    add_edges: Vec<(u32, u32)>,
+    /// Sorted, deduplicated edges to delete; disjoint from `add_edges`.
+    remove_edges: Vec<(u32, u32)>,
+    /// Lower bound on the post-apply node count from `AddNode` records.
+    min_nodes: usize,
+    /// Sorted nodes joining the good core.
+    core_add: Vec<NodeId>,
+    /// Sorted nodes leaving the good core; disjoint from `core_add`.
+    core_remove: Vec<NodeId>,
+}
+
+impl GraphDelta {
+    /// Normalizes an ordered record stream (e.g. the concatenation of a
+    /// journal's batches) into disjoint add/remove sets.
+    pub fn from_records<'a, I>(records: I) -> Self
+    where
+        I: IntoIterator<Item = &'a DeltaRecord>,
+    {
+        let mut adds: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut removes: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut core_adds: BTreeSet<NodeId> = BTreeSet::new();
+        let mut core_removes: BTreeSet<NodeId> = BTreeSet::new();
+        let mut min_nodes = 0usize;
+        for record in records {
+            match *record {
+                DeltaRecord::AddEdge { from, to } => {
+                    if from != to {
+                        let e = (from.0, to.0);
+                        removes.remove(&e);
+                        adds.insert(e);
+                    }
+                }
+                DeltaRecord::RemoveEdge { from, to } => {
+                    let e = (from.0, to.0);
+                    adds.remove(&e);
+                    removes.insert(e);
+                }
+                DeltaRecord::AddNode { node } => min_nodes = min_nodes.max(node.index() + 1),
+                DeltaRecord::CoreAdd { node } => {
+                    core_removes.remove(&node);
+                    core_adds.insert(node);
+                }
+                DeltaRecord::CoreRemove { node } => {
+                    core_adds.remove(&node);
+                    core_removes.insert(node);
+                }
+            }
+        }
+        GraphDelta {
+            add_edges: adds.into_iter().collect(),
+            remove_edges: removes.into_iter().collect(),
+            min_nodes,
+            core_add: core_adds.into_iter().collect(),
+            core_remove: core_removes.into_iter().collect(),
+        }
+    }
+
+    /// Edges this delta inserts (sorted, deduplicated).
+    pub fn edges_to_add(&self) -> &[(u32, u32)] {
+        &self.add_edges
+    }
+
+    /// Edges this delta deletes (sorted, deduplicated).
+    pub fn edges_to_remove(&self) -> &[(u32, u32)] {
+        &self.remove_edges
+    }
+
+    /// Nodes this delta adds to the good core (sorted).
+    pub fn core_additions(&self) -> &[NodeId] {
+        &self.core_add
+    }
+
+    /// Nodes this delta drops from the good core (sorted).
+    pub fn core_removals(&self) -> &[NodeId] {
+        &self.core_remove
+    }
+
+    /// Net edge operations (adds + removes) in the normalized delta.
+    pub fn op_count(&self) -> usize {
+        self.add_edges.len() + self.remove_edges.len()
+    }
+
+    /// Whether the delta changes neither the graph nor the core.
+    pub fn is_empty(&self) -> bool {
+        self.op_count() == 0
+            && self.min_nodes == 0
+            && self.core_add.is_empty()
+            && self.core_remove.is_empty()
+    }
+
+    /// Node count the patched graph must have: the old count, grown to
+    /// cover `AddNode` records and every endpoint of an added edge.
+    pub fn node_count_after(&self, graph: &Graph) -> usize {
+        let mut n = graph.node_count().max(self.min_nodes);
+        for &(f, t) in &self.add_edges {
+            n = n.max(f.max(t) as usize + 1);
+        }
+        n
+    }
+
+    /// Applies the delta, replacing `*graph` with the patched CSR image.
+    ///
+    /// Removes of absent edges and adds of already-present edges are
+    /// no-ops; the report counts only operations that took effect. Node
+    /// ids never shrink: removing a node's last edge leaves it as an
+    /// isolated (dangling) host, which still receives the random jump.
+    pub fn apply(&self, graph: &mut Graph) -> ApplyReport {
+        let mut span = obs::span("delta.apply");
+        let nodes_before = graph.node_count();
+        let nodes_after = self.node_count_after(graph);
+        let strategy = if self.op_count() * PATCH_FACTOR <= graph.edge_count() {
+            ApplyStrategy::Patch
+        } else {
+            ApplyStrategy::Rebuild
+        };
+        let (edges, edges_added, edges_removed) = match strategy {
+            ApplyStrategy::Patch => self.patch_edges(graph),
+            ApplyStrategy::Rebuild => self.rebuild_edges(graph),
+        };
+
+        // Dangling bookkeeping through the shared helper: a node is newly
+        // dangling iff its recomputed out-degree hit zero (or it is a new
+        // node with no out-edges) while it previously had out-links or
+        // did not exist.
+        let degrees = recompute_out_degrees(nodes_after, &edges);
+        // Removes may reference ids the graph never had (no-ops); clamp
+        // the affected set to nodes that exist after the apply.
+        let mut affected: Vec<NodeId> = self
+            .add_edges
+            .iter()
+            .chain(self.remove_edges.iter())
+            .flat_map(|&(f, t)| [NodeId(f), NodeId(t)])
+            .chain((nodes_before..nodes_after).map(NodeId::from_index))
+            .filter(|x| x.index() < nodes_after)
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let new_dangling: Vec<NodeId> = affected
+            .iter()
+            .copied()
+            .filter(|&x| {
+                degrees[x.index()] == 0 && (x.index() >= nodes_before || !graph.is_dangling(x))
+            })
+            .collect();
+
+        *graph = Graph::from_sorted_unique_edges(nodes_after, &edges);
+
+        span.record("ops", self.op_count() as f64);
+        span.record("edges_added", edges_added as f64);
+        span.record("edges_removed", edges_removed as f64);
+        span.record("affected", affected.len() as f64);
+        obs::event(
+            "delta.apply.strategy",
+            vec![("strategy".to_string(), obs::Json::str(strategy.name()))],
+        );
+        ApplyReport {
+            strategy,
+            nodes_before,
+            nodes_after,
+            edges_added,
+            edges_removed,
+            affected,
+            new_dangling,
+        }
+    }
+
+    /// Merge-join of the old sorted edge stream with the sorted add and
+    /// remove sets. Returns the new sorted unique edge list plus the
+    /// counts of adds and removes that actually took effect.
+    fn patch_edges(&self, graph: &Graph) -> (Vec<(u32, u32)>, usize, usize) {
+        let mut out = Vec::with_capacity(graph.edge_count() + self.add_edges.len());
+        let mut adds = self.add_edges.iter().copied().peekable();
+        let mut removes = self.remove_edges.iter().copied().peekable();
+        let mut added = 0usize;
+        let mut removed = 0usize;
+        for (f, t) in graph.edges() {
+            let e = (f.0, t.0);
+            while let Some(&a) = adds.peek() {
+                if a < e {
+                    adds.next();
+                    out.push(a);
+                    added += 1;
+                } else {
+                    break;
+                }
+            }
+            if adds.peek() == Some(&e) {
+                adds.next(); // already present: the add is a no-op
+            }
+            while let Some(&r) = removes.peek() {
+                if r < e {
+                    removes.next(); // absent edge: the remove is a no-op
+                } else {
+                    break;
+                }
+            }
+            if removes.peek() == Some(&e) {
+                removes.next();
+                removed += 1;
+                continue; // drop the edge
+            }
+            out.push(e);
+        }
+        for a in adds {
+            out.push(a);
+            added += 1;
+        }
+        (out, added, removed)
+    }
+
+    /// Collect-and-re-sort rebuild; contract identical to
+    /// [`patch_edges`](Self::patch_edges).
+    fn rebuild_edges(&self, graph: &Graph) -> (Vec<(u32, u32)>, usize, usize) {
+        let mut edges: Vec<(u32, u32)> = graph.edges().map(|(f, t)| (f.0, t.0)).collect();
+        let before = edges.len();
+        edges.retain(|e| self.remove_edges.binary_search(e).is_err());
+        let removed = before - edges.len();
+        let mut added = 0usize;
+        for &(f, t) in &self.add_edges {
+            let present = (f as usize) < graph.node_count()
+                && (t as usize) < graph.node_count()
+                && graph.has_edge(NodeId(f), NodeId(t));
+            if !present {
+                edges.push((f, t));
+                added += 1;
+            }
+        }
+        edges.sort_unstable();
+        (edges, added, removed)
+    }
+
+    /// Applies the core membership changes to a sorted core node list.
+    /// Returns `(added, removed)` counts of operations that took effect.
+    pub fn apply_to_core(&self, core: &mut Vec<NodeId>) -> (usize, usize) {
+        let mut set: BTreeSet<NodeId> = core.iter().copied().collect();
+        let mut added = 0usize;
+        let mut removed = 0usize;
+        for &x in &self.core_add {
+            if set.insert(x) {
+                added += 1;
+            }
+        }
+        for &x in &self.core_remove {
+            if set.remove(&x) {
+                removed += 1;
+            }
+        }
+        *core = set.into_iter().collect();
+        (added, removed)
+    }
+}
+
+/// What [`GraphDelta::apply`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Strategy chosen by the size heuristic.
+    pub strategy: ApplyStrategy,
+    /// Node count before the apply.
+    pub nodes_before: usize,
+    /// Node count after the apply (never smaller).
+    pub nodes_after: usize,
+    /// Adds that took effect (the edge was not already present).
+    pub edges_added: usize,
+    /// Removes that took effect (the edge existed).
+    pub edges_removed: usize,
+    /// Endpoints of effective-or-not edge operations plus all new nodes,
+    /// sorted and deduplicated — the support of the perturbation, useful
+    /// for focused re-checking downstream.
+    pub affected: Vec<NodeId>,
+    /// Nodes that are dangling after the apply but were not before
+    /// (includes new nodes that arrived with no out-links).
+    pub new_dangling: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{journal_to_bytes, read_journal};
+    use spammass_graph::GraphBuilder;
+
+    fn add(f: u32, t: u32) -> DeltaRecord {
+        DeltaRecord::AddEdge { from: NodeId(f), to: NodeId(t) }
+    }
+
+    fn remove(f: u32, t: u32) -> DeltaRecord {
+        DeltaRecord::RemoveEdge { from: NodeId(f), to: NodeId(t) }
+    }
+
+    fn diamond() -> Graph {
+        GraphBuilder::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn normalization_is_order_resolved_and_disjoint() {
+        let d = GraphDelta::from_records(&[
+            add(0, 1),
+            remove(0, 1), // later removal wins
+            remove(2, 3),
+            add(2, 3), // later add wins
+            add(4, 4), // self-loop dropped
+            DeltaRecord::CoreAdd { node: NodeId(7) },
+            DeltaRecord::CoreRemove { node: NodeId(7) }, // later removal wins
+        ]);
+        assert_eq!(d.edges_to_add(), &[(2, 3)]);
+        assert_eq!(d.edges_to_remove(), &[(0, 1)]);
+        assert_eq!(d.core_additions(), &[] as &[NodeId]);
+        assert_eq!(d.core_removals(), &[NodeId(7)]);
+        assert!(!d.is_empty());
+        assert!(GraphDelta::from_records(&[]).is_empty());
+    }
+
+    #[test]
+    fn apply_adds_removes_and_grows() {
+        let mut g = diamond();
+        let d = GraphDelta::from_records(&[
+            remove(0, 2),
+            add(3, 0),
+            DeltaRecord::AddNode { node: NodeId(5) },
+            add(5, 3),
+            remove(1, 2), // absent: no-op
+            add(0, 1),    // present: no-op
+        ]);
+        let report = d.apply(&mut g);
+        assert_eq!(report.nodes_before, 4);
+        assert_eq!(report.nodes_after, 6);
+        assert_eq!(report.edges_added, 2);
+        assert_eq!(report.edges_removed, 1);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge(NodeId(3), NodeId(0)));
+        assert!(g.has_edge(NodeId(5), NodeId(3)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        // Node 4 arrived (via AddNode 5 growing the range) with no
+        // out-links: dangling.
+        assert!(g.is_dangling(NodeId(4)));
+        assert!(report.new_dangling.contains(&NodeId(4)));
+        assert!(report.affected.contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn removing_last_out_edge_reports_new_dangling() {
+        let mut g = diamond();
+        let d = GraphDelta::from_records(&[remove(1, 3)]);
+        let report = d.apply(&mut g);
+        assert!(g.is_dangling(NodeId(1)));
+        assert_eq!(report.new_dangling, vec![NodeId(1)]);
+        // Node 3 was already dangling: not *newly* dangling.
+        assert!(!report.new_dangling.contains(&NodeId(3)));
+        // The applier and filter_edges agree on the dangling set.
+        let filtered = diamond().filter_edges(|f, t| (f, t) != (NodeId(1), NodeId(3)));
+        let a: Vec<NodeId> = g.dangling_nodes().collect();
+        let b: Vec<NodeId> = filtered.dangling_nodes().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn patch_and_rebuild_agree() {
+        // A mid-sized pseudo-random graph and a delta straddling present,
+        // absent, and out-of-range edges: both strategies must produce
+        // identical graphs and identical reports (modulo the strategy tag).
+        let n = 60u32;
+        let mut state = 0xDEADBEEFu64;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut edges = Vec::new();
+        for _ in 0..400 {
+            let f = (step() % n as u64) as u32;
+            let t = (step() % n as u64) as u32;
+            if f != t {
+                edges.push((f, t));
+            }
+        }
+        let base = GraphBuilder::from_edges(n as usize, &edges);
+        let mut records = Vec::new();
+        for i in 0..120 {
+            let f = (step() % (n as u64 + 8)) as u32;
+            let t = (step() % (n as u64 + 8)) as u32;
+            if f == t {
+                continue;
+            }
+            records.push(if i % 3 == 0 { remove(f, t) } else { add(f, t) });
+        }
+        let d = GraphDelta::from_records(&records);
+
+        let mut patched = base.clone();
+        let (p_edges, p_added, p_removed) = d.patch_edges(&base);
+        let (r_edges, r_added, r_removed) = d.rebuild_edges(&base);
+        assert_eq!(p_edges, r_edges);
+        assert_eq!((p_added, p_removed), (r_added, r_removed));
+
+        let report = d.apply(&mut patched);
+        assert_eq!(report.edges_added, p_added);
+        assert_eq!(report.edges_removed, p_removed);
+        assert_eq!(patched.edge_count(), p_edges.len());
+        for (f, t) in &p_edges {
+            assert!(patched.has_edge(NodeId(*f), NodeId(*t)));
+        }
+    }
+
+    #[test]
+    fn strategy_heuristic_switches_on_delta_size() {
+        let mut g = diamond();
+        let small = GraphDelta::from_records(&[add(3, 1)]);
+        assert_eq!(small.apply(&mut g).strategy, ApplyStrategy::Patch);
+        let mut g = diamond();
+        let big = GraphDelta::from_records(&[add(3, 1), add(3, 2), remove(0, 1), remove(0, 2)]);
+        assert_eq!(big.apply(&mut g).strategy, ApplyStrategy::Rebuild);
+    }
+
+    #[test]
+    fn apply_to_core_is_a_sorted_set_update() {
+        let d = GraphDelta::from_records(&[
+            DeltaRecord::CoreAdd { node: NodeId(9) },
+            DeltaRecord::CoreAdd { node: NodeId(1) },
+            DeltaRecord::CoreRemove { node: NodeId(4) },
+            DeltaRecord::CoreRemove { node: NodeId(8) }, // absent: no-op
+        ]);
+        let mut core = vec![NodeId(1), NodeId(4), NodeId(6)];
+        let (added, removed) = d.apply_to_core(&mut core);
+        assert_eq!(core, vec![NodeId(1), NodeId(6), NodeId(9)]);
+        assert_eq!((added, removed), (1, 1)); // NodeId(1) was already in
+    }
+
+    #[test]
+    fn journal_round_trip_reapplies_identically() {
+        let records = vec![add(3, 1), remove(0, 2), DeltaRecord::AddNode { node: NodeId(6) }];
+        let bytes = journal_to_bytes(std::slice::from_ref(&records));
+        let back = read_journal(&bytes).unwrap();
+        let direct = GraphDelta::from_records(&records);
+        let via_journal = GraphDelta::from_records(back.iter().flatten());
+        assert_eq!(direct, via_journal);
+        let mut a = diamond();
+        let mut b = diamond();
+        let ra = direct.apply(&mut a);
+        let rb = via_journal.apply(&mut b);
+        assert_eq!(ra, rb);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

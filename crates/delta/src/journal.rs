@@ -1,0 +1,502 @@
+//! The `SPAMDLT` binary journal: an append-only log of graph deltas.
+//!
+//! A journal is a header followed by zero or more **self-framed record
+//! batches**. Each batch is covered by its own CRC-32, so a reader can
+//! verify (and, in lenient mode, skip) batches independently — the
+//! failure mode of an append-only log is a torn or bit-flipped *tail*,
+//! and per-batch framing keeps every intact prefix readable. Appending
+//! is `O(batch)`: new batches are written after the existing ones with
+//! no header rewrite.
+//!
+//! ## Binary layout
+//!
+//! ```text
+//! offset   field
+//! 0        magic  b"SPAMDLT\0"
+//! 8        version u32 LE (1)
+//! 12       batches…
+//!
+//! batch:
+//! 0        payload_len u32 LE — byte length of the records payload
+//! 4        record_count u32 LE
+//! 8        payload: records, each `tag u8` + LE fields
+//! 8+len    crc32 u32 LE — CRC-32 (IEEE) over bytes [0, 8+len) of the batch
+//!
+//! record payloads by tag:
+//! 1  AddEdge     from u32, to u32
+//! 2  RemoveEdge  from u32, to u32
+//! 3  AddNode     node u32
+//! 4  CoreAdd     node u32
+//! 5  CoreRemove  node u32
+//! ```
+//!
+//! Errors reuse [`GraphError`] so journal corruption surfaces through
+//! the same taxonomy as graph-image corruption ([`GraphError::Corrupt`],
+//! [`GraphError::Corrupted`]), and lenient reads honor the same
+//! [`ReadOptions`] budget contract as text-edge-list ingest.
+
+use crate::record::DeltaRecord;
+use spammass_graph::crc32::crc32;
+use spammass_graph::io::ReadOptions;
+use spammass_graph::{GraphError, NodeId};
+use spammass_obs as obs;
+use std::fmt;
+
+/// Magic prefix of the journal format.
+pub const MAGIC: &[u8; 8] = b"SPAMDLT\0";
+/// Current journal format version.
+const VERSION: u32 = 1;
+/// Fixed journal header size (magic + version).
+const HEADER_LEN: usize = 12;
+/// Per-batch framing overhead: payload length + record count up front,
+/// CRC-32 behind the payload.
+const BATCH_OVERHEAD: usize = 12;
+/// How many skipped batches a [`JournalReport`] retains verbatim.
+const REPORT_SAMPLE_CAP: usize = 16;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(data: &[u8], offset: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&data[offset..offset + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Whether `data` starts with the journal magic — cheap format sniffing
+/// for CLI inputs that may be either a graph image or a journal.
+pub fn is_journal(data: &[u8]) -> bool {
+    data.len() >= MAGIC.len() && &data[..MAGIC.len()] == MAGIC.as_slice()
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Incrementally builds a journal image, one batch per call.
+///
+/// A batch is the atomic unit of the journal — one crawl increment, one
+/// evolution step. Empty batches are representable but [`append_batch`]
+/// skips them (they carry no information and would inflate the image).
+///
+/// [`append_batch`]: JournalWriter::append_batch
+#[derive(Debug, Clone)]
+pub struct JournalWriter {
+    buf: Vec<u8>,
+    batches: usize,
+    records: usize,
+}
+
+impl JournalWriter {
+    /// Starts a journal image (header only).
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        buf.extend_from_slice(MAGIC);
+        put_u32(&mut buf, VERSION);
+        JournalWriter { buf, batches: 0, records: 0 }
+    }
+
+    /// Appends one CRC-framed batch of records. No-op for empty batches.
+    pub fn append_batch(&mut self, records: &[DeltaRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let start = self.buf.len();
+        let payload_len: usize = records.iter().map(|r| r.wire_len()).sum();
+        debug_assert!(payload_len <= u32::MAX as usize, "batch payload exceeds u32 range");
+        put_u32(&mut self.buf, payload_len as u32);
+        put_u32(&mut self.buf, records.len() as u32);
+        for r in records {
+            self.buf.push(r.tag());
+            match *r {
+                DeltaRecord::AddEdge { from, to } | DeltaRecord::RemoveEdge { from, to } => {
+                    put_u32(&mut self.buf, from.0);
+                    put_u32(&mut self.buf, to.0);
+                }
+                DeltaRecord::AddNode { node }
+                | DeltaRecord::CoreAdd { node }
+                | DeltaRecord::CoreRemove { node } => put_u32(&mut self.buf, node.0),
+            }
+        }
+        let checksum = crc32(&self.buf[start..]);
+        put_u32(&mut self.buf, checksum);
+        self.batches += 1;
+        self.records += records.len();
+    }
+
+    /// Batches appended so far.
+    pub fn batch_count(&self) -> usize {
+        self.batches
+    }
+
+    /// Records appended so far.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Finishes and returns the journal image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        let mut span = obs::span("delta.journal.write");
+        span.record("batches", self.batches as f64);
+        span.record("records", self.records as f64);
+        span.record("bytes", self.buf.len() as f64);
+        self.buf
+    }
+}
+
+impl Default for JournalWriter {
+    fn default() -> Self {
+        JournalWriter::new()
+    }
+}
+
+/// One-shot serialization of `batches` into a journal image.
+pub fn journal_to_bytes(batches: &[Vec<DeltaRecord>]) -> Vec<u8> {
+    let mut w = JournalWriter::new();
+    for batch in batches {
+        w.append_batch(batch);
+    }
+    w.into_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// One skipped batch (lenient mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadBatch {
+    /// 1-based batch index within the journal.
+    pub batch: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// What happened during a (possibly lenient) journal read — the journal
+/// counterpart of the text-ingest `LoadReport`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalReport {
+    /// Batches encountered, intact or not.
+    pub batches_total: usize,
+    /// Records decoded from intact batches.
+    pub records_loaded: usize,
+    /// Corrupt batches skipped (lenient mode only).
+    pub skipped: usize,
+    /// Up to the first [`REPORT_SAMPLE_CAP`] skipped batches, verbatim.
+    pub samples: Vec<BadBatch>,
+}
+
+impl JournalReport {
+    /// Whether every batch decoded cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.skipped == 0
+    }
+
+    fn record(&mut self, batch: usize, message: String) {
+        self.skipped += 1;
+        if self.samples.len() < REPORT_SAMPLE_CAP {
+            self.samples.push(BadBatch { batch, message });
+        }
+    }
+}
+
+impl fmt::Display for JournalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} batches, {} records loaded, {} skipped",
+            self.batches_total, self.records_loaded, self.skipped
+        )?;
+        for bad in &self.samples {
+            write!(f, "\n  batch {}: {}", bad.batch, bad.message)?;
+        }
+        if self.skipped > self.samples.len() {
+            write!(f, "\n  … and {} more", self.skipped - self.samples.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads a journal strictly: the first corrupt batch aborts.
+pub fn read_journal(data: &[u8]) -> Result<Vec<Vec<DeltaRecord>>, GraphError> {
+    read_journal_with(data, &ReadOptions::default()).map(|(b, _)| b)
+}
+
+/// Reads a journal under the given [`ReadOptions`].
+///
+/// In lenient mode a batch whose CRC, framing, or record payload is bad
+/// is skipped and recorded in the [`JournalReport`], up to the
+/// `max_bad_lines` budget (budget unit: one batch). A torn tail — too
+/// few bytes left for the claimed frame — ends the read after being
+/// counted, since no later frame boundary can be trusted.
+pub fn read_journal_with(
+    data: &[u8],
+    options: &ReadOptions,
+) -> Result<(Vec<Vec<DeltaRecord>>, JournalReport), GraphError> {
+    let mut span = obs::span("delta.journal.read");
+    span.record("bytes", data.len() as f64);
+    if data.len() < HEADER_LEN {
+        return Err(GraphError::Corrupt("journal shorter than header".into()));
+    }
+    if !is_journal(data) {
+        return Err(GraphError::Corrupt("bad journal magic".into()));
+    }
+    let version = get_u32(data, 8);
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!("unsupported journal version {version}")));
+    }
+
+    let mut batches = Vec::new();
+    let mut report = JournalReport::default();
+    let mut offset = HEADER_LEN;
+    while offset < data.len() {
+        report.batches_total += 1;
+        let index = report.batches_total;
+        if data.len() - offset < BATCH_OVERHEAD {
+            let message = format!("torn tail: {} trailing bytes", data.len() - offset);
+            handle_bad_batch(options, &mut report, index, message)?;
+            break;
+        }
+        let payload_len = get_u32(data, offset) as usize;
+        let frame_len = match payload_len.checked_add(BATCH_OVERHEAD) {
+            Some(l) if l <= data.len() - offset => l,
+            _ => {
+                let message = format!(
+                    "torn tail: batch claims {payload_len} payload bytes, {} remain",
+                    data.len() - offset - BATCH_OVERHEAD
+                );
+                handle_bad_batch(options, &mut report, index, message)?;
+                break;
+            }
+        };
+        let frame = &data[offset..offset + frame_len];
+        offset += frame_len;
+
+        let stored_crc = get_u32(frame, frame_len - 4);
+        let computed = crc32(&frame[..frame_len - 4]);
+        if stored_crc != computed {
+            if options.strict {
+                return Err(GraphError::Corrupted {
+                    field: "crc32",
+                    expected: stored_crc as u64,
+                    got: computed as u64,
+                });
+            }
+            let message =
+                format!("crc32 mismatch (stored {stored_crc:#x}, computed {computed:#x})");
+            handle_bad_batch(options, &mut report, index, message)?;
+            continue;
+        }
+
+        let record_count = get_u32(frame, 4) as usize;
+        match decode_batch(&frame[8..frame_len - 4], record_count) {
+            Ok(records) => {
+                report.records_loaded += records.len();
+                batches.push(records);
+            }
+            // A CRC-clean batch with undecodable records was *written*
+            // wrong, not damaged in transit; still skippable in lenient
+            // mode so one bad producer doesn't poison the whole log.
+            Err(message) => handle_bad_batch(options, &mut report, index, message)?,
+        }
+    }
+
+    span.record("batches", report.batches_total as f64);
+    span.record("records", report.records_loaded as f64);
+    span.record("skipped", report.skipped as f64);
+    obs::counter("delta.journal.records", report.records_loaded as f64);
+    obs::counter("delta.journal.skipped", report.skipped as f64);
+    Ok((batches, report))
+}
+
+/// Decodes one CRC-verified batch payload.
+fn decode_batch(payload: &[u8], record_count: usize) -> Result<Vec<DeltaRecord>, String> {
+    let mut records = Vec::with_capacity(record_count.min(payload.len()));
+    let mut offset = 0usize;
+    while offset < payload.len() {
+        let tag = payload[offset];
+        let need = match tag {
+            1 | 2 => 9,
+            3..=5 => 5,
+            other => return Err(format!("unknown record tag {other}")),
+        };
+        if payload.len() - offset < need {
+            return Err(format!("record truncated at payload byte {offset}"));
+        }
+        let a = NodeId(get_u32(payload, offset + 1));
+        records.push(match tag {
+            1 => DeltaRecord::AddEdge { from: a, to: NodeId(get_u32(payload, offset + 5)) },
+            2 => DeltaRecord::RemoveEdge { from: a, to: NodeId(get_u32(payload, offset + 5)) },
+            3 => DeltaRecord::AddNode { node: a },
+            4 => DeltaRecord::CoreAdd { node: a },
+            _ => DeltaRecord::CoreRemove { node: a },
+        });
+        offset += need;
+    }
+    if records.len() != record_count {
+        return Err(format!(
+            "record count mismatch: header claims {record_count}, payload holds {}",
+            records.len()
+        ));
+    }
+    Ok(records)
+}
+
+fn handle_bad_batch(
+    options: &ReadOptions,
+    report: &mut JournalReport,
+    batch: usize,
+    message: String,
+) -> Result<(), GraphError> {
+    if options.strict {
+        return Err(GraphError::Corrupt(format!("batch {batch}: {message}")));
+    }
+    if report.skipped >= options.max_bad_lines {
+        return Err(GraphError::BudgetExhausted {
+            budget: options.max_bad_lines,
+            line: batch,
+            message,
+        });
+    }
+    report.record(batch, message);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batches() -> Vec<Vec<DeltaRecord>> {
+        vec![
+            vec![
+                DeltaRecord::AddNode { node: NodeId(5) },
+                DeltaRecord::AddEdge { from: NodeId(5), to: NodeId(0) },
+                DeltaRecord::CoreAdd { node: NodeId(2) },
+            ],
+            vec![
+                DeltaRecord::RemoveEdge { from: NodeId(1), to: NodeId(0) },
+                DeltaRecord::CoreRemove { node: NodeId(2) },
+            ],
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_batches() {
+        let batches = sample_batches();
+        let bytes = journal_to_bytes(&batches);
+        assert!(is_journal(&bytes));
+        let back = read_journal(&bytes).unwrap();
+        assert_eq!(back, batches);
+    }
+
+    #[test]
+    fn empty_journal_round_trips() {
+        let bytes = journal_to_bytes(&[]);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (batches, report) = read_journal_with(&bytes, &ReadOptions::default()).unwrap();
+        assert!(batches.is_empty());
+        assert!(report.is_clean());
+        assert_eq!(report.batches_total, 0);
+    }
+
+    #[test]
+    fn empty_batches_are_elided() {
+        let mut w = JournalWriter::new();
+        w.append_batch(&[]);
+        w.append_batch(&[DeltaRecord::AddNode { node: NodeId(1) }]);
+        w.append_batch(&[]);
+        assert_eq!(w.batch_count(), 1);
+        let back = read_journal(&w.into_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn appending_after_serialization_is_seamless() {
+        // The append-only promise: an existing image plus freshly framed
+        // batches is itself a valid image.
+        let mut bytes = journal_to_bytes(&sample_batches()[..1]);
+        let mut tail = JournalWriter::new();
+        tail.append_batch(&sample_batches()[1]);
+        bytes.extend_from_slice(&tail.into_bytes()[HEADER_LEN..]);
+        let back = read_journal(&bytes).unwrap();
+        assert_eq!(back, sample_batches());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let bytes = journal_to_bytes(&sample_batches());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(read_journal(&bad), Err(GraphError::Corrupt(_))));
+        let mut bad = bytes.clone();
+        bad[8] = 9;
+        assert!(matches!(read_journal(&bad), Err(GraphError::Corrupt(_))));
+        assert!(matches!(read_journal(&bytes[..5]), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn strict_read_rejects_any_bit_flip() {
+        let clean = journal_to_bytes(&sample_batches());
+        for i in HEADER_LEN..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x01;
+            assert!(read_journal(&bytes).is_err(), "bit flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn lenient_read_skips_corrupt_batch_and_keeps_the_rest() {
+        let batches = sample_batches();
+        let bytes = journal_to_bytes(&batches);
+        let mut bytes = bytes;
+        // Flip a payload byte inside the first batch.
+        bytes[HEADER_LEN + 9] ^= 0xFF;
+        let (back, report) = read_journal_with(&bytes, &ReadOptions::lenient(2)).unwrap();
+        assert_eq!(back, &batches[1..]);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(report.batches_total, 2);
+        assert_eq!(report.samples[0].batch, 1);
+        assert!(report.samples[0].message.contains("crc32"), "{}", report.samples[0].message);
+        assert!(report.to_string().contains("1 skipped"));
+    }
+
+    #[test]
+    fn lenient_read_enforces_budget() {
+        let mut bytes = journal_to_bytes(&sample_batches());
+        bytes[HEADER_LEN + 9] ^= 0xFF;
+        let err = read_journal_with(&bytes, &ReadOptions::lenient(0)).unwrap_err();
+        assert!(matches!(err, GraphError::BudgetExhausted { budget: 0, line: 1, .. }));
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_intact_prefix_survives() {
+        let batches = sample_batches();
+        let bytes = journal_to_bytes(&batches);
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(read_journal(truncated).is_err());
+        let (back, report) = read_journal_with(truncated, &ReadOptions::lenient(1)).unwrap();
+        assert_eq!(back, &batches[..1]);
+        assert_eq!(report.skipped, 1);
+        assert!(report.samples[0].message.contains("torn tail"));
+    }
+
+    #[test]
+    fn unknown_tag_is_a_producer_error() {
+        let mut w = JournalWriter::new();
+        w.append_batch(&[DeltaRecord::AddNode { node: NodeId(1) }]);
+        let mut bytes = w.into_bytes();
+        // Rewrite the tag and re-seal the CRC: decodable frame, bad record.
+        bytes[HEADER_LEN + 8] = 99;
+        let end = bytes.len();
+        let crc = crc32(&bytes[HEADER_LEN..end - 4]);
+        bytes[end - 4..].copy_from_slice(&crc.to_le_bytes());
+        match read_journal(&bytes).unwrap_err() {
+            GraphError::Corrupt(msg) => assert!(msg.contains("unknown record tag"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let (back, report) = read_journal_with(&bytes, &ReadOptions::lenient(1)).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(report.skipped, 1);
+    }
+}

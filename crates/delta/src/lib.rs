@@ -1,0 +1,42 @@
+//! # spammass-delta
+//!
+//! Incremental graph updates for the spam-mass pipeline: the machinery
+//! that lets a new crawl increment be folded into an existing estimation
+//! run instead of recomputing from scratch.
+//!
+//! The paper's setting is a periodically re-crawled host graph. Between
+//! crawls only a small fraction of links change, yet PageRank, the
+//! core-biased PageRank `p′`, and the spam-mass detection of Algorithm 2
+//! are all global computations. This crate provides the three pieces
+//! that make re-estimation incremental:
+//!
+//! * [`journal`] — the append-only **`SPAMDLT`** binary journal of
+//!   [`DeltaRecord`]s (edge add/remove, node add, core membership),
+//!   CRC-framed per batch so a torn tail never poisons the intact prefix.
+//! * [`apply`] — [`GraphDelta`], which normalizes an ordered record
+//!   stream and patches a loaded CSR [`Graph`](spammass_graph::Graph)
+//!   (merge-join patch for small deltas, full rebuild for large ones),
+//!   reporting affected nodes and dangling-set changes.
+//! * [`state`] — [`StateDir`], the saved warm-start state (graph image,
+//!   checksummed **`SPAMSCRS`** score vectors, core list) that a
+//!   follow-up run loads to seed its solvers near the new fixed point.
+//!
+//! Solver warm-starting itself lives in `spammass-pagerank` (the
+//! `*_warm` entry points); the incremental `MassEstimator::update`
+//! orchestration lives in `spammass-core`. This crate depends only on
+//! the graph substrate and telemetry.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apply;
+pub mod journal;
+mod record;
+pub mod state;
+
+pub use apply::{ApplyReport, ApplyStrategy, GraphDelta};
+pub use journal::{
+    is_journal, journal_to_bytes, read_journal, read_journal_with, JournalReport, JournalWriter,
+};
+pub use record::DeltaRecord;
+pub use state::{scores_from_bytes, scores_to_bytes, SavedState, StateDir};

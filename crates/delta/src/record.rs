@@ -1,0 +1,65 @@
+//! Delta records: the unit entries of a `SPAMDLT` journal.
+
+use spammass_graph::NodeId;
+
+/// One mutation of the web graph (or of the good core) observed between
+/// two estimation runs.
+///
+/// Records are **ordered**: a journal replays them first to last, and a
+/// later record wins over an earlier one touching the same edge or core
+/// node (add-then-remove nets out to a removal, and vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeltaRecord {
+    /// A new link `from → to` appeared in the crawl.
+    AddEdge {
+        /// Source host.
+        from: NodeId,
+        /// Destination host.
+        to: NodeId,
+    },
+    /// The link `from → to` disappeared from the crawl.
+    RemoveEdge {
+        /// Source host.
+        from: NodeId,
+        /// Destination host.
+        to: NodeId,
+    },
+    /// A new host appeared. Grows the node range to cover `node` even if
+    /// no edge references it yet (isolated hosts still receive the random
+    /// jump, so they matter to PageRank).
+    AddNode {
+        /// The new host's id.
+        node: NodeId,
+    },
+    /// `node` was vetted and joined the good core.
+    CoreAdd {
+        /// The newly trusted host.
+        node: NodeId,
+    },
+    /// `node` was dropped from the good core (e.g. a hijacked host).
+    CoreRemove {
+        /// The no-longer-trusted host.
+        node: NodeId,
+    },
+}
+
+impl DeltaRecord {
+    /// Wire tag of this record kind in the binary journal.
+    pub(crate) fn tag(&self) -> u8 {
+        match self {
+            DeltaRecord::AddEdge { .. } => 1,
+            DeltaRecord::RemoveEdge { .. } => 2,
+            DeltaRecord::AddNode { .. } => 3,
+            DeltaRecord::CoreAdd { .. } => 4,
+            DeltaRecord::CoreRemove { .. } => 5,
+        }
+    }
+
+    /// Serialized size in bytes (tag byte included).
+    pub(crate) fn wire_len(&self) -> usize {
+        match self {
+            DeltaRecord::AddEdge { .. } | DeltaRecord::RemoveEdge { .. } => 9,
+            _ => 5,
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Saved estimation state: the warm-start inputs of an incremental run.
+//!
+//! A **state directory** holds everything `spammass update` needs to
+//! re-estimate without starting cold:
+//!
+//! ```text
+//! state/
+//!   graph.bin    SPAMGRPH v2 image of the graph the scores belong to
+//!   p.bin        SPAMSCRS image of the PageRank vector p
+//!   p_core.bin   SPAMSCRS image of the core-biased vector p′
+//!   core.txt     good-core node ids, one per line, `#` comments
+//! ```
+//!
+//! `SPAMSCRS` is the score-vector sibling of the `SPAMGRPH` image:
+//! little-endian, CRC-32 checksummed, with a trailing length sentinel so
+//! truncation is caught before decoding.
+//!
+//! ## SPAMSCRS binary layout
+//!
+//! ```text
+//! offset    field
+//! 0         magic  b"SPAMSCRS"
+//! 8         version u32 LE (1)
+//! 12        count u64 LE
+//! 20        values: count × f64 LE
+//! 20 + 8·n  crc32 u32 LE — CRC-32 (IEEE) over bytes [0, 20 + 8·n)
+//! 24 + 8·n  total_len u64 LE — length of the whole image (32 + 8·n)
+//! ```
+//!
+//! Loading cross-validates the pieces: both vectors must match the
+//! graph's node count, every stored score must be finite, and core ids
+//! must be in range — a state directory assembled from mismatched runs
+//! fails loudly instead of warm-starting a solve from garbage.
+
+use crate::journal;
+use spammass_graph::crc32::crc32;
+use spammass_graph::{io, Graph, GraphError, NodeId};
+use spammass_obs as obs;
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of the score-vector format.
+const MAGIC: &[u8; 8] = b"SPAMSCRS";
+/// Current score-vector format version.
+const VERSION: u32 = 1;
+/// Fixed header size (magic + version + count).
+const HEADER_LEN: usize = 20;
+/// Trailer: CRC-32 (4 bytes) + length sentinel (8 bytes).
+const TRAILER_LEN: usize = 12;
+
+fn get_u32(data: &[u8], offset: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&data[offset..offset + 4]);
+    u32::from_le_bytes(b)
+}
+
+fn get_u64(data: &[u8], offset: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[offset..offset + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Serializes a score vector into the checksummed `SPAMSCRS` image.
+pub fn scores_to_bytes(scores: &[f64]) -> Vec<u8> {
+    let total = HEADER_LEN + scores.len() * 8 + TRAILER_LEN;
+    let mut buf = Vec::with_capacity(total);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(scores.len() as u64).to_le_bytes());
+    for &s in scores {
+        buf.extend_from_slice(&s.to_le_bytes());
+    }
+    let checksum = crc32(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf.extend_from_slice(&(total as u64).to_le_bytes());
+    debug_assert_eq!(buf.len(), total);
+    buf
+}
+
+/// Deserializes a `SPAMSCRS` image, verifying sentinel, CRC, payload
+/// length, and value finiteness before returning the vector.
+pub fn scores_from_bytes(data: &[u8]) -> Result<Vec<f64>, GraphError> {
+    if data.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(GraphError::Corrupt("score image shorter than header".into()));
+    }
+    if &data[..8] != MAGIC {
+        return Err(GraphError::Corrupt("bad score-image magic".into()));
+    }
+    let version = get_u32(data, 8);
+    if version != VERSION {
+        return Err(GraphError::Corrupt(format!("unsupported score-image version {version}")));
+    }
+    let sentinel = get_u64(data, data.len() - 8);
+    if sentinel != data.len() as u64 {
+        return Err(GraphError::Corrupted {
+            field: "length sentinel",
+            expected: sentinel,
+            got: data.len() as u64,
+        });
+    }
+    let stored_crc = get_u32(data, data.len() - TRAILER_LEN);
+    let computed = crc32(&data[..data.len() - TRAILER_LEN]);
+    if stored_crc != computed {
+        return Err(GraphError::Corrupted {
+            field: "crc32",
+            expected: stored_crc as u64,
+            got: computed as u64,
+        });
+    }
+    let count = get_u64(data, 12) as usize;
+    let expected_payload = count
+        .checked_mul(8)
+        .and_then(|b| b.checked_add(HEADER_LEN))
+        .ok_or_else(|| GraphError::Corrupt("score byte count overflows".into()))?;
+    if data.len() - TRAILER_LEN != expected_payload {
+        return Err(GraphError::Corrupted {
+            field: "score payload length",
+            expected: expected_payload as u64,
+            got: (data.len() - TRAILER_LEN) as u64,
+        });
+    }
+    let mut scores = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&data[HEADER_LEN + i * 8..HEADER_LEN + i * 8 + 8]);
+        let v = f64::from_le_bytes(b);
+        if !v.is_finite() {
+            return Err(GraphError::Corrupt(format!("non-finite score {v} at index {i}")));
+        }
+        scores.push(v);
+    }
+    Ok(scores)
+}
+
+/// A state directory on disk.
+#[derive(Debug, Clone)]
+pub struct StateDir {
+    root: PathBuf,
+}
+
+/// Everything a warm re-estimation needs, loaded and cross-validated.
+#[derive(Debug, Clone)]
+pub struct SavedState {
+    /// The graph the saved scores were solved on.
+    pub graph: Graph,
+    /// Good-core node ids (sorted, deduplicated).
+    pub core: Vec<NodeId>,
+    /// PageRank vector `p` (uniform jump).
+    pub pagerank: Vec<f64>,
+    /// Core-biased vector `p′` (good-core jump).
+    pub core_pagerank: Vec<f64>,
+}
+
+impl StateDir {
+    /// File holding the graph image.
+    pub const GRAPH_FILE: &'static str = "graph.bin";
+    /// File holding the PageRank vector.
+    pub const PAGERANK_FILE: &'static str = "p.bin";
+    /// File holding the core-biased vector.
+    pub const CORE_PAGERANK_FILE: &'static str = "p_core.bin";
+    /// File holding the good-core node ids.
+    pub const CORE_FILE: &'static str = "core.txt";
+
+    /// Points at (not necessarily existing yet) `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        StateDir { root: root.into() }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Whether all four state files are present.
+    pub fn is_complete(&self) -> bool {
+        [Self::GRAPH_FILE, Self::PAGERANK_FILE, Self::CORE_PAGERANK_FILE, Self::CORE_FILE]
+            .iter()
+            .all(|f| self.root.join(f).is_file())
+    }
+
+    /// Writes the full state, creating the directory if needed.
+    ///
+    /// # Errors
+    /// Rejects mismatched vector lengths before touching the filesystem;
+    /// otherwise I/O failures surface as [`GraphError::Io`].
+    pub fn save(
+        &self,
+        graph: &Graph,
+        core: &[NodeId],
+        pagerank: &[f64],
+        core_pagerank: &[f64],
+    ) -> Result<(), GraphError> {
+        let mut span = obs::span("delta.state.save");
+        let n = graph.node_count();
+        for (name, v) in [("p", pagerank), ("p_core", core_pagerank)] {
+            if v.len() != n {
+                return Err(GraphError::Corrupt(format!(
+                    "{name} has {} scores for a {n}-node graph",
+                    v.len()
+                )));
+            }
+        }
+        fs::create_dir_all(&self.root)?;
+        fs::write(self.root.join(Self::GRAPH_FILE), io::graph_to_bytes(graph))?;
+        fs::write(self.root.join(Self::PAGERANK_FILE), scores_to_bytes(pagerank))?;
+        fs::write(self.root.join(Self::CORE_PAGERANK_FILE), scores_to_bytes(core_pagerank))?;
+        let mut core_txt = String::from("# good core (node ids)\n");
+        for x in core {
+            core_txt.push_str(&format!("{x}\n"));
+        }
+        fs::write(self.root.join(Self::CORE_FILE), core_txt)?;
+        span.record("nodes", n as f64);
+        span.record("core", core.len() as f64);
+        Ok(())
+    }
+
+    /// Loads and cross-validates the full state.
+    pub fn load(&self) -> Result<SavedState, GraphError> {
+        let mut span = obs::span("delta.state.load");
+        let graph_bytes = fs::read(self.root.join(Self::GRAPH_FILE))?;
+        let graph = io::graph_from_bytes(&graph_bytes)?;
+        let n = graph.node_count();
+        let pagerank = scores_from_bytes(&fs::read(self.root.join(Self::PAGERANK_FILE))?)?;
+        let core_pagerank =
+            scores_from_bytes(&fs::read(self.root.join(Self::CORE_PAGERANK_FILE))?)?;
+        for (name, v) in [("p", &pagerank), ("p_core", &core_pagerank)] {
+            if v.len() != n {
+                return Err(GraphError::Corrupt(format!(
+                    "state mismatch: {name} has {} scores for a {n}-node graph",
+                    v.len()
+                )));
+            }
+        }
+        let core_file = fs::File::open(self.root.join(Self::CORE_FILE))?;
+        let mut core = Vec::new();
+        for (lineno, line) in BufReader::new(core_file).lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let id: u32 = line.parse().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad core node id {line:?}"),
+            })?;
+            if id as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: id, node_count: n });
+            }
+            core.push(NodeId(id));
+        }
+        core.sort_unstable();
+        core.dedup();
+        span.record("nodes", n as f64);
+        span.record("core", core.len() as f64);
+        Ok(SavedState { graph, core, pagerank, core_pagerank })
+    }
+
+    /// Reads the journal file at `path` (convenience wrapper so callers
+    /// deal in one error type end to end).
+    pub fn read_journal_file(
+        path: &Path,
+        options: &io::ReadOptions,
+    ) -> Result<(Vec<Vec<crate::DeltaRecord>>, journal::JournalReport), GraphError> {
+        let data = fs::read(path)?;
+        journal::read_journal_with(&data, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::GraphBuilder;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spammass-delta-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> (Graph, Vec<NodeId>, Vec<f64>, Vec<f64>) {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let core = vec![NodeId(0), NodeId(2)];
+        let p = vec![0.25, 0.25, 0.25, 0.25];
+        let pc = vec![0.2, 0.1, 0.2, 0.1];
+        (g, core, p, pc)
+    }
+
+    #[test]
+    fn scores_round_trip() {
+        let scores = vec![0.0, 1.5e-9, 0.25, -3.5];
+        let bytes = scores_to_bytes(&scores);
+        assert_eq!(scores_from_bytes(&bytes).unwrap(), scores);
+        let empty = scores_to_bytes(&[]);
+        assert_eq!(scores_from_bytes(&empty).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn scores_reject_every_bit_flip() {
+        let clean = scores_to_bytes(&[0.125, 0.5, 0.25]);
+        for i in 12..clean.len() - TRAILER_LEN {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x01;
+            assert!(scores_from_bytes(&bytes).is_err(), "bit flip at byte {i} went undetected");
+        }
+        assert!(matches!(
+            scores_from_bytes(&clean[..clean.len() - 2]),
+            Err(GraphError::Corrupted { field: "length sentinel", .. })
+        ));
+        assert!(scores_from_bytes(b"SPAMWRNG").is_err());
+    }
+
+    #[test]
+    fn scores_reject_non_finite_values() {
+        let bytes = scores_to_bytes(&[0.5, f64::NAN]);
+        assert!(matches!(scores_from_bytes(&bytes), Err(GraphError::Corrupt(_))));
+        let bytes = scores_to_bytes(&[f64::INFINITY]);
+        assert!(matches!(scores_from_bytes(&bytes), Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn state_dir_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        assert!(!state.is_complete());
+        state.save(&g, &core, &p, &pc).unwrap();
+        assert!(state.is_complete());
+        let loaded = state.load().unwrap();
+        assert_eq!(loaded.graph.node_count(), 4);
+        assert_eq!(loaded.graph.edge_count(), 4);
+        assert_eq!(loaded.core, core);
+        assert_eq!(loaded.pagerank, p);
+        assert_eq!(loaded.core_pagerank, pc);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_rejects_mismatched_vectors() {
+        let dir = tmpdir("mismatch-save");
+        let (g, core, p, _) = sample();
+        let err = StateDir::new(&dir).save(&g, &core, &p, &[0.1]).unwrap_err();
+        assert!(err.to_string().contains("p_core"), "{err}");
+        assert!(!dir.exists(), "save must not leave partial state behind");
+    }
+
+    #[test]
+    fn load_cross_validates_the_pieces() {
+        let dir = tmpdir("mismatch-load");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        state.save(&g, &core, &p, &pc).unwrap();
+
+        // Swap in a vector from a different (larger) run.
+        fs::write(dir.join(StateDir::PAGERANK_FILE), scores_to_bytes(&[0.1; 9])).unwrap();
+        assert!(state.load().is_err());
+        fs::write(dir.join(StateDir::PAGERANK_FILE), scores_to_bytes(&p)).unwrap();
+        assert!(state.load().is_ok());
+
+        // Core id out of range.
+        fs::write(dir.join(StateDir::CORE_FILE), "99\n").unwrap();
+        assert!(matches!(
+            state.load(),
+            Err(GraphError::NodeOutOfRange { node: 99, node_count: 4 })
+        ));
+        // Garbage core line.
+        fs::write(dir.join(StateDir::CORE_FILE), "# ok\nbanana\n").unwrap();
+        assert!(matches!(state.load(), Err(GraphError::Parse { line: 2, .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_files_surface_as_io_errors() {
+        let state = StateDir::new(tmpdir("missing"));
+        assert!(matches!(state.load(), Err(GraphError::Io(_))));
+    }
+}

@@ -2,6 +2,27 @@
 
 use crate::node::NodeId;
 
+/// Recomputes per-node out-degrees from an edge list.
+///
+/// This is the single source of truth for out-degree — and therefore
+/// dangling-node — bookkeeping: CSR construction
+/// ([`Graph::from_sorted_unique_edges`], hence also
+/// [`Graph::filter_edges`]) derives its offsets from these counts, and
+/// the incremental delta applier (`spammass-delta`) uses the same
+/// function when it maintains the dangling set across edge insertions
+/// and removals. A node whose last out-edge is removed is classified as
+/// dangling identically on every path.
+///
+/// # Panics
+/// Panics when an edge references a node id `>= node_count`.
+pub fn recompute_out_degrees(node_count: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut degrees = vec![0u32; node_count];
+    for &(f, _) in edges {
+        degrees[f as usize] += 1;
+    }
+    degrees
+}
+
 /// An immutable directed graph in compressed-sparse-row form.
 ///
 /// Both orientations are materialized:
@@ -33,16 +54,33 @@ impl Graph {
     /// Builds a graph from an edge list that is already sorted by
     /// `(from, to)` and free of duplicates and self-loops.
     ///
-    /// This is the single CSR layout routine used by
-    /// [`GraphBuilder::build`](crate::GraphBuilder::build).
-    pub(crate) fn from_sorted_unique_edges(node_count: usize, edges: &[(u32, u32)]) -> Graph {
+    /// This is the single CSR layout routine: [`GraphBuilder::build`]
+    /// (which sorts and deduplicates first) and the incremental delta
+    /// applier (which splices already-sorted runs) both end here.
+    ///
+    /// # Preconditions
+    /// `edges` must be sorted by `(from, to)`, free of duplicates and
+    /// self-loops, and reference only ids below `node_count`. Violating
+    /// the sortedness invariant produces a graph with unsorted adjacency
+    /// lists (breaking [`has_edge`](Graph::has_edge)); a debug assertion
+    /// catches it in test builds. Out-of-range ids panic.
+    ///
+    /// [`GraphBuilder::build`]: crate::GraphBuilder::build
+    pub fn from_sorted_unique_edges(node_count: usize, edges: &[(u32, u32)]) -> Graph {
         let m = edges.len();
         assert!(m <= u32::MAX as usize, "graphs are limited to u32::MAX edges");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted by (from, to) and duplicate-free"
+        );
 
+        let degrees = recompute_out_degrees(node_count, edges);
         let mut out_offsets = vec![0u32; node_count + 1];
         let mut in_offsets = vec![0u32; node_count + 1];
-        for &(f, t) in edges {
-            out_offsets[f as usize + 1] += 1;
+        for (i, &d) in degrees.iter().enumerate() {
+            out_offsets[i + 1] = d;
+        }
+        for &(_, t) in edges {
             in_offsets[t as usize + 1] += 1;
         }
         for i in 0..node_count {
@@ -294,6 +332,36 @@ mod tests {
         let g = GraphBuilder::from_edges(6, &[(4, 5), (0, 5), (2, 5), (1, 5), (3, 5)]);
         let ins: Vec<u32> = g.in_neighbors(NodeId(5)).iter().map(|n| n.0).collect();
         assert_eq!(ins, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recompute_out_degrees_matches_csr() {
+        let g = diamond();
+        let edges: Vec<(u32, u32)> = g.edges().map(|(f, t)| (f.0, t.0)).collect();
+        let degrees = recompute_out_degrees(g.node_count(), &edges);
+        for x in g.nodes() {
+            assert_eq!(degrees[x.index()] as usize, g.out_degree(x));
+        }
+    }
+
+    #[test]
+    fn removing_last_out_edge_makes_node_dangling_on_every_path() {
+        // Node 1's only out-edge is (1, 3). After removing it, both the
+        // shared degree helper and the rebuilt CSR must agree that node 1
+        // is dangling — the bookkeeping the delta applier relies on.
+        let g = diamond();
+        let kept: Vec<(u32, u32)> =
+            g.edges().map(|(f, t)| (f.0, t.0)).filter(|&e| e != (1, 3)).collect();
+        let degrees = recompute_out_degrees(g.node_count(), &kept);
+        assert_eq!(degrees[1], 0, "helper sees node 1 as dangling");
+        let filtered = g.filter_edges(|f, t| (f.0, t.0) != (1, 3));
+        assert!(filtered.is_dangling(NodeId(1)), "filter_edges agrees");
+        let rebuilt = Graph::from_sorted_unique_edges(g.node_count(), &kept);
+        assert!(rebuilt.is_dangling(NodeId(1)), "direct CSR build agrees");
+        assert_eq!(
+            filtered.dangling_nodes().collect::<Vec<_>>(),
+            rebuilt.dangling_nodes().collect::<Vec<_>>()
+        );
     }
 
     #[test]

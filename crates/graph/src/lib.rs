@@ -59,7 +59,7 @@ mod view;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use graph::Graph;
+pub use graph::{recompute_out_degrees, Graph};
 pub use labels::{HostName, NodeLabels};
 pub use node::NodeId;
 pub use view::ReverseView;

@@ -70,13 +70,34 @@ pub fn solve_batch(
     jumps: &[JumpVector],
     config: &PageRankConfig,
 ) -> Result<Vec<PageRankResult>, PageRankError> {
+    solve_batch_warm(graph, jumps, None, config)
+}
+
+/// [`solve_batch`] with per-column warm starts: column `j` is seeded from
+/// `initial[j]` instead of its jump vector. `None` is the cold start for
+/// every column. Warm starts change neither the fixed points nor any
+/// guard semantics (see
+/// [`solve_jacobi_dense_warm`](crate::jacobi::solve_jacobi_dense_warm)),
+/// only the iteration count — the incremental estimator re-solves `p`
+/// and `p′` from their previous fixed points after a graph delta.
+///
+/// # Errors
+/// Same contract as [`solve_batch`], plus
+/// [`PageRankError::InitialScoresLength`] when `initial` has the wrong
+/// column count or any column the wrong length.
+pub fn solve_batch_warm(
+    graph: &Graph,
+    jumps: &[JumpVector],
+    initial: Option<&[Vec<f64>]>,
+    config: &PageRankConfig,
+) -> Result<Vec<PageRankResult>, PageRankError> {
     config.validate()?;
     let n = graph.node_count();
     let mut vs = Vec::with_capacity(jumps.len());
     for jump in jumps {
         vs.push(jump.materialize(n)?);
     }
-    solve_batch_dense(graph, &vs, config)
+    solve_batch_dense_warm(graph, &vs, initial, config)
 }
 
 /// [`solve_batch`] with already-materialized jump vectors.
@@ -88,6 +109,19 @@ pub fn solve_batch_dense(
     vs: &[Vec<f64>],
     config: &PageRankConfig,
 ) -> Result<Vec<PageRankResult>, PageRankError> {
+    solve_batch_dense_warm(graph, vs, None, config)
+}
+
+/// [`solve_batch_warm`] with already-materialized jump vectors.
+///
+/// # Errors
+/// Same contract as [`solve_batch_warm`].
+pub fn solve_batch_dense_warm(
+    graph: &Graph,
+    vs: &[Vec<f64>],
+    initial: Option<&[Vec<f64>]>,
+    config: &PageRankConfig,
+) -> Result<Vec<PageRankResult>, PageRankError> {
     config.validate()?;
     let n = graph.node_count();
     let k = vs.len();
@@ -96,6 +130,14 @@ pub fn solve_batch_dense(
     }
     for v in vs {
         check_jump_length(v, n)?;
+    }
+    if let Some(inits) = initial {
+        if inits.len() != k {
+            return Err(PageRankError::InitialScoresLength { got: inits.len(), expected: k });
+        }
+        for p0 in inits {
+            crate::jacobi::check_initial_length(p0, n)?;
+        }
     }
     if n == 0 {
         return Ok(vs
@@ -115,12 +157,14 @@ pub fn solve_batch_dense(
     // per-edge loop. Wider batches run as independent chunks of up to
     // MAX_FUSED_COLUMNS columns (each chunk one traversal per sweep).
     let mut results = Vec::with_capacity(k);
-    for chunk in vs.chunks(MAX_FUSED_COLUMNS) {
+    for (i, chunk) in vs.chunks(MAX_FUSED_COLUMNS).enumerate() {
+        let lo = i * MAX_FUSED_COLUMNS;
+        let init_chunk = initial.map(|inits| &inits[lo..lo + chunk.len()]);
         results.extend(match chunk.len() {
-            1 => solve_batch_fixed::<1>(graph, chunk, config)?,
-            2 => solve_batch_fixed::<2>(graph, chunk, config)?,
-            3 => solve_batch_fixed::<3>(graph, chunk, config)?,
-            _ => solve_batch_fixed::<4>(graph, chunk, config)?,
+            1 => solve_batch_fixed::<1>(graph, chunk, init_chunk, config)?,
+            2 => solve_batch_fixed::<2>(graph, chunk, init_chunk, config)?,
+            3 => solve_batch_fixed::<3>(graph, chunk, init_chunk, config)?,
+            _ => solve_batch_fixed::<4>(graph, chunk, init_chunk, config)?,
         });
     }
     Ok(results)
@@ -135,6 +179,7 @@ const MAX_FUSED_COLUMNS: usize = 4;
 fn solve_batch_fixed<const K: usize>(
     graph: &Graph,
     vs: &[Vec<f64>],
+    initial: Option<&[Vec<f64>]>,
     config: &PageRankConfig,
 ) -> Result<Vec<PageRankResult>, PageRankError> {
     debug_assert_eq!(vs.len(), K);
@@ -161,13 +206,27 @@ fn solve_batch_fixed<const K: usize>(
 
     // Interleaved row-major n×K matrices; vmat holds the jump vectors in
     // the same layout so the kernel streams them with the same stride.
-    let mut front = vec![0.0f64; n * K];
+    // The start iterate is the jump matrix (cold) or the supplied
+    // previous fixed points (warm) — vmat stays the jump vectors either
+    // way, since it feeds the `(1−c)·v` term of every sweep.
+    let mut vmat = vec![0.0f64; n * K];
     for (j, v) in vs.iter().enumerate() {
         for (y, &vy) in v.iter().enumerate() {
-            front[y * K + j] = vy;
+            vmat[y * K + j] = vy;
         }
     }
-    let vmat = front.clone();
+    let mut front = match initial {
+        None => vmat.clone(),
+        Some(inits) => {
+            let mut seed = vec![0.0f64; n * K];
+            for (j, p0) in inits.iter().enumerate() {
+                for (y, &py) in p0.iter().enumerate() {
+                    seed[y * K + j] = py;
+                }
+            }
+            seed
+        }
+    };
     let mut back = vec![0.0f64; n * K];
     // Per-(worker, column) residual contributions, flat threads×K.
     let mut chunk_deltas = vec![0.0f64; threads * K];

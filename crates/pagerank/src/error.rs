@@ -20,6 +20,14 @@ pub enum PageRankError {
     },
     /// A jump vector had negative entries or norm outside `(0, 1]`.
     InvalidJumpVector(String),
+    /// A warm-start score vector (or vector set) did not match the solve:
+    /// wrong node count, or wrong number of columns for a batched solve.
+    InitialScoresLength {
+        /// Supplied length (or column count).
+        got: usize,
+        /// Expected length (or column count).
+        expected: usize,
+    },
     /// The iteration cap was reached before the residual dropped below the
     /// configured tolerance.
     DidNotConverge {
@@ -60,6 +68,9 @@ impl fmt::Display for PageRankError {
                 write!(f, "jump vector length {got} does not match node count {expected}")
             }
             PageRankError::InvalidJumpVector(msg) => write!(f, "invalid jump vector: {msg}"),
+            PageRankError::InitialScoresLength { got, expected } => {
+                write!(f, "initial score vector length {got} does not match expected {expected}")
+            }
             PageRankError::DidNotConverge { iterations, residual } => {
                 write!(
                     f,

@@ -84,7 +84,7 @@ pub mod pool;
 pub mod power;
 mod scores;
 
-pub use batch::solve_batch;
+pub use batch::{solve_batch, solve_batch_warm};
 pub use chain::{AttemptOutcome, AttemptReport, ChainError, ChainSolve, SolverChain, SolverKind};
 pub use config::PageRankConfig;
 pub use error::PageRankError;

@@ -68,13 +68,35 @@ pub fn solve_parallel_jacobi_dense(
     v: &[f64],
     config: &PageRankConfig,
 ) -> Result<PageRankResult, PageRankError> {
+    solve_parallel_jacobi_dense_warm(graph, v, None, config)
+}
+
+/// Parallel Jacobi seeded with `initial` scores instead of `v` — the
+/// warm-start entry point (see
+/// [`solve_jacobi_dense_warm`](crate::jacobi::solve_jacobi_dense_warm)
+/// for why warm starts are safe). The serial fallback for small graphs
+/// passes the warm start through unchanged.
+///
+/// # Errors
+/// Same contract as [`solve_parallel_jacobi`], plus
+/// [`PageRankError::InitialScoresLength`] when `initial` does not match
+/// the graph.
+pub fn solve_parallel_jacobi_dense_warm(
+    graph: &Graph,
+    v: &[f64],
+    initial: Option<&[f64]>,
+    config: &PageRankConfig,
+) -> Result<PageRankResult, PageRankError> {
     config.validate()?;
     let n = graph.node_count();
     check_jump_length(v, n)?;
+    if let Some(p0) = initial {
+        crate::jacobi::check_initial_length(p0, n)?;
+    }
 
     let threads = effective_threads(config.threads, n);
     if threads <= 1 {
-        return crate::jacobi::solve_jacobi_dense(graph, v, config);
+        return crate::jacobi::solve_jacobi_dense_warm(graph, v, initial, config);
     }
 
     let mut span = obs::span("pagerank.solve.parallel");
@@ -97,7 +119,10 @@ pub fn solve_parallel_jacobi_dense(
         })
         .collect();
 
-    let mut front: Vec<f64> = v.to_vec();
+    let mut front: Vec<f64> = match initial {
+        Some(p0) => p0.to_vec(),
+        None => v.to_vec(),
+    };
     let mut back = vec![0.0f64; n];
     let mut chunk_deltas = vec![0.0f64; threads];
 

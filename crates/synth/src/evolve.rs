@@ -1,0 +1,236 @@
+//! Evolving-scenario generation: farm growth as a `SPAMDLT` delta stream.
+//!
+//! The paper's premise is that spammers *continuously* grow farms to
+//! inflate `p_x`; a single snapshot never shows that. This module turns a
+//! generated [`Scenario`] into a crawl-like sequence of incremental
+//! updates — each [`EvolveStep`] is one journal batch of [`DeltaRecord`]s
+//! modelling what the next crawl would observe:
+//!
+//! * **booster growth** — new spam hosts (ids continuing past the base
+//!   graph) wired into existing farm targets, with the farm's usual
+//!   target→booster back-links;
+//! * **fresh hijacks** — stray links from existing good hosts onto farm
+//!   targets (Section 2.3's accessible-page attack, continued);
+//! * **link churn** — removal of a few existing booster→target links
+//!   (farms get cleaned up or abandoned piecemeal).
+//!
+//! Ground truth is carried per step: every node created by a step is a
+//! known spam booster, so delta tests and benches can score incremental
+//! detection exactly like snapshot detection. Steps are deterministic in
+//! `(scenario, seed)`.
+
+use crate::ground_truth::NodeClass;
+use crate::scenario::{Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use spammass_delta::{DeltaRecord, JournalWriter};
+use spammass_graph::NodeId;
+
+/// One growth step: a journal batch plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct EvolveStep {
+    /// Delta records of this step, in application order.
+    pub records: Vec<DeltaRecord>,
+    /// Nodes created by this step — all spam boosters (ground truth).
+    pub new_spam: Vec<NodeId>,
+    /// Farms that grew in this step (ids into [`Scenario::farms`]).
+    pub grown_farms: Vec<u32>,
+}
+
+impl EvolveStep {
+    /// Number of records in the step.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the step carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A full evolution: the steps plus the node-count bookkeeping needed to
+/// interpret them.
+#[derive(Debug, Clone)]
+pub struct Evolution {
+    /// The steps, in order.
+    pub steps: Vec<EvolveStep>,
+    /// Node count of the base graph the steps apply on top of.
+    pub base_nodes: usize,
+}
+
+impl Evolution {
+    /// Total nodes after all steps.
+    pub fn final_nodes(&self) -> usize {
+        self.base_nodes + self.steps.iter().map(|s| s.new_spam.len()).sum::<usize>()
+    }
+
+    /// All spam nodes created across the evolution.
+    pub fn new_spam(&self) -> Vec<NodeId> {
+        self.steps.iter().flat_map(|s| s.new_spam.iter().copied()).collect()
+    }
+
+    /// Every record across all steps, in application order.
+    pub fn all_records(&self) -> Vec<DeltaRecord> {
+        self.steps.iter().flat_map(|s| s.records.iter().copied()).collect()
+    }
+
+    /// Serializes the evolution as a `SPAMDLT` v1 journal, one CRC-framed
+    /// batch per step.
+    pub fn journal_bytes(&self) -> Vec<u8> {
+        let mut writer = JournalWriter::new();
+        for step in &self.steps {
+            writer.append_batch(&step.records);
+        }
+        writer.into_bytes()
+    }
+}
+
+impl Scenario {
+    /// Emits `config.evolve_steps` incremental farm-growth steps on top of
+    /// this scenario, deterministically from `seed`.
+    ///
+    /// Each step grows a handful of existing farms by roughly 1% of the
+    /// base edge count in new booster links, plus a sprinkle of hijacked
+    /// links and booster-link removals. An empty farm list (a scenario
+    /// with no spam) yields steps with no records.
+    pub fn evolve(&self, config: &ScenarioConfig, seed: u64) -> Evolution {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x45564F4C56_u64); // "EVOLV"
+        let mut next_node = self.graph.node_count() as u32;
+        // Per-step growth budget: ~1% of the base edges, split over the
+        // grown farms (each booster contributes 1–2 edges).
+        let step_boosters = (self.graph.edge_count() / 100).clamp(8, 5_000);
+        let good_linkers: Vec<NodeId> = self
+            .truth
+            .filter(|c| matches!(c, NodeClass::Good(_)))
+            .into_iter()
+            .filter(|&g| self.graph.out_degree(g) > 0)
+            .collect();
+
+        let mut steps = Vec::with_capacity(config.evolve_steps);
+        for _ in 0..config.evolve_steps {
+            let mut step =
+                EvolveStep { records: Vec::new(), new_spam: Vec::new(), grown_farms: Vec::new() };
+            if self.farms.is_empty() {
+                steps.push(step);
+                continue;
+            }
+            let n_farms = rng.gen_range(1..=4usize.min(self.farms.len()));
+            let grown: Vec<&crate::farms::Farm> =
+                self.farms.choose_multiple(&mut rng, n_farms).collect();
+            step.grown_farms = grown.iter().map(|f| f.id).collect();
+            for farm in &grown {
+                let boosters = (step_boosters / n_farms).max(1);
+                for _ in 0..boosters {
+                    let b = NodeId(next_node);
+                    next_node += 1;
+                    step.new_spam.push(b);
+                    step.records.push(DeltaRecord::AddNode { node: b });
+                    step.records.push(DeltaRecord::AddEdge { from: b, to: farm.target });
+                    // The Section 2.3 optimal-farm back-link, with the
+                    // same 80/20 split the snapshot generator uses.
+                    if rng.gen_bool(0.8) {
+                        step.records.push(DeltaRecord::AddEdge { from: farm.target, to: b });
+                    }
+                }
+                // Fresh hijacked links from the good web onto the target.
+                if !good_linkers.is_empty() && rng.gen_bool(0.5) {
+                    for _ in 0..rng.gen_range(1..=3usize) {
+                        let &g = good_linkers.choose(&mut rng).expect("non-empty");
+                        if g != farm.target {
+                            step.records.push(DeltaRecord::AddEdge { from: g, to: farm.target });
+                        }
+                    }
+                }
+                // Link churn: a few old boosters drop off the farm.
+                if farm.boosters.len() > 4 && rng.gen_bool(0.5) {
+                    for _ in 0..rng.gen_range(1..=3usize) {
+                        let &b = farm.boosters.choose(&mut rng).expect("non-empty");
+                        step.records.push(DeltaRecord::RemoveEdge { from: b, to: farm.target });
+                    }
+                }
+            }
+            steps.push(step);
+        }
+        Evolution { steps, base_nodes: self.graph.node_count() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_delta::{read_journal, GraphDelta};
+
+    fn base() -> (Scenario, ScenarioConfig) {
+        let config = ScenarioConfig::sized(2_000).with_evolve_steps(3);
+        let sc = Scenario::generate(&config, 42);
+        (sc, config)
+    }
+
+    #[test]
+    fn evolution_is_deterministic_and_grows() {
+        let (sc, config) = base();
+        let a = sc.evolve(&config, 7);
+        let b = sc.evolve(&config, 7);
+        assert_eq!(a.steps.len(), 3);
+        assert_eq!(a.all_records(), b.all_records());
+        assert!(a.final_nodes() > a.base_nodes, "steps must add boosters");
+        let c = sc.evolve(&config, 8);
+        assert_ne!(a.all_records(), c.all_records(), "seed must matter");
+    }
+
+    #[test]
+    fn new_nodes_are_fresh_ids_and_labelled_spam() {
+        let (sc, config) = base();
+        let ev = sc.evolve(&config, 1);
+        let mut expected = ev.base_nodes as u32;
+        for step in &ev.steps {
+            for &s in &step.new_spam {
+                assert_eq!(s, NodeId(expected), "ids are dense and ordered");
+                expected += 1;
+            }
+            assert!(!step.grown_farms.is_empty());
+        }
+        assert_eq!(ev.final_nodes() as u32, expected);
+    }
+
+    #[test]
+    fn journal_round_trips_and_applies() {
+        let (sc, config) = base();
+        let ev = sc.evolve(&config, 9);
+        let batches = read_journal(&ev.journal_bytes()).expect("clean journal");
+        assert_eq!(batches.len(), ev.steps.iter().filter(|s| !s.is_empty()).count());
+
+        let mut graph = sc.graph.clone();
+        let delta = GraphDelta::from_records(&ev.all_records());
+        let report = delta.apply(&mut graph);
+        assert_eq!(graph.node_count(), ev.final_nodes());
+        assert!(report.edges_added > 0);
+        // Every new booster ends up linking its farm target.
+        for step in &ev.steps {
+            for &b in &step.new_spam {
+                assert!(graph.out_degree(b) >= 1, "booster {b} wired in");
+            }
+        }
+    }
+
+    #[test]
+    fn growth_targets_existing_farms() {
+        let (sc, config) = base();
+        let ev = sc.evolve(&config, 11);
+        let targets: Vec<NodeId> = sc.farms.iter().map(|f| f.target).collect();
+        for step in &ev.steps {
+            for r in &step.records {
+                if let DeltaRecord::AddEdge { from, to } = r {
+                    // Every added edge touches a farm target on one side
+                    // (booster→target, target→booster, or hijack→target).
+                    assert!(
+                        targets.contains(to) || targets.contains(from),
+                        "edge {from}->{to} unrelated to any farm"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -20,7 +20,9 @@
 //! * **ground-truth labels** for every host ([`ground_truth`]), playing
 //!   the role of the paper's human judges;
 //! * **scenario presets** assembling all of the above deterministically
-//!   from a seed ([`scenario`]).
+//!   from a seed ([`scenario`]);
+//! * **evolving scenarios** — farm growth emitted as a `SPAMDLT` delta
+//!   journal for the incremental re-estimation pipeline ([`evolve`]).
 //!
 //! ## Example
 //!
@@ -38,6 +40,7 @@
 
 pub mod communities;
 pub mod config;
+pub mod evolve;
 pub mod farm_theory;
 pub mod farms;
 pub mod ground_truth;

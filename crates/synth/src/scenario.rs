@@ -46,6 +46,9 @@ pub struct ScenarioConfig {
     pub honeypot_probability: f64,
     /// Probability that a farm buys expired domains.
     pub expired_probability: f64,
+    /// Number of incremental growth steps the `evolve` mode emits
+    /// ([`crate::evolve`]); 0 disables evolution.
+    pub evolve_steps: usize,
 }
 
 impl ScenarioConfig {
@@ -78,7 +81,14 @@ impl ScenarioConfig {
             hijack_probability: 0.5,
             honeypot_probability: 0.25,
             expired_probability: 0.15,
+            evolve_steps: 0,
         }
+    }
+
+    /// Enables `evolve` mode with `steps` growth steps, builder-style.
+    pub fn with_evolve_steps(mut self, steps: usize) -> Self {
+        self.evolve_steps = steps;
+        self
     }
 }
 

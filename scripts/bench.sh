@@ -49,3 +49,30 @@ OUT="BENCH_pagerank.json"
 COUNT="$(grep -c '^BENCH_JSON ' "$LOG")"
 [ "$COUNT" -gt 0 ] || { echo "no BENCH_JSON lines captured"; exit 1; }
 echo "wrote $OUT ($COUNT benchmarks)"
+
+# Incremental re-estimation: warm update vs cold full estimate on an
+# evolved ~60k-host scenario (~1% edge delta). The bench prints one
+# BENCH_INCR agreement/iteration line plus the usual BENCH_JSON timings;
+# both land in BENCH_incremental.json.
+INCR_LOG="$(mktemp)"
+trap 'rm -f "$LOG" "$INCR_LOG"' EXIT
+echo "== cargo bench -p spammass-bench --bench incremental =="
+CRITERION_JSON=1 CRITERION_SAMPLES="$SAMPLES" \
+  cargo bench -p spammass-bench --bench incremental 2>&1 | tee "$INCR_LOG"
+
+INCR_OUT="BENCH_incremental.json"
+{
+  printf '{\n'
+  printf '  "schema": "spammass.bench.incremental/v1",\n'
+  printf '  "host_threads": %s,\n' "$(nproc)"
+  printf '  "samples_per_bench": %s,\n' "${SAMPLES:-10}"
+  printf '  "agreement": '
+  grep '^BENCH_INCR ' "$INCR_LOG" | head -1 | sed 's/^BENCH_INCR //' | sed 's/$/,/'
+  printf '  "benches": [\n'
+  grep '^BENCH_JSON ' "$INCR_LOG" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+  printf '  ]\n'
+  printf '}\n'
+} > "$INCR_OUT"
+
+grep -q '^BENCH_INCR ' "$INCR_LOG" || { echo "no BENCH_INCR line captured"; exit 1; }
+echo "wrote $INCR_OUT"

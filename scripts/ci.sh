@@ -21,6 +21,12 @@ echo "== bench smoke: cargo bench -- --test =="
 # cost of a timed run (scripts/bench.sh does the real measurements).
 cargo bench -p spammass-bench --bench pagerank --bench mass_pipeline -- --test
 
+echo "== bench smoke: incremental warm-vs-cold agreement =="
+# The incremental bench asserts warm/cold detection identity and the
+# iteration saving before timing anything; a small scenario keeps the
+# gate fast while still exercising the full journal -> update path.
+INCR_HOSTS=10000 cargo bench -p spammass-bench --bench incremental -- --test
+
 echo "== telemetry: obs crate tests =="
 cargo test -q -p spammass-obs
 
@@ -41,6 +47,22 @@ for key in '"schema":"spammass.run_report/v1"' '"command":"estimate"' \
     '"graph.ingest.edges"' '"pagerank.residual"' '"estimate.relative_mass"'; do
   grep -q "$key" "$SMOKE_DIR/metrics.json" \
     || { echo "run report missing $key"; exit 1; }
+done
+
+echo "== incremental pipeline smoke: generate --evolve / estimate --state / update =="
+./target/release/spammass generate --hosts 5000 --seed 11 \
+  --out "$SMOKE_DIR/evo.graph" --core "$SMOKE_DIR/evo-core.txt" \
+  --evolve 2 --journal "$SMOKE_DIR/evo.journal" > "$SMOKE_DIR/generate.out"
+grep -q 'evolution journal written' "$SMOKE_DIR/generate.out" \
+  || { echo "generate --evolve wrote no journal"; exit 1; }
+./target/release/spammass estimate --graph "$SMOKE_DIR/evo.graph" \
+  --core "$SMOKE_DIR/evo-core.txt" --state "$SMOKE_DIR/state" > /dev/null
+./target/release/spammass update --journal "$SMOKE_DIR/evo.journal" \
+  --state "$SMOKE_DIR/state" > "$SMOKE_DIR/update.out"
+for key in 'delta applied' 'warm solve' 'newly flagged' 'newly cleared' \
+    'top mass shifts' 'state saved'; do
+  grep -q "$key" "$SMOKE_DIR/update.out" \
+    || { echo "update report missing '$key'"; cat "$SMOKE_DIR/update.out"; exit 1; }
 done
 
 echo "CI green."

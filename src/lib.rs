@@ -8,10 +8,13 @@
 //! * [`obs`] — opt-in telemetry: spans, metrics, sinks, run reports.
 //! * [`pagerank`] — linear PageRank solvers and PageRank contributions.
 //! * [`core`] — spam mass, mass estimation, and the detection algorithm.
+//! * [`delta`] — incremental updates: edge-delta journal, CSR patching,
+//!   and saved estimation state for warm-started re-solves.
 //! * [`synth`] — synthetic host-graph and spam-farm workload generator.
 //! * [`eval`] — experiment harness reproducing every table and figure.
 
 pub use spammass_core as core;
+pub use spammass_delta as delta;
 pub use spammass_eval as eval;
 pub use spammass_graph as graph;
 pub use spammass_obs as obs;
