@@ -1,0 +1,178 @@
+//! `spammass convert` — re-encode a graph between the text edge-list
+//! format and the `SPAMGRPH` binary image versions.
+//!
+//! The main use is upgrading v1/v2 images (and text edge lists) to the v3
+//! aligned-section format, whose CSR arrays memory-map zero-copy on load.
+
+use crate::args::ParsedArgs;
+use crate::loading::{ingest_warning, load_graph_with, node_ordering, read_options};
+use crate::CliError;
+use spammass_graph::{io, NodeOrdering, Permutation};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Runs the subcommand.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    args.expect_only(&[
+        "in",
+        "out",
+        "format",
+        "order",
+        "lenient",
+        "threads",
+        "trace",
+        "metrics-out",
+    ])?;
+    let opts = read_options(args)?;
+    let input = Path::new(args.required("in")?);
+    let output = Path::new(args.required("out")?);
+    let format = args.optional("format").unwrap_or("v3");
+    let ordering = node_ordering(args)?;
+
+    let (graph, load_report) = load_graph_with(input, &opts)?;
+    // Baking an ordering into the image renumbers nodes permanently, so
+    // label files and core lists written against the original ids no
+    // longer apply — worth it only for solver-only pipelines; say so.
+    let graph = match ordering {
+        NodeOrdering::Natural => graph,
+        other => Permutation::compute(&graph, other).permute_graph(&graph),
+    };
+    let bytes = match format {
+        "v1" => io::graph_to_bytes_v1(&graph),
+        "v2" => io::graph_to_bytes(&graph),
+        "v3" => io::graph_to_bytes_v3(&graph),
+        other => return Err(CliError::Usage(format!("unknown --format {other:?} (v1, v2, v3)"))),
+    };
+    fs::write(output, &bytes)?;
+
+    let mut out = String::new();
+    if let Some(warn) = ingest_warning(load_report.as_ref()) {
+        let _ = writeln!(out, "{warn}");
+    }
+    if ordering != NodeOrdering::Natural {
+        let _ = writeln!(
+            out,
+            "note: nodes renumbered into {} order; labels/core files keyed by \
+             original ids no longer apply to this image",
+            ordering.name()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "wrote {} image: {} nodes, {} edges, {} bytes -> {}",
+        format,
+        graph.node_count(),
+        graph.edge_count(),
+        bytes.len(),
+        output.display()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::GraphBuilder;
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("spammass-cli-convert");
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn run_argv(argv: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        run(&ParsedArgs::parse(&v).unwrap())
+    }
+
+    #[test]
+    fn upgrades_v2_image_to_zero_copy_v3() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let d = tmp_dir();
+        let v2 = d.join("old.bin");
+        let v3 = d.join("new.bin");
+        fs::write(&v2, io::graph_to_bytes(&g)).unwrap();
+        let out =
+            run_argv(&["convert", "--in", v2.to_str().unwrap(), "--out", v3.to_str().unwrap()])
+                .unwrap();
+        assert!(out.contains("wrote v3 image"), "{out}");
+        let (loaded, stats) = io::map_graph_file(&v3).unwrap();
+        assert_eq!(loaded.edge_count(), g.edge_count());
+        assert_eq!(stats.version, 3);
+        assert!(stats.is_zero_copy(), "{stats:?}");
+    }
+
+    #[test]
+    fn converts_text_to_any_version_and_back_compat() {
+        let d = tmp_dir();
+        let txt = d.join("edges.txt");
+        fs::write(&txt, "# nodes: 3\n0 1\n1 2\n").unwrap();
+        for format in ["v1", "v2", "v3"] {
+            let bin = d.join(format!("as_{format}.bin"));
+            let out = run_argv(&[
+                "convert",
+                "--in",
+                txt.to_str().unwrap(),
+                "--out",
+                bin.to_str().unwrap(),
+                "--format",
+                format,
+            ])
+            .unwrap();
+            assert!(out.contains(&format!("wrote {format} image")), "{out}");
+            let g = io::graph_from_bytes(&fs::read(&bin).unwrap()).unwrap();
+            assert_eq!((g.node_count(), g.edge_count()), (3, 2));
+        }
+    }
+
+    #[test]
+    fn bakes_a_node_ordering_into_the_image() {
+        let d = tmp_dir();
+        let txt = d.join("hub.txt");
+        // Node 3 has the highest out-degree, so degree order renumbers it 0.
+        fs::write(&txt, "3 0\n3 1\n3 2\n0 1\n").unwrap();
+        let bin = d.join("hub_degree.bin");
+        let out = run_argv(&[
+            "convert",
+            "--in",
+            txt.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+            "--order",
+            "degree",
+        ])
+        .unwrap();
+        assert!(out.contains("renumbered into degree order"), "{out}");
+        let g = io::graph_from_bytes(&fs::read(&bin).unwrap()).unwrap();
+        assert_eq!(g.out_degree(spammass_graph::NodeId(0)), 3);
+    }
+
+    #[test]
+    fn rejects_unknown_format_and_order() {
+        let d = tmp_dir();
+        let txt = d.join("e.txt");
+        fs::write(&txt, "0 1\n").unwrap();
+        let bin = d.join("e.bin");
+        let bad_format = run_argv(&[
+            "convert",
+            "--in",
+            txt.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+            "--format",
+            "v9",
+        ]);
+        assert!(matches!(bad_format, Err(CliError::Usage(_))));
+        let bad_order = run_argv(&[
+            "convert",
+            "--in",
+            txt.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+            "--order",
+            "random",
+        ]);
+        assert!(matches!(bad_order, Err(CliError::Usage(_))));
+    }
+}

@@ -3,7 +3,8 @@
 use crate::args::ParsedArgs;
 use crate::commands::estimate::health_lines;
 use crate::loading::{
-    display_node, ingest_warning, load_core, load_graph_with, load_labels, read_options,
+    display_node, ingest_warning, load_core, load_graph_with, load_labels, node_ordering,
+    read_options,
 };
 use crate::CliError;
 use spammass_core::detector::{detect, DetectorConfig};
@@ -20,6 +21,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "gamma",
         "rho",
         "tau",
+        "order",
         "lenient",
         "trace",
         "metrics-out",
@@ -48,7 +50,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     }
 
     let estimate =
-        MassEstimator::new(EstimatorConfig::scaled(gamma)).estimate(&graph, &core_load.nodes)?;
+        MassEstimator::new(EstimatorConfig::scaled(gamma).with_ordering(node_ordering(args)?))
+            .estimate(&graph, &core_load.nodes)?;
     out.push_str(&health_lines(&estimate, labels.as_ref()));
     let detection = detect(&estimate, &DetectorConfig { rho, tau });
 

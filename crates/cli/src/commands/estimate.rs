@@ -3,7 +3,8 @@
 
 use crate::args::ParsedArgs;
 use crate::loading::{
-    display_node, ingest_warning, load_core, load_graph_with, load_labels, read_options,
+    display_node, ingest_warning, load_core, load_graph_with, load_labels, node_ordering,
+    read_options,
 };
 use crate::CliError;
 use spammass_core::estimate::{EstimateReport, EstimatorConfig, MassEstimator};
@@ -64,6 +65,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "top",
         "threads",
         "batch",
+        "order",
         "lenient",
         "trace",
         "metrics-out",
@@ -95,7 +97,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
 
     let config = EstimatorConfig::scaled(gamma)
         .with_pagerank(spammass_pagerank::PageRankConfig::default().threads(threads))
-        .with_batching(batched);
+        .with_batching(batched)
+        .with_ordering(node_ordering(args)?);
     let estimate = MassEstimator::new(config).estimate(&graph, &core)?;
     warnings.push_str(&health_lines(&estimate, labels.as_ref()));
 

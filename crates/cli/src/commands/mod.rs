@@ -1,6 +1,7 @@
 //! Subcommand implementations. Each returns the text it would print, so
 //! the commands are unit-testable without spawning processes.
 
+pub mod convert;
 pub mod detect;
 pub mod estimate;
 pub mod generate;
@@ -34,6 +35,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
 fn dispatch_inner(args: &ParsedArgs) -> Result<String, CliError> {
     match args.command.as_str() {
         "generate" => generate::run(args),
+        "convert" => convert::run(args),
         "stats" => stats::run(args),
         "pagerank" => pagerank::run(args),
         "estimate" => estimate::run(args),

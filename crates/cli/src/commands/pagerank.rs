@@ -1,8 +1,11 @@
 //! `spammass pagerank` — solve PageRank and print the top hosts.
 
 use crate::args::ParsedArgs;
-use crate::loading::{display_node, ingest_warning, load_graph_with, load_labels, read_options};
+use crate::loading::{
+    display_node, ingest_warning, load_graph_with, load_labels, node_ordering, read_options,
+};
 use crate::CliError;
+use spammass_graph::{NodeOrdering, Permutation};
 use spammass_pagerank::{JumpVector, PageRankConfig, SolverChain, SolverKind};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -29,6 +32,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "top",
         "threads",
         "labels",
+        "order",
         "lenient",
         "fallback",
         "trace",
@@ -36,6 +40,17 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     ])?;
     let opts = read_options(args)?;
     let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
+    // Solve in the requested cache-friendly layout; scores are mapped
+    // back below so ranks and labels stay in original node ids.
+    let ordering = node_ordering(args)?;
+    let perm = match ordering {
+        NodeOrdering::Natural => None,
+        other => Some(Permutation::compute(&graph, other)),
+    };
+    let graph = match &perm {
+        None => graph,
+        Some(p) => p.permute_graph(&graph),
+    };
     let labels = match args.optional("labels") {
         Some(p) => Some(load_labels(Path::new(p))?),
         None => None,
@@ -60,7 +75,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(out, "{warn}");
     }
 
-    let result = if fallback {
+    let mut result = if fallback {
         // Chosen solver first, then the hardened fallback attempts.
         let mut chain = SolverChain::new(kind, cfg);
         for (s, c) in SolverChain::recommended(cfg).attempts().iter().skip(1) {
@@ -78,6 +93,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
             CliError::Compute(format!("{e}; rerun with --fallback true to retry harder"))
         })?
     };
+    if let Some(p) = &perm {
+        result.scores = p.restore_values(&result.scores);
+    }
 
     let _ = writeln!(
         out,

@@ -96,10 +96,11 @@ spammass — link spam detection based on mass estimation
 
 USAGE:
   spammass generate --hosts N [--seed S] --out FILE [--labels FILE] [--truth FILE] [--core FILE] [--evolve K --journal FILE]
+  spammass convert  --in FILE --out FILE [--format v1|v2|v3] [--order degree|bfs|none] [--lenient N] [--threads T]
   spammass stats    --graph FILE [--lenient N]
-  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--threads T] [--labels FILE] [--fallback true] [--lenient N]
-  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--state DIR] [--threads T] [--batch false] [--lenient N]
-  spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--lenient N]
+  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--threads T] [--order degree|bfs|none] [--labels FILE] [--fallback true] [--lenient N]
+  spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--state DIR] [--threads T] [--batch false] [--order degree|bfs|none] [--lenient N]
+  spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--order degree|bfs|none] [--lenient N]
   spammass update   --journal FILE --state DIR [--labels FILE] [--gamma G] [--rho R] [--tau T] [--top K] [--threads T] [--lenient N]
 
   --evolve K        also emit K incremental farm-growth steps as a SPAMDLT
@@ -112,8 +113,13 @@ USAGE:
                     reported) instead of failing on the first bad line
   --fallback true   on solver failure, retry with the hardened fallback chain
                     (each attempt is reported)
-  --threads T       worker threads for the parallel and batched solvers
-                    (0 = all cores; small graphs run single-threaded anyway)
+  --threads T       worker threads for the parallel and batched solvers and
+                    for sharded text ingest (0 = all cores; small graphs and
+                    files run single-threaded anyway)
+  --order O         solve in a cache-friendly node layout: `degree`
+                    (descending out-degree) or `bfs` (hub-first BFS);
+                    results always report original node ids. `convert`
+                    instead bakes the renumbering into the output image
   --batch false     solve the two estimation jump vectors separately through
                     the fallback chain instead of one batched multi-RHS run
 

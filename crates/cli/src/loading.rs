@@ -4,21 +4,41 @@
 use crate::args::ParsedArgs;
 use crate::CliError;
 use spammass_graph::io::{self, LoadReport, ReadOptions};
-use spammass_graph::{Graph, NodeId, NodeLabels};
+use spammass_graph::{Graph, NodeId, NodeLabels, NodeOrdering};
 use std::fs;
 use std::path::Path;
 
+/// Parses the shared `--order degree|bfs|none` flag (default: the graph's
+/// natural layout) into a [`NodeOrdering`].
+pub fn node_ordering(args: &ParsedArgs) -> Result<NodeOrdering, CliError> {
+    match args.optional("order") {
+        None => Ok(NodeOrdering::Natural),
+        Some(v) => v.parse().map_err(|e| CliError::Usage(format!("--order: {e}"))),
+    }
+}
+
 /// Builds [`ReadOptions`] from the shared `--lenient N` flag: strict by
 /// default, or skipping up to `N` malformed lines when given.
+///
+/// The shared `--threads T` flag (0 = all cores, the default) also sets
+/// the worker count for sharded text ingest; small files fall back to the
+/// sequential parser regardless.
 pub fn read_options(args: &ParsedArgs) -> Result<ReadOptions, CliError> {
-    Ok(match args.optional("lenient") {
+    let opts = match args.optional("lenient") {
         None => ReadOptions::default(),
         Some(v) => {
             let budget: usize =
                 v.parse().map_err(|_| CliError::Usage(format!("--lenient: cannot parse {v:?}")))?;
             ReadOptions::lenient(budget)
         }
-    })
+    };
+    let threads: usize = args.parsed_or("threads", 0)?;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    Ok(opts.with_threads(threads))
 }
 
 /// Loads a graph, auto-detecting the binary image (magic `SPAMGRPH`)
@@ -31,13 +51,33 @@ pub fn load_graph_with(
     path: &Path,
     opts: &ReadOptions,
 ) -> Result<(Graph, Option<LoadReport>), CliError> {
-    let data = fs::read(path)?;
-    if data.starts_with(b"SPAMGRPH") {
-        Ok((io::graph_from_bytes(&data)?, None))
+    if sniff_magic(path)? {
+        // Binary image: memory-map and, for an aligned v3 image, serve the
+        // CSR arrays zero-copy straight from the mapping.
+        let (graph, _stats) = io::map_graph_file(path)?;
+        Ok((graph, None))
     } else {
-        let (graph, report) = io::read_edge_list_with(&data[..], opts)?;
+        let data = fs::read(path)?;
+        let (graph, report) = io::read_edge_list_bytes(&data, opts)?;
         Ok((graph, Some(report)))
     }
+}
+
+/// Whether the file starts with the `SPAMGRPH` image magic, reading only
+/// the first 8 bytes so huge text edge lists are not slurped twice.
+fn sniff_magic(path: &Path) -> Result<bool, CliError> {
+    use std::io::Read as _;
+    let mut file = fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    let mut filled = 0;
+    while filled < magic.len() {
+        let k = file.read(&mut magic[filled..])?;
+        if k == 0 {
+            break;
+        }
+        filled += k;
+    }
+    Ok(&magic[..filled] == b"SPAMGRPH")
 }
 
 /// Strict [`load_graph_with`], discarding the (necessarily clean) report.

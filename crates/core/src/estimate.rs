@@ -41,7 +41,7 @@
 //! also provided.
 
 use crate::mass::relative_mass;
-use spammass_graph::{Graph, NodeId};
+use spammass_graph::{Graph, NodeId, NodeOrdering, Permutation};
 use spammass_obs as obs;
 use spammass_pagerank::{
     AttemptOutcome, ChainError, ChainSolve, JumpVector, PageRankConfig, SolverChain,
@@ -73,6 +73,13 @@ pub struct EstimatorConfig {
     /// per-run path (which adds solver fallbacks), so disabling this is
     /// only useful to force the legacy path, e.g. for comparisons.
     pub batched: bool,
+    /// Node layout the solves run under. Anything other than
+    /// [`NodeOrdering::Natural`] makes the estimator permute the graph
+    /// (and core) into the requested cache-friendly order, solve there,
+    /// and map every score vector and node list in the report back to the
+    /// caller's original node ids — the ordering is an execution detail
+    /// and never leaks into results.
+    pub ordering: NodeOrdering,
 }
 
 impl EstimatorConfig {
@@ -82,6 +89,7 @@ impl EstimatorConfig {
             pagerank: PageRankConfig::default(),
             scaling: CoreScaling::Unscaled,
             batched: true,
+            ordering: NodeOrdering::Natural,
         }
     }
 
@@ -96,6 +104,7 @@ impl EstimatorConfig {
             pagerank: PageRankConfig::default(),
             scaling: CoreScaling::Gamma(gamma),
             batched: true,
+            ordering: NodeOrdering::Natural,
         }
     }
 
@@ -108,6 +117,13 @@ impl EstimatorConfig {
     /// Enables or disables the batched multi-RHS fast path, builder-style.
     pub fn with_batching(mut self, batched: bool) -> Self {
         self.batched = batched;
+        self
+    }
+
+    /// Sets the node layout the solves run under, builder-style. Results
+    /// are always reported in the caller's original node ids.
+    pub fn with_ordering(mut self, ordering: NodeOrdering) -> Self {
+        self.ordering = ordering;
         self
     }
 
@@ -284,6 +300,14 @@ impl MassEstimator {
         if good_core.is_empty() {
             return Err(EstimateError::EmptyCore);
         }
+        if self.config.ordering != NodeOrdering::Natural {
+            let perm = self.reorder(graph);
+            let permuted = perm.permute_graph(graph);
+            let core = perm.permute_nodes(good_core);
+            let mut report = self.natural().estimate(&permuted, &core)?;
+            Self::restore_report(&perm, &mut report);
+            return Ok(report);
+        }
         if self.config.batched {
             if let Some(report) = self.estimate_batched(graph, good_core) {
                 return Ok(report);
@@ -301,6 +325,30 @@ impl MassEstimator {
         let mut report = self.estimate_with_pagerank(graph, good_core, solve.result.scores)?;
         report.pagerank_diag = Some(diag);
         Ok(report)
+    }
+
+    /// Computes the configured permutation, with a telemetry span.
+    fn reorder(&self, graph: &Graph) -> Permutation {
+        let mut span = obs::span("estimate.reorder");
+        span.record("nodes", graph.node_count() as f64);
+        Permutation::compute(graph, self.config.ordering)
+    }
+
+    /// A copy of this estimator that runs in the graph's natural layout —
+    /// the inner worker for the reordered paths.
+    fn natural(&self) -> MassEstimator {
+        MassEstimator::new(EstimatorConfig { ordering: NodeOrdering::Natural, ..self.config })
+    }
+
+    /// Maps every node-indexed vector and node list of a report computed
+    /// on a permuted graph back to the original node ids.
+    fn restore_report(perm: &Permutation, report: &mut EstimateReport) {
+        report.mass.pagerank = perm.restore_values(&report.mass.pagerank);
+        report.mass.core_pagerank = perm.restore_values(&report.mass.core_pagerank);
+        report.mass.absolute = perm.restore_values(&report.mass.absolute);
+        report.mass.relative = perm.restore_values(&report.mass.relative);
+        report.anomalies = perm.restore_nodes(&report.anomalies);
+        report.dead_core = perm.restore_nodes(&report.dead_core);
     }
 
     /// The batched fast path: `[p, p′]` from one `solve_batch` call.
@@ -360,6 +408,15 @@ impl MassEstimator {
         }
         if good_core.is_empty() {
             return Err(EstimateError::EmptyCore);
+        }
+        if self.config.ordering != NodeOrdering::Natural {
+            let perm = self.reorder(graph);
+            let permuted = perm.permute_graph(graph);
+            let core = perm.permute_nodes(good_core);
+            let p = perm.permute_values(&pagerank);
+            let mut report = self.natural().estimate_with_pagerank(&permuted, &core, p)?;
+            Self::restore_report(&perm, &mut report);
+            return Ok(report);
         }
 
         let jump = self.core_jump(good_core, n);

@@ -1,0 +1,137 @@
+//! Layout-invariance properties of the estimation pipeline.
+//!
+//! PageRank is permutation-equivariant — relabelling nodes conjugates the
+//! linear system, so `PR(πG)(π(x)) = PR(G)(x)` — which means a cache-aware
+//! node ordering must be a pure execution detail: after the estimator maps
+//! results back through the inverse permutation, every score vector, every
+//! anomaly list, and the detector's flagged set must match a run in the
+//! natural layout.
+
+use proptest::prelude::*;
+use spammass_core::detector::{detect, DetectorConfig};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_graph::{Graph, GraphBuilder, NodeId, NodeOrdering, Permutation};
+use spammass_pagerank::PageRankConfig;
+
+/// Deterministic pseudo-random web: a power-law-ish body, a few hubs, and
+/// a small boosting farm so the detector has something to flag.
+fn synthetic_web() -> Graph {
+    let n: u32 = 2_000;
+    let mut state: u64 = 0x5EED_CAFE;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut edges = Vec::new();
+    // Random body with mild preferential attachment toward low ids.
+    for _ in 0..12_000 {
+        let u = next() % n;
+        let v = if next() % 3 == 0 { next() % 64 } else { next() % n };
+        edges.push((u, v));
+    }
+    // A boosting farm: leaves funnel into a beneficiary outside the core.
+    let target = n - 1;
+    for leaf in (n - 60)..(n - 1) {
+        edges.push((leaf, target));
+        edges.push((target, leaf));
+    }
+    GraphBuilder::from_edges(n as usize, &edges)
+}
+
+fn good_core() -> Vec<NodeId> {
+    (0..100u32).map(|i| NodeId((i * 37) % 500)).collect()
+}
+
+fn estimator(ordering: NodeOrdering) -> MassEstimator {
+    MassEstimator::new(
+        EstimatorConfig::default()
+            .with_pagerank(PageRankConfig::default().tolerance(1e-14).max_iterations(10_000))
+            .with_ordering(ordering),
+    )
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn reordered_estimates_match_natural_within_1e12() {
+    let graph = synthetic_web();
+    let core = good_core();
+    let natural = estimator(NodeOrdering::Natural).estimate(&graph, &core).unwrap();
+    for ordering in [NodeOrdering::DegreeDescending, NodeOrdering::BfsFromHubs] {
+        let reordered = estimator(ordering).estimate(&graph, &core).unwrap();
+        assert!(
+            max_abs_diff(&natural.pagerank, &reordered.pagerank) <= 1e-12,
+            "{ordering:?}: PageRank drifted"
+        );
+        assert!(
+            max_abs_diff(&natural.core_pagerank, &reordered.core_pagerank) <= 1e-12,
+            "{ordering:?}: core PageRank drifted"
+        );
+        assert!(
+            max_abs_diff(&natural.absolute, &reordered.absolute) <= 1e-12,
+            "{ordering:?}: absolute mass drifted"
+        );
+        assert_eq!(natural.anomalies, reordered.anomalies, "{ordering:?}: anomaly set changed");
+        assert_eq!(natural.dead_core, reordered.dead_core, "{ordering:?}: dead core changed");
+    }
+}
+
+#[test]
+fn detector_flags_identical_sets_under_any_ordering() {
+    let graph = synthetic_web();
+    let core = good_core();
+    // Thresholds sit well away from any node's score, so a 1e-12 wobble
+    // cannot flip membership and set equality is exact.
+    let thresholds = DetectorConfig { rho: 1.0, tau: 0.5 };
+    let natural = estimator(NodeOrdering::Natural).estimate(&graph, &core).unwrap();
+    let baseline = detect(&natural, &thresholds);
+    assert!(!baseline.is_empty(), "workload should produce spam candidates");
+    for ordering in [NodeOrdering::DegreeDescending, NodeOrdering::BfsFromHubs] {
+        let reordered = estimator(ordering).estimate(&graph, &core).unwrap();
+        let flagged = detect(&reordered, &thresholds);
+        assert_eq!(
+            baseline.candidates, flagged.candidates,
+            "{ordering:?}: flagged set changed under reordering"
+        );
+    }
+}
+
+#[test]
+fn reuse_path_honours_ordering() {
+    let graph = synthetic_web();
+    let core = good_core();
+    let natural = estimator(NodeOrdering::Natural).estimate(&graph, &core).unwrap();
+    let reordered = estimator(NodeOrdering::DegreeDescending)
+        .estimate_with_pagerank(&graph, &core, natural.pagerank.clone())
+        .unwrap();
+    assert!(max_abs_diff(&natural.core_pagerank, &reordered.core_pagerank) <= 1e-12);
+    assert!(max_abs_diff(&natural.relative, &reordered.relative) <= 1e-12);
+}
+
+proptest! {
+    /// Round-trip: permuting node-indexed values into any computed layout
+    /// and restoring them is the identity, on arbitrary random graphs.
+    #[test]
+    fn permutation_round_trips_values(
+        edges in proptest::collection::vec((0u32..64, 0u32..64), 1..200),
+        which in 0usize..2,
+    ) {
+        let graph = GraphBuilder::from_edges(64, &edges);
+        let ordering =
+            [NodeOrdering::DegreeDescending, NodeOrdering::BfsFromHubs][which];
+        let perm = Permutation::compute(&graph, ordering);
+        let values: Vec<f64> = (0..graph.node_count()).map(|i| i as f64 * 0.5).collect();
+        let restored = perm.restore_values(&perm.permute_values(&values));
+        prop_assert_eq!(restored, values);
+        let nodes: Vec<NodeId> = (0..graph.node_count() as u32).step_by(3).map(NodeId).collect();
+        let round = perm.restore_nodes(&perm.permute_nodes(&nodes));
+        prop_assert_eq!(round, nodes);
+        // And the permutation really is a bijection composed with itself.
+        for x in 0..graph.node_count() as u32 {
+            prop_assert_eq!(perm.to_old(perm.to_new(NodeId(x))), NodeId(x));
+        }
+    }
+}

@@ -21,7 +21,7 @@
 //! this set being exact).
 
 use crate::record::DeltaRecord;
-use spammass_graph::{recompute_out_degrees, Graph, NodeId};
+use spammass_graph::{recompute_out_degrees, Graph, NodeId, Permutation};
 use spammass_obs as obs;
 use std::collections::BTreeSet;
 
@@ -145,6 +145,31 @@ impl GraphDelta {
             && self.min_nodes == 0
             && self.core_add.is_empty()
             && self.core_remove.is_empty()
+    }
+
+    /// Translates the delta into the id space of a permuted graph.
+    ///
+    /// Journals are always written in **original** node ids — they must
+    /// stay replayable against any layout of the same graph. When the
+    /// pipeline runs on a reordered image ([`Permutation::permute_graph`]),
+    /// apply the remapped delta to it instead: applying `self` to `G` and
+    /// then permuting gives the same graph as permuting `G` and applying
+    /// `self.remapped(perm)`. Ids at or beyond the permutation's length
+    /// (nodes this delta appends) pass through unchanged, matching
+    /// [`Permutation::to_new`].
+    pub fn remapped(&self, perm: &Permutation) -> GraphDelta {
+        let map_edge = |&(f, t): &(u32, u32)| (perm.to_new(NodeId(f)).0, perm.to_new(NodeId(t)).0);
+        let mut add_edges: Vec<(u32, u32)> = self.add_edges.iter().map(map_edge).collect();
+        let mut remove_edges: Vec<(u32, u32)> = self.remove_edges.iter().map(map_edge).collect();
+        add_edges.sort_unstable();
+        remove_edges.sort_unstable();
+        GraphDelta {
+            add_edges,
+            remove_edges,
+            min_nodes: self.min_nodes,
+            core_add: perm.permute_nodes(&self.core_add),
+            core_remove: perm.permute_nodes(&self.core_remove),
+        }
     }
 
     /// Node count the patched graph must have: the old count, grown to
@@ -498,5 +523,62 @@ mod tests {
         let rb = via_journal.apply(&mut b);
         assert_eq!(ra, rb);
         assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    fn assert_same_graph(a: &Graph, b: &Graph) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.out_offsets(), b.out_offsets());
+        assert_eq!(a.out_targets(), b.out_targets());
+        assert_eq!(a.in_offsets(), b.in_offsets());
+        assert_eq!(a.in_sources(), b.in_sources());
+    }
+
+    #[test]
+    fn remapped_apply_commutes_with_permutation() {
+        use spammass_graph::NodeOrdering;
+        let g = GraphBuilder::from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)],
+        );
+        let d = GraphDelta::from_records(&[
+            add(5, 1),
+            add(2, 7),
+            remove(0, 2),
+            remove(3, 4),
+            DeltaRecord::CoreAdd { node: NodeId(4) },
+            DeltaRecord::CoreRemove { node: NodeId(1) },
+        ]);
+        for ordering in [NodeOrdering::DegreeDescending, NodeOrdering::BfsFromHubs] {
+            let perm = Permutation::compute(&g, ordering);
+            // Path A: apply in original ids, then permute the result.
+            let mut patched = g.clone();
+            d.apply(&mut patched);
+            let a = perm.permute_graph(&patched);
+            // Path B: permute first, then apply the remapped delta.
+            let mut b = perm.permute_graph(&g);
+            d.remapped(&perm).apply(&mut b);
+            assert_same_graph(&a, &b);
+            // Core edits translate the same way.
+            let mut core_then_permute = vec![NodeId(1), NodeId(2)];
+            d.apply_to_core(&mut core_then_permute);
+            let core_then_permute = perm.permute_nodes(&core_then_permute);
+            let mut permute_then_apply = perm.permute_nodes(&[NodeId(1), NodeId(2)]);
+            d.remapped(&perm).apply_to_core(&mut permute_then_apply);
+            assert_eq!(core_then_permute, permute_then_apply);
+        }
+    }
+
+    #[test]
+    fn remapped_passes_appended_nodes_through() {
+        let g = diamond();
+        let perm = Permutation::compute(&g, spammass_graph::NodeOrdering::DegreeDescending);
+        // Edge endpoints beyond the permutation's range (nodes the delta
+        // itself appends) keep their natural ids.
+        let d = GraphDelta::from_records(&[add(0, 6), DeltaRecord::AddNode { node: NodeId(9) }]);
+        let r = d.remapped(&perm);
+        assert_eq!(r.edges_to_add(), &[(perm.to_new(NodeId(0)).0, 6)]);
+        let mut patched = perm.permute_graph(&g);
+        r.apply(&mut patched);
+        assert_eq!(patched.node_count(), 10);
     }
 }

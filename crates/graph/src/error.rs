@@ -39,6 +39,14 @@ pub enum GraphError {
         /// The value actually observed.
         got: u64,
     },
+    /// An edge list exceeded the `u32::MAX` edge capacity of the CSR
+    /// representation. Raised by validation **before** the `u32` counting
+    /// passes run, so oversized (e.g. adversarial duplicate-heavy) input
+    /// surfaces as this typed error rather than overflowed counters.
+    TooManyEdges {
+        /// Number of edges supplied.
+        count: usize,
+    },
     /// Lenient ingest gave up: more malformed lines than the configured
     /// error budget allows.
     BudgetExhausted {
@@ -71,6 +79,9 @@ impl fmt::Display for GraphError {
                     f,
                     "corrupted graph image: {field} mismatch (expected {expected:#x}, got {got:#x})"
                 )
+            }
+            GraphError::TooManyEdges { count } => {
+                write!(f, "edge list has {count} edges, above the u32::MAX CSR capacity")
             }
             GraphError::BudgetExhausted { budget, line, message } => {
                 write!(
@@ -115,6 +126,8 @@ mod tests {
         let e = GraphError::Corrupted { field: "crc32", expected: 0xAB, got: 0xCD };
         let s = e.to_string();
         assert!(s.contains("crc32") && s.contains("0xab") && s.contains("0xcd"), "{s}");
+        let e = GraphError::TooManyEdges { count: usize::MAX };
+        assert!(e.to_string().contains("u32::MAX"));
         let e = GraphError::BudgetExhausted { budget: 3, line: 9, message: "bad id".into() };
         let s = e.to_string();
         assert!(s.contains("budget 3") && s.contains("line 9"), "{s}");

@@ -1,6 +1,8 @@
 //! Immutable CSR graph.
 
+use crate::error::GraphError;
 use crate::node::NodeId;
+use crate::storage::{NodeStore, U32Store};
 
 /// Recomputes per-node out-degrees from an edge list.
 ///
@@ -41,13 +43,13 @@ pub struct Graph {
     node_count: usize,
     edge_count: usize,
     /// CSR offsets for out-edges; length `node_count + 1`.
-    out_offsets: Box<[u32]>,
+    out_offsets: U32Store,
     /// Concatenated out-neighbour lists.
-    out_targets: Box<[NodeId]>,
+    out_targets: NodeStore,
     /// CSR offsets for in-edges; length `node_count + 1`.
-    in_offsets: Box<[u32]>,
+    in_offsets: U32Store,
     /// Concatenated in-neighbour lists.
-    in_sources: Box<[NodeId]>,
+    in_sources: NodeStore,
 }
 
 impl Graph {
@@ -63,17 +65,61 @@ impl Graph {
     /// self-loops, and reference only ids below `node_count`. Violating
     /// the sortedness invariant produces a graph with unsorted adjacency
     /// lists (breaking [`has_edge`](Graph::has_edge)); a debug assertion
-    /// catches it in test builds. Out-of-range ids panic.
+    /// catches it in test builds. Out-of-range ids and edge counts above
+    /// `u32::MAX` panic; callers that cannot guarantee their input (e.g.
+    /// lenient ingest of adversarial files) should use
+    /// [`try_from_sorted_unique_edges`](Graph::try_from_sorted_unique_edges)
+    /// for a typed error instead.
     ///
     /// [`GraphBuilder::build`]: crate::GraphBuilder::build
     pub fn from_sorted_unique_edges(node_count: usize, edges: &[(u32, u32)]) -> Graph {
-        let m = edges.len();
-        assert!(m <= u32::MAX as usize, "graphs are limited to u32::MAX edges");
+        if let Err(e) = validate_edge_slice(node_count, edges) {
+            panic!("{e}");
+        }
         debug_assert!(
             edges.windows(2).all(|w| w[0] < w[1]),
             "edges must be sorted by (from, to) and duplicate-free"
         );
+        Graph::build_from_sorted(node_count, edges)
+    }
 
+    /// Fallible [`from_sorted_unique_edges`](Graph::from_sorted_unique_edges):
+    /// validates the edge list **before** the counting passes run and
+    /// returns a typed error instead of panicking.
+    ///
+    /// Checks, in order: the edge count fits `u32`
+    /// ([`GraphError::TooManyEdges`] — the counting pass increments `u32`
+    /// cells, so an oversized list would overflow them before the old
+    /// assertion semantics ever fired), every endpoint is in range
+    /// ([`GraphError::NodeOutOfRange`]), no self-loops
+    /// ([`GraphError::SelfLoop`]), and the list is sorted and
+    /// duplicate-free ([`GraphError::Corrupt`] — unlike the infallible
+    /// constructor this is checked in release builds too, because callers
+    /// reaching for this entry point are handling untrusted input).
+    ///
+    /// # Errors
+    /// See above; the graph is only constructed when all checks pass.
+    pub fn try_from_sorted_unique_edges(
+        node_count: usize,
+        edges: &[(u32, u32)],
+    ) -> Result<Graph, GraphError> {
+        validate_edge_slice(node_count, edges)?;
+        if let Some(w) = edges.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(GraphError::Corrupt(format!(
+                "edge list not sorted/unique at ({}, {}) .. ({}, {})",
+                w[0].0, w[0].1, w[1].0, w[1].1
+            )));
+        }
+        if let Some(&(f, _)) = edges.iter().find(|&&(f, t)| f == t) {
+            return Err(GraphError::SelfLoop { node: f });
+        }
+        Ok(Graph::build_from_sorted(node_count, edges))
+    }
+
+    /// The shared CSR layout pass. Precondition checks happened in the
+    /// callers; this only does the counting and scatter work.
+    fn build_from_sorted(node_count: usize, edges: &[(u32, u32)]) -> Graph {
+        let m = edges.len();
         let degrees = recompute_out_degrees(node_count, edges);
         let mut out_offsets = vec![0u32; node_count + 1];
         let mut in_offsets = vec![0u32; node_count + 1];
@@ -91,13 +137,13 @@ impl Graph {
         // Out-targets can be emitted directly because `edges` is sorted by
         // `from`; in-sources need a counting-sort scatter pass.
         let mut out_targets = Vec::with_capacity(m);
-        out_targets.extend(edges.iter().map(|&(_, t)| NodeId(t)));
+        out_targets.extend(edges.iter().map(|&(_, t)| t));
 
-        let mut in_sources = vec![NodeId(0); m];
+        let mut in_sources = vec![0u32; m];
         let mut cursor: Vec<u32> = in_offsets[..node_count].to_vec();
         for &(f, t) in edges {
             let c = &mut cursor[t as usize];
-            in_sources[*c as usize] = NodeId(f);
+            in_sources[*c as usize] = f;
             *c += 1;
         }
         // Because `edges` is sorted by (from, to), sources scatter into each
@@ -106,11 +152,78 @@ impl Graph {
         Graph {
             node_count,
             edge_count: m,
-            out_offsets: out_offsets.into_boxed_slice(),
-            out_targets: out_targets.into_boxed_slice(),
-            in_offsets: in_offsets.into_boxed_slice(),
-            in_sources: in_sources.into_boxed_slice(),
+            out_offsets: out_offsets.into(),
+            out_targets: out_targets.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
         }
+    }
+
+    /// Assembles a graph directly from its four CSR arrays — the entry
+    /// point of the zero-copy image load path, where the arrays may be
+    /// views into a shared file buffer.
+    ///
+    /// The arrays are fully validated (read-only, `O(n + m)`): offset
+    /// shapes, monotonicity, agreement of both orientations on the edge
+    /// count, id ranges, strictly sorted adjacency lists, and absence of
+    /// self-loops in the out-lists. Anything inconsistent yields
+    /// [`GraphError::Corrupt`] rather than a malformed graph.
+    ///
+    /// # Errors
+    /// [`GraphError::Corrupt`] describing the first failed check.
+    pub fn from_csr_parts(
+        node_count: usize,
+        out_offsets: U32Store,
+        out_targets: NodeStore,
+        in_offsets: U32Store,
+        in_sources: NodeStore,
+    ) -> Result<Graph, GraphError> {
+        validate_csr(node_count, &out_offsets, &out_targets, "out")?;
+        validate_csr(node_count, &in_offsets, &in_sources, "in")?;
+        let m = out_targets.len();
+        if in_sources.len() != m {
+            return Err(GraphError::Corrupt(format!(
+                "orientations disagree on edge count: {m} out vs {} in",
+                in_sources.len()
+            )));
+        }
+        for x in 0..node_count {
+            let lo = out_offsets[x] as usize;
+            let hi = out_offsets[x + 1] as usize;
+            if out_targets[lo..hi].iter().any(|&t| t.index() == x) {
+                return Err(GraphError::SelfLoop { node: x as u32 });
+            }
+        }
+        Ok(Graph { node_count, edge_count: m, out_offsets, out_targets, in_offsets, in_sources })
+    }
+
+    /// Whether all four CSR arrays are zero-copy views into a shared
+    /// buffer (true only for graphs loaded through the v3 image path).
+    pub fn is_zero_copy(&self) -> bool {
+        self.out_offsets.is_shared()
+            && self.out_targets.is_shared()
+            && self.in_offsets.is_shared()
+            && self.in_sources.is_shared()
+    }
+
+    /// Raw out-CSR offsets, length `node_count + 1` (counterpart of
+    /// [`in_offsets`](Graph::in_offsets), used by image serialization
+    /// and node-ordering heuristics).
+    #[inline]
+    pub fn out_offsets(&self) -> &[u32] {
+        &self.out_offsets
+    }
+
+    /// Concatenated out-neighbour lists in CSR order.
+    #[inline]
+    pub fn out_targets(&self) -> &[NodeId] {
+        &self.out_targets
+    }
+
+    /// Concatenated in-neighbour lists in CSR order.
+    #[inline]
+    pub fn in_sources(&self) -> &[NodeId] {
+        &self.in_sources
     }
 
     /// Number of nodes.
@@ -231,6 +344,68 @@ impl Graph {
         (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<u32>()
             + (self.out_targets.len() + self.in_sources.len()) * std::mem::size_of::<NodeId>()
     }
+}
+
+/// Pre-counting validation shared by the fallible and panicking CSR
+/// constructors: edge count fits `u32` and every endpoint is in range.
+/// Runs **before** any `u32` counting cell is incremented, so a
+/// duplicate-heavy adversarial list cannot overflow the counts first.
+fn validate_edge_slice(node_count: usize, edges: &[(u32, u32)]) -> Result<(), GraphError> {
+    if edges.len() > u32::MAX as usize {
+        return Err(GraphError::TooManyEdges { count: edges.len() });
+    }
+    for &(f, t) in edges {
+        let hi = f.max(t);
+        if hi as usize >= node_count {
+            return Err(GraphError::NodeOutOfRange { node: hi, node_count });
+        }
+    }
+    Ok(())
+}
+
+/// Structural validation of one CSR orientation (shared with the image
+/// loader's orientation-rebuild path in [`crate::io`]).
+pub(crate) fn validate_csr(
+    node_count: usize,
+    offsets: &[u32],
+    targets: &[NodeId],
+    orientation: &str,
+) -> Result<(), GraphError> {
+    if offsets.len() != node_count + 1 {
+        return Err(GraphError::Corrupt(format!(
+            "{orientation}-offsets length {} != node_count + 1 = {}",
+            offsets.len(),
+            node_count + 1
+        )));
+    }
+    if offsets[0] != 0 {
+        return Err(GraphError::Corrupt(format!(
+            "{orientation}-offsets must start at 0, got {}",
+            offsets[0]
+        )));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Corrupt(format!("{orientation}-offsets not monotone")));
+    }
+    if offsets[node_count] as usize != targets.len() {
+        return Err(GraphError::Corrupt(format!(
+            "{orientation}-offsets end at {} but {} adjacency entries present",
+            offsets[node_count],
+            targets.len()
+        )));
+    }
+    if targets.iter().any(|t| t.index() >= node_count) {
+        return Err(GraphError::Corrupt(format!("{orientation}-adjacency id out of range")));
+    }
+    for x in 0..node_count {
+        let list = &targets[offsets[x] as usize..offsets[x + 1] as usize];
+        if list.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GraphError::Corrupt(format!(
+                "{orientation}-adjacency list of node {x} not strictly sorted"
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl std::fmt::Debug for Graph {
@@ -369,5 +544,115 @@ mod tests {
         let g = diamond();
         // 2*(5 offsets)*4 bytes + 2*(4 edges)*4 bytes
         assert_eq!(g.heap_size_bytes(), 2 * 5 * 4 + 2 * 4 * 4);
+    }
+
+    #[test]
+    fn try_constructor_accepts_valid_input() {
+        let g = Graph::try_from_sorted_unique_edges(4, &[(0, 1), (0, 2), (1, 3)]).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId(1), NodeId(3)));
+        assert!(!g.is_zero_copy(), "built graphs own their arrays");
+    }
+
+    #[test]
+    fn try_constructor_rejects_bad_input_with_typed_errors() {
+        assert!(matches!(
+            Graph::try_from_sorted_unique_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, node_count: 2 })
+        ));
+        assert!(matches!(
+            Graph::try_from_sorted_unique_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+        assert!(matches!(
+            Graph::try_from_sorted_unique_edges(3, &[(1, 2), (0, 1)]),
+            Err(GraphError::Corrupt(_))
+        ));
+        assert!(matches!(
+            Graph::try_from_sorted_unique_edges(3, &[(0, 1), (0, 1)]),
+            Err(GraphError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn infallible_constructor_panics_on_out_of_range() {
+        let _ = Graph::from_sorted_unique_edges(2, &[(0, 9)]);
+    }
+
+    #[test]
+    fn csr_parts_round_trip() {
+        let g = diamond();
+        let rebuilt = Graph::from_csr_parts(
+            g.node_count(),
+            g.out_offsets().to_vec().into(),
+            g.out_targets().iter().map(|t| t.0).collect::<Vec<_>>().into(),
+            g.in_offsets().to_vec().into(),
+            g.in_sources().iter().map(|s| s.0).collect::<Vec<_>>().into(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.node_count(), g.node_count());
+        assert_eq!(rebuilt.edge_count(), g.edge_count());
+        for (f, t) in g.edges() {
+            assert!(rebuilt.has_edge(f, t));
+        }
+    }
+
+    #[test]
+    fn csr_parts_rejects_inconsistent_arrays() {
+        let g = diamond();
+        let out_off = g.out_offsets().to_vec();
+        let out_tgt: Vec<u32> = g.out_targets().iter().map(|t| t.0).collect();
+        let in_off = g.in_offsets().to_vec();
+        let in_src: Vec<u32> = g.in_sources().iter().map(|s| s.0).collect();
+
+        // Wrong offset length.
+        let short: Vec<u32> = out_off[..out_off.len() - 1].to_vec();
+        assert!(matches!(
+            Graph::from_csr_parts(
+                g.node_count(),
+                short.into(),
+                out_tgt.clone().into(),
+                in_off.clone().into(),
+                in_src.clone().into(),
+            ),
+            Err(GraphError::Corrupt(_))
+        ));
+
+        // Non-monotone offsets.
+        let mut bad_off = out_off.clone();
+        bad_off[1] = bad_off[2] + 1;
+        assert!(Graph::from_csr_parts(
+            g.node_count(),
+            bad_off.into(),
+            out_tgt.clone().into(),
+            in_off.clone().into(),
+            in_src.clone().into(),
+        )
+        .is_err());
+
+        // Out-of-range target id.
+        let mut bad_tgt = out_tgt.clone();
+        bad_tgt[0] = 99;
+        assert!(Graph::from_csr_parts(
+            g.node_count(),
+            out_off.clone().into(),
+            bad_tgt.into(),
+            in_off.clone().into(),
+            in_src.clone().into(),
+        )
+        .is_err());
+
+        // Orientations disagreeing on edge count.
+        let trimmed_in_off: Vec<u32> = in_off.iter().map(|&o| o.min(3)).collect();
+        let trimmed_in_src: Vec<u32> = in_src[..3].to_vec();
+        assert!(Graph::from_csr_parts(
+            g.node_count(),
+            out_off.into(),
+            out_tgt.into(),
+            trimmed_in_off.into(),
+            trimmed_in_src.into(),
+        )
+        .is_err());
     }
 }

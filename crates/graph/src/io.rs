@@ -7,13 +7,17 @@
 //!   offers a **lenient** mode that skips malformed lines up to an error
 //!   budget and reports them in a [`LoadReport`].
 //! * **Binary**: a little-endian `SPAMGRPH` image for fast reload of large
-//!   generated graphs between experiment runs. Version 2 (the write-side
-//!   default) appends a CRC-32 of the image and a trailing length sentinel,
-//!   so truncated or bit-flipped images are rejected with a precise
+//!   generated graphs between experiment runs. Version 2 (the legacy
+//!   edge-list encoding) appends a CRC-32 of the image and a trailing length
+//!   sentinel, so truncated or bit-flipped images are rejected with a precise
 //!   [`GraphError::Corrupted`] instead of being decoded into garbage.
-//!   Version 1 images (no checksum) remain readable.
+//!   Version 1 images (no checksum) remain readable. Version 3 stores the
+//!   four CSR arrays as 8-byte-aligned, individually-checksummed sections so
+//!   a graph can be loaded **zero-copy** straight out of a memory-mapped
+//!   file (see [`graph_from_image`] / [`map_graph_file`]) — no per-edge
+//!   decode, no per-edge copy.
 //!
-//! ## Binary layout
+//! ## Binary layout (v1/v2)
 //!
 //! ```text
 //! offset        field
@@ -26,6 +30,33 @@
 //! 28 + 8·E      crc32 u32 LE  — CRC-32 (IEEE) over bytes [0, 28 + 8·E)
 //! 32 + 8·E      total_len u64 LE — length of the whole image (40 + 8·E)
 //! ```
+//!
+//! ## Binary layout (v3)
+//!
+//! ```text
+//! offset        field
+//! 0             magic  b"SPAMGRPH"
+//! 8             version u32 LE (3)
+//! 12            section_count u32 LE (4)
+//! 16            node_count u64 LE
+//! 24            edge_count u64 LE
+//! 32            section table: 4 × { kind u32, crc32 u32, offset u64, len u64 }
+//! 128           header_crc32 u32 LE — CRC-32 over bytes [0, 128)
+//! 132           pad (4 bytes) so sections start 8-aligned
+//! 136           sections (kinds 0..4: out-offsets, out-targets, in-offsets,
+//!               in-sources), each padded to start on an 8-byte boundary,
+//!               each a little-endian u32 array covered by its table CRC
+//! end−8         total_len u64 LE — length of the whole image
+//! ```
+//!
+//! The v3 loader verifies each section CRC independently. A corrupted
+//! section does not doom the image: the two CSR orientations encode the
+//! same edge set, so a bad orientation is **rebuilt** from the intact one
+//! (only when both orientations are damaged is the image rejected).
+//! Sections whose in-memory address is 4-byte-aligned on a little-endian
+//! target are used in place ([`U32Store::shared`]); anything else falls
+//! back to an owned copy — same graph, one copy. [`ImageLoadStats`] reports
+//! which path each section took.
 
 use crate::builder::GraphBuilder;
 use crate::crc32::crc32;
@@ -33,22 +64,40 @@ use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::labels::NodeLabels;
 use crate::node::NodeId;
+use crate::storage::{ByteStore, NodeStore, U32Store};
 use spammass_obs as obs;
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::sync::Arc;
 
 /// Magic prefix of the binary graph format.
 const MAGIC: &[u8; 8] = b"SPAMGRPH";
-/// Current binary format version (checksummed).
+/// Edge-list binary format version (checksummed); still the
+/// [`graph_to_bytes`] default for its byte-exhaustive corruption coverage.
 const VERSION: u32 = 2;
 /// First version carrying no integrity information.
 const VERSION_V1: u32 = 1;
-/// Fixed header size shared by both versions.
+/// Sectioned CSR format, loadable zero-copy from a mapped file.
+const VERSION_V3: u32 = 3;
+/// Fixed header size shared by v1/v2.
 const HEADER_LEN: usize = 28;
 /// v2 trailer: CRC-32 (4 bytes) + length sentinel (8 bytes).
 const TRAILER_LEN: usize = 12;
 /// How many offending lines a [`LoadReport`] retains verbatim.
 const REPORT_SAMPLE_CAP: usize = 16;
+/// Number of CSR sections in a v3 image.
+const V3_SECTION_COUNT: usize = 4;
+/// Byte offset of the v3 section table.
+const V3_TABLE_OFFSET: usize = 32;
+/// Bytes per v3 section-table entry.
+const V3_TABLE_ENTRY_LEN: usize = 24;
+/// Byte offset of the v3 header CRC (covers bytes `[0, 128)`).
+const V3_HEADER_CRC_OFFSET: usize = V3_TABLE_OFFSET + V3_SECTION_COUNT * V3_TABLE_ENTRY_LEN;
+/// Byte offset of the first v3 section (8-aligned).
+const V3_SECTIONS_OFFSET: usize = 136;
+/// Smallest input shard worth a dedicated ingest worker; inputs below
+/// `threads × this` use fewer workers (down to the sequential path).
+const PAR_MIN_CHUNK_BYTES: usize = 4096;
 
 // ---------------------------------------------------------------------------
 // Text edge lists
@@ -77,19 +126,30 @@ pub struct ReadOptions {
     /// [`GraphError::BudgetExhausted`] once more than this many lines have
     /// been skipped. Ignored when `strict` is set.
     pub max_bad_lines: usize,
+    /// Worker threads for the in-memory ingest path
+    /// ([`read_edge_list_bytes`]): the input is split into shards at
+    /// newline boundaries and parsed in parallel. `0` or `1` parses
+    /// sequentially; streaming readers always parse sequentially.
+    pub threads: usize,
 }
 
 impl Default for ReadOptions {
-    /// Strict: any malformed line is an error.
+    /// Strict: any malformed line is an error. Sequential parse.
     fn default() -> Self {
-        ReadOptions { strict: true, max_bad_lines: 0 }
+        ReadOptions { strict: true, max_bad_lines: 0, threads: 1 }
     }
 }
 
 impl ReadOptions {
     /// Lenient mode tolerating up to `max_bad_lines` malformed lines.
     pub fn lenient(max_bad_lines: usize) -> Self {
-        ReadOptions { strict: false, max_bad_lines }
+        ReadOptions { strict: false, max_bad_lines, threads: 1 }
+    }
+
+    /// Sets the worker-thread count for [`read_edge_list_bytes`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -261,6 +321,234 @@ fn handle_bad_line(
 }
 
 // ---------------------------------------------------------------------------
+// Parallel (sharded) text ingest
+// ---------------------------------------------------------------------------
+
+/// Reads a text edge list from an in-memory buffer, parsing newline-aligned
+/// shards in parallel when [`ReadOptions::threads`] asks for it.
+///
+/// Semantics match [`read_edge_list_with`] exactly — same accepted graphs,
+/// same [`LoadReport`] counts and sample line numbers, same strict /
+/// lenient / budget errors (pinned by parity tests). Inputs the sharded
+/// parser cannot handle faithfully (a `# nodes:` header appearing **after**
+/// the first data line, which sequential parsing applies mid-stream) are
+/// detected and re-parsed sequentially.
+pub fn read_edge_list_bytes(
+    data: &[u8],
+    options: &ReadOptions,
+) -> Result<(Graph, LoadReport), GraphError> {
+    let shard_cap = data.len().div_ceil(PAR_MIN_CHUNK_BYTES).max(1);
+    let threads = options.threads.max(1).min(shard_cap);
+    if threads <= 1 {
+        return read_edge_list_with(data, options);
+    }
+    read_edge_list_sharded(data, options, threads)
+}
+
+/// Per-shard parse result; bad-line numbers are relative to the shard
+/// (1-based) until the merge step rebases them with a prefix sum.
+struct ShardOutcome {
+    lines: usize,
+    edges: Vec<(u32, u32)>,
+    skipped: usize,
+    bad: Vec<BadLine>,
+    late_header: bool,
+    utf8_error: bool,
+}
+
+fn parse_shard(shard: &[u8], declared_nodes: usize, strict: bool, retain: usize) -> ShardOutcome {
+    let mut out = ShardOutcome {
+        lines: 0,
+        edges: Vec::new(),
+        skipped: 0,
+        bad: Vec::new(),
+        late_header: false,
+        utf8_error: false,
+    };
+    fn record(out: &mut ShardOutcome, retain: usize, message: String) {
+        let line = out.lines;
+        out.skipped += 1;
+        if out.bad.len() < retain {
+            out.bad.push(BadLine { line, message });
+        }
+    }
+    let mut pos = 0usize;
+    while pos < shard.len() {
+        let end = shard[pos..].iter().position(|&b| b == b'\n').map_or(shard.len(), |i| pos + i);
+        let raw = &shard[pos..end];
+        pos = end + 1;
+        out.lines += 1;
+        let line = match std::str::from_utf8(raw) {
+            Ok(s) => s.trim(),
+            Err(_) => {
+                out.utf8_error = true;
+                return out;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if rest.trim().strip_prefix("nodes:").is_some() {
+                // A header after the first data line changes how the rest
+                // of the stream is interpreted; only the sequential parser
+                // can honor that.
+                out.late_header = true;
+            }
+            continue;
+        }
+        match parse_edge_line(line) {
+            Ok((f, t)) => {
+                if !strict
+                    && declared_nodes > 0
+                    && (f as usize >= declared_nodes || t as usize >= declared_nodes)
+                {
+                    let bad = if f as usize >= declared_nodes { f } else { t };
+                    record(
+                        &mut out,
+                        retain,
+                        format!("node id {bad} out of declared range {declared_nodes}"),
+                    );
+                    continue;
+                }
+                out.edges.push((f, t));
+            }
+            Err(message) => record(&mut out, retain, message),
+        }
+    }
+    out
+}
+
+fn read_edge_list_sharded(
+    data: &[u8],
+    options: &ReadOptions,
+    threads: usize,
+) -> Result<(Graph, LoadReport), GraphError> {
+    // Consume the leading comment/blank region sequentially: that is where
+    // a well-formed `# nodes:` header lives, and workers need its value to
+    // apply the declared-range rule.
+    let mut declared_nodes = 0usize;
+    let mut header_lines = 0usize;
+    let mut body_start = 0usize;
+    while body_start < data.len() {
+        let end = data[body_start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(data.len(), |i| body_start + i + 1);
+        let Ok(line) = std::str::from_utf8(&data[body_start..end]) else {
+            break; // let the shard parser surface the UTF-8 error
+        };
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(n) = rest.trim().strip_prefix("nodes:") {
+                match n.trim().parse() {
+                    Ok(count) => declared_nodes = count,
+                    // Malformed header: defer to the sequential parser's
+                    // error/budget handling verbatim.
+                    Err(_) => return read_edge_list_with(data, options),
+                }
+            }
+        } else if !line.is_empty() {
+            break; // first data line: shard everything from here on
+        }
+        header_lines += 1;
+        body_start = end;
+    }
+
+    let body = &data[body_start..];
+    // Shard boundaries: advance to just past the next newline so no line
+    // straddles two workers.
+    let approx = body.len().div_ceil(threads);
+    let mut bounds: Vec<usize> = vec![0];
+    let mut cut = 0usize;
+    while bounds.len() < threads && cut < body.len() {
+        cut = (cut + approx).min(body.len());
+        if cut < body.len() {
+            cut = body[cut..].iter().position(|&b| b == b'\n').map_or(body.len(), |i| cut + i + 1);
+        }
+        if cut < body.len() {
+            bounds.push(cut);
+        }
+    }
+    bounds.push(body.len());
+
+    let mut span = obs::span("graph.ingest.text");
+    span.record("threads", (bounds.len() - 1) as f64);
+
+    // Each worker retains its earliest bad lines: enough to identify the
+    // globally (budget+1)-th offender and to fill the report samples.
+    let retain =
+        if options.strict { 1 } else { (options.max_bad_lines + 1).max(REPORT_SAMPLE_CAP) };
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .map(|w| {
+                let shard = &body[w[0]..w[1]];
+                scope.spawn(move || parse_shard(shard, declared_nodes, options.strict, retain))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("ingest worker panicked")).collect()
+    });
+
+    if outcomes.iter().any(|o| o.late_header) {
+        return read_edge_list_with(data, options);
+    }
+    if outcomes.iter().any(|o| o.utf8_error) {
+        return Err(GraphError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "stream did not contain valid UTF-8",
+        )));
+    }
+
+    // Merge in file order: rebase shard-relative line numbers with a
+    // running prefix of line counts, then apply strict/budget semantics
+    // exactly as the sequential parser would have.
+    let mut report = LoadReport {
+        lines_total: header_lines + outcomes.iter().map(|o| o.lines).sum::<usize>(),
+        ..LoadReport::default()
+    };
+    let mut edges: Vec<(u32, u32)> =
+        Vec::with_capacity(outcomes.iter().map(|o| o.edges.len()).sum());
+    let mut all_bad: Vec<BadLine> = Vec::new();
+    let mut total_skipped = 0usize;
+    let mut line_offset = header_lines;
+    for o in outcomes {
+        all_bad.extend(
+            o.bad.into_iter().map(|b| BadLine { line: line_offset + b.line, message: b.message }),
+        );
+        total_skipped += o.skipped;
+        line_offset += o.lines;
+        edges.extend_from_slice(&o.edges);
+    }
+    if options.strict && !all_bad.is_empty() {
+        let first = all_bad.remove(0);
+        return Err(GraphError::Parse { line: first.line, message: first.message });
+    }
+    if !options.strict && total_skipped > options.max_bad_lines {
+        // Retention guarantees the (budget+1)-th earliest offender is here.
+        let straw = all_bad.swap_remove(options.max_bad_lines);
+        return Err(GraphError::BudgetExhausted {
+            budget: options.max_bad_lines,
+            line: straw.line,
+            message: straw.message,
+        });
+    }
+    report.skipped = total_skipped;
+    all_bad.truncate(REPORT_SAMPLE_CAP);
+    report.samples = all_bad;
+    report.edges_loaded = edges.len();
+    span.record("lines", report.lines_total as f64);
+    span.record("edges", report.edges_loaded as f64);
+    span.record("skipped", report.skipped as f64);
+    span.record("bytes", data.len() as f64);
+    obs::counter("graph.ingest.lines", report.lines_total as f64);
+    obs::counter("graph.ingest.edges", report.edges_loaded as f64);
+    obs::counter("graph.ingest.skipped", report.skipped as f64);
+    obs::counter("graph.ingest.bytes", data.len() as f64);
+    Ok((GraphBuilder::from_edges(declared_nodes, &edges), report))
+}
+
+// ---------------------------------------------------------------------------
 // Binary images
 // ---------------------------------------------------------------------------
 
@@ -319,6 +607,13 @@ pub fn graph_from_bytes(data: &[u8]) -> Result<Graph, GraphError> {
         return Err(GraphError::Corrupt("bad magic".into()));
     }
     let version = get_u32(data, 8);
+    if version == VERSION_V3 {
+        // Owned decode for callers holding a plain byte slice; the
+        // zero-copy entry point is `graph_from_image`.
+        drop(span);
+        let owner: Arc<dyn ByteStore> = Arc::new(data.to_vec());
+        return graph_from_image(owner).map(|(g, _)| g);
+    }
     let edge_base = match version {
         VERSION_V1 => data.len(),
         VERSION => {
@@ -416,6 +711,286 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Graph, GraphError> {
     let mut data = Vec::new();
     reader.read_to_end(&mut data)?;
     graph_from_bytes(&data)
+}
+
+// ---------------------------------------------------------------------------
+// v3 sectioned images (zero-copy load path)
+// ---------------------------------------------------------------------------
+
+fn put_u32_iter(buf: &mut Vec<u8>, values: impl Iterator<Item = u32>) {
+    for v in values {
+        put_u32(buf, v);
+    }
+}
+
+/// Serializes `g` into the v3 sectioned image: the four CSR arrays,
+/// 8-aligned and individually CRC-checksummed, loadable zero-copy by
+/// [`graph_from_image`].
+pub fn graph_to_bytes_v3(g: &Graph) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(V3_SECTIONS_OFFSET + g.heap_size_bytes() + 8 * (V3_SECTION_COUNT + 1));
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION_V3);
+    put_u32(&mut buf, V3_SECTION_COUNT as u32);
+    put_u64(&mut buf, g.node_count() as u64);
+    put_u64(&mut buf, g.edge_count() as u64);
+    // Reserve the section table + header CRC + pad; filled in below once
+    // the section offsets are known.
+    buf.resize(V3_SECTIONS_OFFSET, 0);
+
+    let mut table = [(0u32, 0u64, 0u64); V3_SECTION_COUNT]; // (crc, offset, len)
+    for (kind, entry) in table.iter_mut().enumerate() {
+        while buf.len() % 8 != 0 {
+            buf.push(0);
+        }
+        let start = buf.len();
+        match kind {
+            0 => put_u32_iter(&mut buf, g.out_offsets().iter().copied()),
+            1 => put_u32_iter(&mut buf, g.out_targets().iter().map(|t| t.0)),
+            2 => put_u32_iter(&mut buf, g.in_offsets().iter().copied()),
+            _ => put_u32_iter(&mut buf, g.in_sources().iter().map(|s| s.0)),
+        }
+        *entry = (crc32(&buf[start..]), start as u64, (buf.len() - start) as u64);
+    }
+    for (kind, (crc, offset, len)) in table.iter().enumerate() {
+        let base = V3_TABLE_OFFSET + kind * V3_TABLE_ENTRY_LEN;
+        buf[base..base + 4].copy_from_slice(&(kind as u32).to_le_bytes());
+        buf[base + 4..base + 8].copy_from_slice(&crc.to_le_bytes());
+        buf[base + 8..base + 16].copy_from_slice(&offset.to_le_bytes());
+        buf[base + 16..base + 24].copy_from_slice(&len.to_le_bytes());
+    }
+    let header_crc = crc32(&buf[..V3_HEADER_CRC_OFFSET]);
+    buf[V3_HEADER_CRC_OFFSET..V3_HEADER_CRC_OFFSET + 4].copy_from_slice(&header_crc.to_le_bytes());
+    // Trailing length sentinel, padded onto an 8-byte boundary.
+    while buf.len() % 8 != 0 {
+        buf.push(0);
+    }
+    let total = buf.len() + 8;
+    put_u64(&mut buf, total as u64);
+    buf
+}
+
+/// Writes the v3 sectioned image to `writer`.
+pub fn write_binary_v3<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    writer.write_all(&graph_to_bytes_v3(g))?;
+    Ok(())
+}
+
+/// How each CSR section of an image load was materialized.
+///
+/// `zero_copy + copied + rebuilt` always equals the section count (4);
+/// v1/v2 images report all sections as copied (they have no in-place
+/// representation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImageLoadStats {
+    /// Format version of the image.
+    pub version: u32,
+    /// Sections used in place as views into the shared buffer.
+    pub zero_copy_sections: usize,
+    /// Sections copied into owned arrays (misalignment, big-endian
+    /// target, or a pre-v3 image).
+    pub copied_sections: usize,
+    /// Sections reconstructed from the opposite CSR orientation after a
+    /// CRC failure.
+    pub rebuilt_sections: usize,
+}
+
+impl ImageLoadStats {
+    /// Whether every section was used in place (the mmap fast path).
+    pub fn is_zero_copy(&self) -> bool {
+        self.zero_copy_sections == V3_SECTION_COUNT
+    }
+}
+
+/// Loads a graph from a shared byte buffer (an [`crate::MappedFile`], an
+/// [`crate::AlignedBytes`], or a plain `Vec<u8>`), zero-copy when the
+/// image is v3 and the buffer permits it.
+///
+/// v3 sections with valid CRCs become in-place views when their address
+/// is element-aligned on a little-endian target, owned copies otherwise.
+/// A CRC-failed orientation is rebuilt from the intact one; only when
+/// both orientations are damaged does the load fail. v1/v2 images decode
+/// through the owned path.
+pub fn graph_from_image(owner: Arc<dyn ByteStore>) -> Result<(Graph, ImageLoadStats), GraphError> {
+    let data = owner.bytes();
+    if data.len() < 12 {
+        return Err(GraphError::Corrupt("image shorter than header".into()));
+    }
+    if &data[..8] != MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let version = get_u32(data, 8);
+    if version != VERSION_V3 {
+        let graph = graph_from_bytes(data)?;
+        let stats =
+            ImageLoadStats { version, copied_sections: V3_SECTION_COUNT, ..Default::default() };
+        return Ok((graph, stats));
+    }
+    load_v3(owner)
+}
+
+/// One parsed v3 section-table entry.
+struct V3Section {
+    offset: usize,
+    elems: usize,
+    stored_crc: u32,
+    computed_crc: u32,
+}
+
+impl V3Section {
+    fn crc_ok(&self) -> bool {
+        self.stored_crc == self.computed_crc
+    }
+}
+
+fn load_v3(owner: Arc<dyn ByteStore>) -> Result<(Graph, ImageLoadStats), GraphError> {
+    let mut span = obs::span("graph.ingest.image");
+    let data = owner.bytes();
+    span.record("bytes", data.len() as f64);
+    obs::counter("graph.ingest.bytes", data.len() as f64);
+    if data.len() < V3_SECTIONS_OFFSET + 8 {
+        return Err(GraphError::Corrupt("v3 image shorter than header".into()));
+    }
+    let sentinel = get_u64(data, data.len() - 8);
+    if sentinel != data.len() as u64 {
+        return Err(GraphError::Corrupted {
+            field: "length sentinel",
+            expected: sentinel,
+            got: data.len() as u64,
+        });
+    }
+    let stored_header_crc = get_u32(data, V3_HEADER_CRC_OFFSET);
+    let computed_header_crc = crc32(&data[..V3_HEADER_CRC_OFFSET]);
+    if stored_header_crc != computed_header_crc {
+        return Err(GraphError::Corrupted {
+            field: "crc32",
+            expected: stored_header_crc as u64,
+            got: computed_header_crc as u64,
+        });
+    }
+    if get_u32(data, 12) as usize != V3_SECTION_COUNT {
+        return Err(GraphError::Corrupt(format!(
+            "v3 image declares {} sections, expected {V3_SECTION_COUNT}",
+            get_u32(data, 12)
+        )));
+    }
+    let nodes = get_u64(data, 16) as usize;
+    let edges = get_u64(data, 24) as usize;
+    if nodes > u32::MAX as usize {
+        return Err(GraphError::Corrupt(format!("node count {nodes} exceeds u32 range")));
+    }
+    if edges > u32::MAX as usize {
+        return Err(GraphError::Corrupt(format!("edge count {edges} exceeds u32 range")));
+    }
+
+    let payload_end = data.len() - 8;
+    let mut sections = Vec::with_capacity(V3_SECTION_COUNT);
+    for kind in 0..V3_SECTION_COUNT {
+        let base = V3_TABLE_OFFSET + kind * V3_TABLE_ENTRY_LEN;
+        if get_u32(data, base) as usize != kind {
+            return Err(GraphError::Corrupt(format!("section table entry {kind} out of order")));
+        }
+        let stored_crc = get_u32(data, base + 4);
+        let offset = get_u64(data, base + 8) as usize;
+        let len = get_u64(data, base + 16) as usize;
+        let expected_len = if kind % 2 == 0 { (nodes + 1) * 4 } else { edges * 4 };
+        let in_bounds = offset >= V3_SECTIONS_OFFSET
+            && offset.is_multiple_of(8)
+            && offset.checked_add(len).is_some_and(|end| end <= payload_end);
+        if !in_bounds || len != expected_len {
+            return Err(GraphError::Corrupt(format!(
+                "section {kind} window (offset {offset}, len {len}) inconsistent with image"
+            )));
+        }
+        // A nested span per section would be noise; one CRC pass over the
+        // whole payload is the dominant cost and is implicit here.
+        let computed_crc = crc32(&data[offset..offset + len]);
+        sections.push(V3Section { offset, elems: len / 4, stored_crc, computed_crc });
+    }
+
+    let out_ok = sections[0].crc_ok() && sections[1].crc_ok();
+    let in_ok = sections[2].crc_ok() && sections[3].crc_ok();
+    if !out_ok && !in_ok {
+        let bad = sections.iter().find(|s| !s.crc_ok()).expect("some section failed");
+        return Err(GraphError::Corrupted {
+            field: "crc32",
+            expected: bad.stored_crc as u64,
+            got: bad.computed_crc as u64,
+        });
+    }
+
+    let mut stats = ImageLoadStats { version: VERSION_V3, ..Default::default() };
+    let graph = if out_ok && in_ok {
+        // Fast path: view each section in place when the buffer allows,
+        // fall back to a per-section owned copy otherwise.
+        let mut stores = Vec::with_capacity(V3_SECTION_COUNT);
+        for s in &sections {
+            match U32Store::shared(owner.clone(), s.offset, s.elems) {
+                Some(store) => {
+                    stats.zero_copy_sections += 1;
+                    stores.push(store);
+                }
+                None => {
+                    stats.copied_sections += 1;
+                    stores.push(decode_u32_section(data, s).into());
+                }
+            }
+        }
+        let in_sources = NodeStore(stores.pop().expect("4 stores"));
+        let in_offsets = stores.pop().expect("3 stores");
+        let out_targets = NodeStore(stores.pop().expect("2 stores"));
+        let out_offsets = stores.pop().expect("1 store");
+        Graph::from_csr_parts(nodes, out_offsets, out_targets, in_offsets, in_sources)?
+    } else {
+        // One orientation failed its CRC: rebuild the whole graph from the
+        // intact orientation (both encode the same edge set).
+        stats.copied_sections = 2;
+        stats.rebuilt_sections = 2;
+        let (off_idx, adj_idx, from_in) = if out_ok { (0, 1, false) } else { (2, 3, true) };
+        let offsets = decode_u32_section(data, &sections[off_idx]);
+        let adjacency: NodeStore = decode_u32_section(data, &sections[adj_idx]).into();
+        crate::graph::validate_csr(
+            nodes,
+            &offsets,
+            &adjacency,
+            if from_in { "in" } else { "out" },
+        )?;
+        let mut edge_list: Vec<(u32, u32)> = Vec::with_capacity(edges);
+        for x in 0..nodes {
+            for y in &adjacency[offsets[x] as usize..offsets[x + 1] as usize] {
+                edge_list.push(if from_in { (y.0, x as u32) } else { (x as u32, y.0) });
+            }
+        }
+        edge_list.sort_unstable();
+        Graph::try_from_sorted_unique_edges(nodes, &edge_list)?
+    };
+
+    span.record("nodes", graph.node_count() as f64);
+    span.record("edges", graph.edge_count() as f64);
+    span.record("zero_copy_sections", stats.zero_copy_sections as f64);
+    span.record("rebuilt_sections", stats.rebuilt_sections as f64);
+    obs::counter("graph.ingest.edges", graph.edge_count() as f64);
+    Ok((graph, stats))
+}
+
+fn decode_u32_section(data: &[u8], s: &V3Section) -> Vec<u32> {
+    (0..s.elems).map(|i| get_u32(data, s.offset + i * 4)).collect()
+}
+
+/// Loads a binary graph image from `path`: memory-mapped on Unix so v3
+/// sections are used in place straight out of the page cache, read into
+/// an 8-aligned owned buffer elsewhere (same semantics, one copy).
+pub fn map_graph_file(path: &std::path::Path) -> Result<(Graph, ImageLoadStats), GraphError> {
+    #[cfg(unix)]
+    {
+        let mapped = crate::mmap::MappedFile::open(path)?;
+        graph_from_image(Arc::new(mapped))
+    }
+    #[cfg(not(unix))]
+    {
+        let data = std::fs::read(path)?;
+        graph_from_image(Arc::new(crate::storage::AlignedBytes::copy_from(&data)))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -690,5 +1265,263 @@ mod tests {
         let l = read_labels("a.gov\r\nb.edu\r\n".as_bytes()).unwrap();
         assert_eq!(l.len(), 2);
         assert_eq!(l.id("b.edu"), Some(NodeId(1)));
+    }
+
+    // -- v3 sectioned images ------------------------------------------------
+
+    use crate::storage::AlignedBytes;
+
+    fn assert_same_graph(a: &Graph, b: &Graph) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for x in a.nodes() {
+            assert_eq!(a.out_neighbors(x), b.out_neighbors(x));
+            assert_eq!(a.in_neighbors(x), b.in_neighbors(x));
+        }
+    }
+
+    fn aligned_image(bytes: &[u8]) -> Arc<dyn ByteStore> {
+        Arc::new(AlignedBytes::copy_from(bytes))
+    }
+
+    #[test]
+    fn v3_round_trips_bit_exactly() {
+        let g = sample();
+        let bytes = graph_to_bytes_v3(&g);
+        let (g2, stats) = graph_from_image(aligned_image(&bytes)).unwrap();
+        assert_same_graph(&g, &g2);
+        assert_eq!(stats.version, 3);
+        // Re-serializing the loaded graph reproduces the image bit-exactly.
+        assert_eq!(graph_to_bytes_v3(&g2), bytes);
+    }
+
+    #[test]
+    fn v3_loads_zero_copy_from_aligned_buffer() {
+        let g = sample();
+        let (g2, stats) = graph_from_image(aligned_image(&graph_to_bytes_v3(&g))).unwrap();
+        assert!(stats.is_zero_copy(), "{stats:?}");
+        assert_eq!(stats.zero_copy_sections, 4);
+        assert_eq!(stats.copied_sections + stats.rebuilt_sections, 0);
+        assert!(g2.is_zero_copy());
+        assert_same_graph(&g, &g2);
+        // A reversed view of a zero-copy graph stays zero-copy (Arc bumps).
+        assert!(g2.reversed().is_zero_copy());
+    }
+
+    #[test]
+    fn v3_readable_through_legacy_entry_points() {
+        let g = sample();
+        let bytes = graph_to_bytes_v3(&g);
+        assert_same_graph(&g, &graph_from_bytes(&bytes).unwrap());
+        assert_same_graph(&g, &read_binary(&bytes[..]).unwrap());
+    }
+
+    #[test]
+    fn v2_images_load_through_image_entry_point() {
+        let g = sample();
+        let (g2, stats) = graph_from_image(aligned_image(&graph_to_bytes(&g))).unwrap();
+        assert_same_graph(&g, &g2);
+        assert_eq!(stats.version, 2);
+        assert_eq!(stats.copied_sections, 4);
+        assert!(!stats.is_zero_copy());
+        let (g1, stats) = graph_from_image(aligned_image(&graph_to_bytes_v1(&g))).unwrap();
+        assert_same_graph(&g, &g1);
+        assert_eq!(stats.version, 1);
+    }
+
+    #[test]
+    fn v3_empty_graph_round_trips() {
+        let g = GraphBuilder::new(0).build();
+        let (g2, stats) = graph_from_image(aligned_image(&graph_to_bytes_v3(&g))).unwrap();
+        assert_eq!(g2.node_count(), 0);
+        assert_eq!(g2.edge_count(), 0);
+        assert!(stats.is_zero_copy(), "empty sections still view in place: {stats:?}");
+    }
+
+    /// Byte offset/len of section `kind` read from a v3 image's table.
+    fn section_window(bytes: &[u8], kind: usize) -> (usize, usize) {
+        let base = V3_TABLE_OFFSET + kind * V3_TABLE_ENTRY_LEN;
+        (get_u64(bytes, base + 8) as usize, get_u64(bytes, base + 16) as usize)
+    }
+
+    #[test]
+    fn v3_corrupted_orientation_rebuilds_from_the_other() {
+        let g = sample();
+        let clean = graph_to_bytes_v3(&g);
+        for bad_kind in 0..4 {
+            let (offset, len) = section_window(&clean, bad_kind);
+            assert!(len > 0, "section {bad_kind} non-empty");
+            let mut bytes = clean.clone();
+            bytes[offset] ^= 0x01;
+            let (g2, stats) = graph_from_image(aligned_image(&bytes))
+                .unwrap_or_else(|e| panic!("section {bad_kind}: {e}"));
+            assert_same_graph(&g, &g2);
+            assert_eq!(stats.rebuilt_sections, 2, "section {bad_kind}");
+            assert!(!stats.is_zero_copy());
+        }
+    }
+
+    #[test]
+    fn v3_both_orientations_bad_is_an_error() {
+        let g = sample();
+        let mut bytes = graph_to_bytes_v3(&g);
+        let (out_tgt, _) = section_window(&bytes, 1);
+        let (in_src, _) = section_window(&bytes, 3);
+        bytes[out_tgt] ^= 0x01;
+        bytes[in_src] ^= 0x01;
+        assert!(matches!(
+            graph_from_image(aligned_image(&bytes)),
+            Err(GraphError::Corrupted { field: "crc32", .. })
+        ));
+    }
+
+    #[test]
+    fn v3_truncation_and_header_flips_are_rejected() {
+        let g = sample();
+        let bytes = graph_to_bytes_v3(&g);
+        assert!(matches!(
+            graph_from_image(aligned_image(&bytes[..bytes.len() - 3])),
+            Err(GraphError::Corrupted { field: "length sentinel", .. })
+        ));
+        let mut flipped = bytes.clone();
+        flipped[16] ^= 0x01; // node count, covered by the header CRC
+        assert!(matches!(
+            graph_from_image(aligned_image(&flipped)),
+            Err(GraphError::Corrupted { field: "crc32", .. })
+        ));
+    }
+
+    /// A store that deliberately presents its image at an odd address, so
+    /// every section flunks the alignment check.
+    struct Misaligned(AlignedBytes);
+
+    impl ByteStore for Misaligned {
+        fn bytes(&self) -> &[u8] {
+            &self.0.bytes()[1..]
+        }
+    }
+
+    #[test]
+    fn v3_misaligned_buffer_falls_back_to_owned_copies() {
+        let g = sample();
+        let mut padded = vec![0u8];
+        padded.extend_from_slice(&graph_to_bytes_v3(&g));
+        let store = Misaligned(AlignedBytes::copy_from(&padded));
+        let (g2, stats) = graph_from_image(Arc::new(store)).unwrap();
+        assert_same_graph(&g, &g2);
+        assert_eq!(stats.copied_sections, 4, "{stats:?}");
+        assert_eq!(stats.zero_copy_sections, 0);
+        assert!(!g2.is_zero_copy());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn v3_maps_zero_copy_from_file() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("spammass-graph-io-v3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.v3.bin");
+        write_binary_v3(&g, std::fs::File::create(&path).unwrap()).unwrap();
+        let (g2, stats) = map_graph_file(&path).unwrap();
+        assert!(stats.is_zero_copy(), "mmap base is page-aligned: {stats:?}");
+        assert!(g2.is_zero_copy());
+        assert_same_graph(&g, &g2);
+    }
+
+    // -- sharded text ingest ------------------------------------------------
+
+    /// A synthetic edge list big enough to split into several shards
+    /// (PAR_MIN_CHUNK_BYTES each), salted with the requested bad lines.
+    fn big_edge_list(bad_every: Option<usize>) -> String {
+        let mut text = String::from("# generated workload\n# nodes: 5000\n");
+        for i in 0..4000usize {
+            if bad_every.is_some_and(|k| i % k == 0) {
+                text.push_str("bogus line here\n");
+            }
+            let f = (i * 7919) % 5000;
+            let t = (i * 104729 + 1) % 5000;
+            text.push_str(&format!("{f}\t{t}\n"));
+        }
+        text
+    }
+
+    #[test]
+    fn sharded_ingest_matches_sequential_on_clean_input() {
+        let text = big_edge_list(None);
+        assert!(text.len() > 4 * PAR_MIN_CHUNK_BYTES, "input large enough to shard");
+        let opts = ReadOptions::default();
+        let (seq, seq_report) = read_edge_list_with(text.as_bytes(), &opts).unwrap();
+        let (par, par_report) =
+            read_edge_list_bytes(text.as_bytes(), &opts.with_threads(4)).unwrap();
+        assert_same_graph(&seq, &par);
+        assert_eq!(seq_report, par_report);
+    }
+
+    #[test]
+    fn sharded_ingest_matches_sequential_reports_on_dirty_input() {
+        let text = big_edge_list(Some(100));
+        let opts = ReadOptions::lenient(1000);
+        let (seq, seq_report) = read_edge_list_with(text.as_bytes(), &opts).unwrap();
+        let (par, par_report) =
+            read_edge_list_bytes(text.as_bytes(), &opts.with_threads(4)).unwrap();
+        assert_same_graph(&seq, &par);
+        // Line numbers in the samples must be file-absolute, not
+        // shard-relative — full report equality covers that.
+        assert_eq!(seq_report, par_report);
+        assert_eq!(par_report.skipped, 40);
+    }
+
+    #[test]
+    fn sharded_ingest_budget_error_matches_sequential() {
+        let text = big_edge_list(Some(50));
+        let opts = ReadOptions::lenient(10);
+        let seq_err = read_edge_list_with(text.as_bytes(), &opts).unwrap_err();
+        let par_err = read_edge_list_bytes(text.as_bytes(), &opts.with_threads(4)).unwrap_err();
+        match (seq_err, par_err) {
+            (
+                GraphError::BudgetExhausted { budget: b1, line: l1, message: m1 },
+                GraphError::BudgetExhausted { budget: b2, line: l2, message: m2 },
+            ) => {
+                assert_eq!((b1, l1, m1), (b2, l2, m2));
+            }
+            other => panic!("expected matching BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_strict_error_matches_sequential() {
+        let text = big_edge_list(Some(1000));
+        let opts = ReadOptions { strict: true, max_bad_lines: 0, threads: 4 };
+        let seq_err = read_edge_list_with(text.as_bytes(), &ReadOptions::default()).unwrap_err();
+        let par_err = read_edge_list_bytes(text.as_bytes(), &opts).unwrap_err();
+        match (seq_err, par_err) {
+            (
+                GraphError::Parse { line: l1, message: m1 },
+                GraphError::Parse { line: l2, message: m2 },
+            ) => assert_eq!((l1, m1), (l2, m2)),
+            other => panic!("expected matching Parse errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_defers_to_sequential_on_late_header() {
+        // A `# nodes:` header mid-file re-declares the node count; the
+        // sharded path must detect it and fall back.
+        let mut text = big_edge_list(None);
+        text.push_str("# nodes: 9000\n4999 0\n");
+        let opts = ReadOptions::lenient(5).with_threads(4);
+        let (seq, _) = read_edge_list_with(text.as_bytes(), &opts).unwrap();
+        let (par, _) = read_edge_list_bytes(text.as_bytes(), &opts).unwrap();
+        assert_eq!(par.node_count(), 9000);
+        assert_same_graph(&seq, &par);
+    }
+
+    #[test]
+    fn single_threaded_bytes_reader_is_the_sequential_path() {
+        let text = "# nodes: 3\n0 1\n1 2\n";
+        let (g, report) = read_edge_list_bytes(text.as_bytes(), &ReadOptions::default()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(report.is_clean());
     }
 }

@@ -50,9 +50,12 @@ mod error;
 mod graph;
 pub mod io;
 mod labels;
+mod mmap;
 mod node;
+pub mod order;
 pub mod powerlaw;
 pub mod stats;
+pub mod storage;
 pub mod subgraph;
 pub mod traversal;
 mod view;
@@ -61,5 +64,9 @@ pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{recompute_out_degrees, Graph};
 pub use labels::{HostName, NodeLabels};
+#[cfg(unix)]
+pub use mmap::MappedFile;
 pub use node::NodeId;
+pub use order::{NodeOrdering, Permutation};
+pub use storage::{AlignedBytes, ByteStore, NodeStore, U32Store};
 pub use view::ReverseView;

@@ -7,7 +7,13 @@ use std::fmt;
 /// Stored as a `u32` per the performance-book guidance on smaller integer
 /// indices: the paper's host graph has 73.3M nodes, comfortably within
 /// `u32` range, and halving index size halves CSR memory traffic.
+///
+/// `repr(transparent)` guarantees the layout matches `u32` exactly, so a
+/// `&[u32]` read straight out of a binary graph image can be reinterpreted
+/// as `&[NodeId]` without copying (the zero-copy load path in
+/// [`crate::io`] relies on this).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

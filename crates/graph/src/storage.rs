@@ -1,0 +1,260 @@
+//! Backing storage for CSR arrays: owned boxes or zero-copy views into a
+//! shared byte buffer.
+//!
+//! The v3 binary image format ([`crate::io`]) lays its four CSR sections
+//! out 8-byte-aligned so a [`Graph`](crate::Graph) can point its arrays
+//! straight into a file-backed buffer (an mmap or a loaded `Vec<u8>`)
+//! instead of copying every edge. [`U32Store`] is the enabling
+//! abstraction: it dereferences to `&[u32]` whether it owns the array or
+//! borrows it from an [`Arc`]`<dyn `[`ByteStore`]`>`, so the CSR
+//! accessors in `graph.rs` are oblivious to where the bytes live.
+//!
+//! Zero-copy views are only constructed when three checks pass (enforced
+//! by [`U32Store::shared`], which degrades to `None` rather than
+//! misinterpreting memory):
+//!
+//! * the requested window lies inside the owner's buffer,
+//! * the first element is 4-byte-aligned in memory (file offsets are
+//!   8-aligned, but the buffer's base pointer decides the final address),
+//! * the target is little-endian, matching the on-disk encoding.
+
+use crate::node::NodeId;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable byte buffer that can back zero-copy CSR sections.
+///
+/// Implementations must return the same slice (address and length) for
+/// every call over the value's lifetime; `U32Store` captures raw
+/// offsets into it.
+pub trait ByteStore: Send + Sync + 'static {
+    /// The backing bytes.
+    fn bytes(&self) -> &[u8];
+}
+
+impl ByteStore for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// A `Vec<u8>` stand-in whose buffer is guaranteed 8-byte-aligned, so
+/// every 8-aligned file offset inside it stays aligned in memory.
+///
+/// `Vec<u8>` itself only guarantees byte alignment; building an image in
+/// an `AlignedBytes` (or copying one into it) makes the zero-copy load
+/// path deterministic instead of depending on allocator behaviour.
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// Copies `data` into a fresh 8-aligned buffer.
+    pub fn copy_from(data: &[u8]) -> Self {
+        let mut words = vec![0u64; data.len().div_ceil(8)];
+        for (word, chunk) in words.iter_mut().zip(data.chunks(8)) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            // On a little-endian target the byte image of the u64 array
+            // reproduces `data` exactly; the big-endian case never takes
+            // the zero-copy path anyway (see U32Store::shared).
+            *word = u64::from_le_bytes(b);
+        }
+        AlignedBytes { words, len: data.len() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl ByteStore for AlignedBytes {
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: the Vec<u64> owns `words.len() * 8 >= self.len`
+        // initialized bytes, u8 has no alignment requirement, and the
+        // returned lifetime is tied to `&self`.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+/// A `[u32]` that either owns its array or borrows it zero-copy from a
+/// shared byte buffer.
+///
+/// Cloning is cheap in the shared case (an `Arc` bump), which keeps
+/// [`Graph::reversed`](crate::Graph::reversed) cheap for mapped graphs.
+#[derive(Clone)]
+pub enum U32Store {
+    /// Heap-owned array.
+    Owned(Box<[u32]>),
+    /// Zero-copy view of `len` little-endian `u32`s starting at byte
+    /// `offset` of the owner's buffer. Invariants (checked at
+    /// construction): window in bounds, element alignment, little-endian
+    /// target.
+    Shared {
+        /// Keeps the backing buffer alive.
+        owner: Arc<dyn ByteStore>,
+        /// Byte offset of the first element.
+        offset: usize,
+        /// Element count.
+        len: usize,
+    },
+}
+
+impl U32Store {
+    /// Builds a zero-copy view, or `None` when the window is out of
+    /// bounds, misaligned in memory, or the target is big-endian (the
+    /// on-disk encoding is little-endian; a view cannot byte-swap).
+    pub fn shared(owner: Arc<dyn ByteStore>, offset: usize, len: usize) -> Option<U32Store> {
+        let end = len.checked_mul(4).and_then(|b| b.checked_add(offset))?;
+        let bytes = owner.bytes();
+        if end > bytes.len() {
+            return None;
+        }
+        if !(bytes.as_ptr() as usize + offset).is_multiple_of(std::mem::align_of::<u32>()) {
+            return None;
+        }
+        if cfg!(target_endian = "big") {
+            return None;
+        }
+        Some(U32Store::Shared { owner, offset, len })
+    }
+
+    /// Whether this store borrows from a shared buffer (zero-copy).
+    pub fn is_shared(&self) -> bool {
+        matches!(self, U32Store::Shared { .. })
+    }
+}
+
+impl Deref for U32Store {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        match self {
+            U32Store::Owned(v) => v,
+            U32Store::Shared { owner, offset, len } => {
+                let bytes = owner.bytes();
+                debug_assert!(offset + len * 4 <= bytes.len());
+                // SAFETY: construction verified the window is in bounds,
+                // the address is 4-aligned, and the target is
+                // little-endian; the owner is immutable and outlives this
+                // borrow via the Arc, and any initialized 4 bytes are a
+                // valid u32.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().add(*offset).cast(), *len) }
+            }
+        }
+    }
+}
+
+impl From<Vec<u32>> for U32Store {
+    fn from(v: Vec<u32>) -> Self {
+        U32Store::Owned(v.into_boxed_slice())
+    }
+}
+
+impl std::fmt::Debug for U32Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            U32Store::Owned(v) => write!(f, "U32Store::Owned(len {})", v.len()),
+            U32Store::Shared { offset, len, .. } => {
+                write!(f, "U32Store::Shared(offset {offset}, len {len})")
+            }
+        }
+    }
+}
+
+/// A [`U32Store`] viewed as `[NodeId]` — sound because `NodeId` is
+/// `repr(transparent)` over `u32`.
+#[derive(Clone, Debug)]
+pub struct NodeStore(pub U32Store);
+
+impl NodeStore {
+    /// Whether this store borrows from a shared buffer (zero-copy).
+    pub fn is_shared(&self) -> bool {
+        self.0.is_shared()
+    }
+}
+
+impl Deref for NodeStore {
+    type Target = [NodeId];
+
+    #[inline]
+    fn deref(&self) -> &[NodeId] {
+        let raw: &[u32] = &self.0;
+        // SAFETY: NodeId is #[repr(transparent)] over u32, so the two
+        // slice types have identical layout and validity.
+        unsafe { std::slice::from_raw_parts(raw.as_ptr().cast(), raw.len()) }
+    }
+}
+
+impl From<Vec<u32>> for NodeStore {
+    fn from(v: Vec<u32>) -> Self {
+        NodeStore(v.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_round_trip() {
+        let s: U32Store = vec![1u32, 2, 3].into();
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert!(!s.is_shared());
+    }
+
+    #[test]
+    fn shared_view_reads_le_u32s() {
+        let mut bytes = Vec::new();
+        for v in [7u32, 8, 9, 10] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let owner: Arc<dyn ByteStore> = Arc::new(AlignedBytes::copy_from(&bytes));
+        let s = U32Store::shared(owner.clone(), 0, 4).expect("aligned view");
+        assert!(s.is_shared());
+        assert_eq!(&s[..], &[7, 8, 9, 10]);
+        let tail = U32Store::shared(owner, 8, 2).expect("offset view");
+        assert_eq!(&tail[..], &[9, 10]);
+    }
+
+    #[test]
+    fn shared_view_rejects_out_of_bounds_and_misalignment() {
+        let owner: Arc<dyn ByteStore> = Arc::new(AlignedBytes::copy_from(&[0u8; 16]));
+        assert!(U32Store::shared(owner.clone(), 0, 5).is_none(), "past the end");
+        assert!(U32Store::shared(owner.clone(), 13, 1).is_none(), "window past end");
+        assert!(U32Store::shared(owner, 2, 1).is_none(), "misaligned base");
+    }
+
+    #[test]
+    fn node_store_views_same_bytes() {
+        let s: NodeStore = vec![4u32, 5].into();
+        assert_eq!(&s[..], &[NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn aligned_bytes_reproduces_input() {
+        let data: Vec<u8> = (0..29u8).collect();
+        let a = AlignedBytes::copy_from(&data);
+        assert_eq!(a.bytes(), &data[..]);
+        assert_eq!(a.len(), 29);
+        assert!(!a.is_empty());
+        assert_eq!(a.bytes().as_ptr() as usize % 8, 0);
+    }
+
+    #[test]
+    fn clone_of_shared_store_stays_shared() {
+        let owner: Arc<dyn ByteStore> = Arc::new(AlignedBytes::copy_from(&[1, 0, 0, 0]));
+        let s = U32Store::shared(owner, 0, 1).unwrap();
+        let c = s.clone();
+        assert!(c.is_shared());
+        assert_eq!(&c[..], &[1]);
+    }
+}

@@ -184,7 +184,7 @@ fn solve_batch_fixed<const K: usize>(
 ) -> Result<Vec<PageRankResult>, PageRankError> {
     debug_assert_eq!(vs.len(), K);
     let n = graph.node_count();
-    let threads = crate::parallel::effective_threads(config.threads, n);
+    let threads = crate::parallel::effective_threads(config, graph);
     let mut span = obs::span("pagerank.solve.batch");
     span.record("columns", K as f64);
     span.record("threads", threads as f64);

@@ -11,12 +11,27 @@ pub struct PageRankConfig {
     /// Iteration cap; the solve reports `converged = false` if reached.
     pub max_iterations: usize,
     /// Number of worker threads for the parallel solver (`0` = all cores).
+    ///
+    /// This is an upper bound: the pool auto-sizer
+    /// ([`crate::parallel::pool_threads`]) also caps the count by problem
+    /// size so small graphs never pay barrier overhead for idle workers.
     pub threads: usize,
+    /// Minimum edges each worker should own before another worker is
+    /// worth its barrier traffic (`0` = the built-in default,
+    /// [`crate::parallel::DEFAULT_EDGES_PER_THREAD`]). Lower it to force
+    /// multi-worker execution on small graphs (tests do).
+    pub edges_per_thread: usize,
 }
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        PageRankConfig { damping: 0.85, tolerance: 1e-12, max_iterations: 1_000, threads: 0 }
+        PageRankConfig {
+            damping: 0.85,
+            tolerance: 1e-12,
+            max_iterations: 1_000,
+            threads: 0,
+            edges_per_thread: 0,
+        }
     }
 }
 
@@ -41,6 +56,13 @@ impl PageRankConfig {
     /// Sets the thread count, builder-style.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the per-worker edge quota used by the pool auto-sizer,
+    /// builder-style (`0` = default).
+    pub fn edges_per_thread(mut self, edges: usize) -> Self {
+        self.edges_per_thread = edges;
         self
     }
 

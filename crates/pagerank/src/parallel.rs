@@ -94,10 +94,15 @@ pub fn solve_parallel_jacobi_dense_warm(
         crate::jacobi::check_initial_length(p0, n)?;
     }
 
-    let threads = effective_threads(config.threads, n);
-    if threads <= 1 {
+    let threads = effective_threads(config, graph);
+    if threads <= 1 && n < MIN_CHUNK {
+        // Tiny problem: the serial scatter solver wins outright.
         return crate::jacobi::solve_jacobi_dense_warm(graph, v, initial, config);
     }
+    // Note: threads == 1 with a large graph still runs the fused gather
+    // kernel below — `pool::run_rounds(1, …)` executes inline with no
+    // worker spawns, and the gather accumulation order stays bit-identical
+    // to the multi-worker and batched solvers.
 
     let mut span = obs::span("pagerank.solve.parallel");
     span.record("threads", threads as f64);
@@ -219,7 +224,7 @@ pub fn solve_parallel_jacobi_two_pass(
     let n = graph.node_count();
     let v = jump.materialize(n)?;
 
-    let threads = effective_threads(config.threads, n);
+    let threads = effective_threads(config, graph);
     if threads <= 1 {
         return crate::jacobi::solve_jacobi_dense(graph, &v, config);
     }
@@ -320,11 +325,43 @@ pub fn solve_parallel_jacobi_two_pass(
     Err(PageRankError::DidNotConverge { iterations, residual })
 }
 
-pub(crate) fn effective_threads(configured: usize, n: usize) -> usize {
+/// Default per-worker edge quota for the pool auto-sizer: below ~2M edges
+/// per worker, the barrier handoffs and cache-line ping-pong of an extra
+/// worker cost more than its share of the sweep buys back (measured on the
+/// 1-core CI host, where the old node-count-only cap let `--threads 4`
+/// run 4 workers over a 1M-edge graph and lose to 1 thread outright).
+pub const DEFAULT_EDGES_PER_THREAD: usize = 1 << 21;
+
+/// Pure pool-sizing rule shared by the parallel and batched solvers:
+/// the configured thread count (`0` = `hardware` cores), capped so each
+/// worker owns at least [`MIN_CHUNK`] nodes **and** at least
+/// `edges_per_thread` edges (`0` = [`DEFAULT_EDGES_PER_THREAD`]).
+///
+/// Exposed (and pure) so the sizing table is testable without probing the
+/// host's core count.
+pub fn pool_threads(
+    configured: usize,
+    edges_per_thread: usize,
+    hardware: usize,
+    nodes: usize,
+    edges: usize,
+) -> usize {
+    let t = if configured == 0 { hardware } else { configured };
+    let quota = if edges_per_thread == 0 { DEFAULT_EDGES_PER_THREAD } else { edges_per_thread };
+    t.min(nodes.div_ceil(MIN_CHUNK)).min(edges.div_ceil(quota).max(1)).max(1)
+}
+
+pub(crate) fn effective_threads(config: &PageRankConfig, graph: &Graph) -> usize {
     let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    let t = if configured == 0 { hw } else { configured };
-    // Cap so every thread gets at least MIN_CHUNK nodes.
-    t.min(n.div_ceil(MIN_CHUNK)).max(1)
+    let threads = pool_threads(
+        config.threads,
+        config.edges_per_thread,
+        hw,
+        graph.node_count(),
+        graph.edge_count(),
+    );
+    obs::gauge("pagerank.pool.threads", threads as f64);
+    threads
 }
 
 #[cfg(test)]
@@ -336,7 +373,9 @@ mod tests {
     use spammass_graph::GraphBuilder;
 
     fn cfg() -> PageRankConfig {
-        PageRankConfig::default()
+        // The test graphs are far below DEFAULT_EDGES_PER_THREAD; drop the
+        // quota so `.threads(k)` actually runs k workers.
+        PageRankConfig::default().edges_per_thread(1)
     }
 
     fn random_graph(n: usize, m: usize, seed: u64) -> spammass_graph::Graph {
@@ -440,9 +479,52 @@ mod tests {
     }
 
     #[test]
-    fn effective_thread_computation() {
-        assert_eq!(effective_threads(4, 100), 1); // tiny graph -> serial
-        assert_eq!(effective_threads(4, 64 * 1024), 4);
-        assert!(effective_threads(0, 1 << 20) >= 1);
+    fn pool_sizing_table() {
+        const EPT: usize = DEFAULT_EDGES_PER_THREAD;
+        // Tiny graph: node cap wins regardless of configured threads.
+        assert_eq!(pool_threads(4, 0, 8, 100, 1_000), 1);
+        // Node cap satisfied but the edge quota holds it to one worker —
+        // the 1-core-host regression case: 1.1M edges < 2 × 2M.
+        assert_eq!(pool_threads(4, 0, 8, 120_000, 1_100_000), 1);
+        // Enough edges for the requested width.
+        assert_eq!(pool_threads(4, 0, 8, 1 << 20, 4 * EPT), 4);
+        // Edge quota trims 8 requested workers down to 3.
+        assert_eq!(pool_threads(8, 0, 8, 1 << 20, 3 * EPT), 3);
+        // configured == 0 defers to the hardware count (then caps).
+        assert_eq!(pool_threads(0, 0, 2, 1 << 20, 4 * EPT), 2);
+        // An explicit quota overrides the default.
+        assert_eq!(pool_threads(4, 1, 8, 64 * 1024, 10), 4);
+        // Zero-size graphs still get one worker.
+        assert_eq!(pool_threads(4, 0, 8, 0, 0), 1);
+    }
+
+    #[test]
+    fn default_edge_quota_serializes_small_graphs() {
+        // Without the test override, a 40k-node / 200k-edge graph resolves
+        // to one worker no matter how many threads are requested — and the
+        // inline fused-gather result must still match the pooled one.
+        let g = random_graph(40_000, 200_000, 31);
+        let auto = PageRankConfig::default().threads(4);
+        let forced = cfg().threads(4);
+        let a = solve_parallel_jacobi(&g, &JumpVector::Uniform, &auto).unwrap();
+        let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &forced).unwrap();
+        for i in 0..g.node_count() {
+            assert!((a.scores[i] - b.scores[i]).abs() < 1e-12, "node {i}");
+        }
+    }
+
+    #[test]
+    fn pool_size_gauge_is_recorded() {
+        use std::sync::Arc;
+        let recorder = Arc::new(obs::Recorder::new());
+        let collector = obs::Collector::builder().sink(recorder.clone()).build();
+        let g = random_graph(40_000, 120_000, 37);
+        {
+            let _guard = collector.install();
+            solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(3)).unwrap();
+        }
+        let metrics = collector.metrics_snapshot();
+        let gauge = metrics.iter().find(|(k, _)| k == "pagerank.pool.threads").unwrap();
+        assert_eq!(gauge.1, obs::Metric::Gauge(3.0));
     }
 }

@@ -76,3 +76,30 @@ INCR_OUT="BENCH_incremental.json"
 
 grep -q '^BENCH_INCR ' "$INCR_LOG" || { echo "no BENCH_INCR line captured"; exit 1; }
 echo "wrote $INCR_OUT"
+
+# Cache-aware layout: fused kernel on natural vs degree vs BFS node order
+# at 120k hosts, plus zero-copy mmap load vs owned decode. The bench
+# prints one BENCH_LAYOUT verification line (score agreement asserted
+# inside) plus BENCH_JSON timings; both land in BENCH_layout.json.
+LAYOUT_LOG="$(mktemp)"
+trap 'rm -f "$LOG" "$INCR_LOG" "$LAYOUT_LOG"' EXIT
+echo "== cargo bench -p spammass-bench --bench layout =="
+CRITERION_JSON=1 CRITERION_SAMPLES="$SAMPLES" \
+  cargo bench -p spammass-bench --bench layout 2>&1 | tee "$LAYOUT_LOG"
+
+LAYOUT_OUT="BENCH_layout.json"
+{
+  printf '{\n'
+  printf '  "schema": "spammass.bench.layout/v1",\n'
+  printf '  "host_threads": %s,\n' "$(nproc)"
+  printf '  "samples_per_bench": %s,\n' "${SAMPLES:-10}"
+  printf '  "layout": '
+  grep '^BENCH_LAYOUT ' "$LAYOUT_LOG" | head -1 | sed 's/^BENCH_LAYOUT //' | sed 's/$/,/'
+  printf '  "benches": [\n'
+  grep '^BENCH_JSON ' "$LAYOUT_LOG" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+  printf '  ]\n'
+  printf '}\n'
+} > "$LAYOUT_OUT"
+
+grep -q '^BENCH_LAYOUT ' "$LAYOUT_LOG" || { echo "no BENCH_LAYOUT line captured"; exit 1; }
+echo "wrote $LAYOUT_OUT"

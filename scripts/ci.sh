@@ -27,6 +27,34 @@ echo "== bench smoke: incremental warm-vs-cold agreement =="
 # gate fast while still exercising the full journal -> update path.
 INCR_HOSTS=10000 cargo bench -p spammass-bench --bench incremental -- --test
 
+echo "== bench smoke: layout reorder/zero-copy verification =="
+# The layout bench asserts permuted-solve score agreement and zero-copy
+# mmap loading before timing anything; timing thresholds only apply to
+# real `scripts/bench.sh` runs. The BENCH_LAYOUT line must carry every
+# key the bench report schema promises.
+LAYOUT_SMOKE="$(mktemp)"
+LAYOUT_HOSTS=20000 cargo bench -p spammass-bench --bench layout -- --test \
+  | tee "$LAYOUT_SMOKE"
+for key in '"natural_ms"' '"degree_ms"' '"bfs_ms"' '"best_speedup_pct"' \
+    '"fused_1t_ms"' '"fused_4t_ms"' '"pool_threads_4t"' \
+    '"mmap_load_ms"' '"owned_load_ms"' '"zero_copy": true'; do
+  grep '^BENCH_LAYOUT ' "$LAYOUT_SMOKE" | grep -q "$key" \
+    || { echo "BENCH_LAYOUT line missing $key"; rm -f "$LAYOUT_SMOKE"; exit 1; }
+done
+rm -f "$LAYOUT_SMOKE"
+
+echo "== unsafe hygiene: every unsafe block in mmap/storage carries a SAFETY comment =="
+# The zero-copy loader is the only part of the workspace allowed to use
+# `unsafe`; each block must justify itself inline.
+for f in crates/graph/src/mmap.rs crates/graph/src/storage.rs; do
+  [ -f "$f" ] || continue
+  unsafe_count="$(grep -c 'unsafe ' "$f" || true)"
+  safety_count="$(grep -c '// SAFETY:' "$f" || true)"
+  [ "$safety_count" -ge 1 ] || { echo "$f: no SAFETY comments"; exit 1; }
+  [ "$unsafe_count" -le "$((safety_count * 2))" ] \
+    || { echo "$f: $unsafe_count unsafe sites but only $safety_count SAFETY comments"; exit 1; }
+done
+
 echo "== telemetry: obs crate tests =="
 cargo test -q -p spammass-obs
 
