@@ -106,8 +106,12 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         // Persist graph + core + both score vectors so `spammass update`
         // can warm-start from this run.
         let state = spammass_delta::StateDir::new(state_path);
-        state.save(&graph, &core, &estimate.pagerank, &estimate.core_pagerank)?;
-        let _ = writeln!(warnings, "state saved to {}", state.path().display());
+        let generation = state.save(&graph, &core, &estimate.pagerank, &estimate.core_pagerank)?;
+        let _ = writeln!(
+            warnings,
+            "state saved to {} (generation {generation})",
+            state.path().display()
+        );
     }
 
     if let Some(out_path) = args.optional("out") {

@@ -4,6 +4,7 @@
 pub mod convert;
 pub mod detect;
 pub mod estimate;
+pub mod fsck;
 pub mod generate;
 pub mod pagerank;
 pub mod stats;
@@ -41,6 +42,7 @@ fn dispatch_inner(args: &ParsedArgs) -> Result<String, CliError> {
         "estimate" => estimate::run(args),
         "detect" => detect::run(args),
         "update" => update::run(args),
+        "fsck" => fsck::run(args),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }

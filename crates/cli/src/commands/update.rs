@@ -54,9 +54,20 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let data = std::fs::read(journal_path)?;
     let (batches, journal_report) = read_journal_with(&data, &opts)?;
     let records: Vec<DeltaRecord> = batches.into_iter().flatten().collect();
-    let saved = state.load()?;
+    // Lenient load: a damaged manifest or snapshot falls back to the
+    // newest generation that still verifies, so one crash (or one flaky
+    // disk) does not take the incremental pipeline down.
+    let (saved, recovery) = state.load_with_recovery()?;
 
     let mut out = String::new();
+    if recovery.recovered {
+        let _ = writeln!(out, "warning: state directory damaged; {recovery}");
+        let _ = writeln!(
+            out,
+            "warning: run `spammass fsck --state {} --repair true` to quarantine the damage",
+            state.path().display()
+        );
+    }
     if !journal_report.is_clean() {
         let _ = writeln!(out, "warning: {journal_report}");
     }
@@ -73,7 +84,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         .with_batching(batched);
     let detector = DetectorConfig { rho, tau };
     let report = MassEstimator::new(config).update(saved, &records, &detector)?;
-    state.save(
+    let generation = state.save(
         &report.graph,
         &report.core,
         &report.estimate.pagerank,
@@ -157,7 +168,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
             );
         }
     }
-    let _ = writeln!(out, "state saved to {}", state.path().display());
+    let _ = writeln!(out, "state saved to {} (generation {generation})", state.path().display());
     Ok(out)
 }
 

@@ -65,6 +65,15 @@ impl From<spammass_graph::GraphError> for CliError {
     }
 }
 
+impl From<spammass_delta::StateError> for CliError {
+    fn from(e: spammass_delta::StateError) -> Self {
+        match e {
+            spammass_delta::StateError::Io(io) => CliError::Io(io),
+            other => CliError::Format(other.to_string()),
+        }
+    }
+}
+
 impl From<spammass_pagerank::PageRankError> for CliError {
     fn from(e: spammass_pagerank::PageRankError) -> Self {
         CliError::Compute(e.to_string())
@@ -102,12 +111,17 @@ USAGE:
   spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--state DIR] [--threads T] [--batch false] [--order degree|bfs|none] [--lenient N]
   spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--order degree|bfs|none] [--lenient N]
   spammass update   --journal FILE --state DIR [--labels FILE] [--gamma G] [--rho R] [--tau T] [--top K] [--threads T] [--lenient N]
+  spammass fsck     --state DIR [--journal FILE] [--repair true]
 
   --evolve K        also emit K incremental farm-growth steps as a SPAMDLT
                     delta journal (requires --journal)
   --state DIR       estimate: save graph + score vectors for incremental use;
                     update: load, apply the journal, warm re-solve, and
-                    rewrite the directory
+                    publish a new snapshot generation;
+                    fsck: audit the manifest, every snapshot generation, and
+                    (with --journal) the delta journal; --repair quarantines
+                    damaged generations, re-points the manifest at the newest
+                    valid one, and truncates a torn journal tail
 
   --lenient N       tolerate up to N malformed edge-list lines (skipped and
                     reported) instead of failing on the first bad line

@@ -1,0 +1,234 @@
+//! Zero-dependency fault injection for the persistence paths.
+//!
+//! Every write, fsync, and rename in the crash-safe state pipeline calls
+//! [`hit`] with a stable dotted name before (or, for torn-write points,
+//! instead of completing) the real syscall. With nothing armed, a hit is
+//! one mutex-free atomic load — cheap enough to leave in release builds.
+//! Armed, the Nth pass through a named point returns an injected
+//! [`io::Error`], which the caller propagates exactly like a real
+//! failure: the write sequence aborts at that syscall boundary, leaving
+//! the on-disk state precisely as a crash there would.
+//!
+//! Arming happens two ways:
+//!
+//! * **Programmatic** — [`arm`] / [`disarm_all`] from tests (see the
+//!   crash-torture suite in `tests/crash.rs`).
+//! * **Environment** — `SPAMMASS_FAILPOINTS="a.b=0;c.d=2"` parsed by
+//!   [`arm_from_env`], so a CI script can crash a real CLI process at a
+//!   chosen point without recompiling. The value is how many passes
+//!   survive before the trigger (0 = fail on first hit).
+//!
+//! The registry also supports **recording**: while enabled, every name
+//! passed to [`hit`] is appended (in order, with repeats) to a trace the
+//! torture test replays, so "kill the sequence at every failpoint" never
+//! goes stale when a new write is added to the pipeline.
+//!
+//! All state is process-global and the armed points are shared across
+//! threads; tests that arm points serialize themselves (the crash
+//! torture runs inside one `#[test]`).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Fast check: is any point armed or recording on? Lets [`hit`] skip the
+/// mutex entirely in the (overwhelmingly common) disarmed case.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+#[derive(Default)]
+struct Registry {
+    /// Armed points: name → passes left before the trigger fires.
+    armed: BTreeMap<String, u64>,
+    /// Whether hits are being traced.
+    recording: bool,
+    /// The ordered trace of hit names (with repeats) while recording.
+    trace: Vec<String>,
+}
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = guard.get_or_insert_with(Registry::default);
+    let out = f(registry);
+    ACTIVE.store(!registry.armed.is_empty() || registry.recording, Ordering::Release);
+    out
+}
+
+/// The error kind used for injected faults. Deliberately not a transient
+/// kind, so the `io.retry` helper never papers over an injected crash.
+pub const INJECTED_KIND: io::ErrorKind = io::ErrorKind::Other;
+
+/// Marker in injected error messages; lets tests and logs distinguish
+/// injected faults from real ones.
+pub const INJECTED_MARK: &str = "injected fault";
+
+/// Arms `name`: the `after`-th subsequent [`hit`] (0-based) returns an
+/// error. Re-arming an armed point resets its countdown.
+pub fn arm(name: &str, after: u64) {
+    with_registry(|r| {
+        r.armed.insert(name.to_string(), after);
+    });
+}
+
+/// Disarms every point and stops recording; the registry returns to its
+/// zero-cost state.
+pub fn disarm_all() {
+    with_registry(|r| {
+        r.armed.clear();
+        r.recording = false;
+        r.trace.clear();
+    });
+}
+
+/// Starts recording hit names (clearing any previous trace).
+pub fn start_recording() {
+    with_registry(|r| {
+        r.recording = true;
+        r.trace.clear();
+    });
+}
+
+/// Stops recording and returns the ordered trace of hits since
+/// [`start_recording`], repeats included.
+pub fn stop_recording() -> Vec<String> {
+    with_registry(|r| {
+        r.recording = false;
+        std::mem::take(&mut r.trace)
+    })
+}
+
+/// Parses `SPAMMASS_FAILPOINTS` (`name=passes` pairs separated by `;` or
+/// `,`) and arms each entry. Unset or empty is a no-op; malformed
+/// entries are reported as errors so a typo'd CI script fails loudly
+/// instead of silently testing nothing.
+pub fn arm_from_env() -> Result<usize, String> {
+    let Ok(spec) = std::env::var("SPAMMASS_FAILPOINTS") else {
+        return Ok(0);
+    };
+    let mut count = 0;
+    for entry in spec.split([';', ',']).map(str::trim).filter(|e| !e.is_empty()) {
+        let (name, passes) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry {entry:?} is not name=passes"))?;
+        let passes: u64 = passes
+            .trim()
+            .parse()
+            .map_err(|_| format!("failpoint {name:?}: bad pass count {passes:?}"))?;
+        arm(name.trim(), passes);
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Passes through (or trips) the failpoint `name`.
+///
+/// Returns `Err` with an [`INJECTED_KIND`] error when the point is armed
+/// and its countdown has reached zero; the point disarms itself on
+/// trigger (one crash per arming). Records the hit when recording.
+pub fn hit(name: &str) -> io::Result<()> {
+    if !ACTIVE.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    with_registry(|r| {
+        if r.recording {
+            r.trace.push(name.to_string());
+        }
+        match r.armed.get_mut(name) {
+            None => Ok(()),
+            Some(passes) if *passes > 0 => {
+                *passes -= 1;
+                Ok(())
+            }
+            Some(_) => {
+                r.armed.remove(name);
+                Err(io::Error::other(format!("{INJECTED_MARK} at {name}")))
+            }
+        }
+    })
+}
+
+/// Whether `error` was produced by a triggered failpoint.
+pub fn is_injected(error: &io::Error) -> bool {
+    error.kind() == INJECTED_KIND && error.to_string().contains(INJECTED_MARK)
+}
+
+/// Serializes unit tests (across modules of this crate) that arm or
+/// disarm the process-global registry, so parallel test execution
+/// cannot interleave one test's `arm` with another's `disarm_all`.
+#[cfg(test)]
+pub(crate) static TEST_SERIAL: Mutex<()> = Mutex::new(());
+
+/// Locks [`TEST_SERIAL`], recovering from a poisoned lock (a failed
+/// test must not cascade into every later failpoint test).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        test_lock()
+    }
+
+    #[test]
+    fn disarmed_points_pass() {
+        let _g = lock();
+        disarm_all();
+        assert!(hit("fp.test.nothing").is_ok());
+    }
+
+    #[test]
+    fn armed_point_fires_on_nth_pass_then_disarms() {
+        let _g = lock();
+        disarm_all();
+        arm("fp.test.nth", 2);
+        assert!(hit("fp.test.nth").is_ok());
+        assert!(hit("fp.test.nth").is_ok());
+        let err = hit("fp.test.nth").unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        assert!(!spammass_graph::retry::is_transient(&err), "injected faults must not be retried");
+        // One crash per arming.
+        assert!(hit("fp.test.nth").is_ok());
+        disarm_all();
+    }
+
+    #[test]
+    fn recording_captures_ordered_trace() {
+        let _g = lock();
+        disarm_all();
+        start_recording();
+        hit("fp.test.a").unwrap();
+        hit("fp.test.b").unwrap();
+        hit("fp.test.a").unwrap();
+        let trace = stop_recording();
+        assert_eq!(trace, vec!["fp.test.a", "fp.test.b", "fp.test.a"]);
+        // Recording stopped: nothing accumulates.
+        hit("fp.test.c").unwrap();
+        assert!(stop_recording().is_empty());
+        disarm_all();
+    }
+
+    #[test]
+    fn env_arming_parses_and_rejects() {
+        let _g = lock();
+        disarm_all();
+        // No env var set in the test environment: a no-op.
+        std::env::remove_var("SPAMMASS_FAILPOINTS");
+        assert_eq!(arm_from_env().unwrap(), 0);
+        std::env::set_var("SPAMMASS_FAILPOINTS", "fp.env.a=0; fp.env.b=3");
+        assert_eq!(arm_from_env().unwrap(), 2);
+        assert!(hit("fp.env.a").is_err());
+        assert!(hit("fp.env.b").is_ok());
+        std::env::set_var("SPAMMASS_FAILPOINTS", "garbage");
+        assert!(arm_from_env().is_err());
+        std::env::set_var("SPAMMASS_FAILPOINTS", "fp=NaN");
+        assert!(arm_from_env().is_err());
+        std::env::remove_var("SPAMMASS_FAILPOINTS");
+        disarm_all();
+    }
+}

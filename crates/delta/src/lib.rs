@@ -18,8 +18,12 @@
 //!   (merge-join patch for small deltas, full rebuild for large ones),
 //!   reporting affected nodes and dangling-set changes.
 //! * [`state`] — [`StateDir`], the saved warm-start state (graph image,
-//!   checksummed **`SPAMSCRS`** score vectors, core list) that a
-//!   follow-up run loads to seed its solvers near the new fixed point.
+//!   checksummed **`SPAMSCRS`** score vectors, core list) published as
+//!   generation-numbered snapshots behind a CRC-guarded `MANIFEST`, so a
+//!   follow-up run loads to seed its solvers near the new fixed point
+//!   and a crash mid-publication never leaves a half-written state.
+//! * [`failpoint`] — zero-dependency fault injection threaded through
+//!   every write/fsync/rename above, powering the crash-torture suite.
 //!
 //! Solver warm-starting itself lives in `spammass-pagerank` (the
 //! `*_warm` entry points); the incremental `MassEstimator::update`
@@ -30,13 +34,21 @@
 #![warn(clippy::all)]
 
 pub mod apply;
+pub mod failpoint;
+pub mod fsck;
 pub mod journal;
 mod record;
 pub mod state;
 
 pub use apply::{ApplyReport, ApplyStrategy, GraphDelta};
+pub use fsck::{check_state, repair_state, GenerationCheck, ManifestStatus, StateFsck};
 pub use journal::{
-    is_journal, journal_to_bytes, read_journal, read_journal_with, JournalReport, JournalWriter,
+    append_to_file, fsck_journal, is_journal, journal_to_bytes, read_journal,
+    read_journal_recovering, read_journal_with, repair_journal, JournalFsck, JournalReport,
+    JournalWriter,
 };
 pub use record::DeltaRecord;
-pub use state::{scores_from_bytes, scores_to_bytes, SavedState, StateDir};
+pub use state::{
+    manifest_from_bytes, manifest_to_bytes, scores_from_bytes, scores_to_bytes, RecoveryReport,
+    SavedState, StateDir, StateError,
+};

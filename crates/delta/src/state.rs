@@ -1,15 +1,52 @@
-//! Saved estimation state: the warm-start inputs of an incremental run.
+//! Saved estimation state: crash-safe, generation-numbered snapshots.
 //!
 //! A **state directory** holds everything `spammass update` needs to
-//! re-estimate without starting cold:
+//! re-estimate without starting cold. Since PR 6 it is organized as
+//! immutable snapshot *generations* published through a tiny
+//! CRC-guarded pointer file, so a crash at any syscall boundary leaves
+//! the directory loadable:
 //!
 //! ```text
 //! state/
-//!   graph.bin    SPAMGRPH v2 image of the graph the scores belong to
-//!   p.bin        SPAMSCRS image of the PageRank vector p
-//!   p_core.bin   SPAMSCRS image of the core-biased vector p′
-//!   core.txt     good-core node ids, one per line, `#` comments
+//!   MANIFEST       pointer to the current generation (CRC-guarded,
+//!                  published via write-temp → fsync → rename)
+//!   gen-0001/      a complete, self-consistent snapshot
+//!     graph.bin    SPAMGRPH image of the graph the scores belong to
+//!     p.bin        SPAMSCRS image of the PageRank vector p
+//!     p_core.bin   SPAMSCRS image of the core-biased vector p′
+//!     core.txt     good-core node ids, one per line, `#` comments
+//!   gen-0002/      the next snapshot (published or in flight)
+//!   quarantine/    damaged generations moved aside by `fsck --repair`
 //! ```
+//!
+//! ## Atomic publication protocol
+//!
+//! [`StateDir::save`] never touches a published generation. It writes
+//! the complete file set into a *fresh* `gen-N+1/` directory, fsyncs
+//! every file, then publishes by writing `MANIFEST.tmp`, fsyncing it,
+//! and renaming it over `MANIFEST` (rename within a directory is atomic
+//! on POSIX), finally fsyncing the directory. Readers that follow the
+//! manifest therefore always open a complete `{graph, scores, core}`
+//! set, and a background update can build `gen-N+1` while `gen-N`
+//! serves traffic — the epoch-swap primitive a long-lived server needs.
+//! The previous generation is retained as a fallback; older ones are
+//! pruned best-effort after publication.
+//!
+//! A crash mid-save leaves either (a) a partial unpublished `gen-N+1`
+//! plus an intact manifest → readers keep using `gen-N`, the next save
+//! clears the debris; or (b) a fully published `gen-N+1` → readers see
+//! the new state. There is no interleaving where a reader observes a
+//! mix. Every write/fsync/rename in the sequence passes through a
+//! [`crate::failpoint`], and the crash-torture suite kills the sequence
+//! at each of them to hold this invariant.
+//!
+//! ## Legacy layout
+//!
+//! Pre-PR-6 state directories stored the four files flat at the root
+//! with no manifest. [`StateDir::load`] still reads that layout when no
+//! `MANIFEST` is present; the first [`StateDir::save`] on such a
+//! directory publishes `gen-0001` and the manifest, upgrading it in
+//! place (the flat files are left behind and ignored thereafter).
 //!
 //! `SPAMSCRS` is the score-vector sibling of the `SPAMGRPH` image:
 //! little-endian, CRC-32 checksummed, with a trailing length sentinel so
@@ -32,11 +69,14 @@
 //! must be in range — a state directory assembled from mismatched runs
 //! fails loudly instead of warm-starting a solve from garbage.
 
-use crate::journal;
+use crate::{failpoint, journal};
 use spammass_graph::crc32::crc32;
+use spammass_graph::retry::retry_io;
 use spammass_graph::{io, Graph, GraphError, NodeId};
 use spammass_obs as obs;
+use std::fmt;
 use std::fs;
+use std::io::Write as _;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
@@ -48,6 +88,13 @@ const VERSION: u32 = 1;
 const HEADER_LEN: usize = 20;
 /// Trailer: CRC-32 (4 bytes) + length sentinel (8 bytes).
 const TRAILER_LEN: usize = 12;
+
+/// First line of a manifest file.
+const MANIFEST_HEADER: &str = "SPAMMANIFEST 1";
+
+/// Published generations kept around after a save: the new one plus one
+/// fallback. Anything older is pruned best-effort.
+const RETAINED_GENERATIONS: u64 = 2;
 
 fn get_u32(data: &[u8], offset: usize) -> u32 {
     let mut b = [0u8; 4];
@@ -133,6 +180,190 @@ pub fn scores_from_bytes(data: &[u8]) -> Result<Vec<f64>, GraphError> {
     Ok(scores)
 }
 
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Typed failures of the crash-safe state pipeline.
+///
+/// Splits the *pointer* layer (manifest, generation directories) from
+/// the *payload* layer (the checksummed images inside a generation,
+/// which keep reporting through [`GraphError`]), so recovery tooling can
+/// tell "the pointer is damaged, scan for a usable generation" apart
+/// from "this generation's data is damaged, quarantine it".
+#[derive(Debug)]
+pub enum StateError {
+    /// The `MANIFEST` file exists but is malformed or fails its CRC.
+    Manifest {
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The manifest points at a generation directory that is absent.
+    MissingGeneration {
+        /// The generation the manifest named.
+        generation: u64,
+    },
+    /// Recovery scanned every candidate (manifest target, other
+    /// generations, legacy layout) and none loaded.
+    NoUsableGeneration {
+        /// One line per candidate tried, with its failure.
+        tried: Vec<String>,
+    },
+    /// A generation's payload failed to load (corrupt image, mismatched
+    /// vectors, bad core file).
+    Graph(GraphError),
+    /// An underlying I/O failure (including injected faults).
+    Io(std::io::Error),
+}
+
+impl StateError {
+    fn manifest(message: impl Into<String>) -> StateError {
+        StateError::Manifest { message: message.into() }
+    }
+
+    /// Whether this error describes damaged on-disk state (as opposed to
+    /// a plain I/O or environment failure) — the quarantine signal.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            StateError::Manifest { .. }
+            | StateError::MissingGeneration { .. }
+            | StateError::NoUsableGeneration { .. } => true,
+            StateError::Graph(e) => e.is_corruption(),
+            StateError::Io(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Manifest { message } => write!(f, "state manifest: {message}"),
+            StateError::MissingGeneration { generation } => {
+                write!(f, "state manifest points at missing generation {generation}")
+            }
+            StateError::NoUsableGeneration { tried } => {
+                write!(f, "no usable state generation ({} candidates tried)", tried.len())?;
+                for t in tried {
+                    write!(f, "\n  {t}")?;
+                }
+                Ok(())
+            }
+            StateError::Graph(e) => write!(f, "{e}"),
+            StateError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StateError::Graph(e) => Some(e),
+            StateError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for StateError {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::Io(io) => StateError::Io(io),
+            other => StateError::Graph(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for StateError {
+    fn from(e: std::io::Error) -> Self {
+        StateError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// Serializes the manifest pointing at `generation`: two canonical text
+/// lines plus a CRC-32 line covering them.
+pub fn manifest_to_bytes(generation: u64) -> Vec<u8> {
+    let body = format!("{MANIFEST_HEADER}\ngeneration {generation}\n");
+    let crc = crc32(body.as_bytes());
+    format!("{body}crc {crc:#010x}\n").into_bytes()
+}
+
+/// Parses and verifies a manifest image, returning the generation it
+/// points at.
+pub fn manifest_from_bytes(data: &[u8]) -> Result<u64, StateError> {
+    let text = std::str::from_utf8(data).map_err(|_| StateError::manifest("not utf-8"))?;
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(MANIFEST_HEADER) => {}
+        other => return Err(StateError::manifest(format!("bad header {other:?}"))),
+    }
+    let generation: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("generation "))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| StateError::manifest("missing or malformed generation line"))?;
+    let stored_crc: u32 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("crc 0x"))
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| StateError::manifest("missing or malformed crc line"))?;
+    if lines.next().is_some() {
+        return Err(StateError::manifest("trailing content after crc line"));
+    }
+    let body = format!("{MANIFEST_HEADER}\ngeneration {generation}\n");
+    let computed = crc32(body.as_bytes());
+    if stored_crc != computed {
+        return Err(StateError::manifest(format!(
+            "crc mismatch (stored {stored_crc:#010x}, computed {computed:#010x})"
+        )));
+    }
+    Ok(generation)
+}
+
+// ---------------------------------------------------------------------------
+// Durable writes (failpointed)
+// ---------------------------------------------------------------------------
+
+/// Writes `bytes` to `path` and fsyncs, with failpoints at the syscall
+/// boundaries: `{point}` before the create, `{point}.torn` mid-write
+/// (half the payload lands, simulating a torn page flush), and
+/// `{point}.fsync` before the sync.
+fn write_durable(path: &Path, bytes: &[u8], point: &str) -> std::io::Result<()> {
+    failpoint::hit(point)?;
+    let mut file = retry_io(point, || fs::File::create(path))?;
+    if let Err(e) = failpoint::hit(&format!("{point}.torn")) {
+        let _ = file.write_all(&bytes[..bytes.len() / 2]);
+        let _ = file.sync_all();
+        return Err(e);
+    }
+    file.write_all(bytes)?;
+    failpoint::hit(&format!("{point}.fsync"))?;
+    retry_io(point, || file.sync_all())?;
+    Ok(())
+}
+
+/// Fsyncs a directory so a just-renamed entry inside it is durable.
+/// Non-Unix platforms have no stable directory-fsync story; the rename
+/// itself is still atomic there.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        retry_io("state.dirsync", || fs::File::open(dir))?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StateDir
+// ---------------------------------------------------------------------------
+
 /// A state directory on disk.
 #[derive(Debug, Clone)]
 pub struct StateDir {
@@ -152,6 +383,36 @@ pub struct SavedState {
     pub core_pagerank: Vec<f64>,
 }
 
+/// How a [`StateDir::load_with_recovery`] call found a usable snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The generation the manifest pointed at (`None`: manifest absent
+    /// or unreadable).
+    pub requested: Option<u64>,
+    /// The generation actually loaded (`None`: the legacy flat layout).
+    pub used: Option<u64>,
+    /// Whether the load deviated from the manifest's instruction — the
+    /// signal that the directory needs an `fsck --repair`.
+    pub recovered: bool,
+    /// One line per candidate that failed along the way.
+    pub errors: Vec<String>,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.recovered, self.used) {
+            (false, Some(g)) => write!(f, "loaded generation {g}"),
+            (false, None) => write!(f, "loaded legacy flat layout"),
+            (true, Some(g)) => write!(f, "recovered: fell back to generation {g}"),
+            (true, None) => write!(f, "recovered: fell back to legacy flat layout"),
+        }?;
+        for e in &self.errors {
+            write!(f, "\n  {e}")?;
+        }
+        Ok(())
+    }
+}
+
 impl StateDir {
     /// File holding the graph image.
     pub const GRAPH_FILE: &'static str = "graph.bin";
@@ -161,6 +422,12 @@ impl StateDir {
     pub const CORE_PAGERANK_FILE: &'static str = "p_core.bin";
     /// File holding the good-core node ids.
     pub const CORE_FILE: &'static str = "core.txt";
+    /// The published pointer to the current generation.
+    pub const MANIFEST_FILE: &'static str = "MANIFEST";
+    /// Scratch name the manifest is staged under before the rename.
+    pub const MANIFEST_TMP_FILE: &'static str = "MANIFEST.tmp";
+    /// Directory damaged generations are moved into by `fsck --repair`.
+    pub const QUARANTINE_DIR: &'static str = "quarantine";
 
     /// Points at (not necessarily existing yet) `root`.
     pub fn new(root: impl Into<PathBuf>) -> Self {
@@ -172,25 +439,95 @@ impl StateDir {
         &self.root
     }
 
-    /// Whether all four state files are present.
-    pub fn is_complete(&self) -> bool {
-        [Self::GRAPH_FILE, Self::PAGERANK_FILE, Self::CORE_PAGERANK_FILE, Self::CORE_FILE]
-            .iter()
-            .all(|f| self.root.join(f).is_file())
+    /// The directory of generation `generation`.
+    pub fn generation_path(&self, generation: u64) -> PathBuf {
+        self.root.join(format!("gen-{generation:04}"))
     }
 
-    /// Writes the full state, creating the directory if needed.
+    /// Parses a directory name of the `gen-N` form.
+    pub fn parse_generation_name(name: &str) -> Option<u64> {
+        name.strip_prefix("gen-")?.parse().ok()
+    }
+
+    /// Generations present on disk (published or debris), ascending.
+    pub fn list_generations(&self) -> Result<Vec<u64>, StateError> {
+        let mut gens = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(gens),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if let Some(g) = entry.file_name().to_str().and_then(Self::parse_generation_name) {
+                if entry.file_type()?.is_dir() {
+                    gens.push(g);
+                }
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Reads and verifies the manifest. `Ok(None)` when no manifest file
+    /// exists (fresh or legacy directory); `Err` when one exists but is
+    /// damaged.
+    pub fn read_manifest(&self) -> Result<Option<u64>, StateError> {
+        let path = self.root.join(Self::MANIFEST_FILE);
+        let data = match retry_io("state.manifest.read", || fs::read(&path)) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        manifest_from_bytes(&data).map(Some)
+    }
+
+    /// Publishes `generation` as current: stages `MANIFEST.tmp`, fsyncs
+    /// it, renames it over `MANIFEST`, and fsyncs the directory.
+    pub fn write_manifest(&self, generation: u64) -> Result<(), StateError> {
+        let tmp = self.root.join(Self::MANIFEST_TMP_FILE);
+        write_durable(&tmp, &manifest_to_bytes(generation), "state.manifest.write")?;
+        failpoint::hit("state.manifest.rename")?;
+        retry_io("state.manifest.rename", || {
+            fs::rename(&tmp, self.root.join(Self::MANIFEST_FILE))
+        })?;
+        failpoint::hit("state.manifest.dirsync")?;
+        sync_dir(&self.root)?;
+        Ok(())
+    }
+
+    /// Whether the directory holds loadable-looking state: a manifest
+    /// whose generation directory has all four files, or the legacy flat
+    /// file set. (Content validation happens at [`StateDir::load`].)
+    pub fn is_complete(&self) -> bool {
+        let files =
+            [Self::GRAPH_FILE, Self::PAGERANK_FILE, Self::CORE_PAGERANK_FILE, Self::CORE_FILE];
+        match self.read_manifest() {
+            Ok(Some(g)) => {
+                let dir = self.generation_path(g);
+                files.iter().all(|f| dir.join(f).is_file())
+            }
+            Ok(None) => files.iter().all(|f| self.root.join(f).is_file()),
+            Err(_) => false,
+        }
+    }
+
+    /// Writes the full state as a fresh generation and publishes it,
+    /// returning the new generation number.
     ///
     /// # Errors
-    /// Rejects mismatched vector lengths before touching the filesystem;
-    /// otherwise I/O failures surface as [`GraphError::Io`].
+    /// Rejects mismatched vector lengths before touching the filesystem.
+    /// I/O failures (including injected faults) abort the sequence at
+    /// the failing syscall: an unpublished partial generation may remain
+    /// on disk, but the previously published generation — and the
+    /// manifest pointing at it — are never disturbed.
     pub fn save(
         &self,
         graph: &Graph,
         core: &[NodeId],
         pagerank: &[f64],
         core_pagerank: &[f64],
-    ) -> Result<(), GraphError> {
+    ) -> Result<u64, StateError> {
         let mut span = obs::span("delta.state.save");
         let n = graph.node_count();
         for (name, v) in [("p", pagerank), ("p_core", core_pagerank)] {
@@ -198,41 +535,183 @@ impl StateDir {
                 return Err(GraphError::Corrupt(format!(
                     "{name} has {} scores for a {n}-node graph",
                     v.len()
-                )));
+                ))
+                .into());
             }
         }
-        fs::create_dir_all(&self.root)?;
-        fs::write(self.root.join(Self::GRAPH_FILE), io::graph_to_bytes(graph))?;
-        fs::write(self.root.join(Self::PAGERANK_FILE), scores_to_bytes(pagerank))?;
-        fs::write(self.root.join(Self::CORE_PAGERANK_FILE), scores_to_bytes(core_pagerank))?;
+        failpoint::hit("state.create_root")?;
+        retry_io("state.create_root", || fs::create_dir_all(&self.root))?;
+
+        // Pick the next generation past everything on disk, so debris
+        // from a crashed publish can never collide with a live one.
+        let manifest_gen = self.read_manifest().ok().flatten();
+        let next = self
+            .list_generations()?
+            .last()
+            .copied()
+            .max(manifest_gen)
+            .map_or(1, |g| g.saturating_add(1));
+        let dir = self.generation_path(next);
+        if dir.exists() {
+            failpoint::hit("state.gen.clear")?;
+            retry_io("state.gen.clear", || fs::remove_dir_all(&dir))?;
+        }
+        failpoint::hit("state.gen.create")?;
+        retry_io("state.gen.create", || fs::create_dir(&dir))?;
+
+        write_durable(
+            &dir.join(Self::GRAPH_FILE),
+            &io::graph_to_bytes(graph),
+            "state.write.graph",
+        )?;
+        write_durable(&dir.join(Self::PAGERANK_FILE), &scores_to_bytes(pagerank), "state.write.p")?;
+        write_durable(
+            &dir.join(Self::CORE_PAGERANK_FILE),
+            &scores_to_bytes(core_pagerank),
+            "state.write.p_core",
+        )?;
         let mut core_txt = String::from("# good core (node ids)\n");
         for x in core {
             core_txt.push_str(&format!("{x}\n"));
         }
-        fs::write(self.root.join(Self::CORE_FILE), core_txt)?;
+        write_durable(&dir.join(Self::CORE_FILE), core_txt.as_bytes(), "state.write.core")?;
+        // Make the new generation's directory entries durable before the
+        // manifest can name them.
+        sync_dir(&dir)?;
+
+        self.write_manifest(next)?;
+        self.prune_generations(next);
+
         span.record("nodes", n as f64);
         span.record("core", core.len() as f64);
-        Ok(())
+        span.record("generation", next as f64);
+        obs::counter(obs::names::DELTA_STATE_PUBLISHED, 1.0);
+        Ok(next)
     }
 
-    /// Loads and cross-validates the full state.
-    pub fn load(&self) -> Result<SavedState, GraphError> {
+    /// Best-effort removal of generations older than the retention
+    /// window. Failures are counted, never fatal: extra directories cost
+    /// disk, not correctness, and `fsck` reports them.
+    fn prune_generations(&self, current: u64) {
+        let Ok(gens) = self.list_generations() else { return };
+        for g in gens {
+            if g + RETAINED_GENERATIONS <= current
+                && fs::remove_dir_all(self.generation_path(g)).is_err()
+            {
+                obs::counter(obs::names::DELTA_STATE_PRUNE_FAILED, 1.0);
+            }
+        }
+    }
+
+    /// Loads and cross-validates the current state, strictly following
+    /// the manifest (or the legacy flat layout when none exists). Any
+    /// damage along that path is an error; see
+    /// [`StateDir::load_with_recovery`] for the lenient variant.
+    pub fn load(&self) -> Result<SavedState, StateError> {
+        match self.read_manifest()? {
+            Some(generation) => self.load_generation(generation),
+            None => Self::load_files(&self.root),
+        }
+    }
+
+    /// Loads the snapshot of a specific generation.
+    pub fn load_generation(&self, generation: u64) -> Result<SavedState, StateError> {
+        let dir = self.generation_path(generation);
+        if !dir.is_dir() {
+            return Err(StateError::MissingGeneration { generation });
+        }
+        Self::load_files(&dir)
+    }
+
+    /// Loads a usable snapshot even when the manifest or its target is
+    /// damaged: tries the manifest's generation first, then every other
+    /// generation newest-first, then the legacy flat layout. The report
+    /// says what was used and what failed; `recovered` is the signal to
+    /// run `spammass fsck --repair`.
+    pub fn load_with_recovery(&self) -> Result<(SavedState, RecoveryReport), StateError> {
+        let mut span = obs::span("delta.state.recover");
+        let mut report = RecoveryReport::default();
+        let requested = match self.read_manifest() {
+            Ok(g) => {
+                report.requested = g;
+                g
+            }
+            Err(e) => {
+                report.errors.push(format!("manifest: {e}"));
+                None
+            }
+        };
+        if let Some(g) = requested {
+            match self.load_generation(g) {
+                Ok(state) => {
+                    report.used = Some(g);
+                    span.record("generation", g as f64);
+                    return Ok((state, report));
+                }
+                Err(e) => report.errors.push(format!("gen-{g:04}: {e}")),
+            }
+        }
+        // The manifest path failed (or there was no manifest): scan the
+        // other generations newest-first.
+        let mut gens = self.list_generations().unwrap_or_default();
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        for g in gens {
+            if Some(g) == requested {
+                continue;
+            }
+            match self.load_generation(g) {
+                Ok(state) => {
+                    report.used = Some(g);
+                    report.recovered = true;
+                    span.record("generation", g as f64);
+                    obs::counter(obs::names::DELTA_STATE_RECOVERED, 1.0);
+                    return Ok((state, report));
+                }
+                Err(e) => report.errors.push(format!("gen-{g:04}: {e}")),
+            }
+        }
+        // Last resort: the legacy flat layout.
+        if self.root.join(Self::GRAPH_FILE).is_file() {
+            match Self::load_files(&self.root) {
+                Ok(state) => {
+                    // Legacy-without-manifest is the normal pre-PR-6 path,
+                    // not a recovery.
+                    report.recovered = requested.is_some() || !report.errors.is_empty();
+                    if report.recovered {
+                        obs::counter(obs::names::DELTA_STATE_RECOVERED, 1.0);
+                    }
+                    return Ok((state, report));
+                }
+                Err(e) => report.errors.push(format!("legacy layout: {e}")),
+            }
+        }
+        Err(StateError::NoUsableGeneration { tried: report.errors })
+    }
+
+    /// Loads and cross-validates the four state files inside `dir`.
+    /// Crate-visible so the fsck engine can validate a generation (or a
+    /// legacy flat layout) without going through the manifest.
+    pub(crate) fn load_files(dir: &Path) -> Result<SavedState, StateError> {
         let mut span = obs::span("delta.state.load");
-        let graph_bytes = fs::read(self.root.join(Self::GRAPH_FILE))?;
+        let graph_bytes = retry_io("state.read.graph", || fs::read(dir.join(Self::GRAPH_FILE)))?;
         let graph = io::graph_from_bytes(&graph_bytes)?;
         let n = graph.node_count();
-        let pagerank = scores_from_bytes(&fs::read(self.root.join(Self::PAGERANK_FILE))?)?;
-        let core_pagerank =
-            scores_from_bytes(&fs::read(self.root.join(Self::CORE_PAGERANK_FILE))?)?;
+        let pagerank = scores_from_bytes(&retry_io("state.read.p", || {
+            fs::read(dir.join(Self::PAGERANK_FILE))
+        })?)?;
+        let core_pagerank = scores_from_bytes(&retry_io("state.read.p_core", || {
+            fs::read(dir.join(Self::CORE_PAGERANK_FILE))
+        })?)?;
         for (name, v) in [("p", &pagerank), ("p_core", &core_pagerank)] {
             if v.len() != n {
                 return Err(GraphError::Corrupt(format!(
                     "state mismatch: {name} has {} scores for a {n}-node graph",
                     v.len()
-                )));
+                ))
+                .into());
             }
         }
-        let core_file = fs::File::open(self.root.join(Self::CORE_FILE))?;
+        let core_file = retry_io("state.read.core", || fs::File::open(dir.join(Self::CORE_FILE)))?;
         let mut core = Vec::new();
         for (lineno, line) in BufReader::new(core_file).lines().enumerate() {
             let line = line?;
@@ -245,7 +724,7 @@ impl StateDir {
                 message: format!("bad core node id {line:?}"),
             })?;
             if id as usize >= n {
-                return Err(GraphError::NodeOutOfRange { node: id, node_count: n });
+                return Err(GraphError::NodeOutOfRange { node: id, node_count: n }.into());
             }
             core.push(NodeId(id));
         }
@@ -262,7 +741,7 @@ impl StateDir {
         path: &Path,
         options: &io::ReadOptions,
     ) -> Result<(Vec<Vec<crate::DeltaRecord>>, journal::JournalReport), GraphError> {
-        let data = fs::read(path)?;
+        let data = retry_io("journal.read", || fs::read(path))?;
         journal::read_journal_with(&data, options)
     }
 }
@@ -320,19 +799,60 @@ mod tests {
     }
 
     #[test]
-    fn state_dir_round_trips() {
+    fn manifest_round_trips_and_rejects_damage() {
+        for g in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(manifest_from_bytes(&manifest_to_bytes(g)).unwrap(), g);
+        }
+        let clean = manifest_to_bytes(7);
+        for i in 0..clean.len() - 1 {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x01;
+            assert!(manifest_from_bytes(&bytes).is_err(), "bit flip at byte {i} went undetected");
+        }
+        assert!(matches!(
+            manifest_from_bytes(b"SPAMMANIFEST 1\ngeneration 3\n"),
+            Err(StateError::Manifest { .. })
+        ));
+        assert!(manifest_from_bytes(&[0xFF, 0xFE]).is_err());
+        let mut trailing = manifest_to_bytes(3);
+        trailing.extend_from_slice(b"extra\n");
+        assert!(manifest_from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn state_dir_round_trips_through_generations() {
         let dir = tmpdir("roundtrip");
         let (g, core, p, pc) = sample();
         let state = StateDir::new(&dir);
         assert!(!state.is_complete());
-        state.save(&g, &core, &p, &pc).unwrap();
+        assert_eq!(state.save(&g, &core, &p, &pc).unwrap(), 1);
         assert!(state.is_complete());
+        assert_eq!(state.read_manifest().unwrap(), Some(1));
         let loaded = state.load().unwrap();
         assert_eq!(loaded.graph.node_count(), 4);
         assert_eq!(loaded.graph.edge_count(), 4);
         assert_eq!(loaded.core, core);
         assert_eq!(loaded.pagerank, p);
         assert_eq!(loaded.core_pagerank, pc);
+
+        // A second save publishes generation 2 without touching gen 1.
+        let p2 = vec![0.1, 0.2, 0.3, 0.4];
+        assert_eq!(state.save(&g, &core, &p2, &pc).unwrap(), 2);
+        assert_eq!(state.load().unwrap().pagerank, p2);
+        assert_eq!(state.load_generation(1).unwrap().pagerank, p);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn old_generations_are_pruned() {
+        let dir = tmpdir("prune");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        for _ in 0..4 {
+            state.save(&g, &core, &p, &pc).unwrap();
+        }
+        assert_eq!(state.list_generations().unwrap(), vec![3, 4]);
+        assert_eq!(state.read_manifest().unwrap(), Some(4));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -350,29 +870,152 @@ mod tests {
         let dir = tmpdir("mismatch-load");
         let (g, core, p, pc) = sample();
         let state = StateDir::new(&dir);
-        state.save(&g, &core, &p, &pc).unwrap();
+        let generation = state.save(&g, &core, &p, &pc).unwrap();
+        let gen_dir = state.generation_path(generation);
 
         // Swap in a vector from a different (larger) run.
-        fs::write(dir.join(StateDir::PAGERANK_FILE), scores_to_bytes(&[0.1; 9])).unwrap();
+        fs::write(gen_dir.join(StateDir::PAGERANK_FILE), scores_to_bytes(&[0.1; 9])).unwrap();
         assert!(state.load().is_err());
-        fs::write(dir.join(StateDir::PAGERANK_FILE), scores_to_bytes(&p)).unwrap();
+        fs::write(gen_dir.join(StateDir::PAGERANK_FILE), scores_to_bytes(&p)).unwrap();
         assert!(state.load().is_ok());
 
         // Core id out of range.
-        fs::write(dir.join(StateDir::CORE_FILE), "99\n").unwrap();
+        fs::write(gen_dir.join(StateDir::CORE_FILE), "99\n").unwrap();
         assert!(matches!(
             state.load(),
-            Err(GraphError::NodeOutOfRange { node: 99, node_count: 4 })
+            Err(StateError::Graph(GraphError::NodeOutOfRange { node: 99, node_count: 4 }))
         ));
         // Garbage core line.
-        fs::write(dir.join(StateDir::CORE_FILE), "# ok\nbanana\n").unwrap();
-        assert!(matches!(state.load(), Err(GraphError::Parse { line: 2, .. })));
+        fs::write(gen_dir.join(StateDir::CORE_FILE), "# ok\nbanana\n").unwrap();
+        assert!(matches!(state.load(), Err(StateError::Graph(GraphError::Parse { line: 2, .. }))));
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn missing_files_surface_as_io_errors() {
         let state = StateDir::new(tmpdir("missing"));
-        assert!(matches!(state.load(), Err(GraphError::Io(_))));
+        assert!(matches!(state.load(), Err(StateError::Io(_))));
+    }
+
+    #[test]
+    fn legacy_flat_layout_still_loads_and_upgrades() {
+        let dir = tmpdir("legacy");
+        let (g, core, p, pc) = sample();
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(StateDir::GRAPH_FILE), io::graph_to_bytes(&g)).unwrap();
+        fs::write(dir.join(StateDir::PAGERANK_FILE), scores_to_bytes(&p)).unwrap();
+        fs::write(dir.join(StateDir::CORE_PAGERANK_FILE), scores_to_bytes(&pc)).unwrap();
+        fs::write(dir.join(StateDir::CORE_FILE), "0\n2\n").unwrap();
+
+        let state = StateDir::new(&dir);
+        assert!(state.is_complete());
+        assert_eq!(state.read_manifest().unwrap(), None);
+        let loaded = state.load().unwrap();
+        assert_eq!(loaded.core, core);
+        // Recovery on a legacy dir is not "recovery" — it is the normal path.
+        let (_, report) = state.load_with_recovery().unwrap();
+        assert!(!report.recovered, "{report}");
+
+        // The first save upgrades to the generation layout.
+        assert_eq!(state.save(&g, &core, &p, &pc).unwrap(), 1);
+        assert_eq!(state.read_manifest().unwrap(), Some(1));
+        assert!(state.generation_path(1).is_dir());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_falls_back_to_previous_generation() {
+        let dir = tmpdir("fallback");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        state.save(&g, &core, &p, &pc).unwrap();
+        let p2 = vec![0.4, 0.3, 0.2, 0.1];
+        state.save(&g, &core, &p2, &pc).unwrap();
+
+        // Corrupt the current generation's score file.
+        let current = state.generation_path(2).join(StateDir::PAGERANK_FILE);
+        let mut bytes = fs::read(&current).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&current, &bytes).unwrap();
+
+        assert!(state.load().is_err(), "strict load must refuse the damaged generation");
+        let (recovered, report) = state.load_with_recovery().unwrap();
+        assert!(report.recovered, "{report}");
+        assert_eq!(report.requested, Some(2));
+        assert_eq!(report.used, Some(1));
+        assert_eq!(recovered.pagerank, p);
+        assert!(!report.errors.is_empty());
+
+        // A save after recovery publishes past the damaged generation.
+        let generation = state.save(&g, &core, &p2, &pc).unwrap();
+        assert_eq!(generation, 3);
+        assert_eq!(state.load().unwrap().pagerank, p2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_pointing_at_missing_generation_is_typed_and_recoverable() {
+        let dir = tmpdir("missing-gen");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        state.save(&g, &core, &p, &pc).unwrap();
+        // Point the manifest at a generation that does not exist.
+        fs::write(dir.join(StateDir::MANIFEST_FILE), manifest_to_bytes(9)).unwrap();
+        assert!(matches!(state.load(), Err(StateError::MissingGeneration { generation: 9 })));
+        let (recovered, report) = state.load_with_recovery().unwrap();
+        assert_eq!(report.used, Some(1));
+        assert!(report.recovered);
+        assert_eq!(recovered.pagerank, p);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_typed_and_recoverable() {
+        let dir = tmpdir("bad-manifest");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        state.save(&g, &core, &p, &pc).unwrap();
+        fs::write(dir.join(StateDir::MANIFEST_FILE), b"SPAMMANIFEST 1\ngeneration ?\n").unwrap();
+        assert!(matches!(state.load(), Err(StateError::Manifest { .. })));
+        assert!(!state.is_complete());
+        let (recovered, report) = state.load_with_recovery().unwrap();
+        assert!(report.recovered);
+        assert_eq!(report.requested, None);
+        assert_eq!(report.used, Some(1));
+        assert_eq!(recovered.pagerank, p);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn everything_damaged_is_no_usable_generation() {
+        let dir = tmpdir("hopeless");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        state.save(&g, &core, &p, &pc).unwrap();
+        // Destroy the only generation's graph image and the manifest.
+        fs::write(state.generation_path(1).join(StateDir::GRAPH_FILE), b"garbage").unwrap();
+        fs::write(dir.join(StateDir::MANIFEST_FILE), b"garbage").unwrap();
+        match state.load_with_recovery() {
+            Err(StateError::NoUsableGeneration { tried }) => {
+                assert!(!tried.is_empty());
+            }
+            other => panic!("expected NoUsableGeneration, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn state_error_classification() {
+        assert!(StateError::manifest("x").is_corruption());
+        assert!(StateError::MissingGeneration { generation: 1 }.is_corruption());
+        assert!(StateError::NoUsableGeneration { tried: vec![] }.is_corruption());
+        assert!(StateError::Graph(GraphError::Corrupt("x".into())).is_corruption());
+        let io_err: StateError = std::io::Error::other("x").into();
+        assert!(!io_err.is_corruption());
+        // GraphError::Io collapses into StateError::Io.
+        let e: StateError =
+            GraphError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")).into();
+        assert!(matches!(e, StateError::Io(_)));
     }
 }

@@ -61,6 +61,20 @@ pub enum GraphError {
     Io(io::Error),
 }
 
+impl GraphError {
+    /// Whether this error describes *damaged data* (a failed CRC, torn
+    /// frame, malformed image) rather than a usage, capacity, or plain
+    /// I/O problem. Recovery tooling uses this to decide what can be
+    /// quarantined-and-retried from another replica of the data versus
+    /// what must be reported as an environment failure.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            GraphError::Corrupt(_) | GraphError::Corrupted { .. } | GraphError::Parse { .. }
+        )
+    }
+}
+
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -131,6 +145,17 @@ mod tests {
         let e = GraphError::BudgetExhausted { budget: 3, line: 9, message: "bad id".into() };
         let s = e.to_string();
         assert!(s.contains("budget 3") && s.contains("line 9"), "{s}");
+    }
+
+    #[test]
+    fn corruption_classification() {
+        assert!(GraphError::Corrupt("x".into()).is_corruption());
+        assert!(GraphError::Corrupted { field: "crc32", expected: 1, got: 2 }.is_corruption());
+        assert!(GraphError::Parse { line: 1, message: "x".into() }.is_corruption());
+        assert!(!GraphError::NodeOutOfRange { node: 1, node_count: 1 }.is_corruption());
+        assert!(!GraphError::TooManyEdges { count: 0 }.is_corruption());
+        let io_err: GraphError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(!io_err.is_corruption());
     }
 
     #[test]

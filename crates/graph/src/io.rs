@@ -983,12 +983,12 @@ fn decode_u32_section(data: &[u8], s: &V3Section) -> Vec<u32> {
 pub fn map_graph_file(path: &std::path::Path) -> Result<(Graph, ImageLoadStats), GraphError> {
     #[cfg(unix)]
     {
-        let mapped = crate::mmap::MappedFile::open(path)?;
+        let mapped = crate::retry::retry_io("graph.mmap", || crate::mmap::MappedFile::open(path))?;
         graph_from_image(Arc::new(mapped))
     }
     #[cfg(not(unix))]
     {
-        let data = std::fs::read(path)?;
+        let data = crate::retry::retry_io("graph.read", || std::fs::read(path))?;
         graph_from_image(Arc::new(crate::storage::AlignedBytes::copy_from(&data)))
     }
 }

@@ -54,6 +54,7 @@ mod mmap;
 mod node;
 pub mod order;
 pub mod powerlaw;
+pub mod retry;
 pub mod stats;
 pub mod storage;
 pub mod subgraph;

@@ -44,6 +44,8 @@
 //! Naming convention: dotted lowercase paths, `crate.stage.detail` —
 //! e.g. `graph.ingest.lines`, `pagerank.solve.jacobi`,
 //! `estimate.relative_mass`. See DESIGN.md §8 for the full taxonomy.
+//! Names external tooling depends on (the durability counters) are
+//! registered as constants in [`names`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -51,6 +53,7 @@
 mod collector;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod sink;
 mod span;

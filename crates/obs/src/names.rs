@@ -1,0 +1,91 @@
+//! Registry of well-known metric names emitted across the workspace.
+//!
+//! The facade takes free-form `&str` names, which keeps instrumentation
+//! friction-free but invites drift: a dashboard watching
+//! `delta.state.published` silently goes dark if a refactor renames the
+//! counter. The durability counters introduced with the crash-safe
+//! persistence layer are part of the operational contract (the fsck
+//! runbook keys off them), so their names live here as constants —
+//! one place to grep, one place a test can hold to the naming
+//! convention (`subsystem.noun[.qualifier]`, lowercase, dot-separated).
+//!
+//! Emitting code is free to keep using literals for purely internal
+//! spans; names listed here are the ones external tooling may depend
+//! on.
+
+/// Transient-I/O retries performed by the bounded retry helper
+/// (`spammass_graph::retry`). Counter; one increment per retried
+/// attempt, not per call.
+pub const IO_RETRY: &str = "io.retry";
+
+/// Bytes carried by journal batches a lenient read skipped — the
+/// silently-dropped volume that PR 6 made visible. Counter.
+pub const DELTA_JOURNAL_SKIPPED_BYTES: &str = "delta.journal.skipped_bytes";
+
+/// Bytes durably appended to a journal file. Counter.
+pub const DELTA_JOURNAL_APPENDED_BYTES: &str = "delta.journal.appended_bytes";
+
+/// Snapshot generations published through the atomic manifest path.
+/// Counter; one increment per successful `StateDir::save`.
+pub const DELTA_STATE_PUBLISHED: &str = "delta.state.published";
+
+/// Loads that deviated from the manifest's instruction and fell back to
+/// another generation (or the legacy layout). Counter; nonzero means
+/// "run fsck --repair".
+pub const DELTA_STATE_RECOVERED: &str = "delta.state.recovered";
+
+/// Best-effort generation prunes that failed (extra disk, not an
+/// integrity problem). Counter.
+pub const DELTA_STATE_PRUNE_FAILED: &str = "delta.state.prune_failed";
+
+/// fsck invocations (check or repair). Counter.
+pub const FSCK_RUNS: &str = "fsck.runs";
+
+/// fsck runs whose verdict was unhealthy. Counter.
+pub const FSCK_UNHEALTHY: &str = "fsck.unhealthy";
+
+/// Repair actions applied by `fsck --repair`. Counter; incremented by
+/// the number of actions per run.
+pub const FSCK_REPAIRS: &str = "fsck.repairs";
+
+/// Damaged snapshot generations moved under `quarantine/`. Counter.
+pub const FSCK_GENERATIONS_QUARANTINED: &str = "fsck.generations_quarantined";
+
+/// Bytes past a journal's trusted prefix found by a journal fsck.
+/// Counter; zero on clean journals.
+pub const FSCK_JOURNAL_QUARANTINED_BYTES: &str = "fsck.journal.quarantined_bytes";
+
+/// Every name in this registry, for exhaustive checks.
+pub const ALL: &[&str] = &[
+    IO_RETRY,
+    DELTA_JOURNAL_SKIPPED_BYTES,
+    DELTA_JOURNAL_APPENDED_BYTES,
+    DELTA_STATE_PUBLISHED,
+    DELTA_STATE_RECOVERED,
+    DELTA_STATE_PRUNE_FAILED,
+    FSCK_RUNS,
+    FSCK_UNHEALTHY,
+    FSCK_REPAIRS,
+    FSCK_GENERATIONS_QUARANTINED,
+    FSCK_JOURNAL_QUARANTINED_BYTES,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_the_convention_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in ALL {
+            assert!(seen.insert(*name), "duplicate registered name {name:?}");
+            assert!(!name.is_empty());
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "{name:?} violates the lowercase.dot_separated convention"
+            );
+            assert!(name.contains('.'), "{name:?} has no subsystem prefix");
+            assert!(!name.starts_with('.') && !name.ends_with('.'), "{name:?}");
+        }
+    }
+}
