@@ -64,11 +64,15 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "state",
         "top",
         "threads",
+        "edges-per-thread",
         "batch",
         "order",
         "lenient",
         "trace",
         "metrics-out",
+        "serve-metrics",
+        "serve-linger",
+        "crash-dump",
     ])?;
     let opts = read_options(args)?;
     let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
@@ -85,6 +89,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     }
     let top: usize = args.parsed_or("top", 20)?;
     let threads: usize = args.parsed_or("threads", 0)?;
+    let edges_per_thread: usize = args.parsed_or("edges-per-thread", 0)?;
     let batched: bool = args.parsed_or("batch", true)?;
 
     let mut warnings = String::new();
@@ -96,7 +101,11 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     }
 
     let config = EstimatorConfig::scaled(gamma)
-        .with_pagerank(spammass_pagerank::PageRankConfig::default().threads(threads))
+        .with_pagerank(
+            spammass_pagerank::PageRankConfig::default()
+                .threads(threads)
+                .edges_per_thread(edges_per_thread),
+        )
         .with_batching(batched)
         .with_ordering(node_ordering(args)?);
     let estimate = MassEstimator::new(config).estimate(&graph, &core)?;

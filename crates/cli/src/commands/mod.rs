@@ -1,6 +1,7 @@
 //! Subcommand implementations. Each returns the text it would print, so
 //! the commands are unit-testable without spawning processes.
 
+pub mod bench_diff;
 pub mod convert;
 pub mod detect;
 pub mod estimate;
@@ -11,6 +12,7 @@ pub mod stats;
 pub mod update;
 
 use crate::args::ParsedArgs;
+use crate::live::LivePlane;
 use crate::telemetry::RunTelemetry;
 use crate::CliError;
 
@@ -19,8 +21,22 @@ use crate::CliError;
 /// When `--trace` or `--metrics-out` is given, the command runs under an
 /// installed telemetry collector and the requested renderings are
 /// attached on success; otherwise the output is byte-identical to a run
-/// without telemetry.
+/// without telemetry. `--serve-metrics` / `--crash-dump` additionally
+/// turn on the live observability plane (global registry, flight
+/// recorder, exposition server) for the duration of the process.
+/// `SPAMMASS_FAILPOINTS` is honored before any command I/O runs, so a
+/// scripted crash can target any persistence syscall.
 pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    spammass_delta::failpoint::arm_from_env().map_err(CliError::Usage)?;
+    let live = LivePlane::from_args(args)?;
+    let result = dispatch_telemetry(args);
+    if let Some(live) = live {
+        live.finish();
+    }
+    result
+}
+
+fn dispatch_telemetry(args: &ParsedArgs) -> Result<String, CliError> {
     match RunTelemetry::from_args(args)? {
         None => dispatch_inner(args),
         Some(tel) => {
@@ -43,6 +59,7 @@ fn dispatch_inner(args: &ParsedArgs) -> Result<String, CliError> {
         "detect" => detect::run(args),
         "update" => update::run(args),
         "fsck" => fsck::run(args),
+        "bench-diff" => bench_diff::run(args),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }

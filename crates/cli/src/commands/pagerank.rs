@@ -31,12 +31,16 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "tolerance",
         "top",
         "threads",
+        "edges-per-thread",
         "labels",
         "order",
         "lenient",
         "fallback",
         "trace",
         "metrics-out",
+        "serve-metrics",
+        "serve-linger",
+        "crash-dump",
     ])?;
     let opts = read_options(args)?;
     let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
@@ -60,13 +64,15 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let top: usize = args.parsed_or("top", 20)?;
     let fallback: bool = args.parsed_or("fallback", false)?;
     let threads: usize = args.parsed_or("threads", 0)?;
+    let edges_per_thread: usize = args.parsed_or("edges-per-thread", 0)?;
     let solver = args.optional("solver").unwrap_or("jacobi");
     let kind = solver_kind(solver)?;
 
     let cfg = PageRankConfig::with_damping(damping)
         .tolerance(tolerance)
         .max_iterations(500)
-        .threads(threads);
+        .threads(threads)
+        .edges_per_thread(edges_per_thread);
     cfg.validate().map_err(|e| CliError::Usage(e.to_string()))?;
     let jump = JumpVector::Uniform;
 

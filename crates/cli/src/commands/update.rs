@@ -29,10 +29,14 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "tau",
         "top",
         "threads",
+        "edges-per-thread",
         "batch",
         "lenient",
         "trace",
         "metrics-out",
+        "serve-metrics",
+        "serve-linger",
+        "crash-dump",
     ])?;
     let opts = read_options(args)?;
     let state = StateDir::new(args.required("state")?);
@@ -49,6 +53,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let tau: f64 = args.parsed_or("tau", 0.98)?;
     let top: usize = args.parsed_or("top", 10)?;
     let threads: usize = args.parsed_or("threads", 0)?;
+    let edges_per_thread: usize = args.parsed_or("edges-per-thread", 0)?;
     let batched: bool = args.parsed_or("batch", true)?;
 
     let data = std::fs::read(journal_path)?;
@@ -80,7 +85,11 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     );
 
     let config = EstimatorConfig::scaled(gamma)
-        .with_pagerank(spammass_pagerank::PageRankConfig::default().threads(threads))
+        .with_pagerank(
+            spammass_pagerank::PageRankConfig::default()
+                .threads(threads)
+                .edges_per_thread(edges_per_thread),
+        )
         .with_batching(batched);
     let detector = DetectorConfig { rho, tau };
     let report = MassEstimator::new(config).update(saved, &records, &detector)?;

@@ -21,6 +21,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod live;
 pub mod loading;
 pub mod telemetry;
 
@@ -112,6 +113,7 @@ USAGE:
   spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--order degree|bfs|none] [--lenient N]
   spammass update   --journal FILE --state DIR [--labels FILE] [--gamma G] [--rho R] [--tau T] [--top K] [--threads T] [--lenient N]
   spammass fsck     --state DIR [--journal FILE] [--repair true]
+  spammass bench-diff --old FILE --new FILE [--threshold PCT] [--report-only true]
 
   --evolve K        also emit K incremental farm-growth steps as a SPAMDLT
                     delta journal (requires --journal)
@@ -130,6 +132,11 @@ USAGE:
   --threads T       worker threads for the parallel and batched solvers and
                     for sharded text ingest (0 = all cores; small graphs and
                     files run single-threaded anyway)
+  --edges-per-thread N
+                    per-worker edge quota for the pool auto-sizer (0 = the
+                    built-in default); lower it to force multi-worker solves
+                    on small graphs — the `pagerank.pool.sizing` event names
+                    whichever cap won
   --order O         solve in a cache-friendly node layout: `degree`
                     (descending out-degree) or `bfs` (hub-first BFS);
                     results always report original node ids. `convert`
@@ -137,9 +144,25 @@ USAGE:
   --batch false     solve the two estimation jump vectors separately through
                     the fallback chain instead of one batched multi-RHS run
 
+  --threshold PCT   bench-diff: fail when a bench's median regressed by more
+                    than PCT percent (default 10); --report-only true prints
+                    the table but never fails
+
 Every subcommand also accepts:
   --trace MODE      append run telemetry to the output: `pretty` prints the
                     span timing tree, `json` prints one JSON object per event
   --metrics-out F   write the machine-readable run report (JSON, schema
                     spammass.run_report/v1) to file F
+
+Long-running subcommands (pagerank, estimate, update) also accept:
+  --serve-metrics A serve live metrics over HTTP on address A (e.g.
+                    127.0.0.1:9184; port 0 picks an ephemeral port printed to
+                    stderr): /metrics is Prometheus text, /snapshot JSON
+                    (schema spammass.metrics_snapshot/v1), /flight the
+                    flight-recorder ring
+  --serve-linger MS keep the metrics server up MS milliseconds after the
+                    command finishes, so scripted scrapes cannot race it
+  --crash-dump F    on panic, write the flight-recorder ring + final metrics
+                    snapshot to F (schema spammass.flight/v1; default
+                    metrics-crash.json when the live plane is on)
 ";

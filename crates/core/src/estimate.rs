@@ -478,6 +478,8 @@ impl MassEstimator {
         obs::counter("estimate.anomalies", anomalies.len() as f64);
         obs::counter("estimate.dead_core", dead_core.len() as f64);
         obs::gauge("estimate.coverage_ratio", mass.coverage_ratio());
+        obs::gauge("estimate.nodes", mass.pagerank.len() as f64);
+        obs::gauge("estimate.core_size", core_sorted.len() as f64);
         if obs::is_enabled() {
             // Mass-distribution summary: the relative-mass histogram is the
             // population Algorithm 2 thresholds over (only built when a

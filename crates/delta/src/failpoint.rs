@@ -11,12 +11,19 @@
 //!
 //! Arming happens two ways:
 //!
-//! * **Programmatic** — [`arm`] / [`disarm_all`] from tests (see the
-//!   crash-torture suite in `tests/crash.rs`).
+//! * **Programmatic** — [`arm`] / [`arm_panic`] / [`disarm_all`] from
+//!   tests (see the crash-torture suite in `tests/crash.rs`).
 //! * **Environment** — `SPAMMASS_FAILPOINTS="a.b=0;c.d=2"` parsed by
 //!   [`arm_from_env`], so a CI script can crash a real CLI process at a
 //!   chosen point without recompiling. The value is how many passes
-//!   survive before the trigger (0 = fail on first hit).
+//!   survive before the trigger (0 = fail on first hit); prefix it with
+//!   `panic:` (`a.b=panic:0`) for a panic instead of an error.
+//!
+//! A triggered point normally returns an injected [`io::Error`]; armed
+//! in **panic mode** it panics instead, modeling a hard process death
+//! rather than a failed syscall. Either way the trip is recorded on the
+//! global flight recorder (when enabled) immediately before it fires, so
+//! a crash dump's last events name the site that killed the run.
 //!
 //! The registry also supports **recording**: while enabled, every name
 //! passed to [`hit`] is appended (in order, with repeats) to a trace the
@@ -27,6 +34,7 @@
 //! threads; tests that arm points serialize themselves (the crash
 //! torture runs inside one `#[test]`).
 
+use spammass_obs as obs;
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,10 +46,26 @@ static ACTIVE: AtomicBool = AtomicBool::new(false);
 
 static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
 
+/// What a triggered failpoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Return an injected [`io::Error`] (a failed syscall).
+    Error,
+    /// Panic (a hard process death mid-sequence).
+    Panic,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    /// Passes left before the trigger fires.
+    passes: u64,
+    action: Action,
+}
+
 #[derive(Default)]
 struct Registry {
-    /// Armed points: name → passes left before the trigger fires.
-    armed: BTreeMap<String, u64>,
+    /// Armed points by name.
+    armed: BTreeMap<String, Armed>,
     /// Whether hits are being traced.
     recording: bool,
     /// The ordered trace of hit names (with repeats) while recording.
@@ -68,7 +92,16 @@ pub const INJECTED_MARK: &str = "injected fault";
 /// error. Re-arming an armed point resets its countdown.
 pub fn arm(name: &str, after: u64) {
     with_registry(|r| {
-        r.armed.insert(name.to_string(), after);
+        r.armed.insert(name.to_string(), Armed { passes: after, action: Action::Error });
+    });
+}
+
+/// Arms `name` in panic mode: the `after`-th subsequent [`hit`] panics
+/// instead of returning an error, modeling a hard crash (and exercising
+/// the panic hook / flight-recorder dump path end to end).
+pub fn arm_panic(name: &str, after: u64) {
+    with_registry(|r| {
+        r.armed.insert(name.to_string(), Armed { passes: after, action: Action::Panic });
     });
 }
 
@@ -100,23 +133,31 @@ pub fn stop_recording() -> Vec<String> {
 }
 
 /// Parses `SPAMMASS_FAILPOINTS` (`name=passes` pairs separated by `;` or
-/// `,`) and arms each entry. Unset or empty is a no-op; malformed
-/// entries are reported as errors so a typo'd CI script fails loudly
-/// instead of silently testing nothing.
+/// `,`; a `panic:` prefix on the pass count arms panic mode, e.g.
+/// `a.b=panic:0`) and arms each entry. Unset or empty is a no-op;
+/// malformed entries are reported as errors so a typo'd CI script fails
+/// loudly instead of silently testing nothing.
 pub fn arm_from_env() -> Result<usize, String> {
     let Ok(spec) = std::env::var("SPAMMASS_FAILPOINTS") else {
         return Ok(0);
     };
     let mut count = 0;
     for entry in spec.split([';', ',']).map(str::trim).filter(|e| !e.is_empty()) {
-        let (name, passes) = entry
+        let (name, value) = entry
             .split_once('=')
             .ok_or_else(|| format!("failpoint entry {entry:?} is not name=passes"))?;
-        let passes: u64 = passes
-            .trim()
-            .parse()
-            .map_err(|_| format!("failpoint {name:?}: bad pass count {passes:?}"))?;
-        arm(name.trim(), passes);
+        let value = value.trim();
+        let (panic_mode, passes) = match value.strip_prefix("panic:") {
+            Some(rest) => (true, rest.trim()),
+            None => (false, value),
+        };
+        let passes: u64 =
+            passes.parse().map_err(|_| format!("failpoint {name:?}: bad pass count {value:?}"))?;
+        if panic_mode {
+            arm_panic(name.trim(), passes);
+        } else {
+            arm(name.trim(), passes);
+        }
         count += 1;
     }
     Ok(count)
@@ -124,29 +165,47 @@ pub fn arm_from_env() -> Result<usize, String> {
 
 /// Passes through (or trips) the failpoint `name`.
 ///
-/// Returns `Err` with an [`INJECTED_KIND`] error when the point is armed
-/// and its countdown has reached zero; the point disarms itself on
-/// trigger (one crash per arming). Records the hit when recording.
+/// When the point is armed and its countdown has reached zero it trips:
+/// error mode returns `Err` with an [`INJECTED_KIND`] error, panic mode
+/// panics. The point disarms itself on trigger (one crash per arming),
+/// and the trip is noted on the flight recorder — outside the registry
+/// lock, so the panic hook can use the registry freely. Records the hit
+/// when recording.
 pub fn hit(name: &str) -> io::Result<()> {
     if !ACTIVE.load(Ordering::Acquire) {
         return Ok(());
     }
-    with_registry(|r| {
+    let tripped = with_registry(|r| {
         if r.recording {
             r.trace.push(name.to_string());
         }
         match r.armed.get_mut(name) {
-            None => Ok(()),
-            Some(passes) if *passes > 0 => {
-                *passes -= 1;
-                Ok(())
+            None => None,
+            Some(armed) if armed.passes > 0 => {
+                armed.passes -= 1;
+                None
             }
-            Some(_) => {
+            Some(armed) => {
+                let action = armed.action;
                 r.armed.remove(name);
-                Err(io::Error::other(format!("{INJECTED_MARK} at {name}")))
+                Some(action)
             }
         }
-    })
+    });
+    match tripped {
+        None => Ok(()),
+        Some(action) => {
+            let label = match action {
+                Action::Error => "error",
+                Action::Panic => "panic",
+            };
+            obs::flight::note("failpoint", name, &[("action".to_string(), obs::Json::str(label))]);
+            match action {
+                Action::Error => Err(io::Error::other(format!("{INJECTED_MARK} at {name}"))),
+                Action::Panic => panic!("{INJECTED_MARK} panic at {name}"),
+            }
+        }
+    }
 }
 
 /// Whether `error` was produced by a triggered failpoint.
@@ -210,6 +269,41 @@ mod tests {
         // Recording stopped: nothing accumulates.
         hit("fp.test.c").unwrap();
         assert!(stop_recording().is_empty());
+        disarm_all();
+    }
+
+    #[test]
+    fn panic_mode_panics_with_the_mark_then_disarms() {
+        let _g = lock();
+        disarm_all();
+        arm_panic("fp.test.panic", 1);
+        assert!(hit("fp.test.panic").is_ok());
+        let payload = std::panic::catch_unwind(|| {
+            let _ = hit("fp.test.panic");
+        })
+        .unwrap_err();
+        let msg = payload.downcast_ref::<String>().expect("panic carries a String");
+        assert!(msg.contains(INJECTED_MARK), "{msg}");
+        assert!(msg.contains("fp.test.panic"), "{msg}");
+        // One crash per arming, same as error mode.
+        assert!(hit("fp.test.panic").is_ok());
+        disarm_all();
+    }
+
+    #[test]
+    fn env_arming_parses_panic_mode() {
+        let _g = lock();
+        disarm_all();
+        std::env::set_var("SPAMMASS_FAILPOINTS", "fp.env.p=panic:1");
+        assert_eq!(arm_from_env().unwrap(), 1);
+        assert!(hit("fp.env.p").is_ok());
+        assert!(std::panic::catch_unwind(|| {
+            let _ = hit("fp.env.p");
+        })
+        .is_err());
+        std::env::set_var("SPAMMASS_FAILPOINTS", "fp.env.p=panic:x");
+        assert!(arm_from_env().is_err());
+        std::env::remove_var("SPAMMASS_FAILPOINTS");
         disarm_all();
     }
 

@@ -51,35 +51,51 @@
 #![warn(clippy::all)]
 
 mod collector;
+pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod registry;
 pub mod report;
 pub mod sink;
 mod span;
+pub mod window;
 
 pub use collector::{is_enabled, Collector, CollectorBuilder, ScopeGuard};
+pub use export::MetricsServer;
+pub use flight::{FlightEvent, FlightRecorder};
 pub use json::Json;
 pub use metrics::{Bucket, Histogram, Metric};
+pub use registry::{MetricSnapshot, MetricsRegistry, RegistrySnapshot};
 pub use report::RunReport;
 pub use sink::{
     build_span_tree, format_ns, render_span_tree, Event, JsonLinesSink, Recorder, SharedBuf, Sink,
     SpanNode, TreeSink,
 };
 pub use span::{span, Span, SpanRecord};
+pub use window::{HistWindowSnapshot, WindowHistogram, WindowSpec, WindowedCounter, WindowedGauge};
 
-/// Adds `delta` to the counter `name` on the installed collector (no-op
-/// otherwise) and emits a [`Event::Counter`].
+/// Adds `delta` to the counter `name` on the installed collector and the
+/// live [`registry`] (no-op when neither is active) and emits a
+/// [`Event::Counter`].
 pub fn counter(name: &str, delta: f64) {
+    if let Some(reg) = registry::live() {
+        reg.counter_add(name, delta);
+    }
     collector::with_current(|c| {
         let total = c.counter_add(name, delta);
         c.emit(&Event::Counter { name: name.to_string(), delta, total });
     });
 }
 
-/// Sets the gauge `name` on the installed collector (no-op otherwise)
-/// and emits a [`Event::Gauge`].
+/// Sets the gauge `name` on the installed collector and the live
+/// [`registry`] (no-op when neither is active) and emits a
+/// [`Event::Gauge`].
 pub fn gauge(name: &str, value: f64) {
+    if let Some(reg) = registry::live() {
+        reg.gauge_set(name, value);
+    }
     collector::with_current(|c| {
         c.gauge_set(name, value);
         c.emit(&Event::Gauge { name: name.to_string(), value });
@@ -87,8 +103,12 @@ pub fn gauge(name: &str, value: f64) {
 }
 
 /// Records `value` into the histogram `name` on the installed collector
-/// (no-op otherwise) and emits a [`Event::Observe`].
+/// and the live [`registry`] (no-op when neither is active) and emits a
+/// [`Event::Observe`].
 pub fn observe(name: &str, value: f64) {
+    if let Some(reg) = registry::live() {
+        reg.observe(name, value);
+    }
     collector::with_current(|c| {
         c.histogram_record(name, value);
         c.emit(&Event::Observe { name: name.to_string(), value });
@@ -96,9 +116,11 @@ pub fn observe(name: &str, value: f64) {
 }
 
 /// Emits a structured one-off [`Event::Message`] (no-op with no
-/// collector installed). Use for rare, rich events like solver-chain
-/// attempts; use metrics for anything aggregate.
+/// collector installed and the [`flight`] recorder off). Use for rare,
+/// rich events like solver-chain attempts; use metrics for anything
+/// aggregate.
 pub fn event(name: &str, fields: Vec<(String, Json)>) {
+    flight::note("message", name, &fields);
     collector::with_current(|c| {
         c.emit(&Event::Message { name: name.to_string(), fields: fields.clone() });
     });

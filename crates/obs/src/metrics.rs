@@ -18,8 +18,9 @@ const MIN_DECADE: i32 = -16;
 const MAX_DECADE: i32 = 8;
 /// Buckets per decade (half-decade resolution).
 const PER_DECADE: i32 = 2;
-/// Total bucket count.
-const BUCKETS: usize = ((MAX_DECADE - MIN_DECADE) * PER_DECADE) as usize;
+/// Total bucket count. Shared with the sliding-window histograms so both
+/// views of a metric have identical, diffable bucket boundaries.
+pub(crate) const BUCKETS: usize = ((MAX_DECADE - MIN_DECADE) * PER_DECADE) as usize;
 
 /// A fixed-bucket log-scale histogram with summary statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,8 +62,32 @@ pub struct Bucket {
 }
 
 /// The inclusive lower bound of bucket `i`.
-fn bucket_lo(i: usize) -> f64 {
+pub(crate) fn bucket_lo(i: usize) -> f64 {
     10f64.powf(MIN_DECADE as f64 + i as f64 / PER_DECADE as f64)
+}
+
+/// Where a finite sample lands on the shared bucket grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BucketPos {
+    /// Below the grid (zero, negative, or sub-range positive).
+    Below,
+    /// Inside bucket `i`.
+    In(usize),
+    /// At or above the top of the grid.
+    Above,
+}
+
+/// Classifies a finite sample against the bucket grid.
+pub(crate) fn bucket_pos(v: f64) -> BucketPos {
+    if v < bucket_lo(0) {
+        return BucketPos::Below;
+    }
+    let idx = (PER_DECADE as f64 * (v.log10() - MIN_DECADE as f64)).floor() as isize;
+    if idx >= BUCKETS as isize {
+        BucketPos::Above
+    } else {
+        BucketPos::In(idx.max(0) as usize)
+    }
 }
 
 impl Histogram {
@@ -81,16 +106,11 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
-        if v < bucket_lo(0) {
+        match bucket_pos(v) {
             // Zero, negative, and sub-range positives.
-            self.below += 1;
-        } else {
-            let idx = (PER_DECADE as f64 * (v.log10() - MIN_DECADE as f64)).floor() as isize;
-            if idx >= BUCKETS as isize {
-                self.above += 1;
-            } else {
-                self.buckets[idx.max(0) as usize] += 1;
-            }
+            BucketPos::Below => self.below += 1,
+            BucketPos::Above => self.above += 1,
+            BucketPos::In(idx) => self.buckets[idx] += 1,
         }
     }
 

@@ -55,6 +55,37 @@ pub const FSCK_GENERATIONS_QUARANTINED: &str = "fsck.generations_quarantined";
 /// Counter; zero on clean journals.
 pub const FSCK_JOURNAL_QUARANTINED_BYTES: &str = "fsck.journal.quarantined_bytes";
 
+/// Thread count the pool auto-sizer actually chose for a solve. Gauge;
+/// compare against the configured `--threads` to spot quota collapse.
+pub const PAGERANK_POOL_THREADS: &str = "pagerank.pool.threads";
+
+/// Structured sizing event: node/edge counts, configured threads, host
+/// parallelism, the `edges_per_thread` quota, and the chosen count.
+/// Message event, emitted once per solve.
+pub const PAGERANK_POOL_SIZING: &str = "pagerank.pool.sizing";
+
+/// Completed power-iteration sweeps across the worker pool. Counter;
+/// its windowed rate is the live sweeps/s of a running solve.
+pub const PAGERANK_POOL_SWEEPS: &str = "pagerank.pool.sweeps";
+
+/// Partition imbalance: the heaviest chunk's share of the edge-balanced
+/// weight relative to a perfect split (1.0 = balanced). Gauge.
+pub const PAGERANK_PARTITION_IMBALANCE: &str = "pagerank.partition.imbalance";
+
+/// Number of chunks the node partition was cut into. Gauge.
+pub const PAGERANK_PARTITION_CHUNKS: &str = "pagerank.partition.chunks";
+
+/// Scrapes answered by the metrics exposition server. Counter.
+pub const EXPORT_SCRAPES: &str = "obs.export.scrapes";
+
+/// Per-worker profiler series name: `pagerank.worker.<w>.<kind>`, where
+/// `kind` is `gather_ns` / `barrier_wait_ns` (windowed histograms) or
+/// `edges_per_s` (gauge). Worker indices make these dynamic, so they
+/// are built here rather than registered in [`ALL`].
+pub fn worker_series(worker: usize, kind: &str) -> String {
+    format!("pagerank.worker.{worker}.{kind}")
+}
+
 /// Every name in this registry, for exhaustive checks.
 pub const ALL: &[&str] = &[
     IO_RETRY,
@@ -68,6 +99,12 @@ pub const ALL: &[&str] = &[
     FSCK_REPAIRS,
     FSCK_GENERATIONS_QUARANTINED,
     FSCK_JOURNAL_QUARANTINED_BYTES,
+    PAGERANK_POOL_THREADS,
+    PAGERANK_POOL_SIZING,
+    PAGERANK_POOL_SWEEPS,
+    PAGERANK_PARTITION_IMBALANCE,
+    PAGERANK_PARTITION_CHUNKS,
+    EXPORT_SCRAPES,
 ];
 
 #[cfg(test)]
@@ -87,5 +124,12 @@ mod tests {
             assert!(name.contains('.'), "{name:?} has no subsystem prefix");
             assert!(!name.starts_with('.') && !name.ends_with('.'), "{name:?}");
         }
+    }
+
+    #[test]
+    fn worker_series_names_are_well_formed() {
+        assert_eq!(worker_series(0, "gather_ns"), "pagerank.worker.0.gather_ns");
+        assert_eq!(worker_series(3, "barrier_wait_ns"), "pagerank.worker.3.barrier_wait_ns");
+        assert_eq!(worker_series(1, "edges_per_s"), "pagerank.worker.1.edges_per_s");
     }
 }

@@ -6,8 +6,16 @@
 //! guard closes the span and emits a [`SpanRecord`] carrying wall-clock
 //! duration and any counters recorded on the span.
 //!
-//! With no collector installed, [`span`] returns an inert guard and the
-//! whole mechanism costs one thread-local read.
+//! With no collector installed (and the global flight recorder off),
+//! [`span`] returns an inert guard and the whole mechanism costs one
+//! thread-local read plus one relaxed atomic load.
+//!
+//! Spans are **panic-safe**: closing happens in `Drop`, which also runs
+//! during unwinding, so a panic mid-span still finalizes timing and
+//! flushes the record to the collector and the flight recorder. Crash
+//! dumps therefore carry a correct partial span tree — every span open
+//! at the panic has its `span_start` in the ring, and every span the
+//! unwind closes lands as a `span_end` before the process dies.
 
 use crate::collector::{with_current, Collector};
 use crate::json::Json;
@@ -59,7 +67,9 @@ impl SpanRecord {
 pub struct Span(Option<ActiveSpan>);
 
 struct ActiveSpan {
-    collector: Collector,
+    /// `None` when the span is live only because the flight recorder is
+    /// on (no collector installed on this thread).
+    collector: Option<Collector>,
     name: String,
     path: String,
     depth: usize,
@@ -69,35 +79,52 @@ struct ActiveSpan {
 }
 
 /// Opens a span named `name` under the innermost open span on this
-/// thread. Inert (and allocation-free) when no collector is installed.
+/// thread. Inert (and allocation-free) when no collector is installed
+/// and the global flight recorder is off.
 pub fn span(name: &str) -> Span {
-    let active = with_current(|collector| {
-        let (path, depth) = STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            let depth = stack.len();
-            let path =
-                if depth == 0 { name.to_string() } else { format!("{}.{}", stack.join("."), name) };
-            stack.push(name.to_string());
-            (path, depth)
-        });
-        let start_ns = collector.elapsed_ns();
-        collector.emit(&Event::SpanStart { path: path.clone(), depth, start_ns });
-        ActiveSpan {
-            collector: collector.clone(),
-            name: name.to_string(),
-            path,
-            depth,
-            start: Instant::now(),
-            start_ns,
-            counters: Vec::new(),
-        }
+    let collector = with_current(Collector::clone);
+    let flight_on = crate::flight::is_enabled();
+    if collector.is_none() && !flight_on {
+        return Span(None);
+    }
+    let (path, depth) = STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let depth = stack.len();
+        let path =
+            if depth == 0 { name.to_string() } else { format!("{}.{}", stack.join("."), name) };
+        stack.push(name.to_string());
+        (path, depth)
     });
-    Span(active)
+    // Timestamps are relative to the collector's epoch when one is
+    // installed, else to the flight recorder's.
+    let start_ns = match &collector {
+        Some(c) => c.elapsed_ns(),
+        None => crate::flight::elapsed_ns(),
+    };
+    if let Some(c) = &collector {
+        c.emit(&Event::SpanStart { path: path.clone(), depth, start_ns });
+    }
+    if flight_on {
+        crate::flight::note(
+            "span_start",
+            &path,
+            &[("depth".to_string(), Json::uint(depth as u64))],
+        );
+    }
+    Span(Some(ActiveSpan {
+        collector,
+        name: name.to_string(),
+        path,
+        depth,
+        start: Instant::now(),
+        start_ns,
+        counters: Vec::new(),
+    }))
 }
 
 impl Span {
-    /// Whether this span is actually measuring (a collector was installed
-    /// when it opened).
+    /// Whether this span is actually measuring (a collector was
+    /// installed, or the flight recorder was on, when it opened).
     pub fn is_active(&self) -> bool {
         self.0.is_some()
     }
@@ -119,7 +146,8 @@ impl Drop for Span {
         if let Some(active) = self.0.take() {
             // Unwind the name stack to this span's depth. Truncation (not
             // pop) keeps the stack sane even if an inner span outlived an
-            // outer one.
+            // outer one — including during panic unwinding, where drops
+            // run innermost-first and this finalizes each span's timing.
             STACK.with(|s| s.borrow_mut().truncate(active.depth));
             let record = SpanRecord {
                 name: active.name,
@@ -129,7 +157,19 @@ impl Drop for Span {
                 elapsed_ns: active.start.elapsed().as_nanos() as u64,
                 counters: active.counters,
             };
-            active.collector.emit(&Event::SpanEnd(record));
+            if crate::flight::is_enabled() {
+                crate::flight::note(
+                    "span_end",
+                    &record.path,
+                    &[
+                        ("elapsed_ns".to_string(), Json::uint(record.elapsed_ns)),
+                        ("depth".to_string(), Json::uint(record.depth as u64)),
+                    ],
+                );
+            }
+            if let Some(collector) = active.collector {
+                collector.emit(&Event::SpanEnd(record));
+            }
         }
     }
 }
@@ -213,6 +253,34 @@ mod tests {
         }
         let spans = recorder.spans();
         assert_eq!(spans[0].counters, vec![("edges".into(), 7.0), ("lines".into(), 1.0)]);
+    }
+
+    #[test]
+    fn spans_flush_during_panic_unwind() {
+        let recorder = Arc::new(Recorder::default());
+        let collector = Collector::builder().sink(recorder.clone()).build();
+        let _g = collector.install();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut outer = span("solve");
+            outer.record("sweeps", 3.0);
+            let _inner = span("gather");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            panic!("injected mid-span");
+        }));
+        assert!(result.is_err());
+        // Both spans finalized during unwind, innermost first, with
+        // timing and per-span counters intact.
+        let spans = recorder.spans();
+        let paths: Vec<&str> = spans.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["solve.gather", "solve"]);
+        assert!(spans[0].elapsed_ns >= 1_000_000, "timed through the unwind");
+        assert_eq!(spans[1].counters, vec![("sweeps".to_string(), 3.0)]);
+        // The thread-local name stack is clean: new spans nest at root.
+        STACK.with(|st| assert!(st.borrow().is_empty()));
+        {
+            let _after = span("after");
+            STACK.with(|st| assert_eq!(st.borrow().len(), 1));
+        }
     }
 
     #[test]

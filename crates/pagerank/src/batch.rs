@@ -192,6 +192,7 @@ fn solve_batch_fixed<const K: usize>(
     let c = config.damping;
     let one_minus_c = 1.0 - c;
     let partition = NodePartition::edge_balanced(graph, threads);
+    let profiler = crate::profiler::PoolProfiler::from_live(&partition, graph, K);
     let coef: Vec<f64> = graph
         .nodes()
         .map(|x| {
@@ -337,7 +338,7 @@ fn solve_batch_fixed<const K: usize>(
             ControlFlow::Continue(())
         };
 
-        pool::run_rounds(threads, kernel, control)
+        pool::run_rounds_profiled(threads, profiler.as_ref(), kernel, control)
     };
 
     // Telemetry on every exit path, including guard errors.

@@ -82,6 +82,7 @@ pub mod parallel;
 pub mod partition;
 pub mod pool;
 pub mod power;
+mod profiler;
 mod scores;
 
 pub use batch::{solve_batch, solve_batch_warm};

@@ -112,6 +112,7 @@ pub fn solve_parallel_jacobi_dense_warm(
     // All solve-lifetime state is allocated up front; the iteration loop
     // itself is allocation-free (see tests/alloc.rs).
     let partition = NodePartition::edge_balanced(graph, threads);
+    let profiler = crate::profiler::PoolProfiler::from_live(&partition, graph, 1);
     let coef: Vec<f64> = graph
         .nodes()
         .map(|x| {
@@ -188,7 +189,7 @@ pub fn solve_parallel_jacobi_dense_warm(
             ControlFlow::Continue(())
         };
 
-        pool::run_rounds(threads, kernel, control)
+        pool::run_rounds_profiled(threads, profiler.as_ref(), kernel, control)
     };
 
     // Telemetry on every exit path, including guard errors.
@@ -360,7 +361,26 @@ pub(crate) fn effective_threads(config: &PageRankConfig, graph: &Graph) -> usize
         graph.node_count(),
         graph.edge_count(),
     );
-    obs::gauge("pagerank.pool.threads", threads as f64);
+    // The full sizing decision as a structured event: when a run shows
+    // `pool_threads: 1` despite `--threads 4`, this names the cap that
+    // collapsed it (node floor, edge quota, or host parallelism).
+    let quota = if config.edges_per_thread == 0 {
+        DEFAULT_EDGES_PER_THREAD
+    } else {
+        config.edges_per_thread
+    };
+    obs::event(
+        obs::names::PAGERANK_POOL_SIZING,
+        vec![
+            ("nodes".to_string(), obs::Json::uint(graph.node_count() as u64)),
+            ("edges".to_string(), obs::Json::uint(graph.edge_count() as u64)),
+            ("configured".to_string(), obs::Json::uint(config.threads as u64)),
+            ("hardware".to_string(), obs::Json::uint(hw as u64)),
+            ("edges_per_thread".to_string(), obs::Json::uint(quota as u64)),
+            ("chosen".to_string(), obs::Json::uint(threads as u64)),
+        ],
+    );
+    obs::gauge(obs::names::PAGERANK_POOL_THREADS, threads as f64);
     threads
 }
 
@@ -486,6 +506,12 @@ mod tests {
         // Node cap satisfied but the edge quota holds it to one worker —
         // the 1-core-host regression case: 1.1M edges < 2 × 2M.
         assert_eq!(pool_threads(4, 0, 8, 120_000, 1_100_000), 1);
+        // Same 120k-host graph with `--threads 0` on a 4-core host: the
+        // edge quota, not the host width, is what serializes it.
+        assert_eq!(pool_threads(0, 0, 4, 120_000, 1_100_000), 1);
+        // An explicit quota override restores the requested width on
+        // that same graph.
+        assert_eq!(pool_threads(4, 1 << 18, 8, 120_000, 1_100_000), 4);
         // Enough edges for the requested width.
         assert_eq!(pool_threads(4, 0, 8, 1 << 20, 4 * EPT), 4);
         // Edge quota trims 8 requested workers down to 3.
@@ -511,6 +537,36 @@ mod tests {
         for i in 0..g.node_count() {
             assert!((a.scores[i] - b.scores[i]).abs() < 1e-12, "node {i}");
         }
+    }
+
+    #[test]
+    fn sizing_event_names_the_decision() {
+        use std::sync::Arc;
+        let recorder = Arc::new(obs::Recorder::new());
+        let collector = obs::Collector::builder().sink(recorder.clone()).build();
+        let g = random_graph(40_000, 120_000, 41);
+        {
+            let _guard = collector.install();
+            solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(3)).unwrap();
+        }
+        let msgs = recorder.messages();
+        let (_, fields) = msgs.iter().find(|(n, _)| n == obs::names::PAGERANK_POOL_SIZING).unwrap();
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(f, _)| f == k)
+                .unwrap_or_else(|| panic!("missing field {k}"))
+                .1
+                .as_f64()
+                .unwrap()
+        };
+        assert_eq!(get("nodes"), g.node_count() as f64);
+        assert_eq!(get("edges"), g.edge_count() as f64);
+        assert_eq!(get("configured"), 3.0);
+        // cfg() overrides the quota to 1 edge/worker.
+        assert_eq!(get("edges_per_thread"), 1.0);
+        assert_eq!(get("chosen"), 3.0);
+        assert!(get("hardware") >= 1.0);
     }
 
     #[test]

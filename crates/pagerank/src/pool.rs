@@ -26,9 +26,11 @@
 //! loops allocation-free per iteration (asserted by the counting-
 //! allocator test in `tests/alloc.rs`).
 
+use crate::profiler::PoolProfiler;
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Barrier;
+use std::time::Instant;
 
 /// Runs `kernel` in lock-step rounds over `threads` workers until
 /// `control` breaks.
@@ -44,7 +46,25 @@ use std::sync::Barrier;
 /// With `threads <= 1` no threads are spawned and the rounds run inline
 /// on the calling thread — the degenerate pool is just a loop, so
 /// callers need no separate serial code path.
-pub fn run_rounds<R, K, C>(threads: usize, kernel: K, mut control: C) -> R
+pub fn run_rounds<R, K, C>(threads: usize, kernel: K, control: C) -> R
+where
+    K: Fn(usize, usize) + Sync,
+    C: FnMut(usize) -> ControlFlow<R>,
+{
+    run_rounds_profiled(threads, None, kernel, control)
+}
+
+/// [`run_rounds`] with an optional [`PoolProfiler`]: when present, every
+/// worker times its kernel and barrier waits and the control thread
+/// flushes the accumulated nanoseconds into the live registry once per
+/// round. With `profiler == None` the timestamps are skipped entirely,
+/// so the unprofiled path costs nothing extra.
+pub(crate) fn run_rounds_profiled<R, K, C>(
+    threads: usize,
+    profiler: Option<&PoolProfiler>,
+    kernel: K,
+    mut control: C,
+) -> R
 where
     K: Fn(usize, usize) + Sync,
     C: FnMut(usize) -> ControlFlow<R>,
@@ -52,7 +72,15 @@ where
     if threads <= 1 {
         let mut round = 0usize;
         loop {
-            kernel(round, 0);
+            match profiler {
+                Some(p) => {
+                    let t0 = Instant::now();
+                    kernel(round, 0);
+                    p.record_gather(0, t0.elapsed().as_nanos() as u64);
+                    p.flush_round();
+                }
+                None => kernel(round, 0),
+            }
             match control(round) {
                 ControlFlow::Continue(()) => round += 1,
                 ControlFlow::Break(result) => return result,
@@ -71,13 +99,32 @@ where
                     // Start-of-round handoff: the control thread has
                     // finished deciding; `stop` is stable until the next
                     // end-of-round barrier.
-                    barrier.wait();
-                    if stop.load(Ordering::Acquire) {
-                        break;
+                    match profiler {
+                        Some(p) => {
+                            let t0 = Instant::now();
+                            barrier.wait();
+                            p.record_barrier(worker, t0.elapsed().as_nanos() as u64);
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let t1 = Instant::now();
+                            kernel(round, worker);
+                            p.record_gather(worker, t1.elapsed().as_nanos() as u64);
+                            round += 1;
+                            let t2 = Instant::now();
+                            barrier.wait();
+                            p.record_barrier(worker, t2.elapsed().as_nanos() as u64);
+                        }
+                        None => {
+                            barrier.wait();
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            kernel(round, worker);
+                            round += 1;
+                            barrier.wait();
+                        }
                     }
-                    kernel(round, worker);
-                    round += 1;
-                    barrier.wait();
                 }
             });
         }
@@ -85,8 +132,25 @@ where
         let mut round = 0usize;
         loop {
             barrier.wait(); // release everyone into the round
-            kernel(round, 0);
-            barrier.wait(); // all chunks of this round are done
+            match profiler {
+                Some(p) => {
+                    let t0 = Instant::now();
+                    kernel(round, 0);
+                    p.record_gather(0, t0.elapsed().as_nanos() as u64);
+                    let t1 = Instant::now();
+                    barrier.wait(); // all chunks of this round are done
+                    p.record_barrier(0, t1.elapsed().as_nanos() as u64);
+                    // Flushing here races only with the *other* workers
+                    // recording their own end-of-round waits; a wait that
+                    // lands after the flush is attributed to the next
+                    // round, which windowed series tolerate.
+                    p.flush_round();
+                }
+                None => {
+                    kernel(round, 0);
+                    barrier.wait(); // all chunks of this round are done
+                }
+            }
             match control(round) {
                 ControlFlow::Continue(()) => round += 1,
                 ControlFlow::Break(result) => {

@@ -7,10 +7,17 @@
 #
 #   { "schema": "spammass.bench/v1", "host_threads": N,
 #     "samples_per_bench": S,
-#     "benches": [ {"name": ..., "median_ns": ..., "samples": ...}, ... ] }
+#     "benches": [ {"name": ..., "threads": T, "median_ns": ..., "samples": ...}, ... ] }
 #
 # Bench names encode kernel, thread count, and graph size
-# (e.g. pagerank_engine/fused_4t/120000). Usage:
+# (e.g. pagerank_engine/fused_4t/120000). `host_threads` is the real
+# parallelism of the machine that ran the benches (nproc); the per-bench
+# `threads` field is what the bench *requested*, parsed from the `_Nt`
+# suffix in its name (1 when unsuffixed). The two disagreeing is
+# meaningful, not a bug: a `_4t` bench on a 1-core host collapses to one
+# worker (see `pool_threads_4t` in BENCH_layout.json), and
+# `spammass bench-diff` readers need both numbers to interpret a delta.
+# Usage:
 #
 #   scripts/bench.sh           # quick mode, 5 samples per benchmark
 #   scripts/bench.sh --full    # criterion defaults (10 samples)
@@ -24,6 +31,15 @@ fi
 
 LOG="$(mktemp)"
 trap 'rm -f "$LOG"' EXIT
+
+# Injects the per-bench thread count into each BENCH_JSON object: `_Nt`
+# in the bench name means the bench requested N workers; everything else
+# ran single-threaded.
+annotate_threads() {
+  sed -E \
+    -e 's|^\{"name":"([^"]*_([0-9]+)t(/[^"]*)?)",(.*)\}$|{"name":"\1","threads":\2,\4}|' \
+    -e '/"threads":/! s|^\{"name":"([^"]*)",(.*)\}$|{"name":"\1","threads":1,\2}|'
+}
 
 run_bench() {
   echo "== cargo bench -p spammass-bench --bench $1 =="
@@ -41,7 +57,7 @@ OUT="BENCH_pagerank.json"
   printf '  "host_threads": %s,\n' "$(nproc)"
   printf '  "samples_per_bench": %s,\n' "${SAMPLES:-10}"
   printf '  "benches": [\n'
-  grep '^BENCH_JSON ' "$LOG" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+  grep '^BENCH_JSON ' "$LOG" | sed 's/^BENCH_JSON //' | annotate_threads | sed '$!s/$/,/' | sed 's/^/    /'
   printf '  ]\n'
   printf '}\n'
 } > "$OUT"
@@ -69,7 +85,7 @@ INCR_OUT="BENCH_incremental.json"
   printf '  "agreement": '
   grep '^BENCH_INCR ' "$INCR_LOG" | head -1 | sed 's/^BENCH_INCR //' | sed 's/$/,/'
   printf '  "benches": [\n'
-  grep '^BENCH_JSON ' "$INCR_LOG" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+  grep '^BENCH_JSON ' "$INCR_LOG" | sed 's/^BENCH_JSON //' | annotate_threads | sed '$!s/$/,/' | sed 's/^/    /'
   printf '  ]\n'
   printf '}\n'
 } > "$INCR_OUT"
@@ -96,7 +112,7 @@ LAYOUT_OUT="BENCH_layout.json"
   printf '  "layout": '
   grep '^BENCH_LAYOUT ' "$LAYOUT_LOG" | head -1 | sed 's/^BENCH_LAYOUT //' | sed 's/$/,/'
   printf '  "benches": [\n'
-  grep '^BENCH_JSON ' "$LAYOUT_LOG" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/' | sed 's/^/    /'
+  grep '^BENCH_JSON ' "$LAYOUT_LOG" | sed 's/^BENCH_JSON //' | annotate_threads | sed '$!s/$/,/' | sed 's/^/    /'
   printf '  ]\n'
   printf '}\n'
 } > "$LAYOUT_OUT"

@@ -93,6 +93,72 @@ for key in 'delta applied' 'warm solve' 'newly flagged' 'newly cleared' \
     || { echo "update report missing '$key'"; cat "$SMOKE_DIR/update.out"; exit 1; }
 done
 
+echo "== live metrics smoke: estimate --serve-metrics scraped while up =="
+# Start a solve with the exposition server on an ephemeral port (the
+# bound address lands on stderr), scrape /metrics + /snapshot + /flight
+# over bash's /dev/tcp, and require the per-worker profiler series. The
+# graph must clear the pool's 16384-nodes-per-worker floor or the
+# auto-sizer collapses to one worker and the worker-1 series can never
+# appear (--edges-per-thread only lifts the *edge* quota); 40k hosts
+# admits the two workers we ask for. The linger keeps the server up
+# after a fast solve so the scrape loop cannot lose the race; mid-solve
+# scraping itself is pinned by crates/cli/tests/live_metrics.rs at
+# 120k-host scale.
+./target/release/spammass generate --hosts 40000 --seed 7 \
+  --out "$SMOKE_DIR/live.graph" --core "$SMOKE_DIR/live-core.txt" > /dev/null
+./target/release/spammass estimate --graph "$SMOKE_DIR/live.graph" \
+  --core "$SMOKE_DIR/live-core.txt" --threads 2 --edges-per-thread 1 \
+  --serve-metrics 127.0.0.1:0 --serve-linger 8000 \
+  > "$SMOKE_DIR/live.out" 2> "$SMOKE_DIR/live.err" &
+LIVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)/metrics.*|\1|p' "$SMOKE_DIR/live.err")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "estimate --serve-metrics advertised no port"; exit 1; }
+scrape() {
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+  printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$1" >&3
+  cat <&3
+  exec 3<&-
+}
+METRICS=""
+for _ in $(seq 1 100); do
+  METRICS="$(scrape /metrics || true)"
+  case "$METRICS" in *spammass_pagerank_worker_1_gather_ns*) break ;; esac
+  sleep 0.05
+done
+for key in spammass_pagerank_worker_0_gather_ns \
+    spammass_pagerank_worker_1_gather_ns \
+    spammass_pagerank_worker_0_barrier_wait_ns \
+    spammass_pagerank_pool_sweeps spammass_pagerank_partition_imbalance \
+    spammass_obs_export_scrapes; do
+  printf '%s' "$METRICS" | grep -q "$key" \
+    || { echo "/metrics missing $key"; printf '%s\n' "$METRICS"; exit 1; }
+done
+scrape /snapshot | grep -q 'spammass.metrics_snapshot/v1' \
+  || { echo "/snapshot missing its schema tag"; exit 1; }
+scrape /flight | grep -q 'spammass.flight/v1' \
+  || { echo "/flight missing its schema tag"; exit 1; }
+wait "$LIVE_PID" \
+  || { echo "estimate --serve-metrics failed"; cat "$SMOKE_DIR/live.err"; exit 1; }
+
+echo "== bench-diff (report-only) against the checked-in baselines =="
+# A self-diff exercises parsing of every checked-in BENCH file and the
+# zero-regression path; report-only keeps the gate decoupled from the
+# noise floor of whatever machine reran the benches last.
+for f in BENCH_pagerank.json BENCH_incremental.json BENCH_layout.json; do
+  [ -f "$f" ] || { echo "missing checked-in $f"; exit 1; }
+  ./target/release/spammass bench-diff --old "$f" --new "$f" \
+    --report-only true > "$SMOKE_DIR/bench-diff.out" \
+    || { echo "bench-diff failed on $f"; cat "$SMOKE_DIR/bench-diff.out"; exit 1; }
+  grep -q 'no regressions' "$SMOKE_DIR/bench-diff.out" \
+    || { echo "bench-diff self-diff on $f reported regressions"; \
+         cat "$SMOKE_DIR/bench-diff.out"; exit 1; }
+done
+
 echo "== durability: crash-torture suite =="
 # Records every failpoint in the save/append pipelines and replays each
 # one as a simulated crash, asserting recovery + fsck repair.
