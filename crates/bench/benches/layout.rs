@@ -11,8 +11,10 @@
 //! * reordered solves reproduce natural-order scores exactly (≤1e-12
 //!   after inverse mapping) — always;
 //! * the best reordering beats natural order by ≥15% median, and 4
-//!   configured threads are not slower than 1 (the pool auto-sizer may
-//!   resolve both to one worker) — only in timed runs, not `--test`.
+//!   configured threads are not slower than 1 — only in timed runs on
+//!   hosts with ≥4 hardware threads (the auto-sizer may resolve both
+//!   requests to one worker, and an oversubscribed 1-core host
+//!   legitimately pays for 4 workers), never in `--test` mode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spammass_bench::Fixture;
@@ -81,15 +83,18 @@ fn verify_and_report(g: &Graph) {
         layouts.push(Layout { order_ms, solve_ms });
     }
 
-    // Thread-scaling clause: 4 configured workers must not lose to 1.
-    // The pool auto-sizer caps workers by edge quota, so on this graph 4
-    // configured threads may legitimately resolve to a single worker.
+    // Thread-scaling clause: 4 configured workers must not lose to 1 —
+    // on a host that actually has 4 cores. The auto-sizer may still
+    // resolve both requests to one worker on small graphs, and a 1-core
+    // host runs 4 workers oversubscribed, so both cases are exempt.
     let cfg4 = config().threads(4);
     let fused_4t_ms = median_ms(reps, || {
         black_box(solve(g, &cfg4));
     });
     let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let pool_threads_4t = parallel::pool_threads(4, 0, hardware, g.node_count(), g.edge_count());
+    let sweeps = parallel::estimated_sweeps(cfg4.tolerance, cfg4.damping);
+    let pool_threads_4t =
+        parallel::pool_threads(4, 0, hardware, g.node_count(), g.edge_count(), sweeps);
 
     // Zero-copy mmap load vs the owned v2 decode of the same graph.
     let dir = std::env::temp_dir().join("spammass-bench-layout");
@@ -137,9 +142,9 @@ fn verify_and_report(g: &Graph) {
             "best reordering saves only {best_speedup_pct:.1}% over natural order"
         );
         assert!(
-            pool_threads_4t == 1 || fused_4t_ms <= natural_ms * 1.05,
+            pool_threads_4t == 1 || hardware < 4 || fused_4t_ms <= natural_ms * 1.05,
             "4 configured threads slower than 1 ({fused_4t_ms:.1}ms vs {natural_ms:.1}ms) \
-             and the auto-sizer did not serialize (resolved {pool_threads_4t})"
+             on a {hardware}-thread host (resolved {pool_threads_4t} workers)"
         );
     }
 }

@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spammass_bench::Fixture;
-use spammass_pagerank::{gauss_seidel, jacobi, parallel, power, JumpVector, PageRankConfig};
+use spammass_pagerank::{
+    gauss_seidel, jacobi, parallel, power, JumpVector, KernelKind, PageRankConfig,
+};
 use std::hint::black_box;
 
 fn config() -> PageRankConfig {
@@ -58,7 +60,10 @@ fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("pagerank_engine");
     group.sample_size(10);
     for threads in [1usize, 4] {
-        let cfg = config().threads(threads);
+        // `fused_*` pins the scalar kernel: it is the historical fused
+        // gather, kept comparable across PRs; the unrolled kernel is
+        // measured separately in the `pagerank_scaling` group.
+        let cfg = config().threads(threads).kernel(KernelKind::Scalar);
         group.bench_with_input(
             BenchmarkId::new(format!("two_pass_{threads}t"), hosts),
             &hosts,
@@ -69,6 +74,35 @@ fn bench_engine(c: &mut Criterion) {
             &hosts,
             |b, _| b.iter(|| black_box(parallel::solve_parallel_jacobi(g, &jump, &cfg))),
         );
+    }
+    group.finish();
+}
+
+/// The scaling acceptance workload: scalar fused baselines vs the
+/// unrolled (SIMD-shaped) kernel at one thread and the full edge-parallel
+/// path at four, all on the 120k-host / ≥1M-edge graph. Medians land in
+/// `BENCH_pagerank.json` via `scripts/bench.sh`; thread counts are
+/// encoded in the benchmark names (`_1t` / `_4t`) and annotated into the
+/// JSON's `"threads"` field.
+fn bench_scaling(c: &mut Criterion) {
+    let hosts = 120_000usize;
+    let fixture = Fixture::new(hosts);
+    let g = fixture.graph();
+    println!("pagerank_scaling: {} nodes, {} edges", g.node_count(), g.edge_count());
+    let jump = JumpVector::Uniform;
+    let mut group = c.benchmark_group("pagerank_scaling");
+    group.sample_size(10);
+    let cases = [
+        ("fused_1t", 1usize, KernelKind::Scalar),
+        ("fused_4t", 4, KernelKind::Scalar),
+        ("simd_1t", 1, KernelKind::Unrolled4),
+        ("edge_parallel_4t", 4, KernelKind::Unrolled4),
+    ];
+    for (name, threads, kernel) in cases {
+        let cfg = config().threads(threads).kernel(kernel);
+        group.bench_with_input(BenchmarkId::new(name, hosts), &hosts, |b, _| {
+            b.iter(|| black_box(parallel::solve_parallel_jacobi(g, &jump, &cfg)))
+        });
     }
     group.finish();
 }
@@ -84,5 +118,5 @@ fn bench_core_jump(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_solvers, bench_engine, bench_core_jump);
+criterion_group!(benches, bench_solvers, bench_engine, bench_scaling, bench_core_jump);
 criterion_main!(benches);

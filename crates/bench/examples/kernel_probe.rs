@@ -1,0 +1,54 @@
+//! Quick kernel A/B probe: times the pooled solve under each gather
+//! kernel on the acceptance fixture. Not part of the bench suite —
+//! `cargo run --release -p spammass-bench --example kernel_probe [hosts]`.
+
+use spammass_bench::Fixture;
+use spammass_pagerank::{parallel, JumpVector, KernelKind, PageRankConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let hosts: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(120_000);
+    let reps: usize = std::env::args().nth(2).and_then(|v| v.parse().ok()).unwrap_or(3);
+    let fixture = Fixture::new(hosts);
+    let natural = fixture.graph();
+    let degree_ordered = spammass_graph::Permutation::compute(
+        natural,
+        spammass_graph::NodeOrdering::DegreeDescending,
+    )
+    .permute_graph(natural);
+    let g = if std::env::args().any(|a| a == "--degree") { &degree_ordered } else { natural };
+    println!(
+        "{} nodes, {} edges{}",
+        g.node_count(),
+        g.edge_count(),
+        if std::ptr::eq(g, natural) { "" } else { " (degree-ordered)" }
+    );
+    let jump = JumpVector::Uniform;
+    // Interleave the kernels rep by rep so slow host drift (thermal,
+    // cgroup neighbors) cancels out of the comparison.
+    for threads in [1usize, 4] {
+        let mut scalar = Vec::new();
+        let mut unrolled = Vec::new();
+        for _ in 0..reps {
+            for (kernel, times) in
+                [(KernelKind::Scalar, &mut scalar), (KernelKind::Unrolled4, &mut unrolled)]
+            {
+                let cfg = PageRankConfig::default()
+                    .tolerance(1e-10)
+                    .max_iterations(200)
+                    .threads(threads)
+                    .kernel(kernel);
+                let t = Instant::now();
+                black_box(parallel::solve_parallel_jacobi(g, &jump, &cfg).unwrap());
+                times.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        scalar.sort_by(f64::total_cmp);
+        unrolled.sort_by(f64::total_cmp);
+        let (s, u) = (scalar[scalar.len() / 2], unrolled[unrolled.len() / 2]);
+        println!("scalar_{threads}t:   median {s:.1} ms  (all: {scalar:.1?})");
+        println!("unrolled_{threads}t: median {u:.1} ms  (all: {unrolled:.1?})");
+        println!("  -> unrolled vs scalar: {:+.1}%", (u - s) / s * 100.0);
+    }
+}

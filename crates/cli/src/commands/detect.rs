@@ -21,6 +21,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "gamma",
         "rho",
         "tau",
+        "kernel",
         "order",
         "lenient",
         "trace",
@@ -40,6 +41,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     if !(0.0..=1.0).contains(&gamma) {
         return Err(CliError::Usage(format!("--gamma {gamma} outside [0, 1]")));
     }
+    let kernel: spammass_pagerank::KernelKind = match args.optional("kernel") {
+        Some(v) => v.parse().map_err(CliError::Usage)?,
+        None => spammass_pagerank::KernelKind::Auto,
+    };
 
     let mut out = String::new();
     if let Some(w) = ingest_warning(load_report.as_ref()) {
@@ -49,9 +54,12 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(out, "{w}");
     }
 
-    let estimate =
-        MassEstimator::new(EstimatorConfig::scaled(gamma).with_ordering(node_ordering(args)?))
-            .estimate(&graph, &core_load.nodes)?;
+    let estimate = MassEstimator::new(
+        EstimatorConfig::scaled(gamma)
+            .with_pagerank(spammass_pagerank::PageRankConfig::default().kernel(kernel))
+            .with_ordering(node_ordering(args)?),
+    )
+    .estimate(&graph, &core_load.nodes)?;
     out.push_str(&health_lines(&estimate, labels.as_ref()));
     let detection = detect(&estimate, &DetectorConfig { rho, tau });
 

@@ -65,6 +65,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "top",
         "threads",
         "edges-per-thread",
+        "kernel",
         "batch",
         "order",
         "lenient",
@@ -90,6 +91,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let top: usize = args.parsed_or("top", 20)?;
     let threads: usize = args.parsed_or("threads", 0)?;
     let edges_per_thread: usize = args.parsed_or("edges-per-thread", 0)?;
+    let kernel: spammass_pagerank::KernelKind = match args.optional("kernel") {
+        Some(v) => v.parse().map_err(CliError::Usage)?,
+        None => spammass_pagerank::KernelKind::Auto,
+    };
     let batched: bool = args.parsed_or("batch", true)?;
 
     let mut warnings = String::new();
@@ -104,7 +109,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         .with_pagerank(
             spammass_pagerank::PageRankConfig::default()
                 .threads(threads)
-                .edges_per_thread(edges_per_thread),
+                .edges_per_thread(edges_per_thread)
+                .kernel(kernel),
         )
         .with_batching(batched)
         .with_ordering(node_ordering(args)?);

@@ -6,7 +6,7 @@ use crate::loading::{
 };
 use crate::CliError;
 use spammass_graph::{NodeOrdering, Permutation};
-use spammass_pagerank::{JumpVector, PageRankConfig, SolverChain, SolverKind};
+use spammass_pagerank::{JumpVector, KernelKind, PageRankConfig, SolverChain, SolverKind};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -32,6 +32,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "top",
         "threads",
         "edges-per-thread",
+        "kernel",
         "labels",
         "order",
         "lenient",
@@ -65,6 +66,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let fallback: bool = args.parsed_or("fallback", false)?;
     let threads: usize = args.parsed_or("threads", 0)?;
     let edges_per_thread: usize = args.parsed_or("edges-per-thread", 0)?;
+    let kernel: KernelKind = match args.optional("kernel") {
+        Some(v) => v.parse().map_err(CliError::Usage)?,
+        None => KernelKind::Auto,
+    };
     let solver = args.optional("solver").unwrap_or("jacobi");
     let kind = solver_kind(solver)?;
 
@@ -72,7 +77,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         .tolerance(tolerance)
         .max_iterations(500)
         .threads(threads)
-        .edges_per_thread(edges_per_thread);
+        .edges_per_thread(edges_per_thread)
+        .kernel(kernel);
     cfg.validate().map_err(|e| CliError::Usage(e.to_string()))?;
     let jump = JumpVector::Uniform;
 

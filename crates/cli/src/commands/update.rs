@@ -30,6 +30,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "top",
         "threads",
         "edges-per-thread",
+        "kernel",
         "batch",
         "lenient",
         "trace",
@@ -54,6 +55,10 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let top: usize = args.parsed_or("top", 10)?;
     let threads: usize = args.parsed_or("threads", 0)?;
     let edges_per_thread: usize = args.parsed_or("edges-per-thread", 0)?;
+    let kernel: spammass_pagerank::KernelKind = match args.optional("kernel") {
+        Some(v) => v.parse().map_err(CliError::Usage)?,
+        None => spammass_pagerank::KernelKind::Auto,
+    };
     let batched: bool = args.parsed_or("batch", true)?;
 
     let data = std::fs::read(journal_path)?;
@@ -88,7 +93,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         .with_pagerank(
             spammass_pagerank::PageRankConfig::default()
                 .threads(threads)
-                .edges_per_thread(edges_per_thread),
+                .edges_per_thread(edges_per_thread)
+                .kernel(kernel),
         )
         .with_batching(batched);
     let detector = DetectorConfig { rho, tau };

@@ -108,7 +108,7 @@ USAGE:
   spammass generate --hosts N [--seed S] --out FILE [--labels FILE] [--truth FILE] [--core FILE] [--evolve K --journal FILE]
   spammass convert  --in FILE --out FILE [--format v1|v2|v3] [--order degree|bfs|none] [--lenient N] [--threads T]
   spammass stats    --graph FILE [--lenient N]
-  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--threads T] [--order degree|bfs|none] [--labels FILE] [--fallback true] [--lenient N]
+  spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--threads T] [--kernel auto|scalar|unrolled4] [--order degree|bfs|none] [--labels FILE] [--fallback true] [--lenient N]
   spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--state DIR] [--threads T] [--batch false] [--order degree|bfs|none] [--lenient N]
   spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--order degree|bfs|none] [--lenient N]
   spammass update   --journal FILE --state DIR [--labels FILE] [--gamma G] [--rho R] [--tau T] [--top K] [--threads T] [--lenient N]
@@ -137,6 +137,9 @@ USAGE:
                     built-in default); lower it to force multi-worker solves
                     on small graphs — the `pagerank.pool.sizing` event names
                     whichever cap won
+  --kernel K        gather kernel for the pooled solver: auto (default),
+                    scalar, or unrolled4 (4-wide unrolled accumulators);
+                    auto resolves to unrolled4
   --order O         solve in a cache-friendly node layout: `degree`
                     (descending out-degree) or `bfs` (hub-first BFS);
                     results always report original node ids. `convert`

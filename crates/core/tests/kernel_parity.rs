@@ -1,0 +1,85 @@
+//! Kernel parity at the detector level.
+//!
+//! The gather kernel (scalar vs 4-wide unrolled) is a pure execution
+//! detail of the edge-parallel engine: on the same graph and core, the
+//! estimator's scores must agree to ≤ 1e-12 per node and Algorithm 2
+//! must flag the *same* hosts. The workload here is large enough to
+//! clear the pool's node floor, so the unrolled run genuinely exercises
+//! the multi-worker edge-parallel path rather than the serial fallback.
+
+use spammass_core::detector::{detect, DetectorConfig};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_graph::{Graph, GraphBuilder, NodeId};
+use spammass_pagerank::{KernelKind, PageRankConfig};
+
+/// Deterministic pseudo-random web, sized past the pool's 16k-row node
+/// floor: a power-law-ish body, a few hubs, and a boosting farm so the
+/// detector has something to flag.
+fn pooled_web() -> Graph {
+    let n: u32 = 40_000;
+    let mut state: u64 = 0x5EED_CAFE;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut edges = Vec::new();
+    // Random body with mild preferential attachment toward low ids.
+    for _ in 0..160_000 {
+        let u = next() % n;
+        let v = if next() % 3 == 0 { next() % 64 } else { next() % n };
+        edges.push((u, v));
+    }
+    // A boosting farm: leaves funnel into a beneficiary outside the core.
+    let target = n - 1;
+    for leaf in (n - 120)..(n - 1) {
+        edges.push((leaf, target));
+        edges.push((target, leaf));
+    }
+    GraphBuilder::from_edges(n as usize, &edges)
+}
+
+fn good_core() -> Vec<NodeId> {
+    (0..200u32).map(|i| NodeId((i * 37) % 500)).collect()
+}
+
+fn estimator(kernel: KernelKind) -> MassEstimator {
+    // Edge quota 1 so three configured workers survive the auto-sizer
+    // and the solve runs the edge-parallel engine with merge rows.
+    MassEstimator::new(
+        EstimatorConfig::default().with_pagerank(
+            PageRankConfig::default()
+                .tolerance(1e-12)
+                .max_iterations(10_000)
+                .threads(3)
+                .edges_per_thread(1)
+                .kernel(kernel),
+        ),
+    )
+}
+
+#[test]
+fn detector_flags_identical_sets_under_any_kernel() {
+    let graph = pooled_web();
+    let core = good_core();
+    // Thresholds sit well away from any node's score, so a 1e-12 wobble
+    // cannot flip membership and set equality is exact.
+    let thresholds = DetectorConfig { rho: 1.0, tau: 0.5 };
+    let scalar = estimator(KernelKind::Scalar).estimate(&graph, &core).unwrap();
+    let baseline = detect(&scalar, &thresholds);
+    assert!(!baseline.is_empty(), "workload should produce spam candidates");
+    for kernel in [KernelKind::Unrolled4, KernelKind::Auto] {
+        let run = estimator(kernel).estimate(&graph, &core).unwrap();
+        let max_diff = scalar
+            .pagerank
+            .iter()
+            .zip(&run.pagerank)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_diff <= 1e-12, "{kernel:?}: PageRank drifted by {max_diff:e}");
+        let flagged = detect(&run, &thresholds);
+        assert_eq!(
+            baseline.candidates, flagged.candidates,
+            "{kernel:?}: flagged set changed under kernel swap"
+        );
+    }
+}

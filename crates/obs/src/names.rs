@@ -75,6 +75,12 @@ pub const PAGERANK_PARTITION_IMBALANCE: &str = "pagerank.partition.imbalance";
 /// Number of chunks the node partition was cut into. Gauge.
 pub const PAGERANK_PARTITION_CHUNKS: &str = "pagerank.partition.chunks";
 
+/// Nanoseconds the control thread spent combining per-worker partial
+/// accumulators for rows split across edge-range chunks. Windowed
+/// histogram; one observation per sweep (zero when no row straddles a
+/// cut).
+pub const PAGERANK_MERGE_NS: &str = "pagerank.merge_ns";
+
 /// Scrapes answered by the metrics exposition server. Counter.
 pub const EXPORT_SCRAPES: &str = "obs.export.scrapes";
 
@@ -104,6 +110,7 @@ pub const ALL: &[&str] = &[
     PAGERANK_POOL_SWEEPS,
     PAGERANK_PARTITION_IMBALANCE,
     PAGERANK_PARTITION_CHUNKS,
+    PAGERANK_MERGE_NS,
     EXPORT_SCRAPES,
 ];
 

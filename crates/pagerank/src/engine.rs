@@ -1,0 +1,318 @@
+//! The edge-parallel pooled solve engine shared by the single-RHS and
+//! batched solvers.
+//!
+//! One monomorphized function, [`solve_pooled`], carries every pooled
+//! Jacobi solve in the crate: `K = 1` is the parallel single-RHS solver,
+//! `K ∈ 2..=4` the batched multi-jump solver. The sweep structure:
+//!
+//! 1. **Gather** — each worker runs the dispatched gather kernel
+//!    ([`crate::kernel`]) over its [`EdgePartition`] share: interior rows
+//!    (fully inside its edge range) are accumulated and written straight
+//!    into the round's write buffer; the up-to-two partial row pieces at
+//!    its range boundaries are accumulated into private per-worker
+//!    scratch slots. No two workers ever write the same cache line: a
+//!    worker's interior rows, delta slot and partial slots are all its
+//!    own. The shared *read* buffer is immutable for the whole round.
+//! 2. **Handoff** — the single sense-reversing barrier in
+//!    [`crate::pool`]; one synchronization point per sweep.
+//! 3. **Merge + converge** — the control thread combines the boundary
+//!    rows' partial sums in fixed worker order (`(1−c)·v[b]` + pieces,
+//!    at most `parts − 1` rows, timed into `pagerank.merge_ns`), then
+//!    folds each column's residual from the workers' partial sums — in
+//!    worker index order, plus the merge rows' contribution — so the
+//!    convergence decision never re-walks the score vectors and is
+//!    independent of thread scheduling.
+//!
+//! Determinism: for a fixed `(graph, threads, kernel)` the partition,
+//! the per-row accumulation order, the merge order and the residual
+//! reduction order are all fixed, so results are bit-for-bit
+//! reproducible across runs — and a batched column is bit-identical to
+//! the equivalent `K = 1` solve because the kernel's edge→bank
+//! assignment is independent of `K` (see [`crate::kernel`]) and the
+//! reduction orders coincide.
+//!
+//! Everything is allocated before the first sweep; the iteration loop is
+//! allocation-free (pinned by `tests/alloc.rs`).
+
+use crate::config::PageRankConfig;
+use crate::error::PageRankError;
+use crate::guard::ConvergenceGuard;
+use crate::history::ResidualHistory;
+use crate::kernel;
+use crate::partition::EdgePartition;
+use crate::pool::{self, SharedSlice};
+use crate::profiler::PoolProfiler;
+use crate::PageRankResult;
+use spammass_graph::Graph;
+use spammass_obs as obs;
+use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Runs the pooled edge-parallel Jacobi solve for exactly `K` columns on
+/// `threads` workers. Inputs are already validated by the callers
+/// (`n > 0`, every slice `n` long, config valid, `threads ≥ 1`).
+///
+/// Returns one result per column, in order; any column tripping its
+/// convergence guard — or the shared iteration cap with any column still
+/// active — fails the whole solve.
+pub(crate) fn solve_pooled<const K: usize>(
+    graph: &Graph,
+    vs: [&[f64]; K],
+    initial: Option<[&[f64]; K]>,
+    config: &PageRankConfig,
+    threads: usize,
+    span_name: &'static str,
+) -> Result<Vec<PageRankResult>, PageRankError> {
+    let n = graph.node_count();
+    let kind = config.kernel.resolve();
+    let mut span = obs::span(span_name);
+    span.record("threads", threads as f64);
+    span.record("columns", K as f64);
+
+    let c = config.damping;
+    let one_minus_c = 1.0 - c;
+    // All solve-lifetime state is allocated up front; the iteration loop
+    // itself is allocation-free (see tests/alloc.rs).
+    let partition = EdgePartition::balanced(graph, threads);
+    let profiler = PoolProfiler::from_live(&partition, K);
+    let coef: Vec<f64> = graph
+        .nodes()
+        .map(|x| {
+            let d = graph.out_degree(x);
+            if d == 0 {
+                0.0
+            } else {
+                c / d as f64
+            }
+        })
+        .collect();
+
+    // Interleaved row-major n×K matrices; vmat holds the jump vectors in
+    // the same layout so the kernel streams them with the same stride.
+    let mut vmat = vec![0.0f64; n * K];
+    for (j, v) in vs.iter().enumerate() {
+        for (y, &vy) in v.iter().enumerate() {
+            vmat[y * K + j] = vy;
+        }
+    }
+    let mut front = match initial {
+        None => vmat.clone(),
+        Some(inits) => {
+            let mut seed = vec![0.0f64; n * K];
+            for (j, p0) in inits.iter().enumerate() {
+                for (y, &py) in p0.iter().enumerate() {
+                    seed[y * K + j] = py;
+                }
+            }
+            seed
+        }
+    };
+    let mut back = vec![0.0f64; n * K];
+    // Per-worker boundary-piece partial sums: slot (w·2 + s)·K holds
+    // worker w's piece s (0 = head, 1 = tail), K columns wide.
+    let mut partials = vec![0.0f64; threads * 2 * K];
+    // Per-(worker, column) interior residual contributions, flat
+    // threads×K.
+    let mut chunk_deltas = vec![0.0f64; threads * K];
+    // Columns still iterating. Written only by control between rounds;
+    // Relaxed suffices because the pool handoff orders rounds.
+    let active: Vec<AtomicBool> = (0..K).map(|_| AtomicBool::new(true)).collect();
+
+    let mut histories: Vec<ResidualHistory> = (0..K).map(|_| ResidualHistory::new()).collect();
+    let mut guards: Vec<ConvergenceGuard> = (0..K).map(|_| ConvergenceGuard::new()).collect();
+    let mut col_iterations = vec![0usize; K];
+    let mut col_residual = vec![f64::INFINITY; K];
+    let mut completed = 0usize;
+
+    let outcome: Result<(), PageRankError> = {
+        let bufs = [SharedSlice::new(&mut front), SharedSlice::new(&mut back)];
+        let deltas = SharedSlice::new(&mut chunk_deltas);
+        let partials = SharedSlice::new(&mut partials);
+        let partition = &partition;
+        let coef = &coef[..];
+        let vmat = &vmat[..];
+        let active = &active[..];
+        let srcs_all = graph.in_sources();
+        let offsets = graph.in_offsets();
+
+        let kernel = |round: usize, worker: usize| {
+            // SAFETY: the buffers alternate roles by round parity — every
+            // worker reads bufs[round % 2] and writes only its own
+            // interior rows of bufs[(round+1) % 2] (interiors are
+            // pairwise disjoint and disjoint from the boundary rows the
+            // control thread merges); the pool handoff orders rounds, so
+            // no location is read while written.
+            let read = unsafe { bufs[round % 2].as_slice() };
+            let interior = partition.interior(worker);
+            let write =
+                unsafe { bufs[(round + 1) % 2].range_mut(interior.start * K, interior.end * K) };
+            // SAFETY: slots worker·K.. and (worker·2)·K.. are written
+            // only by this worker.
+            let my_deltas = unsafe { deltas.range_mut(worker * K, (worker + 1) * K) };
+            let my_partials = unsafe { partials.range_mut(worker * 2 * K, (worker + 1) * 2 * K) };
+            // Active flags only change between rounds; snapshot them once
+            // per round so the row loop branches on plain bools.
+            let mut act = [false; K];
+            for (a, flag) in act.iter_mut().zip(active) {
+                *a = flag.load(Ordering::Relaxed);
+            }
+            let mut local_deltas = [0.0f64; K];
+            for y in interior.clone() {
+                let mut acc: [f64; K] =
+                    vmat[y * K..(y + 1) * K].try_into().expect("vmat row is K wide");
+                for a in &mut acc {
+                    *a *= one_minus_c;
+                }
+                let row_srcs = &srcs_all[offsets[y] as usize..offsets[y + 1] as usize];
+                kernel::gather_row(kind, read, coef, row_srcs, &mut acc);
+                let old: &[f64; K] =
+                    read[y * K..(y + 1) * K].try_into().expect("score row is K wide");
+                let row = &mut write[(y - interior.start) * K..(y - interior.start + 1) * K];
+                for (j, (&a, &o)) in acc.iter().zip(old).enumerate() {
+                    if act[j] {
+                        local_deltas[j] += (a - o).abs();
+                        row[j] = a;
+                    } else {
+                        // Frozen column: copy through bit-exact.
+                        row[j] = o;
+                    }
+                }
+            }
+            // Boundary pieces: accumulate into private scratch; the
+            // control thread merges after the handoff.
+            for (slot, piece) in partition.pieces(worker).iter().enumerate() {
+                if let Some(p) = piece {
+                    let mut acc = [0.0f64; K];
+                    kernel::gather_row(kind, read, coef, &srcs_all[p.edges.clone()], &mut acc);
+                    my_partials[slot * K..(slot + 1) * K].copy_from_slice(&acc);
+                }
+            }
+            my_deltas.copy_from_slice(&local_deltas);
+        };
+
+        let control = |round: usize| -> ControlFlow<Result<(), PageRankError>> {
+            let iterations = round + 1;
+            completed = iterations;
+            // SAFETY: control runs between rounds; no worker is active,
+            // so it may read every scratch slot and write the boundary
+            // rows of the round's write buffer.
+            let read = unsafe { bufs[round % 2].as_slice() };
+            let all_partials = unsafe { partials.as_slice() };
+            let deltas = unsafe { deltas.as_slice() };
+
+            // Merge phase: reassemble the rows split across edge ranges.
+            // Fixed worker order per row keeps the f64 sum deterministic;
+            // per-column independence keeps batched columns bit-identical
+            // to single-RHS solves.
+            let merge_t0 = profiler.as_ref().map(|_| Instant::now());
+            let mut merge_deltas = [0.0f64; K];
+            for entry in partition.merge_entries() {
+                let b = entry.node;
+                let mut acc: [f64; K] =
+                    vmat[b * K..(b + 1) * K].try_into().expect("vmat row is K wide");
+                for a in &mut acc {
+                    *a *= one_minus_c;
+                }
+                for &(w, slot) in &entry.parts {
+                    let part = &all_partials[(w * 2 + slot) * K..(w * 2 + slot + 1) * K];
+                    for (a, &p) in acc.iter_mut().zip(part) {
+                        *a += p;
+                    }
+                }
+                let old: &[f64; K] =
+                    read[b * K..(b + 1) * K].try_into().expect("score row is K wide");
+                let row = unsafe { bufs[(round + 1) % 2].range_mut(b * K, (b + 1) * K) };
+                for (j, (&a, &o)) in acc.iter().zip(old).enumerate() {
+                    if active[j].load(Ordering::Relaxed) {
+                        merge_deltas[j] += (a - o).abs();
+                        row[j] = a;
+                    } else {
+                        row[j] = o;
+                    }
+                }
+            }
+            if let (Some(p), Some(t0)) = (profiler.as_ref(), merge_t0) {
+                p.record_merge(t0.elapsed().as_nanos() as u64);
+            }
+
+            let mut all_frozen = true;
+            for j in 0..K {
+                if !active[j].load(Ordering::Relaxed) {
+                    continue;
+                }
+                // Residual reduction in fixed order — worker index order,
+                // then the merge rows — so the f64 sum (and therefore
+                // convergence) is independent of thread scheduling and
+                // identical between batched and single-RHS solves.
+                let residual: f64 =
+                    (0..threads).map(|w| deltas[w * K + j]).sum::<f64>() + merge_deltas[j];
+                col_residual[j] = residual;
+                histories[j].push(residual);
+                if let Err(e) = guards[j].observe(iterations, residual) {
+                    return ControlFlow::Break(Err(e));
+                }
+                if residual < config.tolerance {
+                    active[j].store(false, Ordering::Relaxed);
+                    col_iterations[j] = iterations;
+                } else {
+                    all_frozen = false;
+                }
+            }
+            if all_frozen {
+                return ControlFlow::Break(Ok(()));
+            }
+            if iterations >= config.max_iterations {
+                let worst = (0..K)
+                    .filter(|&j| active[j].load(Ordering::Relaxed))
+                    .map(|j| col_residual[j])
+                    .fold(0.0f64, f64::max);
+                return ControlFlow::Break(Err(PageRankError::DidNotConverge {
+                    iterations,
+                    residual: worst,
+                }));
+            }
+            ControlFlow::Continue(())
+        };
+
+        pool::run_rounds_profiled(threads, profiler.as_ref(), kernel, control)
+    };
+
+    // Telemetry on every exit path, including guard errors.
+    span.record("iterations", completed as f64);
+    outcome?;
+
+    // Round r writes bufs[(r+1) % 2]; frozen columns were copied through
+    // every later round, so bufs[completed % 2] holds every column's
+    // final iterate.
+    let final_buf = if completed.is_multiple_of(2) { front } else { back };
+    let mut results = Vec::with_capacity(K);
+    if K == 1 {
+        // Single column: the interleaved matrix *is* the score vector;
+        // move it instead of copying.
+        obs::observe("pagerank.iterations", col_iterations[0] as f64);
+        results.push(PageRankResult {
+            scores: final_buf,
+            iterations: col_iterations[0],
+            residual: col_residual[0],
+            converged: true,
+            residual_history: histories.remove(0),
+        });
+        return Ok(results);
+    }
+    for (j, (history, &iterations)) in histories.iter().zip(&col_iterations).enumerate() {
+        obs::observe("pagerank.iterations", iterations as f64);
+        let mut scores = vec![0.0f64; n];
+        for (y, s) in scores.iter_mut().enumerate() {
+            *s = final_buf[y * K + j];
+        }
+        results.push(PageRankResult {
+            scores,
+            iterations,
+            residual: col_residual[j],
+            converged: true,
+            residual_history: history.clone(),
+        });
+    }
+    Ok(results)
+}

@@ -32,10 +32,12 @@
 //! | Batched Jacobi | [`batch`] | k jump vectors through one CSR traversal per sweep |
 //! | Power iteration | [`power`] | eigenvector formulation on `T″`, for cross-validation |
 //!
-//! The parallel execution layer lives in [`pool`] (persistent workers,
-//! barrier handoff) and [`partition`] (edge-balanced destination ranges);
-//! both solvers above share it and stay bit-for-bit deterministic for a
-//! fixed partition.
+//! The parallel execution layer is the edge-parallel engine (private
+//! module `engine`) built from [`pool`] (persistent workers, one
+//! sense-reversing handoff per sweep), [`partition`] (equal edge ranges
+//! with a boundary-row merge plan) and the dispatched gather kernels of
+//! [`KernelKind`]; the parallel and batched solvers share it and stay
+//! bit-for-bit deterministic for a fixed partition and kernel.
 //!
 //! All solvers are **fallible**: they return `Err` with a typed
 //! [`PageRankError`] on invalid input, on a hit iteration cap
@@ -72,12 +74,14 @@ pub mod batch;
 pub mod chain;
 mod config;
 pub mod contribution;
+mod engine;
 mod error;
 pub mod gauss_seidel;
 mod guard;
 mod history;
 pub mod jacobi;
 mod jump;
+mod kernel;
 pub mod parallel;
 pub mod partition;
 pub mod pool;
@@ -91,7 +95,8 @@ pub use config::PageRankConfig;
 pub use error::PageRankError;
 pub use history::ResidualHistory;
 pub use jump::JumpVector;
-pub use partition::NodePartition;
+pub use kernel::KernelKind;
+pub use partition::{EdgePartition, NodePartition};
 pub use scores::PageRankScores;
 
 use spammass_graph::Graph;

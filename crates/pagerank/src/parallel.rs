@@ -1,27 +1,28 @@
-//! Parallel Jacobi solver (fused gather kernel on a persistent pool).
+//! Parallel Jacobi solver: path selection and sizing for the pooled
+//! edge-parallel engine.
 //!
-//! The Yahoo! experiments ran PageRank twice over a 979M-edge host graph;
-//! at that scale the matrix–vector product dominates, so every sweep-level
-//! inefficiency multiplies by hundreds of iterations. The hot path here is
-//! built from three pieces:
+//! The Yahoo! experiments ran PageRank twice over a 979M-edge host
+//! graph; at that scale the matrix–vector product dominates, so every
+//! sweep-level inefficiency multiplies by hundreds of iterations. The
+//! hot path lives in [`crate::engine`] (edge-range partitioning,
+//! per-worker accumulators, a single handoff per sweep, dispatched
+//! gather kernels); this module decides **how** to run a solve and owns
+//! the auto-sizer:
 //!
-//! * a **persistent worker pool** ([`crate::pool`]) spawned once per solve
-//!   and advanced by barrier handoff, replacing the previous
-//!   2×spawn/join-per-sweep pattern;
-//! * **edge-balanced partitioning** ([`crate::partition`]) of the
-//!   destination range by in-edge counts, so power-law skew does not leave
-//!   most workers idling at the barrier behind the hub chunk;
-//! * a **fused gather kernel**: `coef[x] = c/out(x)` is precomputed once
-//!   and shares are formed on the fly (`acc += p[x]·coef[x]`) inside the
-//!   gather, eliminating the full `shares` vector, its ~n·8 bytes of
-//!   per-sweep write traffic, and the barrier between the two passes.
-//!
-//! Two score buffers alternate roles by round parity (round `r` reads
-//! buffer `r mod 2`, writes buffer `(r+1) mod 2`), each destination is
-//! written by exactly one worker, and per-chunk residual contributions are
-//! reduced in fixed index order by the control step — so results stay
-//! bit-for-bit deterministic for a fixed partition, independent of thread
-//! scheduling.
+//! * [`pool_threads`] — the pure sizing rule: configured threads capped
+//!   by a node floor and a **sweep-scaled edge quota**. A worker is
+//!   worth spawning when the edges it relieves the others of outweigh
+//!   its per-sweep handoff cost, so the quota shrinks as the expected
+//!   sweep count grows ([`estimated_sweeps`], from the tolerance and
+//!   damping factor) — a deep solve amortizes thread setup over many
+//!   more sweeps than a shallow one.
+//! * the **serial cutoff**: a solve sized to one worker on a small graph
+//!   routes to the serial scatter solver outright
+//!   ([`SERIAL_CUTOFF_EDGES`]); the pooled gather engine only wins once
+//!   the working set outgrows cache.
+//! * every decision is recorded as a `pagerank.pool.sizing` event
+//!   (nodes, edges, quota, sweep hint, kernel, chosen path) so a solve
+//!   that silently serialized is one grep away.
 //!
 //! The previous two-pass implementation is retained as
 //! [`solve_parallel_jacobi_two_pass`] purely as a benchmark baseline.
@@ -32,20 +33,17 @@ use crate::guard::ConvergenceGuard;
 use crate::history::ResidualHistory;
 use crate::jacobi::check_jump_length;
 use crate::jump::JumpVector;
-use crate::partition::NodePartition;
-use crate::pool::{self, SharedSlice};
 use crate::PageRankResult;
 use spammass_graph::{Graph, NodeId};
 use spammass_obs as obs;
-use std::ops::ControlFlow;
 
-/// Minimum nodes per chunk; below this the serial path is used.
+/// Minimum nodes per worker; the node-count floor of the auto-sizer.
 const MIN_CHUNK: usize = 16 * 1024;
 
 /// Solves `(I − c·Tᵀ)p = (1 − c)v` with thread-parallel Jacobi sweeps.
 ///
-/// Falls back to the serial Jacobi solver for graphs smaller than one
-/// chunk, so it is safe to call unconditionally.
+/// Falls back to the serial Jacobi solver for graphs below the sizing
+/// thresholds, so it is safe to call unconditionally.
 ///
 /// # Errors
 /// Same contract as [`solve_jacobi`](crate::jacobi::solve_jacobi).
@@ -94,125 +92,30 @@ pub fn solve_parallel_jacobi_dense_warm(
         crate::jacobi::check_initial_length(p0, n)?;
     }
 
-    let threads = effective_threads(config, graph);
-    if threads <= 1 && n < MIN_CHUNK {
-        // Tiny problem: the serial scatter solver wins outright.
+    let path = solve_path(config, graph);
+    if path.serial {
+        // Sub-threshold problem: the serial scatter solver wins outright.
         return crate::jacobi::solve_jacobi_dense_warm(graph, v, initial, config);
     }
-    // Note: threads == 1 with a large graph still runs the fused gather
-    // kernel below — `pool::run_rounds(1, …)` executes inline with no
-    // worker spawns, and the gather accumulation order stays bit-identical
-    // to the multi-worker and batched solvers.
-
-    let mut span = obs::span("pagerank.solve.parallel");
-    span.record("threads", threads as f64);
-    let c = config.damping;
-    let one_minus_c = 1.0 - c;
-
-    // All solve-lifetime state is allocated up front; the iteration loop
-    // itself is allocation-free (see tests/alloc.rs).
-    let partition = NodePartition::edge_balanced(graph, threads);
-    let profiler = crate::profiler::PoolProfiler::from_live(&partition, graph, 1);
-    let coef: Vec<f64> = graph
-        .nodes()
-        .map(|x| {
-            let d = graph.out_degree(x);
-            if d == 0 {
-                0.0
-            } else {
-                c / d as f64
-            }
-        })
-        .collect();
-
-    let mut front: Vec<f64> = match initial {
-        Some(p0) => p0.to_vec(),
-        None => v.to_vec(),
-    };
-    let mut back = vec![0.0f64; n];
-    let mut chunk_deltas = vec![0.0f64; threads];
-
-    let mut residual_history = ResidualHistory::new();
-    let mut guard = ConvergenceGuard::new();
-    let mut completed = 0usize;
-
-    let outcome: Result<f64, PageRankError> = {
-        let bufs = [SharedSlice::new(&mut front), SharedSlice::new(&mut back)];
-        let deltas = SharedSlice::new(&mut chunk_deltas);
-        let partition = &partition;
-        let coef = &coef[..];
-
-        let kernel = |round: usize, worker: usize| {
-            let range = partition.range(worker);
-            // SAFETY: the buffers alternate roles by round parity — every
-            // worker reads bufs[round % 2] and writes only its own
-            // partition range of bufs[(round+1) % 2]; ranges are pairwise
-            // disjoint and the pool's barriers order rounds, so no
-            // location is read while written.
-            let read = unsafe { bufs[round % 2].as_slice() };
-            let write = unsafe { bufs[(round + 1) % 2].range_mut(range.start, range.end) };
-            let mut local_delta = 0.0f64;
-            for (slot, y) in write.iter_mut().zip(range.clone()) {
-                let mut acc = one_minus_c * v[y];
-                for x in graph.in_neighbors(NodeId(y as u32)) {
-                    acc += read[x.index()] * coef[x.index()];
-                }
-                local_delta += (acc - read[y]).abs();
-                *slot = acc;
-            }
-            // SAFETY: slot `worker` is written only by this worker.
-            let slot = unsafe { deltas.range_mut(worker, worker + 1) };
-            slot[0] = local_delta;
-        };
-
-        let control = |round: usize| -> ControlFlow<Result<f64, PageRankError>> {
-            let iterations = round + 1;
-            completed = iterations;
-            // Per-chunk contributions summed in index order: the f64
-            // reduction (and therefore convergence) is independent of
-            // thread scheduling.
-            // SAFETY: control runs between rounds; no worker is active.
-            let residual: f64 = unsafe { deltas.as_slice() }.iter().sum();
-            residual_history.push(residual);
-            if let Err(e) = guard.observe(iterations, residual) {
-                return ControlFlow::Break(Err(e));
-            }
-            if residual < config.tolerance {
-                return ControlFlow::Break(Ok(residual));
-            }
-            if iterations >= config.max_iterations {
-                return ControlFlow::Break(Err(PageRankError::DidNotConverge {
-                    iterations,
-                    residual,
-                }));
-            }
-            ControlFlow::Continue(())
-        };
-
-        pool::run_rounds_profiled(threads, profiler.as_ref(), kernel, control)
-    };
-
-    // Telemetry on every exit path, including guard errors.
-    span.record("iterations", completed as f64);
-    obs::observe("pagerank.iterations", completed as f64);
-
-    let residual = outcome?;
-    // Round r writes bufs[(r+1) % 2], so after `completed` rounds the
-    // newest iterate lives in bufs[completed % 2].
-    let scores = if completed.is_multiple_of(2) { front } else { back };
-    Ok(PageRankResult {
-        scores,
-        iterations: completed,
-        residual,
-        converged: true,
-        residual_history,
-    })
+    // Note: threads == 1 with a large graph still runs the pooled gather
+    // engine — `pool::run_rounds(1, …)` executes inline with no worker
+    // spawns, and the gather accumulation order stays bit-identical to
+    // the multi-worker and batched solvers.
+    let mut results = crate::engine::solve_pooled::<1>(
+        graph,
+        [v],
+        initial.map(|p0| [p0]),
+        config,
+        path.threads,
+        "pagerank.solve.parallel",
+    )?;
+    Ok(results.remove(0))
 }
 
 /// The pre-pool two-pass kernel (spawns scoped threads twice per sweep
 /// and materializes the full `shares` vector), kept **only** as the
-/// benchmark baseline for the fused pooled kernel above. New callers
-/// should use [`solve_parallel_jacobi`].
+/// benchmark baseline for the pooled engine. New callers should use
+/// [`solve_parallel_jacobi`].
 ///
 /// # Errors
 /// Same contract as [`solve_parallel_jacobi`].
@@ -225,7 +128,7 @@ pub fn solve_parallel_jacobi_two_pass(
     let n = graph.node_count();
     let v = jump.materialize(n)?;
 
-    let threads = effective_threads(config, graph);
+    let threads = solve_path(config, graph).threads;
     if threads <= 1 {
         return crate::jacobi::solve_jacobi_dense(graph, &v, config);
     }
@@ -326,62 +229,117 @@ pub fn solve_parallel_jacobi_two_pass(
     Err(PageRankError::DidNotConverge { iterations, residual })
 }
 
-/// Default per-worker edge quota for the pool auto-sizer: below ~2M edges
-/// per worker, the barrier handoffs and cache-line ping-pong of an extra
-/// worker cost more than its share of the sweep buys back (measured on the
-/// 1-core CI host, where the old node-count-only cap let `--threads 4`
-/// run 4 workers over a 1M-edge graph and lose to 1 thread outright).
-pub const DEFAULT_EDGES_PER_THREAD: usize = 1 << 21;
+/// Per-worker edge quota for a solve of [`REF_SWEEPS`] sweeps: below
+/// ~0.5M edges per worker, the handoff cost of an extra worker outweighs
+/// its share of such a solve. The effective quota scales with the
+/// expected sweep count (see [`pool_threads`]); the previous fixed 2M
+/// quota ignored sweeps and collapsed the 1.1M-edge / 120k-host bench
+/// graph to one worker (`pool_threads_4t: 1` in BENCH_layout.json) —
+/// exactly the scale parallelism was meant for.
+pub const DEFAULT_EDGES_PER_THREAD: usize = 1 << 19;
+
+/// Floor of the sweep-scaled quota: even for very deep solves a worker
+/// must own at least this many edges to pay for itself.
+pub const MIN_EDGES_PER_THREAD: usize = 1 << 15;
+
+/// Sweep count at which [`DEFAULT_EDGES_PER_THREAD`] applies unscaled
+/// (roughly a tolerance of 1e-7 at the paper's damping 0.85).
+const REF_SWEEPS: usize = 96;
+
+/// Below this many edges, a one-worker solve routes to the serial
+/// scatter solver instead of the pooled gather engine: at small sizes
+/// the scatter kernel's sequential writes beat the gather's random
+/// reads (`jacobi/40000` at 77ms vs `parallel_jacobi/40000` at 132ms in
+/// the PR 7 bench files).
+pub const SERIAL_CUTOFF_EDGES: usize = 1 << 18;
+
+/// Expected Jacobi sweep count for a given tolerance and damping: the
+/// residual contracts by about `c` per sweep, so
+/// `ceil(ln ε / ln c)` sweeps reach tolerance `ε`. Clamped to
+/// `1..=100_000`; deliberately **not** clamped by `max_iterations`, so a
+/// tight cap on a deep tolerance still sizes (and allocates) for the
+/// deep solve it is truncating.
+pub fn estimated_sweeps(tolerance: f64, damping: f64) -> usize {
+    if tolerance <= 0.0 || damping <= 0.0 || damping >= 1.0 {
+        return 1;
+    }
+    let ratio = tolerance.ln() / damping.ln();
+    if !ratio.is_finite() {
+        return 1;
+    }
+    (ratio.ceil() as usize).clamp(1, 100_000)
+}
+
+/// The default quota scaled by expected sweep count: spawning a worker
+/// costs the same regardless of solve depth, so a solve with twice the
+/// sweeps justifies a worker at half the edges. Clamped to
+/// `[MIN_EDGES_PER_THREAD, DEFAULT_EDGES_PER_THREAD]`.
+fn sweep_scaled_quota(sweeps: usize) -> usize {
+    (DEFAULT_EDGES_PER_THREAD * REF_SWEEPS / sweeps.max(1))
+        .clamp(MIN_EDGES_PER_THREAD, DEFAULT_EDGES_PER_THREAD)
+}
 
 /// Pure pool-sizing rule shared by the parallel and batched solvers:
 /// the configured thread count (`0` = `hardware` cores), capped so each
-/// worker owns at least [`MIN_CHUNK`] nodes **and** at least
-/// `edges_per_thread` edges (`0` = [`DEFAULT_EDGES_PER_THREAD`]).
+/// worker owns at least [`MIN_CHUNK`] nodes **and** at least the edge
+/// quota — `edges_per_thread` when nonzero, otherwise the sweep-scaled
+/// default (see [`estimated_sweeps`]).
 ///
-/// Exposed (and pure) so the sizing table is testable without probing the
-/// host's core count.
+/// Exposed (and pure) so the sizing table is testable without probing
+/// the host's core count.
 pub fn pool_threads(
     configured: usize,
     edges_per_thread: usize,
     hardware: usize,
     nodes: usize,
     edges: usize,
+    sweeps: usize,
 ) -> usize {
     let t = if configured == 0 { hardware } else { configured };
-    let quota = if edges_per_thread == 0 { DEFAULT_EDGES_PER_THREAD } else { edges_per_thread };
+    let quota = if edges_per_thread == 0 { sweep_scaled_quota(sweeps) } else { edges_per_thread };
     t.min(nodes.div_ceil(MIN_CHUNK)).min(edges.div_ceil(quota).max(1)).max(1)
 }
 
-pub(crate) fn effective_threads(config: &PageRankConfig, graph: &Graph) -> usize {
+/// The resolved execution plan for one solve.
+pub(crate) struct SolvePath {
+    /// Worker count for the pooled engine (meaningful when `!serial`).
+    pub(crate) threads: usize,
+    /// Route to the serial scatter solver instead of the pool.
+    pub(crate) serial: bool,
+}
+
+/// Sizes a solve and records the full decision as a
+/// `pagerank.pool.sizing` event: when a run shows `pool_threads: 1`
+/// despite `--threads 4`, the event names the cap that collapsed it
+/// (node floor, edge quota, or host parallelism) and which path ran.
+pub(crate) fn solve_path(config: &PageRankConfig, graph: &Graph) -> SolvePath {
     let hw = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    let threads = pool_threads(
-        config.threads,
-        config.edges_per_thread,
-        hw,
-        graph.node_count(),
-        graph.edge_count(),
-    );
-    // The full sizing decision as a structured event: when a run shows
-    // `pool_threads: 1` despite `--threads 4`, this names the cap that
-    // collapsed it (node floor, edge quota, or host parallelism).
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let sweeps = estimated_sweeps(config.tolerance, config.damping);
+    let threads = pool_threads(config.threads, config.edges_per_thread, hw, n, m, sweeps);
+    let serial = threads <= 1 && (n < MIN_CHUNK || m < SERIAL_CUTOFF_EDGES);
     let quota = if config.edges_per_thread == 0 {
-        DEFAULT_EDGES_PER_THREAD
+        sweep_scaled_quota(sweeps)
     } else {
         config.edges_per_thread
     };
     obs::event(
         obs::names::PAGERANK_POOL_SIZING,
         vec![
-            ("nodes".to_string(), obs::Json::uint(graph.node_count() as u64)),
-            ("edges".to_string(), obs::Json::uint(graph.edge_count() as u64)),
+            ("nodes".to_string(), obs::Json::uint(n as u64)),
+            ("edges".to_string(), obs::Json::uint(m as u64)),
             ("configured".to_string(), obs::Json::uint(config.threads as u64)),
             ("hardware".to_string(), obs::Json::uint(hw as u64)),
             ("edges_per_thread".to_string(), obs::Json::uint(quota as u64)),
+            ("sweeps_hint".to_string(), obs::Json::uint(sweeps as u64)),
+            ("kernel".to_string(), obs::Json::str(config.kernel.resolve().as_str())),
+            ("path".to_string(), obs::Json::str(if serial { "serial" } else { "pooled" })),
             ("chosen".to_string(), obs::Json::uint(threads as u64)),
         ],
     );
     obs::gauge(obs::names::PAGERANK_POOL_THREADS, threads as f64);
-    threads
+    SolvePath { threads, serial }
 }
 
 #[cfg(test)]
@@ -393,7 +351,7 @@ mod tests {
     use spammass_graph::GraphBuilder;
 
     fn cfg() -> PageRankConfig {
-        // The test graphs are far below DEFAULT_EDGES_PER_THREAD; drop the
+        // The test graphs are far below the default edge quota; drop the
         // quota so `.threads(k)` actually runs k workers.
         PageRankConfig::default().edges_per_thread(1)
     }
@@ -422,7 +380,7 @@ mod tests {
 
     #[test]
     fn matches_serial_on_large_random_graph() {
-        // Big enough to engage at least 2 chunks.
+        // Big enough to engage at least 2 workers.
         let g = random_graph(40_000, 200_000, 7);
         let a = solve_jacobi(&g, &JumpVector::Uniform, &cfg()).unwrap();
         let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(4)).unwrap();
@@ -437,6 +395,27 @@ mod tests {
         // Same tolerance, same iteration structure: counts may differ by
         // at most one sweep from rounding of the residual reduction.
         assert!(a.iterations.abs_diff(b.iterations) <= 1, "{} vs {}", a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn scalar_kernel_matches_unrolled_kernel() {
+        use crate::kernel::KernelKind;
+        let g = random_graph(40_000, 200_000, 19);
+        let a = solve_parallel_jacobi(
+            &g,
+            &JumpVector::Uniform,
+            &cfg().threads(3).kernel(KernelKind::Scalar),
+        )
+        .unwrap();
+        let b = solve_parallel_jacobi(
+            &g,
+            &JumpVector::Uniform,
+            &cfg().threads(3).kernel(KernelKind::Unrolled4),
+        )
+        .unwrap();
+        for i in 0..g.node_count() {
+            assert!((a.scores[i] - b.scores[i]).abs() < 1e-12, "node {i}");
+        }
     }
 
     #[test]
@@ -499,36 +478,53 @@ mod tests {
     }
 
     #[test]
+    fn sweep_estimate_tracks_tolerance_and_damping() {
+        // ceil(ln ε / ln c) at the paper's c = 0.85.
+        assert_eq!(estimated_sweeps(1e-12, 0.85), 171);
+        assert_eq!(estimated_sweeps(1e-10, 0.85), 142);
+        assert_eq!(estimated_sweeps(1e-300, 0.85), 4251);
+        assert_eq!(estimated_sweeps(0.5, 0.85), 5);
+        // Degenerate inputs clamp to one sweep.
+        assert_eq!(estimated_sweeps(1.0, 0.85), 1);
+        assert_eq!(estimated_sweeps(1e-12, 0.0), 1);
+    }
+
+    #[test]
     fn pool_sizing_table() {
-        const EPT: usize = DEFAULT_EDGES_PER_THREAD;
-        // Tiny graph: node cap wins regardless of configured threads.
-        assert_eq!(pool_threads(4, 0, 8, 100, 1_000), 1);
-        // Node cap satisfied but the edge quota holds it to one worker —
-        // the 1-core-host regression case: 1.1M edges < 2 × 2M.
-        assert_eq!(pool_threads(4, 0, 8, 120_000, 1_100_000), 1);
-        // Same 120k-host graph with `--threads 0` on a 4-core host: the
-        // edge quota, not the host width, is what serializes it.
-        assert_eq!(pool_threads(0, 0, 4, 120_000, 1_100_000), 1);
-        // An explicit quota override restores the requested width on
-        // that same graph.
-        assert_eq!(pool_threads(4, 1 << 18, 8, 120_000, 1_100_000), 4);
-        // Enough edges for the requested width.
-        assert_eq!(pool_threads(4, 0, 8, 1 << 20, 4 * EPT), 4);
-        // Edge quota trims 8 requested workers down to 3.
-        assert_eq!(pool_threads(8, 0, 8, 1 << 20, 3 * EPT), 3);
+        const D: usize = DEFAULT_EDGES_PER_THREAD;
+        // Tiny graph: node floor wins regardless of configured threads.
+        assert_eq!(pool_threads(4, 0, 8, 100, 1_000, 171), 1);
+        // The regression this PR fixes: the old fixed 2M quota collapsed
+        // the 120k-host / 1.1M-edge bench graph to one worker; the
+        // sweep-scaled quota (≈294k edges at 171 sweeps) restores the
+        // requested width.
+        assert_eq!(pool_threads(4, 0, 8, 120_000, 1_100_000, 171), 4);
+        // Same graph with `--threads 0` on a 4-core host.
+        assert_eq!(pool_threads(0, 0, 4, 120_000, 1_100_000, 142), 4);
+        // A shallow solve over a small graph still serializes: 200k
+        // edges < one 142-sweep quota (≈354k).
+        assert_eq!(pool_threads(4, 0, 8, 40_000, 200_000, 142), 1);
+        // A very deep solve pulls the quota to its floor (32k edges), so
+        // even a 120k-edge graph keeps two requested workers.
+        assert_eq!(pool_threads(2, 0, 8, 40_000, 120_000, 4251), 2);
+        // An explicit quota override bypasses sweep scaling entirely.
+        assert_eq!(pool_threads(4, 1 << 18, 8, 120_000, 1_100_000, 10), 4);
+        // Edge quota trims 8 requested workers down to 3 at the
+        // reference sweep count.
+        assert_eq!(pool_threads(8, 0, 8, 1 << 20, 3 * D, 96), 3);
         // configured == 0 defers to the hardware count (then caps).
-        assert_eq!(pool_threads(0, 0, 2, 1 << 20, 4 * EPT), 2);
-        // An explicit quota overrides the default.
-        assert_eq!(pool_threads(4, 1, 8, 64 * 1024, 10), 4);
+        assert_eq!(pool_threads(0, 0, 2, 1 << 20, 4 * D, 96), 2);
+        // An explicit quota of one edge lifts the edge cap entirely.
+        assert_eq!(pool_threads(4, 1, 8, 64 * 1024, 10, 171), 4);
         // Zero-size graphs still get one worker.
-        assert_eq!(pool_threads(4, 0, 8, 0, 0), 1);
+        assert_eq!(pool_threads(4, 0, 8, 0, 0, 171), 1);
     }
 
     #[test]
     fn default_edge_quota_serializes_small_graphs() {
-        // Without the test override, a 40k-node / 200k-edge graph resolves
-        // to one worker no matter how many threads are requested — and the
-        // inline fused-gather result must still match the pooled one.
+        // Without the test override, a 40k-node / 200k-edge graph routes
+        // to the serial scatter path no matter how many threads are
+        // requested — and its result must match the pooled engine's.
         let g = random_graph(40_000, 200_000, 31);
         let auto = PageRankConfig::default().threads(4);
         let forced = cfg().threads(4);
@@ -539,34 +535,56 @@ mod tests {
         }
     }
 
-    #[test]
-    fn sizing_event_names_the_decision() {
+    fn recorded_sizing_event(
+        config: &PageRankConfig,
+        g: &spammass_graph::Graph,
+    ) -> Vec<(String, obs::Json)> {
         use std::sync::Arc;
         let recorder = Arc::new(obs::Recorder::new());
         let collector = obs::Collector::builder().sink(recorder.clone()).build();
-        let g = random_graph(40_000, 120_000, 41);
         {
             let _guard = collector.install();
-            solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg().threads(3)).unwrap();
+            solve_parallel_jacobi(g, &JumpVector::Uniform, config).unwrap();
         }
         let msgs = recorder.messages();
-        let (_, fields) = msgs.iter().find(|(n, _)| n == obs::names::PAGERANK_POOL_SIZING).unwrap();
+        let (_, fields) =
+            msgs.iter().find(|(n, _)| n == obs::names::PAGERANK_POOL_SIZING).unwrap().clone();
+        fields
+    }
+
+    #[test]
+    fn sizing_event_names_the_decision() {
+        let g = random_graph(40_000, 120_000, 41);
+        let fields = recorded_sizing_event(&cfg().threads(3), &g);
         let get = |k: &str| {
             fields
                 .iter()
                 .find(|(f, _)| f == k)
                 .unwrap_or_else(|| panic!("missing field {k}"))
                 .1
-                .as_f64()
-                .unwrap()
+                .clone()
         };
-        assert_eq!(get("nodes"), g.node_count() as f64);
-        assert_eq!(get("edges"), g.edge_count() as f64);
-        assert_eq!(get("configured"), 3.0);
+        assert_eq!(get("nodes").as_f64(), Some(g.node_count() as f64));
+        assert_eq!(get("edges").as_f64(), Some(g.edge_count() as f64));
+        assert_eq!(get("configured").as_f64(), Some(3.0));
         // cfg() overrides the quota to 1 edge/worker.
-        assert_eq!(get("edges_per_thread"), 1.0);
-        assert_eq!(get("chosen"), 3.0);
-        assert!(get("hardware") >= 1.0);
+        assert_eq!(get("edges_per_thread").as_f64(), Some(1.0));
+        assert_eq!(get("chosen").as_f64(), Some(3.0));
+        assert_eq!(get("sweeps_hint").as_f64(), Some(171.0));
+        assert_eq!(get("kernel").as_str(), Some("unrolled4"));
+        assert_eq!(get("path").as_str(), Some("pooled"));
+        assert!(get("hardware").as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn serial_cutoff_is_recorded_in_the_sizing_event() {
+        // Default quota on a 40k/200k graph: one worker, below the edge
+        // cutoff → the scatter path, named in the event.
+        let g = random_graph(40_000, 200_000, 43);
+        let fields = recorded_sizing_event(&PageRankConfig::default().threads(4), &g);
+        let get = |k: &str| fields.iter().find(|(f, _)| f == k).unwrap().1.clone();
+        assert_eq!(get("chosen").as_f64(), Some(1.0));
+        assert_eq!(get("path").as_str(), Some("serial"));
     }
 
     #[test]

@@ -1,36 +1,55 @@
-//! Persistent worker pool with per-round barrier handoff.
+//! Persistent worker pool advanced by a single sense-reversing barrier.
 //!
 //! The original parallel solver spawned fresh scoped threads **twice per
-//! Jacobi sweep** (one scope for the shares pass, one for the gather).
-//! At hundreds of sweeps per solve that is thousands of thread
-//! spawn/join cycles, each costing tens of microseconds plus scheduler
-//! churn. This module replaces that pattern with a pool created **once
-//! per solve**: workers are spawned a single time and then advance in
-//! lock-step rounds through a reusable [`std::sync::Barrier`].
-//!
-//! One round is one invocation of the kernel on every worker:
+//! Jacobi sweep**; the first pool replaced that with threads spawned once
+//! per solve but still crossed a [`std::sync::Barrier`] **twice per
+//! round** (start-of-round release, end-of-round reunion) — two futex
+//! round-trips per sweep on every worker. This version cuts that to one
+//! synchronization point per round:
 //!
 //! ```text
-//! workers:  wait ─ kernel(round, w) ─ wait ─ wait ─ kernel(round+1, w) ─ …
-//! control:  wait ─ kernel(round, 0) ─ wait ─ reduce/decide ─ …
+//! workers:  kernel(r, w) ─ arrive ─ spin on phase ─ kernel(r+1, w) ─ …
+//! control:  kernel(r, 0) ─ await arrivals ─ decide ─ publish phase ─ …
 //! ```
 //!
-//! The calling thread participates as worker 0, so `threads = t` costs
-//! only `t − 1` spawns. Between the end-of-round barrier and the next
-//! start-of-round barrier only the control closure runs, which is where
-//! solvers reduce per-chunk residuals **in fixed index order** (the
-//! bit-for-bit determinism guarantee) and decide whether to continue.
+//! Workers run their chunk, increment an arrival counter (release), and
+//! spin — briefly busy, then yielding — on a shared **phase word**. The
+//! control thread (the caller, participating as worker 0) waits for
+//! `threads − 1` arrivals (acquire), runs the control closure with
+//! exclusive access to all shared state, and publishes the next phase
+//! value (release), which simultaneously releases every worker into the
+//! next round. The phase word's low bit is the stop flag, so shutdown
+//! needs no extra crossing. Acquire/release pairs on the arrival counter
+//! and phase word provide the same happens-before edges the two barriers
+//! did: kernel writes → control reads, control writes → next round's
+//! kernel reads.
 //!
-//! The pool itself performs no allocation after the workers are spawned;
-//! combined with hoisted kernel scratch buffers this makes the solver
+//! Round-parity buffers compose with this unchanged: round `r` reads
+//! buffer `r mod 2` and writes buffer `(r+1) mod 2`, and the single
+//! handoff still separates every round from the next.
+//!
+//! The pool performs no allocation after the workers are spawned;
+//! combined with hoisted kernel scratch buffers this keeps the solver
 //! loops allocation-free per iteration (asserted by the counting-
 //! allocator test in `tests/alloc.rs`).
 
 use crate::profiler::PoolProfiler;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Spins briefly, then yields: the pool targets oversubscribed hosts
+/// (CI runs 4 workers on 1 core), where unbounded busy-waiting would
+/// starve the very thread being waited on.
+#[inline]
+fn spin_wait(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
 
 /// Runs `kernel` in lock-step rounds over `threads` workers until
 /// `control` breaks.
@@ -55,10 +74,12 @@ where
 }
 
 /// [`run_rounds`] with an optional [`PoolProfiler`]: when present, every
-/// worker times its kernel and barrier waits and the control thread
-/// flushes the accumulated nanoseconds into the live registry once per
-/// round. With `profiler == None` the timestamps are skipped entirely,
-/// so the unprofiled path costs nothing extra.
+/// worker times its kernel and its wait at the round handoff, and the
+/// control thread flushes the accumulated nanoseconds into the live
+/// registry once per round (after the control closure, so merge-phase
+/// timing recorded inside `control` lands in the same round's flush).
+/// With `profiler == None` the timestamps are skipped entirely, so the
+/// unprofiled path costs nothing extra.
 pub(crate) fn run_rounds_profiled<R, K, C>(
     threads: usize,
     profiler: Option<&PoolProfiler>,
@@ -77,89 +98,108 @@ where
                     let t0 = Instant::now();
                     kernel(round, 0);
                     p.record_gather(0, t0.elapsed().as_nanos() as u64);
-                    p.flush_round();
                 }
                 None => kernel(round, 0),
             }
-            match control(round) {
+            let decision = control(round);
+            if let Some(p) = profiler {
+                p.flush_round();
+            }
+            match decision {
                 ControlFlow::Continue(()) => round += 1,
                 ControlFlow::Break(result) => return result,
             }
         }
     }
 
-    let barrier = Barrier::new(threads);
-    let stop = AtomicBool::new(false);
+    // Sense-reversing barrier state. `arrived` counts workers that have
+    // finished the current round; `phase` advances by 2 per round, its
+    // low bit is the stop flag. Workers detect a new round by the value
+    // changing, so no reset of their view is ever needed.
+    let arrived = AtomicUsize::new(0);
+    let phase = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for worker in 1..threads {
-            let (barrier, stop, kernel) = (&barrier, &stop, &kernel);
+            let (arrived, phase, kernel) = (&arrived, &phase, &kernel);
             scope.spawn(move || {
                 let mut round = 0usize;
+                let mut seen = 0usize;
                 loop {
-                    // Start-of-round handoff: the control thread has
-                    // finished deciding; `stop` is stable until the next
-                    // end-of-round barrier.
                     match profiler {
                         Some(p) => {
                             let t0 = Instant::now();
-                            barrier.wait();
-                            p.record_barrier(worker, t0.elapsed().as_nanos() as u64);
-                            if stop.load(Ordering::Acquire) {
-                                break;
-                            }
-                            let t1 = Instant::now();
                             kernel(round, worker);
-                            p.record_gather(worker, t1.elapsed().as_nanos() as u64);
-                            round += 1;
-                            let t2 = Instant::now();
-                            barrier.wait();
-                            p.record_barrier(worker, t2.elapsed().as_nanos() as u64);
+                            p.record_gather(worker, t0.elapsed().as_nanos() as u64);
                         }
-                        None => {
-                            barrier.wait();
-                            if stop.load(Ordering::Acquire) {
-                                break;
-                            }
-                            kernel(round, worker);
-                            round += 1;
-                            barrier.wait();
-                        }
+                        None => kernel(round, worker),
                     }
+                    // Release pairs with the control thread's acquire
+                    // read: all kernel writes of this round are visible
+                    // once the count is observed complete.
+                    arrived.fetch_add(1, Ordering::Release);
+                    let wait_t0 = profiler.map(|_| Instant::now());
+                    let mut spins = 0u32;
+                    let next = loop {
+                        let v = phase.load(Ordering::Acquire);
+                        if v != seen {
+                            break v;
+                        }
+                        spin_wait(&mut spins);
+                    };
+                    if let (Some(p), Some(t0)) = (profiler, wait_t0) {
+                        p.record_barrier(worker, t0.elapsed().as_nanos() as u64);
+                    }
+                    seen = next;
+                    if next & 1 == 1 {
+                        break;
+                    }
+                    round += 1;
                 }
             });
         }
 
         let mut round = 0usize;
+        let mut phase_val = 0usize;
         loop {
-            barrier.wait(); // release everyone into the round
             match profiler {
                 Some(p) => {
                     let t0 = Instant::now();
                     kernel(round, 0);
                     p.record_gather(0, t0.elapsed().as_nanos() as u64);
-                    let t1 = Instant::now();
-                    barrier.wait(); // all chunks of this round are done
-                    p.record_barrier(0, t1.elapsed().as_nanos() as u64);
-                    // Flushing here races only with the *other* workers
-                    // recording their own end-of-round waits; a wait that
-                    // lands after the flush is attributed to the next
-                    // round, which windowed series tolerate.
-                    p.flush_round();
                 }
-                None => {
-                    kernel(round, 0);
-                    barrier.wait(); // all chunks of this round are done
-                }
+                None => kernel(round, 0),
             }
-            match control(round) {
-                ControlFlow::Continue(()) => round += 1,
+            // Acquire pairs with every worker's release increment: once
+            // all threads − 1 arrivals are visible, so are their chunks.
+            let wait_t0 = profiler.map(|_| Instant::now());
+            let mut spins = 0u32;
+            while arrived.load(Ordering::Acquire) != threads - 1 {
+                spin_wait(&mut spins);
+            }
+            if let (Some(p), Some(t0)) = (profiler, wait_t0) {
+                p.record_barrier(0, t0.elapsed().as_nanos() as u64);
+            }
+            // Reset before publishing the phase: workers re-arm their
+            // arrival only after observing the new phase value.
+            arrived.store(0, Ordering::Relaxed);
+            let decision = control(round);
+            if let Some(p) = profiler {
+                // After control so merge timing recorded inside the
+                // control closure lands in this round's flush; workers'
+                // handoff waits may land in the next round's, which
+                // windowed series tolerate.
+                p.flush_round();
+            }
+            match decision {
+                ControlFlow::Continue(()) => {
+                    phase_val += 2;
+                    // Release publishes the control closure's writes
+                    // (convergence flags, merged rows) to every worker.
+                    phase.store(phase_val, Ordering::Release);
+                    round += 1;
+                }
                 ControlFlow::Break(result) => {
-                    stop.store(true, Ordering::Release);
-                    // One extra start-of-round wait lets the workers
-                    // observe `stop` and exit; every thread has then
-                    // waited the same number of times, so the barrier
-                    // generations stay aligned.
-                    barrier.wait();
+                    phase.store(phase_val + 1, Ordering::Release);
                     break result;
                 }
             }
@@ -174,15 +214,15 @@ where
 /// range of this buffer this round, and the roles of the read/write
 /// buffers swap every round". `SharedSlice` erases the borrow and moves
 /// the proof obligation to the call sites inside this crate (every use
-/// documents why its access is disjoint); the barriers in [`run_rounds`]
-/// provide the cross-round happens-before edges.
+/// documents why its access is disjoint); the round handoff in
+/// [`run_rounds`] provides the cross-round happens-before edges.
 pub(crate) struct SharedSlice {
     ptr: *mut f64,
     len: usize,
 }
 
 // SAFETY: access discipline is enforced by the kernels (disjoint write
-// ranges within a round) and run_rounds' barriers (ordering across
+// ranges within a round) and run_rounds' phase handoff (ordering across
 // rounds); the raw pointer itself is freely sendable.
 unsafe impl Send for SharedSlice {}
 unsafe impl Sync for SharedSlice {}
@@ -209,8 +249,8 @@ impl SharedSlice {
     ///
     /// # Safety
     /// Ranges handed to concurrent workers must be pairwise disjoint,
-    /// and nothing may read the written range until after the
-    /// end-of-round barrier.
+    /// and nothing may read the written range until after the round's
+    /// handoff.
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
         debug_assert!(lo <= hi && hi <= self.len);
@@ -249,7 +289,7 @@ mod tests {
     #[test]
     fn control_sees_all_chunks_of_the_round() {
         // Workers add their chunk sums; control checks the total is
-        // complete every round (the end-of-round barrier is real).
+        // complete every round (the arrival handoff is a real barrier).
         let total = AtomicUsize::new(0);
         let ok = run_rounds(
             3,
@@ -269,6 +309,32 @@ mod tests {
             },
         );
         assert!(ok);
+    }
+
+    #[test]
+    fn workers_do_not_run_ahead_of_control() {
+        // A worker must not start round r+1 before control finished
+        // round r: control records the per-round totals it observed;
+        // each must be exactly one round's worth of increments.
+        let total = AtomicUsize::new(0);
+        let mut observed = Vec::new();
+        let rounds = 50usize;
+        run_rounds(
+            4,
+            |_round, _worker| {
+                total.fetch_add(1, Ordering::Relaxed);
+            },
+            |round| {
+                observed.push(total.load(Ordering::Relaxed));
+                if round + 1 == rounds {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        let expected: Vec<usize> = (1..=rounds).map(|r| r * 4).collect();
+        assert_eq!(observed, expected);
     }
 
     #[test]
@@ -297,6 +363,23 @@ mod tests {
     fn break_on_first_round_releases_workers() {
         let r = run_rounds(8, |_, _| {}, |_| ControlFlow::Break(42));
         assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn many_rounds_stay_in_lock_step() {
+        // Stress the phase handoff across enough rounds to surface a
+        // missed-wakeup or double-release bug as a count mismatch.
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        run_rounds(
+            3,
+            |_round, worker| {
+                hits[worker].fetch_add(1, Ordering::Relaxed);
+            },
+            |round| if round == 999 { ControlFlow::Break(()) } else { ControlFlow::Continue(()) },
+        );
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1000);
+        }
     }
 
     #[test]

@@ -1,12 +1,13 @@
-//! Worker-pool profiler: per-worker gather and barrier-wait timing fed
-//! into the live metrics registry.
+//! Worker-pool profiler: per-worker gather / barrier-wait timing and the
+//! control thread's merge-phase timing, fed into the live metrics
+//! registry.
 //!
 //! The pooled solvers are barrier-synchronized, so one slow chunk stalls
 //! every worker — but from the outside a solve is just "slow", with no
 //! way to tell skew (one hot chunk) from uniform cost (everyone busy).
 //! The profiler makes the distinction observable while the solve runs:
 //! each worker accumulates the nanoseconds it spent in the gather kernel
-//! and at the barriers into relaxed atomics, and once per round the
+//! and at the round handoff into relaxed atomics, and once per round the
 //! control thread flushes those into per-worker windowed series on the
 //! process-global [`spammass_obs::registry`]:
 //!
@@ -15,8 +16,11 @@
 //!   time (high values on one worker mean *the others* are slow);
 //! * `pagerank.worker.<w>.edges_per_s` — gauge of the worker's gather
 //!   throughput over its chunk's edges;
+//! * `pagerank.merge_ns` — histogram of the control thread's per-sweep
+//!   cost combining partial accumulators for rows split across edge
+//!   chunks (the edge-parallel design's only serial section);
 //! * `pagerank.partition.imbalance` / `pagerank.partition.chunks` —
-//!   gauges describing the edge-balanced partition itself;
+//!   gauges describing the edge-range partition itself;
 //! * `pagerank.pool.sweeps` — counter whose windowed rate is the live
 //!   sweeps/s of the solve.
 //!
@@ -25,8 +29,7 @@
 //! [`PoolProfiler::from_live`] returns `None` and the pool runs the
 //! exact unprofiled code path — no timestamps, no atomics, no overhead.
 
-use crate::partition::NodePartition;
-use spammass_graph::Graph;
+use crate::partition::EdgePartition;
 use spammass_obs::names;
 use spammass_obs::registry::{self, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,14 +42,18 @@ pub(crate) struct PoolProfiler {
     registry: &'static Arc<MetricsRegistry>,
     /// Nanoseconds each worker spent in the kernel since the last flush.
     gather_ns: Vec<AtomicU64>,
-    /// Nanoseconds each worker spent blocked at barriers since the last
-    /// flush.
+    /// Nanoseconds each worker spent blocked at the round handoff since
+    /// the last flush.
     barrier_ns: Vec<AtomicU64>,
+    /// Nanoseconds the control thread spent merging boundary rows since
+    /// the last flush. Written only by the control thread, but kept
+    /// atomic so `flush_round` can drain all slots uniformly.
+    merge_ns: AtomicU64,
     gather_names: Vec<String>,
     barrier_names: Vec<String>,
     eps_names: Vec<String>,
-    /// Edges each worker's chunk traverses per round (in-edges of the
-    /// chunk × solve columns).
+    /// Edges each worker's chunk traverses per round (edge-range length
+    /// × solve columns).
     chunk_edges: Vec<f64>,
     imbalance: f64,
 }
@@ -56,47 +63,52 @@ impl PoolProfiler {
     /// registry is off, so the solvers pay nothing by default.
     /// `columns` is the number of jump vectors a single round traverses
     /// (1 for the single-RHS solver, K for the batched one).
-    pub(crate) fn from_live(
-        partition: &NodePartition,
-        graph: &Graph,
-        columns: usize,
-    ) -> Option<PoolProfiler> {
+    pub(crate) fn from_live(partition: &EdgePartition, columns: usize) -> Option<PoolProfiler> {
         let registry = registry::live()?;
         let workers = partition.len();
-        let in_edges = partition.chunk_in_edges(graph);
-        let chunk_edges: Vec<f64> = in_edges.iter().map(|&e| (e * columns.max(1)) as f64).collect();
+        let chunk_edges: Vec<f64> =
+            partition.chunk_edges().iter().map(|&e| (e * columns.max(1)) as f64).collect();
         Some(PoolProfiler {
             registry,
             gather_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             barrier_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            merge_ns: AtomicU64::new(0),
             gather_names: (0..workers).map(|w| names::worker_series(w, "gather_ns")).collect(),
             barrier_names: (0..workers)
                 .map(|w| names::worker_series(w, "barrier_wait_ns"))
                 .collect(),
             eps_names: (0..workers).map(|w| names::worker_series(w, "edges_per_s")).collect(),
             chunk_edges,
-            imbalance: partition_imbalance(partition, graph),
+            imbalance: partition_imbalance(partition),
         })
     }
 
     /// Adds `ns` of kernel time to worker `w`'s slot. Relaxed: slots are
-    /// only reconciled at the per-round flush, which the pool's barriers
-    /// order against.
+    /// only reconciled at the per-round flush, which the pool's round
+    /// handoff orders against.
     #[inline]
     pub(crate) fn record_gather(&self, worker: usize, ns: u64) {
         self.gather_ns[worker].fetch_add(ns, Ordering::Relaxed);
     }
 
-    /// Adds `ns` of barrier-wait time to worker `w`'s slot.
+    /// Adds `ns` of handoff-wait time to worker `w`'s slot.
     #[inline]
     pub(crate) fn record_barrier(&self, worker: usize, ns: u64) {
         self.barrier_ns[worker].fetch_add(ns, Ordering::Relaxed);
     }
 
-    /// Drains every worker's slots into the registry. Called by the
-    /// control thread once per round; a worker's end-of-round wait may
-    /// land after the flush and be attributed to the next round, which
-    /// is fine for windowed series.
+    /// Adds `ns` of merge-phase time (control thread only, inside the
+    /// control closure — the pool flushes after it so the observation
+    /// lands in the same round).
+    #[inline]
+    pub(crate) fn record_merge(&self, ns: u64) {
+        self.merge_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Drains every slot into the registry. Called by the control thread
+    /// once per round; a worker's end-of-round wait may land after the
+    /// flush and be attributed to the next round, which is fine for
+    /// windowed series.
     pub(crate) fn flush_round(&self) {
         for w in 0..self.gather_ns.len() {
             let gather = self.gather_ns[w].swap(0, Ordering::Relaxed);
@@ -108,31 +120,32 @@ impl PoolProfiler {
                 self.registry.gauge_set(&self.eps_names[w], eps);
             }
         }
+        let merge = self.merge_ns.swap(0, Ordering::Relaxed);
+        self.registry.observe(names::PAGERANK_MERGE_NS, merge as f64);
         self.registry.counter_add(names::PAGERANK_POOL_SWEEPS, 1.0);
         self.registry.gauge_set(names::PAGERANK_PARTITION_IMBALANCE, self.imbalance);
         self.registry.gauge_set(names::PAGERANK_PARTITION_CHUNKS, self.gather_ns.len() as f64);
     }
 }
 
-/// Heaviest chunk's weight relative to a perfect split (1.0 = balanced),
-/// using the partitioner's own node weight `in_degree + 1` — so this is
-/// exactly the skew the edge-balanced cut was minimizing.
-pub(crate) fn partition_imbalance(partition: &NodePartition, graph: &Graph) -> f64 {
-    let in_edges = partition.chunk_in_edges(graph);
-    let weights: Vec<usize> =
-        partition.ranges().zip(&in_edges).map(|(r, &e)| e + (r.end - r.start)).collect();
-    let total: usize = weights.iter().sum();
-    let max = weights.iter().copied().max().unwrap_or(0);
+/// Heaviest chunk's edge count relative to a perfect split (1.0 =
+/// balanced). Edge-range cuts are balanced to within one edge by
+/// construction, so values above ~1.0 only appear when there are more
+/// workers than edges.
+pub(crate) fn partition_imbalance(partition: &EdgePartition) -> f64 {
+    let edges = partition.chunk_edges();
+    let total: usize = edges.iter().sum();
+    let max = edges.iter().copied().max().unwrap_or(0);
     if total == 0 {
         return 1.0;
     }
-    max as f64 * weights.len() as f64 / total as f64
+    max as f64 * edges.len() as f64 / total as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spammass_graph::GraphBuilder;
+    use spammass_graph::{Graph, GraphBuilder};
 
     /// Star graph: all in-edges land on node 0.
     fn star(n: u32) -> Graph {
@@ -143,28 +156,26 @@ mod tests {
     #[test]
     fn imbalance_is_one_for_single_chunk() {
         let g = star(100);
-        let p = NodePartition::edge_balanced(&g, 1);
-        assert_eq!(partition_imbalance(&p, &g), 1.0);
+        let p = EdgePartition::balanced(&g, 1);
+        assert_eq!(partition_imbalance(&p), 1.0);
     }
 
     #[test]
-    fn edge_balanced_beats_uniform_on_skew() {
-        // Uniform node chunks put all of the star's edges in chunk 0; the
-        // edge-balanced cut spreads the weight.
+    fn edge_ranges_stay_balanced_even_on_hub_rows() {
+        // The old node partition could not split the star's hub row, so
+        // one chunk owned every edge. Edge ranges cut through the row:
+        // imbalance stays within one edge of perfect.
         let g = star(10_000);
-        let balanced = partition_imbalance(&NodePartition::edge_balanced(&g, 4), &g);
-        let uniform = partition_imbalance(&NodePartition::uniform(g.node_count(), 4), &g);
-        assert!(balanced < uniform, "balanced {balanced} vs uniform {uniform}");
-        // A single un-splittable hub node bounds how even the cut can be,
-        // but the heaviest chunk never exceeds the whole weight.
-        assert!((1.0..=4.0).contains(&balanced));
+        let imb = partition_imbalance(&EdgePartition::balanced(&g, 4));
+        let n_edges = g.edge_count() as f64;
+        assert!(imb <= (n_edges / 4.0).ceil() * 4.0 / n_edges, "imbalance {imb}");
     }
 
     #[test]
     fn imbalance_handles_empty_graphs() {
         let g = GraphBuilder::from_edges(0, &[]);
-        let p = NodePartition::edge_balanced(&g, 4);
-        assert_eq!(partition_imbalance(&p, &g), 1.0);
+        let p = EdgePartition::balanced(&g, 4);
+        assert_eq!(partition_imbalance(&p), 1.0);
     }
 
     #[test]
@@ -172,7 +183,7 @@ mod tests {
         // Unit tests never enable the process-global registry (that is
         // irreversible), so the gate must report None here.
         let g = star(50);
-        let p = NodePartition::edge_balanced(&g, 2);
-        assert!(PoolProfiler::from_live(&p, &g, 1).is_none());
+        let p = EdgePartition::balanced(&g, 2);
+        assert!(PoolProfiler::from_live(&p, 1).is_none());
     }
 }

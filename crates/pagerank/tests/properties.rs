@@ -6,7 +6,7 @@ use spammass_pagerank::batch::{solve_batch, solve_batch_warm};
 use spammass_pagerank::contribution::{contribution_of_node, contribution_of_set};
 use spammass_pagerank::jacobi::{solve_jacobi_dense, solve_jacobi_dense_warm};
 use spammass_pagerank::parallel::{solve_parallel_jacobi, solve_parallel_jacobi_dense_warm};
-use spammass_pagerank::{JumpVector, NodePartition, PageRankConfig};
+use spammass_pagerank::{EdgePartition, JumpVector, KernelKind, NodePartition, PageRankConfig};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..=25).prop_flat_map(|n| {
@@ -257,6 +257,57 @@ proptest! {
         }
     }
 
+    /// Edge-range partitions cut `0..m` into contiguous equal ranges and
+    /// assign every destination row to exactly one worker interior **or**
+    /// one merge entry, whose pieces tile the row's in-edges in worker
+    /// order — for arbitrary graphs and part counts.
+    #[test]
+    fn edge_partition_owns_every_row_exactly_once(g in arb_graph(), parts in 1usize..=9) {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let p = EdgePartition::balanced(&g, parts);
+        prop_assert_eq!(p.len(), parts);
+        prop_assert_eq!(p.node_count(), n);
+        // Edge ranges: contiguous, disjoint, exhaustive, equal to ±1.
+        let mut next = 0usize;
+        for w in 0..parts {
+            let r = p.edge_range(w);
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+            let len = r.end - r.start;
+            prop_assert!(len == m / parts || len == m.div_ceil(parts),
+                "worker {} owns {} edges of {} over {} parts", w, len, m, parts);
+        }
+        prop_assert_eq!(next, m);
+        // Row ownership: interior XOR merge entry, exactly once each.
+        let mut owner = vec![0u32; n];
+        for w in 0..parts {
+            for y in p.interior(w) {
+                owner[y] += 1;
+            }
+        }
+        let offsets = g.in_offsets();
+        for e in p.merge_entries() {
+            owner[e.node] += 1;
+            // The entry's pieces tile the row's in-edge range in order.
+            let mut cursor = offsets[e.node] as usize;
+            let mut last_w: Option<usize> = None;
+            for &(w, slot) in &e.parts {
+                prop_assert!(last_w.is_none_or(|lw| w > lw), "parts out of worker order");
+                last_w = Some(w);
+                let piece = p.pieces(w)[slot].as_ref().expect("merge entry names a live piece");
+                prop_assert_eq!(piece.node, e.node);
+                prop_assert_eq!(piece.edges.start, cursor);
+                cursor = piece.edges.end;
+            }
+            prop_assert_eq!(cursor, offsets[e.node + 1] as usize,
+                "pieces do not tile row {}", e.node);
+        }
+        for (y, &count) in owner.iter().enumerate() {
+            prop_assert_eq!(count, 1u32, "row {} owned {} times", y, count);
+        }
+    }
+
     /// Pooled solvers are bit-for-bit deterministic across repeated runs.
     #[test]
     fn pooled_solves_are_deterministic(g in arb_graph()) {
@@ -271,6 +322,111 @@ proptest! {
         prop_assert_eq!(&x[0].scores, &y[0].scores);
         prop_assert_eq!(x[0].iterations, y[0].iterations);
     }
+}
+
+/// A reproducible random graph big enough to clear the pool's node floor
+/// (16k rows per worker), so `.threads(k)` genuinely runs the
+/// edge-parallel engine instead of the serial fallback.
+fn pooled_random_graph(seed: u64) -> Graph {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let (n, m) = (40_000u32, 120_000usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n as usize, m);
+    for _ in 0..m {
+        let f = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        if f != t {
+            b.add_edge(NodeId(f), NodeId(t));
+        }
+    }
+    b.build()
+}
+
+/// Pooled config: an edge quota of one so the configured thread count
+/// survives the auto-sizer on the 120k-edge test graphs.
+fn pooled_cfg() -> PageRankConfig {
+    PageRankConfig::default().tolerance(1e-12).max_iterations(20_000).edges_per_thread(1)
+}
+
+proptest! {
+    // Each case runs several 40k-node pooled solves; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The unrolled (4-bank) kernel agrees with the scalar kernel to
+    /// ≤ 1e-12 per node on random pooled graphs at any worker count.
+    #[test]
+    fn unrolled_kernel_matches_scalar_on_pooled_graphs(seed in 0u64..1 << 20, threads in 2usize..=4) {
+        let g = pooled_random_graph(seed);
+        let s = solve_parallel_jacobi(
+            &g, &JumpVector::Uniform, &pooled_cfg().threads(threads).kernel(KernelKind::Scalar))
+            .unwrap();
+        let u = solve_parallel_jacobi(
+            &g, &JumpVector::Uniform, &pooled_cfg().threads(threads).kernel(KernelKind::Unrolled4))
+            .unwrap();
+        for i in 0..g.node_count() {
+            prop_assert!(
+                (s.scores[i] - u.scores[i]).abs() <= 1e-12,
+                "node {}: scalar {} vs unrolled {}", i, s.scores[i], u.scores[i]
+            );
+        }
+    }
+
+    /// The merge phase is deterministic: a fixed thread count reproduces
+    /// scores bit-for-bit across runs, and different thread counts agree
+    /// to ≤ 1e-12 (the cut moves the partial-sum association, not the
+    /// fixed point).
+    #[test]
+    fn merge_is_deterministic_and_thread_count_invariant(
+        seed in 0u64..1 << 20, t1 in 2usize..=4, t2 in 2usize..=4
+    ) {
+        let g = pooled_random_graph(seed);
+        let cfg1 = pooled_cfg().threads(t1);
+        let a = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg1).unwrap();
+        let b = solve_parallel_jacobi(&g, &JumpVector::Uniform, &cfg1).unwrap();
+        prop_assert_eq!(&a.scores, &b.scores);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+        let c = solve_parallel_jacobi(&g, &JumpVector::Uniform, &pooled_cfg().threads(t2)).unwrap();
+        for i in 0..g.node_count() {
+            prop_assert!(
+                (a.scores[i] - c.scores[i]).abs() <= 1e-12,
+                "node {}: {}t {} vs {}t {}", i, t1, a.scores[i], t2, c.scores[i]
+            );
+        }
+    }
+}
+
+/// Rows with fewer than four in-edges take the unrolled kernel's scalar
+/// fallthrough, so on a graph whose maximum in-degree is three the two
+/// kernels must agree bit-for-bit — same scores, same iteration count,
+/// same residual.
+#[test]
+fn unrolled_kernel_is_bit_exact_on_low_degree_graphs() {
+    let n = 40_000u32;
+    let mut edges = Vec::with_capacity(3 * n as usize);
+    for x in 0..n {
+        for d in 1..=3 {
+            edges.push((x, (x + d) % n));
+        }
+    }
+    let g = GraphBuilder::from_edges(n as usize, &edges);
+    assert!(g.nodes().map(|y| g.in_degree(y)).max().unwrap() < 4);
+    let s = solve_parallel_jacobi(
+        &g,
+        &JumpVector::Uniform,
+        &pooled_cfg().threads(3).kernel(KernelKind::Scalar),
+    )
+    .unwrap();
+    let u = solve_parallel_jacobi(
+        &g,
+        &JumpVector::Uniform,
+        &pooled_cfg().threads(3).kernel(KernelKind::Unrolled4),
+    )
+    .unwrap();
+    assert_eq!(s.scores, u.scores);
+    assert_eq!(s.iterations, u.iterations);
+    assert_eq!(s.residual.to_bits(), u.residual.to_bits());
 }
 
 /// Preferential attachment via a repeated-endpoints trick: each new node

@@ -64,6 +64,12 @@ OUT="BENCH_pagerank.json"
 
 COUNT="$(grep -c '^BENCH_JSON ' "$LOG")"
 [ "$COUNT" -gt 0 ] || { echo "no BENCH_JSON lines captured"; exit 1; }
+# The scaling acceptance group must land in full: scalar baselines at 1
+# and 4 threads plus the unrolled kernel and the edge-parallel path.
+for key in fused_1t fused_4t simd_1t edge_parallel_4t; do
+  grep -q "pagerank_scaling/$key" "$OUT" \
+    || { echo "$OUT missing scaling bench $key"; exit 1; }
+done
 echo "wrote $OUT ($COUNT benchmarks)"
 
 # Incremental re-estimation: warm update vs cold full estimate on an

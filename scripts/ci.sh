@@ -133,6 +133,7 @@ done
 for key in spammass_pagerank_worker_0_gather_ns \
     spammass_pagerank_worker_1_gather_ns \
     spammass_pagerank_worker_0_barrier_wait_ns \
+    spammass_pagerank_merge_ns \
     spammass_pagerank_pool_sweeps spammass_pagerank_partition_imbalance \
     spammass_obs_export_scrapes; do
   printf '%s' "$METRICS" | grep -q "$key" \
@@ -151,6 +152,15 @@ echo "== bench-diff (report-only) against the checked-in baselines =="
 # noise floor of whatever machine reran the benches last.
 for f in BENCH_pagerank.json BENCH_incremental.json BENCH_layout.json; do
   [ -f "$f" ] || { echo "missing checked-in $f"; exit 1; }
+done
+# The checked-in pagerank baseline must carry the scaling acceptance
+# workload so bench-diff can gate future kernel regressions against it.
+for key in 'pagerank_scaling/fused_1t' 'pagerank_scaling/simd_1t' \
+    'pagerank_scaling/edge_parallel_4t'; do
+  grep -q "$key" BENCH_pagerank.json \
+    || { echo "BENCH_pagerank.json missing $key"; exit 1; }
+done
+for f in BENCH_pagerank.json BENCH_incremental.json BENCH_layout.json; do
   ./target/release/spammass bench-diff --old "$f" --new "$f" \
     --report-only true > "$SMOKE_DIR/bench-diff.out" \
     || { echo "bench-diff failed on $f"; cat "$SMOKE_DIR/bench-diff.out"; exit 1; }
