@@ -1,0 +1,225 @@
+//! Query-daemon throughput: QPS and request latency against a live
+//! `spammass-serve` instance.
+//!
+//! A synth scenario is estimated, published into a state directory, and
+//! served by a real [`Server`] (thread-per-core accept loop, keep-alive
+//! HTTP). The measured client is plain blocking `TcpStream`s — the same
+//! thing a scraper or a sidecar would use — so the numbers include the
+//! full parse → route → snapshot-pin → render → write path.
+//!
+//! Two layers of numbers:
+//!
+//! * a `BENCH_SERVE {...}` line with client-side QPS and p50/p99
+//!   latency at 1 thread and at N threads (collected by
+//!   `scripts/bench.sh` into `BENCH_serve.json`), with correctness
+//!   asserts (every response 200, parseable, right generation) before
+//!   anything is timed;
+//! * criterion benches (`serve_qps/score_1t`, ...) for the per-request
+//!   latency of each endpoint on a persistent connection.
+//!
+//! `SERVE_HOSTS` scales the graph (default 20 000).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spammass_core::detector::DetectorConfig;
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_delta::StateDir;
+use spammass_obs::json::Json;
+use spammass_serve::{Reloader, ServeOptions, Server};
+use spammass_synth::scenario::{Scenario, ScenarioConfig};
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn state_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("spammass-bench-serve-{}", std::process::id()))
+}
+
+/// Publishes an estimated synth scenario and starts the daemon.
+fn start_server() -> (Server, usize, usize) {
+    let hosts: usize =
+        std::env::var("SERVE_HOSTS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
+    let config = ScenarioConfig::sized(hosts);
+    let scenario = Scenario::generate(&config, 0xFEED);
+    let core = scenario.section_4_2_core();
+    let est = MassEstimator::new(EstimatorConfig::scaled(0.85))
+        .estimate(&scenario.graph, &core)
+        .expect("estimate converges");
+
+    let dir = state_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let state = StateDir::new(&dir);
+    state.save(&scenario.graph, &core, &est.pagerank, &est.core_pagerank).unwrap();
+
+    let nodes = scenario.graph.node_count();
+    let edges = scenario.graph.edge_count();
+    let reloader =
+        Reloader::new(state, None, DetectorConfig { rho: 10.0, tau: 0.98 }, 0.85, 0.85, 0);
+    let server = Server::start(ServeOptions::default(), reloader).expect("server starts");
+    (server, nodes, edges)
+}
+
+fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    BufReader::new(stream)
+}
+
+/// One keep-alive GET; returns (status, body).
+fn get(reader: &mut BufReader<TcpStream>, path: &str) -> (u16, String) {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
+    reader.get_mut().write_all(request.as_bytes()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let status: u16 = line.split_whitespace().nth(1).expect("status line").parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+struct LoadReport {
+    qps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// `threads` clients, each `requests` keep-alive `/score` lookups over
+/// its own connection; client-side QPS and latency percentiles.
+fn run_load(addr: SocketAddr, nodes: usize, threads: usize, requests: usize) -> LoadReport {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|worker| {
+            std::thread::spawn(move || {
+                let mut reader = connect(addr);
+                let mut latencies = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    let node = (worker * 7919 + i * 31) % nodes;
+                    let path = format!("/score?node={node}");
+                    let sent = Instant::now();
+                    let (status, body) = get(&mut reader, &path);
+                    latencies.push(sent.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "{body}");
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> =
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let pct = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    LoadReport {
+        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+    }
+}
+
+/// Correctness before speed: responses parse, carry the right schema and
+/// generation, and agree between /score and /batch.
+fn verify(addr: SocketAddr, nodes: usize) {
+    let mut reader = connect(addr);
+    let (status, body) = get(&mut reader, "/score?node=0");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("score parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_str), Some("spammass.score_response/v1"));
+    assert_eq!(doc.get("generation").and_then(Json::as_f64), Some(1.0));
+    let single = doc.get("score").unwrap().get("pagerank").and_then(Json::as_f64).unwrap();
+
+    let (status, body) = get(&mut reader, "/batch?nodes=0,1,2");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("batch parses");
+    let batched = doc.get("results").and_then(Json::as_arr).unwrap()[0]
+        .get("pagerank")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(single, batched, "score and batch disagree on node 0");
+
+    let (status, body) = get(&mut reader, "/topk?k=5");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        Json::parse(&body).unwrap().get("count").and_then(Json::as_f64),
+        Some(5.0),
+        "{body}"
+    );
+    let (status, body) = get(&mut reader, &format!("/explain?node={}", nodes - 1));
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        Json::parse(&body).unwrap().get("schema").and_then(Json::as_str),
+        Some("spammass.explain_response/v1")
+    );
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (server, nodes, edges) = start_server();
+    let addr = server.local_addr();
+    verify(addr, nodes);
+
+    let fan_out = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
+    let per_thread: usize =
+        std::env::var("SERVE_REQS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000);
+    let single = run_load(addr, nodes, 1, per_thread);
+    let multi = run_load(addr, nodes, fan_out, per_thread);
+    println!(
+        "BENCH_SERVE {{\"hosts\": {nodes}, \"edges\": {edges}, \
+         \"accept_threads\": {}, \"client_threads\": {fan_out}, \
+         \"requests_per_thread\": {per_thread}, \
+         \"qps_1t\": {:.0}, \"p50_ns_1t\": {}, \"p99_ns_1t\": {}, \
+         \"qps_nt\": {:.0}, \"p50_ns_nt\": {}, \"p99_ns_nt\": {}}}",
+        server.accept_threads(),
+        single.qps,
+        single.p50_ns,
+        single.p99_ns,
+        multi.qps,
+        multi.p50_ns,
+        multi.p99_ns,
+    );
+
+    let mut group = c.benchmark_group("serve_qps");
+    group.sample_size(10);
+    {
+        let mut reader = connect(addr);
+        group.bench_function("score_1t", |b| {
+            b.iter(|| black_box(get(&mut reader, "/score?node=42")))
+        });
+    }
+    {
+        let mut reader = connect(addr);
+        let nodes_param =
+            (0..32).map(|i| (i * 613) % nodes).map(|n| n.to_string()).collect::<Vec<_>>().join(",");
+        let path = format!("/batch?nodes={nodes_param}");
+        group.bench_function("batch32_1t", |b| b.iter(|| black_box(get(&mut reader, &path))));
+    }
+    {
+        let mut reader = connect(addr);
+        group.bench_function("topk_1t", |b| b.iter(|| black_box(get(&mut reader, "/topk?k=10"))));
+    }
+    {
+        let mut reader = connect(addr);
+        group.bench_function("explain_1t", |b| {
+            b.iter(|| black_box(get(&mut reader, "/explain?node=7")))
+        });
+    }
+    group.finish();
+
+    // Client connections are all dropped by now, so the daemon's accept
+    // threads join promptly instead of waiting out a read timeout.
+    drop(server);
+    let _ = std::fs::remove_dir_all(state_dir());
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -9,6 +9,7 @@ use crate::loading::{
 use crate::CliError;
 use spammass_core::detector::{detect, DetectorConfig};
 use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_core::top_k_by;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -21,6 +22,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "gamma",
         "rho",
         "tau",
+        "top",
         "kernel",
         "order",
         "lenient",
@@ -38,6 +40,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let gamma: f64 = args.parsed_or("gamma", 0.85)?;
     let rho: f64 = args.parsed_or("rho", 10.0)?;
     let tau: f64 = args.parsed_or("tau", 0.98)?;
+    let top: usize = args.parsed_or("top", 0)?;
     if !(0.0..=1.0).contains(&gamma) {
         return Err(CliError::Usage(format!("--gamma {gamma} outside [0, 1]")));
     }
@@ -69,13 +72,18 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         detection.len(),
         detection.considered
     );
+    // Partial select instead of a full sort: --top K asks for K winners
+    // (0 = all). Candidates arrive ascending by node id, and top_k_by
+    // breaks ties in first-seen order, so equal scores list by node id
+    // — same order the old total_cmp sort produced. NaN-safety comes
+    // from the helper's total_cmp convention.
+    let k = if top == 0 { detection.candidates.len() } else { top };
+    let shown = top_k_by(detection.candidates.iter().copied(), k, |x| estimate.scaled_pagerank(*x));
+    if shown.len() < detection.candidates.len() {
+        let _ = writeln!(out, "(showing top {} of {})", shown.len(), detection.candidates.len());
+    }
     let _ = writeln!(out, "{:>10} {:>8}  candidate", "scaled p", "m~");
-    let mut candidates = detection.candidates.clone();
-    // total_cmp: a NaN score cannot scramble the candidate ordering.
-    candidates.sort_by(|&a, &b| {
-        estimate.scaled_pagerank(b).total_cmp(&estimate.scaled_pagerank(a)).then(a.cmp(&b))
-    });
-    for x in candidates {
+    for x in shown {
         let _ = writeln!(
             out,
             "{:>10.2} {:>8.4}  {}",
@@ -130,5 +138,52 @@ mod tests {
         // The candidate line names node 0 (no labels file).
         assert!(out.lines().any(|l| l.trim_end().ends_with("  0")), "{out}");
         let _ = NodeId(0);
+    }
+
+    #[test]
+    fn top_k_truncates_the_candidate_list() {
+        // Two independent farms (targets 0 and 1, 0 boosted harder) so
+        // the detector flags two candidates and --top 1 keeps the
+        // stronger one.
+        let mut edges: Vec<(u32, u32)> = (2..=16).flat_map(|i| [(i, 0), (0, i)]).collect();
+        edges.extend((17..=26).flat_map(|i| [(i, 1), (1, i)]));
+        edges.push((27, 28));
+        edges.push((28, 27));
+        let g = GraphBuilder::from_edges(29, &edges);
+        let d = std::env::temp_dir().join("spammass-cli-detect-top");
+        fs::create_dir_all(&d).unwrap();
+        let gp = d.join("g.bin");
+        fs::write(&gp, io::graph_to_bytes(&g)).unwrap();
+        let cp = d.join("core.txt");
+        fs::write(&cp, "28\n").unwrap();
+
+        let base = [
+            "detect",
+            "--graph",
+            gp.to_str().unwrap(),
+            "--core",
+            cp.to_str().unwrap(),
+            "--rho",
+            "3",
+            "--tau",
+            "0.9",
+        ];
+        let parse = |extra: &[&str]| {
+            let mut v: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+            v.extend(extra.iter().map(|s| s.to_string()));
+            ParsedArgs::parse(&v).unwrap()
+        };
+        // Every farm member clears the low rho here; what matters is
+        // that --top keeps only the strongest and the full run is
+        // untruncated.
+        let all = run(&parse(&[])).unwrap();
+        assert!(all.contains("27 candidates"), "{all}");
+        assert!(!all.contains("showing top"), "{all}");
+
+        let top1 = run(&parse(&["--top", "1"])).unwrap();
+        assert!(top1.contains("(showing top 1 of 27)"), "{top1}");
+        // The harder-boosted target 0 wins the single slot.
+        assert!(top1.lines().any(|l| l.trim_end().ends_with("  0")), "{top1}");
+        assert!(!top1.lines().any(|l| l.trim_end().ends_with("  1")), "{top1}");
     }
 }

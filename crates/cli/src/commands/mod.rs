@@ -8,6 +8,7 @@ pub mod estimate;
 pub mod fsck;
 pub mod generate;
 pub mod pagerank;
+pub mod serve;
 pub mod stats;
 pub mod update;
 
@@ -58,6 +59,7 @@ fn dispatch_inner(args: &ParsedArgs) -> Result<String, CliError> {
         "estimate" => estimate::run(args),
         "detect" => detect::run(args),
         "update" => update::run(args),
+        "serve" => serve::run(args),
         "fsck" => fsck::run(args),
         "bench-diff" => bench_diff::run(args),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),

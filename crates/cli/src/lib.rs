@@ -110,8 +110,9 @@ USAGE:
   spammass stats    --graph FILE [--lenient N]
   spammass pagerank --graph FILE [--solver jacobi|gauss-seidel|power|parallel] [--damping C] [--top K] [--threads T] [--kernel auto|scalar|unrolled4] [--order degree|bfs|none] [--labels FILE] [--fallback true] [--lenient N]
   spammass estimate --graph FILE --core FILE [--labels FILE] [--gamma G] [--out FILE] [--state DIR] [--threads T] [--batch false] [--order degree|bfs|none] [--lenient N]
-  spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--order degree|bfs|none] [--lenient N]
+  spammass detect   --graph FILE --core FILE [--labels FILE] [--gamma G] [--rho R] [--tau T] [--top K] [--order degree|bfs|none] [--lenient N]
   spammass update   --journal FILE --state DIR [--labels FILE] [--gamma G] [--rho R] [--tau T] [--top K] [--threads T] [--lenient N]
+  spammass serve    --state DIR [--addr A] [--journal FILE] [--poll-ms MS] [--gamma G] [--rho R] [--tau T] [--damping C] [--threads T] [--max-seconds S]
   spammass fsck     --state DIR [--journal FILE] [--repair true]
   spammass bench-diff --old FILE --new FILE [--threshold PCT] [--report-only true]
 
@@ -150,6 +151,17 @@ USAGE:
   --threshold PCT   bench-diff: fail when a bench's median regressed by more
                     than PCT percent (default 10); --report-only true prints
                     the table but never fails
+
+  serve: answers HTTP/JSON spam-mass queries from the state directory's
+  current snapshot generation (mmapped where possible): /score?node=N,
+  /batch?nodes=N,N, /topk?k=K[&by=absolute|relative|pagerank],
+  /explain?node=N[&limit=L], /stats, /reload. The bound address is printed
+  to stderr. With --journal, new journal records are folded in by a warm
+  in-process update and published as a fresh generation; externally
+  published generations are picked up too — either way the snapshot is
+  swapped atomically under in-flight readers (checked every --poll-ms,
+  default 1000, and on GET /reload). --threads sets the accept threads
+  (0 = all cores); --max-seconds S exits after S seconds (0 = forever)
 
 Every subcommand also accepts:
   --trace MODE      append run telemetry to the output: `pretty` prints the

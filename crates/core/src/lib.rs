@@ -61,9 +61,11 @@ pub mod mass;
 pub mod naive;
 mod partition;
 pub mod refinement;
+pub mod topk;
 pub mod trustrank;
 pub mod update;
 
 pub use core_builder::GoodCore;
 pub use partition::{NodeSide, Partition};
+pub use topk::{top_k_by, top_k_scores};
 pub use update::{MassShift, UpdateReport};

@@ -735,6 +735,43 @@ impl StateDir {
         Ok(SavedState { graph, core, pagerank, core_pagerank })
     }
 
+    /// Blocks until the manifest names a generation newer than `after`,
+    /// polling every `poll_interval` up to `timeout`. Returns the new
+    /// generation number, or `Ok(None)` on timeout. `after = None`
+    /// accepts the first published generation it sees — including one
+    /// already on disk, so "watch from before the first save" works.
+    ///
+    /// This is the cheap half of the serving plane's reload loop: one
+    /// small manifest read per poll, no generation payload touched until
+    /// the caller decides to load. Corrupt-manifest reads are treated as
+    /// "no new generation yet" rather than fatal — a watcher's job is to
+    /// outlive a publisher mid-crash, and `fsck` owns the diagnosis.
+    ///
+    /// # Errors
+    /// Only non-recoverable I/O failures (permissions, injected faults)
+    /// abort the watch.
+    pub fn watch_latest_generation(
+        &self,
+        after: Option<u64>,
+        poll_interval: std::time::Duration,
+        timeout: std::time::Duration,
+    ) -> Result<Option<u64>, StateError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.read_manifest() {
+                Ok(Some(g)) if after.is_none_or(|a| g > a) => return Ok(Some(g)),
+                Ok(_) => {}
+                Err(e) if e.is_corruption() => {}
+                Err(e) => return Err(e),
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(poll_interval.min(deadline.duration_since(now)));
+        }
+    }
+
     /// Reads the journal file at `path` (convenience wrapper so callers
     /// deal in one error type end to end).
     pub fn read_journal_file(
@@ -1002,6 +1039,42 @@ mod tests {
             }
             other => panic!("expected NoUsableGeneration, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watcher_sees_a_mid_watch_publish() {
+        use std::time::Duration;
+        let dir = tmpdir("watch");
+        let (g, core, p, pc) = sample();
+        let state = StateDir::new(&dir);
+        state.save(&g, &core, &p, &pc).unwrap();
+
+        // Already-satisfied watch returns without waiting out the timeout.
+        let got = state
+            .watch_latest_generation(None, Duration::from_millis(1), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(got, Some(1));
+
+        // Nothing newer than 1 yet: the watch times out cleanly.
+        let got = state
+            .watch_latest_generation(Some(1), Duration::from_millis(1), Duration::from_millis(20))
+            .unwrap();
+        assert_eq!(got, None);
+
+        // Publish generation 2 from another thread mid-watch.
+        let publisher = {
+            let state = state.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                state.save(&g, &core, &p, &pc).unwrap()
+            })
+        };
+        let got = state
+            .watch_latest_generation(Some(1), Duration::from_millis(2), Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(got, Some(2));
+        assert_eq!(publisher.join().unwrap(), 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -2,10 +2,11 @@
 //! zero-dependency HTTP server.
 //!
 //! The build environment is offline, so the server is hand-rolled on
-//! `std::net`: one listener thread, blocking accepts, one short-lived
-//! connection per scrape (`Connection: close`). That is exactly the
-//! traffic shape of a Prometheus scrape loop, and it keeps the whole
-//! exposition path free of async machinery.
+//! `std::net` via the shared [`crate::http`] plumbing: one listener
+//! thread, blocking accepts, one short-lived connection per scrape
+//! (`Connection: close`). That is exactly the traffic shape of a
+//! Prometheus scrape loop, and it keeps the whole exposition path free
+//! of async machinery.
 //!
 //! Read path: every request takes an epoch-consistent
 //! [`crate::registry::RegistrySnapshot`] (one timestamp, short
@@ -16,10 +17,11 @@
 //! (JSON, schema [`SNAPSHOT_SCHEMA`]), `/flight` (the flight-recorder
 //! ring, schema [`crate::flight::SCHEMA`]).
 
+use crate::http::{read_request, write_response};
 use crate::json::Json;
 use crate::registry::{self, MetricSnapshot, RegistrySnapshot};
 use std::fmt::Write as _;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -199,24 +201,23 @@ fn handle_connection(stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers so well-behaved clients see a clean close.
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
+    let request = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(e) => {
+            // Malformed or oversized requests get a typed error page;
+            // clean closes and transport failures get nothing.
+            if let Some((status, message)) = e.response() {
+                let out = reader.get_mut();
+                write_response(out, status, "text/plain; charset=utf-8", &message, false)?;
+            }
+            return Ok(());
         }
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-    let path = path.split('?').next().unwrap_or(path);
+    };
 
-    let (status, content_type, body) = if method != "GET" {
+    let (status, content_type, body) = if request.method != "GET" {
         ("405 Method Not Allowed", "text/plain; charset=utf-8", "only GET is served\n".to_string())
     } else {
-        match path {
+        match request.path.as_str() {
             "/metrics" => {
                 registry::global().counter_add(crate::names::EXPORT_SCRAPES, 1.0);
                 (
@@ -244,13 +245,9 @@ fn handle_connection(stream: TcpStream) -> io::Result<()> {
             ),
         }
     };
+    // Scrapes are one-shot: always close, whatever the client asked.
     let mut out = reader.into_inner();
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    );
-    out.write_all(response.as_bytes())?;
-    out.flush()
+    write_response(&mut out, status, content_type, &body, false)
 }
 
 #[cfg(test)]

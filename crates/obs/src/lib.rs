@@ -53,6 +53,7 @@
 mod collector;
 pub mod export;
 pub mod flight;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod names;

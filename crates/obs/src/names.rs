@@ -84,6 +84,39 @@ pub const PAGERANK_MERGE_NS: &str = "pagerank.merge_ns";
 /// Scrapes answered by the metrics exposition server. Counter.
 pub const EXPORT_SCRAPES: &str = "obs.export.scrapes";
 
+/// Requests answered by the spam-mass query daemon (any endpoint,
+/// any status). Counter; its windowed rate is the daemon's live QPS.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+
+/// Requests the query daemon rejected (bad method, unknown route,
+/// malformed or oversized request, bad parameters). Counter.
+pub const SERVE_ERRORS: &str = "serve.errors";
+
+/// Snapshot swaps published to the daemon's readers (journal-driven
+/// updates and externally published generations alike). Counter.
+pub const SERVE_SWAPS: &str = "serve.swaps";
+
+/// Wall time of one reload check that actually produced and swapped in
+/// a new snapshot (journal read, warm update, publish, load). Windowed
+/// histogram, nanoseconds.
+pub const SERVE_RELOAD_NS: &str = "serve.reload_ns";
+
+/// Per-endpoint request latency of the query daemon: `/score`.
+/// Windowed histogram, nanoseconds.
+pub const SERVE_SCORE_NS: &str = "serve.score.request_ns";
+
+/// Per-endpoint request latency of the query daemon: `/batch`.
+/// Windowed histogram, nanoseconds.
+pub const SERVE_BATCH_NS: &str = "serve.batch.request_ns";
+
+/// Per-endpoint request latency of the query daemon: `/topk`.
+/// Windowed histogram, nanoseconds.
+pub const SERVE_TOPK_NS: &str = "serve.topk.request_ns";
+
+/// Per-endpoint request latency of the query daemon: `/explain`.
+/// Windowed histogram, nanoseconds.
+pub const SERVE_EXPLAIN_NS: &str = "serve.explain.request_ns";
+
 /// Per-worker profiler series name: `pagerank.worker.<w>.<kind>`, where
 /// `kind` is `gather_ns` / `barrier_wait_ns` (windowed histograms) or
 /// `edges_per_s` (gauge). Worker indices make these dynamic, so they
@@ -112,6 +145,14 @@ pub const ALL: &[&str] = &[
     PAGERANK_PARTITION_CHUNKS,
     PAGERANK_MERGE_NS,
     EXPORT_SCRAPES,
+    SERVE_REQUESTS,
+    SERVE_ERRORS,
+    SERVE_SWAPS,
+    SERVE_RELOAD_NS,
+    SERVE_SCORE_NS,
+    SERVE_BATCH_NS,
+    SERVE_TOPK_NS,
+    SERVE_EXPLAIN_NS,
 ];
 
 #[cfg(test)]

@@ -1,0 +1,421 @@
+//! An immutable, queryable view of one published state generation.
+//!
+//! A [`Snapshot`] is loaded once and never mutated: the graph comes in
+//! through the zero-copy `SPAMGRPH` mmap path where the platform
+//! supports it, the score vectors through the checksummed `SPAMSCRS`
+//! images, and everything derived — absolute mass, relative mass, the
+//! Algorithm 2 flag set — is computed eagerly at load time with exactly
+//! the conventions of `spammass_core` (`M̃ = p − p′` unclamped,
+//! `m̃ = M̃/p` with `p = 0 → 0`, flag when `p̂ ≥ ρ` and `m̃ ≥ τ`), so a
+//! daemon answer and a `spammass detect` run over the same generation
+//! can never disagree.
+
+use crate::ServeError;
+use spammass_core::detector::{detect_raw, Detection, DetectorConfig};
+use spammass_core::top_k_by;
+use spammass_delta::{StateDir, StateError};
+use spammass_graph::{io, Graph, GraphError, NodeId};
+use std::fs;
+use std::io::{BufRead, BufReader};
+
+/// All per-node numbers the service reports for one host, in the scaled
+/// (`· n/(1−c)`) convention of the paper's Section 4 — except
+/// `relative`, which is the dimensionless `m̃ ∈ (−∞, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeScore {
+    /// The host id.
+    pub node: u32,
+    /// Scaled PageRank `p̂`.
+    pub pagerank: f64,
+    /// Scaled core-biased PageRank `p̂′`.
+    pub core_pagerank: f64,
+    /// Scaled estimated absolute mass `M̃` (may be negative under γ
+    /// overshoot).
+    pub absolute: f64,
+    /// Estimated relative mass `m̃`.
+    pub relative: f64,
+    /// Whether Algorithm 2 flags the host under the snapshot's ρ/τ.
+    pub flagged: bool,
+}
+
+/// One in-neighbor's share of a node's core PageRank `p′`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Contribution {
+    /// The linking host.
+    pub from: u32,
+    /// The linker's own scaled `p̂′`.
+    pub core_pagerank: f64,
+    /// The scaled flow `c · p′_y / out(y)` it pushes over the link.
+    pub contribution: f64,
+}
+
+/// Where a node's core PageRank comes from: the per-in-neighbor link
+/// flows plus the residual (random jump and dangling redistribution)
+/// that no single link accounts for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The explained host.
+    pub node: u32,
+    /// Its scaled `p̂′`.
+    pub core_pagerank: f64,
+    /// Total in-degree (the contribution list may be truncated).
+    pub in_degree: usize,
+    /// The strongest link flows, descending.
+    pub contributions: Vec<Contribution>,
+    /// Scaled sum of `c · p′_y / out(y)` over **all** in-neighbors, not
+    /// just the listed ones.
+    pub linked_total: f64,
+    /// `p̂′ − linked_total`: jump mass plus dangling redistribution.
+    pub residual: f64,
+}
+
+/// Ranking axes of the top-k endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankBy {
+    /// Scaled estimated absolute mass `M̃` (the default: "most spam
+    /// mass").
+    Absolute,
+    /// Estimated relative mass `m̃`.
+    Relative,
+    /// Scaled PageRank `p̂`.
+    Pagerank,
+}
+
+impl RankBy {
+    /// Parses the `by=` query value.
+    pub fn parse(s: &str) -> Option<RankBy> {
+        match s {
+            "absolute" | "mass" => Some(RankBy::Absolute),
+            "relative" => Some(RankBy::Relative),
+            "pagerank" => Some(RankBy::Pagerank),
+            _ => None,
+        }
+    }
+
+    /// The canonical name echoed back in responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankBy::Absolute => "absolute",
+            RankBy::Relative => "relative",
+            RankBy::Pagerank => "pagerank",
+        }
+    }
+}
+
+/// An immutable, fully cross-validated view of one state generation.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The generation this snapshot was loaded from (`0`: the pre-PR-6
+    /// legacy flat layout, which has no generation number).
+    pub generation: u64,
+    graph: Graph,
+    pagerank: Vec<f64>,
+    core_pagerank: Vec<f64>,
+    relative: Vec<f64>,
+    detection: Detection,
+    core_len: usize,
+    damping: f64,
+    mapped: bool,
+}
+
+impl Snapshot {
+    /// Loads the generation the manifest currently names (or the legacy
+    /// flat layout when there is no manifest), mmapping the graph image
+    /// where possible, and derives the mass vectors and flag set under
+    /// `detector` and `damping`.
+    pub fn load(
+        state: &StateDir,
+        detector: &DetectorConfig,
+        damping: f64,
+    ) -> Result<Snapshot, ServeError> {
+        let generation = state.read_manifest()?;
+        let dir = match generation {
+            Some(g) => {
+                let dir = state.generation_path(g);
+                if !dir.is_dir() {
+                    return Err(StateError::MissingGeneration { generation: g }.into());
+                }
+                dir
+            }
+            None => state.path().to_path_buf(),
+        };
+        let (graph, _stats) = io::map_graph_file(&dir.join(StateDir::GRAPH_FILE))?;
+        let n = graph.node_count();
+        let pagerank =
+            spammass_delta::scores_from_bytes(&fs::read(dir.join(StateDir::PAGERANK_FILE))?)?;
+        let core_pagerank =
+            spammass_delta::scores_from_bytes(&fs::read(dir.join(StateDir::CORE_PAGERANK_FILE))?)?;
+        for (name, v) in [("p", &pagerank), ("p_core", &core_pagerank)] {
+            if v.len() != n {
+                return Err(GraphError::Corrupt(format!(
+                    "state mismatch: {name} has {} scores for a {n}-node graph",
+                    v.len()
+                ))
+                .into());
+            }
+        }
+        let mut core_len = 0usize;
+        let core_file = fs::File::open(dir.join(StateDir::CORE_FILE))?;
+        for (lineno, line) in BufReader::new(core_file).lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let id: u32 = line.parse().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad core node id {line:?}"),
+            })?;
+            if id as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: id, node_count: n }.into());
+            }
+            core_len += 1;
+        }
+
+        // Derived vectors, exactly as spammass-core computes them:
+        // absolute = p − p′ (no clamping), relative = absolute/p with
+        // p = 0 → 0, flags via detect_raw under scale n/(1−c).
+        let relative: Vec<f64> = pagerank
+            .iter()
+            .zip(&core_pagerank)
+            .map(|(&p, &pc)| if p > 0.0 { (p - pc) / p } else { 0.0 })
+            .collect();
+        let scale = n as f64 / (1.0 - damping);
+        let detection = detect_raw(&pagerank, &relative, scale, detector);
+        let mapped = graph.is_zero_copy();
+        Ok(Snapshot {
+            generation: generation.unwrap_or(0),
+            graph,
+            pagerank,
+            core_pagerank,
+            relative,
+            detection,
+            core_len,
+            damping,
+            mapped,
+        })
+    }
+
+    /// Number of hosts.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of links.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Size of the good core.
+    pub fn core_len(&self) -> usize {
+        self.core_len
+    }
+
+    /// Damping factor the flag set was derived under.
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+
+    /// The `n/(1−c)` factor mapping stored scores onto the paper's
+    /// scaled convention.
+    pub fn scale(&self) -> f64 {
+        self.graph.node_count() as f64 / (1.0 - self.damping)
+    }
+
+    /// Whether the graph image is served zero-copy from an mmap.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// The Algorithm 2 run this snapshot derived at load time.
+    pub fn detection(&self) -> &Detection {
+        &self.detection
+    }
+
+    /// All reported numbers for `node`; `None` when out of range.
+    pub fn score(&self, node: u32) -> Option<NodeScore> {
+        if node as usize >= self.graph.node_count() {
+            return None;
+        }
+        let i = node as usize;
+        let scale = self.scale();
+        Some(NodeScore {
+            node,
+            pagerank: self.pagerank[i] * scale,
+            core_pagerank: self.core_pagerank[i] * scale,
+            absolute: (self.pagerank[i] - self.core_pagerank[i]) * scale,
+            relative: self.relative[i],
+            flagged: self.detection.is_candidate(NodeId(node)),
+        })
+    }
+
+    /// The `k` hosts ranking highest on `by`, descending.
+    pub fn top_k(&self, by: RankBy, k: usize) -> Vec<NodeScore> {
+        let scale = self.scale();
+        let scores = top_k_by(0..self.graph.node_count() as u32, k, |&x| {
+            let i = x as usize;
+            match by {
+                RankBy::Absolute => (self.pagerank[i] - self.core_pagerank[i]) * scale,
+                RankBy::Relative => self.relative[i],
+                RankBy::Pagerank => self.pagerank[i] * scale,
+            }
+        });
+        scores.into_iter().filter_map(|x| self.score(x)).collect()
+    }
+
+    /// Which in-neighbors (and what residual jump share) drive `p′` at
+    /// `node`; `limit` caps the listed contributions. `None` when out of
+    /// range.
+    pub fn explain(&self, node: u32, limit: usize) -> Option<Explanation> {
+        if node as usize >= self.graph.node_count() {
+            return None;
+        }
+        let x = NodeId(node);
+        let scale = self.scale();
+        let c = self.damping;
+        let ins = self.graph.in_neighbors(x);
+        let mut linked_raw = 0.0f64;
+        let flows: Vec<Contribution> = ins
+            .iter()
+            .map(|&y| {
+                let out = self.graph.out_degree(y);
+                let raw =
+                    if out > 0 { c * self.core_pagerank[y.index()] / out as f64 } else { 0.0 };
+                linked_raw += raw;
+                Contribution {
+                    from: y.0,
+                    core_pagerank: self.core_pagerank[y.index()] * scale,
+                    contribution: raw * scale,
+                }
+            })
+            .collect();
+        let contributions = top_k_by(flows, limit, |f| f.contribution);
+        let core_pagerank = self.core_pagerank[node as usize] * scale;
+        let linked_total = linked_raw * scale;
+        Some(Explanation {
+            node,
+            core_pagerank,
+            in_degree: ins.len(),
+            contributions,
+            linked_total,
+            residual: core_pagerank - linked_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spammass_graph::GraphBuilder;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spammass-serve-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// 4 hosts: 1→0, 2→0, 2→3; core = {2}. Handcrafted score vectors.
+    fn publish(dir: &PathBuf, p: &[f64], pc: &[f64]) -> (StateDir, u64) {
+        let g = GraphBuilder::from_edges(4, &[(1, 0), (2, 0), (2, 3)]);
+        let state = StateDir::new(dir);
+        let generation = state.save(&g, &[NodeId(2)], p, pc).unwrap();
+        (state, generation)
+    }
+
+    #[test]
+    fn snapshot_matches_core_conventions() {
+        let dir = tmpdir("conventions");
+        let p = [0.4, 0.1, 0.3, 0.2];
+        let pc = [0.1, 0.0, 0.3, 0.05];
+        let (state, generation) = publish(&dir, &p, &pc);
+        let detector = DetectorConfig { rho: 1.0, tau: 0.5 };
+        let snap = Snapshot::load(&state, &detector, 0.85).unwrap();
+        assert_eq!(snap.generation, generation);
+        assert_eq!(snap.node_count(), 4);
+        assert_eq!(snap.edge_count(), 3);
+        assert_eq!(snap.core_len(), 1);
+        let scale = 4.0 / 0.15;
+        assert!((snap.scale() - scale).abs() < 1e-12);
+
+        let s0 = snap.score(0).unwrap();
+        assert!((s0.pagerank - 0.4 * scale).abs() < 1e-9);
+        assert!((s0.absolute - 0.3 * scale).abs() < 1e-9);
+        assert!((s0.relative - 0.75).abs() < 1e-12);
+        // rho = 1 → raw_rho = 1/scale = 0.0375: all four pass the pool;
+        // tau = 0.5 flags 0 (m̃ 0.75), 1 (1.0), 3 (0.75) but not 2 (0).
+        assert!(s0.flagged);
+        assert!(snap.score(1).unwrap().flagged);
+        assert!(!snap.score(2).unwrap().flagged);
+        assert!(snap.score(3).unwrap().flagged);
+        assert!(snap.score(4).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn top_k_ranks_on_the_requested_axis() {
+        let dir = tmpdir("topk");
+        let p = [0.4, 0.1, 0.3, 0.2];
+        let pc = [0.1, 0.0, 0.3, 0.05];
+        let (state, _) = publish(&dir, &p, &pc);
+        let snap = Snapshot::load(&state, &DetectorConfig { rho: 1.0, tau: 0.5 }, 0.85).unwrap();
+
+        // Absolute mass: 0.3, 0.1, 0.0, 0.15 → nodes 0, 3, 1, 2.
+        let by_mass: Vec<u32> =
+            snap.top_k(RankBy::Absolute, 3).into_iter().map(|s| s.node).collect();
+        assert_eq!(by_mass, vec![0, 3, 1]);
+        // Relative: 0.75, 1.0, 0.0, 0.75 → 1 first, then 0 before 3 (tie
+        // breaks to the earlier node).
+        let by_rel: Vec<u32> =
+            snap.top_k(RankBy::Relative, 4).into_iter().map(|s| s.node).collect();
+        assert_eq!(by_rel, vec![1, 0, 3, 2]);
+        let by_pr: Vec<u32> = snap.top_k(RankBy::Pagerank, 2).into_iter().map(|s| s.node).collect();
+        assert_eq!(by_pr, vec![0, 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_splits_links_from_residual() {
+        let dir = tmpdir("explain");
+        let p = [0.4, 0.1, 0.3, 0.2];
+        let pc = [0.1, 0.02, 0.3, 0.05];
+        let (state, _) = publish(&dir, &p, &pc);
+        let snap = Snapshot::load(&state, &DetectorConfig { rho: 1.0, tau: 0.5 }, 0.85).unwrap();
+        let scale = snap.scale();
+
+        // Node 0 has in-neighbors 1 (out-degree 1) and 2 (out-degree 2):
+        // flows 0.85·0.02/1 = 0.017 and 0.85·0.3/2 = 0.1275.
+        let ex = snap.explain(0, 10).unwrap();
+        assert_eq!(ex.in_degree, 2);
+        assert_eq!(ex.contributions.len(), 2);
+        assert_eq!(ex.contributions[0].from, 2);
+        assert!((ex.contributions[0].contribution - 0.1275 * scale).abs() < 1e-9);
+        assert_eq!(ex.contributions[1].from, 1);
+        assert!((ex.linked_total - (0.017 + 0.1275) * scale).abs() < 1e-9);
+        assert!((ex.residual - (0.1 - 0.1445) * scale).abs() < 1e-9);
+
+        // limit truncates but linked_total still covers every link.
+        let ex1 = snap.explain(0, 1).unwrap();
+        assert_eq!(ex1.contributions.len(), 1);
+        assert!((ex1.linked_total - ex.linked_total).abs() < 1e-12);
+        assert!(snap.explain(99, 1).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mismatched_vectors_are_rejected() {
+        let dir = tmpdir("mismatch");
+        let p = [0.25, 0.25, 0.25, 0.25];
+        let pc = [0.1, 0.1, 0.1, 0.1];
+        let (state, generation) = publish(&dir, &p, &pc);
+        let gen_dir = state.generation_path(generation);
+        std::fs::write(
+            gen_dir.join(StateDir::PAGERANK_FILE),
+            spammass_delta::scores_to_bytes(&[0.5; 9]),
+        )
+        .unwrap();
+        assert!(Snapshot::load(&state, &DetectorConfig::default(), 0.85).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! Swap-consistency pin: reader threads hammer `/score` over keep-alive
+//! connections while the snapshot is republished and swapped repeatedly.
+//! Every response must be **internally consistent** — the score and flag
+//! it reports must be exactly the ones belonging to the generation it
+//! claims — i.e. no torn reads across an epoch swap, ever.
+
+use spammass_core::detector::DetectorConfig;
+use spammass_delta::StateDir;
+use spammass_graph::{GraphBuilder, NodeId};
+use spammass_obs::json::Json;
+use spammass_serve::{Reloader, ServeOptions, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DAMPING: f64 = 0.85;
+const NODES: usize = 4;
+
+/// Per-generation ground truth for node 0: stored `p`, stored `p′`, and
+/// whether Algorithm 2 (ρ = 1, τ = 0.5) flags it. Generation g uses row
+/// g − 1. Flags alternate so a torn (generation, flag) pair is loud.
+const TABLE: &[(f64, f64, bool)] = &[
+    (0.40, 0.10, true),  // m̃ = 0.750
+    (0.35, 0.30, false), // m̃ ≈ 0.143
+    (0.30, 0.05, true),  // m̃ ≈ 0.833
+    (0.25, 0.20, false), // m̃ = 0.200
+    (0.45, 0.10, true),  // m̃ ≈ 0.778
+    (0.50, 0.40, false), // m̃ = 0.200
+];
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spammass-serve-swap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn publish(state: &StateDir, row: usize) -> u64 {
+    let (p0, pc0, _) = TABLE[row];
+    let g = GraphBuilder::from_edges(NODES, &[(1, 0), (2, 0), (2, 3)]);
+    let p = [p0, 0.1, 0.3, 0.2];
+    let pc = [pc0, 0.0, 0.3, 0.05];
+    state.save(&g, &[NodeId(2)], &p, &pc).unwrap()
+}
+
+/// One keep-alive HTTP GET; returns (status, body).
+fn get(reader: &mut BufReader<TcpStream>, path: &str) -> (u16, String) {
+    let request = format!("GET {path} HTTP/1.1\r\nHost: swap-test\r\n\r\n");
+    reader.get_mut().write_all(request.as_bytes()).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let status: u16 = line.split_whitespace().nth(1).expect("status line").parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        if header == "\r\n" || header == "\n" {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+fn connect(addr: std::net::SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    BufReader::new(stream)
+}
+
+#[test]
+fn responses_stay_consistent_across_repeated_swaps() {
+    let dir = tmpdir();
+    let state = StateDir::new(&dir);
+    assert_eq!(publish(&state, 0), 1);
+
+    let detector = DetectorConfig { rho: 1.0, tau: 0.5 };
+    let reloader = Reloader::new(state.clone(), None, detector, 0.85, DAMPING, 1);
+    // Long poll: every swap in this test is driven by GET /reload, so
+    // the sequence of generations is deterministic.
+    let options = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        poll: Duration::from_secs(600),
+    };
+    let server = Server::start(options, reloader).expect("server starts");
+    let addr = server.local_addr();
+    assert_eq!(server.current_generation(), 1);
+
+    let scale = NODES as f64 / (1.0 - DAMPING);
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut reader = connect(addr);
+                let mut checked = 0usize;
+                let mut generations_seen = std::collections::BTreeSet::new();
+                while !stop.load(Ordering::Acquire) {
+                    let (status, body) = get(&mut reader, "/score?node=0");
+                    assert_eq!(status, 200, "{body}");
+                    let doc = Json::parse(&body).unwrap();
+                    let generation = doc.get("generation").and_then(Json::as_f64).unwrap() as usize;
+                    assert!(
+                        (1..=TABLE.len()).contains(&generation),
+                        "generation {generation} was never published"
+                    );
+                    let (p0, _, flag) = TABLE[generation - 1];
+                    let score = doc.get("score").unwrap();
+                    let pagerank = score.get("pagerank").and_then(Json::as_f64).unwrap();
+                    let flagged = score.get("flagged") == Some(&Json::Bool(true));
+                    // The consistency pin: score and flag must belong to
+                    // the generation the response claims.
+                    assert!(
+                        (pagerank - p0 * scale).abs() < 1e-6,
+                        "generation {generation} reported pagerank {pagerank}, expected {}",
+                        p0 * scale
+                    );
+                    assert_eq!(flagged, flag, "generation {generation} reported flag {flagged}");
+                    checked += 1;
+                    generations_seen.insert(generation);
+                }
+                (checked, generations_seen)
+            })
+        })
+        .collect();
+
+    // Publish the remaining generations, triggering a swap after each.
+    let mut control = connect(addr);
+    for row in 1..TABLE.len() {
+        let generation = publish(&state, row);
+        assert_eq!(generation as usize, row + 1);
+        let (status, body) = get(&mut control, "/reload");
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(doc.get("reloaded"), Some(&Json::Bool(true)), "{body}");
+        assert_eq!(doc.get("generation").and_then(Json::as_f64), Some(generation as f64));
+        // Let the readers observe this generation for a moment.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    stop.store(true, Ordering::Release);
+    let mut total_checked = 0usize;
+    let mut all_generations = std::collections::BTreeSet::new();
+    for reader in readers {
+        let (checked, generations) = reader.join().expect("no reader panicked");
+        assert!(checked > 0, "a reader never completed a request");
+        total_checked += checked;
+        all_generations.extend(generations);
+    }
+    // The readers collectively hammered through the swap sequence and
+    // saw it progress: multiple generations, hundreds of responses.
+    assert!(total_checked >= 50, "only {total_checked} responses checked");
+    assert!(all_generations.len() >= 2, "readers only ever saw generations {all_generations:?}");
+
+    // After the last swap the daemon serves the final generation.
+    let (_, body) = get(&mut control, "/score?node=0");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("generation").and_then(Json::as_f64), Some(TABLE.len() as f64));
+    let (_, body) = get(&mut control, "/stats");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(doc.get("generation").and_then(Json::as_f64), Some(TABLE.len() as f64));
+
+    // Close the keep-alive control connection before stopping: an open
+    // connection would hold its accept thread in read_request until the
+    // idle timeout.
+    drop(control);
+    drop(server);
+    assert!(spammass_serve::serving_addr().is_none());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

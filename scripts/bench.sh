@@ -125,3 +125,39 @@ LAYOUT_OUT="BENCH_layout.json"
 
 grep -q '^BENCH_LAYOUT ' "$LAYOUT_LOG" || { echo "no BENCH_LAYOUT line captured"; exit 1; }
 echo "wrote $LAYOUT_OUT"
+
+# Query daemon: client-side QPS and p50/p99 request latency at 1 and N
+# client threads against a live in-process `spammass-serve` server, plus
+# per-endpoint latency on a persistent keep-alive connection. The bench
+# asserts response correctness (schema tags, generation, score/batch
+# agreement) before timing anything; the BENCH_SERVE line and the
+# BENCH_JSON timings both land in BENCH_serve.json.
+SERVE_LOG="$(mktemp)"
+trap 'rm -f "$LOG" "$INCR_LOG" "$LAYOUT_LOG" "$SERVE_LOG"' EXIT
+echo "== cargo bench -p spammass-bench --bench serve =="
+CRITERION_JSON=1 CRITERION_SAMPLES="$SAMPLES" \
+  cargo bench -p spammass-bench --bench serve 2>&1 | tee "$SERVE_LOG"
+
+SERVE_OUT="BENCH_serve.json"
+{
+  printf '{\n'
+  printf '  "schema": "spammass.bench.serve/v1",\n'
+  printf '  "host_threads": %s,\n' "$(nproc)"
+  printf '  "samples_per_bench": %s,\n' "${SAMPLES:-10}"
+  printf '  "serve": '
+  grep '^BENCH_SERVE ' "$SERVE_LOG" | head -1 | sed 's/^BENCH_SERVE //' | sed 's/$/,/'
+  printf '  "benches": [\n'
+  grep '^BENCH_JSON ' "$SERVE_LOG" | sed 's/^BENCH_JSON //' | annotate_threads | sed '$!s/$/,/' | sed 's/^/    /'
+  printf '  ]\n'
+  printf '}\n'
+} > "$SERVE_OUT"
+
+grep -q '^BENCH_SERVE ' "$SERVE_LOG" || { echo "no BENCH_SERVE line captured"; exit 1; }
+# The daemon throughput record must carry QPS and both latency
+# percentiles at one client thread and at N client threads.
+for key in '"qps_1t"' '"p50_ns_1t"' '"p99_ns_1t"' \
+    '"qps_nt"' '"p50_ns_nt"' '"p99_ns_nt"'; do
+  grep -q "$key" "$SERVE_OUT" \
+    || { echo "$SERVE_OUT missing serve key $key"; exit 1; }
+done
+echo "wrote $SERVE_OUT"

@@ -43,6 +43,20 @@ for key in '"natural_ms"' '"degree_ms"' '"bfs_ms"' '"best_speedup_pct"' \
 done
 rm -f "$LAYOUT_SMOKE"
 
+echo "== bench smoke: serve daemon QPS/latency line =="
+# The serve bench verifies schema tags, generation, and score/batch
+# agreement against a live server before timing; the BENCH_SERVE line
+# must carry QPS and p50/p99 at one and N client threads.
+SERVE_SMOKE="$(mktemp)"
+SERVE_HOSTS=2000 SERVE_REQS=300 \
+  cargo bench -p spammass-bench --bench serve -- --test | tee "$SERVE_SMOKE"
+for key in '"qps_1t"' '"p50_ns_1t"' '"p99_ns_1t"' \
+    '"qps_nt"' '"p50_ns_nt"' '"p99_ns_nt"'; do
+  grep '^BENCH_SERVE ' "$SERVE_SMOKE" | grep -q "$key" \
+    || { echo "BENCH_SERVE line missing $key"; rm -f "$SERVE_SMOKE"; exit 1; }
+done
+rm -f "$SERVE_SMOKE"
+
 echo "== unsafe hygiene: every unsafe block in mmap/storage carries a SAFETY comment =="
 # The zero-copy loader is the only part of the workspace allowed to use
 # `unsafe`; each block must justify itself inline.
@@ -92,6 +106,62 @@ for key in 'delta applied' 'warm solve' 'newly flagged' 'newly cleared' \
   grep -q "$key" "$SMOKE_DIR/update.out" \
     || { echo "update report missing '$key'"; cat "$SMOKE_DIR/update.out"; exit 1; }
 done
+
+echo "== serve smoke: daemon answers queries and folds a journal reload =="
+# End to end through the real binary: estimate publishes generation 1,
+# the daemon serves it on an ephemeral port (advertised on stderr), and
+# copying the evolution journal into place + GET /reload runs a warm
+# in-process update that publishes and swaps in generation 2 — queried
+# scores must carry the new generation afterwards. --poll-ms is huge so
+# the explicit /reload is the only swap trigger (deterministic).
+./target/release/spammass generate --hosts 3000 --seed 13 \
+  --out "$SMOKE_DIR/srv.graph" --core "$SMOKE_DIR/srv-core.txt" \
+  --evolve 2 --journal "$SMOKE_DIR/srv.journal" > /dev/null
+./target/release/spammass estimate --graph "$SMOKE_DIR/srv.graph" \
+  --core "$SMOKE_DIR/srv-core.txt" --state "$SMOKE_DIR/srv-state" > /dev/null
+./target/release/spammass serve --state "$SMOKE_DIR/srv-state" \
+  --journal "$SMOKE_DIR/srv-live.journal" --poll-ms 600000 \
+  --max-seconds 120 > "$SMOKE_DIR/serve.out" 2> "$SMOKE_DIR/serve.err" &
+SERVE_PID=$!
+SPORT=""
+for _ in $(seq 1 100); do
+  SPORT="$(sed -n 's|.*http://127\.0\.0\.1:\([0-9]*\)/.*|\1|p' "$SMOKE_DIR/serve.err")"
+  [ -n "$SPORT" ] && break
+  sleep 0.1
+done
+[ -n "$SPORT" ] || { echo "serve advertised no port"; cat "$SMOKE_DIR/serve.err"; exit 1; }
+squery() {
+  exec 4<>"/dev/tcp/127.0.0.1/$SPORT"
+  printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$1" >&4
+  cat <&4
+  exec 4<&-
+}
+squery '/score?node=0' > "$SMOKE_DIR/score-gen1.out"
+grep -q 'spammass.score_response/v1' "$SMOKE_DIR/score-gen1.out" \
+  || { echo "/score missing its schema tag"; cat "$SMOKE_DIR/score-gen1.out"; exit 1; }
+squery '/topk?k=5&by=relative' | grep -q 'spammass.topk_response/v1' \
+  || { echo "/topk missing its schema tag"; exit 1; }
+squery '/explain?node=0' | grep -q 'spammass.explain_response/v1' \
+  || { echo "/explain missing its schema tag"; exit 1; }
+squery '/stats' | grep -q '"generation":1' \
+  || { echo "/stats not serving generation 1"; exit 1; }
+# Publish fresh journal records and trigger the warm reload.
+cp "$SMOKE_DIR/srv.journal" "$SMOKE_DIR/srv-live.journal"
+squery '/reload' > "$SMOKE_DIR/reload.out"
+grep -q '"reloaded":true' "$SMOKE_DIR/reload.out" \
+  || { echo "/reload did not fold the journal"; cat "$SMOKE_DIR/reload.out"; exit 1; }
+squery '/score?node=0' > "$SMOKE_DIR/score-gen2.out"
+grep -q '"generation":2' "$SMOKE_DIR/score-gen2.out" \
+  || { echo "post-reload /score still on generation 1"; \
+       cat "$SMOKE_DIR/score-gen2.out"; exit 1; }
+# The swap is visible: same query, different generation tag.
+if diff -q "$SMOKE_DIR/score-gen1.out" "$SMOKE_DIR/score-gen2.out" > /dev/null; then
+  echo "reload changed nothing in /score output"; exit 1
+fi
+[ -d "$SMOKE_DIR/srv-state/gen-0002" ] \
+  || { echo "warm reload published no gen-0002 snapshot"; exit 1; }
+kill "$SERVE_PID" 2> /dev/null || true
+wait "$SERVE_PID" 2> /dev/null || true
 
 echo "== live metrics smoke: estimate --serve-metrics scraped while up =="
 # Start a solve with the exposition server on an ephemeral port (the
@@ -150,7 +220,8 @@ echo "== bench-diff (report-only) against the checked-in baselines =="
 # A self-diff exercises parsing of every checked-in BENCH file and the
 # zero-regression path; report-only keeps the gate decoupled from the
 # noise floor of whatever machine reran the benches last.
-for f in BENCH_pagerank.json BENCH_incremental.json BENCH_layout.json; do
+for f in BENCH_pagerank.json BENCH_incremental.json BENCH_layout.json \
+    BENCH_serve.json; do
   [ -f "$f" ] || { echo "missing checked-in $f"; exit 1; }
 done
 # The checked-in pagerank baseline must carry the scaling acceptance
@@ -160,7 +231,8 @@ for key in 'pagerank_scaling/fused_1t' 'pagerank_scaling/simd_1t' \
   grep -q "$key" BENCH_pagerank.json \
     || { echo "BENCH_pagerank.json missing $key"; exit 1; }
 done
-for f in BENCH_pagerank.json BENCH_incremental.json BENCH_layout.json; do
+for f in BENCH_pagerank.json BENCH_incremental.json BENCH_layout.json \
+    BENCH_serve.json; do
   ./target/release/spammass bench-diff --old "$f" --new "$f" \
     --report-only true > "$SMOKE_DIR/bench-diff.out" \
     || { echo "bench-diff failed on $f"; cat "$SMOKE_DIR/bench-diff.out"; exit 1; }
