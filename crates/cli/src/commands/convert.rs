@@ -1,16 +1,47 @@
 //! `spammass convert` — re-encode a graph between the text edge-list
 //! format and the `SPAMGRPH` binary image versions.
 //!
-//! The main use is upgrading v1/v2 images (and text edge lists) to the v3
-//! aligned-section format, whose CSR arrays memory-map zero-copy on load.
+//! Two main uses: upgrading v1/v2 images (and text edge lists) to the v3
+//! aligned-section format, whose CSR arrays memory-map zero-copy on
+//! load; and compressing any input — including a shard **directory**
+//! from `spammass generate --stream` — into the v4 delta-varint block
+//! format that the out-of-core estimator streams
+//! (`spammass estimate --max-resident-mb`).
+//!
+//! Directory input never materializes the graph: out-rows stream
+//! straight from the shards (they arrive source-sorted) while the
+//! transposed in-orientation is built with an external-memory bucket
+//! sort under `{out}.transpose.tmp/`, so peak memory is one transpose
+//! bucket, not the edge list.
 
 use crate::args::ParsedArgs;
 use crate::loading::{ingest_warning, load_graph_with, node_ordering, read_options};
 use crate::CliError;
-use spammass_graph::{io, NodeOrdering, Permutation};
+use spammass_graph::{
+    graph_to_bytes_v4_with, io, GraphError, NodeId, NodeOrdering, Permutation, V4Config, V4Writer,
+};
+use spammass_synth::stream::StreamManifest;
 use std::fmt::Write as _;
 use std::fs;
-use std::path::Path;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read as _, Write as IoWrite};
+use std::path::{Path, PathBuf};
+
+/// Transpose fan-out for directory conversion. More buckets means less
+/// memory in the in-orientation sort: the popularity skew concentrates
+/// in-links on low ids, so the first bucket is the resident-size
+/// bottleneck.
+const TRANSPOSE_BUCKETS: u64 = 256;
+
+fn v4_config(args: &ParsedArgs) -> Result<V4Config, CliError> {
+    let defaults = V4Config::default();
+    let config = V4Config {
+        rows_per_block: args.parsed_or("block-rows", defaults.rows_per_block)?,
+        edges_per_block: args.parsed_or("block-edges", defaults.edges_per_block)?,
+    };
+    config.validate().map_err(CliError::from)?;
+    Ok(config)
+}
 
 /// Runs the subcommand.
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
@@ -21,15 +52,38 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "order",
         "lenient",
         "threads",
+        "block-rows",
+        "block-edges",
         "trace",
         "metrics-out",
     ])?;
-    let opts = read_options(args)?;
     let input = Path::new(args.required("in")?);
     let output = Path::new(args.required("out")?);
     let format = args.optional("format").unwrap_or("v3");
-    let ordering = node_ordering(args)?;
+    if format != "v4"
+        && (args.optional("block-rows").is_some() || args.optional("block-edges").is_some())
+    {
+        return Err(CliError::Usage("--block-rows/--block-edges only apply to --format v4".into()));
+    }
 
+    if input.is_dir() {
+        if format != "v4" {
+            return Err(CliError::Usage(format!(
+                "directory input (streamed shards) can only be converted to --format v4, not {format:?}"
+            )));
+        }
+        if args.optional("order").is_some() {
+            return Err(CliError::Usage(
+                "--order is not supported for directory input; streamed shards keep natural ids \
+                 so truth.tsv/core.txt stay valid"
+                    .into(),
+            ));
+        }
+        return convert_stream_dir(input, output, v4_config(args)?);
+    }
+
+    let opts = read_options(args)?;
+    let ordering = node_ordering(args)?;
     let (graph, load_report) = load_graph_with(input, &opts)?;
     // Baking an ordering into the image renumbers nodes permanently, so
     // label files and core lists written against the original ids no
@@ -38,11 +92,23 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         NodeOrdering::Natural => graph,
         other => Permutation::compute(&graph, other).permute_graph(&graph),
     };
+    let mut trailer = String::new();
     let bytes = match format {
         "v1" => io::graph_to_bytes_v1(&graph),
         "v2" => io::graph_to_bytes(&graph),
         "v3" => io::graph_to_bytes_v3(&graph),
-        other => return Err(CliError::Usage(format!("unknown --format {other:?} (v1, v2, v3)"))),
+        "v4" => {
+            let config = v4_config(args)?;
+            let bytes = graph_to_bytes_v4_with(&graph, config)?;
+            if graph.edge_count() > 0 {
+                let bits = bytes.len() as f64 * 8.0 / (2.0 * graph.edge_count() as f64);
+                let _ = write!(trailer, " ({bits:.2} bits/edge over both orientations)");
+            }
+            bytes
+        }
+        other => {
+            return Err(CliError::Usage(format!("unknown --format {other:?} (v1, v2, v3, v4)")))
+        }
     };
     fs::write(output, &bytes)?;
 
@@ -60,20 +126,175 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     }
     let _ = writeln!(
         out,
-        "wrote {} image: {} nodes, {} edges, {} bytes -> {}",
+        "wrote {} image: {} nodes, {} edges, {} bytes{} -> {}",
         format,
         graph.node_count(),
         graph.edge_count(),
         bytes.len(),
+        trailer,
         output.display()
     );
     Ok(out)
 }
 
+fn corrupt(msg: String) -> CliError {
+    CliError::from(GraphError::Corrupt(msg))
+}
+
+/// Streams a `generate --stream` shard directory into a v4 image.
+fn convert_stream_dir(dir: &Path, output: &Path, config: V4Config) -> Result<String, CliError> {
+    let manifest = StreamManifest::read(dir)?;
+    if manifest.nodes > u64::from(u32::MAX) {
+        return Err(CliError::Format(format!(
+            "manifest declares {} nodes; v4 images cap at u32::MAX",
+            manifest.nodes
+        )));
+    }
+    let n = manifest.nodes;
+    let mut writer = V4Writer::new(BufWriter::new(File::create(output)?), n as usize, config)?;
+
+    let tmp = PathBuf::from(format!("{}.transpose.tmp", output.display()));
+    fs::create_dir_all(&tmp)?;
+    let result = convert_stream_dir_inner(dir, &manifest, &tmp, &mut writer);
+    // The temp buckets are pure scratch; remove them on every exit path.
+    let _ = fs::remove_dir_all(&tmp);
+    let summary = match result {
+        Ok(()) => writer.finish()?,
+        Err(e) => {
+            let _ = fs::remove_file(output);
+            return Err(e);
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "wrote v4 image: {} nodes, {} edges, {} bytes ({:.2} bits/edge over both orientations) -> {}",
+        summary.node_count,
+        summary.edge_count,
+        summary.file_bytes,
+        summary.bits_per_edge(),
+        output.display()
+    );
+    Ok(out)
+}
+
+fn bucket_span(nodes: u64) -> u64 {
+    nodes.div_ceil(TRANSPOSE_BUCKETS).max(1)
+}
+
+fn convert_stream_dir_inner(
+    dir: &Path,
+    manifest: &StreamManifest,
+    tmp: &Path,
+    writer: &mut V4Writer<BufWriter<File>>,
+) -> Result<(), CliError> {
+    let n = manifest.nodes;
+    let span = bucket_span(n);
+    let bucket_count = n.div_ceil(span);
+    let mut buckets: Vec<BufWriter<File>> = (0..bucket_count)
+        .map(|b| Ok(BufWriter::new(File::create(tmp.join(format!("b{b:03}.bin")))?)))
+        .collect::<Result<_, std::io::Error>>()?;
+
+    // Pass A: shards arrive sorted by (from, to); feed out-rows directly,
+    // scattering the transposed pairs into to-range buckets on the way.
+    let mut row: Vec<NodeId> = Vec::new();
+    let mut pending_from: u64 = 0;
+    let mut edges_seen: u64 = 0;
+    for shard in manifest.shard_paths(dir) {
+        let mut reader = BufReader::with_capacity(1 << 20, File::open(&shard)?);
+        let mut pair = [0u8; 8];
+        loop {
+            match reader.read_exact(&mut pair) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e.into()),
+            }
+            let from = u64::from(u32::from_le_bytes(pair[..4].try_into().expect("4 bytes")));
+            let to = u32::from_le_bytes(pair[4..].try_into().expect("4 bytes"));
+            if from >= n || u64::from(to) >= n {
+                return Err(corrupt(format!(
+                    "shard {} edge ({from}, {to}) out of range for {n} nodes",
+                    shard.display()
+                )));
+            }
+            if from != pending_from {
+                if from < pending_from {
+                    return Err(corrupt(format!(
+                        "shard {} is not sorted: source {from} after {pending_from}",
+                        shard.display()
+                    )));
+                }
+                writer.push_row(&row)?;
+                row.clear();
+                for _ in pending_from + 1..from {
+                    writer.push_row(&[])?;
+                }
+                pending_from = from;
+            } else if row.last().is_some_and(|last| last.0 >= to) {
+                return Err(corrupt(format!(
+                    "shard {} row {from} targets are not strictly increasing at {to}",
+                    shard.display()
+                )));
+            }
+            row.push(NodeId(to));
+            buckets[(u64::from(to) / span) as usize].write_all(&[
+                pair[4], pair[5], pair[6], pair[7], pair[0], pair[1], pair[2], pair[3],
+            ])?;
+            edges_seen += 1;
+        }
+    }
+    writer.push_row(&row)?;
+    for _ in pending_from + 1..n {
+        writer.push_row(&[])?;
+    }
+    if edges_seen != manifest.edges {
+        return Err(corrupt(format!(
+            "manifest declares {} edges but shards hold {edges_seen}",
+            manifest.edges
+        )));
+    }
+    for w in &mut buckets {
+        w.flush()?;
+    }
+    drop(buckets);
+    writer.finish_out()?;
+
+    // Pass B: one bucket at a time — read, sort by (to, from), feed the
+    // bucket's node span as in-rows. Peak memory is the largest bucket.
+    let mut sources: Vec<NodeId> = Vec::new();
+    for b in 0..bucket_count {
+        let lo = b * span;
+        let hi = (lo + span).min(n);
+        let bytes = fs::read(tmp.join(format!("b{b:03}.bin")))?;
+        let mut pairs: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let to = u64::from(u32::from_le_bytes(c[..4].try_into().expect("4 bytes")));
+                let from = u64::from(u32::from_le_bytes(c[4..].try_into().expect("4 bytes")));
+                (to << 32) | from
+            })
+            .collect();
+        pairs.sort_unstable();
+        let mut idx = 0;
+        for y in lo..hi {
+            sources.clear();
+            while idx < pairs.len() && pairs[idx] >> 32 == y {
+                sources.push(NodeId(pairs[idx] as u32));
+                idx += 1;
+            }
+            writer.push_row(&sources)?;
+        }
+        debug_assert_eq!(idx, pairs.len(), "bucket {b} held pairs outside [{lo}, {hi})");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spammass_graph::GraphBuilder;
+    use spammass_graph::{CompressedImage, GraphBuilder};
+    use std::sync::Arc;
 
     fn tmp_dir() -> std::path::PathBuf {
         let d = std::env::temp_dir().join("spammass-cli-convert");
@@ -108,7 +329,7 @@ mod tests {
         let d = tmp_dir();
         let txt = d.join("edges.txt");
         fs::write(&txt, "# nodes: 3\n0 1\n1 2\n").unwrap();
-        for format in ["v1", "v2", "v3"] {
+        for format in ["v1", "v2", "v3", "v4"] {
             let bin = d.join(format!("as_{format}.bin"));
             let out = run_argv(&[
                 "convert",
@@ -174,5 +395,88 @@ mod tests {
             "random",
         ]);
         assert!(matches!(bad_order, Err(CliError::Usage(_))));
+        let blocks_without_v4 = run_argv(&[
+            "convert",
+            "--in",
+            txt.to_str().unwrap(),
+            "--out",
+            bin.to_str().unwrap(),
+            "--block-rows",
+            "64",
+        ]);
+        assert!(matches!(blocks_without_v4, Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn shard_directory_converts_to_the_same_graph_as_in_memory_decode() {
+        use spammass_synth::stream::{generate_stream, StreamConfig};
+        let d = tmp_dir().join("stream-src");
+        let _ = fs::remove_dir_all(&d);
+        let config = StreamConfig {
+            edges_per_shard: 10_000, // force several shards
+            ..StreamConfig::sized(5_000)
+        };
+        generate_stream(&d, &config, 11).unwrap();
+        let v4 = tmp_dir().join("streamed.v4");
+        let out = run_argv(&[
+            "convert",
+            "--in",
+            d.to_str().unwrap(),
+            "--out",
+            v4.to_str().unwrap(),
+            "--format",
+            "v4",
+            "--block-rows",
+            "512",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote v4 image: 5000 nodes"), "{out}");
+        assert!(out.contains("bits/edge"), "{out}");
+        assert!(!PathBuf::from(format!("{}.transpose.tmp", v4.display())).exists());
+
+        // The streamed conversion and a plain in-memory rebuild from the
+        // shards must describe the identical graph.
+        let image = CompressedImage::from_store(Arc::new(fs::read(&v4).unwrap())).unwrap();
+        let streamed = image.decode_graph().unwrap();
+        let manifest = StreamManifest::read(&d).unwrap();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for shard in manifest.shard_paths(&d) {
+            for pair in fs::read(&shard).unwrap().chunks_exact(8) {
+                edges.push((
+                    u32::from_le_bytes(pair[..4].try_into().unwrap()),
+                    u32::from_le_bytes(pair[4..].try_into().unwrap()),
+                ));
+            }
+        }
+        let direct = GraphBuilder::from_edges(manifest.nodes as usize, &edges);
+        assert_eq!(streamed.node_count(), direct.node_count());
+        assert_eq!(streamed.edge_count(), direct.edge_count());
+        for y in streamed.nodes() {
+            assert_eq!(streamed.out_neighbors(y), direct.out_neighbors(y));
+            assert_eq!(streamed.in_neighbors(y), direct.in_neighbors(y));
+        }
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn directory_input_requires_v4_and_natural_order() {
+        let d = tmp_dir().join("dir-req");
+        fs::create_dir_all(&d).unwrap();
+        let out = tmp_dir().join("x.bin");
+        let as_v3 =
+            run_argv(&["convert", "--in", d.to_str().unwrap(), "--out", out.to_str().unwrap()]);
+        assert!(matches!(as_v3, Err(CliError::Usage(_))), "{as_v3:?}");
+        let ordered = run_argv(&[
+            "convert",
+            "--in",
+            d.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--format",
+            "v4",
+            "--order",
+            "degree",
+        ]);
+        assert!(matches!(ordered, Err(CliError::Usage(_))), "{ordered:?}");
     }
 }

@@ -69,21 +69,17 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "batch",
         "order",
         "lenient",
+        "max-resident-mb",
         "trace",
         "metrics-out",
         "serve-metrics",
         "serve-linger",
         "crash-dump",
     ])?;
-    let opts = read_options(args)?;
-    let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
     let labels = match args.optional("labels") {
         Some(p) => Some(load_labels(Path::new(p))?),
         None => None,
     };
-    let core_load =
-        load_core(Path::new(args.required("core")?), labels.as_ref(), graph.node_count())?;
-    let core = core_load.nodes.clone();
     let gamma: f64 = args.parsed_or("gamma", 0.85)?;
     if !(0.0..=1.0).contains(&gamma) {
         return Err(CliError::Usage(format!("--gamma {gamma} outside [0, 1]")));
@@ -97,42 +93,98 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     };
     let batched: bool = args.parsed_or("batch", true)?;
 
+    let pagerank_config = spammass_pagerank::PageRankConfig::default()
+        .threads(threads)
+        .edges_per_thread(edges_per_thread)
+        .kernel(kernel);
+
     let mut warnings = String::new();
-    if let Some(w) = ingest_warning(load_report.as_ref()) {
-        let _ = writeln!(warnings, "{w}");
-    }
-    if let Some(w) = core_load.warning() {
-        let _ = writeln!(warnings, "{w}");
-    }
-
-    let config = EstimatorConfig::scaled(gamma)
-        .with_pagerank(
-            spammass_pagerank::PageRankConfig::default()
-                .threads(threads)
-                .edges_per_thread(edges_per_thread)
-                .kernel(kernel),
-        )
-        .with_batching(batched)
-        .with_ordering(node_ordering(args)?);
-    let estimate = MassEstimator::new(config).estimate(&graph, &core)?;
-    warnings.push_str(&health_lines(&estimate, labels.as_ref()));
-
-    if let Some(state_path) = args.optional("state") {
-        // Persist graph + core + both score vectors so `spammass update`
-        // can warm-start from this run.
-        let state = spammass_delta::StateDir::new(state_path);
-        let generation = state.save(&graph, &core, &estimate.pagerank, &estimate.core_pagerank)?;
+    let estimate;
+    let node_count;
+    let core_len;
+    if let Some(_budget) = args.optional("max-resident-mb") {
+        // Out-of-core path: the graph stays a compressed v4 image on disk;
+        // only score vectors and one decode scratch are resident.
+        let budget_mb: u64 = args.parsed_or("max-resident-mb", 0)?;
+        if budget_mb == 0 {
+            return Err(CliError::Usage("--max-resident-mb must be a positive integer".into()));
+        }
+        for flag in ["state", "order", "batch"] {
+            if args.optional(flag).is_some() {
+                return Err(CliError::Usage(format!(
+                    "--{flag} does not apply to the streamed (--max-resident-mb) path; \
+                     orderings are baked at `spammass convert` time"
+                )));
+            }
+        }
+        let path = Path::new(args.required("graph")?);
+        #[cfg(unix)]
+        let image = spammass_graph::CompressedImage::open(path)?;
+        #[cfg(not(unix))]
+        let image =
+            spammass_graph::CompressedImage::from_store(std::sync::Arc::new(std::fs::read(path)?))?;
+        let core_load =
+            load_core(Path::new(args.required("core")?), labels.as_ref(), image.node_count())?;
+        if let Some(w) = core_load.warning() {
+            let _ = writeln!(warnings, "{w}");
+        }
+        let config = EstimatorConfig::scaled(gamma).with_pagerank(pagerank_config);
+        estimate = MassEstimator::new(config).estimate_streamed(
+            &image,
+            &core_load.nodes,
+            budget_mb * 1024 * 1024,
+        )?;
+        node_count = image.node_count();
+        core_len = core_load.nodes.len();
         let _ = writeln!(
             warnings,
-            "state saved to {} (generation {generation})",
-            state.path().display()
+            "streamed solve: {} blocks / {:.1} MiB decoded against a {budget_mb} MiB budget",
+            image.block_count(spammass_graph::Orientation::Out)
+                + image.block_count(spammass_graph::Orientation::In),
+            image.encoded_bytes_read() as f64 / (1024.0 * 1024.0)
         );
+    } else {
+        let opts = read_options(args)?;
+        let (graph, load_report) = load_graph_with(Path::new(args.required("graph")?), &opts)?;
+        let core_load =
+            load_core(Path::new(args.required("core")?), labels.as_ref(), graph.node_count())?;
+        if let Some(w) = ingest_warning(load_report.as_ref()) {
+            let _ = writeln!(warnings, "{w}");
+        }
+        if let Some(w) = core_load.warning() {
+            let _ = writeln!(warnings, "{w}");
+        }
+        let config = EstimatorConfig::scaled(gamma)
+            .with_pagerank(pagerank_config)
+            .with_batching(batched)
+            .with_ordering(node_ordering(args)?);
+        estimate = MassEstimator::new(config).estimate(&graph, &core_load.nodes)?;
+        if let Some(state_path) = args.optional("state") {
+            // Persist graph + core + both score vectors so `spammass update`
+            // can warm-start from this run.
+            let state = spammass_delta::StateDir::new(state_path);
+            let generation = state.save(
+                &graph,
+                &core_load.nodes,
+                &estimate.pagerank,
+                &estimate.core_pagerank,
+            )?;
+            let _ = writeln!(
+                warnings,
+                "state saved to {} (generation {generation})",
+                state.path().display()
+            );
+        }
+        node_count = graph.node_count();
+        core_len = core_load.nodes.len();
     }
+    warnings.push_str(&health_lines(&estimate, labels.as_ref()));
 
+    let nodes = || (0..node_count as u32).map(NodeId);
     if let Some(out_path) = args.optional("out") {
         let mut tsv =
             String::from("# node\thost\tscaled_p\tscaled_p_core\tscaled_abs_mass\trel_mass\n");
-        for x in graph.nodes() {
+        for x in nodes() {
             let _ = writeln!(
                 tsv,
                 "{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
@@ -148,7 +200,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     }
 
     // Console summary: the highest relative masses among substantial hosts.
-    let mut ranked: Vec<NodeId> = graph.nodes().collect();
+    let mut ranked: Vec<NodeId> = nodes().collect();
     // total_cmp keeps the ranking total even if a NaN slips into the
     // scores (it sorts first, where it is visible).
     ranked.sort_by(|&a, &b| {
@@ -158,7 +210,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "core: {} hosts, gamma = {gamma}; coverage ||p'||/||p|| = {:.4}",
-        core.len(),
+        core_len,
         estimate.coverage_ratio()
     );
     if let Some(diag) = &estimate.pagerank_diag {
@@ -274,6 +326,72 @@ mod tests {
         let report = run(&args).unwrap();
         assert!(report.contains("more than once"), "{report}");
         assert!(report.contains("core: 2 hosts"), "{report}");
+    }
+
+    #[test]
+    fn streamed_estimate_matches_in_memory_tsv() {
+        // Chain graph with a small farm; enough nodes to make the solve
+        // nontrivial but still instant.
+        let mut edges: Vec<(u32, u32)> = (0..200u32).map(|i| (i, (i + 1) % 200)).collect();
+        edges.extend((201..220u32).map(|i| (i, 200)));
+        let g = GraphBuilder::from_edges(220, &edges);
+        let d = std::env::temp_dir().join("spammass-cli-estimate-streamed");
+        fs::create_dir_all(&d).unwrap();
+        let v4 = d.join("g.v4");
+        fs::write(&v4, spammass_graph::graph_to_bytes_v4(&g)).unwrap();
+        let v2 = d.join("g.v2");
+        fs::write(&v2, io::graph_to_bytes(&g)).unwrap();
+        let cp = d.join("core.txt");
+        fs::write(&cp, "0\n50\n100\n").unwrap();
+
+        let run_with = |graph: &std::path::Path, tsv: &std::path::Path, extra: &[&str]| {
+            let mut argv = vec![
+                "estimate",
+                "--graph",
+                graph.to_str().unwrap(),
+                "--core",
+                cp.to_str().unwrap(),
+                "--out",
+                tsv.to_str().unwrap(),
+                "--threads",
+                "1",
+            ];
+            argv.extend_from_slice(extra);
+            let args =
+                ParsedArgs::parse(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+            run(&args).unwrap()
+        };
+        let mem_tsv = d.join("mem.tsv");
+        run_with(&v2, &mem_tsv, &[]);
+        let streamed_tsv = d.join("streamed.tsv");
+        let report = run_with(&v4, &streamed_tsv, &["--max-resident-mb", "8"]);
+        assert!(report.contains("streamed solve:"), "{report}");
+        assert!(report.contains("core: 3 hosts"), "{report}");
+        assert_eq!(
+            fs::read_to_string(&mem_tsv).unwrap(),
+            fs::read_to_string(&streamed_tsv).unwrap(),
+            "streamed and in-memory estimates must agree to TSV precision"
+        );
+    }
+
+    #[test]
+    fn streamed_estimate_rejects_incompatible_flags() {
+        let (gp, cp) = setup();
+        for extra in [["--state", "/tmp/st"], ["--order", "degree"], ["--batch", "false"]] {
+            let mut argv = vec![
+                "estimate",
+                "--graph",
+                gp.to_str().unwrap(),
+                "--core",
+                cp.to_str().unwrap(),
+                "--max-resident-mb",
+                "4",
+            ];
+            argv.extend_from_slice(&extra);
+            let args =
+                ParsedArgs::parse(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+            assert!(matches!(run(&args), Err(CliError::Usage(_))), "{extra:?}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::args::ParsedArgs;
 use crate::CliError;
 use spammass_graph::io;
 use spammass_synth::scenario::{Scenario, ScenarioConfig};
+use spammass_synth::stream::{generate_stream, StreamConfig};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -20,9 +21,13 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "core",
         "evolve",
         "journal",
+        "stream",
         "trace",
         "metrics-out",
     ])?;
+    if let Some(dir) = args.optional("stream") {
+        return run_stream(args, dir);
+    }
     let hosts: usize = args.parsed_or("hosts", 60_000)?;
     let seed: u64 = args.parsed_or("seed", 42)?;
     let evolve: usize = args.parsed_or("evolve", 0)?;
@@ -78,6 +83,40 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
             ev.new_spam().len()
         );
     }
+    Ok(report)
+}
+
+/// `--stream DIR`: the out-of-core generator. Emits edge shards plus
+/// truth/core/manifest straight into `DIR` without ever materializing
+/// the graph, so host counts in the tens of millions are fine. Convert
+/// the shard directory to a queryable image with
+/// `spammass convert --in DIR --format v4`.
+fn run_stream(args: &ParsedArgs, dir: &str) -> Result<String, CliError> {
+    for flag in ["out", "labels", "truth", "core", "evolve", "journal"] {
+        if args.optional(flag).is_some() {
+            return Err(CliError::Usage(format!(
+                "--stream writes the whole scenario into its directory; --{flag} does not apply"
+            )));
+        }
+    }
+    let hosts: u64 = args.parsed_or("hosts", 1_000_000)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let config = StreamConfig::sized(hosts);
+    let summary = generate_stream(Path::new(dir), &config, seed)?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "streamed {} hosts / {} edges into {} shard(s) (seed {seed}, {} spam hosts)",
+        summary.hosts,
+        summary.edges,
+        summary.shards,
+        summary.hosts - summary.spam_boundary,
+    );
+    let _ = writeln!(
+        report,
+        "scenario written to {dir}: manifest.tsv, edges-*.bin, truth.tsv, core.txt ({} core hosts)",
+        summary.core_size
+    );
     Ok(report)
 }
 
@@ -171,6 +210,42 @@ mod tests {
     fn evolve_without_journal_is_a_usage_error() {
         let args = ParsedArgs::parse(
             &["generate", "--hosts", "500", "--out", "/tmp/x.graph", "--evolve", "2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn stream_mode_writes_a_shard_directory() {
+        let d = tmpdir().join("streamed");
+        let _ = fs::remove_dir_all(&d);
+        let args = ParsedArgs::parse(
+            &["generate", "--stream", d.to_str().unwrap(), "--hosts", "4000", "--seed", "3"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let report = run(&args).unwrap();
+        assert!(report.contains("streamed 4000 hosts"), "{report}");
+        let manifest = spammass_synth::stream::StreamManifest::read(&d).unwrap();
+        assert_eq!(manifest.nodes, 4000);
+        assert!(manifest.edges > 4000);
+        for path in manifest.shard_paths(&d) {
+            assert!(path.is_file(), "missing shard {}", path.display());
+        }
+        assert!(d.join("truth.tsv").is_file());
+        assert!(d.join("core.txt").is_file());
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn stream_mode_rejects_materializing_flags() {
+        let args = ParsedArgs::parse(
+            &["generate", "--stream", "/tmp/x", "--out", "/tmp/y.graph"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>(),

@@ -41,7 +41,7 @@
 //! also provided.
 
 use crate::mass::relative_mass;
-use spammass_graph::{Graph, NodeId, NodeOrdering, Permutation};
+use spammass_graph::{CompressedImage, Graph, NodeId, NodeOrdering, Permutation};
 use spammass_obs as obs;
 use spammass_pagerank::{
     AttemptOutcome, ChainError, ChainSolve, JumpVector, PageRankConfig, SolverChain,
@@ -174,6 +174,10 @@ pub enum EstimateError {
         /// Per-attempt diagnostics from the exhausted chain.
         source: ChainError,
     },
+    /// The streamed (out-of-core) solve failed — resident budget too
+    /// small, convergence failure, or compressed-image corruption. There
+    /// is no fallback chain out-of-core: the error is surfaced directly.
+    Stream(spammass_pagerank::PageRankError),
 }
 
 impl fmt::Display for EstimateError {
@@ -189,6 +193,7 @@ impl fmt::Display for EstimateError {
             EstimateError::Solver { stage, source } => {
                 write!(f, "{stage} solve failed: {source}")
             }
+            EstimateError::Stream(e) => write!(f, "streamed solve failed: {e}"),
         }
     }
 }
@@ -198,6 +203,7 @@ impl std::error::Error for EstimateError {
         match self {
             EstimateError::Config(e) => Some(e),
             EstimateError::Solver { source, .. } => Some(source),
+            EstimateError::Stream(e) => Some(e),
             _ => None,
         }
     }
@@ -384,6 +390,60 @@ impl MassEstimator {
                 None
             }
         }
+    }
+
+    /// Out-of-core estimation: both PageRank runs stream the in-blocks of
+    /// a compressed v4 image through
+    /// [`spammass_pagerank::solve_batch_streamed`], keeping only the score
+    /// vectors, out-degree coefficients, and one decoded block resident —
+    /// `max_resident_bytes` bounds that working set. The flagged set is
+    /// identical to the in-memory path on the same graph (the streamed
+    /// sweep is bit-exact against the single-worker pooled engine).
+    ///
+    /// The configured [`EstimatorConfig::ordering`] is ignored: a v4
+    /// image's node layout is baked at encode time (`spammass convert
+    /// --order …`), and re-permuting out-of-core would defeat the point.
+    /// There is also no fallback chain — failures surface directly as
+    /// [`EstimateError::Stream`].
+    ///
+    /// # Errors
+    /// [`EstimateError::EmptyCore`], configuration errors, or
+    /// [`EstimateError::Stream`] wrapping the solver failure (including
+    /// [`spammass_pagerank::PageRankError::ResidentBudget`] when the
+    /// budget is too small for the score vectors themselves).
+    pub fn estimate_streamed(
+        &self,
+        image: &CompressedImage,
+        good_core: &[NodeId],
+        max_resident_bytes: u64,
+    ) -> Result<EstimateReport, EstimateError> {
+        let _span = obs::span("estimate.streamed");
+        self.config.validate()?;
+        if good_core.is_empty() {
+            return Err(EstimateError::EmptyCore);
+        }
+        let n = image.node_count();
+        let jumps = [JumpVector::Uniform, self.core_jump(good_core, n)];
+        let mut results = spammass_pagerank::solve_batch_streamed(
+            image,
+            &jumps,
+            &self.config.pagerank,
+            max_resident_bytes,
+        )
+        .map_err(EstimateError::Stream)?;
+        let p_core = results.pop().expect("streamed batch returns two columns");
+        let uniform = results.pop().expect("streamed batch returns two columns");
+        let diag = |r: &spammass_pagerank::PageRankResult| SolveDiagnostics {
+            solver: "streamed",
+            iterations: r.iterations,
+            residual: r.residual,
+            attempts: 1,
+        };
+        let pagerank_diag = diag(&uniform);
+        let core_diag = diag(&p_core);
+        let mut report = self.build_report(good_core, uniform.scores, p_core.scores, core_diag);
+        report.pagerank_diag = Some(pagerank_diag);
+        Ok(report)
     }
 
     /// Same as [`estimate`](Self::estimate), but reuses an existing regular

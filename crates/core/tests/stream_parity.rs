@@ -1,0 +1,118 @@
+//! Out-of-core ≍ in-memory estimation parity.
+//!
+//! The blocked streamed solve exists to run graphs that don't fit in
+//! RAM, so its one non-negotiable property is that going out-of-core
+//! changes *nothing* about the answer: on a 120k-host web encoded into
+//! tiny v4 blocks (forcing hundreds of decode cycles per sweep), the
+//! streamed estimator must flag the identical host set as the in-memory
+//! estimator, agree to ≤ 1e-12 per score against the default
+//! (multi-worker) configuration, and be **bit-exact** against the
+//! single-worker pooled solve whose summation order it replicates.
+
+use spammass_core::detector::{detect, DetectorConfig};
+use spammass_core::estimate::{EstimatorConfig, MassEstimator};
+use spammass_graph::{
+    graph_to_bytes_v4_with, CompressedImage, Graph, GraphBuilder, NodeId, V4Config,
+};
+use spammass_pagerank::PageRankConfig;
+use std::sync::Arc;
+
+/// Deterministic 120k-host web: preferential-attachment body, a sprinkle
+/// of hubs, plus two boosting farms so Algorithm 2 has real spam to flag.
+fn big_web() -> Graph {
+    let n: u32 = 120_000;
+    let mut state: u64 = 0xD15C_0B17;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let mut edges = Vec::with_capacity(700_000);
+    for _ in 0..600_000 {
+        let u = next() % n;
+        let v = if next() % 3 == 0 { next() % 256 } else { next() % n };
+        edges.push((u, v));
+    }
+    // Two farms at the tail: leaves funnel into a beneficiary.
+    for (lo, hi) in [(n - 400, n - 1), (n - 900, n - 500)] {
+        for leaf in lo..hi {
+            edges.push((leaf, hi));
+            edges.push((hi, leaf));
+        }
+    }
+    GraphBuilder::from_edges(n as usize, &edges)
+}
+
+fn good_core() -> Vec<NodeId> {
+    (0..300u32).map(|i| NodeId((i * 97) % 1_000)).collect()
+}
+
+fn tiny_block_image(graph: &Graph) -> CompressedImage {
+    // 4096-row / 16384-edge blocks: ~30 out-blocks and ~40+ in-blocks, so
+    // every sweep decodes dozens of blocks and block boundaries land in
+    // the middle of rows-heavy regions.
+    let config = V4Config { rows_per_block: 4_096, edges_per_block: 16_384 };
+    let bytes = graph_to_bytes_v4_with(graph, config).expect("v4 encode");
+    CompressedImage::from_store(Arc::new(bytes)).expect("v4 image")
+}
+
+#[test]
+fn streamed_solve_is_bit_exact_against_single_worker_pooled() {
+    let graph = big_web();
+    let image = tiny_block_image(&graph);
+    let config = EstimatorConfig::default()
+        .with_pagerank(PageRankConfig::default().tolerance(1e-10).threads(1).edges_per_thread(1));
+    let in_memory = MassEstimator::new(config).estimate(&graph, &good_core()).unwrap();
+    // ~8 MiB: enough for the 120k-node vectors + one block scratch, far
+    // below the ~10 MiB raw CSR (both orientations) it replaces.
+    let streamed = MassEstimator::new(config)
+        .estimate_streamed(&image, &good_core(), 8 * 1024 * 1024)
+        .unwrap();
+    assert_eq!(in_memory.pagerank, streamed.pagerank, "uniform PageRank must be bit-exact");
+    assert_eq!(in_memory.core_pagerank, streamed.core_pagerank, "core PageRank must be bit-exact");
+}
+
+#[test]
+fn streamed_flags_the_same_hosts_as_the_default_in_memory_estimator() {
+    let graph = big_web();
+    let image = tiny_block_image(&graph);
+    // Default config: the in-memory run uses the multi-worker engine with
+    // boundary-row merging, so scores may differ from the streamed solve
+    // only by reassociation noise.
+    let config =
+        EstimatorConfig::default().with_pagerank(PageRankConfig::default().tolerance(1e-10));
+    let in_memory = MassEstimator::new(config).estimate(&graph, &good_core()).unwrap();
+    let streamed = MassEstimator::new(config)
+        .estimate_streamed(&image, &good_core(), 8 * 1024 * 1024)
+        .unwrap();
+
+    let max_diff = in_memory
+        .pagerank
+        .iter()
+        .zip(&streamed.pagerank)
+        .chain(in_memory.core_pagerank.iter().zip(&streamed.core_pagerank))
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_diff <= 1e-12, "streamed scores drifted by {max_diff:e}");
+
+    // Thresholds away from any score boundary, so 1e-12 wobble cannot
+    // flip membership: the flagged sets must be *identical*.
+    let thresholds = DetectorConfig { rho: 1.0, tau: 0.5 };
+    let flagged_mem = detect(&in_memory, &thresholds);
+    let flagged_stream = detect(&streamed, &thresholds);
+    assert!(!flagged_mem.is_empty(), "workload should produce spam candidates");
+    assert_eq!(
+        flagged_mem.candidates, flagged_stream.candidates,
+        "out-of-core execution changed the flagged set"
+    );
+}
+
+#[test]
+fn budget_below_the_working_set_is_rejected_not_degraded() {
+    let graph = big_web();
+    let image = tiny_block_image(&graph);
+    let err = MassEstimator::new(EstimatorConfig::default())
+        .estimate_streamed(&image, &good_core(), 1024 * 1024)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("resident bytes"), "unexpected error: {msg}");
+}

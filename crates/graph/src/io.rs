@@ -614,6 +614,13 @@ pub fn graph_from_bytes(data: &[u8]) -> Result<Graph, GraphError> {
         let owner: Arc<dyn ByteStore> = Arc::new(data.to_vec());
         return graph_from_image(owner).map(|(g, _)| g);
     }
+    if version == crate::compress::VERSION_V4 {
+        // Compressed images decode block-by-block into an owned CSR;
+        // block-streaming callers use `CompressedImage` directly.
+        drop(span);
+        let image = crate::compress::CompressedImage::from_store(Arc::new(data.to_vec()))?;
+        return image.decode_graph();
+    }
     let edge_base = match version {
         VERSION_V1 => data.len(),
         VERSION => {
@@ -793,6 +800,12 @@ pub struct ImageLoadStats {
     /// Sections reconstructed from the opposite CSR orientation after a
     /// CRC failure.
     pub rebuilt_sections: usize,
+    /// Bytes of CSR data viewed in place (no owned allocation).
+    pub zero_copy_bytes: u64,
+    /// Bytes of CSR data materialized as owned arrays — including
+    /// per-section zero-copy fallbacks, which the section counters alone
+    /// used to hide from residency accounting.
+    pub copied_bytes: u64,
 }
 
 impl ImageLoadStats {
@@ -800,6 +813,18 @@ impl ImageLoadStats {
     pub fn is_zero_copy(&self) -> bool {
         self.zero_copy_sections == V3_SECTION_COUNT
     }
+
+    /// Emits the residency counters ([`obs::names::GRAPH_LOAD_ZERO_COPY_BYTES`],
+    /// [`obs::names::GRAPH_LOAD_COPIED_BYTES`]) for this load.
+    fn emit(&self) {
+        obs::counter(obs::names::GRAPH_LOAD_ZERO_COPY_BYTES, self.zero_copy_bytes as f64);
+        obs::counter(obs::names::GRAPH_LOAD_COPIED_BYTES, self.copied_bytes as f64);
+    }
+}
+
+/// Owned bytes of a fully materialized CSR graph (both orientations).
+fn csr_resident_bytes(g: &Graph) -> u64 {
+    2 * ((g.node_count() as u64 + 1) * 4 + g.edge_count() as u64 * 4)
 }
 
 /// Loads a graph from a shared byte buffer (an [`crate::MappedFile`], an
@@ -820,10 +845,30 @@ pub fn graph_from_image(owner: Arc<dyn ByteStore>) -> Result<(Graph, ImageLoadSt
         return Err(GraphError::Corrupt("bad magic".into()));
     }
     let version = get_u32(data, 8);
+    if version == crate::compress::VERSION_V4 {
+        // v4 decompresses into an owned CSR: every section is a copy by
+        // construction, and the decoded size (not the encoded size) is
+        // what becomes resident.
+        let image = crate::compress::CompressedImage::from_store(owner.clone())?;
+        let graph = image.decode_graph()?;
+        let stats = ImageLoadStats {
+            version,
+            copied_sections: V3_SECTION_COUNT,
+            copied_bytes: csr_resident_bytes(&graph),
+            ..Default::default()
+        };
+        stats.emit();
+        return Ok((graph, stats));
+    }
     if version != VERSION_V3 {
         let graph = graph_from_bytes(data)?;
-        let stats =
-            ImageLoadStats { version, copied_sections: V3_SECTION_COUNT, ..Default::default() };
+        let stats = ImageLoadStats {
+            version,
+            copied_sections: V3_SECTION_COUNT,
+            copied_bytes: csr_resident_bytes(&graph),
+            ..Default::default()
+        };
+        stats.emit();
         return Ok((graph, stats));
     }
     load_v3(owner)
@@ -928,10 +973,12 @@ fn load_v3(owner: Arc<dyn ByteStore>) -> Result<(Graph, ImageLoadStats), GraphEr
             match U32Store::shared(owner.clone(), s.offset, s.elems) {
                 Some(store) => {
                     stats.zero_copy_sections += 1;
+                    stats.zero_copy_bytes += s.elems as u64 * 4;
                     stores.push(store);
                 }
                 None => {
                     stats.copied_sections += 1;
+                    stats.copied_bytes += s.elems as u64 * 4;
                     stores.push(decode_u32_section(data, s).into());
                 }
             }
@@ -943,9 +990,11 @@ fn load_v3(owner: Arc<dyn ByteStore>) -> Result<(Graph, ImageLoadStats), GraphEr
         Graph::from_csr_parts(nodes, out_offsets, out_targets, in_offsets, in_sources)?
     } else {
         // One orientation failed its CRC: rebuild the whole graph from the
-        // intact orientation (both encode the same edge set).
+        // intact orientation (both encode the same edge set). Everything
+        // ends up owned: the decoded sections and the rebuilt ones alike.
         stats.copied_sections = 2;
         stats.rebuilt_sections = 2;
+        stats.copied_bytes = 2 * ((nodes as u64 + 1) * 4 + edges as u64 * 4);
         let (off_idx, adj_idx, from_in) = if out_ok { (0, 1, false) } else { (2, 3, true) };
         let offsets = decode_u32_section(data, &sections[off_idx]);
         let adjacency: NodeStore = decode_u32_section(data, &sections[adj_idx]).into();
@@ -970,6 +1019,7 @@ fn load_v3(owner: Arc<dyn ByteStore>) -> Result<(Graph, ImageLoadStats), GraphEr
     span.record("zero_copy_sections", stats.zero_copy_sections as f64);
     span.record("rebuilt_sections", stats.rebuilt_sections as f64);
     obs::counter("graph.ingest.edges", graph.edge_count() as f64);
+    stats.emit();
     Ok((graph, stats))
 }
 
@@ -1412,6 +1462,57 @@ mod tests {
         assert_eq!(stats.copied_sections, 4, "{stats:?}");
         assert_eq!(stats.zero_copy_sections, 0);
         assert!(!g2.is_zero_copy());
+    }
+
+    /// The CSR byte volume every load of `g` materializes, one way or
+    /// another: two offset arrays + two adjacency arrays.
+    fn expected_csr_bytes(g: &Graph) -> u64 {
+        2 * ((g.node_count() as u64 + 1) * 4 + g.edge_count() as u64 * 4)
+    }
+
+    #[test]
+    fn load_stats_account_every_section_byte() {
+        let g = sample();
+        let total = expected_csr_bytes(&g);
+
+        // Aligned v3: all bytes zero-copy.
+        let (_, stats) = graph_from_image(aligned_image(&graph_to_bytes_v3(&g))).unwrap();
+        assert_eq!(stats.zero_copy_bytes, total, "{stats:?}");
+        assert_eq!(stats.copied_bytes, 0);
+
+        // Misaligned v3: the zero-copy fallback must show up as copied
+        // bytes (the undercount this accounting fixes).
+        let mut padded = vec![0u8];
+        padded.extend_from_slice(&graph_to_bytes_v3(&g));
+        let store = Misaligned(AlignedBytes::copy_from(&padded));
+        let (_, stats) = graph_from_image(Arc::new(store)).unwrap();
+        assert_eq!(stats.copied_bytes, total, "{stats:?}");
+        assert_eq!(stats.zero_copy_bytes, 0);
+
+        // CRC-failed orientation: decoded + rebuilt sections all owned.
+        let clean = graph_to_bytes_v3(&g);
+        let (offset, _) = section_window(&clean, 1);
+        let mut bytes = clean.clone();
+        bytes[offset] ^= 0x01;
+        let (_, stats) = graph_from_image(aligned_image(&bytes)).unwrap();
+        assert_eq!(stats.zero_copy_bytes + stats.copied_bytes, total, "{stats:?}");
+        assert_eq!(stats.zero_copy_bytes, 0);
+
+        // v2 (no in-place representation): everything copied.
+        let (_, stats) = graph_from_image(aligned_image(&graph_to_bytes(&g))).unwrap();
+        assert_eq!(stats.copied_bytes, total, "{stats:?}");
+    }
+
+    #[test]
+    fn v4_images_load_through_both_entry_points() {
+        let g = sample();
+        let bytes = crate::compress::graph_to_bytes_v4(&g);
+        assert_same_graph(&g, &graph_from_bytes(&bytes).unwrap());
+        let (g2, stats) = graph_from_image(aligned_image(&bytes)).unwrap();
+        assert_same_graph(&g, &g2);
+        assert_eq!(stats.version, 4);
+        assert!(!stats.is_zero_copy());
+        assert_eq!(stats.copied_bytes, expected_csr_bytes(&g), "{stats:?}");
     }
 
     #[cfg(unix)]

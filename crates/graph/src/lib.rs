@@ -45,6 +45,7 @@
 
 mod builder;
 pub mod components;
+pub mod compress;
 pub mod crc32;
 mod error;
 mod graph;
@@ -59,9 +60,14 @@ pub mod stats;
 pub mod storage;
 pub mod subgraph;
 pub mod traversal;
+pub mod varint;
 mod view;
 
 pub use builder::GraphBuilder;
+pub use compress::{
+    graph_to_bytes_v4, graph_to_bytes_v4_with, BlockScratch, CompressedImage, Orientation,
+    V4Config, V4Summary, V4Writer,
+};
 pub use error::GraphError;
 pub use graph::{recompute_out_degrees, Graph};
 pub use labels::{HostName, NodeLabels};

@@ -1,0 +1,227 @@
+//! Property-based invariants of the v4 compression codec.
+//!
+//! Three layers, three contracts:
+//!
+//! * **varint/delta row codec** — round-trips every `u64`, including
+//!   the `2^7k ± 1` boundary values where the byte width changes, and
+//!   never panics or over-reads on truncated or garbage input: every
+//!   failure is a typed [`GraphError::Corrupted`].
+//! * **v4 block format** — any graph that encodes must decode back to
+//!   a CSR *bit-identical* to the v3 round-trip of the same graph
+//!   (offsets, targets, sources — not just isomorphic).
+//! * **adversarial images** — arbitrary single-byte mutations of a
+//!   valid image must either load to the identical graph (mutations in
+//!   dead padding) or fail with a typed corruption error; they must
+//!   never panic, hang, or silently return a different graph.
+
+use proptest::prelude::*;
+use spammass_graph::varint::{
+    decode_row, encode_row, read_varint, write_varint, MAX_VARINT_LEN, MIN_RUN,
+};
+use spammass_graph::{
+    graph_to_bytes_v4, graph_to_bytes_v4_with, io, CompressedImage, Graph, GraphBuilder,
+    GraphError, NodeId, V4Config,
+};
+use std::sync::Arc;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..=64).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..256).prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for &(f, t) in &edges {
+                b.add_edge(NodeId(f), NodeId(t));
+            }
+            b.build()
+        })
+    })
+}
+
+/// Byte-width boundaries of LEB128: `2^(7k)` needs one more byte than
+/// `2^(7k) − 1`.
+#[test]
+fn varint_boundary_widths_round_trip() {
+    for k in 0..10u32 {
+        let boundary = 1u64 << (7 * k);
+        for value in [boundary.saturating_sub(1), boundary, boundary + 1, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, value);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            if value >= boundary && value < u64::MAX {
+                assert!(
+                    buf.len() >= (k as usize + 1).min(MAX_VARINT_LEN),
+                    "2^(7·{k}) must take more than {k} bytes"
+                );
+            }
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), value);
+            assert_eq!(pos, buf.len(), "decoder must consume exactly the encoding");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn varint_round_trips_any_value(value in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, value);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos).unwrap(), value);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_varints_are_typed_errors(value in any::<u64>(), cut in 0usize..10) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, value);
+        prop_assume!(cut < buf.len());
+        buf.truncate(cut);
+        let mut pos = 0;
+        match read_varint(&buf, &mut pos) {
+            Err(e) => prop_assert!(e.is_corruption(), "unexpected error class: {e:?}"),
+            Ok(_) => prop_assert!(false, "truncated varint decoded"),
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics_the_varint_reader(bytes in proptest::collection::vec(0u8..=255, 0..24)) {
+        let mut pos = 0;
+        // Any outcome is fine except a panic or an out-of-bounds read.
+        let _ = read_varint(&bytes, &mut pos);
+        prop_assert!(pos <= bytes.len());
+    }
+
+    #[test]
+    fn rows_round_trip(
+        mut targets in proptest::collection::vec(0u32..1_000_000, 0..200),
+        source in 0u32..1_000_000,
+    ) {
+        targets.sort_unstable();
+        targets.dedup();
+        let row: Vec<NodeId> = targets.iter().copied().map(NodeId).collect();
+        let mut buf = Vec::new();
+        encode_row(&mut buf, source, &row);
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        decode_row(&buf, &mut pos, source, 1_000_000, row.len() as u64, &mut decoded).unwrap();
+        prop_assert_eq!(decoded, row);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn run_heavy_rows_round_trip_and_stay_small(
+        starts in proptest::collection::vec(0u32..100_000, 1..8),
+        lens in proptest::collection::vec(MIN_RUN as u32..64, 1..8),
+        source in 0u32..100_000,
+    ) {
+        // Unioned consecutive runs: the interval path end to end, with
+        // overlapping inputs collapsing into longer runs.
+        let mut targets: Vec<u32> = Vec::new();
+        for (&s, &l) in starts.iter().zip(&lens) {
+            targets.extend(s..s + l);
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        let row: Vec<NodeId> = targets.iter().copied().map(NodeId).collect();
+        let mut buf = Vec::new();
+        encode_row(&mut buf, source, &row);
+        // Intervals cost a handful of bytes per run, never one per edge.
+        prop_assert!(buf.len() <= 2 + starts.len() * 11);
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        decode_row(&buf, &mut pos, source, 200_000, row.len() as u64, &mut decoded).unwrap();
+        prop_assert_eq!(decoded, row);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn garbage_rows_are_errors_not_panics(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        let mut pos = 0;
+        let mut decoded = Vec::new();
+        // Tight node/degree caps so random degrees mostly trip validation.
+        let _ = decode_row(&bytes, &mut pos, 17, 1_000, 100, &mut decoded);
+        prop_assert!(pos <= bytes.len());
+    }
+
+    #[test]
+    fn v4_decodes_to_the_exact_v3_csr(graph in arb_graph()) {
+        let via_v4 = CompressedImage::from_store(Arc::new(graph_to_bytes_v4(&graph)))
+            .unwrap()
+            .decode_graph()
+            .unwrap();
+        let via_v3 = io::graph_from_bytes(&io::graph_to_bytes_v3(&graph)).unwrap();
+        prop_assert_eq!(via_v4.node_count(), via_v3.node_count());
+        prop_assert_eq!(via_v4.edge_count(), via_v3.edge_count());
+        prop_assert_eq!(via_v4.out_offsets(), via_v3.out_offsets());
+        prop_assert_eq!(via_v4.out_targets(), via_v3.out_targets());
+        prop_assert_eq!(via_v4.in_offsets(), via_v3.in_offsets());
+        prop_assert_eq!(via_v4.in_sources(), via_v3.in_sources());
+    }
+
+    #[test]
+    fn v4_round_trips_under_any_block_geometry(
+        graph in arb_graph(),
+        rows in 1u32..8,
+        edges in 1u32..16,
+    ) {
+        let config = V4Config { rows_per_block: rows, edges_per_block: edges };
+        let bytes = graph_to_bytes_v4_with(&graph, config).unwrap();
+        let decoded = CompressedImage::from_store(Arc::new(bytes)).unwrap().decode_graph().unwrap();
+        prop_assert_eq!(decoded.out_offsets(), graph.out_offsets());
+        prop_assert_eq!(decoded.out_targets(), graph.out_targets());
+        prop_assert_eq!(decoded.in_offsets(), graph.in_offsets());
+        prop_assert_eq!(decoded.in_sources(), graph.in_sources());
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic_or_lie(
+        graph in arb_graph(),
+        at in any::<u64>(),
+        xor in 1u8..=255,
+    ) {
+        let clean = graph_to_bytes_v4(&graph);
+        let mut bytes = clean.clone();
+        let at = (at % bytes.len() as u64) as usize;
+        bytes[at] ^= xor;
+        match CompressedImage::from_store(Arc::new(bytes)).and_then(|i| i.decode_graph()) {
+            // A mutation that survives validation must land in dead bytes
+            // (header padding) and decode to the identical graph.
+            Ok(decoded) => {
+                prop_assert_eq!(decoded.out_offsets(), graph.out_offsets());
+                prop_assert_eq!(decoded.out_targets(), graph.out_targets());
+                prop_assert_eq!(decoded.in_offsets(), graph.in_offsets());
+                prop_assert_eq!(decoded.in_sources(), graph.in_sources());
+            }
+            Err(e) => prop_assert!(e.is_corruption(), "unexpected error class: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_images_are_typed_errors(graph in arb_graph(), keep in any::<u64>()) {
+        let clean = graph_to_bytes_v4(&graph);
+        let keep = (keep % clean.len() as u64) as usize; // strictly shorter than the image
+        let err = CompressedImage::from_store(Arc::new(clean[..keep].to_vec()))
+            .and_then(|i| i.decode_graph())
+            .expect_err("truncated image validated");
+        prop_assert!(err.is_corruption(), "unexpected error class: {err:?}");
+    }
+}
+
+/// The corrupted-row path through `decode_row`: a degree that overruns
+/// the declared node count or degree cap is a typed error.
+#[test]
+fn out_of_range_rows_are_corrupted_errors() {
+    let row: Vec<NodeId> = vec![NodeId(5), NodeId(90)];
+    let mut buf = Vec::new();
+    encode_row(&mut buf, 3, &row);
+    let mut out = Vec::new();
+    // Node-count cap below the largest target.
+    let mut pos = 0;
+    let err = decode_row(&buf, &mut pos, 3, 80, 10, &mut out).unwrap_err();
+    assert!(matches!(err, GraphError::Corrupted { field: "edge_target", .. }), "{err:?}");
+    // Degree cap below the actual degree.
+    let mut pos = 0;
+    let err = decode_row(&buf, &mut pos, 3, 100, 1, &mut out).unwrap_err();
+    assert!(matches!(err, GraphError::Corrupted { field: "row_degree", .. }), "{err:?}");
+}

@@ -117,6 +117,24 @@ pub const SERVE_TOPK_NS: &str = "serve.topk.request_ns";
 /// Windowed histogram, nanoseconds.
 pub const SERVE_EXPLAIN_NS: &str = "serve.explain.request_ns";
 
+/// Bytes of image sections used in place as views into the shared
+/// buffer (the mmap fast path). Counter; one increment per image load.
+pub const GRAPH_LOAD_ZERO_COPY_BYTES: &str = "graph.load.zero_copy_bytes";
+
+/// Bytes of image sections materialized as owned copies (misalignment,
+/// pre-v3 formats, CRC-failed rebuilds, or v4 decompression). Counter;
+/// together with `graph.load.zero_copy_bytes` this is the resident cost
+/// of a load.
+pub const GRAPH_LOAD_COPIED_BYTES: &str = "graph.load.copied_bytes";
+
+/// Compressed blocks decoded by a streamed (out-of-core) solve.
+/// Counter; many decodes of the same block across sweeps all count.
+pub const ESTIMATE_IO_BLOCKS_DECODED: &str = "estimate.io.blocks_decoded";
+
+/// Encoded bytes read from a compressed image by a streamed solve.
+/// Counter; the streamed path's total I/O volume.
+pub const ESTIMATE_IO_DECODED_BYTES: &str = "estimate.io.decoded_bytes";
+
 /// Per-worker profiler series name: `pagerank.worker.<w>.<kind>`, where
 /// `kind` is `gather_ns` / `barrier_wait_ns` (windowed histograms) or
 /// `edges_per_s` (gauge). Worker indices make these dynamic, so they
@@ -144,6 +162,10 @@ pub const ALL: &[&str] = &[
     PAGERANK_PARTITION_IMBALANCE,
     PAGERANK_PARTITION_CHUNKS,
     PAGERANK_MERGE_NS,
+    GRAPH_LOAD_ZERO_COPY_BYTES,
+    GRAPH_LOAD_COPIED_BYTES,
+    ESTIMATE_IO_BLOCKS_DECODED,
+    ESTIMATE_IO_DECODED_BYTES,
     EXPORT_SCRAPES,
     SERVE_REQUESTS,
     SERVE_ERRORS,

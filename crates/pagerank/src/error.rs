@@ -52,6 +52,15 @@ pub enum PageRankError {
         /// The offending residual (NaN or infinite).
         residual: f64,
     },
+    /// A streamed (out-of-core) solve's resident working set — score
+    /// vectors, out-degree coefficients, and the block scratch — does not
+    /// fit the caller's memory budget.
+    ResidentBudget {
+        /// Bytes the solve must keep resident.
+        required: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for PageRankError {
@@ -85,6 +94,12 @@ impl fmt::Display for PageRankError {
             }
             PageRankError::NumericalInstability { iterations, residual } => {
                 write!(f, "numerical instability at iteration {iterations} (residual {residual})")
+            }
+            PageRankError::ResidentBudget { required, budget } => {
+                write!(
+                    f,
+                    "streamed solve needs {required} resident bytes but the budget is {budget}"
+                )
             }
         }
     }

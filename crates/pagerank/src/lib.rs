@@ -88,6 +88,7 @@ pub mod pool;
 pub mod power;
 mod profiler;
 mod scores;
+pub mod stream;
 
 pub use batch::{solve_batch, solve_batch_warm};
 pub use chain::{AttemptOutcome, AttemptReport, ChainError, ChainSolve, SolverChain, SolverKind};
@@ -98,6 +99,7 @@ pub use jump::JumpVector;
 pub use kernel::KernelKind;
 pub use partition::{EdgePartition, NodePartition};
 pub use scores::PageRankScores;
+pub use stream::solve_batch_streamed;
 
 use spammass_graph::Graph;
 

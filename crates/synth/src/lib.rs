@@ -46,5 +46,6 @@ pub mod farms;
 pub mod ground_truth;
 pub mod names;
 pub mod scenario;
+pub mod stream;
 pub mod webmodel;
 pub mod zipf;

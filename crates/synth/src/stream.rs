@@ -1,0 +1,660 @@
+//! Streaming scenario generator: million-host graphs without the RAM.
+//!
+//! [`crate::scenario::Scenario`] materializes a full `WebBuilder` — edge
+//! lists, labels, farm records — which tops out around a few hundred
+//! thousand hosts before memory pressure bites. This module generates
+//! host graphs **row by row**: every node's out-links are a pure
+//! function of `(seed, node)` plus a tiny precomputed farm layout, so
+//! generation is O(1) resident state per node and scales to tens of
+//! millions of hosts. Output is a shard directory:
+//!
+//! ```text
+//! out-dir/
+//!   manifest.tsv     # nodes, edges, shards, seed, spam boundary
+//!   edges-00000.bin  # little-endian u32 (from, to) pairs …
+//!   edges-00001.bin  # … ascending by (from, to) across the whole set
+//!   truth.tsv        # same format as `spammass generate --truth`
+//!   core.txt         # same format as `spammass generate --core`
+//! ```
+//!
+//! Edges are emitted in ascending `(from, to)` order with every source's
+//! rows contiguous, which is exactly the order a SPAMGRPH v4 encoder
+//! wants for its out orientation — `spammass convert` turns a shard
+//! directory into a compressed image with one streaming pass plus an
+//! external-memory transpose for the in orientation.
+//!
+//! ## Model
+//!
+//! Good hosts occupy `[0, G)`, spam hosts the tail `[G, n)` — ground
+//! truth is the boundary, so no per-node truth state is needed. The
+//! good region splits into three contiguous bands:
+//!
+//! * **hubs** `[0, H)` — popular directory-style hosts with Pareto
+//!   out-degrees, linking other hubs under a power-law popularity skew
+//!   plus a uniform sprinkle over the whole good region;
+//! * **members** `[H, S)` — ordinary sites. Each links the next
+//!   `chain_width` member ids (template navigation: hosts of one
+//!   operator or neighborhood interlink densely, the locality that
+//!   makes real web graphs compressible — Boldi & Vigna, WWW '04) plus
+//!   `external_links` popularity-skewed hub links. Every member has the
+//!   same out- and in-degree, so the degree ordering's stable tie-break
+//!   keeps the band in id order and the chains stay consecutive runs
+//!   for the v4 interval coder;
+//! * **stubs** `[S, G)` — parked hosts with no out-links (Section 4.1
+//!   reports large no-outlink populations).
+//!
+//! Spam hosts form farms — contiguous ranges laid out by a seeded
+//! Pareto walk, star topology: boosters link the farm's target node,
+//! the target links a couple of boosters plus one popular hub for cover
+//! (the paper's Section 4.4 "spam farm with external links" shape). The
+//! good core is every `core_stride`-th host of the linker bands
+//! `[0, S)`, so the core never contains dangling nodes.
+
+use crate::zipf::ParetoSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spammass_obs as obs;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Configuration of the streaming generator.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Total hosts `n`.
+    pub hosts: u64,
+    /// Fraction of hosts that are spam (the paper's host-level estimate
+    /// for 2004 crawls is ~18%).
+    pub spam_fraction: f64,
+    /// Fraction of good hosts with no out-links — the stub band at the
+    /// top of the good region (Section 4.1 reports large no-outlink
+    /// populations).
+    pub no_outlink_fraction: f64,
+    /// Fraction of good hosts that are popular hubs — the band at the
+    /// bottom of the good region that soaks up external links.
+    pub hub_fraction: f64,
+    /// Pareto minimum of a hub's out-degree.
+    pub hub_degree_min: f64,
+    /// Pareto tail exponent of the hub out-degree distribution.
+    pub hub_degree_alpha: f64,
+    /// Hard cap on any single hub row's out-degree.
+    pub hub_degree_cap: usize,
+    /// Popularity skew: hub targets are drawn as `H·u^skew`, so mass
+    /// concentrates on low ids (skew > 1). Mixed with a uniform share.
+    pub popularity_skew: f64,
+    /// Fraction of hub links drawn uniformly over the whole good region
+    /// instead of by popularity over hubs.
+    pub uniform_link_fraction: f64,
+    /// Template-navigation width: each member links the next
+    /// `chain_width` member ids.
+    pub chain_width: usize,
+    /// Popularity-skewed hub links per member row.
+    pub external_links: usize,
+    /// Pareto minimum farm size (boosters + target).
+    pub farm_size_min: f64,
+    /// Pareto tail exponent of farm sizes.
+    pub farm_size_alpha: f64,
+    /// Cap on a single farm's size.
+    pub farm_size_cap: usize,
+    /// Every `core_stride`-th good host joins the good core.
+    pub core_stride: u64,
+    /// Edges per shard file (8 bytes each on disk).
+    pub edges_per_shard: u64,
+}
+
+impl StreamConfig {
+    /// Defaults sized so the average out-degree lands around 10–11,
+    /// putting ≥100M edges on a 10M-host graph (the paper's crawl
+    /// averages 13.4 links/host).
+    pub fn sized(hosts: u64) -> Self {
+        StreamConfig {
+            hosts,
+            spam_fraction: 0.18,
+            no_outlink_fraction: 0.40,
+            hub_fraction: 0.02,
+            hub_degree_min: 20.0,
+            hub_degree_alpha: 1.6,
+            hub_degree_cap: 2000,
+            popularity_skew: 2.5,
+            uniform_link_fraction: 0.15,
+            chain_width: 18,
+            external_links: 2,
+            farm_size_min: 30.0,
+            farm_size_alpha: 1.3,
+            farm_size_cap: 10_000,
+            core_stride: 500,
+            edges_per_shard: 4 << 20,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hosts == 0 || self.hosts > u32::MAX as u64 {
+            return Err(format!("hosts {} must be in 1..=u32::MAX", self.hosts));
+        }
+        if !(0.0..1.0).contains(&self.spam_fraction) {
+            return Err(format!("spam_fraction {} must be in [0, 1)", self.spam_fraction));
+        }
+        if !(0.0..1.0).contains(&self.no_outlink_fraction) {
+            return Err(format!(
+                "no_outlink_fraction {} must be in [0, 1)",
+                self.no_outlink_fraction
+            ));
+        }
+        if !(0.0..=0.5).contains(&self.hub_fraction) {
+            return Err(format!("hub_fraction {} must be in [0, 0.5]", self.hub_fraction));
+        }
+        if self.hub_degree_min < 1.0 || self.hub_degree_alpha <= 1.0 {
+            return Err("hub-degree Pareto needs min ≥ 1 and alpha > 1".into());
+        }
+        if self.chain_width == 0 {
+            return Err("chain_width must be ≥ 1".into());
+        }
+        if self.farm_size_min < 3.0 || self.farm_size_alpha <= 1.0 {
+            return Err("farm-size Pareto needs min ≥ 3 and alpha > 1".into());
+        }
+        if self.popularity_skew < 1.0 {
+            return Err(format!("popularity_skew {} must be ≥ 1", self.popularity_skew));
+        }
+        if self.core_stride == 0 || self.edges_per_shard == 0 {
+            return Err("core_stride and edges_per_shard must be nonzero".into());
+        }
+        Ok(())
+    }
+
+    /// First spam node id: good hosts are `[0, spam_boundary)`.
+    pub fn spam_boundary(&self) -> u64 {
+        ((self.hosts as f64) * (1.0 - self.spam_fraction)).round() as u64
+    }
+
+    /// First member id: hubs are `[0, hub_end)`.
+    pub fn hub_end(&self) -> u64 {
+        let good = self.spam_boundary();
+        (((good as f64) * self.hub_fraction).round() as u64).clamp(u64::from(good > 0), good)
+    }
+
+    /// First stub id: members are `[hub_end, stub_start)`, stubs
+    /// `[stub_start, spam_boundary)`.
+    pub fn stub_start(&self) -> u64 {
+        let good = self.spam_boundary();
+        (good - ((good as f64) * self.no_outlink_fraction).round() as u64).max(self.hub_end())
+    }
+}
+
+/// What a streaming generation produced.
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Hosts generated.
+    pub hosts: u64,
+    /// Total edges across all shards.
+    pub edges: u64,
+    /// Shard file count.
+    pub shards: usize,
+    /// First spam node id (nodes `>= spam_boundary` are spam).
+    pub spam_boundary: u64,
+    /// Good-core size.
+    pub core_size: u64,
+    /// Shard directory.
+    pub dir: PathBuf,
+}
+
+/// The manifest of a shard directory, as written by
+/// [`generate_stream`] and read back by `spammass convert`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamManifest {
+    /// Hosts.
+    pub nodes: u64,
+    /// Total edges.
+    pub edges: u64,
+    /// Shard file count.
+    pub shards: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// First spam node id.
+    pub spam_boundary: u64,
+}
+
+impl StreamManifest {
+    /// Reads and parses `manifest.tsv` from a shard directory.
+    ///
+    /// # Errors
+    /// I/O errors, plus `InvalidData` on a malformed manifest.
+    pub fn read(dir: &Path) -> std::io::Result<StreamManifest> {
+        let text = std::fs::read_to_string(dir.join("manifest.tsv"))?;
+        let mut m = StreamManifest { nodes: 0, edges: 0, shards: 0, seed: 0, spam_boundary: 0 };
+        let mut seen = 0u32;
+        for line in text.lines() {
+            if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('\t').ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("manifest line {line:?} is not key\\tvalue"),
+                )
+            })?;
+            let v: u64 = value.trim().parse().map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("manifest value {value:?} for {key} is not an integer"),
+                )
+            })?;
+            match key {
+                "nodes" => m.nodes = v,
+                "edges" => m.edges = v,
+                "shards" => m.shards = v as usize,
+                "seed" => m.seed = v,
+                "spam_boundary" => m.spam_boundary = v,
+                _ => continue,
+            }
+            seen += 1;
+        }
+        if seen < 5 || m.nodes == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "manifest missing required keys (nodes/edges/shards/seed/spam_boundary)",
+            ));
+        }
+        Ok(m)
+    }
+
+    /// Shard file paths, in edge order.
+    pub fn shard_paths(&self, dir: &Path) -> Vec<PathBuf> {
+        (0..self.shards).map(|i| dir.join(format!("edges-{i:05}.bin"))).collect()
+    }
+}
+
+/// SplitMix64 finalizer — decorrelates per-node RNG streams derived from
+/// one seed.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The farm layout: sorted start offsets of each contiguous spam farm,
+/// ending with the node count. Farm `i` spans
+/// `[starts[i], starts[i + 1])`; its first node is the boosted target.
+/// A few thousand entries even at 10M hosts — the only whole-graph state
+/// the generator keeps.
+struct FarmLayout {
+    starts: Vec<u64>,
+}
+
+impl FarmLayout {
+    fn compute(config: &StreamConfig, seed: u64) -> FarmLayout {
+        let spam_lo = config.spam_boundary();
+        let spam_hi = config.hosts;
+        let sizes = ParetoSampler::new(config.farm_size_min, config.farm_size_alpha);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4641_524D_u64); // "FARM"
+        let mut starts = Vec::new();
+        let mut at = spam_lo;
+        while at < spam_hi {
+            starts.push(at);
+            let size = sizes.sample_clamped(&mut rng, config.farm_size_cap) as u64;
+            at += size.max(3);
+        }
+        starts.push(spam_hi);
+        FarmLayout { starts }
+    }
+
+    /// `(farm_start, farm_end)` of the farm containing spam node `y`.
+    fn span_of(&self, y: u64) -> (u64, u64) {
+        let idx = self.starts.partition_point(|&s| s <= y) - 1;
+        (self.starts[idx], self.starts[idx + 1])
+    }
+}
+
+/// Generates one node's out-links into `row` (sorted, deduped, no
+/// self-loop). Pure function of `(config, seed, layout, y)`.
+fn generate_row(config: &StreamConfig, seed: u64, layout: &FarmLayout, y: u64, row: &mut Vec<u32>) {
+    row.clear();
+    let good_n = config.spam_boundary();
+    let hubs = config.hub_end();
+    let stubs = config.stub_start();
+    let mut rng = StdRng::seed_from_u64(seed ^ mix(y));
+    // Inverse-CDF power law over the hub band: low ids soak up most
+    // links.
+    let skewed_hub = |rng: &mut StdRng| {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        ((hubs as f64) * u.powf(config.popularity_skew)) as u64
+    };
+    if y >= stubs && y < good_n {
+        // Stub band: parked hosts, no out-links.
+    } else if y < hubs {
+        // Hub: Pareto budget aimed mostly at other hubs, with a uniform
+        // sprinkle over the whole good region.
+        let degrees = ParetoSampler::new(config.hub_degree_min, config.hub_degree_alpha);
+        let budget = degrees.sample_clamped(&mut rng, config.hub_degree_cap);
+        for _ in 0..budget {
+            let t = if rng.gen_range(0.0..1.0) < config.uniform_link_fraction {
+                rng.gen_range(0..good_n)
+            } else {
+                skewed_hub(&mut rng)
+            };
+            if t != y && t < config.hosts {
+                row.push(t as u32);
+            }
+        }
+    } else if y < good_n {
+        // Member: template navigation into the next `chain_width`
+        // member ids, plus distinct popularity-skewed hub links. Chain
+        // and hub targets never collide (hubs sit below the member
+        // band), so nearly every member keeps the identical
+        // (out, in)-degree pair that makes the band survive degree
+        // ordering in id order.
+        let last = (y + config.chain_width as u64).min(stubs.saturating_sub(1));
+        for t in y + 1..=last {
+            row.push(t as u32);
+        }
+        for _ in 0..config.external_links {
+            let mut t = skewed_hub(&mut rng);
+            for _ in 0..8 {
+                if !row.contains(&(t as u32)) {
+                    break;
+                }
+                t = skewed_hub(&mut rng);
+            }
+            if t != y {
+                row.push(t as u32);
+            }
+        }
+    } else {
+        let (lo, hi) = layout.span_of(y);
+        if y == lo {
+            // Farm target: reciprocate into a couple of boosters and drop
+            // one outbound link on a popular hub for cover.
+            for _ in 0..2u32 {
+                if hi - lo > 1 {
+                    let b = rng.gen_range(lo + 1..hi);
+                    if b != y {
+                        row.push(b as u32);
+                    }
+                }
+            }
+            if hubs > 0 {
+                row.push(skewed_hub(&mut rng) as u32);
+            }
+        } else {
+            // Booster: the point of its existence is the target link.
+            row.push(lo as u32);
+            // Occasional intra-farm chatter thickens the farm subgraph.
+            if hi - lo > 2 && rng.gen_range(0.0..1.0) < 0.3 {
+                let b = rng.gen_range(lo + 1..hi);
+                if b != y {
+                    row.push(b as u32);
+                }
+            }
+        }
+    }
+    row.sort_unstable();
+    row.dedup();
+}
+
+/// Rotates shard files as the edge budget fills.
+struct ShardWriter {
+    dir: PathBuf,
+    edges_per_shard: u64,
+    current: Option<BufWriter<File>>,
+    edges_in_shard: u64,
+    shards: usize,
+    total_edges: u64,
+}
+
+impl ShardWriter {
+    fn new(dir: &Path, edges_per_shard: u64) -> ShardWriter {
+        ShardWriter {
+            dir: dir.to_path_buf(),
+            edges_per_shard,
+            current: None,
+            edges_in_shard: 0,
+            shards: 0,
+            total_edges: 0,
+        }
+    }
+
+    /// Appends one row's edges; a shard rolls over only at row
+    /// boundaries, so every source's edges stay in one shard.
+    fn push_row(&mut self, from: u64, targets: &[u32]) -> std::io::Result<()> {
+        if targets.is_empty() {
+            return Ok(());
+        }
+        if self.current.is_none() || self.edges_in_shard >= self.edges_per_shard {
+            if let Some(mut w) = self.current.take() {
+                w.flush()?;
+            }
+            let path = self.dir.join(format!("edges-{:05}.bin", self.shards));
+            self.current = Some(BufWriter::new(File::create(path)?));
+            self.shards += 1;
+            self.edges_in_shard = 0;
+        }
+        let w = self.current.as_mut().expect("shard open");
+        let from32 = from as u32;
+        let mut buf = [0u8; 8];
+        for &t in targets {
+            buf[..4].copy_from_slice(&from32.to_le_bytes());
+            buf[4..].copy_from_slice(&t.to_le_bytes());
+            w.write_all(&buf)?;
+        }
+        self.edges_in_shard += targets.len() as u64;
+        self.total_edges += targets.len() as u64;
+        Ok(())
+    }
+
+    fn finish(mut self) -> std::io::Result<(usize, u64)> {
+        if let Some(mut w) = self.current.take() {
+            w.flush()?;
+        }
+        Ok((self.shards, self.total_edges))
+    }
+}
+
+/// Generates a full scenario into `dir` (created if absent): edge
+/// shards, `truth.tsv`, `core.txt`, and `manifest.tsv`.
+///
+/// Resident state is O(farm count), not O(nodes) or O(edges) — a 10M
+/// host / 100M+ edge scenario generates in a few hundred MB of address
+/// space, nearly all of it write buffers.
+///
+/// # Errors
+/// `InvalidInput` on a bad config; otherwise file I/O errors.
+pub fn generate_stream(
+    dir: &Path,
+    config: &StreamConfig,
+    seed: u64,
+) -> std::io::Result<StreamSummary> {
+    config.validate().map_err(|msg| std::io::Error::new(std::io::ErrorKind::InvalidInput, msg))?;
+    let mut span = obs::span("synth.stream");
+    span.record("hosts", config.hosts as f64);
+    std::fs::create_dir_all(dir)?;
+
+    let layout = FarmLayout::compute(config, seed);
+    let good_n = config.spam_boundary();
+    let linker_end = config.stub_start();
+    let mut shards = ShardWriter::new(dir, config.edges_per_shard);
+    let mut truth = BufWriter::new(File::create(dir.join("truth.tsv"))?);
+    let mut core = BufWriter::new(File::create(dir.join("core.txt"))?);
+    writeln!(truth, "# node\tis_spam")?;
+    writeln!(core, "# Section 4.2 good core (node ids)")?;
+
+    let mut row = Vec::new();
+    let mut core_size = 0u64;
+    for y in 0..config.hosts {
+        generate_row(config, seed, &layout, y, &mut row);
+        shards.push_row(y, &row)?;
+        writeln!(truth, "{y}\t{}", u8::from(y >= good_n))?;
+        if y < linker_end && y.is_multiple_of(config.core_stride) {
+            writeln!(core, "{y}")?;
+            core_size += 1;
+        }
+    }
+    truth.flush()?;
+    core.flush()?;
+    let (shard_count, edges) = shards.finish()?;
+
+    let mut manifest = BufWriter::new(File::create(dir.join("manifest.tsv"))?);
+    writeln!(manifest, "# spammass streamed scenario")?;
+    writeln!(manifest, "nodes\t{}", config.hosts)?;
+    writeln!(manifest, "edges\t{edges}")?;
+    writeln!(manifest, "shards\t{shard_count}")?;
+    writeln!(manifest, "seed\t{seed}")?;
+    writeln!(manifest, "spam_boundary\t{good_n}")?;
+    manifest.flush()?;
+
+    span.record("edges", edges as f64);
+    obs::counter("synth.stream.edges", edges as f64);
+    Ok(StreamSummary {
+        hosts: config.hosts,
+        edges,
+        shards: shard_count,
+        spam_boundary: good_n,
+        core_size,
+        dir: dir.to_path_buf(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spammass-stream-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_sorted() {
+        let config = StreamConfig::sized(3_000);
+        let d1 = tmpdir("det1");
+        let d2 = tmpdir("det2");
+        let s1 = generate_stream(&d1, &config, 42).unwrap();
+        let s2 = generate_stream(&d2, &config, 42).unwrap();
+        assert_eq!(s1.edges, s2.edges);
+        assert!(s1.edges > 3_000, "expected a link-rich graph, got {} edges", s1.edges);
+
+        let m = StreamManifest::read(&d1).unwrap();
+        assert_eq!(m.nodes, 3_000);
+        assert_eq!(m.edges, s1.edges);
+        let mut prev = None;
+        let mut total = 0u64;
+        for path in m.shard_paths(&d1) {
+            let bytes = std::fs::read(&path).unwrap();
+            assert_eq!(std::fs::read(d2.join(path.file_name().unwrap())).unwrap(), bytes);
+            assert!(bytes.len().is_multiple_of(8));
+            for pair in bytes.chunks_exact(8) {
+                let from = u32::from_le_bytes(pair[..4].try_into().unwrap());
+                let to = u32::from_le_bytes(pair[4..].try_into().unwrap());
+                assert!((from as u64) < m.nodes && (to as u64) < m.nodes);
+                assert_ne!(from, to, "self-loop in shard");
+                assert!(prev < Some((from, to)), "edges must be strictly ascending");
+                prev = Some((from, to));
+                total += 1;
+            }
+        }
+        assert_eq!(total, m.edges);
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn truth_and_core_match_the_boundary() {
+        let config = StreamConfig::sized(2_000);
+        let dir = tmpdir("truth");
+        let summary = generate_stream(&dir, &config, 7).unwrap();
+        let boundary = summary.spam_boundary;
+        let truth = std::fs::read_to_string(dir.join("truth.tsv")).unwrap();
+        let mut spam = 0u64;
+        for line in truth.lines().skip(1) {
+            let (node, flag) = line.split_once('\t').unwrap();
+            let node: u64 = node.parse().unwrap();
+            let is_spam = flag == "1";
+            assert_eq!(is_spam, node >= boundary, "node {node}");
+            spam += u64::from(is_spam);
+        }
+        assert!(spam > 0);
+        let core = std::fs::read_to_string(dir.join("core.txt")).unwrap();
+        let ids: Vec<u64> =
+            core.lines().filter(|l| !l.starts_with('#')).map(|l| l.parse().unwrap()).collect();
+        assert_eq!(ids.len() as u64, summary.core_size);
+        assert!(ids.iter().all(|&id| id < boundary), "core must be good hosts");
+        assert!(summary.core_size > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn member_band_keeps_uniform_template_degrees() {
+        // The compression story rides on this: members share one
+        // (out-degree, in-degree) pair, so the degree ordering's stable
+        // tie-break keeps the band in id order and the nav chains stay
+        // consecutive runs for the v4 interval coder.
+        let config = StreamConfig::sized(5_000);
+        let layout = FarmLayout::compute(&config, 11);
+        let hubs = config.hub_end();
+        let stubs = config.stub_start();
+        assert!(hubs < stubs && stubs < config.spam_boundary());
+        let expected = config.chain_width + config.external_links;
+        let mut row = Vec::new();
+        let mut uniform = 0u64;
+        let mut total = 0u64;
+        for y in hubs..stubs.saturating_sub(config.chain_width as u64) {
+            generate_row(&config, 11, &layout, y, &mut row);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be sorted+deduped");
+            let chain: Vec<u32> =
+                (y + 1..=y + config.chain_width as u64).map(|t| t as u32).collect();
+            // Hub picks carry lower ids than the chain, so the chain is
+            // always the sorted row's suffix.
+            assert_eq!(&row[row.len() - config.chain_width..], &chain[..], "member {y} chain");
+            total += 1;
+            uniform += u64::from(row.len() == expected);
+        }
+        // Hub-pick collisions are retried, so nearly every member hits
+        // the exact template degree.
+        assert!(
+            uniform * 100 >= total * 99,
+            "only {uniform}/{total} members at the template degree"
+        );
+        // Stubs are link-dead.
+        for y in stubs..config.spam_boundary() {
+            generate_row(&config, 11, &layout, y, &mut row);
+            assert!(row.is_empty(), "stub {y} has out-links");
+        }
+    }
+
+    #[test]
+    fn farm_layout_covers_the_spam_range_exactly() {
+        let config = StreamConfig::sized(50_000);
+        let layout = FarmLayout::compute(&config, 99);
+        let lo = config.spam_boundary();
+        assert_eq!(*layout.starts.first().unwrap(), lo);
+        assert_eq!(*layout.starts.last().unwrap(), config.hosts);
+        for w in layout.starts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // Every spam node resolves to a span containing it.
+        for y in [lo, lo + 1, (lo + config.hosts) / 2, config.hosts - 1] {
+            let (s, e) = layout.span_of(y);
+            assert!(s <= y && y < e);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = StreamConfig::sized(0);
+        assert!(c.validate().is_err());
+        c = StreamConfig::sized(100);
+        c.spam_fraction = 1.0;
+        assert!(c.validate().is_err());
+        c = StreamConfig::sized(100);
+        c.hub_degree_alpha = 1.0;
+        assert!(c.validate().is_err());
+        c = StreamConfig::sized(100);
+        c.chain_width = 0;
+        assert!(c.validate().is_err());
+    }
+}

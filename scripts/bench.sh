@@ -161,3 +161,40 @@ for key in '"qps_1t"' '"p50_ns_1t"' '"p99_ns_1t"' \
     || { echo "$SERVE_OUT missing serve key $key"; exit 1; }
 done
 echo "wrote $SERVE_OUT"
+
+# Million-host scale: v4 compressed edge storage vs v3, and the
+# out-of-core (streamed) batched solve vs the fully resident solve on a
+# degree-ordered 120k-host web. The bench asserts score parity and the
+# ≤8 bits/edge encoding gate before timing anything; the BENCH_SCALE
+# line and the BENCH_JSON timings both land in BENCH_scale.json.
+SCALE_LOG="$(mktemp)"
+trap 'rm -f "$LOG" "$INCR_LOG" "$LAYOUT_LOG" "$SERVE_LOG" "$SCALE_LOG"' EXIT
+echo "== cargo bench -p spammass-bench --bench scale =="
+CRITERION_JSON=1 CRITERION_SAMPLES="$SAMPLES" \
+  cargo bench -p spammass-bench --bench scale 2>&1 | tee "$SCALE_LOG"
+
+SCALE_OUT="BENCH_scale.json"
+{
+  printf '{\n'
+  printf '  "schema": "spammass.bench.scale/v1",\n'
+  printf '  "host_threads": %s,\n' "$(nproc)"
+  printf '  "samples_per_bench": %s,\n' "${SAMPLES:-10}"
+  printf '  "scale": '
+  grep '^BENCH_SCALE ' "$SCALE_LOG" | head -1 | sed 's/^BENCH_SCALE //' | sed 's/$/,/'
+  printf '  "benches": [\n'
+  grep '^BENCH_JSON ' "$SCALE_LOG" | sed 's/^BENCH_JSON //' | annotate_threads | sed '$!s/$/,/' | sed 's/^/    /'
+  printf '  ]\n'
+  printf '}\n'
+} > "$SCALE_OUT"
+
+grep -q '^BENCH_SCALE ' "$SCALE_LOG" || { echo "no BENCH_SCALE line captured"; exit 1; }
+# The scale record must carry the compression and out-of-core numbers
+# the docs quote: encoded size, bits/edge, budget vs CSR, both solve
+# timings, and the peak RSS of the run.
+for key in '"bits_per_edge"' '"compression_ratio"' '"v3_bytes"' '"v4_bytes"' \
+    '"budget_bytes"' '"csr_bytes"' '"resident_solve_ms"' '"streamed_solve_ms"' \
+    '"peak_rss_mb"'; do
+  grep -q "$key" "$SCALE_OUT" \
+    || { echo "$SCALE_OUT missing scale key $key"; exit 1; }
+done
+echo "wrote $SCALE_OUT"

@@ -57,6 +57,22 @@ for key in '"qps_1t"' '"p50_ns_1t"' '"p99_ns_1t"' \
 done
 rm -f "$SERVE_SMOKE"
 
+echo "== bench smoke: scale compression / out-of-core verification =="
+# The scale bench asserts streamed-vs-resident score parity before
+# timing anything (the ≤8 bits/edge encoding gate applies to timed
+# runs); smoke mode checks the BENCH_SCALE record carries every key
+# BENCH_scale.json promises.
+SCALE_SMOKE="$(mktemp)"
+SCALE_HOSTS=20000 cargo bench -p spammass-bench --bench scale -- --test \
+  | tee "$SCALE_SMOKE"
+for key in '"bits_per_edge"' '"compression_ratio"' '"v3_bytes"' '"v4_bytes"' \
+    '"budget_bytes"' '"csr_bytes"' '"resident_solve_ms"' \
+    '"streamed_solve_ms"' '"peak_rss_mb"'; do
+  grep '^BENCH_SCALE ' "$SCALE_SMOKE" | grep -q "$key" \
+    || { echo "BENCH_SCALE line missing $key"; rm -f "$SCALE_SMOKE"; exit 1; }
+done
+rm -f "$SCALE_SMOKE"
+
 echo "== unsafe hygiene: every unsafe block in mmap/storage carries a SAFETY comment =="
 # The zero-copy loader is the only part of the workspace allowed to use
 # `unsafe`; each block must justify itself inline.
@@ -106,6 +122,36 @@ for key in 'delta applied' 'warm solve' 'newly flagged' 'newly cleared' \
   grep -q "$key" "$SMOKE_DIR/update.out" \
     || { echo "update report missing '$key'"; cat "$SMOKE_DIR/update.out"; exit 1; }
 done
+
+echo "== out-of-core pipeline smoke: stream 1M hosts -> v4 -> budgeted estimate =="
+# Million-host scale end to end through the real binary: stream a
+# 1M-host scenario to edge shards (never materializing the graph in
+# RAM), convert to a compressed v4 image via the external-memory
+# transpose, and estimate under a 64 MiB resident budget — smaller than
+# the ~92 MiB raw CSR the in-memory solve carries. The streamed solve
+# replicates the single-worker summation order, so the per-node TSV
+# (scores, mass, flags) must be byte-identical to the fully in-memory
+# run on the same image.
+./target/release/spammass generate --stream "$SMOKE_DIR/stream" \
+  --hosts 1000000 --seed 17 > "$SMOKE_DIR/stream.out"
+grep -q 'streamed 1000000 hosts' "$SMOKE_DIR/stream.out" \
+  || { echo "generate --stream failed"; cat "$SMOKE_DIR/stream.out"; exit 1; }
+./target/release/spammass convert --in "$SMOKE_DIR/stream" --format v4 \
+  --out "$SMOKE_DIR/stream.v4" > "$SMOKE_DIR/convert.out"
+grep -q 'bits/edge' "$SMOKE_DIR/convert.out" \
+  || { echo "convert reported no bits/edge"; cat "$SMOKE_DIR/convert.out"; exit 1; }
+./target/release/spammass estimate --graph "$SMOKE_DIR/stream.v4" \
+  --core "$SMOKE_DIR/stream/core.txt" --threads 1 --max-resident-mb 64 \
+  --out "$SMOKE_DIR/stream-ooc.tsv" > "$SMOKE_DIR/ooc.out" 2>&1
+grep -q 'streamed solve:' "$SMOKE_DIR/ooc.out" \
+  || { echo "estimate --max-resident-mb did not stream"; cat "$SMOKE_DIR/ooc.out"; exit 1; }
+./target/release/spammass estimate --graph "$SMOKE_DIR/stream.v4" \
+  --core "$SMOKE_DIR/stream/core.txt" --threads 1 \
+  --out "$SMOKE_DIR/stream-mem.tsv" > /dev/null
+diff -q "$SMOKE_DIR/stream-ooc.tsv" "$SMOKE_DIR/stream-mem.tsv" \
+  || { echo "out-of-core flagged set/scores diverge from the in-memory run"; exit 1; }
+rm -rf "$SMOKE_DIR/stream" "$SMOKE_DIR/stream.v4" \
+  "$SMOKE_DIR/stream-ooc.tsv" "$SMOKE_DIR/stream-mem.tsv"
 
 echo "== serve smoke: daemon answers queries and folds a journal reload =="
 # End to end through the real binary: estimate publishes generation 1,
